@@ -1,0 +1,199 @@
+//! Per-cycle energy bookkeeping of one sub-clock gating event.
+
+use scpg_units::{Energy, Temperature, Time, Voltage};
+
+use crate::rail::RailModel;
+
+/// Energy components of one gate-off/gate-on cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatingEnergies {
+    /// Leakage energy saved: the domain would have leaked this much had
+    /// it stayed powered for `t_off` (minus the residual header leak).
+    pub saved_leak: Energy,
+    /// Supply energy to recharge the rail at wake-up.
+    pub recharge: Energy,
+    /// Short-circuit energy during the rail ramp.
+    pub crowbar: Energy,
+    /// Energy to switch the header's gate (twice per cycle).
+    pub header_gate: Energy,
+    /// Residual leakage through the off header over `t_off`.
+    pub residual_header_leak: Energy,
+    /// Rail voltage reached at the end of the off interval.
+    pub v_min: Voltage,
+    /// Time the rail needs to read as restored (isolation hold, Fig. 4).
+    pub t_restore: Time,
+}
+
+impl GatingEnergies {
+    /// Net energy saved by this gating event (positive = worth it).
+    pub fn net_saving(&self) -> Energy {
+        self.saved_leak
+            - self.recharge
+            - self.crowbar
+            - self.header_gate
+            - self.residual_header_leak
+    }
+
+    /// Total overhead energy paid for the event.
+    pub fn overhead(&self) -> Energy {
+        self.recharge + self.crowbar + self.header_gate + self.residual_header_leak
+    }
+}
+
+/// Analyses one gating cycle of length `t_off` on a rail model.
+#[derive(Debug, Clone)]
+pub struct GatingCycle<'m> {
+    model: &'m RailModel,
+    temperature: Temperature,
+}
+
+impl<'m> GatingCycle<'m> {
+    /// Binds the analysis to a rail model at nominal temperature.
+    pub fn new(model: &'m RailModel) -> Self {
+        Self { model, temperature: Temperature::NOMINAL }
+    }
+
+    /// Overrides the junction temperature.
+    pub fn at_temperature(mut self, t: Temperature) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Computes the energy ledger for gating the domain off for `t_off`.
+    pub fn analyze(&self, t_off: Time) -> GatingEnergies {
+        let m = self.model;
+        let vdd = m.vdd();
+        let v_min = m.v_after_off(t_off);
+
+        // What leakage would have cost had the domain stayed powered.
+        // While gated, supply current is only the header's off-leak; the
+        // energy taken out of C_VDDV by internal leakage comes back as
+        // recharge, which is billed separately.
+        let p_leak_on = vdd * m.profile().i_leak_full;
+        let saved_leak = p_leak_on * t_off;
+
+        let header = m.header();
+        let residual = vdd * header.off_leakage(vdd, self.temperature) * t_off;
+
+        // The header gate swings rail-to-rail twice per cycle: E = C·V².
+        let header_gate =
+            Energy::new(header.gate_cap().value() * vdd.as_v() * vdd.as_v());
+
+        GatingEnergies {
+            saved_leak,
+            recharge: m.recharge_energy(v_min),
+            crowbar: m.crowbar_energy(v_min),
+            header_gate,
+            residual_header_leak: residual,
+            v_min,
+            t_restore: m.restore_time(v_min),
+        }
+    }
+
+    /// The off-time at which gating stops paying for itself (bisection on
+    /// [`GatingEnergies::net_saving`]), within `[lo, hi]`. Returns `None`
+    /// if gating never (or always) pays within the bracket.
+    pub fn break_even_t_off(&self, lo: Time, hi: Time) -> Option<Time> {
+        let f = |t: Time| self.analyze(t).net_saving().value();
+        let (mut a, mut b) = (lo.value(), hi.value());
+        let (fa, fb) = (f(lo), f(hi));
+        if fa * fb > 0.0 {
+            return None;
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (a + b);
+            let fm = f(Time::from_s(mid));
+            if fa * fm <= 0.0 {
+                b = mid;
+            } else {
+                a = mid;
+            }
+        }
+        Some(Time::from_s(0.5 * (a + b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rail::DomainProfile;
+    use scpg_liberty::{HeaderCell, HeaderSize};
+    use scpg_units::{Capacitance, Current};
+
+    fn mult_model() -> RailModel {
+        RailModel::new(
+            DomainProfile {
+                n_gates: 556,
+                c_vddv: Capacitance::from_pf(1.13),
+                i_leak_full: Current::from_ua(39.0),
+                i_eval_avg: Current::from_ua(260.0),
+                i_eval_peak: Current::from_ua(520.0),
+            },
+            HeaderCell::ninety_nm(HeaderSize::X2),
+            Voltage::from_mv(600.0),
+        )
+    }
+
+    #[test]
+    fn long_gating_windows_pay_off_hugely() {
+        // 10 kHz, 50 % duty: 50 µs off-time.
+        let m = mult_model();
+        let g = GatingCycle::new(&m).analyze(Time::from_us(50.0));
+        assert!(g.net_saving().as_pj() > 0.0);
+        // Saved ≈ 23.4 µW × 50 µs = 1 170 pJ, overhead ≲ 1 pJ.
+        assert!((g.saved_leak.as_nj() - 1.17).abs() < 0.05, "{}", g.saved_leak);
+        assert!(g.overhead().as_pj() < 2.0, "overhead {}", g.overhead());
+        let ratio = g.net_saving() / g.overhead();
+        assert!(ratio > 100.0, "long windows: saving/overhead {ratio:.0}×");
+    }
+
+    #[test]
+    fn very_short_windows_lose() {
+        let m = mult_model();
+        let g = GatingCycle::new(&m).analyze(Time::from_ns(2.0));
+        assert!(
+            g.net_saving().value() < 0.0,
+            "2 ns of gating cannot amortise the header switch: {:?}",
+            g
+        );
+    }
+
+    #[test]
+    fn break_even_near_convergence_frequency() {
+        // The multiplier's SCPG curves converge around 15 MHz in the
+        // paper; with a 50 % duty cycle that is t_off ≈ 33 ns. Expect our
+        // calibrated break-even in the same decade.
+        let m = mult_model();
+        let be = GatingCycle::new(&m)
+            .break_even_t_off(Time::from_ns(1.0), Time::from_us(10.0))
+            .expect("bracketed");
+        assert!(
+            (5.0..120.0).contains(&be.as_ns()),
+            "break-even t_off = {be} (expect tens of ns)"
+        );
+    }
+
+    #[test]
+    fn ledger_components_are_all_nonnegative() {
+        let m = mult_model();
+        for ns in [1.0, 10.0, 100.0, 1_000.0, 100_000.0] {
+            let g = GatingCycle::new(&m).analyze(Time::from_ns(ns));
+            assert!(g.saved_leak.value() >= 0.0);
+            assert!(g.recharge.value() >= 0.0);
+            assert!(g.crowbar.value() >= 0.0);
+            assert!(g.header_gate.value() > 0.0);
+            assert!(g.residual_header_leak.value() >= 0.0);
+            assert!(g.t_restore.value() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn longer_off_time_deepens_collapse_and_restore() {
+        let m = mult_model();
+        let short = GatingCycle::new(&m).analyze(Time::from_ns(5.0));
+        let long = GatingCycle::new(&m).analyze(Time::from_us(1.0));
+        assert!(long.v_min.value() < short.v_min.value());
+        assert!(long.t_restore.value() > short.t_restore.value());
+        assert!(long.recharge.value() > short.recharge.value());
+    }
+}

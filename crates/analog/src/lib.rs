@@ -1,0 +1,32 @@
+//! Analog-level models of the power-gated domain ("HSpice substitute").
+//!
+//! The paper extracts a handful of transistor-level quantities from HSpice
+//! that gate-level tools cannot see:
+//!
+//! * the **virtual-rail waveform** as the domain is gated (leakage
+//!   discharges `C_VDDV`) and restored (charging through the header's
+//!   on-resistance) — paper Fig. 4's `T_PGoff` / `T_PGStart` regions;
+//! * the **recharge energy** the supply must deliver every cycle,
+//!   `C_VDDV·V·ΔV` — the dominant SCPG overhead for large designs;
+//! * **crowbar (short-circuit) energy** while the rail ramps through
+//!   intermediate voltages, which the paper identifies as the reason the
+//!   Cortex-M0's savings converge at a lower frequency than the
+//!   multiplier's (§III-B);
+//! * **IR drop** and **in-rush current** versus header size, behind the
+//!   finding that X2 headers suit the multiplier and X4 the M0 (§III).
+//!
+//! Those quantities are first-order RC/MOSFET physics, solved here
+//! analytically and (for waveforms) with a fixed-step RK4 integrator that
+//! cross-checks the closed forms.
+
+#![warn(missing_docs)]
+
+mod gating;
+mod rail;
+mod sizing;
+mod transient;
+
+pub use gating::{GatingCycle, GatingEnergies};
+pub use rail::{DomainProfile, RailModel, RailWaveform};
+pub use sizing::{recommend_header, HeaderReport, SizingConstraints};
+pub use transient::rk4;

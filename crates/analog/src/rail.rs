@@ -1,0 +1,302 @@
+//! Virtual-rail electrical model.
+
+use scpg_liberty::{HeaderCell, TransistorModel};
+use scpg_units::{Capacitance, Current, Time, Voltage};
+
+use crate::transient::rk4;
+
+/// Electrical profile of one power-gated domain, extracted from the
+/// netlist by the flow (see `scpg::headers::profile_domain`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainProfile {
+    /// Number of gated logic cells (sets crowbar magnitude).
+    pub n_gates: usize,
+    /// Total virtual-rail capacitance `C_VDDV`.
+    pub c_vddv: Capacitance,
+    /// Domain leakage current at full rail voltage.
+    pub i_leak_full: Current,
+    /// Average supply current while the domain evaluates.
+    pub i_eval_avg: Current,
+    /// Peak supply current during evaluation (sets IR drop).
+    pub i_eval_peak: Current,
+}
+
+/// The rail + header electrical model.
+#[derive(Debug, Clone)]
+pub struct RailModel {
+    profile: DomainProfile,
+    header: HeaderCell,
+    vdd: Voltage,
+    /// Fraction of the mid-rail on-current flowing as short-circuit
+    /// current per gate during rail ramps (calibration constant).
+    k_crowbar: f64,
+    logic_model: TransistorModel,
+}
+
+/// A sampled rail-voltage waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RailWaveform {
+    /// `(time, rail voltage)` samples; time in seconds, voltage in volts.
+    pub samples: Vec<(f64, f64)>,
+}
+
+impl RailWaveform {
+    /// Final rail voltage.
+    pub fn v_end(&self) -> Voltage {
+        Voltage::from_v(self.samples.last().map(|&(_, v)| v).unwrap_or(0.0))
+    }
+
+    /// First time the rail crosses `v` (rising or falling), if it does.
+    pub fn time_crossing(&self, v: Voltage) -> Option<Time> {
+        let target = v.as_v();
+        self.samples.windows(2).find_map(|w| {
+            let (t0, v0) = w[0];
+            let (t1, v1) = w[1];
+            let crossed = (v0 - target) * (v1 - target) <= 0.0 && v0 != v1;
+            crossed.then(|| {
+                let frac = (target - v0) / (v1 - v0);
+                Time::from_s(t0 + frac * (t1 - t0))
+            })
+        })
+    }
+}
+
+impl RailModel {
+    /// Builds the model for a domain behind the given header at supply
+    /// `vdd`.
+    pub fn new(profile: DomainProfile, header: HeaderCell, vdd: Voltage) -> Self {
+        Self {
+            profile,
+            header,
+            vdd,
+            k_crowbar: 0.10,
+            logic_model: TransistorModel::standard_vt(),
+        }
+    }
+
+    /// The domain profile.
+    pub fn profile(&self) -> &DomainProfile {
+        &self.profile
+    }
+
+    /// The header in use.
+    pub fn header(&self) -> &HeaderCell {
+        &self.header
+    }
+
+    /// Decay time constant of the released rail: leakage (≈ proportional
+    /// to the rail voltage) discharging `C_VDDV`, so
+    /// `τ = C·V / I_leak(V)`.
+    pub fn decay_tau(&self) -> Time {
+        Time::new(
+            self.profile.c_vddv.value() * self.vdd.as_v() / self.profile.i_leak_full.value(),
+        )
+    }
+
+    /// Restore time constant `R_on · C_VDDV`.
+    pub fn restore_tau(&self) -> Time {
+        self.header.on_resistance(self.vdd) * self.profile.c_vddv
+    }
+
+    /// Rail voltage after the header has been off for `t_off`
+    /// (closed form: exponential decay with [`RailModel::decay_tau`]).
+    pub fn v_after_off(&self, t_off: Time) -> Voltage {
+        let tau = self.decay_tau().value();
+        Voltage::from_v(self.vdd.as_v() * (-t_off.value() / tau).exp())
+    }
+
+    /// Time for the restored rail to reach 95 % of the supply starting
+    /// from `v0` — the `T_PGStart` isolation-hold interval of Fig. 4.
+    pub fn restore_time(&self, v0: Voltage) -> Time {
+        let tau = self.restore_tau().value();
+        let vdd = self.vdd.as_v();
+        let v0 = v0.as_v().min(vdd * 0.9499);
+        // v(t) = VDD - (VDD - v0)·e^(-t/τ); solve for v = 0.95·VDD.
+        let t = tau * ((vdd - v0) / (0.05 * vdd)).ln();
+        Time::from_s(t.max(0.0))
+    }
+
+    /// Simulated collapse waveform over `t_off` (RK4, `steps` samples).
+    pub fn collapse_waveform(&self, t_off: Time, steps: usize) -> RailWaveform {
+        let tau = self.decay_tau().value();
+        let samples = rk4(|_, v| -v / tau, 0.0, self.vdd.as_v(), t_off.value(), steps);
+        RailWaveform { samples }
+    }
+
+    /// Simulated restore waveform from `v0` over `duration`.
+    pub fn restore_waveform(&self, v0: Voltage, duration: Time, steps: usize) -> RailWaveform {
+        let tau = self.restore_tau().value();
+        let vdd = self.vdd.as_v();
+        let samples = rk4(|_, v| (vdd - v) / tau, 0.0, v0.as_v(), duration.value(), steps);
+        RailWaveform { samples }
+    }
+
+    /// Energy the supply delivers to recharge the rail from `v0` to full:
+    /// `C·V·(V − v0)` (the stored half plus the half dissipated in the
+    /// header).
+    pub fn recharge_energy(&self, v0: Voltage) -> scpg_units::Energy {
+        let dv = (self.vdd.as_v() - v0.as_v()).max(0.0);
+        scpg_units::Energy::new(self.profile.c_vddv.value() * self.vdd.as_v() * dv)
+    }
+
+    /// Crowbar (short-circuit) energy of one wake-up from `v0`: while the
+    /// rail ramps through the intermediate band (10 %–90 % of VDD), every
+    /// gate whose output sits at an intermediate level conducts a
+    /// fraction of the mid-rail on-current.
+    pub fn crowbar_energy(&self, v0: Voltage) -> scpg_units::Energy {
+        let vdd = self.vdd.as_v();
+        let lo = 0.1 * vdd;
+        let hi = 0.9 * vdd;
+        if v0.as_v() >= hi {
+            return scpg_units::Energy::ZERO;
+        }
+        // Time in band from the closed-form restore curve.
+        let tau = self.restore_tau().value();
+        let start = v0.as_v().max(lo);
+        let t_band = tau * ((vdd - start) / (vdd - hi)).ln();
+        let i_sc_per_gate = self.k_crowbar
+            * self
+                .logic_model
+                .on_current(Voltage::from_v(vdd / 2.0))
+                .value();
+        scpg_units::Energy::new(self.profile.n_gates as f64 * i_sc_per_gate * vdd * t_band)
+    }
+
+    /// Peak in-rush current of a wake-up from `v0`.
+    pub fn inrush_peak(&self, v0: Voltage) -> Current {
+        (self.vdd - v0).max(Voltage::ZERO) / self.header.on_resistance(self.vdd)
+    }
+
+    /// Steady-state IR drop across the header while the domain draws its
+    /// peak evaluation current.
+    pub fn ir_drop_peak(&self) -> Voltage {
+        self.header.ir_drop(self.vdd, self.profile.i_eval_peak)
+    }
+
+    /// The supply voltage of this model.
+    pub fn vdd(&self) -> Voltage {
+        self.vdd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpg_liberty::HeaderSize;
+
+    /// Multiplier-class domain per DESIGN.md §6.
+    pub(crate) fn multiplier_profile() -> DomainProfile {
+        DomainProfile {
+            n_gates: 556,
+            c_vddv: Capacitance::from_pf(1.13),
+            i_leak_full: Current::from_ua(39.0),
+            i_eval_avg: Current::from_ua(260.0),
+            i_eval_peak: Current::from_ua(520.0),
+        }
+    }
+
+    fn model() -> RailModel {
+        RailModel::new(
+            multiplier_profile(),
+            HeaderCell::ninety_nm(HeaderSize::X2),
+            Voltage::from_mv(600.0),
+        )
+    }
+
+    #[test]
+    fn decay_tau_matches_hand_calc() {
+        // τ = 1.13 pF · 0.6 V / 39 µA ≈ 17.4 ns.
+        let tau = model().decay_tau();
+        assert!((tau.as_ns() - 17.4).abs() < 0.5, "τ = {tau}");
+    }
+
+    #[test]
+    fn long_off_time_fully_collapses_rail() {
+        let m = model();
+        let v = m.v_after_off(Time::from_us(50.0)); // 10 kHz half-period
+        assert!(v.as_mv() < 1.0, "rail residue {v}");
+        let e = m.recharge_energy(v);
+        // Full recharge ≈ C·V² = 1.13 pF · 0.36 ≈ 0.41 pJ.
+        assert!((e.as_pj() - 0.407).abs() < 0.02, "recharge {e}");
+    }
+
+    #[test]
+    fn short_off_time_keeps_rail_high_and_recharge_cheap() {
+        let m = model();
+        let v = m.v_after_off(Time::from_ns(5.0));
+        assert!(v.as_mv() > 400.0, "short gating barely droops: {v}");
+        let e = m.recharge_energy(v);
+        assert!(e.as_pj() < 0.2, "partial recharge {e}");
+    }
+
+    #[test]
+    fn waveforms_agree_with_closed_forms() {
+        let m = model();
+        let t_off = Time::from_ns(30.0);
+        let w = m.collapse_waveform(t_off, 300);
+        assert!((w.v_end().as_v() - m.v_after_off(t_off).as_v()).abs() < 1e-6);
+
+        let v0 = Voltage::from_mv(50.0);
+        let dur = Time::from_ns(2.0);
+        let w = m.restore_waveform(v0, dur, 400);
+        let tau = m.restore_tau().value();
+        let exact = 0.6 - (0.6 - 0.05) * (-dur.value() / tau).exp();
+        assert!((w.v_end().as_v() - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn restore_time_is_a_few_rc() {
+        let m = model();
+        let t = m.restore_time(Voltage::ZERO);
+        let tau = m.restore_tau();
+        let ratio = t / tau;
+        assert!((2.5..3.5).contains(&ratio), "t95 ≈ 3τ, got {ratio:.2}τ");
+    }
+
+    #[test]
+    fn crossing_detection_works() {
+        let m = model();
+        let w = m.restore_waveform(Voltage::ZERO, Time::from_ns(2.0), 400);
+        let t_half = w.time_crossing(Voltage::from_mv(300.0)).expect("crosses VDD/2");
+        let tau = m.restore_tau().value();
+        let exact = tau * 2.0_f64.ln();
+        assert!((t_half.value() - exact).abs() / exact < 0.02);
+    }
+
+    #[test]
+    fn crowbar_grows_superlinearly_with_design_size() {
+        // M0-class domain: ≈12× the gates, ≈12× the rail capacitance.
+        let mult = model();
+        let m0 = RailModel::new(
+            DomainProfile {
+                n_gates: 6_747,
+                c_vddv: Capacitance::from_pf(13.5),
+                i_leak_full: Current::from_ua(228.0),
+                i_eval_avg: Current::from_ua(870.0),
+                i_eval_peak: Current::from_ma(1.7),
+            },
+            HeaderCell::ninety_nm(HeaderSize::X4),
+            Voltage::from_mv(600.0),
+        );
+        let e_mult = mult.crowbar_energy(Voltage::ZERO);
+        let e_m0 = m0.crowbar_energy(Voltage::ZERO);
+        let gate_ratio = 6_747.0 / 556.0;
+        let energy_ratio = e_m0 / e_mult;
+        assert!(
+            energy_ratio > 2.0 * gate_ratio,
+            "crowbar should scale superlinearly: {energy_ratio:.1}× vs gates {gate_ratio:.1}×"
+        );
+        // Magnitudes per calibration: mult ≲ 0.2 pJ, M0 ≈ several pJ.
+        assert!(e_mult.as_pj() < 0.3, "multiplier crowbar {e_mult}");
+        assert!((1.0..15.0).contains(&e_m0.as_pj()), "M0 crowbar {e_m0}");
+    }
+
+    #[test]
+    fn inrush_peak_bounded_by_header() {
+        let m = model();
+        let peak = m.inrush_peak(Voltage::ZERO);
+        let limit = Voltage::from_mv(600.0) / m.header().on_resistance(Voltage::from_mv(600.0));
+        assert!((peak.value() - limit.value()).abs() < 1e-12);
+        assert_eq!(m.inrush_peak(Voltage::from_mv(600.0)).value(), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Header-size exploration (§III of the paper).
+
+use scpg_liberty::{HeaderCell, HeaderSize};
+use scpg_units::{Current, Energy, Time, Voltage};
+
+use crate::rail::{DomainProfile, RailModel};
+
+/// Acceptance limits for a header choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingConstraints {
+    /// Maximum tolerable IR drop as a fraction of VDD at peak evaluation
+    /// current. The paper's sizing study lands at X2/X4 with ≈15 %.
+    pub max_ir_drop_frac: f64,
+    /// Maximum tolerable peak in-rush current (ground-bounce limit).
+    pub max_inrush: Current,
+    /// Maximum tolerable rail-restore time. Under SCPG the restore eats
+    /// into every cycle's evaluation window (`T_PGStart` in Fig. 4), so a
+    /// large domain behind a weak header is unusable even if its IR drop
+    /// is fine — this is what pushes big designs to bigger headers.
+    pub max_restore: Time,
+}
+
+impl Default for SizingConstraints {
+    fn default() -> Self {
+        Self {
+            max_ir_drop_frac: 0.15,
+            max_inrush: Current::from_ma(20.0),
+            max_restore: Time::from_ns(1.5),
+        }
+    }
+}
+
+/// Per-size evaluation results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeaderReport {
+    /// The evaluated size.
+    pub size: HeaderSize,
+    /// Steady-state IR drop at peak evaluation current.
+    pub ir_drop: Voltage,
+    /// Peak in-rush current on wake-up from a collapsed rail.
+    pub inrush_peak: Current,
+    /// Time to restore the rail from fully collapsed.
+    pub restore_time: Time,
+    /// Per-cycle header gate-switching energy.
+    pub gate_energy: Energy,
+    /// Whether the size satisfies the constraints.
+    pub acceptable: bool,
+}
+
+/// Evaluates every kit header size against a domain and recommends the
+/// smallest acceptable one (smallest = least gate-switching overhead and
+/// least in-rush, the paper's stated trade-off).
+///
+/// Returns the full per-size table plus the index of the recommendation,
+/// or `None` when no size satisfies the constraints.
+pub fn recommend_header(
+    profile: &DomainProfile,
+    vdd: Voltage,
+    constraints: &SizingConstraints,
+) -> (Vec<HeaderReport>, Option<usize>) {
+    let mut reports = Vec::with_capacity(HeaderSize::ALL.len());
+    for size in HeaderSize::ALL {
+        let header = HeaderCell::ninety_nm(size);
+        let model = RailModel::new(*profile, header.clone(), vdd);
+        let ir_drop = model.ir_drop_peak();
+        let inrush_peak = model.inrush_peak(Voltage::ZERO);
+        let restore_time = model.restore_time(Voltage::ZERO);
+        let acceptable = ir_drop.as_v() <= constraints.max_ir_drop_frac * vdd.as_v()
+            && inrush_peak.value() <= constraints.max_inrush.value()
+            && restore_time.value() <= constraints.max_restore.value();
+        reports.push(HeaderReport {
+            size,
+            ir_drop,
+            inrush_peak,
+            restore_time,
+            gate_energy: Energy::new(header.gate_cap().value() * vdd.as_v() * vdd.as_v()),
+            acceptable,
+        });
+    }
+    let pick = reports.iter().position(|r| r.acceptable);
+    (reports, pick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpg_units::Capacitance;
+
+    fn multiplier() -> DomainProfile {
+        DomainProfile {
+            n_gates: 556,
+            c_vddv: Capacitance::from_pf(1.13),
+            i_leak_full: Current::from_ua(39.0),
+            i_eval_avg: Current::from_ua(260.0),
+            i_eval_peak: Current::from_ua(520.0),
+        }
+    }
+
+    fn cortex_m0() -> DomainProfile {
+        DomainProfile {
+            n_gates: 6_747,
+            c_vddv: Capacitance::from_pf(13.5),
+            i_leak_full: Current::from_ua(228.0),
+            i_eval_avg: Current::from_ua(870.0),
+            i_eval_peak: Current::from_ma(1.7),
+        }
+    }
+
+    #[test]
+    fn multiplier_wants_x2_like_the_paper() {
+        let (reports, pick) =
+            recommend_header(&multiplier(), Voltage::from_mv(600.0), &Default::default());
+        let pick = pick.expect("some size fits");
+        assert_eq!(reports[pick].size, HeaderSize::X2, "paper §III: X2 for the multiplier");
+        assert!(!reports[0].acceptable, "X1 drops too much voltage");
+    }
+
+    #[test]
+    fn cortex_m0_wants_x4_like_the_paper() {
+        // This profile uses the paper's M0 magnitudes (13.5 pF rail); its
+        // restore time needs a proportionally relaxed bound.
+        let constraints = SizingConstraints {
+            max_restore: scpg_units::Time::from_ns(2.5),
+            ..Default::default()
+        };
+        let (reports, pick) =
+            recommend_header(&cortex_m0(), Voltage::from_mv(600.0), &constraints);
+        let pick = pick.expect("some size fits");
+        assert_eq!(reports[pick].size, HeaderSize::X4, "paper §III: X4 for the M0");
+    }
+
+    #[test]
+    fn tables_are_monotone_in_size() {
+        let (reports, _) =
+            recommend_header(&cortex_m0(), Voltage::from_mv(600.0), &Default::default());
+        for w in reports.windows(2) {
+            assert!(w[1].ir_drop.value() < w[0].ir_drop.value());
+            assert!(w[1].inrush_peak.value() > w[0].inrush_peak.value());
+            assert!(w[1].restore_time.value() < w[0].restore_time.value());
+            assert!(w[1].gate_energy.value() > w[0].gate_energy.value());
+        }
+    }
+
+    #[test]
+    fn impossible_constraints_return_none() {
+        let constraints = SizingConstraints {
+            max_ir_drop_frac: 1e-6,
+            max_inrush: Current::from_na(1.0),
+            ..Default::default()
+        };
+        let (_, pick) = recommend_header(&multiplier(), Voltage::from_mv(600.0), &constraints);
+        assert!(pick.is_none());
+    }
+
+    #[test]
+    fn inrush_limit_can_exclude_big_headers() {
+        // A tight ground-bounce budget rules out X8 even though its IR
+        // drop is the best.
+        let constraints = SizingConstraints {
+            max_ir_drop_frac: 0.15,
+            max_inrush: Current::from_ma(10.0),
+            ..Default::default()
+        };
+        let (reports, _) = recommend_header(&cortex_m0(), Voltage::from_mv(600.0), &constraints);
+        let x8 = reports.iter().find(|r| r.size == HeaderSize::X8).unwrap();
+        assert!(!x8.acceptable, "X8 in-rush {} exceeds 10 mA", x8.inrush_peak);
+    }
+}

@@ -1,0 +1,72 @@
+//! A fixed-step Runge–Kutta integrator for the 1-D rail ODEs.
+
+/// Integrates `dv/dt = f(t, v)` from `(t0, v0)` to `t1` using classic RK4
+/// with `steps` uniform steps. Returns the trajectory including both
+/// endpoints.
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or `t1 < t0`.
+pub fn rk4(
+    mut f: impl FnMut(f64, f64) -> f64,
+    t0: f64,
+    v0: f64,
+    t1: f64,
+    steps: usize,
+) -> Vec<(f64, f64)> {
+    assert!(steps > 0, "rk4 needs at least one step");
+    assert!(t1 >= t0, "rk4 cannot integrate backwards");
+    let h = (t1 - t0) / steps as f64;
+    let mut out = Vec::with_capacity(steps + 1);
+    let (mut t, mut v) = (t0, v0);
+    out.push((t, v));
+    for _ in 0..steps {
+        let k1 = f(t, v);
+        let k2 = f(t + 0.5 * h, v + 0.5 * h * k1);
+        let k3 = f(t + 0.5 * h, v + 0.5 * h * k2);
+        let k4 = f(t + h, v + h * k3);
+        v += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+        t += h;
+        out.push((t, v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_decay_matches_closed_form() {
+        // dv/dt = -v/tau  =>  v(t) = e^(-t/tau)
+        let tau = 2.0;
+        let traj = rk4(|_, v| -v / tau, 0.0, 1.0, 6.0, 600);
+        let (_, v_end) = *traj.last().unwrap();
+        let exact = (-6.0 / tau as f64).exp();
+        assert!((v_end - exact).abs() < 1e-9, "{v_end} vs {exact}");
+    }
+
+    #[test]
+    fn rc_charging_matches_closed_form() {
+        // dv/dt = (V - v)/RC towards V = 0.6.
+        let rc = 0.5;
+        let traj = rk4(|_, v| (0.6 - v) / rc, 0.0, 0.0, 2.0, 400);
+        let (_, v_end) = *traj.last().unwrap();
+        let exact = 0.6 * (1.0 - (-2.0 / rc as f64).exp());
+        assert!((v_end - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_includes_endpoints() {
+        let traj = rk4(|_, _| 0.0, 1.0, 5.0, 3.0, 4);
+        assert_eq!(traj.len(), 5);
+        assert_eq!(traj[0], (1.0, 5.0));
+        assert!((traj.last().unwrap().0 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_rejected() {
+        let _ = rk4(|_, v| v, 0.0, 1.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Ablation benches for the design choices called out in `DESIGN.md` §5.
+//!
+//! These are Criterion benches whose *reported values* are the point: the
+//! measured per-iteration time is secondary, but each iteration computes
+//! and prints (once) the quality delta of the ablated design choice:
+//!
+//! * `ablation/duty` — fixed 50 % duty vs optimised duty across frequency
+//!   (how much saving SCPG-Max adds);
+//! * `ablation/isolation` — adaptive Fig. 3 isolation control vs a fixed
+//!   worst-case isolation timer (wasted gating time);
+//! * `ablation/inertial` — per-gate inertial filtering on vs off is a
+//!   structural property of the simulator; here we quantify glitch energy
+//!   by comparing measured dynamic energy against the zero-glitch lower
+//!   bound (one toggle per changed net per cycle).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+use scpg::Mode;
+use scpg_bench::CaseStudy;
+use scpg_units::{Frequency, Time};
+
+static PRINT_ONCE: Once = Once::new();
+
+fn bench_duty_ablation(c: &mut Criterion) {
+    let study = CaseStudy::multiplier();
+    PRINT_ONCE.call_once(|| {
+        println!("\n[ablation/duty] multiplier, SCPG (50 %) vs SCPG-Max saving:");
+        for mhz in [0.01, 0.1, 1.0, 5.0] {
+            let f = Frequency::from_mhz(mhz);
+            let base = study.analysis.operating_point(f, Mode::NoPg);
+            let s50 = study.analysis.operating_point(f, Mode::Scpg);
+            let smax = study.analysis.operating_point(f, Mode::ScpgMax);
+            println!(
+                "  {mhz:>6} MHz: 50 % duty saves {:>5.1} %, optimised duty saves {:>5.1} %",
+                s50.saving_vs(&base) * 100.0,
+                smax.saving_vs(&base) * 100.0
+            );
+        }
+    });
+    c.bench_function("ablation/duty_plan_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for mhz in [0.01, 0.1, 1.0, 5.0, 10.0] {
+                let f = Frequency::from_mhz(mhz);
+                acc += study.analysis.operating_point(f, Mode::ScpgMax).power.value();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_isolation_ablation(c: &mut Criterion) {
+    // Adaptive control releases isolation as soon as the rail reads 1
+    // (t_restore from v_min); a fixed timer must budget for the deepest
+    // possible collapse (restore from 0 V). The difference is gating time
+    // recovered per cycle.
+    let study = CaseStudy::multiplier();
+    let rail = study.analysis.rail();
+    let f = Frequency::from_mhz(5.0);
+    let t_off = f.period() * 0.5;
+    let v_min = rail.v_after_off(t_off);
+    let adaptive = rail.restore_time(v_min);
+    let fixed = rail.restore_time(scpg_units::Voltage::ZERO);
+    PRINT_ONCE.call_once(|| {});
+    println!(
+        "\n[ablation/isolation] at 5 MHz/50 %: adaptive hold {} vs fixed timer {} \
+         — {} of evaluation window recovered per cycle",
+        adaptive,
+        fixed,
+        Time::new(fixed.value() - adaptive.value())
+    );
+    c.bench_function("ablation/isolation_hold_model", |b| {
+        b.iter(|| {
+            let v = rail.v_after_off(black_box(t_off));
+            black_box(rail.restore_time(v))
+        })
+    });
+}
+
+fn bench_glitch_energy(c: &mut Criterion) {
+    let study = CaseStudy::multiplier();
+    // Zero-glitch lower bound: every net toggles at most once per input
+    // change; measured activity includes real arrival-skew glitches.
+    let total = study.activity.total_toggles();
+    let nets = study.baseline.nets().len() as u64;
+    let cycles = study.workload_cycles;
+    println!(
+        "\n[ablation/inertial] multiplier workload: {:.2} toggles/net/cycle \
+         (zero-glitch bound is ≤1): glitching inflates dynamic energy ≈{:.1}×",
+        total as f64 / (nets * cycles) as f64,
+        total as f64 / (nets * cycles) as f64
+    );
+    c.bench_function("ablation/activity_rollup", |b| {
+        b.iter(|| black_box(study.activity.total_toggles()))
+    });
+}
+
+fn bench_architecture_ablation(c: &mut Criterion) {
+    // Array vs Wallace-tree multiplier: a shorter T_eval widens the
+    // feasible gating window at high frequency — architecture choice is
+    // an SCPG knob, not just a speed knob.
+    use scpg_circuits::{generate_multiplier, generate_wallace_multiplier};
+    use scpg_liberty::Library;
+    use scpg_units::Voltage;
+
+    let lib = Library::ninety_nm();
+    let (array, _) = generate_multiplier(&lib, 16);
+    let (wallace, _) = generate_wallace_multiplier(&lib, 16);
+    let v = Voltage::from_mv(600.0);
+    let t_array = scpg_sta::analyze(&array, &lib, v).unwrap();
+    let t_wallace = scpg_sta::analyze(&wallace, &lib, v).unwrap();
+    let sa = array.stats(&lib);
+    let sw = wallace.stats(&lib);
+    println!(
+        "\n[ablation/architecture] 16×16 multiplier:\n  \
+         array:   {} comb cells, T_eval {}\n  \
+         wallace: {} comb cells, T_eval {}\n  \
+         at 20 MHz the wallace design leaves {:.1} ns more gated time per cycle",
+        sa.combinational,
+        t_array.t_eval,
+        sw.combinational,
+        t_wallace.t_eval,
+        (t_array.t_eval.as_ns() - t_wallace.t_eval.as_ns())
+    );
+    c.bench_function("ablation/sta_array_vs_wallace", |b| {
+        b.iter(|| {
+            let a = scpg_sta::analyze(&array, &lib, v).unwrap().t_eval;
+            let w = scpg_sta::analyze(&wallace, &lib, v).unwrap().t_eval;
+            black_box((a, w))
+        })
+    });
+}
+
+fn bench_temperature(c: &mut Criterion) {
+    // Leakage grows steeply with temperature, so SCPG's absolute saving
+    // grows with it too — a hot die benefits more from sub-clock gating.
+    use scpg::ScpgAnalysis;
+    use scpg_liberty::PvtCorner;
+    use scpg_units::{Temperature, Voltage};
+
+    let study = CaseStudy::multiplier();
+    let f = Frequency::from_khz(100.0);
+    println!("\n[ablation/temperature] multiplier at 100 kHz:");
+    for celsius in [0.0, 25.0, 85.0] {
+        let corner = PvtCorner {
+            voltage: Voltage::from_mv(600.0),
+            temperature: Temperature::from_celsius(celsius),
+        };
+        let analysis = ScpgAnalysis::new(
+            &study.lib,
+            &study.baseline,
+            &study.design,
+            study.e_dyn,
+            corner,
+        )
+        .unwrap();
+        let base = analysis.operating_point(f, Mode::NoPg);
+        let max = analysis.operating_point(f, Mode::ScpgMax);
+        println!(
+            "  {celsius:>5} °C: baseline {}, SCPG-Max {} — absolute saving {}",
+            base.power,
+            max.power,
+            scpg_units::Power::new(base.power.value() - max.power.value())
+        );
+    }
+    c.bench_function("ablation/analysis_rebuild_hot_corner", |b| {
+        let corner = PvtCorner {
+            voltage: Voltage::from_mv(600.0),
+            temperature: Temperature::from_celsius(85.0),
+        };
+        b.iter(|| {
+            black_box(
+                ScpgAnalysis::new(
+                    &study.lib,
+                    &study.baseline,
+                    &study.design,
+                    study.e_dyn,
+                    corner,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_duty_ablation,
+    bench_isolation_ablation,
+    bench_glitch_energy,
+    bench_architecture_ablation,
+    bench_temperature
+);
+criterion_main!(benches);

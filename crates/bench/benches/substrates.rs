@@ -1,0 +1,105 @@
+//! Criterion benches of the substrate engines themselves: event-driven
+//! simulation throughput, STA, the SCPG transform, power rollups and the
+//! analog transient solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use scpg::transform::{ScpgOptions, ScpgTransform};
+use scpg_analog::{DomainProfile, GatingCycle, RailModel};
+use scpg_circuits::generate_multiplier;
+use scpg_liberty::{HeaderCell, HeaderSize, Library, Logic, PvtCorner};
+use scpg_power::PowerAnalyzer;
+use scpg_sim::{ClockedTestbench, SimConfig, Simulator};
+use scpg_units::{Capacitance, Current, Time, Voltage};
+
+fn bench_simulator(c: &mut Criterion) {
+    let lib = Library::ninety_nm();
+    let (nl, ports) = generate_multiplier(&lib, 16);
+    c.bench_function("sim/multiplier_16x16_cycle", |b| {
+        b.iter_batched(
+            || {
+                let sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+                ClockedTestbench::new(sim, ports.clk, 1_000_000, 0.5)
+            },
+            |mut tb| {
+                tb.sim_mut().set_input(ports.rst_n, Logic::One);
+                for i in 0..4 {
+                    let stim: Vec<_> = ports
+                        .a
+                        .bits()
+                        .iter()
+                        .map(|&n| (n, Logic::from_bool(i % 2 == 0)))
+                        .collect();
+                    tb.cycle(&stim);
+                }
+                black_box(tb.cycles())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let lib = Library::ninety_nm();
+    let (nl, _) = generate_multiplier(&lib, 16);
+    c.bench_function("sta/multiplier_16x16", |b| {
+        b.iter(|| {
+            black_box(scpg_sta::analyze(&nl, &lib, Voltage::from_mv(600.0)).unwrap())
+        })
+    });
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let lib = Library::ninety_nm();
+    let (nl, _) = generate_multiplier(&lib, 16);
+    c.bench_function("scpg/transform_multiplier", |b| {
+        b.iter(|| {
+            black_box(
+                ScpgTransform::new(&lib)
+                    .apply(&nl, "clk", &ScpgOptions::default())
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_power(c: &mut Criterion) {
+    let lib = Library::ninety_nm();
+    let (nl, _) = generate_multiplier(&lib, 16);
+    let analyzer = PowerAnalyzer::new(&nl, &lib, PvtCorner::default()).unwrap();
+    c.bench_function("power/leakage_rollup_multiplier", |b| {
+        b.iter(|| black_box(analyzer.leakage(None)))
+    });
+}
+
+fn bench_analog(c: &mut Criterion) {
+    let profile = DomainProfile {
+        n_gates: 6_747,
+        c_vddv: Capacitance::from_pf(13.5),
+        i_leak_full: Current::from_ua(228.0),
+        i_eval_avg: Current::from_ua(870.0),
+        i_eval_peak: Current::from_ma(1.7),
+    };
+    let model = RailModel::new(
+        profile,
+        HeaderCell::ninety_nm(HeaderSize::X4),
+        Voltage::from_mv(600.0),
+    );
+    c.bench_function("analog/gating_cycle_ledger", |b| {
+        b.iter(|| black_box(GatingCycle::new(&model).analyze(Time::from_ns(100.0))))
+    });
+    c.bench_function("analog/rail_waveform_rk4_1000", |b| {
+        b.iter(|| black_box(model.collapse_waveform(Time::from_us(1.0), 1_000)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_sta,
+    bench_transform,
+    bench_power,
+    bench_analog
+);
+criterion_main!(benches);

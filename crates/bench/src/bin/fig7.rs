@@ -1,0 +1,64 @@
+//! Reproduces **Fig. 7**: switching probability of the CPU for each
+//! group of 10 vectors of the Dhrystone-class benchmark.
+//!
+//! The paper divides its 3 700 Dhrystone vectors into 370 groups of 10
+//! and plots each group's average switching activity, then picks the
+//! maximum / minimum / average groups for detailed power simulation.
+
+use scpg_bench::{ascii_plot, CaseStudy, MEASURE_PERIOD_PS};
+
+fn main() {
+    let study = CaseStudy::cpu();
+    let probs = study
+        .activity
+        .window_switching_probabilities(MEASURE_PERIOD_PS);
+    println!(
+        "[Fig. 7 reproduction] {} vector groups of 10 cycles ({} total cycles)",
+        probs.len(),
+        study.workload_cycles
+    );
+
+    let x: Vec<f64> = (0..probs.len()).map(|i| i as f64).collect();
+    println!(
+        "{}",
+        ascii_plot(
+            "switching probability vs vector group",
+            &x,
+            &[("p", probs.clone())],
+            false,
+        )
+    );
+
+    // The paper's max/min/average group extraction.
+    let (mut imax, mut imin) = (0usize, 0usize);
+    for (i, &p) in probs.iter().enumerate() {
+        if p > probs[imax] {
+            imax = i;
+        }
+        if p < probs[imin] {
+            imin = i;
+        }
+    }
+    let mean = probs.iter().sum::<f64>() / probs.len().max(1) as f64;
+    let iavg = probs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| (a.1 - mean).abs().total_cmp(&(b.1 - mean).abs()))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    println!("max activity group:  #{imax} (p = {:.4})", probs[imax]);
+    println!("min activity group:  #{imin} (p = {:.4})", probs[imin]);
+    println!(
+        "avg activity group:  #{iavg} (p = {:.4}, mean = {mean:.4})",
+        probs[iavg]
+    );
+    println!(
+        "\nCSV:\ngroup,switching_probability\n{}",
+        probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| format!("{i},{p:.6}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

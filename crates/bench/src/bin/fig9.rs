@@ -1,0 +1,45 @@
+//! Reproduces **Fig. 9**: supply voltage vs energy per operation of the
+//! 16-bit multiplier under sub-threshold design (paper §IV).
+
+use scpg_bench::{ascii_plot, CaseStudy};
+use scpg_power::SubthresholdCurve;
+use scpg_units::{linspace, Voltage};
+
+fn main() {
+    let study = CaseStudy::multiplier();
+    let volts: Vec<Voltage> = linspace(0.15, 0.9, 76).into_iter().map(Voltage::from_v).collect();
+    let curve = SubthresholdCurve::sweep(&study.baseline, &study.lib, study.e_dyn, &volts)
+        .expect("sweep succeeds");
+
+    let x: Vec<f64> = curve.points().iter().map(|p| p.voltage.as_mv()).collect();
+    let e: Vec<f64> = curve.points().iter().map(|p| p.e_op().as_pj()).collect();
+    println!(
+        "{}",
+        ascii_plot(
+            "[Fig. 9] multiplier energy/op (pJ) vs supply voltage (mV)",
+            &x,
+            &[("E_op", e.clone())],
+            false,
+        )
+    );
+
+    let min = curve.minimum().expect("non-empty sweep");
+    println!(
+        "minimum-energy point: {} at {} (f_max {}, power {})",
+        min.energy, min.voltage, min.frequency, min.power
+    );
+    println!(
+        "paper: ≈1.7 pJ at 310 mV, ≈10 MHz, ≈17 µW average power"
+    );
+    println!("\nCSV:\nmv,e_op_pj,e_dyn_pj,e_leak_pj,fmax_mhz");
+    for p in curve.points() {
+        println!(
+            "{:.0},{:.4},{:.4},{:.4},{:.4}",
+            p.voltage.as_mv(),
+            p.e_op().as_pj(),
+            p.e_dynamic.as_pj(),
+            p.e_leak.as_pj(),
+            p.f_max.as_mhz()
+        );
+    }
+}

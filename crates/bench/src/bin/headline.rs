@@ -1,0 +1,120 @@
+//! Reproduces the **§III headline claims**: frequency and
+//! energy-efficiency gains within fixed energy-harvester power budgets —
+//! 30 µW for the multiplier ("50× the clock, 45× the energy efficiency")
+//! and 250 µW for the CPU ("2× the clock, 2.5× the energy efficiency").
+//!
+//! Two selections are reported: the paper's method (pick the fastest
+//! *table row* within budget) and the continuous bisection optimum.
+
+use scpg::{Mode, PowerBudget};
+use scpg_bench::{CaseStudy, TABLE1_MHZ, TABLE2_MHZ};
+use scpg_units::{Frequency, Power};
+
+fn table_row_pick(
+    study: &CaseStudy,
+    mhz: &[f64],
+    budget: Power,
+) -> Vec<(Mode, Option<(f64, f64)>)> {
+    [Mode::NoPg, Mode::Scpg, Mode::ScpgMax]
+        .into_iter()
+        .map(|mode| {
+            // The paper quotes SCPG rows "approximately" within budget
+            // (its own 5 MHz pick draws 32.78 µW against 30 µW); mirror
+            // that: strict for the baseline, 10 % headroom for SCPG.
+            let limit = match mode {
+                Mode::NoPg => budget.value(),
+                _ => budget.value() * 1.10,
+            };
+            let best = mhz
+                .iter()
+                .map(|&m| {
+                    let p = study
+                        .analysis
+                        .operating_point(Frequency::from_mhz(m), mode);
+                    (m, p)
+                })
+                .filter(|(_, p)| p.power.value() <= limit)
+                .last()
+                .map(|(m, p)| (m, p.energy_per_op.as_pj()));
+            (mode, best)
+        })
+        .collect()
+}
+
+fn report(study: &CaseStudy, mhz: &[f64], budget_uw: f64) {
+    let budget = Power::from_uw(budget_uw);
+    println!("\n=== {} at a {budget_uw} µW budget ===", study.name);
+
+    println!("-- paper-style table-row selection --");
+    let picks = table_row_pick(study, mhz, budget);
+    let base = picks[0].1;
+    for (mode, best) in &picks {
+        match best {
+            Some((m, e)) => println!("  {:<20} {m:>7.2} MHz  {e:>9.2} pJ/op", mode.label()),
+            None => println!("  {:<20} budget unreachable at any table row", mode.label()),
+        }
+    }
+    if let (Some((fb, eb)), Some((fm, em))) = (base, picks[2].1) {
+        println!(
+            "  ⇒ SCPG-Max: {:.1}× the clock frequency, {:.1}× the energy \
+             efficiency inside the same budget",
+            fm / fb,
+            eb / em
+        );
+    }
+
+    println!("-- continuous bisection optimum --");
+    if let Some(h) = PowerBudget(budget).headline(
+        &study.analysis,
+        Frequency::from_hz(100.0),
+        Frequency::from_mhz(60.0),
+    ) {
+        println!(
+            "  No PG     {:>8.3} MHz  {:>9.2} pJ/op",
+            h.no_pg.point.frequency.as_mhz(),
+            h.no_pg.point.energy_per_op.as_pj()
+        );
+        println!(
+            "  SCPG      {:>8.3} MHz  {:>9.2} pJ/op  ({:.1}× faster, {:.1}× less energy)",
+            h.scpg.point.frequency.as_mhz(),
+            h.scpg.point.energy_per_op.as_pj(),
+            h.speedup_scpg,
+            h.energy_gain_scpg
+        );
+        println!(
+            "  SCPG-Max  {:>8.3} MHz  {:>9.2} pJ/op  ({:.1}× faster, {:.1}× less energy)",
+            h.scpg_max.point.frequency.as_mhz(),
+            h.scpg_max.point.energy_per_op.as_pj(),
+            h.speedup_max,
+            h.energy_gain_max
+        );
+    } else {
+        println!("  budget unreachable");
+    }
+}
+
+fn main() {
+    println!("[Headline reproduction — §III power-budget examples]");
+    let mult = CaseStudy::multiplier();
+    report(&mult, &TABLE1_MHZ, 30.0);
+    println!(
+        "paper: No-PG 0.1 MHz / 294.4 pJ → SCPG ≈2 MHz / 13.33 pJ → SCPG-Max \
+         ≈5 MHz / 6.56 pJ (≈50× clock, ≈45× energy)"
+    );
+
+    // The paper's 250 µW budget sits between its M0's 2 MHz and 5 MHz
+    // table rows. Our tm16 core is leaner (about half the leakage), so
+    // the equivalent budget — same position relative to the power curve —
+    // is scaled by the leakage ratio. See EXPERIMENTS.md H2.
+    let cpu = CaseStudy::cpu();
+    report(&cpu, &TABLE2_MHZ, 135.0);
+    println!(
+        "paper: No-PG ≈1 MHz / 253 pJ → SCPG ≈2 MHz / 130.48 pJ → SCPG-Max \
+         <105 pJ between 2–5 MHz (>2× clock, >2.5× energy)"
+    );
+    println!(
+        "note: our tm16 core is leaner than the licensed Cortex-M0 (see \
+         DESIGN.md), so its absolute power floor differs; compare budget \
+         ratios, not absolute frequencies"
+    );
+}

@@ -1,0 +1,56 @@
+//! System-lifecycle comparison: SCPG vs traditional idle-mode power
+//! gating across burst/idle duty patterns (the §I context the paper
+//! builds on). Finds where each strategy wins.
+
+use scpg::{DutyPattern, LifecyclePower, Strategy};
+use scpg_bench::CaseStudy;
+use scpg_units::{Frequency, Time};
+
+fn main() {
+    println!("[lifecycle study — burst workloads on the 16-bit multiplier]");
+    let study = CaseStudy::multiplier();
+    let lc = LifecyclePower::new(&study.analysis);
+
+    println!(
+        "\nactive burst: 1 000 cycles at 1 MHz (1 ms); sweeping the idle gap\n"
+    );
+    println!(
+        "{:<12} {:>9} | {:>14} {:>14} {:>14} {:>14}",
+        "idle gap", "active %", "no PG", "traditional", "SCPG", "SCPG+park"
+    );
+    for idle_ms in [0.0_f64, 0.2, 1.0, 5.0, 20.0, 100.0, 1_000.0] {
+        let pattern = DutyPattern {
+            frequency: Frequency::from_mhz(1.0),
+            active_cycles: 1_000,
+            idle: Time::from_ms(idle_ms.max(1e-9)),
+        };
+        let points = lc.compare(&pattern);
+        let by = |s: Strategy| {
+            points
+                .iter()
+                .find(|p| p.strategy == s)
+                .map(|p| p.average_power.to_string())
+                .unwrap_or_default()
+        };
+        println!(
+            "{:<12} {:>8.1} % | {:>14} {:>14} {:>14} {:>14}",
+            format!("{idle_ms} ms"),
+            pattern.active_fraction() * 100.0,
+            by(Strategy::None),
+            by(Strategy::TraditionalIdle),
+            by(Strategy::Scpg),
+            by(Strategy::ScpgParkHigh),
+        );
+    }
+    println!(
+        "\nreading the table:\n\
+         • active-dominated patterns: SCPG wins (traditional PG has no idle \
+           to harvest and pays retention/controller overhead);\n\
+         • idle-dominated patterns: traditional PG beats *plain* SCPG (the \
+           powered comb domain leaks through the gap) — but parking the \
+           clock high lets SCPG gate the gap too, with the always-on flops \
+           acting as free retention;\n\
+         • the techniques are complementary, exactly as the paper's §I \
+           positioning implies."
+    );
+}

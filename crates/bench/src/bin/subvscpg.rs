@@ -1,0 +1,83 @@
+//! Reproduces the **§IV comparison with sub-threshold design**: at the
+//! minimum-energy point's power budget, sub-threshold wins on energy but
+//! SCPG retains a performance/power trade-off and the override escape
+//! hatch. Paper numbers: at the multiplier's 17 µW budget SCPG runs 5×
+//! slower at 5× the energy; at 40 µW the gap narrows to 2.9×; the M0
+//! comparison at ≈288 µW gives 5× / 4.8×.
+
+use scpg::Mode;
+use scpg_bench::{CaseStudy, TABLE1_MHZ, TABLE2_MHZ};
+use scpg_power::SubthresholdCurve;
+use scpg_units::{linspace, Frequency, Power, Voltage};
+
+fn compare(study: &CaseStudy, mhz_rows: &[f64], extra_budget_uw: Option<f64>) {
+    let volts: Vec<Voltage> = linspace(0.15, 0.9, 76).into_iter().map(Voltage::from_v).collect();
+    let curve = SubthresholdCurve::sweep(&study.baseline, &study.lib, study.e_dyn, &volts)
+        .expect("sweep");
+    let min = curve.minimum().expect("minimum exists");
+    println!("\n=== {} ===", study.name);
+    println!(
+        "sub-threshold minimum-energy point: {} at {}, {}, power {}",
+        min.energy, min.voltage, min.frequency, min.power
+    );
+
+    let mut budgets = vec![min.power.as_uw()];
+    budgets.extend(extra_budget_uw);
+    for budget_uw in budgets {
+        let budget = Power::from_uw(budget_uw);
+        // Paper-style: fastest SCPG table row within the budget.
+        let best = mhz_rows
+            .iter()
+            .map(|&m| {
+                study
+                    .analysis
+                    .operating_point(Frequency::from_mhz(m), Mode::ScpgMax)
+            })
+            .filter(|p| p.power.value() <= budget.value())
+            .last();
+        match best {
+            Some(p) => {
+                println!(
+                    "budget {budget_uw:.1} µW: SCPG-Max runs {} at {} per op — \
+                     {:.1}× slower and {:.1}× more energy than sub-threshold",
+                    p.frequency,
+                    p.energy_per_op,
+                    min.frequency / p.frequency,
+                    p.energy_per_op / min.energy
+                );
+            }
+            None => {
+                // The SCPG design's leakage floor sits above this budget:
+                // report its lowest-power point and by how much it misses.
+                let floor = study
+                    .analysis
+                    .operating_point(Frequency::from_mhz(mhz_rows[0]), Mode::ScpgMax);
+                println!(
+                    "budget {budget_uw:.1} µW is below SCPG's leakage floor; its \
+                     lowest-power table point is {} at {} ({:.1}× the budget, \
+                     {:.1}× the sub-threshold energy) — sub-threshold wins \
+                     outright here, as §IV expects",
+                    floor.power,
+                    floor.frequency,
+                    floor.power.as_uw() / budget_uw,
+                    floor.energy_per_op / min.energy
+                );
+            }
+        }
+    }
+    println!(
+        "SCPG retains: above-threshold operation (process/temperature \
+         stability) and the override pin for on-demand peak performance — \
+         the §IV qualitative trade-offs"
+    );
+}
+
+fn main() {
+    println!("[§IV comparison: SCPG vs sub-threshold]");
+    let mult = CaseStudy::multiplier();
+    compare(&mult, &TABLE1_MHZ, Some(40.0));
+    println!("paper (multiplier): 5× slower / 5× energy at 17 µW; 2.9× at 40 µW");
+    let cpu = CaseStudy::cpu();
+    compare(&cpu, &TABLE2_MHZ, None);
+    println!("paper (M0): 5× slower / 4.8× energy at ≈288 µW");
+}

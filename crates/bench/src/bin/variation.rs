@@ -1,0 +1,50 @@
+//! Quantifies the paper's §IV process-variation argument: near-threshold
+//! operation is exponentially sensitive to die-to-die V_t shifts, while
+//! SCPG's above-threshold operating point barely moves.
+
+use scpg_bench::CaseStudy;
+use scpg_power::{VariationConfig, VariationStudy};
+
+fn main() {
+    println!("[§IV process-variation study — Monte-Carlo V_t shifts]");
+    let study = CaseStudy::multiplier();
+    let cfg = VariationConfig::default();
+    let mc = VariationStudy::run(&study.baseline, &study.lib, study.e_dyn, &cfg)
+        .expect("monte-carlo runs");
+
+    println!(
+        "design: {}; σ(V_t) = {}, {} dies, nominal sub-threshold point {}",
+        study.name, cfg.sigma_vt, cfg.samples, mc.v_min_nominal
+    );
+    println!(
+        "F_max coefficient of variation: sub-threshold {:.1} %  vs  \
+         above-threshold (SCPG regime) {:.1} %",
+        mc.cv_f_subthreshold() * 100.0,
+        mc.cv_f_above_threshold() * 100.0
+    );
+    println!(
+        "die-to-die frequency spread at the sub-threshold point: {:.2}×",
+        mc.f_spread_subthreshold()
+    );
+    println!(
+        "minimum-energy supply skew across dies: {}",
+        mc.v_min_skew()
+    );
+    let f_nom = scpg_sta::f_max(&study.baseline, &study.lib, mc.v_min_nominal)
+        .expect("nominal timing");
+    println!(
+        "timing yield at the nominal die's frequency ({f_nom}): {:.0} %",
+        mc.subthreshold_timing_yield(f_nom) * 100.0
+    );
+    println!(
+        "\npaper §IV (qualitative): \"the circuit is more sensitive to process \
+         variations … can skew the minimum energy point significantly\"; SCPG \
+         \"operates above threshold voltage maintaining greater stability\" — \
+         confirmed quantitatively above."
+    );
+    println!(
+        "(energy per operation itself is variation-tolerant in deep \
+         sub-threshold: a leaky die is also a fast die, and P·t cancels — \
+         the instability is in performance and design point, not energy.)"
+    );
+}

@@ -1,0 +1,72 @@
+//! §II's opening claim, operationalised: SCPG "works concurrently with
+//! voltage and frequency scaling". For a grid of supply voltages this
+//! binary budget-solves the multiplier with DVFS alone and with
+//! DVFS + SCPG, showing that gating adds headroom at *every* voltage and
+//! that the combination beats either technique alone.
+
+use scpg::{Mode, PowerBudget, ScpgAnalysis};
+use scpg_bench::CaseStudy;
+use scpg_liberty::PvtCorner;
+use scpg_units::{Frequency, Power, Voltage};
+
+fn main() {
+    println!("[DVFS × SCPG composition — 16-bit multiplier, 20 µW budget]");
+    let study = CaseStudy::multiplier();
+    let budget = PowerBudget(Power::from_uw(20.0));
+    let lo = Frequency::from_hz(100.0);
+
+    println!(
+        "\n{:>8} | {:>22} | {:>22} | {:>9}",
+        "VDD", "DVFS only (f, E/op)", "DVFS + SCPG-Max", "gain"
+    );
+    let mut best: Option<(f64, Frequency, f64)> = None;
+    for mv in [450.0, 500.0, 550.0, 600.0, 650.0, 700.0] {
+        let corner = PvtCorner::at_voltage(Voltage::from_mv(mv));
+        let analysis = ScpgAnalysis::new(
+            &study.lib,
+            &study.baseline,
+            &study.design,
+            study.e_dyn,
+            corner,
+        )
+        .expect("analysis at corner");
+        let hi = analysis.timing().f_max();
+        let plain = budget.solve(&analysis, Mode::NoPg, lo, hi);
+        let gated = budget.solve(&analysis, Mode::ScpgMax, lo, hi);
+        let cell = |s: &Option<scpg::BudgetSolution>| match s {
+            Some(s) => format!(
+                "{:>9} {:>10}",
+                s.point.frequency.to_string(),
+                s.point.energy_per_op.to_string()
+            ),
+            None => "   unreachable".to_string(),
+        };
+        let gain = match (&plain, &gated) {
+            (Some(p), Some(g)) => {
+                format!("{:>8.1}×", g.point.frequency / p.point.frequency)
+            }
+            _ => "       —".to_string(),
+        };
+        println!(
+            "{:>7.0}mV | {:>22} | {:>22} | {gain}",
+            mv,
+            cell(&plain),
+            cell(&gated)
+        );
+        if let Some(g) = gated {
+            let better = best
+                .as_ref()
+                .is_none_or(|(_, f, _)| g.point.frequency.value() > f.value());
+            if better {
+                best = Some((mv, g.point.frequency, g.point.energy_per_op.as_pj()));
+            }
+        }
+    }
+    if let Some((mv, f, e)) = best {
+        println!(
+            "\nbest combined operating point inside the budget: {mv:.0} mV, {f}, \
+             {e:.2} pJ/op — voltage scaling sets the energy floor, SCPG \
+             converts the leftover idle time into extra clock headroom."
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! Shared experiment machinery for the paper-reproduction benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper; this library holds the two case studies (the 16×16 multiplier
+//! and the tm16 CPU), workload simulation, dynamic-energy measurement and
+//! table formatting they all share. See `DESIGN.md` §4 for the experiment
+//! index.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use scpg::{Mode, ScpgAnalysis, ScpgDesign, ScpgFlow};
+use scpg_circuits::{generate_cpu, generate_multiplier, CpuHarness};
+use scpg_isa::dhrystone;
+use scpg_liberty::{Library, Logic, PvtCorner};
+use scpg_netlist::Netlist;
+use scpg_power::PowerAnalyzer;
+use scpg_sim::{SimConfig, Simulator};
+use scpg_synth::Word;
+use scpg_units::{Energy, Frequency, Time};
+use scpg_waveform::Activity;
+
+/// Paper frequencies of Table I (MHz).
+pub const TABLE1_MHZ: [f64; 8] = [0.01, 0.1, 1.0, 2.0, 5.0, 8.0, 10.0, 14.3];
+/// Paper frequencies of Table II (MHz).
+pub const TABLE2_MHZ: [f64; 6] = [0.01, 0.1, 1.0, 2.0, 5.0, 10.0];
+
+/// The simulation clock period used when measuring workload activity.
+pub const MEASURE_PERIOD_PS: u64 = 1_000_000;
+
+/// A fully prepared case study.
+pub struct CaseStudy {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The technology library.
+    pub lib: Library,
+    /// The baseline (pre-SCPG) netlist.
+    pub baseline: Netlist,
+    /// The transformed design.
+    pub design: ScpgDesign,
+    /// The calibrated operating-point engine.
+    pub analysis: ScpgAnalysis,
+    /// Measured workload dynamic energy per cycle at 0.6 V.
+    pub e_dyn: Energy,
+    /// The workload activity record (windowed for the CPU study).
+    pub activity: Activity,
+    /// Simulated cycles of the workload run.
+    pub workload_cycles: u64,
+}
+
+impl CaseStudy {
+    /// Builds the 16×16 multiplier study (paper §III-A): the baseline
+    /// netlist is exercised with pseudo-random operand pairs to measure
+    /// its dynamic energy, then transformed and calibrated.
+    pub fn multiplier() -> Self {
+        let lib = Library::ninety_nm();
+        let (baseline, ports) = generate_multiplier(&lib, 16);
+
+        // Workload: 64 random operand pairs at 1 MHz / 0.6 V.
+        let mut rng = StdRng::seed_from_u64(0xD1CE);
+        let sim = Simulator::new(&baseline, &lib, SimConfig::default())
+            .expect("baseline multiplier resolves");
+        let mut tb = scpg_sim::ClockedTestbench::new(sim, ports.clk, MEASURE_PERIOD_PS, 0.5);
+        tb.sim_mut().set_input(ports.rst_n, Logic::Zero);
+        tb.idle_cycles(2);
+        tb.sim_mut().set_input(ports.rst_n, Logic::One);
+        for _ in 0..64 {
+            let mut stim = Vec::new();
+            drive_word(&mut stim, &ports.a, rng.random_range(0..65_536));
+            drive_word(&mut stim, &ports.b, rng.random_range(0..65_536));
+            tb.cycle(&stim);
+        }
+        let cycles = tb.cycles();
+        let res = tb.into_sim().finish();
+
+        Self::build(
+            "16-bit multiplier",
+            lib,
+            baseline,
+            res.activity,
+            cycles,
+        )
+    }
+
+    /// Builds the tm16 CPU study (paper §III-B): the gate-level core runs
+    /// the Dhrystone-class workload with windowed activity capture
+    /// (Fig. 7's groups of 10 vectors).
+    pub fn cpu() -> Self {
+        Self::cpu_with_iterations(dhrystone::DEFAULT_ITERATIONS)
+    }
+
+    /// CPU study with a custom Dhrystone iteration count (smaller counts
+    /// keep unit tests fast).
+    pub fn cpu_with_iterations(iterations: u32) -> Self {
+        let lib = Library::ninety_nm();
+        let (baseline, ports) = generate_cpu(&lib);
+        let words = dhrystone::assemble(iterations).expect("benchmark assembles");
+
+        let cfg = SimConfig {
+            window_ps: Some(10 * MEASURE_PERIOD_PS), // 10-vector groups
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&baseline, &lib, cfg).expect("cpu resolves");
+        let mut h = CpuHarness::new(words, dhrystone::memory_image());
+        h.reset(&mut sim, &ports, MEASURE_PERIOD_PS, 3);
+        let halted = h.run_to_halt(&mut sim, &ports, MEASURE_PERIOD_PS, 50_000);
+        assert!(halted, "dhrystone must halt on the gate-level core");
+        assert_eq!(
+            h.mem(dhrystone::CHECKSUM_ADDR),
+            dhrystone::expected_checksum(iterations),
+            "workload checksum must match the golden model"
+        );
+        let cycles = h.cycles();
+        let res = sim.finish();
+
+        Self::build("tm16 CPU (Cortex-M0 class)", lib, baseline, res.activity, cycles)
+    }
+
+    fn build(
+        name: &'static str,
+        lib: Library,
+        baseline: Netlist,
+        activity: Activity,
+        cycles: u64,
+    ) -> Self {
+        let corner = PvtCorner::default();
+        let analyzer =
+            PowerAnalyzer::new(&baseline, &lib, corner).expect("baseline resolves");
+        let e_dyn = analyzer
+            .dynamic(&activity)
+            .energy_per_cycle(Time::from_ps(MEASURE_PERIOD_PS as f64));
+
+        let report = ScpgFlow::new(&lib)
+            .with_workload_energy(e_dyn)
+            .run(&baseline, "clk")
+            .expect("flow succeeds");
+        let design = report.design.clone();
+        let analysis = ScpgAnalysis::new(&lib, &baseline, &design, e_dyn, corner)
+            .expect("analysis builds");
+        Self {
+            name,
+            lib,
+            baseline,
+            design,
+            analysis,
+            e_dyn,
+            activity,
+            workload_cycles: cycles,
+        }
+    }
+
+    /// The Table I/II rows for the given frequency list (MHz).
+    pub fn table(&self, mhz: &[f64]) -> Vec<scpg::analysis::TableRow> {
+        let freqs: Vec<Frequency> = mhz.iter().map(|&m| Frequency::from_mhz(m)).collect();
+        self.analysis.table(&freqs)
+    }
+
+    /// Renders a paper-style power/energy table.
+    pub fn render_table(&self, mhz: &[f64]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} — power and energy per operation, VDD = 0.6 V\n",
+            self.name
+        ));
+        out.push_str(
+            "Clock      | No Power Gating      | Proposed SCPG                  | Proposed SCPG-Max\n",
+        );
+        out.push_str(
+            "(MHz)      | Power/µW  Energy/pJ  | Power/µW  Energy/pJ  Saving/%  | Power/µW  Energy/pJ  Saving/%\n",
+        );
+        out.push_str(&"-".repeat(104));
+        out.push('\n');
+        for (m, row) in mhz.iter().zip(self.table(mhz)) {
+            out.push_str(&format!(
+                "{:<10} | {:>8.2} {:>10.2} | {:>8.2} {:>10.2} {:>9.1} | {:>8.2} {:>10.2} {:>9.1}\n",
+                m,
+                row.no_pg.power.as_uw(),
+                row.no_pg.energy_per_op.as_pj(),
+                row.scpg.power.as_uw(),
+                row.scpg.energy_per_op.as_pj(),
+                row.saving_scpg * 100.0,
+                row.scpg_max.power.as_uw(),
+                row.scpg_max.energy_per_op.as_pj(),
+                row.saving_max * 100.0,
+            ));
+        }
+        out
+    }
+
+    /// Power/energy curves over a linear frequency sweep (Figs. 6/8).
+    pub fn curves(&self, f_max_mhz: f64, points: usize) -> Vec<CurvePoint> {
+        scpg_units::linspace(0.01, f_max_mhz, points)
+            .into_iter()
+            .map(|mhz| {
+                let f = Frequency::from_mhz(mhz);
+                let no_pg = self.analysis.operating_point(f, Mode::NoPg);
+                let scpg = self.analysis.operating_point(f, Mode::Scpg);
+                let scpg_max = self.analysis.operating_point(f, Mode::ScpgMax);
+                CurvePoint { mhz, no_pg, scpg, scpg_max }
+            })
+            .collect()
+    }
+
+    /// The convergence frequency of a mode against the baseline.
+    pub fn convergence(&self, mode: Mode) -> Option<Frequency> {
+        self.analysis.convergence_frequency(
+            mode,
+            Frequency::from_khz(10.0),
+            Frequency::from_mhz(100.0),
+        )
+    }
+}
+
+/// One sample of the Fig. 6/8 curves.
+#[derive(Debug, Clone, Copy)]
+pub struct CurvePoint {
+    /// Frequency in MHz.
+    pub mhz: f64,
+    /// Baseline point.
+    pub no_pg: scpg::OperatingPoint,
+    /// SCPG point.
+    pub scpg: scpg::OperatingPoint,
+    /// SCPG-Max point.
+    pub scpg_max: scpg::OperatingPoint,
+}
+
+/// Renders curve points as CSV (`mhz,p_nopg,p_scpg,p_max,e_nopg,...`).
+pub fn curves_csv(points: &[CurvePoint]) -> String {
+    let mut out = String::from(
+        "mhz,power_nopg_uw,power_scpg_uw,power_scpgmax_uw,energy_nopg_pj,energy_scpg_pj,energy_scpgmax_pj\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:.4},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+            p.mhz,
+            p.no_pg.power.as_uw(),
+            p.scpg.power.as_uw(),
+            p.scpg_max.power.as_uw(),
+            p.no_pg.energy_per_op.as_pj(),
+            p.scpg.energy_per_op.as_pj(),
+            p.scpg_max.energy_per_op.as_pj(),
+        ));
+    }
+    out
+}
+
+/// Simple ASCII plot of one or more named series against an x axis.
+pub fn ascii_plot(title: &str, x: &[f64], series: &[(&str, Vec<f64>)], log_y: bool) -> String {
+    const W: usize = 72;
+    const H: usize = 20;
+    let mut out = format!("{title}\n");
+    let ymin = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(f64::INFINITY, f64::min);
+    let ymax = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !(ymin.is_finite() && ymax.is_finite()) || x.is_empty() {
+        return out;
+    }
+    let (lo, hi) = if log_y {
+        (ymin.max(1e-30).log10(), ymax.max(1e-30).log10())
+    } else {
+        (ymin, ymax)
+    };
+    let span = (hi - lo).max(1e-12);
+    let mut grid = vec![vec![' '; W]; H];
+    let marks = ['o', '+', 'x', '*'];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        for (i, (&xv, &yv)) in x.iter().zip(ys.iter()).enumerate() {
+            let _ = xv;
+            let col = i * (W - 1) / x.len().max(1);
+            let yv = if log_y { yv.max(1e-30).log10() } else { yv };
+            let row = ((yv - lo) / span * (H - 1) as f64).round() as usize;
+            let row = H - 1 - row.min(H - 1);
+            grid[row][col] = marks[si % marks.len()];
+        }
+    }
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "   x: {:.3}..{:.3}   y: {:.3}..{:.3}{}   series: {}\n",
+        x.first().copied().unwrap_or(0.0),
+        x.last().copied().unwrap_or(0.0),
+        ymin,
+        ymax,
+        if log_y { " (log)" } else { "" },
+        series
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| format!("{}={}", marks[i % marks.len()], n))
+            .collect::<Vec<_>>()
+            .join(" "),
+    ));
+    out
+}
+
+fn drive_word(pairs: &mut Vec<(scpg_netlist::NetId, Logic)>, w: &Word, value: u64) {
+    for (i, &bit) in w.bits().iter().enumerate() {
+        pairs.push((bit, Logic::from_bool((value >> i) & 1 == 1)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_study_lands_in_paper_bands() {
+        let study = CaseStudy::multiplier();
+        // DESIGN.md §6: dynamic ≈ 2.3 pJ/cycle; generous band since the
+        // workload is random operands on our own netlist.
+        assert!(
+            (0.5..10.0).contains(&study.e_dyn.as_pj()),
+            "E_dyn = {}",
+            study.e_dyn
+        );
+        let rows = study.table(&TABLE1_MHZ);
+        // 10 kHz row: savings shaped like 39.9 % / 80.2 %.
+        assert!((0.25..0.5).contains(&rows[0].saving_scpg));
+        assert!((0.6..0.92).contains(&rows[0].saving_max));
+        // Saving shrinks monotonically with frequency.
+        for w in rows.windows(2) {
+            assert!(w[1].saving_scpg <= w[0].saving_scpg + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cpu_study_runs_a_short_workload() {
+        let study = CaseStudy::cpu_with_iterations(1);
+        assert!(study.workload_cycles > 100);
+        assert!(study.e_dyn.as_pj() > 0.1, "E_dyn = {}", study.e_dyn);
+        // Windowed activity exists for Fig. 7.
+        assert!(!study.activity.window_toggles().is_empty());
+    }
+
+    #[test]
+    fn ascii_plot_renders() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v + 1.0).collect();
+        let plot = ascii_plot("parabola", &x, &[("y", y)], false);
+        assert!(plot.contains('o'));
+        assert!(plot.lines().count() > 10);
+    }
+}

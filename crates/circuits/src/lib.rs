@@ -1,0 +1,23 @@
+//! The paper's two case-study designs, generated as gate-level netlists.
+//!
+//! * [`multiplier`] — a registered 16×16 **array multiplier** (paper
+//!   §III-A): an AND partial-product matrix reduced by rows of full/half
+//!   adders, chosen by the authors "because of its large concentration of
+//!   combinational logic".
+//! * [`cpu`] — the **tm16 core**, a 3-stage (fetch/decode/execute)
+//!   pipelined RISC CPU standing in for the ARM Cortex-M0 (§III-B):
+//!   8×32-bit register file, ALU with barrel shifter, loads/stores and
+//!   branches, built entirely from library cells via [`scpg_synth`].
+//! * [`harness`] — behavioural instruction/data memories and a cycle
+//!   driver so programs assembled with [`scpg_isa`] run on the gate-level
+//!   core, with the ISS as the golden reference.
+
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod harness;
+pub mod multiplier;
+
+pub use cpu::{generate_cpu, CpuPorts};
+pub use harness::CpuHarness;
+pub use multiplier::{generate_multiplier, generate_wallace_multiplier, MultiplierPorts};

@@ -1,0 +1,453 @@
+//! Operating-point power/energy analysis (paper Tables I & II,
+//! Figs. 6 & 8).
+//!
+//! For each clock frequency the model composes one cycle's energy:
+//!
+//! ```text
+//! No-PG:     E = P_leak,total · T            + E_dyn
+//! SCPG:      E = P_leak,AON · T              (flops, isolation, control)
+//!              + P_leak,gated · t_on          (comb domain while powered)
+//!              + overhead(t_off)              (recharge, crowbar, header
+//!                                              gate, header off-leak)
+//!              + E_dyn + E_iso                (workload + clamp toggles)
+//! ```
+//!
+//! Average power is `E · f`; energy per operation is `E` (one operation
+//! per cycle, as in the paper's tables). The three curves converge where
+//! the per-cycle overhead outgrows the gated leakage — ≈15 MHz for the
+//! paper's multiplier, ≈5 MHz for its M0.
+
+use scpg_analog::{GatingCycle, RailModel};
+use scpg_liberty::{Library, PvtCorner};
+use scpg_power::{LeakageReport, PowerAnalyzer};
+use scpg_sta::TimingReport;
+use scpg_units::{Energy, Frequency, Power};
+
+use crate::duty::{DutyPlan, DutyPlanner};
+use crate::error::ScpgError;
+use crate::headers::profile_domain;
+use crate::transform::ScpgDesign;
+
+/// The three configurations of the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Baseline design without power gating.
+    NoPg,
+    /// SCPG at the stock 50 % duty cycle (reduced when timing demands).
+    Scpg,
+    /// SCPG with the duty cycle raised to the feasible maximum.
+    ScpgMax,
+}
+
+impl Mode {
+    /// The paper's column headings.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::NoPg => "No Power Gating",
+            Mode::Scpg => "Proposed SCPG",
+            Mode::ScpgMax => "Proposed SCPG-Max",
+        }
+    }
+}
+
+/// One row of a Table I/II-style characterisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Clock frequency.
+    pub frequency: Frequency,
+    /// Configuration.
+    pub mode: Mode,
+    /// Clock duty cycle used (0.5 for the baseline).
+    pub duty: f64,
+    /// Average power.
+    pub power: Power,
+    /// Energy per operation (one operation per cycle).
+    pub energy_per_op: Energy,
+    /// `true` when sub-clock gating was actually applied at this point
+    /// (timing may force SCPG off near `F_max`).
+    pub gated: bool,
+}
+
+impl OperatingPoint {
+    /// Power saving relative to a baseline point, as a fraction
+    /// (0.399 ⇒ the paper's "39.9 %"). Negative when SCPG loses.
+    pub fn saving_vs(&self, baseline: &OperatingPoint) -> f64 {
+        1.0 - self.power / baseline.power
+    }
+}
+
+/// The per-design analysis engine.
+#[derive(Debug)]
+pub struct ScpgAnalysis {
+    corner: PvtCorner,
+    /// Workload dynamic energy per cycle of the baseline design.
+    e_dyn: Energy,
+    /// Extra per-gating-cycle switching energy of the clamps + control.
+    e_iso: Energy,
+    leak_base: LeakageReport,
+    leak_scpg: LeakageReport,
+    timing: TimingReport,
+    rail: RailModel,
+    planner: DutyPlanner,
+}
+
+impl ScpgAnalysis {
+    /// Builds the analysis from a baseline netlist, its SCPG design and
+    /// the workload's measured dynamic energy per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist and timing failures.
+    pub fn new(
+        lib: &Library,
+        baseline: &scpg_netlist::Netlist,
+        design: &ScpgDesign,
+        e_dyn_per_cycle: Energy,
+        corner: PvtCorner,
+    ) -> Result<Self, ScpgError> {
+        // SCPG "works concurrently with voltage and frequency scaling"
+        // (§II): when analysed at a corner below the characterisation
+        // supply, the workload's dynamic energy scales quadratically.
+        let vr = corner.voltage.as_v() / lib.char_voltage().as_v();
+        let e_dyn_per_cycle = Energy::new(e_dyn_per_cycle.value() * vr * vr);
+        let leak_base = PowerAnalyzer::new(baseline, lib, corner)?.leakage(None);
+        let leak_scpg = PowerAnalyzer::new(&design.netlist, lib, corner)?.leakage(None);
+        let timing = scpg_sta::analyze(&design.netlist, lib, corner.voltage)?;
+
+        let profile =
+            profile_domain(design, lib, corner, e_dyn_per_cycle, timing.t_eval)?;
+        let header = lib
+            .header(design.header_size)
+            .ok_or(ScpgError::NoViableHeader)?
+            .clone();
+        let rail = RailModel::new(profile, header, corner.voltage);
+
+        // Isolation clamps toggle at most twice per gating cycle; assume
+        // half carry a 1 (clamped to 0 and back).
+        let iso_cell = lib
+            .cell_of_kind(scpg_liberty::CellKind::IsoAnd)
+            .expect("kit has isolation cells");
+        let e_iso = iso_cell.switching_energy(corner.voltage, lib.wire_cap())
+            * design.isolation_cells as f64;
+
+        let planner = DutyPlanner::new(&timing, rail.restore_time(scpg_units::Voltage::ZERO));
+        Ok(Self {
+            corner,
+            e_dyn: e_dyn_per_cycle,
+            e_iso,
+            leak_base,
+            leak_scpg,
+            timing,
+            rail,
+            planner,
+        })
+    }
+
+    /// The STA report of the SCPG netlist.
+    pub fn timing(&self) -> &TimingReport {
+        &self.timing
+    }
+
+    /// The operating corner.
+    pub fn corner(&self) -> PvtCorner {
+        self.corner
+    }
+
+    /// The rail model in use (exposed for bench reporting).
+    pub fn rail(&self) -> &RailModel {
+        &self.rail
+    }
+
+    /// The baseline design's leakage rollup.
+    pub fn baseline_leakage(&self) -> &LeakageReport {
+        &self.leak_base
+    }
+
+    /// The SCPG design's leakage rollup (includes isolation/control).
+    pub fn scpg_leakage(&self) -> &LeakageReport {
+        &self.leak_scpg
+    }
+
+    /// The measured workload dynamic energy per cycle.
+    pub fn workload_energy(&self) -> Energy {
+        self.e_dyn
+    }
+
+    /// Computes one operating point.
+    pub fn operating_point(&self, f: Frequency, mode: Mode) -> OperatingPoint {
+        let period = f.period();
+        match mode {
+            Mode::NoPg => {
+                let e_cycle = self.leak_base.total * period + self.e_dyn;
+                Self::point(f, mode, 0.5, e_cycle, false)
+            }
+            Mode::Scpg | Mode::ScpgMax => {
+                let plan = match mode {
+                    Mode::Scpg => self.planner.plan_scpg(f),
+                    _ => self.planner.plan_scpg_max(f),
+                };
+                match plan {
+                    Ok(plan) => self.gated_point(f, mode, &plan),
+                    // Timing leaves no room: SCPG falls back to the
+                    // override (domain always on) and pays only its
+                    // static overheads.
+                    Err(_) => {
+                        let e_cycle = self.leak_scpg.total * period + self.e_dyn;
+                        Self::point(f, mode, 0.5, e_cycle, false)
+                    }
+                }
+            }
+        }
+    }
+
+    fn gated_point(&self, f: Frequency, mode: Mode, plan: &DutyPlan) -> OperatingPoint {
+        let period = f.period();
+        let aon_leak = self.leak_scpg.total - self.leak_scpg.gated_domain;
+        let gating = GatingCycle::new(&self.rail).analyze(plan.t_off);
+        let e_cycle = aon_leak * period
+            + self.leak_scpg.gated_domain * plan.t_on
+            + gating.overhead()
+            + self.e_dyn
+            + self.e_iso;
+        Self::point(f, mode, plan.duty, e_cycle, true)
+    }
+
+    fn point(f: Frequency, mode: Mode, duty: f64, e_cycle: Energy, gated: bool) -> OperatingPoint {
+        OperatingPoint {
+            frequency: f,
+            mode,
+            duty,
+            power: e_cycle * f,
+            energy_per_op: e_cycle,
+            gated,
+        }
+    }
+
+    /// Sweeps a frequency list in one mode.
+    pub fn sweep(&self, frequencies: &[Frequency], mode: Mode) -> Vec<OperatingPoint> {
+        frequencies
+            .iter()
+            .map(|&f| self.operating_point(f, mode))
+            .collect()
+    }
+
+    /// A full Table I/II-style characterisation: for each frequency, the
+    /// three modes plus savings.
+    pub fn table(&self, frequencies: &[Frequency]) -> Vec<TableRow> {
+        frequencies
+            .iter()
+            .map(|&f| {
+                let no_pg = self.operating_point(f, Mode::NoPg);
+                let scpg = self.operating_point(f, Mode::Scpg);
+                let scpg_max = self.operating_point(f, Mode::ScpgMax);
+                TableRow {
+                    saving_scpg: scpg.saving_vs(&no_pg),
+                    saving_max: scpg_max.saving_vs(&no_pg),
+                    no_pg,
+                    scpg,
+                    scpg_max,
+                }
+            })
+            .collect()
+    }
+
+    /// The frequency where the SCPG curve crosses the baseline — beyond
+    /// it gating loses (paper: ≈15 MHz multiplier, ≈5 MHz M0). Returns
+    /// `None` if no crossing exists within `[lo, hi]`.
+    pub fn convergence_frequency(
+        &self,
+        mode: Mode,
+        lo: Frequency,
+        hi: Frequency,
+    ) -> Option<Frequency> {
+        let gain = |f: Frequency| {
+            let base = self.operating_point(f, Mode::NoPg);
+            let s = self.operating_point(f, mode);
+            base.power.value() - s.power.value()
+        };
+        let (mut a, mut b) = (lo.value(), hi.value());
+        let (ga, gb) = (gain(lo), gain(hi));
+        if ga <= 0.0 || gb >= 0.0 {
+            return None;
+        }
+        for _ in 0..80 {
+            let mid = (a * b).sqrt(); // geometric: frequency spans decades
+            if gain(Frequency::new(mid)) > 0.0 {
+                a = mid;
+            } else {
+                b = mid;
+            }
+        }
+        Some(Frequency::new((a * b).sqrt()))
+    }
+}
+
+/// One frequency row of the three-mode characterisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableRow {
+    /// Baseline.
+    pub no_pg: OperatingPoint,
+    /// 50 %-duty SCPG.
+    pub scpg: OperatingPoint,
+    /// Max-duty SCPG.
+    pub scpg_max: OperatingPoint,
+    /// Fractional power saving of SCPG vs. baseline.
+    pub saving_scpg: f64,
+    /// Fractional power saving of SCPG-Max vs. baseline.
+    pub saving_max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{ScpgOptions, ScpgTransform};
+    use scpg_circuits::generate_multiplier;
+    use scpg_liberty::Library;
+
+    fn analysis() -> ScpgAnalysis {
+        let lib = Library::ninety_nm();
+        let (nl, _) = generate_multiplier(&lib, 16);
+        let design = ScpgTransform::new(&lib)
+            .apply(&nl, "clk", &ScpgOptions::default())
+            .unwrap();
+        ScpgAnalysis::new(&lib, &nl, &design, Energy::from_pj(2.3), PvtCorner::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn low_frequency_savings_match_paper_shape() {
+        let a = analysis();
+        let f = Frequency::from_khz(10.0);
+        let base = a.operating_point(f, Mode::NoPg);
+        let scpg = a.operating_point(f, Mode::Scpg);
+        let max = a.operating_point(f, Mode::ScpgMax);
+        // Paper Table I at 10 kHz: 39.9 % (SCPG) and 80.2 % (SCPG-Max).
+        let s1 = scpg.saving_vs(&base);
+        let s2 = max.saving_vs(&base);
+        assert!((0.25..0.50).contains(&s1), "SCPG saving {s1:.3}");
+        assert!((0.60..0.92).contains(&s2), "SCPG-Max saving {s2:.3}");
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn savings_shrink_with_frequency() {
+        let a = analysis();
+        let savings: Vec<f64> = [0.01, 0.1, 1.0, 5.0]
+            .iter()
+            .map(|&mhz| {
+                let f = Frequency::from_mhz(mhz);
+                let base = a.operating_point(f, Mode::NoPg);
+                a.operating_point(f, Mode::Scpg).saving_vs(&base)
+            })
+            .collect();
+        for w in savings.windows(2) {
+            assert!(w[1] < w[0], "savings must fall with frequency: {savings:?}");
+        }
+    }
+
+    #[test]
+    fn curves_converge_in_the_mhz_decade() {
+        let a = analysis();
+        let conv = a
+            .convergence_frequency(
+                Mode::Scpg,
+                Frequency::from_khz(10.0),
+                Frequency::from_mhz(80.0),
+            )
+            .expect("SCPG must stop paying somewhere");
+        // Paper: ≈15 MHz for the multiplier. Same decade here.
+        assert!(
+            (2.0..40.0).contains(&conv.as_mhz()),
+            "convergence at {conv}"
+        );
+    }
+
+    #[test]
+    fn energy_per_op_decreases_with_frequency() {
+        let a = analysis();
+        let e_slow = a
+            .operating_point(Frequency::from_khz(10.0), Mode::NoPg)
+            .energy_per_op;
+        let e_fast = a
+            .operating_point(Frequency::from_mhz(10.0), Mode::NoPg)
+            .energy_per_op;
+        assert!(
+            e_slow.value() > 50.0 * e_fast.value(),
+            "leakage dominates slow operation: {e_slow} vs {e_fast}"
+        );
+    }
+
+    #[test]
+    fn scpg_is_more_energy_efficient_at_low_f() {
+        let a = analysis();
+        let f = Frequency::from_khz(100.0);
+        let base = a.operating_point(f, Mode::NoPg);
+        let max = a.operating_point(f, Mode::ScpgMax);
+        let gain = base.energy_per_op / max.energy_per_op;
+        // Paper Table I at 100 kHz: 294.4 pJ → 63.25 pJ (≈4.7×).
+        assert!(gain > 2.0, "energy gain {gain:.2}×");
+    }
+
+    #[test]
+    fn table_rows_are_consistent() {
+        let a = analysis();
+        let rows = a.table(&[Frequency::from_khz(10.0), Frequency::from_mhz(1.0)]);
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert!((row.saving_scpg - row.scpg.saving_vs(&row.no_pg)).abs() < 1e-12);
+            let e_expect = row.no_pg.power / row.no_pg.frequency;
+            assert!((row.no_pg.energy_per_op.value() - e_expect.value()).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn voltage_scaling_composes_with_gating() {
+        // §II: SCPG works concurrently with voltage + frequency scaling.
+        // At 0.5 V the same design draws less power in every mode, still
+        // saves with gating, and dynamic energy scales ≈ V².
+        let lib = Library::ninety_nm();
+        let (nl, _) = generate_multiplier(&lib, 16);
+        let design = ScpgTransform::new(&lib)
+            .apply(&nl, "clk", &ScpgOptions::default())
+            .unwrap();
+        let e_dyn = Energy::from_pj(2.3);
+        let a06 =
+            ScpgAnalysis::new(&lib, &nl, &design, e_dyn, PvtCorner::default()).unwrap();
+        let a05 = ScpgAnalysis::new(
+            &lib,
+            &nl,
+            &design,
+            e_dyn,
+            PvtCorner::at_voltage(scpg_units::Voltage::from_mv(500.0)),
+        )
+        .unwrap();
+        let f = Frequency::from_khz(100.0);
+        for mode in [Mode::NoPg, Mode::Scpg, Mode::ScpgMax] {
+            let p06 = a06.operating_point(f, mode).power;
+            let p05 = a05.operating_point(f, mode).power;
+            assert!(p05.value() < p06.value(), "{mode:?} at 0.5 V must be cheaper");
+        }
+        let base = a05.operating_point(f, Mode::NoPg);
+        let max = a05.operating_point(f, Mode::ScpgMax);
+        assert!(
+            max.saving_vs(&base) > 0.5,
+            "gating still saves at 0.5 V: {:.3}",
+            max.saving_vs(&base)
+        );
+        // Dynamic energy scaling check via the stored workload energy.
+        let r = a05.workload_energy() / a06.workload_energy();
+        assert!((r - (0.5f64 / 0.6).powi(2) / 1.0).abs() < 1e-9, "V² scaling, got {r}");
+    }
+
+    #[test]
+    fn infeasible_timing_falls_back_to_ungated() {
+        let a = analysis();
+        // Far beyond F_max of the multiplier's comb path.
+        let f = Frequency::from_mhz(60.0);
+        let p = a.operating_point(f, Mode::Scpg);
+        assert!(!p.gated, "no gating window at {f}");
+        // And it costs slightly more than the baseline (extra cells).
+        let base = a.operating_point(f, Mode::NoPg);
+        assert!(p.power.value() >= base.power.value());
+    }
+}

@@ -1,0 +1,185 @@
+//! Duty-cycle planning (paper §II).
+//!
+//! Under SCPG the combinational domain is off while the clock is high, so
+//! the low phase must fit rail restore (`T_PGStart`), evaluation
+//! (`T_eval`) and setup. The paper's two configurations:
+//!
+//! * **SCPG** — the stock 50 % clock, applicable while
+//!   `T_eval < T_clk/2`; when `T_clk/2 < T_eval < T_clk` the duty cycle
+//!   is *decreased* so evaluation still fits;
+//! * **SCPG-Max** — the duty cycle is *raised* until the low phase only
+//!   just fits the required work, "capitalising on all the logic's idle
+//!   time".
+
+use scpg_sta::TimingReport;
+use scpg_units::{Frequency, Time};
+
+use crate::error::ScpgError;
+
+/// A planned clock shape for one operating frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyPlan {
+    /// The clock frequency the plan is for.
+    pub frequency: Frequency,
+    /// High fraction of the clock (the gated fraction).
+    pub duty: f64,
+    /// Time the header is off each cycle (`duty · T`).
+    pub t_off: Time,
+    /// Time the domain is powered each cycle.
+    pub t_on: Time,
+}
+
+/// Plans duty cycles against a design's timing and rail-restore needs.
+#[derive(Debug, Clone, Copy)]
+pub struct DutyPlanner {
+    /// Evaluation + setup requirement from STA.
+    pub t_eval_setup: Time,
+    /// Rail restore time (isolation hold after the falling edge).
+    pub t_restore: Time,
+    /// Extra safety margin folded into the low phase.
+    pub margin: Time,
+    /// Ceiling on the duty cycle (gate drivers need a real pulse).
+    pub max_duty: f64,
+    /// Floor below which gating is pointless.
+    pub min_duty: f64,
+}
+
+impl DutyPlanner {
+    /// Builds a planner from an STA report and a restore time.
+    pub fn new(timing: &TimingReport, t_restore: Time) -> Self {
+        Self {
+            t_eval_setup: timing.min_period,
+            t_restore,
+            margin: Time::from_ns(1.0),
+            max_duty: 0.95,
+            min_duty: 0.05,
+        }
+    }
+
+    /// Low-phase time that must remain available.
+    fn required_low(&self) -> Time {
+        self.t_eval_setup + self.t_restore + self.margin
+    }
+
+    /// The 50 %-clock plan ("Proposed SCPG"). If half a period cannot fit
+    /// the required work, the duty cycle is decreased per §II.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScpgError::InfeasibleTiming`] when even the minimum duty
+    /// cycle leaves too little low-phase time (the frequency is simply
+    /// too close to `F_max` for any gating).
+    pub fn plan_scpg(&self, f: Frequency) -> Result<DutyPlan, ScpgError> {
+        let period = f.period();
+        let avail = self.avail_duty(period)?;
+        let duty = avail.min(0.5);
+        Ok(self.plan_at(f, duty))
+    }
+
+    /// The raised-duty plan ("Proposed SCPG-Max"): gate everything except
+    /// the required low phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScpgError::InfeasibleTiming`] as for
+    /// [`DutyPlanner::plan_scpg`].
+    pub fn plan_scpg_max(&self, f: Frequency) -> Result<DutyPlan, ScpgError> {
+        let period = f.period();
+        let duty = self.avail_duty(period)?;
+        Ok(self.plan_at(f, duty))
+    }
+
+    /// Largest feasible duty at the given period, capped to `max_duty`.
+    fn avail_duty(&self, period: Time) -> Result<f64, ScpgError> {
+        let avail = 1.0 - self.required_low() / period;
+        if avail < self.min_duty {
+            return Err(ScpgError::InfeasibleTiming {
+                detail: format!(
+                    "required low phase {} exceeds {:.0} % of the {} period",
+                    self.required_low(),
+                    (1.0 - self.min_duty) * 100.0,
+                    period
+                ),
+            });
+        }
+        Ok(avail.min(self.max_duty))
+    }
+
+    fn plan_at(&self, f: Frequency, duty: f64) -> DutyPlan {
+        let period = f.period();
+        let t_off = period * duty;
+        DutyPlan { frequency: f, duty, t_off, t_on: period - t_off }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpg_units::Voltage;
+
+    fn planner(eval_ns: f64, restore_ns: f64) -> DutyPlanner {
+        DutyPlanner {
+            t_eval_setup: Time::from_ns(eval_ns),
+            t_restore: Time::from_ns(restore_ns),
+            margin: Time::from_ns(1.0),
+            max_duty: 0.95,
+            min_duty: 0.05,
+        }
+    }
+
+    #[test]
+    fn slow_clock_gets_half_and_max_duty() {
+        // 10 kHz on a 16 ns datapath: nearly all of the cycle is idle.
+        let p = planner(16.0, 1.0);
+        let f = Frequency::from_khz(10.0);
+        let scpg = p.plan_scpg(f).unwrap();
+        assert!((scpg.duty - 0.5).abs() < 1e-9);
+        let max = p.plan_scpg_max(f).unwrap();
+        assert!((max.duty - 0.95).abs() < 1e-9, "capped at max_duty");
+        assert!(max.t_off.value() > scpg.t_off.value());
+    }
+
+    #[test]
+    fn near_fmax_duty_decreases_below_half() {
+        // Period 25 ns, required low = 16 + 1 + 1 = 18 ns ⇒ duty ≤ 28 %.
+        let p = planner(16.0, 1.0);
+        let f = Frequency::from_mhz(40.0);
+        let scpg = p.plan_scpg(f).unwrap();
+        assert!(scpg.duty < 0.5, "duty reduced per §II: {}", scpg.duty);
+        assert!((scpg.duty - 0.28).abs() < 0.01);
+        // SCPG-Max coincides with SCPG here: no spare idle time.
+        let max = p.plan_scpg_max(f).unwrap();
+        assert!((max.duty - scpg.duty).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_fast_is_infeasible() {
+        let p = planner(16.0, 1.0);
+        // Period 19 ns < required 18 ns + min gating.
+        let err = p.plan_scpg(Frequency::from_mhz(53.0)).unwrap_err();
+        assert!(matches!(err, ScpgError::InfeasibleTiming { .. }));
+    }
+
+    #[test]
+    fn plans_partition_the_period() {
+        let p = planner(16.0, 1.0);
+        let f = Frequency::from_mhz(2.0);
+        for plan in [p.plan_scpg(f).unwrap(), p.plan_scpg_max(f).unwrap()] {
+            let total = plan.t_off + plan.t_on;
+            assert!((total.as_ns() - f.period().as_ns()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn planner_from_sta_report() {
+        let lib = scpg_liberty::Library::ninety_nm();
+        let mut nl = scpg_netlist::Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_output("y");
+        nl.add_instance("u", "INV_X1", &[a, y]).unwrap();
+        let report = scpg_sta::analyze(&nl, &lib, Voltage::from_mv(600.0)).unwrap();
+        let p = DutyPlanner::new(&report, Time::from_ns(1.0));
+        assert!(p.t_eval_setup.value() > 0.0);
+        assert!(p.plan_scpg(Frequency::from_mhz(1.0)).is_ok());
+    }
+}

@@ -1,0 +1,93 @@
+//! SCPG error type.
+
+use std::error::Error;
+use std::fmt;
+
+use scpg_netlist::NetlistError;
+use scpg_sta::StaError;
+
+/// Errors from SCPG transformation and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScpgError {
+    /// Underlying netlist problem.
+    Netlist(NetlistError),
+    /// Underlying timing problem.
+    Timing(StaError),
+    /// The named clock net does not exist in the design.
+    NoSuchClock {
+        /// The clock name looked up.
+        name: String,
+    },
+    /// The design has no combinational logic to gate.
+    NothingToGate,
+    /// No header size satisfies the sizing constraints.
+    NoViableHeader,
+    /// The requested frequency/duty combination leaves no room for
+    /// evaluation (`T_eval` + margins exceed the low phase).
+    InfeasibleTiming {
+        /// Human-readable account of the violated budget.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ScpgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScpgError::Netlist(e) => write!(f, "netlist error: {e}"),
+            ScpgError::Timing(e) => write!(f, "timing error: {e}"),
+            ScpgError::NoSuchClock { name } => {
+                write!(f, "clock net `{name}` not found in the design")
+            }
+            ScpgError::NothingToGate => {
+                write!(f, "design has no combinational cells to power gate")
+            }
+            ScpgError::NoViableHeader => {
+                write!(f, "no header size satisfies the sizing constraints")
+            }
+            ScpgError::InfeasibleTiming { detail } => {
+                write!(f, "infeasible sub-clock timing: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ScpgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScpgError::Netlist(e) => Some(e),
+            ScpgError::Timing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for ScpgError {
+    fn from(e: NetlistError) -> Self {
+        ScpgError::Netlist(e)
+    }
+}
+
+impl From<StaError> for ScpgError {
+    fn from(e: StaError) -> Self {
+        ScpgError::Timing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_specific() {
+        let e = ScpgError::NoSuchClock { name: "clkX".into() };
+        assert!(e.to_string().contains("clkX"));
+        let e = ScpgError::InfeasibleTiming { detail: "T_eval 20 ns > low phase 10 ns".into() };
+        assert!(e.to_string().contains("20 ns"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = ScpgError::from(NetlistError::UndrivenNet { net: "n".into() });
+        assert!(e.source().is_some());
+    }
+}

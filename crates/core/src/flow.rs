@@ -1,0 +1,354 @@
+//! The end-to-end SCPG design flow (paper Fig. 5).
+//!
+//! Mirrors the paper's flow chart: RTL synthesis is assumed done (the
+//! input is already a gate-level netlist from [`scpg_synth`] or
+//! [`scpg_circuits`]); the two SCPG-specific additions — netlist
+//! splitting and isolation-circuit combination — run as real netlist
+//! transforms; the back-end stages (design planning, clock-tree
+//! synthesis, routing) are estimated, since their only effect on the
+//! paper's results is area/capacitance already captured by the library's
+//! wire model.
+
+use scpg_analog::SizingConstraints;
+use scpg_liberty::{Library, PvtCorner};
+use scpg_sta::TimingReport;
+use scpg_units::{Energy, Time};
+
+use crate::error::ScpgError;
+use crate::headers::{choose_header, profile_domain};
+use crate::transform::{ScpgDesign, ScpgOptions, ScpgTransform};
+use crate::upf::generate_upf;
+
+/// A log line per flow stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageLog {
+    /// The stage name as in Fig. 5.
+    pub stage: String,
+    /// What the stage did / found.
+    pub detail: String,
+}
+
+/// Everything the flow produces.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// The transformed design.
+    pub design: ScpgDesign,
+    /// UPF describing the power intent.
+    pub upf: String,
+    /// The split structural Verilog (step 1's artefact).
+    pub split_verilog: String,
+    /// STA of the transformed netlist at the flow corner.
+    pub timing: TimingReport,
+    /// Area overhead vs. the input netlist (fraction).
+    pub area_overhead: f64,
+    /// Per-stage log.
+    pub stages: Vec<StageLog>,
+}
+
+/// The flow driver.
+#[derive(Debug)]
+pub struct ScpgFlow<'lib> {
+    lib: &'lib Library,
+    corner: PvtCorner,
+    constraints: SizingConstraints,
+    /// Workload dynamic energy estimate used for header sizing.
+    e_dyn_per_cycle: Energy,
+    /// Maximum clock-buffer fanout during CTS.
+    cts_max_fanout: usize,
+}
+
+impl<'lib> ScpgFlow<'lib> {
+    /// Creates a flow at the default corner with default constraints.
+    pub fn new(lib: &'lib Library) -> Self {
+        Self {
+            lib,
+            corner: PvtCorner::default(),
+            constraints: SizingConstraints::default(),
+            e_dyn_per_cycle: Energy::from_pj(2.0),
+            cts_max_fanout: 24,
+        }
+    }
+
+    /// Overrides the CTS fanout bound.
+    pub fn with_cts_fanout(mut self, max_fanout: usize) -> Self {
+        self.cts_max_fanout = max_fanout;
+        self
+    }
+
+    /// Overrides the operating corner.
+    pub fn at_corner(mut self, corner: PvtCorner) -> Self {
+        self.corner = corner;
+        self
+    }
+
+    /// Sets the workload dynamic-energy estimate used when sizing the
+    /// header (measure it with [`scpg_power::PowerAnalyzer::dynamic`]).
+    pub fn with_workload_energy(mut self, e: Energy) -> Self {
+        self.e_dyn_per_cycle = e;
+        self
+    }
+
+    /// Overrides the header sizing constraints.
+    pub fn with_constraints(mut self, c: SizingConstraints) -> Self {
+        self.constraints = c;
+        self
+    }
+
+    /// Runs the full flow on a gate-level netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transform, sizing and timing failures.
+    pub fn run(
+        &self,
+        netlist: &scpg_netlist::Netlist,
+        clock_name: &str,
+    ) -> Result<FlowReport, ScpgError> {
+        let mut stages = Vec::new();
+        let log = |stages: &mut Vec<StageLog>, stage: &str, detail: String| {
+            stages.push(StageLog { stage: stage.to_string(), detail });
+        };
+
+        let base_stats = netlist.stats(self.lib);
+        log(
+            &mut stages,
+            "Synthesis",
+            format!(
+                "input netlist `{}`: {} comb / {} seq cells, {:.0} µm²",
+                netlist.name(),
+                base_stats.combinational,
+                base_stats.sequential,
+                base_stats.area.as_um2()
+            ),
+        );
+
+        // Step 1+2 with a provisional header, then re-run with the sized
+        // one (sizing needs the gated-domain profile, which needs the
+        // split design).
+        let provisional = ScpgTransform::new(self.lib)
+            .apply(netlist, clock_name, &ScpgOptions::default())?;
+        let timing0 =
+            scpg_sta::analyze(&provisional.netlist, self.lib, self.corner.voltage)?;
+        let profile = profile_domain(
+            &provisional,
+            self.lib,
+            self.corner,
+            self.e_dyn_per_cycle,
+            timing0.t_eval,
+        )?;
+        let (size, header_reports) =
+            choose_header(&profile, self.corner, &self.constraints)?;
+        log(
+            &mut stages,
+            "Header sizing",
+            format!(
+                "gated domain: {} cells, C_VDDV {}, I_leak {} → {:?} \
+                 (IR drop {}, in-rush {})",
+                profile.n_gates,
+                profile.c_vddv,
+                profile.i_leak_full,
+                size,
+                header_reports
+                    .iter()
+                    .find(|r| r.size == size)
+                    .map(|r| r.ir_drop.to_string())
+                    .unwrap_or_default(),
+                header_reports
+                    .iter()
+                    .find(|r| r.size == size)
+                    .map(|r| r.inrush_peak.to_string())
+                    .unwrap_or_default(),
+            ),
+        );
+
+        let mut design = ScpgTransform::new(self.lib).apply(
+            netlist,
+            clock_name,
+            &ScpgOptions { header_size: size },
+        )?;
+        let s = design.netlist.stats(self.lib);
+        log(
+            &mut stages,
+            "Netlist splitting (step 1)",
+            format!(
+                "{} cells moved to the gated domain, {} stay always-on",
+                s.gated.total(),
+                s.always_on.total()
+            ),
+        );
+        log(
+            &mut stages,
+            "Isolation combine (step 2)",
+            format!(
+                "{} isolation clamps + header + Fig. 3 control inserted",
+                design.isolation_cells
+            ),
+        );
+
+        // Clock-tree synthesis — after the transform, so the buffers land
+        // in the always-on domain (a gated clock tree would be fatal).
+        let cts = scpg_synth::insert_clock_tree(
+            &mut design.netlist,
+            self.lib,
+            clock_name,
+            self.cts_max_fanout,
+        )?;
+        // SCPG-specific constraint: the clock's insertion delay must stay
+        // inside the isolation clamp window, or a leaf flop could sample
+        // an already-clamped input at the gated edge.
+        let clamp_window = {
+            let isoctl = self
+                .lib
+                .cell_of_kind(scpg_liberty::CellKind::IsoCtl)
+                .expect("kit has the Fig. 3 control cell");
+            let iso = self
+                .lib
+                .cell_of_kind(scpg_liberty::CellKind::IsoAnd)
+                .expect("kit has isolation cells");
+            isoctl.delay(self.corner.voltage, self.lib.wire_cap())
+                + iso.delay(self.corner.voltage, self.lib.wire_cap())
+        };
+        let skew_ok = cts.insertion_delay.value() <= clamp_window.value();
+        log(
+            &mut stages,
+            "Clock tree synthesis",
+            format!(
+                "{} sinks, {} buffers in {} level(s), insertion delay {} — \
+                 clamp window {} ⇒ {}; clock doubles as the power-gating \
+                 control (no dedicated sleep routing)",
+                cts.sinks,
+                cts.total_buffers(),
+                cts.levels,
+                cts.insertion_delay,
+                clamp_window,
+                if skew_ok {
+                    "hold at the gated edge is safe"
+                } else {
+                    "WARNING: deepen the isolation delay or flatten the tree"
+                }
+            ),
+        );
+
+        let split_verilog = scpg_netlist::emit_verilog_split(&design.netlist, self.lib)?;
+        let upf = generate_upf(&design, self.lib, netlist.name());
+        let timing = scpg_sta::analyze(&design.netlist, self.lib, self.corner.voltage)?;
+        let area_overhead = design.area_overhead(netlist, self.lib);
+
+        log(
+            &mut stages,
+            "Design planning",
+            format!(
+                "gated domain placed centrally; area overhead {:.1} %",
+                area_overhead * 100.0
+            ),
+        );
+        log(
+            &mut stages,
+            "Routing",
+            format!(
+                "T_eval {} (min period {})",
+                timing.t_eval, timing.min_period
+            ),
+        );
+
+        Ok(FlowReport {
+            design,
+            upf,
+            split_verilog,
+            timing,
+            area_overhead,
+            stages,
+        })
+    }
+}
+
+/// Recommended simulator settings for a transformed design: collapse and
+/// restore delays taken from the rail physics so gate-level simulation of
+/// the SCPG netlist reproduces Fig. 4's waveform ordering.
+pub fn sim_config_for(
+    report: &FlowReport,
+    lib: &Library,
+    corner: PvtCorner,
+    e_dyn_per_cycle: Energy,
+) -> Result<scpg_sim::SimConfig, ScpgError> {
+    let profile = profile_domain(
+        &report.design,
+        lib,
+        corner,
+        e_dyn_per_cycle,
+        report.timing.t_eval,
+    )?;
+    let header = lib
+        .header(report.design.header_size)
+        .ok_or(ScpgError::NoViableHeader)?
+        .clone();
+    let rail = scpg_analog::RailModel::new(profile, header, corner.voltage);
+    // Collapse: time for the rail to sag below a valid '1' (~70 % VDD).
+    let tau = rail.decay_tau();
+    let collapse = Time::new(tau.value() * (1.0f64 / 0.7).ln());
+    let restore = rail.restore_time(scpg_units::Voltage::ZERO);
+    Ok(scpg_sim::SimConfig {
+        corner,
+        collapse_delay_ps: (collapse.as_ps().round() as u64).max(1),
+        restore_delay_ps: (restore.as_ps().round() as u64).max(1),
+        ..scpg_sim::SimConfig::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpg_circuits::generate_multiplier;
+    use scpg_liberty::Library;
+
+    #[test]
+    fn flow_runs_end_to_end_on_the_multiplier() {
+        let lib = Library::ninety_nm();
+        let (nl, _) = generate_multiplier(&lib, 16);
+        let report = ScpgFlow::new(&lib)
+            .with_workload_energy(Energy::from_pj(2.3))
+            .run(&nl, "clk")
+            .unwrap();
+        assert!(report.stages.len() >= 5);
+        assert!(report.upf.contains("create_power_switch"));
+        assert!(report.split_verilog.contains("_gated"));
+        assert!(report.area_overhead > 0.0 && report.area_overhead < 0.12);
+        assert!(report.timing.t_eval.as_ns() > 5.0);
+        // The flow's header pick is small for the small domain.
+        assert!(matches!(
+            report.design.header_size,
+            scpg_liberty::HeaderSize::X1 | scpg_liberty::HeaderSize::X2
+        ));
+    }
+
+    #[test]
+    fn sim_config_reflects_rail_physics() {
+        let lib = Library::ninety_nm();
+        let (nl, _) = generate_multiplier(&lib, 16);
+        let report = ScpgFlow::new(&lib).run(&nl, "clk").unwrap();
+        let cfg =
+            sim_config_for(&report, &lib, PvtCorner::default(), Energy::from_pj(2.3))
+                .unwrap();
+        // Decay τ ≈ 17 ns ⇒ collapse (to 70 %) ≈ 6 ns; restore ≲ 1 ns.
+        assert!(
+            (1_000..30_000).contains(&cfg.collapse_delay_ps),
+            "collapse {} ps",
+            cfg.collapse_delay_ps
+        );
+        assert!(
+            (1..5_000).contains(&cfg.restore_delay_ps),
+            "restore {} ps",
+            cfg.restore_delay_ps
+        );
+    }
+
+    #[test]
+    fn flow_reports_missing_clock() {
+        let lib = Library::ninety_nm();
+        let (nl, _) = generate_multiplier(&lib, 4);
+        assert!(matches!(
+            ScpgFlow::new(&lib).run(&nl, "clock_typo"),
+            Err(ScpgError::NoSuchClock { .. })
+        ));
+    }
+}

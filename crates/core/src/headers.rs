@@ -1,0 +1,142 @@
+//! Gated-domain electrical profiling and header selection (paper §III).
+
+use scpg_analog::{recommend_header, DomainProfile, HeaderReport, SizingConstraints};
+use scpg_liberty::{HeaderSize, Library, PvtCorner};
+use scpg_power::PowerAnalyzer;
+use scpg_units::{Capacitance, Current, Energy, Time};
+
+use crate::error::ScpgError;
+use crate::transform::ScpgDesign;
+
+/// Extracts the [`DomainProfile`] of an SCPG design's gated domain.
+///
+/// * `C_VDDV` — the library's rail-capacitance density times the gated
+///   area;
+/// * `I_leak` — the gated domain's full-rail leakage from the power
+///   engine;
+/// * evaluation currents — the workload's dynamic energy spread over
+///   `T_eval` (average) with a 2.5× crest factor (peak).
+///
+/// # Errors
+///
+/// Returns [`ScpgError::Netlist`] if the design does not resolve against
+/// the library.
+pub fn profile_domain(
+    design: &ScpgDesign,
+    lib: &Library,
+    corner: PvtCorner,
+    e_dyn_per_cycle: Energy,
+    t_eval: Time,
+) -> Result<DomainProfile, ScpgError> {
+    let stats = design.netlist.stats(lib);
+    let analyzer = PowerAnalyzer::new(&design.netlist, lib, corner)?;
+    let leak = analyzer.leakage(None);
+
+    let c_vddv = Capacitance::new(
+        lib.rail_cap_density().value() * stats.gated.area.as_um2(),
+    );
+    let i_eval_avg = if t_eval.value() > 0.0 {
+        Current::new(e_dyn_per_cycle.value() / (corner.voltage.as_v() * t_eval.value()))
+    } else {
+        Current::ZERO
+    };
+    Ok(DomainProfile {
+        n_gates: stats.gated.combinational,
+        c_vddv,
+        i_leak_full: leak.gated_domain_current,
+        i_eval_avg,
+        i_eval_peak: i_eval_avg * 2.5,
+    })
+}
+
+/// Picks the smallest acceptable header for a profiled domain.
+///
+/// # Errors
+///
+/// Returns [`ScpgError::NoViableHeader`] when no kit size meets the
+/// constraints.
+pub fn choose_header(
+    profile: &DomainProfile,
+    corner: PvtCorner,
+    constraints: &SizingConstraints,
+) -> Result<(HeaderSize, Vec<HeaderReport>), ScpgError> {
+    let (reports, pick) = recommend_header(profile, corner.voltage, constraints);
+    match pick {
+        Some(i) => Ok((reports[i].size, reports)),
+        None => Err(ScpgError::NoViableHeader),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{ScpgOptions, ScpgTransform};
+    use scpg_circuits::generate_multiplier;
+    use scpg_liberty::Library;
+
+    fn multiplier_profile() -> (DomainProfile, PvtCorner) {
+        let lib = Library::ninety_nm();
+        let (nl, _) = generate_multiplier(&lib, 16);
+        let design = ScpgTransform::new(&lib)
+            .apply(&nl, "clk", &ScpgOptions::default())
+            .unwrap();
+        let corner = PvtCorner::default();
+        let timing =
+            scpg_sta::analyze(&design.netlist, &lib, corner.voltage).unwrap();
+        let profile = profile_domain(
+            &design,
+            &lib,
+            corner,
+            Energy::from_pj(2.3),
+            timing.t_eval,
+        )
+        .unwrap();
+        (profile, corner)
+    }
+
+    #[test]
+    fn multiplier_profile_matches_calibration() {
+        let (p, _) = multiplier_profile();
+        assert!((400..700).contains(&p.n_gates), "gates {}", p.n_gates);
+        // DESIGN.md §6: C_VDDV ≈ 1.1 pF, I_leak ≈ 39 µA for the 556-gate
+        // multiplier. Allow a generous band — the netlist is ours, not
+        // the paper's.
+        assert!(
+            (0.5..2.5).contains(&p.c_vddv.as_pf()),
+            "C_VDDV = {}",
+            p.c_vddv
+        );
+        assert!(
+            (15.0..80.0).contains(&p.i_leak_full.as_ua()),
+            "I_leak = {}",
+            p.i_leak_full
+        );
+        assert!(p.i_eval_peak.value() > p.i_eval_avg.value());
+    }
+
+    #[test]
+    fn header_choice_is_x2_class_for_multiplier() {
+        let (p, corner) = multiplier_profile();
+        let (size, reports) =
+            choose_header(&p, corner, &SizingConstraints::default()).unwrap();
+        assert!(
+            matches!(size, HeaderSize::X1 | HeaderSize::X2),
+            "small header for the small domain, got {size:?}"
+        );
+        assert_eq!(reports.len(), 4);
+    }
+
+    #[test]
+    fn impossible_constraints_error() {
+        let (p, corner) = multiplier_profile();
+        let constraints = SizingConstraints {
+            max_ir_drop_frac: 1e-9,
+            max_inrush: Current::from_na(1.0),
+            ..Default::default()
+        };
+        assert!(matches!(
+            choose_header(&p, corner, &constraints),
+            Err(ScpgError::NoViableHeader)
+        ));
+    }
+}

@@ -1,0 +1,298 @@
+//! A two-pass assembler with labels.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{AluOp, Instruction, Reg};
+
+/// Assembly errors, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+/// The `tm16` assembler.
+///
+/// Syntax: one instruction per line; `label:` prefixes; `;` comments;
+/// registers `r0`–`r7`; decimal or `0x` immediates; branch/jump targets
+/// may be labels or numeric offsets.
+#[derive(Debug)]
+pub struct Assembler;
+
+impl Assembler {
+    /// Assembles source text to machine words.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] describing the first problem found.
+    pub fn assemble(src: &str) -> Result<Vec<u16>, AsmError> {
+        let insts = Self::parse(src)?;
+        Ok(insts.into_iter().map(Instruction::encode).collect())
+    }
+
+    /// Assembles to decoded instructions (useful for the ISS and tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] describing the first problem found.
+    pub fn parse(src: &str) -> Result<Vec<Instruction>, AsmError> {
+        // Pass 1: strip comments/labels, collect label addresses.
+        let mut labels: HashMap<String, usize> = HashMap::new();
+        let mut lines: Vec<(usize, String)> = Vec::new();
+        for (idx, raw) in src.lines().enumerate() {
+            let lineno = idx + 1;
+            let mut text = raw.split(';').next().unwrap_or("").trim().to_string();
+            while let Some(colon) = text.find(':') {
+                let label = text[..colon].trim().to_string();
+                if label.is_empty() || label.contains(char::is_whitespace) {
+                    return Err(AsmError {
+                        line: lineno,
+                        message: format!("malformed label `{}`", &text[..colon]),
+                    });
+                }
+                if labels.insert(label.clone(), lines.len()).is_some() {
+                    return Err(AsmError {
+                        line: lineno,
+                        message: format!("duplicate label `{label}`"),
+                    });
+                }
+                text = text[colon + 1..].trim().to_string();
+            }
+            if !text.is_empty() {
+                lines.push((lineno, text));
+            }
+        }
+
+        // Pass 2: parse instructions, resolving labels.
+        let mut out = Vec::with_capacity(lines.len());
+        for (pc, (lineno, text)) in lines.iter().enumerate() {
+            out.push(Self::parse_line(text, pc, &labels).map_err(|message| AsmError {
+                line: *lineno,
+                message,
+            })?);
+        }
+        Ok(out)
+    }
+
+    fn parse_line(
+        text: &str,
+        pc: usize,
+        labels: &HashMap<String, usize>,
+    ) -> Result<Instruction, String> {
+        let mut parts = text.split_whitespace();
+        let mnemonic = parts.next().ok_or("empty line")?.to_uppercase();
+        let rest: String = parts.collect::<Vec<_>>().join(" ");
+        let args: Vec<String> = rest
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+
+        let reg = |s: &str| -> Result<Reg, String> {
+            let s = s.to_lowercase();
+            let n = s
+                .strip_prefix('r')
+                .and_then(|d| d.parse::<u8>().ok())
+                .ok_or_else(|| format!("expected register, got `{s}`"))?;
+            if n > 7 {
+                return Err(format!("register r{n} out of range"));
+            }
+            Ok(Reg::new(n))
+        };
+        let imm = |s: &str| -> Result<i32, String> {
+            let s = s.trim();
+            let (neg, body) = match s.strip_prefix('-') {
+                Some(b) => (true, b),
+                None => (false, s),
+            };
+            let v = if let Some(hex) = body.strip_prefix("0x") {
+                i64::from_str_radix(hex, 16)
+            } else {
+                body.parse::<i64>()
+            }
+            .map_err(|_| format!("bad immediate `{s}`"))?;
+            Ok(if neg { -(v as i32) } else { v as i32 })
+        };
+        let target = |s: &str| -> Result<i16, String> {
+            if let Some(&addr) = labels.get(s) {
+                Ok(addr as i16 - pc as i16 - 1)
+            } else {
+                imm(s).map(|v| v as i16)
+            }
+        };
+        let need = |n: usize| -> Result<(), String> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(format!("{mnemonic} expects {n} operands, got {}", args.len()))
+            }
+        };
+        // `[rs + off]` or `[rs]` memory operand.
+        let mem = |s: &str| -> Result<(Reg, u16), String> {
+            let inner = s
+                .strip_prefix('[')
+                .and_then(|t| t.strip_suffix(']'))
+                .ok_or_else(|| format!("expected `[rs + off]`, got `{s}`"))?;
+            let mut it = inner.split('+').map(str::trim);
+            let base = reg(it.next().ok_or("empty address")?)?;
+            let off = match it.next() {
+                Some(o) => imm(o)? as u16,
+                None => 0,
+            };
+            Ok((base, off))
+        };
+
+        let alu = |op: AluOp| -> Result<Instruction, String> {
+            need(2)?;
+            Ok(Instruction::Alu { op, rd: reg(&args[0])?, rs: reg(&args[1])? })
+        };
+
+        match mnemonic.as_str() {
+            "MOVI" => {
+                need(2)?;
+                Ok(Instruction::Movi { rd: reg(&args[0])?, imm: imm(&args[1])? as u16 })
+            }
+            "ADDI" => {
+                need(2)?;
+                Ok(Instruction::Addi { rd: reg(&args[0])?, imm: imm(&args[1])? as i16 })
+            }
+            "ADD" => alu(AluOp::Add),
+            "SUB" => alu(AluOp::Sub),
+            "AND" => alu(AluOp::And),
+            "OR" => alu(AluOp::Or),
+            "XOR" => alu(AluOp::Xor),
+            "MOV" => alu(AluOp::Mov),
+            "SHL" => alu(AluOp::Shl),
+            "SHR" => alu(AluOp::Shr),
+            "MUL" => {
+                need(2)?;
+                Ok(Instruction::Mul { rd: reg(&args[0])?, rs: reg(&args[1])? })
+            }
+            "LD" => {
+                need(2)?;
+                let (rs, off) = mem(&args[1])?;
+                Ok(Instruction::Ld { rd: reg(&args[0])?, rs, off })
+            }
+            "ST" => {
+                need(2)?;
+                let (rs, off) = mem(&args[1])?;
+                Ok(Instruction::St { rd: reg(&args[0])?, rs, off })
+            }
+            "BEQ" => {
+                need(3)?;
+                Ok(Instruction::Beq {
+                    rd: reg(&args[0])?,
+                    rs: reg(&args[1])?,
+                    off: target(&args[2])?,
+                })
+            }
+            "BNE" => {
+                need(3)?;
+                Ok(Instruction::Bne {
+                    rd: reg(&args[0])?,
+                    rs: reg(&args[1])?,
+                    off: target(&args[2])?,
+                })
+            }
+            "JMP" => {
+                need(1)?;
+                Ok(Instruction::Jmp { off: target(&args[0])? })
+            }
+            "HALT" => {
+                need(0)?;
+                Ok(Instruction::Halt)
+            }
+            "NOP" => {
+                need(0)?;
+                Ok(Instruction::Nop)
+            }
+            other => Err(format!("unknown mnemonic `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_loop_with_labels() {
+        let prog = Assembler::parse(
+            "        MOVI r0, 3
+            loop:   ADDI r0, -1
+                    BNE  r0, r7, loop
+                    HALT",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 4);
+        assert_eq!(
+            prog[2],
+            Instruction::Bne { rd: Reg::new(0), rs: Reg::new(7), off: -2 }
+        );
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let prog = Assembler::parse(
+            "        BEQ r0, r0, done
+                    NOP
+            done:   HALT",
+        )
+        .unwrap();
+        assert_eq!(
+            prog[0],
+            Instruction::Beq { rd: Reg::new(0), rs: Reg::new(0), off: 1 }
+        );
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let prog = Assembler::parse("LD r1, [r2 + 5]\nST r3, [r4]").unwrap();
+        assert_eq!(prog[0], Instruction::Ld { rd: Reg::new(1), rs: Reg::new(2), off: 5 });
+        assert_eq!(prog[1], Instruction::St { rd: Reg::new(3), rs: Reg::new(4), off: 0 });
+    }
+
+    #[test]
+    fn comments_and_hex_immediates() {
+        let prog = Assembler::parse("MOVI r0, 0xff ; top\n; whole-line comment\nHALT").unwrap();
+        assert_eq!(prog[0], Instruction::Movi { rd: Reg::new(0), imm: 255 });
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = Assembler::parse("NOP\nFLY r0, r1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("FLY"));
+        let err = Assembler::parse("BNE r0, r1, nowhere_bad").unwrap_err();
+        assert!(err.message.contains("bad immediate"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let err = Assembler::parse("a: NOP\na: HALT").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn machine_words_round_trip_through_decoder() {
+        let src = "MOVI r1, 100\nADD r1, r2\nJMP -1";
+        let words = Assembler::assemble(src).unwrap();
+        let insts = Assembler::parse(src).unwrap();
+        for (w, i) in words.iter().zip(&insts) {
+            assert_eq!(Instruction::decode(*w), *i);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Instruction set, encoding and decoding.
+
+use std::fmt;
+
+/// A general-purpose register `r0`–`r7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 7`.
+    pub fn new(n: u8) -> Self {
+        assert!(n < 8, "tm16 has registers r0..r7, got r{n}");
+        Reg(n)
+    }
+
+    /// The register number (0–7).
+    pub fn num(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Register-register ALU functions (op 2 sub-codes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `rd += rs`
+    Add,
+    /// `rd -= rs`
+    Sub,
+    /// `rd &= rs`
+    And,
+    /// `rd |= rs`
+    Or,
+    /// `rd ^= rs`
+    Xor,
+    /// `rd = rs`
+    Mov,
+    /// `rd <<= rs & 31`
+    Shl,
+    /// `rd >>= rs & 31` (logical)
+    Shr,
+}
+
+impl AluOp {
+    /// The 3-bit function code.
+    pub fn code(self) -> u16 {
+        match self {
+            AluOp::Add => 0,
+            AluOp::Sub => 1,
+            AluOp::And => 2,
+            AluOp::Or => 3,
+            AluOp::Xor => 4,
+            AluOp::Mov => 5,
+            AluOp::Shl => 6,
+            AluOp::Shr => 7,
+        }
+    }
+
+    /// Decodes a function code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 7`.
+    pub fn from_code(code: u16) -> Self {
+        match code {
+            0 => AluOp::Add,
+            1 => AluOp::Sub,
+            2 => AluOp::And,
+            3 => AluOp::Or,
+            4 => AluOp::Xor,
+            5 => AluOp::Mov,
+            6 => AluOp::Shl,
+            7 => AluOp::Shr,
+            _ => panic!("alu function code {code} out of range"),
+        }
+    }
+
+    /// Applies the function to 32-bit operands.
+    pub fn apply(self, rd: u32, rs: u32) -> u32 {
+        match self {
+            AluOp::Add => rd.wrapping_add(rs),
+            AluOp::Sub => rd.wrapping_sub(rs),
+            AluOp::And => rd & rs,
+            AluOp::Or => rd | rs,
+            AluOp::Xor => rd ^ rs,
+            AluOp::Mov => rs,
+            AluOp::Shl => rd.wrapping_shl(rs & 31),
+            AluOp::Shr => rd.wrapping_shr(rs & 31),
+        }
+    }
+}
+
+/// A decoded `tm16` instruction.
+///
+/// 16-bit encodings: `op[15:12] rd[11:9] rs[8:6] ...`; immediates use the
+/// remaining low bits. Branch offsets are in instruction units relative to
+/// the *next* instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// `rd = imm` (zero-extended 9-bit immediate).
+    Movi {
+        /// Destination.
+        rd: Reg,
+        /// Unsigned immediate (0–511).
+        imm: u16,
+    },
+    /// `rd += simm` (sign-extended 9-bit immediate).
+    Addi {
+        /// Destination.
+        rd: Reg,
+        /// Signed immediate (−256–255).
+        imm: i16,
+    },
+    /// Register-register ALU operation.
+    Alu {
+        /// Function.
+        op: AluOp,
+        /// Destination / left operand.
+        rd: Reg,
+        /// Right operand.
+        rs: Reg,
+    },
+    /// `rd = mem[rs + off]` (6-bit unsigned offset, word addressing).
+    Ld {
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rs: Reg,
+        /// Word offset (0–63).
+        off: u16,
+    },
+    /// `mem[rs + off] = rd`.
+    St {
+        /// Source.
+        rd: Reg,
+        /// Base register.
+        rs: Reg,
+        /// Word offset (0–63).
+        off: u16,
+    },
+    /// Branch if `rd == rs` (6-bit signed offset).
+    Beq {
+        /// Left compare operand.
+        rd: Reg,
+        /// Right compare operand.
+        rs: Reg,
+        /// Offset from the next instruction (−32–31).
+        off: i16,
+    },
+    /// Branch if `rd != rs`.
+    Bne {
+        /// Left compare operand.
+        rd: Reg,
+        /// Right compare operand.
+        rs: Reg,
+        /// Offset from the next instruction (−32–31).
+        off: i16,
+    },
+    /// Unconditional PC-relative jump (12-bit signed offset).
+    Jmp {
+        /// Offset from the next instruction (−2048–2047).
+        off: i16,
+    },
+    /// Stop the machine.
+    Halt,
+    /// Do nothing for a cycle.
+    Nop,
+    /// `rd = (rd & 0xffff) * (rs & 0xffff)` — a 16×16→32 hardware
+    /// multiply, mirroring the Cortex-M0's single-cycle `MULS`.
+    Mul {
+        /// Destination / left operand.
+        rd: Reg,
+        /// Right operand.
+        rs: Reg,
+    },
+}
+
+fn sign_extend(v: u16, bits: u32) -> i16 {
+    let shift = 16 - bits;
+    ((v << shift) as i16) >> shift
+}
+
+impl Instruction {
+    /// Encodes to the 16-bit machine word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an immediate or offset is out of its field's range.
+    pub fn encode(self) -> u16 {
+        fn imm_u(v: u16, bits: u32, what: &str) -> u16 {
+            assert!(v < (1 << bits), "{what} {v} does not fit in {bits} bits");
+            v
+        }
+        fn imm_s(v: i16, bits: u32, what: &str) -> u16 {
+            let lo = -(1 << (bits - 1));
+            let hi = (1 << (bits - 1)) - 1;
+            assert!(
+                (lo..=hi).contains(&(v as i32)),
+                "{what} {v} does not fit in signed {bits} bits"
+            );
+            (v as u16) & ((1 << bits) - 1)
+        }
+        let rd = |r: Reg| (r.num() as u16) << 9;
+        let rs = |r: Reg| (r.num() as u16) << 6;
+        match self {
+            Instruction::Movi { rd: d, imm } => {
+                (0 << 12) | rd(d) | imm_u(imm, 9, "movi immediate")
+            }
+            Instruction::Addi { rd: d, imm } => {
+                (1 << 12) | rd(d) | imm_s(imm, 9, "addi immediate")
+            }
+            Instruction::Alu { op, rd: d, rs: s } => {
+                (2 << 12) | rd(d) | rs(s) | (op.code() << 3)
+            }
+            Instruction::Ld { rd: d, rs: s, off } => {
+                (3 << 12) | rd(d) | rs(s) | imm_u(off, 6, "load offset")
+            }
+            Instruction::St { rd: d, rs: s, off } => {
+                (4 << 12) | rd(d) | rs(s) | imm_u(off, 6, "store offset")
+            }
+            Instruction::Beq { rd: d, rs: s, off } => {
+                (5 << 12) | rd(d) | rs(s) | imm_s(off, 6, "branch offset")
+            }
+            Instruction::Bne { rd: d, rs: s, off } => {
+                (6 << 12) | rd(d) | rs(s) | imm_s(off, 6, "branch offset")
+            }
+            Instruction::Jmp { off } => (7 << 12) | imm_s(off, 12, "jump offset"),
+            Instruction::Halt => 8 << 12,
+            Instruction::Nop => 9 << 12,
+            Instruction::Mul { rd: d, rs: s } => (10 << 12) | rd(d) | rs(s),
+        }
+    }
+
+    /// Decodes a 16-bit machine word. Unknown opcodes decode to
+    /// [`Instruction::Nop`] (the pipeline treats them as bubbles).
+    pub fn decode(word: u16) -> Self {
+        let op = word >> 12;
+        let rd = Reg::new(((word >> 9) & 7) as u8);
+        let rs = Reg::new(((word >> 6) & 7) as u8);
+        match op {
+            0 => Instruction::Movi { rd, imm: word & 0x1ff },
+            1 => Instruction::Addi { rd, imm: sign_extend(word & 0x1ff, 9) },
+            2 => Instruction::Alu { op: AluOp::from_code((word >> 3) & 7), rd, rs },
+            3 => Instruction::Ld { rd, rs, off: word & 0x3f },
+            4 => Instruction::St { rd, rs, off: word & 0x3f },
+            5 => Instruction::Beq { rd, rs, off: sign_extend(word & 0x3f, 6) },
+            6 => Instruction::Bne { rd, rs, off: sign_extend(word & 0x3f, 6) },
+            7 => Instruction::Jmp { off: sign_extend(word & 0xfff, 12) },
+            8 => Instruction::Halt,
+            10 => Instruction::Mul { rd, rs },
+            _ => Instruction::Nop,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Movi { rd, imm } => write!(f, "MOVI {rd}, {imm}"),
+            Instruction::Addi { rd, imm } => write!(f, "ADDI {rd}, {imm}"),
+            Instruction::Alu { op, rd, rs } => write!(f, "{op:?} {rd}, {rs}"),
+            Instruction::Ld { rd, rs, off } => write!(f, "LD {rd}, [{rs} + {off}]"),
+            Instruction::St { rd, rs, off } => write!(f, "ST {rd}, [{rs} + {off}]"),
+            Instruction::Beq { rd, rs, off } => write!(f, "BEQ {rd}, {rs}, {off}"),
+            Instruction::Bne { rd, rs, off } => write!(f, "BNE {rd}, {rs}, {off}"),
+            Instruction::Jmp { off } => write!(f, "JMP {off}"),
+            Instruction::Halt => write!(f, "HALT"),
+            Instruction::Nop => write!(f, "NOP"),
+            Instruction::Mul { rd, rs } => write!(f, "MUL {rd}, {rs}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_samples() -> Vec<Instruction> {
+        let r = Reg::new;
+        vec![
+            Instruction::Movi { rd: r(3), imm: 511 },
+            Instruction::Movi { rd: r(0), imm: 0 },
+            Instruction::Addi { rd: r(7), imm: -256 },
+            Instruction::Addi { rd: r(1), imm: 255 },
+            Instruction::Alu { op: AluOp::Add, rd: r(2), rs: r(5) },
+            Instruction::Alu { op: AluOp::Shr, rd: r(6), rs: r(1) },
+            Instruction::Ld { rd: r(4), rs: r(2), off: 63 },
+            Instruction::St { rd: r(5), rs: r(3), off: 0 },
+            Instruction::Beq { rd: r(0), rs: r(1), off: -32 },
+            Instruction::Bne { rd: r(2), rs: r(3), off: 31 },
+            Instruction::Jmp { off: -2048 },
+            Instruction::Jmp { off: 2047 },
+            Instruction::Halt,
+            Instruction::Nop,
+            Instruction::Mul { rd: r(4), rs: r(1) },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for inst in all_samples() {
+            let word = inst.encode();
+            assert_eq!(Instruction::decode(word), inst, "word {word:#06x}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcodes_decode_to_nop() {
+        for op in [9u16, 11, 12, 13, 14, 15] {
+            assert_eq!(
+                Instruction::decode(op << 12),
+                Instruction::Nop,
+                "op {op}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_immediate_rejected() {
+        let _ = Instruction::Movi { rd: Reg::new(0), imm: 512 }.encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "r0..r7")]
+    fn register_range_checked() {
+        let _ = Reg::new(8);
+    }
+
+    #[test]
+    fn alu_ops_compute() {
+        assert_eq!(AluOp::Add.apply(7, 5), 12);
+        assert_eq!(AluOp::Sub.apply(5, 7), 5u32.wrapping_sub(7));
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Mov.apply(99, 42), 42);
+        assert_eq!(AluOp::Shl.apply(1, 5), 32);
+        assert_eq!(AluOp::Shr.apply(0x8000_0000, 31), 1);
+        assert_eq!(AluOp::Shl.apply(1, 33), 2, "shift amount masked to 5 bits");
+    }
+
+    #[test]
+    fn sign_extension_is_correct() {
+        assert_eq!(sign_extend(0x1ff, 9), -1);
+        assert_eq!(sign_extend(0x100, 9), -256);
+        assert_eq!(sign_extend(0x0ff, 9), 255);
+        assert_eq!(sign_extend(0x3f, 6), -1);
+        assert_eq!(sign_extend(0x20, 6), -32);
+    }
+}

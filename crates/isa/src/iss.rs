@@ -1,0 +1,272 @@
+//! The instruction-set simulator — golden model for the gate-level CPU.
+
+use crate::inst::Instruction;
+
+/// Result of one [`Iss::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An instruction executed; the machine continues.
+    Running,
+    /// A `HALT` was executed (or the PC left the program).
+    Halted,
+}
+
+/// Architectural-state interpreter for `tm16`.
+///
+/// Word-addressed data memory (4 KiW by default); registers are 32-bit;
+/// `r7` is conventionally kept zero by programs (the ISA does not enforce
+/// it).
+#[derive(Debug, Clone)]
+pub struct Iss {
+    program: Vec<Instruction>,
+    regs: [u32; 8],
+    pc: usize,
+    mem: Vec<u32>,
+    halted: bool,
+    executed: u64,
+}
+
+impl Iss {
+    /// Default data-memory size in words.
+    pub const DEFAULT_MEM_WORDS: usize = 4096;
+
+    /// Loads a program (machine words) with zeroed registers and memory.
+    pub fn new(words: &[u16]) -> Self {
+        Self::with_memory(words, vec![0; Self::DEFAULT_MEM_WORDS])
+    }
+
+    /// Loads a program with a caller-provided data memory image.
+    pub fn with_memory(words: &[u16], mem: Vec<u32>) -> Self {
+        Self {
+            program: words.iter().map(|&w| Instruction::decode(w)).collect(),
+            regs: [0; 8],
+            pc: 0,
+            mem,
+            halted: false,
+            executed: 0,
+        }
+    }
+
+    /// Register value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 7`.
+    pub fn reg(&self, n: usize) -> u32 {
+        self.regs[n]
+    }
+
+    /// Sets a register (for test setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 7`.
+    pub fn set_reg(&mut self, n: usize, v: u32) {
+        self.regs[n] = v;
+    }
+
+    /// The program counter (instruction index).
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Data memory word, or 0 when out of range.
+    pub fn mem(&self, addr: usize) -> u32 {
+        self.mem.get(addr).copied().unwrap_or(0)
+    }
+
+    /// Writes a data memory word (ignored when out of range).
+    pub fn set_mem(&mut self, addr: usize, v: u32) {
+        if let Some(slot) = self.mem.get_mut(addr) {
+            *slot = v;
+        }
+    }
+
+    /// `true` once the machine has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Executes one instruction.
+    pub fn step(&mut self) -> StepOutcome {
+        if self.halted {
+            return StepOutcome::Halted;
+        }
+        let Some(&inst) = self.program.get(self.pc) else {
+            self.halted = true;
+            return StepOutcome::Halted;
+        };
+        self.executed += 1;
+        let mut next = self.pc + 1;
+        match inst {
+            Instruction::Movi { rd, imm } => self.regs[rd.num() as usize] = imm as u32,
+            Instruction::Addi { rd, imm } => {
+                let r = &mut self.regs[rd.num() as usize];
+                *r = r.wrapping_add(imm as i32 as u32);
+            }
+            Instruction::Alu { op, rd, rs } => {
+                let a = self.regs[rd.num() as usize];
+                let b = self.regs[rs.num() as usize];
+                self.regs[rd.num() as usize] = op.apply(a, b);
+            }
+            Instruction::Ld { rd, rs, off } => {
+                let addr = self.regs[rs.num() as usize].wrapping_add(off as u32) as usize;
+                self.regs[rd.num() as usize] = self.mem(addr);
+            }
+            Instruction::St { rd, rs, off } => {
+                let addr = self.regs[rs.num() as usize].wrapping_add(off as u32) as usize;
+                let v = self.regs[rd.num() as usize];
+                self.set_mem(addr, v);
+            }
+            Instruction::Beq { rd, rs, off } => {
+                if self.regs[rd.num() as usize] == self.regs[rs.num() as usize] {
+                    next = (self.pc as i64 + 1 + off as i64) as usize;
+                }
+            }
+            Instruction::Bne { rd, rs, off } => {
+                if self.regs[rd.num() as usize] != self.regs[rs.num() as usize] {
+                    next = (self.pc as i64 + 1 + off as i64) as usize;
+                }
+            }
+            Instruction::Jmp { off } => next = (self.pc as i64 + 1 + off as i64) as usize,
+            Instruction::Halt => {
+                self.halted = true;
+                return StepOutcome::Halted;
+            }
+            Instruction::Nop => {}
+            Instruction::Mul { rd, rs } => {
+                let a = self.regs[rd.num() as usize] & 0xffff;
+                let b = self.regs[rs.num() as usize] & 0xffff;
+                self.regs[rd.num() as usize] = a.wrapping_mul(b);
+            }
+        }
+        self.pc = next;
+        StepOutcome::Running
+    }
+
+    /// Runs up to `max_steps` instructions; returns the number executed.
+    pub fn run(&mut self, max_steps: u64) -> u64 {
+        let start = self.executed;
+        for _ in 0..max_steps {
+            if self.step() == StepOutcome::Halted {
+                break;
+            }
+        }
+        self.executed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+
+    fn run(src: &str) -> Iss {
+        let words = Assembler::assemble(src).unwrap();
+        let mut iss = Iss::new(&words);
+        iss.run(100_000);
+        assert!(iss.halted(), "program must halt");
+        iss
+    }
+
+    #[test]
+    fn arithmetic_loop_sums() {
+        let iss = run(
+            "        MOVI r0, 10
+                    MOVI r1, 0
+            loop:   ADD  r1, r0
+                    ADDI r0, -1
+                    BNE  r0, r7, loop
+                    HALT",
+        );
+        assert_eq!(iss.reg(1), 55);
+        assert_eq!(iss.reg(0), 0);
+    }
+
+    #[test]
+    fn memory_block_copy() {
+        let words = Assembler::assemble(
+            "        MOVI r0, 0      ; src
+                    MOVI r1, 16     ; dst
+                    MOVI r2, 8      ; count
+            copy:   LD   r3, [r0]
+                    ST   r3, [r1]
+                    ADDI r0, 1
+                    ADDI r1, 1
+                    ADDI r2, -1
+                    BNE  r2, r7, copy
+                    HALT",
+        )
+        .unwrap();
+        let mut mem = vec![0u32; 64];
+        for i in 0..8 {
+            mem[i] = (i as u32 + 1) * 11;
+        }
+        let mut iss = Iss::with_memory(&words, mem);
+        iss.run(10_000);
+        assert!(iss.halted());
+        for i in 0..8 {
+            assert_eq!(iss.mem(16 + i), (i as u32 + 1) * 11);
+        }
+    }
+
+    #[test]
+    fn shift_and_logic() {
+        let iss = run(
+            "MOVI r0, 1
+             MOVI r1, 5
+             SHL  r0, r1        ; r0 = 32
+             MOVI r2, 0xf0
+             AND  r2, r0        ; 0xf0 & 0x20 = 0x20
+             MOVI r3, 0x0f
+             OR   r3, r0        ; 0x0f | 0x20 = 0x2f
+             XOR  r3, r2        ; 0x2f ^ 0x20 = 0x0f
+             HALT",
+        );
+        assert_eq!(iss.reg(0), 32);
+        assert_eq!(iss.reg(2), 0x20);
+        assert_eq!(iss.reg(3), 0x0f);
+    }
+
+    #[test]
+    fn beq_taken_and_not_taken() {
+        let iss = run(
+            "        MOVI r0, 1
+                    MOVI r1, 1
+                    BEQ  r0, r1, eq
+                    MOVI r2, 99     ; skipped
+            eq:     MOVI r3, 42
+                    BEQ  r0, r7, never
+                    MOVI r4, 7
+            never:  HALT",
+        );
+        assert_eq!(iss.reg(2), 0);
+        assert_eq!(iss.reg(3), 42);
+        assert_eq!(iss.reg(4), 7);
+    }
+
+    #[test]
+    fn running_off_the_end_halts() {
+        let words = Assembler::assemble("NOP\nNOP").unwrap();
+        let mut iss = Iss::new(&words);
+        assert_eq!(iss.run(100), 2);
+        assert!(iss.halted());
+    }
+
+    #[test]
+    fn out_of_range_memory_is_benign() {
+        let iss = run(
+            "MOVI r0, 0x1ff
+             SHL  r0, r0        ; huge address
+             LD   r1, [r0]
+             ST   r0, [r0]
+             HALT",
+        );
+        assert_eq!(iss.reg(1), 0, "OOB reads return 0");
+    }
+}

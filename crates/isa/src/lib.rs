@@ -1,0 +1,45 @@
+//! The `tm16` mini-ISA: a Thumb-flavoured stand-in for the Cortex-M0.
+//!
+//! The paper's second case study is an ARM Cortex-M0 — proprietary RTL we
+//! cannot redistribute. What SCPG actually needs from it is (a) a
+//! register-heavy 3-stage pipelined CPU as a gate-level netlist and (b)
+//! realistic switching activity from running a Dhrystone-class program.
+//! `tm16` supplies both: a compact ISA with 16-bit instruction encodings
+//! (like Thumb) over a 32-bit datapath, eight general registers, loads/
+//! stores, and PC-relative branches.
+//!
+//! This crate is the *software* side: the [`Instruction`] set with
+//! encode/decode, a small [`Assembler`] with label support, the
+//! instruction-set simulator [`Iss`] (golden model for the gate-level
+//! pipeline in `scpg-circuits`), and the [`dhrystone`] benchmark used to
+//! reproduce the paper's Fig. 7 / Table II methodology.
+//!
+//! # Example
+//!
+//! ```
+//! use scpg_isa::{Assembler, Iss};
+//!
+//! let program = Assembler::assemble(
+//!     "        MOVI r0, 5
+//!             MOVI r1, 0
+//!     loop:   ADD  r1, r0
+//!             ADDI r0, -1
+//!             BNE  r0, r7, loop   ; r7 is 0
+//!             HALT",
+//! )?;
+//! let mut iss = Iss::new(&program);
+//! iss.run(1_000);
+//! assert_eq!(iss.reg(1), 5 + 4 + 3 + 2 + 1);
+//! # Ok::<(), scpg_isa::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod asm;
+pub mod dhrystone;
+mod inst;
+mod iss;
+
+pub use asm::{AsmError, Assembler};
+pub use inst::{AluOp, Instruction, Reg};
+pub use iss::{Iss, StepOutcome};

@@ -1,0 +1,186 @@
+//! Sleep-header (power-gate) cells.
+//!
+//! SCPG connects the combinational domain to the supply through a high-V_t
+//! PMOS header. The paper explores header sizing (§III: "the best IR drop
+//! can be achieved with X2 size transistors for the 16-bit multiplier, and
+//! X4 size transistors for the Cortex-M0") — bigger headers drop less
+//! voltage and restore the rail faster, but cost more gate-switching
+//! energy every cycle, leak more when off, and draw a larger in-rush
+//! current spike at wake-up.
+
+use scpg_units::{Area, Capacitance, Current, Resistance, Temperature, Voltage};
+
+use crate::model::TransistorModel;
+
+/// Available header drive strengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HeaderSize {
+    /// Unit-width header.
+    X1,
+    /// Double width.
+    X2,
+    /// Quadruple width.
+    X4,
+    /// Octuple width.
+    X8,
+}
+
+impl HeaderSize {
+    /// All sizes offered by the kit, ascending.
+    pub const ALL: [HeaderSize; 4] = [
+        HeaderSize::X1,
+        HeaderSize::X2,
+        HeaderSize::X4,
+        HeaderSize::X8,
+    ];
+
+    /// Relative channel width (1, 2, 4, 8).
+    pub fn width(self) -> f64 {
+        match self {
+            HeaderSize::X1 => 1.0,
+            HeaderSize::X2 => 2.0,
+            HeaderSize::X4 => 4.0,
+            HeaderSize::X8 => 8.0,
+        }
+    }
+
+    /// The kit cell name (`"HDR_X2"`, ...).
+    pub fn cell_name(self) -> &'static str {
+        match self {
+            HeaderSize::X1 => "HDR_X1",
+            HeaderSize::X2 => "HDR_X2",
+            HeaderSize::X4 => "HDR_X4",
+            HeaderSize::X8 => "HDR_X8",
+        }
+    }
+}
+
+/// A characterised sleep-header cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeaderCell {
+    size: HeaderSize,
+    r_on_char: Resistance,
+    gate_cap: Capacitance,
+    off_leak_char: Current,
+    area: Area,
+    model: TransistorModel,
+}
+
+impl HeaderCell {
+    /// X1 electrical parameters at the 0.6 V characterisation point.
+    const R_ON_X1_OHM: f64 = 200.0;
+    const GATE_CAP_X1_FF: f64 = 30.0;
+    const OFF_LEAK_X1_NA: f64 = 5.0;
+    const AREA_X1_UM2: f64 = 12.0;
+
+    /// Builds the kit header of the given size (high-V_t device).
+    pub fn ninety_nm(size: HeaderSize) -> Self {
+        let w = size.width();
+        Self {
+            size,
+            r_on_char: Resistance::from_ohm(Self::R_ON_X1_OHM / w),
+            gate_cap: Capacitance::from_ff(Self::GATE_CAP_X1_FF * w),
+            off_leak_char: Current::from_na(Self::OFF_LEAK_X1_NA * w),
+            area: Area::from_um2(Self::AREA_X1_UM2 * w),
+            model: TransistorModel::high_vt(),
+        }
+    }
+
+    /// The drive strength of this header.
+    pub fn size(self: &HeaderCell) -> HeaderSize {
+        self.size
+    }
+
+    /// Placement area.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// Gate capacitance seen by whatever drives the SLEEP pin. The sleep
+    /// signal toggles twice per clock cycle under SCPG, so this is a
+    /// per-cycle energy cost of `C_gate · V²`.
+    pub fn gate_cap(&self) -> Capacitance {
+        self.gate_cap
+    }
+
+    /// On-resistance at supply `v` (scales with the high-V_t device's
+    /// current law, so it degrades sharply near/below its threshold).
+    pub fn on_resistance(&self, v: Voltage) -> Resistance {
+        Resistance::new(self.r_on_char.value() * self.model.delay_scale(v))
+    }
+
+    /// Leakage through the header while it is off — the residual supply
+    /// draw of a fully gated domain.
+    pub fn off_leakage(&self, v: Voltage, t: Temperature) -> Current {
+        Current::new(self.off_leak_char.value() * self.model.leakage_scale(v, t))
+    }
+
+    /// Steady-state IR drop across the header when the powered domain
+    /// draws `i_load`: `ΔV = I · R_on`.
+    pub fn ir_drop(&self, v: Voltage, i_load: Current) -> Voltage {
+        i_load * self.on_resistance(v)
+    }
+
+    /// Peak in-rush current at wake-up: the rail is near 0 V so the
+    /// header initially sees the full supply across `R_on`.
+    pub fn inrush_peak(&self, v: Voltage) -> Current {
+        v / self.on_resistance(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_scale_resistance_down_and_caps_up() {
+        let v = Voltage::from_mv(600.0);
+        let x1 = HeaderCell::ninety_nm(HeaderSize::X1);
+        let x4 = HeaderCell::ninety_nm(HeaderSize::X4);
+        assert!(
+            (x1.on_resistance(v).value() / x4.on_resistance(v).value() - 4.0).abs() < 1e-9
+        );
+        assert!((x4.gate_cap().as_ff() / x1.gate_cap().as_ff() - 4.0).abs() < 1e-9);
+        assert!(x4.area().as_um2() > x1.area().as_um2());
+    }
+
+    #[test]
+    fn ir_drop_improves_with_size() {
+        let v = Voltage::from_mv(600.0);
+        let i = Current::from_ua(283.0); // multiplier-class eval current
+        let drops: Vec<f64> = HeaderSize::ALL
+            .iter()
+            .map(|&s| HeaderCell::ninety_nm(s).ir_drop(v, i).as_mv())
+            .collect();
+        assert!(drops.windows(2).all(|w| w[1] < w[0]), "{drops:?}");
+        // X2 keeps the drop in the "few percent of VDD" band the paper
+        // deems acceptable for the multiplier.
+        let x2 = drops[1];
+        assert!((10.0..60.0).contains(&x2), "X2 drop {x2:.1} mV");
+    }
+
+    #[test]
+    fn inrush_grows_with_size() {
+        let v = Voltage::from_mv(600.0);
+        let x1 = HeaderCell::ninety_nm(HeaderSize::X1).inrush_peak(v);
+        let x8 = HeaderCell::ninety_nm(HeaderSize::X8).inrush_peak(v);
+        assert!((x8.value() / x1.value() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn off_leakage_is_tiny_versus_logic() {
+        // The whole point of the high-V_t header: a gated multiplier
+        // domain leaks a few nA instead of tens of µA.
+        let x2 = HeaderCell::ninety_nm(HeaderSize::X2);
+        let leak = x2.off_leakage(Voltage::from_mv(600.0), Temperature::NOMINAL);
+        assert!(leak.as_na() < 50.0, "header off-leak {leak}");
+    }
+
+    #[test]
+    fn on_resistance_degrades_at_low_supply() {
+        let x2 = HeaderCell::ninety_nm(HeaderSize::X2);
+        let r_nom = x2.on_resistance(Voltage::from_mv(600.0));
+        let r_low = x2.on_resistance(Voltage::from_mv(400.0));
+        assert!(r_low.value() > 2.0 * r_nom.value());
+    }
+}

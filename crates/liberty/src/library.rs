@@ -1,0 +1,448 @@
+//! The library container and the synthetic 90 nm kit.
+
+use std::collections::BTreeMap;
+
+use scpg_units::{Capacitance, Temperature, Voltage};
+
+use crate::cell::{Cell, CellData, CellKind};
+use crate::headers::{HeaderCell, HeaderSize};
+use crate::model::TransistorModel;
+
+/// Global process corner (die-to-die threshold skew).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProcessCorner {
+    /// Typical-typical silicon.
+    #[default]
+    Typical,
+    /// Fast silicon: V_t ≈ 40 mV low — quicker, leakier (the corner where
+    /// SCPG saves the most).
+    Fast,
+    /// Slow silicon: V_t ≈ 40 mV high.
+    Slow,
+}
+
+impl ProcessCorner {
+    /// The corner's threshold shift relative to typical.
+    pub fn vt_shift(self) -> Voltage {
+        match self {
+            ProcessCorner::Typical => Voltage::ZERO,
+            ProcessCorner::Fast => Voltage::from_mv(-40.0),
+            ProcessCorner::Slow => Voltage::from_mv(40.0),
+        }
+    }
+}
+
+/// A process/voltage/temperature operating corner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PvtCorner {
+    /// Supply voltage.
+    pub voltage: Voltage,
+    /// Junction temperature.
+    pub temperature: Temperature,
+}
+
+impl Default for PvtCorner {
+    /// The paper's operating point: 0.6 V, 25 °C.
+    fn default() -> Self {
+        Self {
+            voltage: Voltage::from_mv(600.0),
+            temperature: Temperature::NOMINAL,
+        }
+    }
+}
+
+impl PvtCorner {
+    /// A corner at the given supply, nominal temperature.
+    pub fn at_voltage(v: Voltage) -> Self {
+        Self { voltage: v, ..Self::default() }
+    }
+}
+
+/// A standard-cell library: named cells plus the sleep-header family.
+///
+/// Obtain the calibrated kit with [`Library::ninety_nm`], or assemble a
+/// custom one through [`LibraryBuilder`].
+#[derive(Debug, Clone)]
+pub struct Library {
+    name: String,
+    cells: BTreeMap<String, Cell>,
+    headers: Vec<HeaderCell>,
+    wire_cap: Capacitance,
+    rail_cap_per_um2: Capacitance,
+    v_char: Voltage,
+}
+
+impl Library {
+    /// The synthetic 90 nm-class kit, characterised at 0.6 V / 25 °C and
+    /// calibrated against the paper's anchors (`DESIGN.md` §6).
+    pub fn ninety_nm() -> Self {
+        let m = TransistorModel::standard_vt();
+        let mut b = LibraryBuilder::new("synth90");
+
+        // name, kind, area_um2, in_cap_ff, out_cap_ff, delay_ps,
+        // drive_kohm, energy_fj, leak_weight, setup_ps, hold_ps
+        #[rustfmt::skip]
+        let rows: &[(&str, CellKind, f64, f64, f64, f64, f64, f64, f64, f64, f64)] = &[
+            ("INV_X1",   CellKind::Inv,       3.0, 1.6, 1.0,  60.0, 18.0,  0.40,  15.0, 0.0, 0.0),
+            ("INV_X2",   CellKind::Inv,       4.5, 3.0, 1.6,  50.0,  9.0,  0.65,  28.0, 0.0, 0.0),
+            ("BUF_X1",   CellKind::Buf,       4.5, 1.6, 1.2, 110.0, 16.0,  0.60,  25.0, 0.0, 0.0),
+            ("BUF_X4",   CellKind::Buf,       9.0, 5.5, 2.8,  90.0,  4.0,  1.40,  70.0, 0.0, 0.0),
+            ("NAND2_X1", CellKind::Nand2,     4.0, 1.8, 1.2, 100.0, 20.0,  0.60,  25.0, 0.0, 0.0),
+            ("NAND3_X1", CellKind::Nand3,     5.5, 1.9, 1.4, 130.0, 24.0,  0.80,  35.0, 0.0, 0.0),
+            ("NAND4_X1", CellKind::Nand4,     7.0, 2.0, 1.6, 160.0, 28.0,  1.00,  45.0, 0.0, 0.0),
+            ("NOR2_X1",  CellKind::Nor2,      4.0, 1.8, 1.2, 110.0, 22.0,  0.60,  25.0, 0.0, 0.0),
+            ("NOR3_X1",  CellKind::Nor3,      5.5, 1.9, 1.4, 145.0, 26.0,  0.80,  35.0, 0.0, 0.0),
+            ("AND2_X1",  CellKind::And2,      5.0, 1.8, 1.3, 160.0, 20.0,  0.80,  30.0, 0.0, 0.0),
+            ("AND3_X1",  CellKind::And3,      6.5, 1.9, 1.5, 190.0, 22.0,  1.00,  40.0, 0.0, 0.0),
+            ("OR2_X1",   CellKind::Or2,       5.0, 1.8, 1.3, 170.0, 22.0,  0.80,  30.0, 0.0, 0.0),
+            ("OR3_X1",   CellKind::Or3,       6.5, 1.9, 1.5, 200.0, 24.0,  1.00,  40.0, 0.0, 0.0),
+            ("XOR2_X1",  CellKind::Xor2,      7.5, 2.4, 1.6, 230.0, 26.0,  1.40,  55.0, 0.0, 0.0),
+            ("XNOR2_X1", CellKind::Xnor2,     7.5, 2.4, 1.6, 230.0, 26.0,  1.40,  55.0, 0.0, 0.0),
+            ("AOI21_X1", CellKind::Aoi21,     5.5, 1.9, 1.4, 140.0, 24.0,  0.80,  35.0, 0.0, 0.0),
+            ("OAI21_X1", CellKind::Oai21,     5.5, 1.9, 1.4, 140.0, 24.0,  0.80,  35.0, 0.0, 0.0),
+            ("MUX2_X1",  CellKind::Mux2,      7.5, 2.0, 1.6, 200.0, 24.0,  1.20,  50.0, 0.0, 0.0),
+            ("HA_X1",    CellKind::HalfAdder, 9.0, 2.2, 1.8, 280.0, 24.0,  1.80,  70.0, 0.0, 0.0),
+            ("FA_X1",    CellKind::FullAdder,14.0, 2.6, 2.0, 400.0, 24.0,  3.00, 125.0, 0.0, 0.0),
+            ("DFF_X1",   CellKind::Dff,      18.0, 2.0, 1.8, 300.0, 20.0,  2.20, 140.0, 150.0, 50.0),
+            ("DFFR_X1",  CellKind::DffR,     20.0, 2.0, 1.8, 320.0, 20.0,  2.40, 150.0, 150.0, 50.0),
+            ("LATCH_X1", CellKind::Latch,    10.0, 1.9, 1.5, 180.0, 20.0,  1.20,  60.0, 100.0, 40.0),
+            ("ISO_AND_X1", CellKind::IsoAnd,  4.5, 1.8, 1.3, 120.0, 20.0,  0.65,  20.0, 0.0, 0.0),
+            ("ISO_OR_X1",  CellKind::IsoOr,   4.5, 1.8, 1.3, 120.0, 20.0,  0.65,  20.0, 0.0, 0.0),
+            ("TIEHI_X1", CellKind::TieHi,     2.0, 0.0, 0.8,  10.0, 40.0,  0.05,   2.0, 0.0, 0.0),
+            ("TIELO_X1", CellKind::TieLo,     2.0, 0.0, 0.8,  10.0, 40.0,  0.05,   2.0, 0.0, 0.0),
+            ("ISOCTL_X1", CellKind::IsoCtl,  12.0, 2.2, 1.8, 150.0, 14.0,  1.00,  45.0, 0.0, 0.0),
+        ];
+        for &(name, kind, area, icap, ocap, d, r, e, lw, su, ho) in rows {
+            b = b.cell(
+                name,
+                kind,
+                CellData {
+                    area_um2: area,
+                    input_cap_ff: icap,
+                    output_cap_ff: ocap,
+                    delay_ps: d,
+                    drive_kohm: r,
+                    energy_fj: e,
+                    leak_weight: lw,
+                    setup_ps: su,
+                    hold_ps: ho,
+                },
+                m,
+            );
+        }
+        for size in HeaderSize::ALL {
+            // Headers are netlist citizens too: the SLEEP pin presents the
+            // big gate capacitance, the "delay" is the gate switch time.
+            b = b.header_with_cell(HeaderCell::ninety_nm(size), size);
+        }
+        b.wire_cap(Capacitance::from_ff(2.0))
+            .rail_cap_density(Capacitance::from_ff(0.45))
+            .build()
+    }
+
+    /// The library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Looks up a cell by its library name.
+    pub fn cell(&self, name: &str) -> Option<&Cell> {
+        self.cells.get(name)
+    }
+
+    /// Looks up a cell, panicking with a helpful message when absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not in the library. Use this only for cells a
+    /// flow has already validated (e.g. after [`Library::cell`] checks).
+    pub fn expect_cell(&self, name: &str) -> &Cell {
+        self.cells
+            .get(name)
+            .unwrap_or_else(|| panic!("cell `{name}` not found in library `{}`", self.name))
+    }
+
+    /// Iterates over all cells in name order.
+    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.values()
+    }
+
+    /// The first library cell of the given kind, if any.
+    pub fn cell_of_kind(&self, kind: CellKind) -> Option<&Cell> {
+        self.cells.values().find(|c| c.kind() == kind)
+    }
+
+    /// The characterised sleep header of the given size.
+    pub fn header(&self, size: HeaderSize) -> Option<&HeaderCell> {
+        self.headers.iter().find(|h| h.size() == size)
+    }
+
+    /// All header sizes in the kit.
+    pub fn headers(&self) -> &[HeaderCell] {
+        &self.headers
+    }
+
+    /// Estimated extra wire capacitance per net (added to pin loads).
+    pub fn wire_cap(&self) -> Capacitance {
+        self.wire_cap
+    }
+
+    /// Virtual-rail (supply-network) capacitance per µm² of gated logic.
+    ///
+    /// The analog solver multiplies this by the gated domain's area to
+    /// obtain `C_VDDV` — the capacitance the header must recharge every
+    /// cycle, which is the dominant SCPG overhead for large designs
+    /// (§III-B of the paper).
+    pub fn rail_cap_density(&self) -> Capacitance {
+        self.rail_cap_per_um2
+    }
+
+    /// The supply at which cell timing/energy numbers were characterised.
+    pub fn char_voltage(&self) -> Voltage {
+        self.v_char
+    }
+
+    /// The kit re-characterised at a signed-off process corner.
+    ///
+    /// ```
+    /// use scpg_liberty::{Library, ProcessCorner};
+    /// let ff = Library::ninety_nm().at_process_corner(ProcessCorner::Fast);
+    /// let tt = Library::ninety_nm();
+    /// let v = scpg_units::Voltage::from_mv(600.0);
+    /// let t = scpg_units::Temperature::NOMINAL;
+    /// let leak_ff = ff.expect_cell("NAND2_X1").leakage_current(v, t);
+    /// let leak_tt = tt.expect_cell("NAND2_X1").leakage_current(v, t);
+    /// assert!(leak_ff.value() > leak_tt.value());
+    /// ```
+    pub fn at_process_corner(&self, corner: ProcessCorner) -> Library {
+        self.vt_shifted(corner.vt_shift())
+    }
+
+    /// A process-variation sample of this library: every cell's threshold
+    /// voltage shifted by `dv` (global/correlated variation, the dominant
+    /// die-to-die component). Lower V_t means faster but leakier; this is
+    /// the knob behind the §IV observation that sub-threshold designs are
+    /// far more variation-sensitive than above-threshold SCPG.
+    pub fn vt_shifted(&self, dv: Voltage) -> Library {
+        let mut out = self.clone();
+        out.cells = self
+            .cells
+            .iter()
+            .map(|(k, c)| (k.clone(), c.with_vt_shift(dv)))
+            .collect();
+        out
+    }
+}
+
+/// Assembles a [`Library`] cell by cell.
+#[derive(Debug, Clone)]
+pub struct LibraryBuilder {
+    name: String,
+    cells: BTreeMap<String, Cell>,
+    headers: Vec<HeaderCell>,
+    wire_cap: Capacitance,
+    rail_cap_per_um2: Capacitance,
+    v_char: Voltage,
+}
+
+impl LibraryBuilder {
+    /// Starts an empty library with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            cells: BTreeMap::new(),
+            headers: Vec::new(),
+            wire_cap: Capacitance::from_ff(2.0),
+            rail_cap_per_um2: Capacitance::from_ff(0.25),
+            v_char: Voltage::from_mv(600.0),
+        }
+    }
+
+    pub(crate) fn cell(
+        mut self,
+        name: &str,
+        kind: CellKind,
+        data: CellData,
+        model: TransistorModel,
+    ) -> Self {
+        self.cells
+            .insert(name.to_string(), Cell::new(name, kind, data, model));
+        self
+    }
+
+    /// Adds a sleep header.
+    pub fn header(mut self, header: HeaderCell) -> Self {
+        self.headers.push(header);
+        self
+    }
+
+    /// Adds a sleep header together with its netlist cell entry (the
+    /// `HDR_X*` cell that SCPG netlists instantiate).
+    pub fn header_with_cell(self, header: HeaderCell, size: HeaderSize) -> Self {
+        let data = CellData {
+            area_um2: header.area().as_um2(),
+            input_cap_ff: header.gate_cap().as_ff(),
+            output_cap_ff: 0.0,
+            delay_ps: 50.0,
+            drive_kohm: 0.001,
+            energy_fj: 0.0,
+            leak_weight: 0.0,
+            setup_ps: 0.0,
+            hold_ps: 0.0,
+        };
+        self.cell(size.cell_name(), CellKind::Header, data, TransistorModel::high_vt())
+            .header(header)
+    }
+
+    /// Sets the per-net wire-capacitance estimate.
+    pub fn wire_cap(mut self, cap: Capacitance) -> Self {
+        self.wire_cap = cap;
+        self
+    }
+
+    /// Sets the virtual-rail capacitance density.
+    pub fn rail_cap_density(mut self, cap_per_um2: Capacitance) -> Self {
+        self.rail_cap_per_um2 = cap_per_um2;
+        self
+    }
+
+    /// Finalises the library.
+    pub fn build(self) -> Library {
+        Library {
+            name: self.name,
+            cells: self.cells,
+            headers: self.headers,
+            wire_cap: self.wire_cap,
+            rail_cap_per_um2: self.rail_cap_per_um2,
+            v_char: self.v_char,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpg_units::Current;
+
+    #[test]
+    fn kit_has_every_kind_the_flows_need() {
+        let lib = Library::ninety_nm();
+        for kind in [
+            CellKind::Inv,
+            CellKind::Nand2,
+            CellKind::Xor2,
+            CellKind::FullAdder,
+            CellKind::Dff,
+            CellKind::IsoAnd,
+            CellKind::TieHi,
+            CellKind::IsoCtl,
+            CellKind::Mux2,
+            CellKind::Latch,
+        ] {
+            assert!(lib.cell_of_kind(kind).is_some(), "missing {kind:?}");
+        }
+        for size in HeaderSize::ALL {
+            assert!(lib.header(size).is_some(), "missing header {size:?}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let lib = Library::ninety_nm();
+        assert!(lib.cell("NAND2_X1").is_some());
+        assert!(lib.cell("NAND9_X9").is_none());
+        assert_eq!(lib.expect_cell("FA_X1").kind(), CellKind::FullAdder);
+    }
+
+    #[test]
+    #[should_panic(expected = "not found in library")]
+    fn expect_cell_panics_with_context() {
+        let _ = Library::ninety_nm().expect_cell("NOPE");
+    }
+
+    #[test]
+    fn average_gate_leakage_matches_calibration_band() {
+        // DESIGN.md §6: the multiplier's ≈556 comb gates leak ≈23 µW at
+        // 0.6 V, i.e. ≈40–80 nA per gate given its FA-heavy mix. Sanity:
+        // an FA_X1 leaks 100–160 nA, a NAND2 15–40 nA.
+        let lib = Library::ninety_nm();
+        let corner = PvtCorner::default();
+        let leak = |n: &str| -> Current {
+            lib.expect_cell(n)
+                .leakage_current(corner.voltage, corner.temperature)
+        };
+        let fa = leak("FA_X1").as_na();
+        assert!((100.0..170.0).contains(&fa), "FA leak {fa:.1} nA");
+        let nand = leak("NAND2_X1").as_na();
+        assert!((15.0..40.0).contains(&nand), "NAND2 leak {nand:.1} nA");
+        let dff = leak("DFF_X1").as_na();
+        assert!((100.0..190.0).contains(&dff), "DFF leak {dff:.1} nA");
+    }
+
+    #[test]
+    fn delay_scales_with_load_and_voltage() {
+        let lib = Library::ninety_nm();
+        let nand = lib.expect_cell("NAND2_X1");
+        let v = Voltage::from_mv(600.0);
+        let light = nand.delay(v, Capacitance::from_ff(2.0));
+        let heavy = nand.delay(v, Capacitance::from_ff(20.0));
+        assert!(heavy.value() > light.value());
+        let slow = nand.delay(Voltage::from_mv(310.0), Capacitance::from_ff(2.0));
+        assert!(slow.value() > 3.0 * light.value());
+    }
+
+    #[test]
+    fn switching_energy_is_quadratic_in_v() {
+        let lib = Library::ninety_nm();
+        let inv = lib.expect_cell("INV_X1");
+        let c = Capacitance::from_ff(5.0);
+        let e6 = inv.switching_energy(Voltage::from_mv(600.0), c).value();
+        let e3 = inv.switching_energy(Voltage::from_mv(300.0), c).value();
+        let ratio = e6 / e3;
+        assert!((ratio - 4.0).abs() < 1e-6, "V² scaling, got {ratio}");
+    }
+
+    #[test]
+    fn process_corners_order_speed_and_leakage() {
+        let tt = Library::ninety_nm();
+        let ff = tt.at_process_corner(ProcessCorner::Fast);
+        let ss = tt.at_process_corner(ProcessCorner::Slow);
+        let v = Voltage::from_mv(600.0);
+        let t = scpg_units::Temperature::NOMINAL;
+        let leak = |lib: &Library| lib.expect_cell("FA_X1").leakage_current(v, t).value();
+        assert!(leak(&ff) > leak(&tt) && leak(&tt) > leak(&ss));
+        let delay = |lib: &Library| {
+            lib.expect_cell("FA_X1")
+                .delay(v, Capacitance::from_ff(5.0))
+                .value()
+        };
+        assert!(delay(&ff) < delay(&tt) && delay(&tt) < delay(&ss));
+        // Typical is the identity.
+        assert!((leak(&tt) - leak(&tt.at_process_corner(ProcessCorner::Typical))).abs() < 1e-18);
+    }
+
+    #[test]
+    fn builder_produces_usable_custom_library() {
+        let lib = LibraryBuilder::new("mini")
+            .cell(
+                "INV",
+                CellKind::Inv,
+                CellData {
+                    area_um2: 1.0,
+                    input_cap_ff: 1.0,
+                    output_cap_ff: 1.0,
+                    delay_ps: 50.0,
+                    drive_kohm: 10.0,
+                    energy_fj: 2.0,
+                    leak_weight: 5.0,
+                    setup_ps: 0.0,
+                    hold_ps: 0.0,
+                },
+                TransistorModel::standard_vt(),
+            )
+            .build();
+        assert_eq!(lib.name(), "mini");
+        assert!(lib.cell("INV").is_some());
+        assert!(lib.headers().is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Four-state logic values.
+//!
+//! The gate-level simulator needs the classic Verilog value set: power
+//! gating a domain corrupts its nodes to `X` (the virtual rail collapses),
+//! and undriven nets float to `Z`. Boolean operators here follow IEEE 1364
+//! 4-state semantics: any controlling input dominates (`0 AND X = 0`),
+//! otherwise `X` propagates.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A 4-state logic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown (uninitialised or corrupted by power gating).
+    #[default]
+    X,
+    /// High impedance (undriven).
+    Z,
+}
+
+impl Logic {
+    /// Converts a `bool`.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for the two driven states, `None` for `X`/`Z`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    /// `true` when the value is `0` or `1`.
+    pub fn is_known(self) -> bool {
+        matches!(self, Logic::Zero | Logic::One)
+    }
+
+    /// 4-state AND: `0` dominates, `X`/`Z` otherwise poison.
+    pub fn and(self, rhs: Self) -> Self {
+        match (self.normalise(), rhs.normalise()) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    /// 4-state OR: `1` dominates.
+    pub fn or(self, rhs: Self) -> Self {
+        match (self.normalise(), rhs.normalise()) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    /// 4-state XOR: unknown if either side is unknown.
+    pub fn xor(self, rhs: Self) -> Self {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a ^ b),
+            _ => Logic::X,
+        }
+    }
+
+    /// Maps `Z` to `X` for gate-input evaluation (a floating gate input
+    /// reads as unknown).
+    fn normalise(self) -> Self {
+        if self == Logic::Z {
+            Logic::X
+        } else {
+            self
+        }
+    }
+
+    /// The VCD character for this value (`0`, `1`, `x`, `z`).
+    pub fn vcd_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        }
+    }
+
+    /// Parses a VCD character (case-insensitive for `x`/`z`).
+    pub fn from_vcd_char(c: char) -> Option<Self> {
+        match c {
+            '0' => Some(Logic::Zero),
+            '1' => Some(Logic::One),
+            'x' | 'X' => Some(Logic::X),
+            'z' | 'Z' => Some(Logic::Z),
+            _ => None,
+        }
+    }
+}
+
+impl Not for Logic {
+    type Output = Logic;
+    fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X | Logic::Z => Logic::X,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.vcd_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Logic; 4] = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+
+    #[test]
+    fn controlling_values_dominate() {
+        for v in ALL {
+            assert_eq!(Logic::Zero.and(v), Logic::Zero, "0 AND {v}");
+            assert_eq!(v.and(Logic::Zero), Logic::Zero, "{v} AND 0");
+            assert_eq!(Logic::One.or(v), Logic::One, "1 OR {v}");
+            assert_eq!(v.or(Logic::One), Logic::One, "{v} OR 1");
+        }
+    }
+
+    #[test]
+    fn x_poisons_non_controlled() {
+        assert_eq!(Logic::One.and(Logic::X), Logic::X);
+        assert_eq!(Logic::Zero.or(Logic::Z), Logic::X);
+        assert_eq!(Logic::One.xor(Logic::X), Logic::X);
+        assert_eq!(!Logic::X, Logic::X);
+        assert_eq!(!Logic::Z, Logic::X);
+    }
+
+    #[test]
+    fn two_state_subset_matches_bool() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let (la, lb) = (Logic::from_bool(a), Logic::from_bool(b));
+                assert_eq!(la.and(lb).to_bool(), Some(a && b));
+                assert_eq!(la.or(lb).to_bool(), Some(a || b));
+                assert_eq!(la.xor(lb).to_bool(), Some(a ^ b));
+                assert_eq!((!la).to_bool(), Some(!a));
+            }
+        }
+    }
+
+    #[test]
+    fn vcd_round_trip() {
+        for v in ALL {
+            assert_eq!(Logic::from_vcd_char(v.vcd_char()), Some(v));
+        }
+        assert_eq!(Logic::from_vcd_char('q'), None);
+    }
+}

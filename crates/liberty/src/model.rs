@@ -1,0 +1,280 @@
+//! The shared transistor model behind every cell characterisation.
+//!
+//! One smooth I–V law has to serve two very different regimes in this
+//! paper: the 0.6 V operating point of Tables I/II (moderate inversion)
+//! and the 0.15–0.9 V sub-threshold sweeps of Figs. 9/10. We use the EKV
+//! interpolation
+//!
+//! ```text
+//! I_on(V) = I_spec · ln²(1 + exp((V − V_t) / (2·n·v_T)))
+//! ```
+//!
+//! which tends to `I_spec·((V−V_t)/(2n·v_T))²` in strong inversion
+//! (α ≈ 2 alpha-power behaviour) and to
+//! `I_spec·exp((V−V_t)/(n·v_T))` in weak inversion — exactly the
+//! exponential delay blow-up that limits sub-threshold designs.
+//!
+//! Leakage uses the standard sub-threshold expression with a DIBL term
+//! plus a gate-leakage component quadratic in `V`:
+//!
+//! ```text
+//! I_leak(V, T) = I_sub(T) · exp(η·V / (n·v_T(T))) + k_gate · V²
+//! ```
+//!
+//! and temperature enters through `v_T = kT/q` and a conventional
+//! `I_sub ∝ (T/T₀)²·exp(...)` junction term.
+
+use scpg_units::{Current, Temperature, Time, Voltage};
+
+/// Process parameters of one transistor flavour.
+///
+/// Two flavours matter for SCPG: the standard-V_t devices that build the
+/// logic cells, and the high-V_t PMOS used for the sleep headers (lower
+/// leakage, higher on-resistance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransistorModel {
+    /// Threshold voltage of this device instance (shifts under process
+    /// variation).
+    pub vt: Voltage,
+    /// Threshold voltage the library's delay/leakage numbers were
+    /// characterised at. Scaling laws normalise against this, so a `vt`
+    /// shift shows up as a real speed/leakage change rather than being
+    /// normalised away.
+    pub vt0: Voltage,
+    /// Sub-threshold slope factor `n` (dimensionless, typically 1.3–1.6).
+    pub n: f64,
+    /// Specific current scale of the EKV law, per unit drive strength.
+    pub i_spec: Current,
+    /// DIBL coefficient `η` coupling V_ds into the leakage exponent.
+    pub dibl: f64,
+    /// Sub-threshold leakage prefactor at the nominal temperature and the
+    /// characterisation supply (see [`TransistorModel::leakage_scale`]).
+    pub i_sub0: Current,
+    /// Gate-leakage coefficient: `I_gate = k_gate · (V/V_char)²·I_sub0`.
+    pub gate_leak_frac: f64,
+    /// Supply at which `i_sub0` was characterised.
+    pub v_char: Voltage,
+}
+
+impl TransistorModel {
+    /// Standard-V_t 90 nm logic device, calibrated per `DESIGN.md` §6.
+    pub fn standard_vt() -> Self {
+        Self {
+            vt: Voltage::from_mv(220.0),
+            vt0: Voltage::from_mv(220.0),
+            n: 1.4,
+            i_spec: Current::from_ua(4.0),
+            dibl: 0.12,
+            i_sub0: Current::from_na(1.0),
+            gate_leak_frac: 0.12,
+            v_char: Voltage::from_mv(600.0),
+        }
+    }
+
+    /// High-V_t PMOS used for the SCPG sleep headers: roughly 20× less
+    /// leaky than the standard device, at the cost of ~3× the
+    /// on-resistance at 0.6 V.
+    pub fn high_vt() -> Self {
+        Self {
+            vt: Voltage::from_mv(350.0),
+            vt0: Voltage::from_mv(350.0),
+            n: 1.45,
+            i_spec: Current::from_ua(2.4),
+            dibl: 0.14,
+            i_sub0: Current::from_na(0.05),
+            gate_leak_frac: 0.05,
+            v_char: Voltage::from_mv(600.0),
+        }
+    }
+
+    /// EKV on-current at gate/drain voltage `v` for a device of unit
+    /// drive strength. Smoothly spans weak → strong inversion.
+    pub fn on_current(&self, v: Voltage) -> Current {
+        self.on_current_at_vt(v, self.vt)
+    }
+
+    fn on_current_at_vt(&self, v: Voltage, vt: Voltage) -> Current {
+        let vt_therm = Temperature::NOMINAL.thermal_voltage().as_v();
+        let x = (v.as_v() - vt.as_v()) / (2.0 * self.n * vt_therm);
+        // ln(1+e^x) computed stably for large |x|.
+        let soft = if x > 30.0 {
+            x
+        } else {
+            x.exp().ln_1p()
+        };
+        Current::new(self.i_spec.value() * soft * soft)
+    }
+
+    /// Relative gate-delay scale at supply `v`, normalised to 1.0 at the
+    /// characterisation voltage.
+    ///
+    /// Delay follows `d ∝ C·V / I_on(V)`; this returns
+    /// `d(v) / d(v_char)` so cells can store one intrinsic delay number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not strictly positive.
+    pub fn delay_scale(&self, v: Voltage) -> f64 {
+        assert!(v.value() > 0.0, "delay scale requires a positive supply");
+        // Numerator: this die's devices; denominator: the
+        // characterisation point (nominal V_t at V_char).
+        let num = v.as_v() / self.on_current(v).value();
+        let den = self.v_char.as_v() / self.on_current_at_vt(self.v_char, self.vt0).value();
+        num / den
+    }
+
+    /// Relative leakage-current scale at `(v, t)`, normalised to 1.0 at
+    /// `(v_char, 25 °C)`.
+    pub fn leakage_scale(&self, v: Voltage, t: Temperature) -> f64 {
+        let sub = |vt: Voltage, vv: Voltage, tt: Temperature| {
+            // I_sub ∝ (T/T₀)² · exp((−V_t + η·V_ds) / (n·v_T(T))): the
+            // −V_t term in the exponent is what makes leakage grow with
+            // temperature (v_T rises, the negative exponent shrinks).
+            let vt_therm = tt.thermal_voltage().as_v();
+            let tk = tt.as_kelvin() / Temperature::NOMINAL.as_kelvin();
+            tk * tk * ((-vt.as_v() + self.dibl * vv.as_v()) / (self.n * vt_therm)).exp()
+        };
+        // Gate leakage: `gate_leak_frac` of the nominal sub-threshold
+        // component at the characterisation point, scaling with V² and
+        // (to first order) independent of temperature and V_t shifts.
+        let sub_nom = sub(self.vt0, self.v_char, Temperature::NOMINAL);
+        let gate = |vv: Voltage| {
+            let r = vv.as_v() / self.v_char.as_v();
+            self.gate_leak_frac * sub_nom * r * r
+        };
+        let nominal = sub_nom + gate(self.v_char);
+        (sub(self.vt, v, t) + gate(v)) / nominal
+    }
+
+    /// Absolute leakage current for a device of leakage weight 1.0.
+    pub fn leakage_current(&self, v: Voltage, t: Temperature) -> Current {
+        Current::new(self.i_sub0.value() * self.leakage_scale(v, t))
+    }
+
+    /// Effective on-resistance at supply `v` for a device of unit drive:
+    /// `R_on ≈ V / I_on(V)`.
+    pub fn on_resistance(&self, v: Voltage) -> scpg_units::Resistance {
+        v / self.on_current(v)
+    }
+
+    /// Scales an intrinsic delay characterised at `v_char` to supply `v`.
+    pub fn scale_delay(&self, intrinsic: Time, v: Voltage) -> Time {
+        intrinsic * self.delay_scale(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_current_is_monotonic_in_v() {
+        let m = TransistorModel::standard_vt();
+        let mut last = 0.0;
+        for mv in (100..=1200).step_by(50) {
+            let i = m.on_current(Voltage::from_mv(mv as f64)).value();
+            assert!(i > last, "I_on must grow with V ({mv} mV)");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn weak_inversion_is_exponential() {
+        // 100 mV below that, current should drop by ≈ e^(0.1/(n·vT)).
+        let m = TransistorModel::standard_vt();
+        let i1 = m.on_current(Voltage::from_mv(120.0)).value();
+        let i2 = m.on_current(Voltage::from_mv(20.0)).value();
+        let measured_ratio = i1 / i2;
+        let vt_therm = Temperature::NOMINAL.thermal_voltage().as_v();
+        let expected = (0.1 / (m.n * vt_therm)).exp();
+        // Deep sub-threshold: EKV tends to the pure exponential within ~20 %.
+        assert!(
+            (measured_ratio / expected - 1.0).abs() < 0.2,
+            "ratio {measured_ratio:.1} vs exponential {expected:.1}"
+        );
+    }
+
+    #[test]
+    fn strong_inversion_is_roughly_quadratic() {
+        let m = TransistorModel::standard_vt();
+        let ov = |mv: f64| mv - m.vt.as_mv(); // overdrive in mV
+        let i_a = m.on_current(Voltage::from_mv(900.0)).value();
+        let i_b = m.on_current(Voltage::from_mv(1200.0)).value();
+        let expected = (ov(1200.0) / ov(900.0)).powi(2);
+        let measured = i_b / i_a;
+        assert!(
+            (measured / expected - 1.0).abs() < 0.25,
+            "measured {measured:.2} vs quadratic {expected:.2}"
+        );
+    }
+
+    #[test]
+    fn delay_scale_is_one_at_char_voltage() {
+        let m = TransistorModel::standard_vt();
+        assert!((m.delay_scale(m.v_char) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_explodes_below_threshold() {
+        let m = TransistorModel::standard_vt();
+        let near = m.delay_scale(Voltage::from_mv(310.0));
+        let deep = m.delay_scale(Voltage::from_mv(180.0));
+        // Near-threshold slowdown is modest; deep sub-threshold is brutal.
+        assert!(near > 3.0 && near < 20.0, "near-threshold scale {near:.2}");
+        assert!(deep > 25.0, "deep sub-threshold scale {deep:.1}");
+    }
+
+    #[test]
+    fn leakage_has_positive_dibl() {
+        let m = TransistorModel::standard_vt();
+        let t = Temperature::NOMINAL;
+        let l6 = m.leakage_scale(Voltage::from_mv(600.0), t);
+        let l3 = m.leakage_scale(Voltage::from_mv(310.0), t);
+        assert!((l6 - 1.0).abs() < 1e-9, "normalised at 0.6 V, got {l6}");
+        // Leakage drops a few × from 0.6 V to 0.31 V (DIBL).
+        let ratio = l6 / l3;
+        assert!(
+            (1.8..8.0).contains(&ratio),
+            "0.6 V / 0.31 V leakage ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature() {
+        let m = TransistorModel::standard_vt();
+        let v = Voltage::from_mv(600.0);
+        let hot = m.leakage_scale(v, Temperature::from_celsius(85.0));
+        let cold = m.leakage_scale(v, Temperature::from_celsius(0.0));
+        assert!(hot > 1.5, "85 °C leakage scale {hot:.2}");
+        assert!(cold < 1.0, "0 °C leakage scale {cold:.2}");
+    }
+
+    #[test]
+    fn high_vt_is_much_less_leaky_but_slower() {
+        let hv = TransistorModel::high_vt();
+        let sv = TransistorModel::standard_vt();
+        let v = Voltage::from_mv(600.0);
+        let t = Temperature::NOMINAL;
+        let leak_ratio = sv.leakage_current(v, t).value() / hv.leakage_current(v, t).value();
+        assert!(leak_ratio > 10.0, "high-Vt leakage advantage {leak_ratio:.1}×");
+        let r_ratio = hv.on_resistance(v).value() / sv.on_resistance(v).value();
+        assert!(r_ratio > 2.0, "high-Vt resistance penalty {r_ratio:.1}×");
+    }
+
+    #[test]
+    fn subthreshold_fmax_ratio_matches_paper_anchor() {
+        // DESIGN.md §6 anchor: multiplier F_max(310 mV) ≈ F_max(600 mV)/6.4.
+        let m = TransistorModel::standard_vt();
+        let slowdown = m.delay_scale(Voltage::from_mv(310.0));
+        assert!(
+            (4.0..10.0).contains(&slowdown),
+            "310 mV slowdown {slowdown:.2} outside calibration band"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive supply")]
+    fn zero_supply_rejected() {
+        let _ = TransistorModel::standard_vt().delay_scale(Voltage::ZERO);
+    }
+}

@@ -1,0 +1,99 @@
+//! Netlist error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building, validating or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// An instance references a cell name the library does not define.
+    UnknownCell {
+        /// Offending instance name.
+        instance: String,
+        /// The unresolved cell name.
+        cell: String,
+    },
+    /// An instance's connection count does not match its cell's pin count.
+    PinCountMismatch {
+        /// Offending instance name.
+        instance: String,
+        /// Cell name.
+        cell: String,
+        /// Pins the cell defines.
+        expected: usize,
+        /// Connections the instance provided.
+        found: usize,
+    },
+    /// A net is driven by more than one output pin.
+    MultipleDrivers {
+        /// The multiply-driven net name.
+        net: String,
+    },
+    /// An instance input (or output port) reads a net nothing drives.
+    UndrivenNet {
+        /// The floating net name.
+        net: String,
+    },
+    /// Two nets or two instances share a name.
+    DuplicateName {
+        /// The clashing name.
+        name: String,
+    },
+    /// Structural-Verilog text could not be parsed.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownCell { instance, cell } => {
+                write!(f, "instance `{instance}` references unknown cell `{cell}`")
+            }
+            NetlistError::PinCountMismatch { instance, cell, expected, found } => write!(
+                f,
+                "instance `{instance}` of `{cell}` connects {found} pins, cell has {expected}"
+            ),
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has multiple drivers")
+            }
+            NetlistError::UndrivenNet { net } => {
+                write!(f, "net `{net}` is read but never driven")
+            }
+            NetlistError::DuplicateName { name } => {
+                write!(f, "duplicate name `{name}`")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "verilog parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = NetlistError::UnknownCell {
+            instance: "u1".into(),
+            cell: "FOO".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("u1") && msg.contains("FOO"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_: &(dyn Error + Send + Sync)) {}
+        takes_err(&NetlistError::UndrivenNet { net: "n1".into() });
+    }
+}

@@ -1,0 +1,289 @@
+//! Structural-Verilog emission and parsing.
+//!
+//! The paper's flow (Fig. 5) works on Verilog netlists: step 1 "parses the
+//! netlist of a design and moves the combinational logic to a separate
+//! verilog module". We speak the same dialect — a flat structural subset
+//! with named-pin instantiations:
+//!
+//! ```verilog
+//! module toy (a, b, y);
+//!   input a;
+//!   input b;
+//!   output y;
+//!   wire _n0;
+//!   NAND2_X1 u1 (.A(a), .B(b), .Y(_n0));
+//!   INV_X1 u2 (.A(_n0), .Y(y));
+//! endmodule
+//! ```
+//!
+//! [`emit_verilog`] and [`parse_verilog`] round-trip this subset;
+//! [`emit_verilog_split`] writes the two-domain form produced by the SCPG
+//! flow's netlist-splitting step.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use scpg_liberty::Library;
+
+use crate::error::NetlistError;
+use crate::netlist::{Domain, Netlist, PortDirection};
+
+fn pin_names(lib: &Library, cell: &str) -> Option<Vec<&'static str>> {
+    let kind = lib.cell(cell)?.kind();
+    Some(
+        kind.input_names()
+            .iter()
+            .chain(kind.output_names())
+            .copied()
+            .collect(),
+    )
+}
+
+/// Emits the netlist as structural Verilog.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownCell`] if an instance's cell is not in
+/// `lib` (pin names come from the library).
+pub fn emit_verilog(nl: &Netlist, lib: &Library) -> Result<String, NetlistError> {
+    emit_module(nl, lib, nl.name(), |_| true)
+}
+
+/// Emits the SCPG split form: the gated combinational domain as its own
+/// module followed by the always-on remainder, mirroring step 1 of the
+/// paper's design flow.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownCell`] if an instance's cell is not in
+/// `lib`.
+pub fn emit_verilog_split(nl: &Netlist, lib: &Library) -> Result<String, NetlistError> {
+    let gated = emit_module(nl, lib, &format!("{}_gated", nl.name()), |d| {
+        d == Domain::Gated
+    })?;
+    let aon = emit_module(nl, lib, &format!("{}_aon", nl.name()), |d| {
+        d == Domain::AlwaysOn
+    })?;
+    Ok(format!(
+        "// SCPG split netlist: power-gated combinational domain + always-on domain\n{gated}\n{aon}"
+    ))
+}
+
+fn emit_module(
+    nl: &Netlist,
+    lib: &Library,
+    module_name: &str,
+    keep: impl Fn(Domain) -> bool,
+) -> Result<String, NetlistError> {
+    // Nets used by kept instances.
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    for inst in nl.instances().iter().filter(|i| keep(i.domain())) {
+        for &n in inst.connections() {
+            used.insert(n.index());
+        }
+    }
+
+    let mut out = String::new();
+    let port_list: Vec<&crate::netlist::Port> = nl
+        .ports()
+        .iter()
+        .filter(|p| used.contains(&p.net.index()) || keep(Domain::AlwaysOn))
+        .collect();
+    let names: Vec<&str> = port_list.iter().map(|p| p.name.as_str()).collect();
+    let _ = writeln!(out, "module {module_name} ({});", names.join(", "));
+    for p in &port_list {
+        let dir = match p.direction {
+            PortDirection::Input => "input",
+            PortDirection::Output => "output",
+        };
+        let _ = writeln!(out, "  {dir} {};", p.name);
+    }
+    let port_nets: BTreeSet<usize> = port_list.iter().map(|p| p.net.index()).collect();
+    for idx in &used {
+        if !port_nets.contains(idx) {
+            let _ = writeln!(out, "  wire {};", nl.nets()[*idx].name());
+        }
+    }
+    for inst in nl.instances().iter().filter(|i| keep(i.domain())) {
+        let pins = pin_names(lib, inst.cell()).ok_or_else(|| NetlistError::UnknownCell {
+            instance: inst.name().to_string(),
+            cell: inst.cell().to_string(),
+        })?;
+        let conns: Vec<String> = pins
+            .iter()
+            .zip(inst.connections())
+            .map(|(pin, net)| format!(".{pin}({})", nl.net(*net).name()))
+            .collect();
+        let _ = writeln!(out, "  {} {} ({});", inst.cell(), inst.name(), conns.join(", "));
+    }
+    let _ = writeln!(out, "endmodule");
+    Ok(out)
+}
+
+/// Parses the structural subset emitted by [`emit_verilog`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed text and
+/// [`NetlistError::UnknownCell`] for instances of cells missing from
+/// `lib` (pin positions cannot be resolved without the cell).
+pub fn parse_verilog(text: &str, lib: &Library) -> Result<Netlist, NetlistError> {
+    let mut nl: Option<Netlist> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let line = line.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: &str| NetlistError::Parse {
+            line: lineno + 1,
+            message: message.to_string(),
+        };
+        if let Some(rest) = line.strip_prefix("module ") {
+            let name = rest
+                .split(['(', ';'])
+                .next()
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| err("missing module name"))?;
+            nl = Some(Netlist::new(name));
+        } else if line == "endmodule" {
+            // Flat netlists: nothing to pop.
+        } else if let Some(rest) = line.strip_prefix("input ") {
+            let nl = nl.as_mut().ok_or_else(|| err("input outside module"))?;
+            for name in rest.trim_end_matches(';').split(',') {
+                nl.add_input(name.trim());
+            }
+        } else if let Some(rest) = line.strip_prefix("output ") {
+            let nl = nl.as_mut().ok_or_else(|| err("output outside module"))?;
+            for name in rest.trim_end_matches(';').split(',') {
+                nl.add_output(name.trim());
+            }
+        } else if let Some(rest) = line.strip_prefix("wire ") {
+            let nl = nl.as_mut().ok_or_else(|| err("wire outside module"))?;
+            for name in rest.trim_end_matches(';').split(',') {
+                nl.add_net(name.trim());
+            }
+        } else {
+            // `CELL inst (.PIN(net), ...);`
+            let nl_ref = nl.as_mut().ok_or_else(|| err("instance outside module"))?;
+            let open = line.find('(').ok_or_else(|| err("expected `(`"))?;
+            let head: Vec<&str> = line[..open].split_whitespace().collect();
+            let [cell, inst_name] = head[..] else {
+                return Err(err("expected `CELL name (...)`"));
+            };
+            let close = line.rfind(')').ok_or_else(|| err("expected `)`"))?;
+            let body = &line[open + 1..close];
+            let pins = pin_names(lib, cell).ok_or_else(|| NetlistError::UnknownCell {
+                instance: inst_name.to_string(),
+                cell: cell.to_string(),
+            })?;
+            let mut conns = vec![None; pins.len()];
+            for item in body.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let item = item
+                    .strip_prefix('.')
+                    .ok_or_else(|| err("expected named connection `.PIN(net)`"))?;
+                let p_open = item.find('(').ok_or_else(|| err("expected `(` in pin"))?;
+                let pin_name = item[..p_open].trim();
+                let net_name = item[p_open + 1..]
+                    .trim_end_matches(')')
+                    .trim();
+                let pos = pins
+                    .iter()
+                    .position(|p| *p == pin_name)
+                    .ok_or_else(|| err(&format!("cell `{cell}` has no pin `{pin_name}`")))?;
+                conns[pos] = Some(nl_ref.add_net(net_name));
+            }
+            let conns: Option<Vec<_>> = conns.into_iter().collect();
+            let conns = conns.ok_or_else(|| err("instance leaves pins unconnected"))?;
+            nl_ref.add_instance(inst_name, cell, &conns)?;
+        }
+    }
+    nl.ok_or(NetlistError::Parse { line: 0, message: "no module found".to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Netlist, Library) {
+        let lib = Library::ninety_nm();
+        let mut nl = Netlist::new("toy");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let n1 = nl.add_net("mid");
+        let y = nl.add_output("y");
+        nl.add_instance("u1", "NAND2_X1", &[a, b, n1]).unwrap();
+        nl.add_instance("u2", "INV_X1", &[n1, y]).unwrap();
+        (nl, lib)
+    }
+
+    #[test]
+    fn emit_contains_structure() {
+        let (nl, lib) = sample();
+        let v = emit_verilog(&nl, &lib).unwrap();
+        assert!(v.contains("module toy (a, b, y);"));
+        assert!(v.contains("  wire mid;"));
+        assert!(v.contains("NAND2_X1 u1 (.A(a), .B(b), .Y(mid));"));
+        assert!(v.ends_with("endmodule\n"));
+    }
+
+    #[test]
+    fn round_trip_preserves_design() {
+        let (nl, lib) = sample();
+        let v = emit_verilog(&nl, &lib).unwrap();
+        let back = parse_verilog(&v, &lib).unwrap();
+        back.validate(&lib).unwrap();
+        assert_eq!(back.name(), "toy");
+        assert_eq!(back.instances().len(), 2);
+        assert_eq!(back.ports().len(), 3);
+        // Same structure: u1 drives the net read by u2.
+        let conn = back.connectivity(&lib).unwrap();
+        let mid = back.net_by_name("mid").unwrap();
+        let drv = conn.driver(mid).unwrap();
+        assert_eq!(back.instance(drv.inst).name(), "u1");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_pin() {
+        let lib = Library::ninety_nm();
+        let text = "module m (a);\n input a;\n INV_X1 u (.QQ(a), .Y(a));\nendmodule\n";
+        assert!(matches!(
+            parse_verilog(text, &lib),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_cell() {
+        let lib = Library::ninety_nm();
+        let text = "module m (a);\n input a;\n WAT u (.A(a));\nendmodule\n";
+        assert!(matches!(
+            parse_verilog(text, &lib),
+            Err(NetlistError::UnknownCell { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_handles_comments_and_blank_lines() {
+        let lib = Library::ninety_nm();
+        let text = "// header\nmodule m (a, y);\n\n input a; // in\n output y;\n INV_X1 u (.A(a), .Y(y));\nendmodule\n";
+        let nl = parse_verilog(text, &lib).unwrap();
+        assert_eq!(nl.instances().len(), 1);
+    }
+
+    #[test]
+    fn split_emission_separates_domains() {
+        let (mut nl, lib) = sample();
+        let u1 = nl.instance_by_name("u1").unwrap();
+        nl.set_domain(u1, Domain::Gated);
+        let v = emit_verilog_split(&nl, &lib).unwrap();
+        assert!(v.contains("module toy_gated"));
+        assert!(v.contains("module toy_aon"));
+        // u1 only in the gated module, u2 only in the aon module.
+        let gated_part = v.split("module toy_aon").next().unwrap();
+        let aon_part = v.split("module toy_aon").nth(1).unwrap();
+        assert!(gated_part.contains("u1") && !gated_part.contains("INV_X1 u2"));
+        assert!(aon_part.contains("u2") && !aon_part.contains("NAND2_X1 u1"));
+    }
+}

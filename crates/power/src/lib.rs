@@ -1,0 +1,45 @@
+//! Power analysis ("Primetime-PX substitute").
+//!
+//! Computes the two power components the paper's tables report:
+//!
+//! * **dynamic power** from switching activity — every net toggle charges
+//!   the net's capacitance and burns the driving cell's internal energy
+//!   ([`PowerAnalyzer::dynamic`]);
+//! * **leakage power** from cell state — each cell leaks per its library
+//!   characterisation, modulated by the stack-effect state factor derived
+//!   from the nets' observed high-time ([`PowerAnalyzer::leakage`]),
+//!   broken out by power domain so SCPG's gated/always-on split can be
+//!   reasoned about directly.
+//!
+//! The [`subthreshold`] module implements the §IV comparison: sweep VDD,
+//! recompute `F_max` (via [`scpg_sta`]) and both energy components per
+//! operation, and locate the minimum-energy point that sub-threshold
+//! designs operate at (paper Figs. 9/10).
+//!
+//! # Example
+//!
+//! ```
+//! use scpg_liberty::{Library, PvtCorner};
+//! use scpg_netlist::Netlist;
+//! use scpg_power::PowerAnalyzer;
+//!
+//! let lib = Library::ninety_nm();
+//! let mut nl = Netlist::new("t");
+//! let a = nl.add_input("a");
+//! let y = nl.add_output("y");
+//! nl.add_instance("u", "INV_X1", &[a, y])?;
+//! let analyzer = PowerAnalyzer::new(&nl, &lib, PvtCorner::default())?;
+//! let leak = analyzer.leakage(None);
+//! assert!(leak.total.as_nw() > 0.0);
+//! # Ok::<(), scpg_netlist::NetlistError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod analyzer;
+pub mod subthreshold;
+pub mod variation;
+
+pub use analyzer::{DynamicReport, LeakageReport, PowerAnalyzer};
+pub use subthreshold::{MinimumEnergyPoint, SubthresholdCurve, SubthresholdPoint};
+pub use variation::{VariationConfig, VariationSample, VariationStudy};

@@ -1,0 +1,645 @@
+//! The event queue and evaluation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use scpg_liberty::{CellKind, Library, Logic, PvtCorner, SequentialKind};
+use scpg_netlist::{Domain, NetId, Netlist, NetlistError};
+use scpg_waveform::{Activity, ActivityBuilder, VcdWriter};
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Supply/temperature corner used to compute cell delays.
+    pub corner: PvtCorner,
+    /// Bin width for windowed activity (`None` disables windowing).
+    pub window_ps: Option<u64>,
+    /// Record a VCD of every net.
+    pub vcd: bool,
+    /// Delay from `SLEEP` rising to the virtual rail reading as collapsed.
+    ///
+    /// In silicon this is set by the domain's leakage discharging
+    /// `C_VDDV`; the flow obtains it from the analog solver. The default
+    /// is a conservative few nanoseconds.
+    pub collapse_delay_ps: u64,
+    /// Delay from `SLEEP` falling to the rail reading as restored
+    /// (`T_PGStart` in the paper's Fig. 4).
+    pub restore_delay_ps: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            corner: PvtCorner::default(),
+            window_ps: None,
+            vcd: false,
+            collapse_delay_ps: 2_000,
+            restore_delay_ps: 1_000,
+        }
+    }
+}
+
+/// Results of a finished simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-net switching activity.
+    pub activity: Activity,
+    /// The VCD text, when [`SimConfig::vcd`] was enabled.
+    pub vcd: Option<String>,
+    /// Final simulation time in picoseconds.
+    pub end_ps: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledCell {
+    kind: CellKind,
+    domain: Domain,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    /// Per-output propagation delay in ps.
+    delays: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: u64,
+    seq: u64,
+    net: u32,
+    value_tag: u8,
+}
+
+fn tag_of(v: Logic) -> u8 {
+    match v {
+        Logic::Zero => 0,
+        Logic::One => 1,
+        Logic::X => 2,
+        Logic::Z => 3,
+    }
+}
+
+fn untag(t: u8) -> Logic {
+    match t {
+        0 => Logic::Zero,
+        1 => Logic::One,
+        2 => Logic::X,
+        _ => Logic::Z,
+    }
+}
+
+/// An event-driven simulator bound to one netlist and library.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    nl: &'a Netlist,
+    cells: Vec<CompiledCell>,
+    /// For each net: indices of cells reading it.
+    readers: Vec<Vec<u32>>,
+    values: Vec<Logic>,
+    flop_state: Vec<Logic>,
+    /// Inertial-delay bookkeeping: only the most recently scheduled event
+    /// per net is allowed to fire, so pulses shorter than the driving
+    /// cell's delay are filtered exactly as a real gate filters them.
+    latest_event: Vec<u64>,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    time: u64,
+    rail_up: bool,
+    /// Nets driven by header cells (virtual rails).
+    rail_nets: Vec<bool>,
+    activity: ActivityBuilder,
+    vcd: Option<VcdWriter>,
+    config: SimConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Compiles `nl` against `lib` and prepares an all-`X` initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] if the netlist does not resolve against
+    /// the library.
+    pub fn new(nl: &'a Netlist, lib: &Library, config: SimConfig) -> Result<Self, NetlistError> {
+        let conn = nl.connectivity(lib)?;
+        let mut cells = Vec::with_capacity(nl.instances().len());
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); nl.nets().len()];
+
+        for (idx, (_, inst)) in nl.iter_instances().enumerate() {
+            let cell = lib.expect_cell(inst.cell());
+            let kind = cell.kind();
+            let n_in = kind.num_inputs();
+            let inputs = inst.connections()[..n_in].to_vec();
+            let outputs = inst.connections()[n_in..].to_vec();
+            // Per-output load = wire + fan-in caps of reading pins.
+            let delays = outputs
+                .iter()
+                .map(|&out| {
+                    let mut load = lib.wire_cap();
+                    for pin in conn.loads(out) {
+                        let reader = nl.instance(pin.inst);
+                        load += lib.expect_cell(reader.cell()).input_cap();
+                    }
+                    let d = cell.delay(config.corner.voltage, load);
+                    (d.as_ps().round() as u64).max(1)
+                })
+                .collect();
+            for &i in &inputs {
+                readers[i.index()].push(idx as u32);
+            }
+            cells.push(CompiledCell { kind, domain: inst.domain(), inputs, outputs, delays });
+        }
+
+        let names: Vec<&str> = nl.nets().iter().map(|n| n.name()).collect();
+        let vcd = config.vcd.then(|| VcdWriter::new(nl.name(), &names));
+
+        let mut rail_nets = vec![false; nl.nets().len()];
+        for c in &cells {
+            if c.kind == CellKind::Header {
+                rail_nets[c.outputs[0].index()] = true;
+            }
+        }
+
+        let mut sim = Self {
+            nl,
+            cells,
+            readers,
+            values: vec![Logic::X; nl.nets().len()],
+            flop_state: vec![Logic::X; nl.instances().len()],
+            latest_event: vec![0; nl.nets().len()],
+            queue: BinaryHeap::new(),
+            seq: 0,
+            time: 0,
+            rail_up: true,
+            rail_nets,
+            activity: ActivityBuilder::new(nl.nets().len(), config.window_ps),
+            vcd,
+            config,
+        };
+        // Ties and other zero-input cells drive their constants at t=0.
+        for idx in 0..sim.cells.len() {
+            if sim.cells[idx].inputs.is_empty() && sim.cells[idx].kind.is_combinational() {
+                sim.evaluate_cell(idx);
+            }
+        }
+        Ok(sim)
+    }
+
+    /// Current simulation time in picoseconds.
+    pub fn time_ps(&self) -> u64 {
+        self.time
+    }
+
+    /// `true` while the virtual rail is powered.
+    pub fn rail_up(&self) -> bool {
+        self.rail_up
+    }
+
+    /// The current value of a net.
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// Drives a primary input at the current time.
+    pub fn set_input(&mut self, net: NetId, value: Logic) {
+        self.schedule(self.time, net, value);
+    }
+
+    /// Drives a primary input looked up by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no net has this name.
+    pub fn set_input_by_name(&mut self, name: &str, value: Logic) {
+        let net = self
+            .nl
+            .net_by_name(name)
+            .unwrap_or_else(|| panic!("no net named `{name}`"));
+        self.set_input(net, value);
+    }
+
+    fn schedule(&mut self, time: u64, net: NetId, value: Logic) {
+        self.seq += 1;
+        self.latest_event[net.index()] = self.seq;
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            net: net.index() as u32,
+            value_tag: tag_of(value),
+        }));
+    }
+
+    /// Runs until the queue is empty or `deadline_ps` is reached, whichever
+    /// comes first. Returns the number of processed events.
+    pub fn run_until(&mut self, deadline_ps: u64) -> u64 {
+        let mut processed = 0;
+        while let Some(Reverse(ev)) = self.queue.peek().copied() {
+            if ev.time > deadline_ps {
+                break;
+            }
+            self.queue.pop();
+            // Inertial filtering: a newer scheduled value for this net
+            // supersedes (and swallows) this one.
+            if self.latest_event[ev.net as usize] != ev.seq {
+                continue;
+            }
+            self.time = ev.time;
+            self.apply(NetId::from_index(ev.net as usize), untag(ev.value_tag));
+            processed += 1;
+        }
+        self.time = self.time.max(deadline_ps);
+        processed
+    }
+
+    /// Runs until no events remain, up to `max_ps`. Returns `true` when
+    /// the design settled (queue drained) before the horizon.
+    pub fn run_until_quiet(&mut self, max_ps: u64) -> bool {
+        self.run_until(max_ps);
+        self.queue.is_empty()
+    }
+
+    fn apply(&mut self, net: NetId, value: Logic) {
+        let idx = net.index();
+        let old = self.values[idx];
+        if old == value {
+            return;
+        }
+        self.values[idx] = value;
+        self.activity.record(self.time, idx, value);
+        if let Some(v) = &mut self.vcd {
+            v.change(self.time, idx, value);
+        }
+        // A virtual-rail transition switches the whole gated domain.
+        if self.rail_nets[idx] {
+            if value == Logic::One {
+                self.rail_up = true;
+                self.reevaluate_gated_domain();
+            } else {
+                self.rail_up = false;
+                self.corrupt_gated_domain();
+            }
+        }
+        // Notify readers.
+        let readers = self.readers[idx].clone();
+        for cell_idx in readers {
+            self.on_input_change(cell_idx as usize, net, old, value);
+        }
+    }
+
+    fn input_values(&self, idx: usize) -> Vec<Logic> {
+        self.cells[idx]
+            .inputs
+            .iter()
+            .map(|n| self.values[n.index()])
+            .collect()
+    }
+
+    fn on_input_change(&mut self, idx: usize, net: NetId, old: Logic, new: Logic) {
+        let kind = self.cells[idx].kind;
+        match kind.sequential() {
+            Some(SequentialKind::DffRising) => {
+                // Pins: D, CK.
+                if self.cells[idx].inputs[1] == net && old != Logic::One && new == Logic::One {
+                    let d = self.values[self.cells[idx].inputs[0].index()];
+                    self.update_flop(idx, d);
+                }
+            }
+            Some(SequentialKind::DffRisingResetN) => {
+                // Pins: D, CK, RN.
+                let rn = self.values[self.cells[idx].inputs[2].index()];
+                if self.cells[idx].inputs[2] == net && new == Logic::Zero {
+                    self.update_flop(idx, Logic::Zero);
+                } else if rn != Logic::Zero
+                    && self.cells[idx].inputs[1] == net
+                    && old != Logic::One
+                    && new == Logic::One
+                {
+                    let d = self.values[self.cells[idx].inputs[0].index()];
+                    let d = if rn == Logic::One { d } else { Logic::X };
+                    self.update_flop(idx, d);
+                }
+            }
+            Some(SequentialKind::LatchHigh) => {
+                // Pins: D, EN. Transparent while EN is high.
+                let en = self.values[self.cells[idx].inputs[1].index()];
+                if en == Logic::One {
+                    let d = self.values[self.cells[idx].inputs[0].index()];
+                    self.update_flop(idx, d);
+                } else if en == Logic::X {
+                    self.update_flop(idx, Logic::X);
+                }
+            }
+            None => {
+                if kind == CellKind::Header {
+                    self.on_header_change(idx, new);
+                } else {
+                    self.evaluate_cell(idx);
+                }
+            }
+        }
+    }
+
+    fn update_flop(&mut self, idx: usize, q: Logic) {
+        if self.flop_state[idx] == q {
+            return;
+        }
+        self.flop_state[idx] = q;
+        let out = self.cells[idx].outputs[0];
+        let delay = self.cells[idx].delays[0];
+        self.schedule(self.time + delay, out, q);
+    }
+
+    fn evaluate_cell(&mut self, idx: usize) {
+        let gated_down = self.cells[idx].domain == Domain::Gated && !self.rail_up;
+        let ins = self.input_values(idx);
+        let outs = self.cells[idx].kind.eval(&ins);
+        for (pos, &v) in outs.as_slice().iter().enumerate() {
+            let v = if gated_down { Logic::X } else { v };
+            let out = self.cells[idx].outputs[pos];
+            let delay = self.cells[idx].delays[pos];
+            self.schedule(self.time + delay, out, v);
+        }
+    }
+
+    fn on_header_change(&mut self, idx: usize, sleep: Logic) {
+        // The rail *net* transition (scheduled here) is what actually
+        // corrupts or revives the gated domain, so in-flight events and
+        // the rail state can never disagree.
+        let rail_net = self.cells[idx].outputs[0];
+        match sleep {
+            // Released: the domain's leakage discharges C_VDDV; the rail
+            // reads as collapsed after the decay delay.
+            Logic::One => {
+                self.schedule(self.time + self.config.collapse_delay_ps, rail_net, Logic::X)
+            }
+            // Re-driven: reads as a solid 1 after T_PGStart (Fig. 4).
+            Logic::Zero => {
+                self.schedule(self.time + self.config.restore_delay_ps, rail_net, Logic::One)
+            }
+            _ => self.schedule(self.time + 1, rail_net, Logic::X),
+        }
+    }
+
+    fn corrupt_gated_domain(&mut self) {
+        for idx in 0..self.cells.len() {
+            if self.cells[idx].domain != Domain::Gated {
+                continue;
+            }
+            for pos in 0..self.cells[idx].outputs.len() {
+                let out = self.cells[idx].outputs[pos];
+                let delay = self.cells[idx].delays[pos];
+                self.schedule(self.time + delay, out, Logic::X);
+            }
+        }
+    }
+
+    fn reevaluate_gated_domain(&mut self) {
+        for idx in 0..self.cells.len() {
+            if self.cells[idx].domain != Domain::Gated {
+                continue;
+            }
+            let ins = self.input_values(idx);
+            let outs = self.cells[idx].kind.eval(&ins);
+            for (pos, &v) in outs.as_slice().iter().enumerate() {
+                let out = self.cells[idx].outputs[pos];
+                let delay = self.cells[idx].delays[pos];
+                self.schedule(self.time + delay, out, v);
+            }
+        }
+    }
+
+    /// Finishes the run and returns the recorded activity/VCD.
+    pub fn finish(self) -> SimResult {
+        let end = self.time;
+        SimResult {
+            activity: self.activity.finish(end),
+            vcd: self.vcd.map(|v| v.finish(end)),
+            end_ps: end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpg_liberty::Library;
+
+    fn lib() -> Library {
+        Library::ninety_nm()
+    }
+
+    #[test]
+    fn combinational_chain_propagates_with_delay() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let n1 = nl.add_fresh_net();
+        let y = nl.add_output("y");
+        nl.add_instance("u1", "INV_X1", &[a, n1]).unwrap();
+        nl.add_instance("u2", "INV_X1", &[n1, y]).unwrap();
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        sim.set_input(a, Logic::Zero);
+        assert!(sim.run_until_quiet(100_000));
+        assert_eq!(sim.value(y), Logic::Zero);
+        assert_eq!(sim.value(n1), Logic::One);
+        assert!(sim.time_ps() > 0, "propagation must consume time");
+    }
+
+    #[test]
+    fn glitches_are_simulated() {
+        // XOR of a signal with a delayed copy glitches on every edge.
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let d1 = nl.add_fresh_net();
+        let d2 = nl.add_fresh_net();
+        let y = nl.add_output("y");
+        nl.add_instance("b1", "BUF_X1", &[a, d1]).unwrap();
+        nl.add_instance("b2", "BUF_X1", &[d1, d2]).unwrap();
+        nl.add_instance("x", "XOR2_X1", &[a, d2, y]).unwrap();
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        sim.set_input(a, Logic::Zero);
+        sim.run_until_quiet(1_000_000);
+        sim.set_input(a, Logic::One);
+        sim.run_until_quiet(2_000_000);
+        let res = sim.finish();
+        // y pulses 0→1→0: at least 2 toggles beyond initialisation.
+        let yact = res.activity.net(y.index());
+        assert!(yact.toggles >= 2, "expected a glitch, got {yact:?}");
+    }
+
+    #[test]
+    fn dff_samples_on_rising_edge_only() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let d = nl.add_input("d");
+        let ck = nl.add_input("ck");
+        let q = nl.add_output("q");
+        nl.add_instance("ff", "DFF_X1", &[d, ck, q]).unwrap();
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        sim.set_input(ck, Logic::Zero);
+        sim.set_input(d, Logic::One);
+        sim.run_until_quiet(10_000);
+        assert_eq!(sim.value(q), Logic::X, "no edge yet");
+        sim.set_input(ck, Logic::One);
+        sim.run_until_quiet(20_000);
+        assert_eq!(sim.value(q), Logic::One, "sampled on posedge");
+        sim.set_input(d, Logic::Zero);
+        sim.run_until_quiet(30_000);
+        assert_eq!(sim.value(q), Logic::One, "D changes do not pass through");
+        sim.set_input(ck, Logic::Zero);
+        sim.run_until_quiet(40_000);
+        assert_eq!(sim.value(q), Logic::One, "negedge does not sample");
+    }
+
+    #[test]
+    fn dffr_resets_asynchronously() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let d = nl.add_input("d");
+        let ck = nl.add_input("ck");
+        let rn = nl.add_input("rn");
+        let q = nl.add_output("q");
+        nl.add_instance("ff", "DFFR_X1", &[d, ck, rn, q]).unwrap();
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        sim.set_input(rn, Logic::Zero);
+        sim.set_input(ck, Logic::Zero);
+        sim.set_input(d, Logic::One);
+        sim.run_until_quiet(10_000);
+        assert_eq!(sim.value(q), Logic::Zero, "async reset");
+        // Clock while in reset: stays 0.
+        sim.set_input(ck, Logic::One);
+        sim.run_until_quiet(20_000);
+        assert_eq!(sim.value(q), Logic::Zero);
+        // Release reset, clock in the 1.
+        sim.set_input(rn, Logic::One);
+        sim.set_input(ck, Logic::Zero);
+        sim.run_until_quiet(30_000);
+        sim.set_input(ck, Logic::One);
+        sim.run_until_quiet(40_000);
+        assert_eq!(sim.value(q), Logic::One);
+    }
+
+    #[test]
+    fn latch_is_transparent_while_enabled() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let d = nl.add_input("d");
+        let en = nl.add_input("en");
+        let q = nl.add_output("q");
+        nl.add_instance("lt", "LATCH_X1", &[d, en, q]).unwrap();
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        sim.set_input(en, Logic::One);
+        sim.set_input(d, Logic::One);
+        sim.run_until_quiet(10_000);
+        assert_eq!(sim.value(q), Logic::One);
+        sim.set_input(d, Logic::Zero);
+        sim.run_until_quiet(20_000);
+        assert_eq!(sim.value(q), Logic::Zero, "transparent");
+        sim.set_input(en, Logic::Zero);
+        sim.run_until_quiet(25_000);
+        sim.set_input(d, Logic::One);
+        sim.run_until_quiet(30_000);
+        assert_eq!(sim.value(q), Logic::Zero, "opaque when disabled");
+    }
+
+    #[test]
+    fn header_collapse_corrupts_gated_cells_and_restore_recovers() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let sleep = nl.add_input("sleep");
+        let vddv = nl.add_net("vddv");
+        let n1 = nl.add_fresh_net();
+        let y = nl.add_output("y");
+        nl.add_instance("hdr", "HDR_X2", &[sleep, vddv]).unwrap();
+        let g = nl.add_instance("g", "INV_X1", &[a, n1]).unwrap();
+        nl.add_instance("k", "INV_X1", &[n1, y]).unwrap();
+        nl.set_domain(g, Domain::Gated);
+
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        sim.set_input(sleep, Logic::Zero);
+        sim.set_input(a, Logic::Zero);
+        sim.run_until_quiet(50_000);
+        assert_eq!(sim.value(n1), Logic::One);
+        assert_eq!(sim.value(vddv), Logic::One);
+
+        sim.set_input(sleep, Logic::One);
+        sim.run_until_quiet(100_000);
+        assert_eq!(sim.value(n1), Logic::X, "gated output corrupted");
+        assert_eq!(sim.value(vddv), Logic::X, "rail collapsed");
+        assert_eq!(sim.value(y), Logic::X, "no isolation: X escapes");
+
+        sim.set_input(sleep, Logic::Zero);
+        sim.run_until_quiet(200_000);
+        assert_eq!(sim.value(vddv), Logic::One, "rail restored");
+        assert_eq!(sim.value(n1), Logic::One, "gated logic re-evaluated");
+        assert_eq!(sim.value(y), Logic::Zero);
+    }
+
+    #[test]
+    fn isolation_blocks_x_during_gating() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let sleep = nl.add_input("sleep");
+        let vddv = nl.add_net("vddv");
+        let n1 = nl.add_fresh_net();
+        let iso = nl.add_fresh_net();
+        let y = nl.add_output("y");
+        nl.add_instance("hdr", "HDR_X2", &[sleep, vddv]).unwrap();
+        let g = nl.add_instance("g", "INV_X1", &[a, n1]).unwrap();
+        nl.set_domain(g, Domain::Gated);
+        // Fig. 3 control: ISO = SLEEP-clock OR rail-not-up.
+        nl.add_instance("ctl", "ISOCTL_X1", &[sleep, vddv, iso]).unwrap();
+        nl.add_instance("clamp", "ISO_AND_X1", &[n1, iso, y]).unwrap();
+
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        sim.set_input(sleep, Logic::Zero);
+        sim.set_input(a, Logic::Zero);
+        sim.run_until_quiet(100_000);
+        assert_eq!(sim.value(y), Logic::One, "transparent while powered");
+
+        sim.set_input(sleep, Logic::One);
+        sim.run_until_quiet(200_000);
+        assert_eq!(sim.value(n1), Logic::X, "domain corrupted internally");
+        assert_eq!(sim.value(y), Logic::Zero, "clamped, X never escapes");
+
+        sim.set_input(sleep, Logic::Zero);
+        sim.run_until_quiet(300_000);
+        assert_eq!(sim.value(y), Logic::One, "released after rail restore");
+    }
+
+    #[test]
+    fn activity_counts_real_toggles_only() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_output("y");
+        nl.add_instance("u", "INV_X1", &[a, y]).unwrap();
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        sim.set_input(a, Logic::Zero);
+        sim.run_until_quiet(10_000);
+        for i in 0..4 {
+            sim.set_input(a, if i % 2 == 0 { Logic::One } else { Logic::Zero });
+            sim.run_until_quiet(10_000 * (i + 2));
+        }
+        let res = sim.finish();
+        assert_eq!(res.activity.net(a.index()).toggles, 4);
+        assert_eq!(res.activity.net(y.index()).toggles, 4);
+    }
+
+    #[test]
+    fn vcd_output_parses_back() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_output("y");
+        nl.add_instance("u", "INV_X1", &[a, y]).unwrap();
+        let cfg = SimConfig { vcd: true, ..SimConfig::default() };
+        let mut sim = Simulator::new(&nl, &lib, cfg).unwrap();
+        sim.set_input(a, Logic::One);
+        sim.run_until_quiet(10_000);
+        let res = sim.finish();
+        let dump = scpg_waveform::parse_vcd(res.vcd.as_deref().unwrap()).unwrap();
+        assert!(dump.names.contains(&"a".to_string()));
+        assert!(!dump.changes.is_empty());
+    }
+}

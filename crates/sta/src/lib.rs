@@ -1,0 +1,444 @@
+//! Static timing analysis.
+//!
+//! SCPG's whole premise is the gap between the combinational evaluation
+//! time `T_eval` and the clock period `T_clk` (paper Fig. 1): frequency
+//! scaling below `F_max` opens up `T_idle = T_clk − T_hold − T_eval −
+//! T_setup`, which the technique converts into gated time. This crate
+//! computes those quantities from the netlist:
+//!
+//! * [`analyze`] — longest-path analysis at a supply voltage, returning
+//!   [`TimingReport`] with `T_eval`, the critical path, and the minimum
+//!   clock period;
+//! * supply sweeps for the sub-threshold study (Figs. 9/10) fall out of
+//!   calling [`analyze`] per voltage, since every cell delay scales with
+//!   the shared transistor model.
+//!
+//! Timing arcs: primary inputs and flop/latch `Q` pins launch at the
+//! clock-to-Q delay; flop `D` pins and output ports capture; combinational
+//! cells contribute `delay(V, load)` per output. Combinational loops are
+//! reported as errors.
+//!
+//! # Example
+//!
+//! ```
+//! use scpg_liberty::Library;
+//! use scpg_netlist::Netlist;
+//! use scpg_sta::analyze;
+//! use scpg_units::Voltage;
+//!
+//! let lib = Library::ninety_nm();
+//! let mut nl = Netlist::new("t");
+//! let a = nl.add_input("a");
+//! let y = nl.add_output("y");
+//! nl.add_instance("u", "INV_X1", &[a, y])?;
+//! let report = analyze(&nl, &lib, Voltage::from_mv(600.0))?;
+//! assert!(report.t_eval.as_ps() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use scpg_liberty::{CellKind, Library};
+use scpg_netlist::{InstId, NetId, Netlist, NetlistError, PortDirection};
+use scpg_units::{Frequency, Time, Voltage};
+
+/// Errors from timing analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StaError {
+    /// The netlist does not resolve against the library.
+    Netlist(NetlistError),
+    /// A purely combinational cycle was found (no flop breaks the loop).
+    CombinationalLoop {
+        /// Name of a net on the cycle.
+        net: String,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::Netlist(e) => write!(f, "netlist error: {e}"),
+            StaError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net `{net}`")
+            }
+        }
+    }
+}
+
+impl Error for StaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StaError::Netlist(e) => Some(e),
+            StaError::CombinationalLoop { .. } => None,
+        }
+    }
+}
+
+impl From<NetlistError> for StaError {
+    fn from(e: NetlistError) -> Self {
+        StaError::Netlist(e)
+    }
+}
+
+/// Result of a longest-path analysis at one supply voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// The supply the analysis ran at.
+    pub voltage: Voltage,
+    /// Longest combinational evaluation time (launch to capture),
+    /// including the launching flop's clock-to-Q delay.
+    pub t_eval: Time,
+    /// Largest setup requirement among capturing flops.
+    pub t_setup: Time,
+    /// Largest hold requirement among flops.
+    pub t_hold: Time,
+    /// Minimum clock period: `t_eval + t_setup`.
+    pub min_period: Time,
+    /// Instances along the critical path, launch to capture.
+    pub critical_path: Vec<InstId>,
+}
+
+impl TimingReport {
+    /// Maximum clock frequency at this supply.
+    pub fn f_max(&self) -> Frequency {
+        self.min_period.frequency()
+    }
+
+    /// Idle time inside a clock cycle at frequency `f`
+    /// (`T_clk − T_eval − T_setup`, clamped at zero) — the raw material
+    /// SCPG converts into leakage saving.
+    pub fn t_idle(&self, f: Frequency) -> Time {
+        let slack = f.period() - self.min_period;
+        slack.max(Time::ZERO)
+    }
+}
+
+/// Runs longest-path timing analysis at supply `v` (nominal temperature).
+///
+/// # Errors
+///
+/// Returns [`StaError::Netlist`] if the netlist does not resolve, or
+/// [`StaError::CombinationalLoop`] if combinational cells form a cycle.
+pub fn analyze(nl: &Netlist, lib: &Library, v: Voltage) -> Result<TimingReport, StaError> {
+    let conn = nl.connectivity(lib)?;
+    let n_nets = nl.nets().len();
+
+    // Per-net arrival time (ps) and the instance that set it.
+    let mut arrival: Vec<f64> = vec![f64::NEG_INFINITY; n_nets];
+    let mut from: Vec<Option<InstId>> = vec![None; n_nets];
+
+    // Sources: primary inputs at t=0; sequential outputs at clock-to-Q;
+    // header rails and undriven nets at t=0 (constants).
+    let mut t_setup = Time::ZERO;
+    let mut t_hold = Time::ZERO;
+    for p in nl.ports() {
+        if p.direction == PortDirection::Input {
+            arrival[p.net.index()] = 0.0;
+        }
+    }
+    for (id, inst) in nl.iter_instances() {
+        let cell = lib.expect_cell(inst.cell());
+        let kind = cell.kind();
+        if kind.is_sequential() {
+            t_setup = t_setup.max(cell.setup_time());
+            t_hold = t_hold.max(cell.hold_time());
+            let n_in = kind.num_inputs();
+            for &q in &inst.connections()[n_in..] {
+                let clk_q = cell.delay(v, load_of(nl, lib, &conn, q));
+                if clk_q.as_ps() > arrival[q.index()] {
+                    arrival[q.index()] = clk_q.as_ps();
+                    from[q.index()] = Some(id);
+                }
+            }
+        } else if kind == CellKind::Header {
+            for &out in &inst.connections()[kind.num_inputs()..] {
+                arrival[out.index()] = arrival[out.index()].max(0.0);
+            }
+        }
+    }
+    for i in 0..n_nets {
+        if conn.driver(NetId::from_index(i)).is_none() && arrival[i] == f64::NEG_INFINITY {
+            // Undriven-but-read nets would fail validation; treat as t=0
+            // so analysis is robust on partial designs.
+            arrival[i] = 0.0;
+        }
+    }
+
+    // Kahn's algorithm over combinational cells.
+    let mut pending: Vec<usize> = Vec::with_capacity(nl.instances().len());
+    let mut comb: Vec<bool> = Vec::with_capacity(nl.instances().len());
+    for (_, inst) in nl.iter_instances() {
+        let kind = lib.expect_cell(inst.cell()).kind();
+        let is_comb = kind.is_combinational();
+        comb.push(is_comb);
+        pending.push(if is_comb { kind.num_inputs() } else { 0 });
+    }
+    // Input readiness: an input is ready when its net has a finite arrival.
+    // Start with inputs whose nets are already sourced.
+    let mut ready: Vec<InstId> = Vec::new();
+    let mut remaining: Vec<usize> = pending.clone();
+    for (id, inst) in nl.iter_instances() {
+        if !comb[id.index()] {
+            continue;
+        }
+        let kind = lib.expect_cell(inst.cell()).kind();
+        let n_ready = inst.connections()[..kind.num_inputs()]
+            .iter()
+            .filter(|n| arrival[n.index()].is_finite())
+            .count();
+        remaining[id.index()] = kind.num_inputs() - n_ready;
+        if remaining[id.index()] == 0 {
+            ready.push(id);
+        }
+    }
+
+    let mut processed = 0usize;
+    let total_comb = comb.iter().filter(|&&c| c).count();
+    while let Some(id) = ready.pop() {
+        processed += 1;
+        let inst = nl.instance(id);
+        let cell = lib.expect_cell(inst.cell());
+        let kind = cell.kind();
+        let n_in = kind.num_inputs();
+        let in_arr = inst.connections()[..n_in]
+            .iter()
+            .map(|n| arrival[n.index()])
+            .fold(0.0_f64, f64::max);
+        for &out in &inst.connections()[n_in..] {
+            let d = cell.delay(v, load_of(nl, lib, &conn, out));
+            let t = in_arr + d.as_ps();
+            if t > arrival[out.index()] {
+                arrival[out.index()] = t;
+                from[out.index()] = Some(id);
+            }
+            // Wake readers whose inputs are now all sourced.
+            for pin in conn.loads(out) {
+                let r = pin.inst.index();
+                if comb[r] && remaining[r] > 0 {
+                    remaining[r] -= 1;
+                    if remaining[r] == 0 {
+                        ready.push(pin.inst);
+                    }
+                }
+            }
+        }
+    }
+    if processed < total_comb {
+        // Some combinational cell never became ready: a loop. Identify a
+        // net on it for the report.
+        let victim = nl
+            .iter_instances()
+            .find(|(id, _)| comb[id.index()] && remaining[id.index()] > 0)
+            .map(|(_, inst)| nl.net(inst.connections()[0]).name().to_string())
+            .unwrap_or_default();
+        return Err(StaError::CombinationalLoop { net: victim });
+    }
+
+    // Capture points: flop D inputs (all non-clock sequential inputs) and
+    // output ports.
+    let mut worst = 0.0_f64;
+    let mut worst_net: Option<NetId> = None;
+    for (_, inst) in nl.iter_instances() {
+        let kind = lib.expect_cell(inst.cell()).kind();
+        if !kind.is_sequential() {
+            continue;
+        }
+        // Data input is pin 0 by convention (D).
+        let d_net = inst.connections()[0];
+        if arrival[d_net.index()].is_finite() && arrival[d_net.index()] > worst {
+            worst = arrival[d_net.index()];
+            worst_net = Some(d_net);
+        }
+    }
+    for p in nl.ports() {
+        if p.direction == PortDirection::Output
+            && arrival[p.net.index()].is_finite()
+            && arrival[p.net.index()] > worst
+        {
+            worst = arrival[p.net.index()];
+            worst_net = Some(p.net);
+        }
+    }
+
+    // Trace the critical path backwards.
+    let mut critical_path = Vec::new();
+    let mut cursor = worst_net;
+    while let Some(net) = cursor {
+        match from[net.index()] {
+            Some(inst_id) => {
+                critical_path.push(inst_id);
+                // Predecessor: the input of `inst_id` with max arrival.
+                let inst = nl.instance(inst_id);
+                let kind = lib.expect_cell(inst.cell()).kind();
+                cursor = inst.connections()[..kind.num_inputs()]
+                    .iter()
+                    .copied()
+                    .filter(|n| arrival[n.index()].is_finite())
+                    .max_by(|a, b| {
+                        arrival[a.index()].total_cmp(&arrival[b.index()])
+                    });
+                // Stop at sequential launch points.
+                if kind.is_sequential() {
+                    cursor = None;
+                }
+            }
+            None => cursor = None,
+        }
+    }
+    critical_path.reverse();
+
+    let t_eval = Time::from_ps(worst);
+    Ok(TimingReport {
+        voltage: v,
+        t_eval,
+        t_setup,
+        t_hold,
+        min_period: t_eval + t_setup,
+        critical_path,
+    })
+}
+
+fn load_of(
+    nl: &Netlist,
+    lib: &Library,
+    conn: &scpg_netlist::Connectivity,
+    net: NetId,
+) -> scpg_units::Capacitance {
+    let mut load = lib.wire_cap();
+    for pin in conn.loads(net) {
+        load += lib.expect_cell(nl.instance(pin.inst).cell()).input_cap();
+    }
+    load
+}
+
+/// Maximum operating frequency of `nl` at supply `v`.
+///
+/// # Errors
+///
+/// Propagates [`analyze`]'s errors.
+pub fn f_max(nl: &Netlist, lib: &Library, v: Voltage) -> Result<Frequency, StaError> {
+    Ok(analyze(nl, lib, v)?.f_max())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpg_liberty::Library;
+
+    fn lib() -> Library {
+        Library::ninety_nm()
+    }
+
+    /// inv chain of length n between an input and an output port.
+    fn chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut cur = nl.add_input("a");
+        for i in 0..n {
+            let next = if i + 1 == n { nl.add_output("y") } else { nl.add_fresh_net() };
+            nl.add_instance(format!("u{i}"), "INV_X1", &[cur, next]).unwrap();
+            cur = next;
+        }
+        nl
+    }
+
+    #[test]
+    fn longer_chains_take_longer() {
+        let lib = lib();
+        let v = Voltage::from_mv(600.0);
+        let t4 = analyze(&chain(4), &lib, v).unwrap().t_eval;
+        let t8 = analyze(&chain(8), &lib, v).unwrap().t_eval;
+        assert!(t8.as_ps() > 1.9 * t4.as_ps(), "{t4} vs {t8}");
+    }
+
+    #[test]
+    fn critical_path_is_reported_in_order() {
+        let lib = lib();
+        let nl = chain(5);
+        let r = analyze(&nl, &lib, Voltage::from_mv(600.0)).unwrap();
+        assert_eq!(r.critical_path.len(), 5);
+        let names: Vec<&str> = r
+            .critical_path
+            .iter()
+            .map(|&id| nl.instance(id).name())
+            .collect();
+        assert_eq!(names, ["u0", "u1", "u2", "u3", "u4"]);
+    }
+
+    #[test]
+    fn flop_to_flop_path_includes_clk_q_and_setup() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let clk = nl.add_input("clk");
+        let d = nl.add_input("d");
+        let q1 = nl.add_fresh_net();
+        let n1 = nl.add_fresh_net();
+        let q2 = nl.add_output("q2");
+        nl.add_instance("ff1", "DFF_X1", &[d, clk, q1]).unwrap();
+        nl.add_instance("inv", "INV_X1", &[q1, n1]).unwrap();
+        nl.add_instance("ff2", "DFF_X1", &[n1, clk, q2]).unwrap();
+        let r = analyze(&nl, &lib, Voltage::from_mv(600.0)).unwrap();
+        assert!(r.t_setup.as_ps() > 0.0, "flop endpoints impose setup");
+        assert!(r.t_hold.as_ps() > 0.0);
+        // Path = clk→q + inv > inv alone.
+        let inv_only = analyze(&chain(1), &lib, Voltage::from_mv(600.0)).unwrap();
+        assert!(r.t_eval.as_ps() > inv_only.t_eval.as_ps());
+        assert!(r.min_period.as_ps() > r.t_eval.as_ps());
+    }
+
+    #[test]
+    fn lower_supply_means_lower_fmax() {
+        let lib = lib();
+        let nl = chain(16);
+        let f6 = f_max(&nl, &lib, Voltage::from_mv(600.0)).unwrap();
+        let f3 = f_max(&nl, &lib, Voltage::from_mv(310.0)).unwrap();
+        let ratio = f6 / f3;
+        assert!(
+            (4.0..10.0).contains(&ratio),
+            "0.6 V / 0.31 V f_max ratio {ratio:.2} (calibration band)"
+        );
+    }
+
+    #[test]
+    fn combinational_loop_is_detected() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let n1 = nl.add_net("loop1");
+        let n2 = nl.add_net("loop2");
+        let y = nl.add_output("y");
+        nl.add_instance("u1", "NAND2_X1", &[a, n2, n1]).unwrap();
+        nl.add_instance("u2", "INV_X1", &[n1, n2]).unwrap();
+        nl.add_instance("u3", "INV_X1", &[n1, y]).unwrap();
+        assert!(matches!(
+            analyze(&nl, &lib, Voltage::from_mv(600.0)),
+            Err(StaError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn flops_legally_break_cycles() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let clk = nl.add_input("clk");
+        let q = nl.add_net("q");
+        let nq = nl.add_net("nq");
+        nl.add_instance("ff", "DFF_X1", &[nq, clk, q]).unwrap();
+        nl.add_instance("inv", "INV_X1", &[q, nq]).unwrap();
+        let r = analyze(&nl, &lib, Voltage::from_mv(600.0)).unwrap();
+        assert!(r.t_eval.as_ps() > 0.0);
+    }
+
+    #[test]
+    fn t_idle_shrinks_with_frequency() {
+        let lib = lib();
+        let nl = chain(8);
+        let r = analyze(&nl, &lib, Voltage::from_mv(600.0)).unwrap();
+        let slow = r.t_idle(Frequency::from_khz(10.0));
+        let fast = r.t_idle(r.f_max());
+        assert!(slow.as_us() > 99.0, "10 kHz cycle is nearly all idle");
+        assert!(fast.as_ps() < 1.0, "no idle at f_max");
+    }
+}

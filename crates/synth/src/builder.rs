@@ -1,0 +1,791 @@
+//! The bit-level technology-mapping builder.
+
+use std::collections::HashMap;
+
+use scpg_liberty::{CellKind, Library};
+use scpg_netlist::{NetId, Netlist};
+
+use crate::word::Word;
+
+/// Structural key for common-subexpression elimination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    Not(NetId),
+    And(NetId, NetId),
+    Or(NetId, NetId),
+    Xor(NetId, NetId),
+    Mux(NetId, NetId, NetId),
+    FullAdd(NetId, NetId, NetId),
+    HalfAdd(NetId, NetId),
+}
+
+/// Builds a technology-mapped [`Netlist`] operation by operation.
+///
+/// Commutative operations are canonicalised (operands sorted) before the
+/// CSE lookup, so `and(a, b)` and `and(b, a)` share one gate.
+#[derive(Debug)]
+pub struct LogicBuilder<'lib> {
+    nl: Netlist,
+    lib: &'lib Library,
+    cse: HashMap<Op, NetOrPair>,
+    consts: HashMap<NetId, bool>,
+    tie_hi: Option<NetId>,
+    tie_lo: Option<NetId>,
+    gate_seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NetOrPair {
+    One(NetId),
+    Two(NetId, NetId),
+}
+
+impl<'lib> LogicBuilder<'lib> {
+    /// Starts a new design named `name`, mapping onto `lib`.
+    pub fn new(name: impl Into<String>, lib: &'lib Library) -> Self {
+        Self {
+            nl: Netlist::new(name),
+            lib,
+            cse: HashMap::new(),
+            consts: HashMap::new(),
+            tie_hi: None,
+            tie_lo: None,
+            gate_seq: 0,
+        }
+    }
+
+    /// Finalises and returns the netlist.
+    pub fn finish(self) -> Netlist {
+        self.nl
+    }
+
+    /// Access to the netlist under construction.
+    pub fn netlist(&self) -> &Netlist {
+        &self.nl
+    }
+
+    /// Mutable access for callers that need raw netlist surgery (e.g. the
+    /// case-study generators adding bespoke ports).
+    pub fn netlist_mut(&mut self) -> &mut Netlist {
+        &mut self.nl
+    }
+
+    fn fresh_inst(&mut self, prefix: &str) -> String {
+        let n = self.gate_seq;
+        self.gate_seq += 1;
+        format!("{prefix}_{n}")
+    }
+
+    fn cell_name(&self, kind: CellKind) -> &str {
+        self.lib
+            .cell_of_kind(kind)
+            .unwrap_or_else(|| panic!("library lacks a {kind:?} cell"))
+            .name()
+    }
+
+    fn emit1(&mut self, kind: CellKind, ins: &[NetId]) -> NetId {
+        let y = self.nl.add_fresh_net();
+        let mut conns = ins.to_vec();
+        conns.push(y);
+        let name = self.fresh_inst("g");
+        let cell = self.cell_name(kind).to_string();
+        self.nl
+            .add_instance(name, cell, &conns)
+            .expect("fresh instance names are unique");
+        y
+    }
+
+    fn emit2(&mut self, kind: CellKind, ins: &[NetId]) -> (NetId, NetId) {
+        let o1 = self.nl.add_fresh_net();
+        let o2 = self.nl.add_fresh_net();
+        let mut conns = ins.to_vec();
+        conns.push(o1);
+        conns.push(o2);
+        let name = self.fresh_inst("g");
+        let cell = self.cell_name(kind).to_string();
+        self.nl
+            .add_instance(name, cell, &conns)
+            .expect("fresh instance names are unique");
+        (o1, o2)
+    }
+
+    /// The constant-1 net (a shared `TIEHI` cell, created on first use).
+    pub fn one(&mut self) -> NetId {
+        if let Some(n) = self.tie_hi {
+            return n;
+        }
+        let n = self.emit1(CellKind::TieHi, &[]);
+        self.tie_hi = Some(n);
+        self.consts.insert(n, true);
+        n
+    }
+
+    /// The constant-0 net (a shared `TIELO` cell, created on first use).
+    pub fn zero(&mut self) -> NetId {
+        if let Some(n) = self.tie_lo {
+            return n;
+        }
+        let n = self.emit1(CellKind::TieLo, &[]);
+        self.tie_lo = Some(n);
+        self.consts.insert(n, false);
+        n
+    }
+
+    /// A constant bit.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        if value {
+            self.one()
+        } else {
+            self.zero()
+        }
+    }
+
+    fn const_of(&self, n: NetId) -> Option<bool> {
+        self.consts.get(&n).copied()
+    }
+
+    /// Declares a single-bit input port.
+    pub fn input(&mut self, name: &str) -> NetId {
+        self.nl.add_input(name)
+    }
+
+    /// Declares a single-bit output port driven by `net` (via a buffer so
+    /// the port has a dedicated driver).
+    pub fn output(&mut self, name: &str, net: NetId) {
+        let port = self.nl.add_output(name);
+        let inst = self.fresh_inst("obuf");
+        let cell = self.cell_name(CellKind::Buf).to_string();
+        self.nl
+            .add_instance(inst, cell, &[net, port])
+            .expect("fresh instance names are unique");
+    }
+
+    /// Declares an `n`-bit input word `name[0] .. name[n-1]` (LSB first).
+    pub fn input_word(&mut self, name: &str, n: usize) -> Word {
+        Word::new((0..n).map(|i| self.input(&format!("{name}[{i}]"))).collect())
+    }
+
+    /// Declares an output word, one port per bit (LSB first).
+    pub fn output_word(&mut self, name: &str, word: &Word) {
+        for (i, &bit) in word.bits().iter().enumerate() {
+            self.output(&format!("{name}[{i}]"), bit);
+        }
+    }
+
+    /// `!a`, with folding and CSE.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        if let Some(v) = self.const_of(a) {
+            return self.constant(!v);
+        }
+        if let Some(NetOrPair::One(y)) = self.cse.get(&Op::Not(a)) {
+            return *y;
+        }
+        let y = self.emit1(CellKind::Inv, &[a]);
+        self.cse.insert(Op::Not(a), NetOrPair::One(y));
+        y
+    }
+
+    fn sorted(a: NetId, b: NetId) -> (NetId, NetId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// `a & b`, with folding and CSE.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.zero(),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        let (a, b) = Self::sorted(a, b);
+        if let Some(NetOrPair::One(y)) = self.cse.get(&Op::And(a, b)) {
+            return *y;
+        }
+        let y = self.emit1(CellKind::And2, &[a, b]);
+        self.cse.insert(Op::And(a, b), NetOrPair::One(y));
+        y
+    }
+
+    /// `a | b`, with folding and CSE.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.one(),
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        let (a, b) = Self::sorted(a, b);
+        if let Some(NetOrPair::One(y)) = self.cse.get(&Op::Or(a, b)) {
+            return *y;
+        }
+        let y = self.emit1(CellKind::Or2, &[a, b]);
+        self.cse.insert(Op::Or(a, b), NetOrPair::One(y));
+        y
+    }
+
+    /// `a ^ b`, with folding and CSE.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return self.not(b),
+            (_, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.zero();
+        }
+        let (a, b) = Self::sorted(a, b);
+        if let Some(NetOrPair::One(y)) = self.cse.get(&Op::Xor(a, b)) {
+            return *y;
+        }
+        let y = self.emit1(CellKind::Xor2, &[a, b]);
+        self.cse.insert(Op::Xor(a, b), NetOrPair::One(y));
+        y
+    }
+
+    /// `!(a & b)`.
+    pub fn nand(&mut self, a: NetId, b: NetId) -> NetId {
+        let y = self.and(a, b);
+        self.not(y)
+    }
+
+    /// `!(a | b)`.
+    pub fn nor(&mut self, a: NetId, b: NetId) -> NetId {
+        let y = self.or(a, b);
+        self.not(y)
+    }
+
+    /// `s ? d1 : d0`, with folding and CSE (maps to a `MUX2` cell).
+    pub fn mux(&mut self, s: NetId, d0: NetId, d1: NetId) -> NetId {
+        if let Some(v) = self.const_of(s) {
+            return if v { d1 } else { d0 };
+        }
+        if d0 == d1 {
+            return d0;
+        }
+        match (self.const_of(d0), self.const_of(d1)) {
+            (Some(false), Some(true)) => return s,
+            (Some(true), Some(false)) => return self.not(s),
+            _ => {}
+        }
+        if let Some(NetOrPair::One(y)) = self.cse.get(&Op::Mux(s, d0, d1)) {
+            return *y;
+        }
+        let y = self.emit1(CellKind::Mux2, &[d0, d1, s]);
+        self.cse.insert(Op::Mux(s, d0, d1), NetOrPair::One(y));
+        y
+    }
+
+    /// Full adder: returns `(sum, carry_out)`, mapped onto an `FA` cell.
+    /// Constant-zero operands degrade to half adders (and further to
+    /// plain wires), which is what keeps array-multiplier gate counts
+    /// honest.
+    pub fn full_add(&mut self, a: NetId, b: NetId, ci: NetId) -> (NetId, NetId) {
+        if self.const_of(ci) == Some(false) {
+            return self.half_add(a, b);
+        }
+        if self.const_of(a) == Some(false) {
+            return self.half_add(b, ci);
+        }
+        if self.const_of(b) == Some(false) {
+            return self.half_add(a, ci);
+        }
+        let (a, b) = Self::sorted(a, b);
+        if let Some(NetOrPair::Two(s, co)) = self.cse.get(&Op::FullAdd(a, b, ci)) {
+            return (*s, *co);
+        }
+        let (s, co) = self.emit2(CellKind::FullAdder, &[a, b, ci]);
+        self.cse.insert(Op::FullAdd(a, b, ci), NetOrPair::Two(s, co));
+        (s, co)
+    }
+
+    /// Half adder: returns `(sum, carry_out)`, mapped onto an `HA` cell.
+    pub fn half_add(&mut self, a: NetId, b: NetId) -> (NetId, NetId) {
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(false), _) => return (b, self.zero()),
+            (_, Some(false)) => return (a, self.zero()),
+            _ => {}
+        }
+        let (a, b) = Self::sorted(a, b);
+        if let Some(NetOrPair::Two(s, co)) = self.cse.get(&Op::HalfAdd(a, b)) {
+            return (*s, *co);
+        }
+        let (s, co) = self.emit2(CellKind::HalfAdder, &[a, b]);
+        self.cse.insert(Op::HalfAdd(a, b), NetOrPair::Two(s, co));
+        (s, co)
+    }
+
+    /// A rising-edge D flip-flop; returns the `Q` net.
+    pub fn dff(&mut self, d: NetId, clk: NetId) -> NetId {
+        let q = self.nl.add_fresh_net();
+        let inst = self.fresh_inst("ff");
+        let cell = self.cell_name(CellKind::Dff).to_string();
+        self.nl
+            .add_instance(inst, cell, &[d, clk, q])
+            .expect("fresh instance names are unique");
+        q
+    }
+
+    /// A resettable rising-edge flop (active-low `rn`); returns `Q`.
+    pub fn dff_r(&mut self, d: NetId, clk: NetId, rn: NetId) -> NetId {
+        let q = self.nl.add_fresh_net();
+        let inst = self.fresh_inst("ff");
+        let cell = self.cell_name(CellKind::DffR).to_string();
+        self.nl
+            .add_instance(inst, cell, &[d, clk, rn, q])
+            .expect("fresh instance names are unique");
+        q
+    }
+
+    // ---- word-level helpers -------------------------------------------
+
+    /// Registers every bit of `w` behind resettable flops.
+    pub fn dff_word(&mut self, w: &Word, clk: NetId, rn: NetId) -> Word {
+        Word::new(w.bits().iter().map(|&b| self.dff_r(b, clk, rn)).collect())
+    }
+
+    /// A constant word of width `n`.
+    pub fn constant_word(&mut self, value: u64, n: usize) -> Word {
+        Word::new(
+            (0..n)
+                .map(|i| self.constant((value >> i) & 1 == 1))
+                .collect(),
+        )
+    }
+
+    /// Bitwise NOT.
+    pub fn not_word(&mut self, a: &Word) -> Word {
+        Word::new(a.bits().iter().map(|&b| self.not(b)).collect())
+    }
+
+    /// Bitwise AND (equal widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn and_words(&mut self, a: &Word, b: &Word) -> Word {
+        Self::check_widths(a, b);
+        Word::new(
+            a.bits()
+                .iter()
+                .zip(b.bits())
+                .map(|(&x, &y)| self.and(x, y))
+                .collect(),
+        )
+    }
+
+    /// Bitwise OR (equal widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn or_words(&mut self, a: &Word, b: &Word) -> Word {
+        Self::check_widths(a, b);
+        Word::new(
+            a.bits()
+                .iter()
+                .zip(b.bits())
+                .map(|(&x, &y)| self.or(x, y))
+                .collect(),
+        )
+    }
+
+    /// Bitwise XOR (equal widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn xor_words(&mut self, a: &Word, b: &Word) -> Word {
+        Self::check_widths(a, b);
+        Word::new(
+            a.bits()
+                .iter()
+                .zip(b.bits())
+                .map(|(&x, &y)| self.xor(x, y))
+                .collect(),
+        )
+    }
+
+    /// Ripple-carry addition: returns `(sum, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn add_words(&mut self, a: &Word, b: &Word, carry_in: NetId) -> (Word, NetId) {
+        Self::check_widths(a, b);
+        let mut carry = carry_in;
+        let mut bits = Vec::with_capacity(a.width());
+        for (&x, &y) in a.bits().iter().zip(b.bits()) {
+            let (s, co) = self.full_add(x, y, carry);
+            bits.push(s);
+            carry = co;
+        }
+        (Word::new(bits), carry)
+    }
+
+    /// Carry-select addition: `O(n/k)` carry depth instead of the ripple
+    /// adder's `O(n)`, at roughly twice the area. Each `k`-bit block is
+    /// computed for both carry-in values and the real carry selects the
+    /// result — the "fast final adder" a Wallace-tree multiplier needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn add_words_fast(&mut self, a: &Word, b: &Word, carry_in: NetId) -> (Word, NetId) {
+        Self::check_widths(a, b);
+        const BLOCK: usize = 4;
+        let mut bits = Vec::with_capacity(a.width());
+        let mut carry = carry_in;
+        let mut lo = 0;
+        while lo < a.width() {
+            let hi = (lo + BLOCK).min(a.width());
+            let ab = a.slice(lo, hi);
+            let bb = b.slice(lo, hi);
+            if lo == 0 {
+                // First block sees the true carry directly.
+                let (s, c) = self.add_words(&ab, &bb, carry);
+                bits.extend_from_slice(s.bits());
+                carry = c;
+            } else {
+                let zero = self.zero();
+                let one = self.one();
+                let (s0, c0) = self.add_words(&ab, &bb, zero);
+                let (s1, c1) = self.add_words(&ab, &bb, one);
+                let s = self.mux_words(carry, &s0, &s1);
+                bits.extend_from_slice(s.bits());
+                carry = self.mux(carry, c0, c1);
+            }
+            lo = hi;
+        }
+        (Word::new(bits), carry)
+    }
+
+    /// Two's-complement subtraction `a - b`: returns `(difference,
+    /// carry_out)` where carry-out of 1 means "no borrow" (`a >= b`
+    /// unsigned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn sub_words(&mut self, a: &Word, b: &Word) -> (Word, NetId) {
+        let nb = self.not_word(b);
+        let one = self.one();
+        self.add_words(a, &nb, one)
+    }
+
+    /// Per-bit 2:1 select between words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn mux_words(&mut self, s: NetId, d0: &Word, d1: &Word) -> Word {
+        Self::check_widths(d0, d1);
+        Word::new(
+            d0.bits()
+                .iter()
+                .zip(d1.bits())
+                .map(|(&x, &y)| self.mux(s, x, y))
+                .collect(),
+        )
+    }
+
+    /// `1` iff every bit of `a` equals the corresponding bit of `b`
+    /// (an XNOR reduction tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ or the words are empty.
+    pub fn eq_words(&mut self, a: &Word, b: &Word) -> NetId {
+        Self::check_widths(a, b);
+        assert!(a.width() > 0, "eq of empty words");
+        let diffs: Vec<NetId> = a
+            .bits()
+            .iter()
+            .zip(b.bits())
+            .map(|(&x, &y)| self.xor(x, y))
+            .collect();
+        let any = self.reduce_or(&diffs);
+        self.not(any)
+    }
+
+    /// OR-reduction of a bit list (balanced tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list.
+    pub fn reduce_or(&mut self, bits: &[NetId]) -> NetId {
+        assert!(!bits.is_empty(), "reduce_or of empty list");
+        let mut level = bits.to_vec();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|c| {
+                    if c.len() == 2 {
+                        self.or(c[0], c[1])
+                    } else {
+                        c[0]
+                    }
+                })
+                .collect();
+        }
+        level[0]
+    }
+
+    /// AND-reduction of a bit list (balanced tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list.
+    pub fn reduce_and(&mut self, bits: &[NetId]) -> NetId {
+        assert!(!bits.is_empty(), "reduce_and of empty list");
+        let mut level = bits.to_vec();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|c| {
+                    if c.len() == 2 {
+                        self.and(c[0], c[1])
+                    } else {
+                        c[0]
+                    }
+                })
+                .collect();
+        }
+        level[0]
+    }
+
+    /// Logical shift left by a constant, dropping high bits.
+    pub fn shl_const(&mut self, a: &Word, by: usize) -> Word {
+        let zero = self.zero();
+        let mut bits = vec![zero; by.min(a.width())];
+        bits.extend_from_slice(&a.bits()[..a.width() - by.min(a.width())]);
+        Word::new(bits)
+    }
+
+    /// Logical shift right by a constant, dropping low bits.
+    pub fn shr_const(&mut self, a: &Word, by: usize) -> Word {
+        let zero = self.zero();
+        let mut bits: Vec<NetId> = a.bits()[by.min(a.width())..].to_vec();
+        bits.resize(a.width(), zero);
+        Word::new(bits)
+    }
+
+    /// Barrel shifter: logical shift of `a` by the (small) word `amount`.
+    /// `right` selects direction.
+    pub fn shift_words(&mut self, a: &Word, amount: &Word, right: NetId) -> Word {
+        let mut left = a.clone();
+        let mut rgt = a.clone();
+        for (stage, &sel) in amount.bits().iter().enumerate() {
+            let by = 1usize << stage;
+            if by >= a.width() {
+                // Shifting by >= width zeroes everything when selected.
+                let zero_word = self.constant_word(0, a.width());
+                left = self.mux_words(sel, &left, &zero_word);
+                rgt = self.mux_words(sel, &rgt, &zero_word);
+                continue;
+            }
+            let l_shifted = self.shl_const(&left, by);
+            left = self.mux_words(sel, &left, &l_shifted);
+            let r_shifted = self.shr_const(&rgt, by);
+            rgt = self.mux_words(sel, &rgt, &r_shifted);
+        }
+        self.mux_words(right, &left, &rgt)
+    }
+
+    /// One-hot select: `sel[i]` routes `options[i]` to the output. Exactly
+    /// one select is expected high at runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or no option is given.
+    pub fn onehot_mux(&mut self, sels: &[NetId], options: &[&Word]) -> Word {
+        assert_eq!(sels.len(), options.len(), "select/option count mismatch");
+        assert!(!options.is_empty(), "onehot_mux needs at least one option");
+        let width = options[0].width();
+        let masked: Vec<Word> = sels
+            .iter()
+            .zip(options)
+            .map(|(&s, w)| {
+                assert_eq!(w.width(), width, "option width mismatch");
+                let sw = Word::new(vec![s; width]);
+                self.and_words(&sw, w)
+            })
+            .collect();
+        let mut acc = masked[0].clone();
+        for m in &masked[1..] {
+            acc = self.or_words(&acc, m);
+        }
+        acc
+    }
+
+    fn check_widths(a: &Word, b: &Word) {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpg_liberty::Library;
+
+    fn builder(lib: &Library) -> LogicBuilder<'_> {
+        LogicBuilder::new("t", lib)
+    }
+
+    #[test]
+    fn cse_shares_commutative_gates() {
+        let lib = Library::ninety_nm();
+        let mut b = builder(&lib);
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.and(x, y);
+        let g2 = b.and(y, x);
+        assert_eq!(g1, g2, "AND(x,y) and AND(y,x) must share a gate");
+        let before = b.netlist().instances().len();
+        let _ = b.and(x, y);
+        assert_eq!(b.netlist().instances().len(), before);
+    }
+
+    #[test]
+    fn constants_fold() {
+        let lib = Library::ninety_nm();
+        let mut b = builder(&lib);
+        let x = b.input("x");
+        let one = b.one();
+        let zero = b.zero();
+        assert_eq!(b.and(x, one), x);
+        assert_eq!(b.and(x, zero), zero);
+        assert_eq!(b.or(x, zero), x);
+        assert_eq!(b.or(x, one), one);
+        assert_eq!(b.xor(x, zero), x);
+        assert_eq!(b.mux(one, zero, x), x);
+        let nx = b.xor(x, one);
+        assert_eq!(nx, b.not(x), "xor with 1 is inversion");
+        // Only the two tie cells were emitted for all of the above, plus
+        // the single shared inverter.
+        assert_eq!(b.netlist().instances().len(), 3);
+    }
+
+    #[test]
+    fn idempotent_inputs_simplify() {
+        let lib = Library::ninety_nm();
+        let mut b = builder(&lib);
+        let x = b.input("x");
+        assert_eq!(b.and(x, x), x);
+        assert_eq!(b.or(x, x), x);
+        let z = b.xor(x, x);
+        let zero = b.zero();
+        assert_eq!(z, zero, "xor(x,x) folds to the constant-0 net");
+    }
+
+    #[test]
+    fn adder_emits_fa_chain() {
+        let lib = Library::ninety_nm();
+        let mut b = builder(&lib);
+        let x = b.input_word("x", 8);
+        let y = b.input_word("y", 8);
+        let zero = b.zero();
+        let (s, _c) = b.add_words(&x, &y, zero);
+        b.output_word("s", &s);
+        let nl = b.finish();
+        nl.validate(&lib).unwrap();
+        let stats = nl.stats(&lib);
+        // LSB folds to a half adder (carry-in 0), the rest are FAs.
+        assert_eq!(stats.by_cell.get("HA_X1"), Some(&1));
+        assert_eq!(stats.by_cell.get("FA_X1"), Some(&7));
+    }
+
+    #[test]
+    fn fast_adder_structure_is_valid_and_bigger() {
+        let lib = Library::ninety_nm();
+        let mut b = builder(&lib);
+        let x = b.input_word("x", 16);
+        let y = b.input_word("y", 16);
+        let zero = b.zero();
+        let (s, c) = b.add_words_fast(&x, &y, zero);
+        b.output_word("s", &s);
+        b.output("c", c);
+        let nl = b.finish();
+        nl.validate(&lib).unwrap();
+        // Carry-select duplicates blocks: more cells than a ripple adder.
+        let mut b2 = LogicBuilder::new("ripple", &lib);
+        let x2 = b2.input_word("x", 16);
+        let y2 = b2.input_word("y", 16);
+        let zero2 = b2.zero();
+        let (s2, _) = b2.add_words(&x2, &y2, zero2);
+        b2.output_word("s", &s2);
+        let ripple = b2.finish();
+        assert!(nl.instances().len() > ripple.instances().len());
+    }
+
+    #[test]
+    fn shift_words_builds_valid_barrel() {
+        let lib = Library::ninety_nm();
+        let mut b = builder(&lib);
+        let a = b.input_word("a", 8);
+        let amt = b.input_word("amt", 3);
+        let dir = b.input("dir");
+        let out = b.shift_words(&a, &amt, dir);
+        b.output_word("out", &out);
+        let nl = b.finish();
+        nl.validate(&lib).unwrap();
+        assert!(nl.stats(&lib).combinational > 20);
+    }
+
+    #[test]
+    fn eq_words_is_single_bit() {
+        let lib = Library::ninety_nm();
+        let mut b = builder(&lib);
+        let a = b.input_word("a", 4);
+        let c = b.input_word("c", 4);
+        let e = b.eq_words(&a, &c);
+        b.output("e", e);
+        b.finish().validate(&lib).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let lib = Library::ninety_nm();
+        let mut b = builder(&lib);
+        let a = b.input_word("a", 4);
+        let c = b.input_word("c", 5);
+        let _ = b.and_words(&a, &c);
+    }
+
+    #[test]
+    fn output_buffers_isolate_ports() {
+        let lib = Library::ninety_nm();
+        let mut b = builder(&lib);
+        let x = b.input("x");
+        let y = b.not(x);
+        b.output("y", y);
+        let nl = b.finish();
+        nl.validate(&lib).unwrap();
+        assert_eq!(nl.stats(&lib).by_cell.get("BUF_X1"), Some(&1));
+    }
+
+    #[test]
+    fn onehot_mux_masks_and_merges() {
+        let lib = Library::ninety_nm();
+        let mut b = builder(&lib);
+        let s0 = b.input("s0");
+        let s1 = b.input("s1");
+        let w0 = b.input_word("w0", 4);
+        let w1 = b.input_word("w1", 4);
+        let out = b.onehot_mux(&[s0, s1], &[&w0, &w1]);
+        b.output_word("o", &out);
+        b.finish().validate(&lib).unwrap();
+    }
+}

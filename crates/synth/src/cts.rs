@@ -1,0 +1,226 @@
+//! Clock-tree synthesis.
+//!
+//! Real clocks cannot drive hundreds of flops from one pin; CTS inserts a
+//! fanout-bounded buffer tree. SCPG leans on this tree twice over: the
+//! paper notes that "the extensive, high-fanout clock tree of a processor
+//! can be exploited for the power gating control signal", which is why
+//! the technique needs no dedicated control routing — but it also imposes
+//! a constraint the paper leaves implicit: the clock's *insertion delay*
+//! (root to leaf) must not exceed the isolation clamp delay, or a flop
+//! could sample an already-clamped data input at the gated edge. The flow
+//! checks this (`scpg::flow`).
+
+use scpg_liberty::{CellKind, Library};
+use scpg_netlist::{Netlist, NetlistError, PinRef};
+use scpg_units::Time;
+
+/// What CTS did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtsReport {
+    /// Buffers inserted, per level (root-most first).
+    pub buffers_per_level: Vec<usize>,
+    /// Tree depth in buffer levels (0 = clock was already fine).
+    pub levels: usize,
+    /// Estimated insertion delay (root clock edge to leaf clock pin).
+    pub insertion_delay: Time,
+    /// Clock sinks served.
+    pub sinks: usize,
+}
+
+impl CtsReport {
+    /// Total buffers inserted.
+    pub fn total_buffers(&self) -> usize {
+        self.buffers_per_level.iter().sum()
+    }
+}
+
+/// Position of the clock/enable pin within each sequential cell's inputs.
+fn clock_pin_index(kind: CellKind) -> Option<usize> {
+    match kind {
+        CellKind::Dff | CellKind::DffR | CellKind::Latch => Some(1),
+        _ => None,
+    }
+}
+
+/// Inserts a fanout-bounded clock buffer tree on `clock`, rewiring every
+/// sequential cell's clock pin to a leaf buffer. Non-sequential readers of
+/// the clock (e.g. the SCPG sleep AND and the Fig. 3 isolation control)
+/// are left on the root so gating control sees the undelayed edge.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownCell`] if the design does not resolve,
+/// or propagates instance-creation failures.
+pub fn insert_clock_tree(
+    nl: &mut Netlist,
+    lib: &Library,
+    clock: &str,
+    max_fanout: usize,
+) -> Result<CtsReport, NetlistError> {
+    assert!(max_fanout >= 2, "a clock buffer must drive at least two sinks");
+    let clk = nl
+        .net_by_name(clock)
+        .unwrap_or_else(|| panic!("no net named `{clock}`"));
+    // Clock buffers want drive strength: pick the buffer that is fastest
+    // into a heavy (clock-leaf) load.
+    let heavy = lib.wire_cap() * (max_fanout as f64);
+    let buf = lib
+        .cells()
+        .filter(|c| c.kind() == CellKind::Buf)
+        .min_by(|a, b| {
+            a.delay(lib.char_voltage(), heavy)
+                .value()
+                .total_cmp(&b.delay(lib.char_voltage(), heavy).value())
+        })
+        .expect("library provides a buffer");
+    let buf_cell = buf.name().to_string();
+
+    // Collect sequential clock sinks.
+    let conn = nl.connectivity(lib)?;
+    let mut sinks: Vec<PinRef> = Vec::new();
+    for pin in conn.loads(clk) {
+        let inst = nl.instance(pin.inst);
+        let kind = lib.expect_cell(inst.cell()).kind();
+        if clock_pin_index(kind) == Some(pin.pin) {
+            sinks.push(*pin);
+        }
+    }
+    let n_sinks = sinks.len();
+    if n_sinks <= max_fanout {
+        return Ok(CtsReport {
+            buffers_per_level: Vec::new(),
+            levels: 0,
+            insertion_delay: Time::ZERO,
+            sinks: n_sinks,
+        });
+    }
+
+    // Build levels bottom-up: group sinks under leaf buffers, then group
+    // buffers under higher buffers until the root fanout fits.
+    let mut buffers_per_level = Vec::new();
+    let mut level_inputs: Vec<Vec<PinRef>> = sinks.chunks(max_fanout).map(<[PinRef]>::to_vec).collect();
+    let mut seq = 0usize;
+    let mut levels = 0usize;
+    loop {
+        levels += 1;
+        let mut outputs: Vec<PinRef> = Vec::new();
+        let n = level_inputs.len();
+        buffers_per_level.push(n);
+        for group in level_inputs {
+            let out = nl.add_fresh_net();
+            let name = format!("cts_buf_{seq}");
+            seq += 1;
+            let id = nl.add_instance(name, buf_cell.clone(), &[clk, out])?;
+            // Temporarily driven from the root; re-parented below if
+            // another level lands on top.
+            for pin in group {
+                nl.rewire_pin(pin.inst, pin.pin, out);
+            }
+            outputs.push(PinRef { inst: id, pin: 0 });
+        }
+        if outputs.len() <= max_fanout {
+            break;
+        }
+        level_inputs = outputs.chunks(max_fanout).map(<[PinRef]>::to_vec).collect();
+    }
+    buffers_per_level.reverse(); // root-most first
+
+    // Insertion delay estimate: one buffer delay per level at the leaf
+    // load (library characterisation voltage).
+    let per_level = buf.delay(lib.char_voltage(), heavy);
+    let report = CtsReport {
+        levels,
+        insertion_delay: per_level * levels as f64,
+        buffers_per_level,
+        sinks: n_sinks,
+    };
+    nl.validate(lib)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LogicBuilder;
+    use scpg_liberty::Library;
+
+    /// A bank of `n` flops sharing one clock.
+    fn flop_bank(lib: &Library, n: usize) -> Netlist {
+        let mut b = LogicBuilder::new("bank", lib);
+        let clk = b.input("clk");
+        let rn = b.input("rst_n");
+        for i in 0..n {
+            let d = b.input(&format!("d{i}"));
+            let q = b.dff_r(d, clk, rn);
+            b.output(&format!("q{i}"), q);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn small_clocks_need_no_tree() {
+        let lib = Library::ninety_nm();
+        let mut nl = flop_bank(&lib, 8);
+        let report = insert_clock_tree(&mut nl, &lib, "clk", 16).unwrap();
+        assert_eq!(report.levels, 0);
+        assert_eq!(report.total_buffers(), 0);
+        assert_eq!(report.sinks, 8);
+    }
+
+    #[test]
+    fn fanout_bound_is_respected_after_cts() {
+        let lib = Library::ninety_nm();
+        let mut nl = flop_bank(&lib, 100);
+        let report = insert_clock_tree(&mut nl, &lib, "clk", 16).unwrap();
+        assert_eq!(report.sinks, 100);
+        assert_eq!(report.levels, 1, "100 sinks / 16 = 7 buffers fit one level");
+        assert_eq!(report.total_buffers(), 7);
+
+        // No clock-ish net may drive more than max_fanout sequential pins.
+        let conn = nl.connectivity(&lib).unwrap();
+        for (idx, _net) in nl.nets().iter().enumerate() {
+            let net = scpg_netlist::NetId::from_index(idx);
+            let seq_loads = conn
+                .loads(net)
+                .iter()
+                .filter(|p| {
+                    let kind = lib.expect_cell(nl.instance(p.inst).cell()).kind();
+                    clock_pin_index(kind) == Some(p.pin)
+                })
+                .count();
+            assert!(seq_loads <= 16, "net {idx} drives {seq_loads} clock pins");
+        }
+    }
+
+    #[test]
+    fn deep_trees_get_multiple_levels() {
+        let lib = Library::ninety_nm();
+        let mut nl = flop_bank(&lib, 300);
+        let report = insert_clock_tree(&mut nl, &lib, "clk", 8).unwrap();
+        assert!(report.levels >= 2, "300 sinks at fanout 8 need 2+ levels");
+        assert!(report.insertion_delay.as_ps() > 0.0);
+        nl.validate(&lib).unwrap();
+    }
+
+    #[test]
+    fn flops_still_clock_through_the_tree() {
+        use scpg_liberty::Logic;
+        use scpg_sim::{SimConfig, Simulator};
+        let lib = Library::ninety_nm();
+        let mut nl = flop_bank(&lib, 40);
+        insert_clock_tree(&mut nl, &lib, "clk", 8).unwrap();
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        sim.set_input_by_name("rst_n", Logic::One);
+        sim.set_input_by_name("clk", Logic::Zero);
+        for i in 0..40 {
+            sim.set_input_by_name(&format!("d{i}"), Logic::from_bool(i % 2 == 0));
+        }
+        sim.run_until_quiet(1_000_000);
+        sim.set_input_by_name("clk", Logic::One);
+        sim.run_until_quiet(2_000_000);
+        for i in 0..40 {
+            let q = nl.net_by_name(&format!("q{i}")).unwrap();
+            assert_eq!(sim.value(q), Logic::from_bool(i % 2 == 0), "q{i}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! A miniature logic synthesiser.
+//!
+//! The paper's designs were synthesised with the Synopsys tool suite; this
+//! crate plays that role for the case-study generators. It offers a
+//! gate-level construction API ([`LogicBuilder`]) that technology-maps
+//! boolean operations straight onto [`scpg_liberty::Library`] cells while
+//! performing the two optimisations that matter for honest gate counts:
+//!
+//! * **constant folding** — operations on tied-high/low nets collapse,
+//! * **common-subexpression elimination** — structurally identical gates
+//!   are built once and shared.
+//!
+//! On top of the bit-level API sits [`Word`], a little RTL vocabulary
+//! (ripple-carry adders, bitwise ops, muxes, shifts, comparators) used to
+//! assemble the multiplier and the CPU datapath, plus a dead-gate sweep
+//! ([`prune_unused`]).
+//!
+//! # Example
+//!
+//! ```
+//! use scpg_liberty::Library;
+//! use scpg_synth::LogicBuilder;
+//!
+//! let lib = Library::ninety_nm();
+//! let mut b = LogicBuilder::new("adder", &lib);
+//! let x = b.input_word("x", 4);
+//! let y = b.input_word("y", 4);
+//! let zero = b.zero();
+//! let (sum, _carry) = b.add_words(&x, &y, zero);
+//! b.output_word("sum", &sum);
+//! let nl = b.finish();
+//! assert!(nl.validate(&lib).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+pub mod cts;
+mod prune;
+mod word;
+
+pub use builder::LogicBuilder;
+pub use cts::{insert_clock_tree, CtsReport};
+pub use prune::prune_unused;
+pub use word::Word;

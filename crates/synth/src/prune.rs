@@ -1,0 +1,106 @@
+//! Dead-gate elimination.
+
+use std::collections::HashSet;
+
+use scpg_liberty::Library;
+use scpg_netlist::{NetId, Netlist, NetlistError, PortDirection};
+
+/// Removes instances whose outputs (transitively) drive nothing.
+///
+/// Keeps everything reachable backwards from output ports and from
+/// sequential-cell inputs (a flop's state is observable), plus tie cells
+/// still referenced. Returns the number of removed instances.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] if the netlist does not resolve against
+/// `lib`.
+pub fn prune_unused(nl: &mut Netlist, lib: &Library) -> Result<usize, NetlistError> {
+    let conn = nl.connectivity(lib)?;
+
+    // Seed: nets observed at output ports.
+    let mut live_nets: Vec<NetId> = nl
+        .ports()
+        .iter()
+        .filter(|p| p.direction == PortDirection::Output)
+        .map(|p| p.net)
+        .collect();
+    let mut live_insts: HashSet<usize> = HashSet::new();
+
+    // Sequential cells are always live: their state is the design's state.
+    for (id, inst) in nl.iter_instances() {
+        let Some(cell) = lib.cell(inst.cell()) else { continue };
+        if cell.kind().is_sequential() {
+            live_insts.insert(id.index());
+            let n_in = cell.kind().num_inputs();
+            live_nets.extend(inst.connections()[..n_in].iter().copied());
+        }
+    }
+
+    // Walk fan-in cones.
+    let mut seen: HashSet<NetId> = HashSet::new();
+    while let Some(net) = live_nets.pop() {
+        if !seen.insert(net) {
+            continue;
+        }
+        let Some(drv) = conn.driver(net) else { continue };
+        if live_insts.insert(drv.inst.index()) {
+            let inst = nl.instance(drv.inst);
+            let n_in = conn.num_inputs(drv.inst);
+            live_nets.extend(inst.connections()[..n_in].iter().copied());
+        }
+    }
+
+    Ok(nl.retain_instances(|id, _| live_insts.contains(&id.index())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpg_liberty::Library;
+
+    #[test]
+    fn removes_disconnected_cone_keeps_live_logic() {
+        let lib = Library::ninety_nm();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_output("y");
+        let dead1 = nl.add_fresh_net();
+        let dead2 = nl.add_fresh_net();
+        nl.add_instance("live", "NAND2_X1", &[a, b, y]).unwrap();
+        nl.add_instance("d1", "INV_X1", &[a, dead1]).unwrap();
+        nl.add_instance("d2", "INV_X1", &[dead1, dead2]).unwrap();
+
+        let removed = prune_unused(&mut nl, &lib).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(nl.instances().len(), 1);
+        assert_eq!(nl.instances()[0].name(), "live");
+        nl.validate(&lib).unwrap();
+    }
+
+    #[test]
+    fn keeps_flops_and_their_cones() {
+        let lib = Library::ninety_nm();
+        let mut nl = Netlist::new("t");
+        let clk = nl.add_input("clk");
+        let a = nl.add_input("a");
+        let n1 = nl.add_fresh_net();
+        let q = nl.add_fresh_net(); // flop output goes nowhere
+        nl.add_instance("inv", "INV_X1", &[a, n1]).unwrap();
+        nl.add_instance("ff", "DFF_X1", &[n1, clk, q]).unwrap();
+
+        let removed = prune_unused(&mut nl, &lib).unwrap();
+        assert_eq!(removed, 0, "flop and its fan-in must survive");
+    }
+
+    #[test]
+    fn noop_on_fully_live_design() {
+        let lib = Library::ninety_nm();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_output("y");
+        nl.add_instance("u", "INV_X1", &[a, y]).unwrap();
+        assert_eq!(prune_unused(&mut nl, &lib).unwrap(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Multi-bit signal bundles.
+
+use scpg_netlist::NetId;
+
+/// An ordered bundle of nets representing a binary word, LSB first.
+///
+/// `Word` is pure bookkeeping — all logic construction happens through
+/// [`crate::LogicBuilder`] methods that consume and produce words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Word {
+    bits: Vec<NetId>,
+}
+
+impl Word {
+    /// Wraps a list of nets (LSB first).
+    pub fn new(bits: Vec<NetId>) -> Self {
+        Self { bits }
+    }
+
+    /// The bit nets, LSB first.
+    pub fn bits(&self) -> &[NetId] {
+        &self.bits
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` for a zero-width word.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The net of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width()`.
+    pub fn bit(&self, i: usize) -> NetId {
+        self.bits[i]
+    }
+
+    /// A sub-word covering bits `lo..hi` (LSB-first, exclusive `hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, lo: usize, hi: usize) -> Word {
+        Word::new(self.bits[lo..hi].to_vec())
+    }
+
+    /// Concatenation: `self` provides the low bits, `high` the high bits.
+    pub fn concat(&self, high: &Word) -> Word {
+        let mut bits = self.bits.clone();
+        bits.extend_from_slice(&high.bits);
+        Word::new(bits)
+    }
+
+    /// Zero-extends (or truncates) to exactly `n` bits using `zero`.
+    pub fn resize(&self, n: usize, zero: NetId) -> Word {
+        let mut bits = self.bits.clone();
+        bits.resize(n, zero);
+        bits.truncate(n);
+        Word::new(bits)
+    }
+}
+
+impl FromIterator<NetId> for Word {
+    fn from_iter<T: IntoIterator<Item = NetId>>(iter: T) -> Self {
+        Word::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpg_netlist::Netlist;
+
+    fn nets(n: usize) -> (Netlist, Vec<NetId>) {
+        let mut nl = Netlist::new("t");
+        let ids = (0..n).map(|i| nl.add_net(format!("n{i}"))).collect();
+        (nl, ids)
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let (_nl, ids) = nets(8);
+        let w = Word::new(ids.clone());
+        let lo = w.slice(0, 4);
+        let hi = w.slice(4, 8);
+        assert_eq!(lo.width(), 4);
+        assert_eq!(lo.concat(&hi), w);
+        assert_eq!(w.bit(5), ids[5]);
+    }
+
+    #[test]
+    fn resize_extends_and_truncates() {
+        let (_nl, ids) = nets(4);
+        let zero = ids[0];
+        let w = Word::new(ids[1..3].to_vec());
+        let big = w.resize(5, zero);
+        assert_eq!(big.width(), 5);
+        assert_eq!(big.bit(4), zero);
+        let small = w.resize(1, zero);
+        assert_eq!(small.width(), 1);
+        assert_eq!(small.bit(0), ids[1]);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let (_nl, ids) = nets(3);
+        let w: Word = ids.iter().copied().collect();
+        assert_eq!(w.width(), 3);
+    }
+}

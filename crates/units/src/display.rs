@@ -1,0 +1,106 @@
+//! Engineering-notation formatting shared by every quantity newtype.
+
+use std::fmt;
+
+/// Formats a raw SI value with an engineering prefix and a unit symbol.
+///
+/// Values are shown with four significant digits and the SI prefix that
+/// puts the mantissa in `[1, 1000)`, matching how the paper's tables quote
+/// values ("29.23 µW", "4.38 pJ").
+///
+/// ```
+/// use scpg_units::EngNotation;
+/// assert_eq!(EngNotation::new(29.23e-6, "W").to_string(), "29.23 µW");
+/// assert_eq!(EngNotation::new(0.0, "J").to_string(), "0 J");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngNotation {
+    value: f64,
+    symbol: &'static str,
+}
+
+impl EngNotation {
+    /// Wraps a value (in the SI base unit) and its unit symbol.
+    pub fn new(value: f64, symbol: &'static str) -> Self {
+        Self { value, symbol }
+    }
+}
+
+const PREFIXES: [(&str, f64); 11] = [
+    ("T", 1e12),
+    ("G", 1e9),
+    ("M", 1e6),
+    ("k", 1e3),
+    ("", 1e0),
+    ("m", 1e-3),
+    ("µ", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+    ("a", 1e-18),
+];
+
+impl fmt::Display for EngNotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.value == 0.0 {
+            return write!(f, "0 {}", self.symbol);
+        }
+        if !self.value.is_finite() {
+            return write!(f, "{} {}", self.value, self.symbol);
+        }
+        let magnitude = self.value.abs();
+        let (prefix, scale) = PREFIXES
+            .iter()
+            .find(|&&(_, s)| magnitude >= s)
+            .copied()
+            .unwrap_or(("a", 1e-18));
+        let mantissa = self.value / scale;
+        // Four significant digits: choose the decimal count by mantissa size.
+        let decimals = if mantissa.abs() >= 100.0 {
+            1
+        } else if mantissa.abs() >= 10.0 {
+            2
+        } else {
+            3
+        };
+        write!(
+            f,
+            "{:.*} {}{}",
+            decimals, mantissa, prefix, self.symbol
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_plain() {
+        assert_eq!(EngNotation::new(0.0, "W").to_string(), "0 W");
+    }
+
+    #[test]
+    fn picks_prefix_bands() {
+        assert_eq!(EngNotation::new(1.5e-12, "J").to_string(), "1.500 pJ");
+        assert_eq!(EngNotation::new(2.445_9e-3, "J").to_string(), "2.446 mJ");
+        assert_eq!(EngNotation::new(24.0e6, "Hz").to_string(), "24.00 MHz");
+        assert_eq!(EngNotation::new(556.0, "Hz").to_string(), "556.0 Hz");
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        assert_eq!(EngNotation::new(-12e-6, "W").to_string(), "-12.00 µW");
+    }
+
+    #[test]
+    fn below_atto_still_formats() {
+        let s = EngNotation::new(1e-21, "J").to_string();
+        assert!(s.ends_with("aJ"), "{s}");
+    }
+
+    #[test]
+    fn non_finite_does_not_panic() {
+        assert_eq!(EngNotation::new(f64::INFINITY, "W").to_string(), "inf W");
+    }
+}

@@ -1,0 +1,41 @@
+//! Typed physical quantities for the SCPG reproduction.
+//!
+//! Every analysis in this workspace moves electrical quantities around:
+//! voltages, times, frequencies, powers, energies, capacitances, currents,
+//! temperatures and silicon areas. Mixing those up as bare `f64`s is the
+//! classic source of silent EDA bugs (a nanosecond where a second was
+//! expected changes a result by nine orders of magnitude without any
+//! crash). This crate wraps each quantity in a newtype with:
+//!
+//! * explicit-unit constructors (`Time::from_ns(4.0)`, `Power::from_uw(30.0)`),
+//! * explicit-unit accessors (`.as_ns()`, `.as_uw()`),
+//! * the handful of physically meaningful arithmetic operations
+//!   (`Power * Time = Energy`, `Charge = Capacitance * Voltage`, ...),
+//! * engineering-notation `Display` (`"29.23 µW"`, `"4.38 pJ"`).
+//!
+//! # Example
+//!
+//! ```
+//! use scpg_units::{Frequency, Power, Time};
+//!
+//! let f = Frequency::from_mhz(2.0);
+//! let period = f.period();
+//! assert!((period.as_ns() - 500.0).abs() < 1e-9);
+//!
+//! let p = Power::from_uw(33.87);
+//! let energy = p * period; // energy per cycle
+//! assert!((energy.as_pj() - 16.935).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+mod display;
+mod quantities;
+mod sweep;
+
+pub use display::EngNotation;
+pub use quantities::{
+    Area, Capacitance, Charge, Current, Energy, Frequency, Power, Resistance, Temperature, Time,
+    Voltage,
+};
+pub use sweep::{linspace, logspace, Sweep};

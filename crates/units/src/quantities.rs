@@ -1,0 +1,619 @@
+//! The quantity newtypes and their arithmetic.
+//!
+//! Each quantity stores its value in the SI base unit (seconds, volts,
+//! watts, ...) as an `f64`. A small macro generates the shared surface
+//! (constructors, accessors, scalar arithmetic, ordering helpers); the
+//! physically meaningful cross-quantity products are written out by hand
+//! below so that only dimensionally valid combinations exist.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::display::EngNotation;
+
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, base = $base:literal, symbol = $symbol:literal,
+        ctors = { $( $(#[$cmeta:meta])* $ctor:ident / $acc:ident : $scale:expr ),* $(,)? }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Creates a value from ", $base, " (the SI base unit).")]
+            pub const fn new(base: f64) -> Self {
+                Self(base)
+            }
+
+            #[doc = concat!("Returns the value in ", $base, " (the SI base unit).")]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps to the inclusive range `[lo, hi]`.
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` when the stored value is finite (not NaN/∞).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Total ordering treating NaN as greatest (for sorting sweeps).
+            pub fn total_cmp(&self, other: &Self) -> Ordering {
+                self.0.total_cmp(&other.0)
+            }
+
+            $(
+                $(#[$cmeta])*
+                pub fn $ctor(v: f64) -> Self {
+                    Self(v * $scale)
+                }
+
+                #[doc = concat!("Returns the value converted by the `", stringify!($ctor), "` scale.")]
+                pub fn $acc(self) -> f64 {
+                    self.0 / $scale
+                }
+            )*
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", EngNotation::new(self.0, $symbol))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential, stored in volts.
+    Voltage, base = "volts", symbol = "V",
+    ctors = {
+        /// Creates a voltage from volts.
+        from_v / as_v: 1.0,
+        /// Creates a voltage from millivolts.
+        from_mv / as_mv: 1e-3,
+    }
+);
+
+quantity!(
+    /// A duration, stored in seconds.
+    Time, base = "seconds", symbol = "s",
+    ctors = {
+        /// Creates a time from seconds.
+        from_s / as_s: 1.0,
+        /// Creates a time from milliseconds.
+        from_ms / as_ms: 1e-3,
+        /// Creates a time from microseconds.
+        from_us / as_us: 1e-6,
+        /// Creates a time from nanoseconds.
+        from_ns / as_ns: 1e-9,
+        /// Creates a time from picoseconds.
+        from_ps / as_ps: 1e-12,
+    }
+);
+
+quantity!(
+    /// Frequency, stored in hertz.
+    Frequency, base = "hertz", symbol = "Hz",
+    ctors = {
+        /// Creates a frequency from hertz.
+        from_hz / as_hz: 1.0,
+        /// Creates a frequency from kilohertz.
+        from_khz / as_khz: 1e3,
+        /// Creates a frequency from megahertz.
+        from_mhz / as_mhz: 1e6,
+        /// Creates a frequency from gigahertz.
+        from_ghz / as_ghz: 1e9,
+    }
+);
+
+quantity!(
+    /// Power, stored in watts.
+    Power, base = "watts", symbol = "W",
+    ctors = {
+        /// Creates a power from watts.
+        from_w / as_w: 1.0,
+        /// Creates a power from milliwatts.
+        from_mw / as_mw: 1e-3,
+        /// Creates a power from microwatts.
+        from_uw / as_uw: 1e-6,
+        /// Creates a power from nanowatts.
+        from_nw / as_nw: 1e-9,
+        /// Creates a power from picowatts.
+        from_pw / as_pw: 1e-12,
+    }
+);
+
+quantity!(
+    /// Energy, stored in joules.
+    Energy, base = "joules", symbol = "J",
+    ctors = {
+        /// Creates an energy from joules.
+        from_j / as_j: 1.0,
+        /// Creates an energy from nanojoules.
+        from_nj / as_nj: 1e-9,
+        /// Creates an energy from picojoules.
+        from_pj / as_pj: 1e-12,
+        /// Creates an energy from femtojoules.
+        from_fj / as_fj: 1e-15,
+    }
+);
+
+quantity!(
+    /// Capacitance, stored in farads.
+    Capacitance, base = "farads", symbol = "F",
+    ctors = {
+        /// Creates a capacitance from farads.
+        from_f / as_f: 1.0,
+        /// Creates a capacitance from picofarads.
+        from_pf / as_pf: 1e-12,
+        /// Creates a capacitance from femtofarads.
+        from_ff / as_ff: 1e-15,
+    }
+);
+
+quantity!(
+    /// Electric current, stored in amperes.
+    Current, base = "amperes", symbol = "A",
+    ctors = {
+        /// Creates a current from amperes.
+        from_a / as_a: 1.0,
+        /// Creates a current from milliamperes.
+        from_ma / as_ma: 1e-3,
+        /// Creates a current from microamperes.
+        from_ua / as_ua: 1e-6,
+        /// Creates a current from nanoamperes.
+        from_na / as_na: 1e-9,
+        /// Creates a current from picoamperes.
+        from_pa / as_pa: 1e-12,
+    }
+);
+
+quantity!(
+    /// Electric charge, stored in coulombs.
+    Charge, base = "coulombs", symbol = "C",
+    ctors = {
+        /// Creates a charge from coulombs.
+        from_c / as_c: 1.0,
+        /// Creates a charge from picocoulombs.
+        from_pc / as_pc: 1e-12,
+        /// Creates a charge from femtocoulombs.
+        from_fc / as_fc: 1e-15,
+    }
+);
+
+quantity!(
+    /// Electrical resistance, stored in ohms.
+    Resistance, base = "ohms", symbol = "Ω",
+    ctors = {
+        /// Creates a resistance from ohms.
+        from_ohm / as_ohm: 1.0,
+        /// Creates a resistance from kiloohms.
+        from_kohm / as_kohm: 1e3,
+        /// Creates a resistance from megaohms.
+        from_mohm / as_mohm: 1e6,
+    }
+);
+
+quantity!(
+    /// Silicon area, stored in square micrometres.
+    Area, base = "square micrometres", symbol = "µm²",
+    ctors = {
+        /// Creates an area from square micrometres.
+        from_um2 / as_um2: 1.0,
+        /// Creates an area from square millimetres.
+        from_mm2 / as_mm2: 1e6,
+    }
+);
+
+/// Temperature, stored in degrees Celsius.
+///
+/// Kept separate from the macro because Celsius is an interval scale:
+/// multiplying a temperature by a scalar is not meaningful, while
+/// differences and kelvin conversion are.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Temperature(f64);
+
+impl Temperature {
+    /// Standard characterisation corner used throughout this workspace.
+    pub const NOMINAL: Self = Self(25.0);
+
+    /// Creates a temperature from degrees Celsius.
+    pub const fn from_celsius(c: f64) -> Self {
+        Self(c)
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    pub const fn as_celsius(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the absolute temperature in kelvin.
+    pub fn as_kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+
+    /// Thermal voltage `kT/q` at this temperature.
+    ///
+    /// This drives sub-threshold slope in the leakage models: at 25 °C it
+    /// is ≈ 25.7 mV.
+    pub fn thermal_voltage(self) -> Voltage {
+        const BOLTZMANN_OVER_Q: f64 = 8.617_333e-5; // V/K
+        Voltage::from_v(BOLTZMANN_OVER_Q * self.as_kelvin())
+    }
+}
+
+impl fmt::Display for Temperature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} °C", self.0)
+    }
+}
+
+// ---- Dimensionally meaningful cross-quantity arithmetic -------------------
+
+impl Frequency {
+    /// The clock period `1/f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero (a zero-frequency clock has no
+    /// period, and every caller in this workspace is iterating over
+    /// strictly positive operating points).
+    pub fn period(self) -> Time {
+        assert!(self.0 > 0.0, "period of a non-positive frequency");
+        Time::new(1.0 / self.0)
+    }
+}
+
+impl Time {
+    /// The frequency whose period is this time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time is zero or negative.
+    pub fn frequency(self) -> Frequency {
+        assert!(self.0 > 0.0, "frequency of a non-positive period");
+        Frequency::new(1.0 / self.0)
+    }
+}
+
+impl Mul<Time> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: Time) -> Energy {
+        Energy::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Power> for Time {
+    type Output = Energy;
+    fn mul(self, rhs: Power) -> Energy {
+        rhs * self
+    }
+}
+
+impl Div<Time> for Energy {
+    type Output = Power;
+    fn div(self, rhs: Time) -> Power {
+        Power::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Frequency> for Power {
+    /// Energy per cycle at the given clock frequency.
+    type Output = Energy;
+    fn div(self, rhs: Frequency) -> Energy {
+        Energy::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Frequency> for Energy {
+    /// Average power of an energy spent once per cycle.
+    type Output = Power;
+    fn mul(self, rhs: Frequency) -> Power {
+        Power::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Energy> for Frequency {
+    type Output = Power;
+    fn mul(self, rhs: Energy) -> Power {
+        rhs * self
+    }
+}
+
+impl Mul<Voltage> for Current {
+    type Output = Power;
+    fn mul(self, rhs: Voltage) -> Power {
+        Power::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Current> for Voltage {
+    type Output = Power;
+    fn mul(self, rhs: Current) -> Power {
+        rhs * self
+    }
+}
+
+impl Mul<Voltage> for Capacitance {
+    type Output = Charge;
+    fn mul(self, rhs: Voltage) -> Charge {
+        Charge::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Capacitance> for Voltage {
+    type Output = Charge;
+    fn mul(self, rhs: Capacitance) -> Charge {
+        rhs * self
+    }
+}
+
+impl Mul<Voltage> for Charge {
+    /// `Q · V` — e.g. the energy to charge capacitance `C` to `V` is
+    /// `(C·V)·V = C·V²` (the full switching energy; half is stored, half
+    /// dissipated in the charging resistance).
+    type Output = Energy;
+    fn mul(self, rhs: Voltage) -> Energy {
+        Energy::new(self.value() * rhs.value())
+    }
+}
+
+impl Div<Time> for Charge {
+    type Output = Current;
+    fn div(self, rhs: Time) -> Current {
+        Current::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Time> for Current {
+    type Output = Charge;
+    fn mul(self, rhs: Time) -> Charge {
+        Charge::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Current> for Resistance {
+    type Output = Voltage;
+    fn mul(self, rhs: Current) -> Voltage {
+        Voltage::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Resistance> for Current {
+    type Output = Voltage;
+    fn mul(self, rhs: Resistance) -> Voltage {
+        rhs * self
+    }
+}
+
+impl Div<Resistance> for Voltage {
+    type Output = Current;
+    fn div(self, rhs: Resistance) -> Current {
+        Current::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<Current> for Voltage {
+    type Output = Resistance;
+    fn div(self, rhs: Current) -> Resistance {
+        Resistance::new(self.value() / rhs.value())
+    }
+}
+
+impl Mul<Capacitance> for Resistance {
+    /// The RC time constant.
+    type Output = Time;
+    fn mul(self, rhs: Capacitance) -> Time {
+        Time::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<Resistance> for Capacitance {
+    type Output = Time;
+    fn mul(self, rhs: Resistance) -> Time {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors_round_trip() {
+        fn close(a: f64, b: f64) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+        }
+        close(Voltage::from_mv(600.0).as_v(), 0.6);
+        close(Time::from_ns(500.0).as_us(), 0.5);
+        close(Frequency::from_mhz(2.0).as_khz(), 2000.0);
+        close(Power::from_uw(29.23).as_nw(), 29_230.0);
+        close(Energy::from_pj(4.38).as_fj(), 4380.0);
+        close(Capacitance::from_ff(1.5).as_pf(), 0.0015);
+        close(Current::from_na(42.0).as_ua(), 0.042);
+        close(Resistance::from_kohm(2.0).as_ohm(), 2000.0);
+        close(Area::from_mm2(0.5).as_um2(), 500_000.0);
+    }
+
+    #[test]
+    fn period_and_frequency_are_inverse() {
+        let f = Frequency::from_mhz(14.3);
+        let t = f.period();
+        assert!((t.frequency().as_mhz() - 14.3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "period of a non-positive frequency")]
+    fn zero_frequency_has_no_period() {
+        let _ = Frequency::ZERO.period();
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Power::from_uw(29.44) * Time::from_us(10.0);
+        assert!((e.as_pj() - 294.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_over_frequency_is_energy_per_cycle() {
+        // Table I row at 1 MHz: 31.54 µW ⇒ 31.54 pJ/op.
+        let e = Power::from_uw(31.54) / Frequency::from_mhz(1.0);
+        assert!((e.as_pj() - 31.54).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_charge_and_energy() {
+        let c = Capacitance::from_pf(10.0);
+        let v = Voltage::from_v(0.6);
+        let q = c * v;
+        assert!((q.as_pc() - 6.0).abs() < 1e-12);
+        let e = q * v; // C·V²
+        assert!((e.as_pj() - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ohms_law_directions() {
+        let v = Voltage::from_v(0.6);
+        let r = Resistance::from_kohm(3.0);
+        let i = v / r;
+        assert!((i.as_ua() - 200.0).abs() < 1e-9);
+        assert!(((i * r).as_v() - 0.6).abs() < 1e-12);
+        assert!(((v / i).as_kohm() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rc_time_constant() {
+        let tau = Resistance::from_kohm(1.0) * Capacitance::from_pf(2.0);
+        assert!((tau.as_ns() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let vt = Temperature::NOMINAL.thermal_voltage();
+        assert!((vt.as_mv() - 25.7).abs() < 0.2);
+    }
+
+    #[test]
+    fn scalar_arithmetic_and_ratio() {
+        let p = Power::from_uw(10.0) * 3.0;
+        assert!((p.as_uw() - 30.0).abs() < 1e-12);
+        let ratio = Power::from_uw(45.0) / Power::from_uw(15.0);
+        assert!((ratio - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_and_ordering_helpers() {
+        let total: Power = [1.0, 2.0, 3.5]
+            .iter()
+            .map(|&w| Power::from_uw(w))
+            .sum();
+        assert!((total.as_uw() - 6.5).abs() < 1e-12);
+        assert_eq!(
+            Power::from_uw(2.0).max(Power::from_uw(5.0)).as_uw(),
+            5.0
+        );
+        let lo = Time::from_ns(1.0);
+        let hi = Time::from_ns(9.0);
+        assert_eq!(Time::from_ns(12.0).clamp(lo, hi).as_ns(), 9.0);
+    }
+
+    #[test]
+    fn display_uses_engineering_notation() {
+        assert_eq!(format!("{}", Power::from_uw(29.23)), "29.23 µW");
+        assert_eq!(format!("{}", Energy::from_pj(4.38)), "4.380 pJ");
+        assert_eq!(format!("{}", Voltage::from_mv(310.0)), "310.0 mV");
+    }
+}

@@ -1,0 +1,183 @@
+//! Parameter sweeps for operating-point exploration.
+//!
+//! The paper's figures are sweeps: power vs. clock frequency (Figs. 6, 8)
+//! and energy vs. supply voltage (Figs. 9, 10). [`linspace`] and
+//! [`logspace`] generate those axes, and [`Sweep`] pairs each point with a
+//! computed sample so benches and plots share one representation.
+
+/// `n` evenly spaced values covering `[start, stop]` inclusive.
+///
+/// Returns an empty vector for `n == 0` and `[start]` for `n == 1`.
+///
+/// ```
+/// let xs = scpg_units::linspace(0.0, 1.0, 5);
+/// assert_eq!(xs, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![start],
+        _ => (0..n)
+            .map(|i| start + (stop - start) * (i as f64) / ((n - 1) as f64))
+            .collect(),
+    }
+}
+
+/// `n` logarithmically spaced values covering `[start, stop]` inclusive.
+///
+/// Both endpoints must be strictly positive; the points are evenly spaced
+/// in `log10`. Useful for frequency axes that span 10 kHz – 14.3 MHz as in
+/// Table I.
+///
+/// # Panics
+///
+/// Panics if `start <= 0` or `stop <= 0`.
+pub fn logspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    assert!(start > 0.0 && stop > 0.0, "logspace endpoints must be positive");
+    linspace(start.log10(), stop.log10(), n)
+        .into_iter()
+        .map(|e| 10f64.powf(e))
+        .collect()
+}
+
+/// A computed sweep: an x axis plus one sample per point.
+///
+/// ```
+/// use scpg_units::Sweep;
+/// let sweep = Sweep::compute("f/MHz", vec![1.0, 2.0, 4.0], |&f| f * f);
+/// assert_eq!(sweep.samples(), &[1.0, 4.0, 16.0]);
+/// assert_eq!(sweep.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep<Y> {
+    label: &'static str,
+    axis: Vec<f64>,
+    samples: Vec<Y>,
+}
+
+impl<Y> Sweep<Y> {
+    /// Evaluates `f` at every axis point.
+    pub fn compute<F>(label: &'static str, axis: Vec<f64>, f: F) -> Self
+    where
+        F: FnMut(&f64) -> Y,
+    {
+        let samples = axis.iter().map(f).collect();
+        Self { label, axis, samples }
+    }
+
+    /// Builds a sweep from pre-computed samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` and `samples` have different lengths.
+    pub fn from_parts(label: &'static str, axis: Vec<f64>, samples: Vec<Y>) -> Self {
+        assert_eq!(axis.len(), samples.len(), "axis/sample length mismatch");
+        Self { label, axis, samples }
+    }
+
+    /// The axis label (e.g. `"f/MHz"`).
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// The x-axis values.
+    pub fn axis(&self) -> &[f64] {
+        &self.axis
+    }
+
+    /// The computed samples, one per axis point.
+    pub fn samples(&self) -> &[Y] {
+        &self.samples
+    }
+
+    /// Number of points in the sweep.
+    pub fn len(&self) -> usize {
+        self.axis.len()
+    }
+
+    /// `true` when the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.axis.is_empty()
+    }
+
+    /// Iterates over `(x, &sample)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &Y)> {
+        self.axis.iter().copied().zip(self.samples.iter())
+    }
+
+    /// Maps every sample, keeping the axis.
+    pub fn map<Z, F: FnMut(&Y) -> Z>(&self, f: F) -> Sweep<Z> {
+        Sweep {
+            label: self.label,
+            axis: self.axis.clone(),
+            samples: self.samples.iter().map(f).collect(),
+        }
+    }
+
+    /// The `(x, &sample)` pair minimising `key(sample)`, or `None` when empty.
+    ///
+    /// Used to locate minimum-energy points on the Fig. 9 / Fig. 10 curves.
+    pub fn min_by_key<K: PartialOrd, F: FnMut(&Y) -> K>(
+        &self,
+        mut key: F,
+    ) -> Option<(f64, &Y)> {
+        self.iter().reduce(|best, cur| {
+            if key(cur.1) < key(best.1) {
+                cur
+            } else {
+                best
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_edges() {
+        assert!(linspace(0.0, 1.0, 0).is_empty());
+        assert_eq!(linspace(3.0, 9.0, 1), vec![3.0]);
+        let xs = linspace(1.0, 2.0, 3);
+        assert_eq!(xs, vec![1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn logspace_covers_decades() {
+        let xs = logspace(0.01, 100.0, 5);
+        assert_eq!(xs.len(), 5);
+        assert!((xs[0] - 0.01).abs() < 1e-12);
+        assert!((xs[2] - 1.0).abs() < 1e-9);
+        assert!((xs[4] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn logspace_rejects_zero_start() {
+        let _ = logspace(0.0, 1.0, 4);
+    }
+
+    #[test]
+    fn sweep_compute_and_min() {
+        // A parabola with minimum at x = 2.
+        let sweep = Sweep::compute("x", linspace(0.0, 4.0, 41), |&x| (x - 2.0) * (x - 2.0));
+        let (xmin, &ymin) = sweep.min_by_key(|&y| y).expect("non-empty");
+        assert!((xmin - 2.0).abs() < 1e-9);
+        assert!(ymin.abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_map_preserves_axis() {
+        let s = Sweep::compute("x", vec![1.0, 2.0], |&x| x);
+        let doubled = s.map(|&y| y * 2.0);
+        assert_eq!(doubled.axis(), s.axis());
+        assert_eq!(doubled.samples(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_validates() {
+        let _ = Sweep::from_parts("x", vec![1.0], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Per-net switching activity and state residency.
+
+use crate::vcd::VcdDump;
+
+/// Accumulated statistics of one net over a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetActivity {
+    /// Number of value changes between known levels (0↔1). Transitions
+    /// into or out of `X`/`Z` are counted separately.
+    pub toggles: u64,
+    /// Transitions involving an unknown value (power-gating corruption).
+    pub unknown_transitions: u64,
+    /// Picoseconds spent at logic 1.
+    pub time_high_ps: u64,
+    /// Picoseconds spent at logic 0.
+    pub time_low_ps: u64,
+    /// Picoseconds spent at `X`/`Z`.
+    pub time_unknown_ps: u64,
+}
+
+impl NetActivity {
+    /// Fraction of observed time spent at logic 1, counting unknown time
+    /// as half (matching the leakage model's treatment of `X`).
+    pub fn high_fraction(&self) -> f64 {
+        let total = self.time_high_ps + self.time_low_ps + self.time_unknown_ps;
+        if total == 0 {
+            return 0.5;
+        }
+        (self.time_high_ps as f64 + 0.5 * self.time_unknown_ps as f64) / total as f64
+    }
+}
+
+/// Switching activity of a whole design over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activity {
+    duration_ps: u64,
+    nets: Vec<NetActivity>,
+    window_ps: Option<u64>,
+    window_toggles: Vec<u64>,
+}
+
+impl Activity {
+    /// Total simulated time in picoseconds.
+    pub fn duration_ps(&self) -> u64 {
+        self.duration_ps
+    }
+
+    /// Statistics of net `i` (indexed like the netlist's nets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn net(&self, i: usize) -> &NetActivity {
+        &self.nets[i]
+    }
+
+    /// All per-net records.
+    pub fn nets(&self) -> &[NetActivity] {
+        &self.nets
+    }
+
+    /// Total 0↔1 toggles across all nets.
+    pub fn total_toggles(&self) -> u64 {
+        self.nets.iter().map(|n| n.toggles).sum()
+    }
+
+    /// Average toggles per net per clock cycle of length `cycle_ps` — the
+    /// "switching probability" of the paper's Fig. 7.
+    pub fn switching_probability(&self, cycle_ps: u64) -> f64 {
+        if self.duration_ps == 0 || self.nets.is_empty() || cycle_ps == 0 {
+            return 0.0;
+        }
+        let cycles = self.duration_ps as f64 / cycle_ps as f64;
+        self.total_toggles() as f64 / (self.nets.len() as f64 * cycles)
+    }
+
+    /// Per-window total toggle counts (empty when windowing was off).
+    pub fn window_toggles(&self) -> &[u64] {
+        &self.window_toggles
+    }
+
+    /// Per-window switching probability (toggles per net per cycle).
+    pub fn window_switching_probabilities(&self, cycle_ps: u64) -> Vec<f64> {
+        let Some(window_ps) = self.window_ps else {
+            return Vec::new();
+        };
+        if self.nets.is_empty() || cycle_ps == 0 {
+            return Vec::new();
+        }
+        let cycles_per_window = window_ps as f64 / cycle_ps as f64;
+        self.window_toggles
+            .iter()
+            .map(|&t| t as f64 / (self.nets.len() as f64 * cycles_per_window))
+            .collect()
+    }
+}
+
+impl Activity {
+    /// Rebuilds an activity record from a parsed VCD — the paper's
+    /// Modelsim → Primetime-PX hand-off, in which the power tool never
+    /// sees the simulator, only its dump.
+    ///
+    /// `end_ps` closes the record (residency is credited up to it);
+    /// `window_ps` optionally enables Fig. 7-style windowing.
+    pub fn from_vcd(dump: &VcdDump, end_ps: u64, window_ps: Option<u64>) -> Self {
+        let mut b = ActivityBuilder::new(dump.names.len(), window_ps);
+        for ch in &dump.changes {
+            b.record(ch.time_ps, ch.var, ch.value);
+        }
+        b.finish(end_ps)
+    }
+}
+
+/// Streams value changes into an [`Activity`].
+///
+/// The builder assumes (and the simulator guarantees) non-decreasing
+/// timestamps.
+#[derive(Debug, Clone)]
+pub struct ActivityBuilder {
+    last_value: Vec<scpg_liberty::Logic>,
+    last_time: Vec<u64>,
+    nets: Vec<NetActivity>,
+    window_ps: Option<u64>,
+    window_toggles: Vec<u64>,
+}
+
+impl ActivityBuilder {
+    /// Starts recording `num_nets` nets; `window_ps` enables windowed
+    /// toggle binning.
+    pub fn new(num_nets: usize, window_ps: Option<u64>) -> Self {
+        Self {
+            last_value: vec![scpg_liberty::Logic::X; num_nets],
+            last_time: vec![0; num_nets],
+            nets: vec![NetActivity::default(); num_nets],
+            window_ps,
+            window_toggles: Vec::new(),
+        }
+    }
+
+    fn credit_residency(&mut self, net: usize, until_ps: u64) {
+        let dt = until_ps.saturating_sub(self.last_time[net]);
+        if dt == 0 {
+            return;
+        }
+        let rec = &mut self.nets[net];
+        match self.last_value[net] {
+            scpg_liberty::Logic::One => rec.time_high_ps += dt,
+            scpg_liberty::Logic::Zero => rec.time_low_ps += dt,
+            _ => rec.time_unknown_ps += dt,
+        }
+        self.last_time[net] = until_ps;
+    }
+
+    /// Records that `net` changed to `value` at `time_ps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn record(&mut self, time_ps: u64, net: usize, value: scpg_liberty::Logic) {
+        let prev = self.last_value[net];
+        if prev == value {
+            return;
+        }
+        self.credit_residency(net, time_ps);
+        self.last_value[net] = value;
+        let rec = &mut self.nets[net];
+        let known_flip = prev.is_known() && value.is_known();
+        if known_flip {
+            rec.toggles += 1;
+            if let Some(w) = self.window_ps {
+                let idx = (time_ps / w) as usize;
+                if self.window_toggles.len() <= idx {
+                    self.window_toggles.resize(idx + 1, 0);
+                }
+                self.window_toggles[idx] += 1;
+            }
+        } else {
+            rec.unknown_transitions += 1;
+        }
+    }
+
+    /// Closes the run at `end_ps` and returns the activity record.
+    pub fn finish(mut self, end_ps: u64) -> Activity {
+        for net in 0..self.nets.len() {
+            self.credit_residency(net, end_ps);
+        }
+        if let Some(w) = self.window_ps {
+            let want = (end_ps as f64 / w as f64).ceil() as usize;
+            if self.window_toggles.len() < want {
+                self.window_toggles.resize(want, 0);
+            }
+        }
+        Activity {
+            duration_ps: end_ps,
+            nets: self.nets,
+            window_ps: self.window_ps,
+            window_toggles: self.window_toggles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpg_liberty::Logic;
+
+    #[test]
+    fn residency_and_toggles_accumulate() {
+        let mut b = ActivityBuilder::new(1, None);
+        b.record(0, 0, Logic::Zero);
+        b.record(400, 0, Logic::One);
+        b.record(1_000, 0, Logic::Zero);
+        let act = b.finish(2_000);
+        let n = act.net(0);
+        assert_eq!(n.toggles, 2);
+        assert_eq!(n.time_high_ps, 600);
+        assert_eq!(n.time_low_ps, 400 + 1_000);
+        assert_eq!(n.time_unknown_ps, 0);
+        assert!((n.high_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_transitions_do_not_count_as_toggles() {
+        let mut b = ActivityBuilder::new(1, None);
+        b.record(0, 0, Logic::Zero);
+        b.record(100, 0, Logic::X); // power gated
+        b.record(200, 0, Logic::One); // restored
+        let act = b.finish(300);
+        let n = act.net(0);
+        assert_eq!(n.toggles, 0);
+        // Initial X→0, 0→X at 100, X→1 at 200.
+        assert_eq!(n.unknown_transitions, 3);
+        assert_eq!(n.time_unknown_ps, 100);
+    }
+
+    #[test]
+    fn duplicate_values_are_ignored() {
+        let mut b = ActivityBuilder::new(1, None);
+        b.record(0, 0, Logic::One);
+        b.record(50, 0, Logic::One);
+        let act = b.finish(100);
+        // Initial X→1 is an unknown transition; the repeat is dropped.
+        assert_eq!(act.net(0).unknown_transitions, 1);
+        assert_eq!(act.net(0).toggles, 0);
+    }
+
+    #[test]
+    fn switching_probability_normalises() {
+        let mut b = ActivityBuilder::new(2, None);
+        b.record(0, 0, Logic::Zero);
+        b.record(0, 1, Logic::Zero);
+        // Net 0 toggles every cycle (10 cycles of 1 000 ps), net 1 never.
+        for cyc in 0..10u64 {
+            let v = if cyc % 2 == 0 { Logic::One } else { Logic::Zero };
+            b.record(cyc * 1_000 + 500, 0, v);
+        }
+        let act = b.finish(10_000);
+        let p = act.switching_probability(1_000);
+        assert!((p - 0.5).abs() < 1e-12, "10 toggles / 2 nets / 10 cycles, got {p}");
+    }
+
+    #[test]
+    fn windows_bin_by_time() {
+        let mut b = ActivityBuilder::new(1, Some(1_000));
+        b.record(0, 0, Logic::Zero);
+        b.record(100, 0, Logic::One);
+        b.record(200, 0, Logic::Zero);
+        b.record(1_100, 0, Logic::One);
+        let act = b.finish(3_000);
+        assert_eq!(act.window_toggles(), &[2, 1, 0]);
+        let probs = act.window_switching_probabilities(500);
+        assert_eq!(probs.len(), 3);
+        assert!((probs[0] - 1.0).abs() < 1e-12, "2 toggles / 1 net / 2 cycles");
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let act = ActivityBuilder::new(0, None).finish(0);
+        assert_eq!(act.total_toggles(), 0);
+        assert_eq!(act.switching_probability(1_000), 0.0);
+    }
+
+    #[test]
+    fn vcd_round_trip_reproduces_activity() {
+        // Build activity directly AND through a VCD; both must agree.
+        let mut direct = ActivityBuilder::new(2, Some(1_000));
+        let mut vcd = crate::vcd::VcdWriter::new("t", &["a", "b"]);
+        let changes = [
+            (0u64, 0usize, Logic::Zero),
+            (0, 1, Logic::One),
+            (250, 0, Logic::One),
+            (900, 1, Logic::Zero),
+            (1_500, 0, Logic::Zero),
+            (1_600, 0, Logic::X),
+        ];
+        for &(t, n, v) in &changes {
+            direct.record(t, n, v);
+            vcd.change(t, n, v);
+        }
+        let from_direct = direct.finish(2_000);
+        let dump = crate::vcd::parse_vcd(&vcd.finish(2_000)).unwrap();
+        let from_vcd = Activity::from_vcd(&dump, 2_000, Some(1_000));
+        assert_eq!(from_direct, from_vcd);
+        assert_eq!(from_vcd.total_toggles(), 3);
+        assert_eq!(from_vcd.window_toggles(), &[2, 1]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Waveforms and switching activity.
+//!
+//! The paper's power methodology (§III-B) is: simulate the netlist in
+//! Modelsim, dump a **VCD** of every net, then feed windowed switching
+//! activity to the power tool. This crate provides both halves:
+//!
+//! * [`VcdWriter`] / [`parse_vcd`] — a value-change-dump writer and a
+//!   parser for the subset it emits (enough to round-trip gate-level
+//!   activity);
+//! * [`Activity`] — per-net toggle counts and state residency over a run,
+//!   optionally binned into fixed windows ([`Activity::window_toggles`])
+//!   to reproduce the per-10-vector switching-probability plot (Fig. 7).
+//!
+//! Times are integer picoseconds throughout, matching the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use scpg_waveform::ActivityBuilder;
+//!
+//! let mut b = ActivityBuilder::new(2, Some(1_000)); // 2 nets, 1 ns windows
+//! b.record(0, 0, scpg_liberty::Logic::Zero);
+//! b.record(500, 0, scpg_liberty::Logic::One);   // toggle at 0.5 ns
+//! b.record(1_500, 0, scpg_liberty::Logic::Zero); // toggle at 1.5 ns
+//! let act = b.finish(2_000);
+//! assert_eq!(act.net(0).toggles, 2);
+//! assert_eq!(act.window_toggles(), &[1, 1]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod activity;
+mod vcd;
+
+pub use activity::{Activity, ActivityBuilder, NetActivity};
+pub use vcd::{parse_vcd, VcdChange, VcdDump, VcdWriter};

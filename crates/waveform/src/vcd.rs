@@ -1,0 +1,221 @@
+//! Value-change-dump (IEEE 1364 §18) writing and parsing.
+//!
+//! Only the gate-level subset is supported: scalar variables, a single
+//! scope, `$timescale 1ps`. This matches what the simulator produces and
+//! what the activity extraction consumes — the same role VCD plays
+//! between Modelsim and Primetime-PX in the paper's flow.
+
+use std::fmt::Write as _;
+
+use scpg_liberty::Logic;
+
+/// One recorded change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VcdChange {
+    /// Timestamp in picoseconds.
+    pub time_ps: u64,
+    /// Variable index (position in the declared name list).
+    pub var: usize,
+    /// The new value.
+    pub value: Logic,
+}
+
+/// A parsed dump: variable names plus the ordered change list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcdDump {
+    /// Declared variable names, index-aligned with [`VcdChange::var`].
+    pub names: Vec<String>,
+    /// All changes in file order.
+    pub changes: Vec<VcdChange>,
+}
+
+/// Writes a VCD file incrementally into a `String`.
+#[derive(Debug, Clone)]
+pub struct VcdWriter {
+    out: String,
+    ids: Vec<String>,
+    time: Option<u64>,
+}
+
+fn id_code(mut n: usize) -> String {
+    // Printable identifier code per the VCD spec: base-94 over '!'..'~'.
+    let mut s = String::new();
+    loop {
+        s.push((33 + (n % 94)) as u8 as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+impl VcdWriter {
+    /// Starts a dump for the named module with the given net names.
+    pub fn new(module: &str, net_names: &[&str]) -> Self {
+        let mut out = String::new();
+        let _ = writeln!(out, "$date scpg reproduction $end");
+        let _ = writeln!(out, "$timescale 1ps $end");
+        let _ = writeln!(out, "$scope module {module} $end");
+        let mut ids = Vec::with_capacity(net_names.len());
+        for (i, name) in net_names.iter().enumerate() {
+            let id = id_code(i);
+            let _ = writeln!(out, "$var wire 1 {id} {name} $end");
+            ids.push(id);
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        Self { out, ids, time: None }
+    }
+
+    /// Records a change of variable `var` to `value` at `time_ps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range or time goes backwards.
+    pub fn change(&mut self, time_ps: u64, var: usize, value: Logic) {
+        assert!(var < self.ids.len(), "vcd variable {var} out of range");
+        match self.time {
+            Some(t) if t == time_ps => {}
+            Some(t) => {
+                assert!(time_ps > t, "vcd time must be non-decreasing");
+                let _ = writeln!(self.out, "#{time_ps}");
+                self.time = Some(time_ps);
+            }
+            None => {
+                let _ = writeln!(self.out, "#{time_ps}");
+                self.time = Some(time_ps);
+            }
+        }
+        let _ = writeln!(self.out, "{}{}", value.vcd_char(), self.ids[var]);
+    }
+
+    /// Finalises at `end_ps` and returns the VCD text.
+    pub fn finish(mut self, end_ps: u64) -> String {
+        if self.time != Some(end_ps) {
+            let _ = writeln!(self.out, "#{end_ps}");
+        }
+        self.out
+    }
+}
+
+/// Parses the subset written by [`VcdWriter`].
+///
+/// # Errors
+///
+/// Returns a `String` description on malformed input (unknown identifier
+/// codes, bad timestamps, missing definitions).
+pub fn parse_vcd(text: &str) -> Result<VcdDump, String> {
+    let mut names = Vec::new();
+    let mut codes = Vec::new();
+    let mut changes = Vec::new();
+    let mut time = 0u64;
+    let mut in_defs = true;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fail = |m: &str| format!("line {}: {m}", lineno + 1);
+        if in_defs {
+            if line.starts_with("$var") {
+                // $var wire 1 <id> <name> $end
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                if parts.len() < 6 {
+                    return Err(fail("malformed $var"));
+                }
+                codes.push(parts[3].to_string());
+                names.push(parts[4].to_string());
+            } else if line.starts_with("$enddefinitions") {
+                in_defs = false;
+            }
+            continue;
+        }
+        if let Some(ts) = line.strip_prefix('#') {
+            time = ts.parse().map_err(|_| fail("bad timestamp"))?;
+        } else if line.starts_with('$') {
+            // $dumpvars / $end blocks — values inside are handled below.
+            continue;
+        } else {
+            let mut chars = line.chars();
+            let v = chars
+                .next()
+                .and_then(Logic::from_vcd_char)
+                .ok_or_else(|| fail("bad value char"))?;
+            let code: String = chars.collect();
+            let var = codes
+                .iter()
+                .position(|c| *c == code)
+                .ok_or_else(|| fail(&format!("unknown id code `{code}`")))?;
+            changes.push(VcdChange { time_ps: time, var, value: v });
+        }
+    }
+    Ok(VcdDump { names, changes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            let c = id_code(i);
+            assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)));
+            assert!(seen.insert(c), "duplicate code at {i}");
+        }
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let mut w = VcdWriter::new("toy", &["clk", "data"]);
+        w.change(0, 0, Logic::Zero);
+        w.change(0, 1, Logic::X);
+        w.change(500, 0, Logic::One);
+        w.change(700, 1, Logic::One);
+        w.change(1_000, 0, Logic::Zero);
+        let text = w.finish(1_500);
+
+        let dump = parse_vcd(&text).unwrap();
+        assert_eq!(dump.names, vec!["clk", "data"]);
+        assert_eq!(dump.changes.len(), 5);
+        assert_eq!(
+            dump.changes[2],
+            VcdChange { time_ps: 500, var: 0, value: Logic::One }
+        );
+        assert_eq!(
+            dump.changes[4],
+            VcdChange { time_ps: 1_000, var: 0, value: Logic::Zero }
+        );
+    }
+
+    #[test]
+    fn parser_reports_bad_input() {
+        assert!(parse_vcd("$enddefinitions $end\n#x\n").is_err());
+        assert!(parse_vcd("$enddefinitions $end\n#0\nq!\n").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn writer_rejects_time_travel() {
+        let mut w = VcdWriter::new("t", &["a"]);
+        w.change(100, 0, Logic::One);
+        w.change(50, 0, Logic::Zero);
+    }
+
+    #[test]
+    fn many_variables_round_trip() {
+        let names: Vec<String> = (0..200).map(|i| format!("n{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut w = VcdWriter::new("big", &refs);
+        for i in 0..200 {
+            w.change(10, i, Logic::One);
+        }
+        let dump = parse_vcd(&w.finish(20)).unwrap();
+        assert_eq!(dump.names.len(), 200);
+        assert_eq!(dump.changes.len(), 200);
+        assert!(dump.changes.iter().all(|c| c.value == Logic::One));
+    }
+}

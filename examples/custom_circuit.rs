@@ -1,0 +1,93 @@
+//! Apply SCPG to *your own* circuit: build a datapath with the
+//! synthesiser's word-level API, push it through the flow, and simulate
+//! the gated design to confirm it still computes.
+//!
+//! The circuit here is a small MAC (multiply-accumulate-ish) unit:
+//! `out = (a + b) XOR (a << 1)`, registered on both sides.
+//!
+//! ```sh
+//! cargo run --release --example custom_circuit
+//! ```
+
+use scpg::ScpgFlow;
+use scpg_liberty::{Library, Logic};
+use scpg_sim::{SimConfig, Simulator};
+use scpg_synth::LogicBuilder;
+use scpg_units::Energy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = Library::ninety_nm();
+
+    // 1. Describe the datapath.
+    let mut b = LogicBuilder::new("mac8", &lib);
+    let clk = b.input("clk");
+    let rst_n = b.input("rst_n");
+    let a = b.input_word("a", 8);
+    let bw = b.input_word("b", 8);
+    let ra = b.dff_word(&a, clk, rst_n);
+    let rb = b.dff_word(&bw, clk, rst_n);
+    let zero = b.zero();
+    let (sum, _c) = b.add_words(&ra, &rb, zero);
+    let shifted = b.shl_const(&ra, 1);
+    let out = b.xor_words(&sum, &shifted);
+    let rout = b.dff_word(&out, clk, rst_n);
+    b.output_word("y", &rout);
+    let netlist = b.finish();
+    let stats = netlist.stats(&lib);
+    println!(
+        "custom design: {} comb + {} seq cells",
+        stats.combinational, stats.sequential
+    );
+
+    // 2. SCPG flow.
+    let report = ScpgFlow::new(&lib)
+        .with_workload_energy(Energy::from_pj(0.5))
+        .run(&netlist, "clk")?;
+    println!(
+        "flow done: header {:?}, {} isolation clamps, +{:.1} % area",
+        report.design.header_size,
+        report.design.isolation_cells,
+        report.area_overhead * 100.0
+    );
+    println!("UPF excerpt:\n{}", report.upf.lines().take(6).collect::<Vec<_>>().join("\n"));
+
+    // 3. Simulate the gated design: the clock itself gates the domain
+    //    every cycle, and the result must still be correct.
+    let scpg_nl = &report.design.netlist;
+    let mut sim = Simulator::new(scpg_nl, &lib, SimConfig::default())?;
+    sim.set_input(report.design.override_n, Logic::One); // gating active
+    sim.set_input_by_name("rst_n", Logic::Zero);
+    sim.set_input_by_name("clk", Logic::Zero);
+
+    const PERIOD: u64 = 1_000_000;
+    let cycle = |sim: &mut Simulator<'_>, n: u64| {
+        sim.run_until(n * PERIOD);
+        sim.set_input_by_name("clk", Logic::One);
+        sim.run_until(n * PERIOD + PERIOD / 2);
+        sim.set_input_by_name("clk", Logic::Zero);
+        sim.run_until((n + 1) * PERIOD);
+    };
+    cycle(&mut sim, 0);
+    sim.set_input_by_name("rst_n", Logic::One);
+    // Drive a = 0x2B, b = 0x11.
+    let (av, bv) = (0x2Bu64, 0x11u64);
+    for i in 0..8 {
+        sim.set_input_by_name(&format!("a[{i}]"), Logic::from_bool((av >> i) & 1 == 1));
+        sim.set_input_by_name(&format!("b[{i}]"), Logic::from_bool((bv >> i) & 1 == 1));
+    }
+    for n in 1..5 {
+        cycle(&mut sim, n);
+    }
+    let mut y = 0u64;
+    for i in 0..8 {
+        let net = scpg_nl.net_by_name(&format!("y[{i}]")).expect("output bit");
+        if sim.value(net) == Logic::One {
+            y |= 1 << i;
+        }
+    }
+    let expect = ((av + bv) ^ (av << 1)) & 0xff;
+    println!("gated MAC computed y = {y:#04x} (expected {expect:#04x})");
+    assert_eq!(y, expect, "the power-gated design must still compute");
+    println!("OK — the domain was power gated inside every one of those cycles.");
+    Ok(())
+}

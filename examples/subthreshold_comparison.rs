@@ -1,0 +1,56 @@
+//! The §IV study: sub-clock power gating versus sub-threshold operation.
+//!
+//! Sub-threshold design reaches the global minimum-energy point but is
+//! slow, voltage-sensitive and cannot sprint; SCPG operates above
+//! threshold and trades power for performance on demand (the `override`
+//! pin forces the domain on for peak throughput).
+//!
+//! ```sh
+//! cargo run --release --example subthreshold_comparison
+//! ```
+
+use scpg::{Mode, ScpgAnalysis, ScpgFlow};
+use scpg_circuits::generate_multiplier;
+use scpg_liberty::{Library, PvtCorner};
+use scpg_power::SubthresholdCurve;
+use scpg_units::{linspace, Energy, Frequency, Voltage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = Library::ninety_nm();
+    let (netlist, _ports) = generate_multiplier(&lib, 16);
+    let e_dyn = Energy::from_pj(3.0);
+
+    // Sub-threshold: sweep the supply, find the minimum-energy point.
+    let volts: Vec<Voltage> = linspace(0.15, 0.9, 76).into_iter().map(Voltage::from_v).collect();
+    let curve = SubthresholdCurve::sweep(&netlist, &lib, e_dyn, &volts)?;
+    let min = curve.minimum().expect("sweep is non-empty");
+    println!(
+        "sub-threshold minimum-energy point: {} per op at {} \
+         (f_max {}, power {})",
+        min.energy, min.voltage, min.frequency, min.power
+    );
+
+    // SCPG at 0.6 V: what does the same design cost across frequencies?
+    let report = ScpgFlow::new(&lib).with_workload_energy(e_dyn).run(&netlist, "clk")?;
+    let analysis =
+        ScpgAnalysis::new(&lib, &netlist, &report.design, e_dyn, PvtCorner::default())?;
+    println!("\nSCPG-Max at 0.6 V:");
+    for mhz in [1.0, 5.0, 14.3, 20.0] {
+        let p = analysis.operating_point(Frequency::from_mhz(mhz), Mode::ScpgMax);
+        println!(
+            "  {:>9}: {:>10}, {:>9}/op   ({:.1}× the sub-threshold minimum energy)",
+            p.frequency,
+            p.power,
+            p.energy_per_op,
+            p.energy_per_op / min.energy
+        );
+    }
+    println!(
+        "\ntake-away (paper §IV): sub-threshold wins on pure energy, but is \
+         stuck near {}; SCPG runs {}+ on demand and stays in the \
+         process-stable above-threshold region.",
+        min.frequency,
+        Frequency::from_mhz(14.3)
+    );
+    Ok(())
+}

@@ -1,0 +1,234 @@
+//! Cross-crate consistency of the flow's artefacts: Verilog round-trips,
+//! UPF matches the netlist, the split emission partitions the design, and
+//! the analysis agrees with the power engine's raw numbers.
+
+use scpg::{Mode, ScpgAnalysis, ScpgFlow};
+use scpg_circuits::generate_multiplier;
+use scpg_liberty::{Library, PvtCorner};
+use scpg_netlist::{emit_verilog, parse_verilog, Domain};
+use scpg_power::PowerAnalyzer;
+use scpg_units::{Energy, Frequency};
+
+fn flow_report(lib: &Library) -> (scpg_netlist::Netlist, scpg::FlowReport) {
+    let (nl, _) = generate_multiplier(lib, 16);
+    let report = ScpgFlow::new(lib)
+        .with_workload_energy(Energy::from_pj(3.0))
+        .run(&nl, "clk")
+        .unwrap();
+    (nl, report)
+}
+
+#[test]
+fn scpg_netlist_round_trips_through_verilog() {
+    let lib = Library::ninety_nm();
+    let (_, report) = flow_report(&lib);
+    let text = emit_verilog(&report.design.netlist, &lib).unwrap();
+    let back = parse_verilog(&text, &lib).unwrap();
+    back.validate(&lib).unwrap();
+    assert_eq!(back.instances().len(), report.design.netlist.instances().len());
+    assert_eq!(back.ports().len(), report.design.netlist.ports().len());
+    // Domains are a power-intent attribute (carried by UPF, not Verilog);
+    // structure must survive regardless.
+    let s1 = report.design.netlist.stats(&lib);
+    let s2 = back.stats(&lib);
+    assert_eq!(s1.total(), s2.total());
+    assert!((s1.area.as_um2() - s2.area.as_um2()).abs() < 1e-9);
+}
+
+#[test]
+fn split_emission_partitions_all_gated_cells() {
+    let lib = Library::ninety_nm();
+    let (_, report) = flow_report(&lib);
+    let nl = &report.design.netlist;
+    let gated_names: Vec<&str> = nl
+        .instances()
+        .iter()
+        .filter(|i| i.domain() == Domain::Gated)
+        .map(|i| i.name())
+        .collect();
+    let split = &report.split_verilog;
+    let gated_module: &str = split.split("module mult16x16_aon").next().unwrap();
+    for name in gated_names.iter().take(25) {
+        assert!(
+            gated_module.contains(&format!(" {name} ")),
+            "gated cell {name} missing from the gated module"
+        );
+    }
+    // The header and isolation control stay in the always-on module.
+    let aon_module = split.split("module mult16x16_aon").nth(1).unwrap();
+    assert!(aon_module.contains("scpg_header"));
+    assert!(aon_module.contains("scpg_isoctl"));
+}
+
+#[test]
+fn upf_references_real_netlist_objects() {
+    let lib = Library::ninety_nm();
+    let (_, report) = flow_report(&lib);
+    let nl = &report.design.netlist;
+    assert!(report.upf.contains(&format!(
+        "-lib_cells {{{}}}",
+        report.design.header_size.cell_name()
+    )));
+    // Every named membership element exists as an instance.
+    for line in report.upf.lines().filter(|l| l.starts_with("add_power_domain_elements")) {
+        let inner = line.split('{').nth(1).unwrap().split('}').next().unwrap();
+        for name in inner.split_whitespace() {
+            assert!(
+                nl.instance_by_name(name).is_some(),
+                "UPF references unknown instance `{name}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn analysis_power_decomposes_into_engine_numbers() {
+    // At any frequency, the no-PG operating point must equal
+    // leakage + E_dyn·f computed directly from the power engine.
+    let lib = Library::ninety_nm();
+    let (baseline, report) = flow_report(&lib);
+    let e_dyn = Energy::from_pj(3.0);
+    let analysis =
+        ScpgAnalysis::new(&lib, &baseline, &report.design, e_dyn, PvtCorner::default())
+            .unwrap();
+    let leak = PowerAnalyzer::new(&baseline, &lib, PvtCorner::default())
+        .unwrap()
+        .leakage(None)
+        .total;
+    for mhz in [0.01, 1.0, 10.0] {
+        let f = Frequency::from_mhz(mhz);
+        let p = analysis.operating_point(f, Mode::NoPg).power;
+        let expect = leak + e_dyn * f;
+        let rel = (p.value() - expect.value()).abs() / expect.value();
+        assert!(rel < 1e-12, "decomposition at {mhz} MHz: {p} vs {expect}");
+    }
+}
+
+#[test]
+fn flow_handles_every_case_study_design() {
+    // The flow must work unmodified on all three generators: the ripple
+    // array, the Wallace tree and the CPU.
+    let lib = Library::ninety_nm();
+    let designs: Vec<(&str, scpg_netlist::Netlist)> = vec![
+        ("array", generate_multiplier(&lib, 16).0),
+        ("wallace", scpg_circuits::generate_wallace_multiplier(&lib, 16).0),
+        ("cpu", scpg_circuits::generate_cpu(&lib).0),
+    ];
+    for (name, nl) in designs {
+        let report = ScpgFlow::new(&lib)
+            .with_workload_energy(Energy::from_pj(2.0))
+            .run(&nl, "clk")
+            .unwrap_or_else(|e| panic!("flow on {name}: {e}"));
+        report.design.netlist.validate(&lib).unwrap();
+        assert!(report.design.isolation_cells > 0, "{name} has crossings");
+        assert!(
+            report.area_overhead > 0.0 && report.area_overhead < 0.15,
+            "{name} area overhead {:.1} %",
+            report.area_overhead * 100.0
+        );
+        // Gated leakage must be the majority of combinational leakage.
+        let leak = PowerAnalyzer::new(&report.design.netlist, &lib, PvtCorner::default())
+            .unwrap()
+            .leakage(None);
+        assert!(
+            leak.gated_domain.value() > 0.5 * leak.combinational.value(),
+            "{name}: gated {} vs comb {}",
+            leak.gated_domain,
+            leak.combinational
+        );
+    }
+}
+
+#[test]
+fn flow_works_at_process_corners() {
+    use scpg_liberty::ProcessCorner;
+    let (nl, _) = generate_multiplier(&Library::ninety_nm(), 16);
+    for corner in [ProcessCorner::Fast, ProcessCorner::Slow] {
+        let lib = Library::ninety_nm().at_process_corner(corner);
+        let report = ScpgFlow::new(&lib)
+            .with_workload_energy(Energy::from_pj(3.0))
+            .run(&nl, "clk")
+            .unwrap_or_else(|e| panic!("flow at {corner:?}: {e}"));
+        assert!(report.timing.t_eval.value() > 0.0);
+    }
+    // Fast silicon leaks more, so SCPG's absolute saving is larger there.
+    let saving_at = |corner: ProcessCorner| {
+        let lib = Library::ninety_nm().at_process_corner(corner);
+        let (nl, _) = generate_multiplier(&lib, 16);
+        let report = ScpgFlow::new(&lib)
+            .with_workload_energy(Energy::from_pj(3.0))
+            .run(&nl, "clk")
+            .unwrap();
+        let analysis = ScpgAnalysis::new(
+            &lib,
+            &nl,
+            &report.design,
+            Energy::from_pj(3.0),
+            PvtCorner::default(),
+        )
+        .unwrap();
+        let f = Frequency::from_khz(100.0);
+        let base = analysis.operating_point(f, Mode::NoPg);
+        let max = analysis.operating_point(f, Mode::ScpgMax);
+        base.power.value() - max.power.value()
+    };
+    assert!(
+        saving_at(ProcessCorner::Fast) > saving_at(ProcessCorner::Slow),
+        "leakier silicon benefits more from SCPG"
+    );
+}
+
+#[test]
+fn vcd_activity_matches_simulator_activity() {
+    // Emulates the paper's tool hand-off: power computed from the dumped
+    // VCD must equal power computed from live simulator counters.
+    use scpg_liberty::Logic;
+    use scpg_sim::{SimConfig, Simulator};
+    use scpg_waveform::{parse_vcd, Activity};
+
+    let lib = Library::ninety_nm();
+    let (nl, ports) = generate_multiplier(&lib, 8);
+    let cfg = SimConfig { vcd: true, ..SimConfig::default() };
+    let mut sim = Simulator::new(&nl, &lib, cfg).unwrap();
+    sim.set_input_by_name("rst_n", Logic::One);
+    sim.set_input_by_name("clk", Logic::Zero);
+    for (i, &bit) in ports.a.bits().iter().enumerate() {
+        sim.set_input(bit, Logic::from_bool(i % 2 == 0));
+    }
+    for (i, &bit) in ports.b.bits().iter().enumerate() {
+        sim.set_input(bit, Logic::from_bool(i % 3 == 0));
+    }
+    for n in 0..6u64 {
+        sim.run_until(n * 1_000_000);
+        sim.set_input_by_name("clk", Logic::One);
+        sim.run_until(n * 1_000_000 + 500_000);
+        sim.set_input_by_name("clk", Logic::Zero);
+    }
+    sim.run_until(6_000_000);
+    let res = sim.finish();
+
+    let dump = parse_vcd(res.vcd.as_deref().unwrap()).unwrap();
+    let from_vcd = Activity::from_vcd(&dump, res.end_ps, None);
+
+    let corner = PvtCorner::default();
+    let analyzer = PowerAnalyzer::new(&nl, &lib, corner).unwrap();
+    let direct = analyzer.dynamic(&res.activity);
+    let via_vcd = analyzer.dynamic(&from_vcd);
+    assert_eq!(res.activity.total_toggles(), from_vcd.total_toggles());
+    let rel = (direct.energy.value() - via_vcd.energy.value()).abs()
+        / direct.energy.value().max(1e-30);
+    assert!(rel < 1e-12, "VCD-derived power must match: {rel}");
+}
+
+#[test]
+fn gated_domain_leakage_never_exceeds_total() {
+    let lib = Library::ninety_nm();
+    let (_, report) = flow_report(&lib);
+    let rep = PowerAnalyzer::new(&report.design.netlist, &lib, PvtCorner::default())
+        .unwrap()
+        .leakage(None);
+    assert!(rep.gated_domain.value() <= rep.total.value());
+    assert!(rep.always_on.value() <= rep.total.value());
+    let sum = rep.gated_domain + rep.always_on;
+    assert!((sum.value() - rep.total.value()).abs() / rep.total.value() < 1e-12);
+}

@@ -1,0 +1,208 @@
+//! Property-based tests across the stack: randomly constructed circuits
+//! keep their invariants through synthesis, timing, transformation and
+//! simulation — and random programs execute identically on the ISS and
+//! the gate-level pipeline.
+
+use proptest::prelude::*;
+
+use scpg::transform::{ScpgOptions, ScpgTransform};
+use scpg_circuits::{generate_cpu, CpuHarness};
+use scpg_isa::{Instruction, Iss, Reg};
+use scpg_liberty::{Library, Logic};
+use scpg_netlist::NetId;
+use scpg_sim::{SimConfig, Simulator};
+use scpg_synth::{prune_unused, LogicBuilder};
+use scpg_units::Voltage;
+
+/// A recipe for one random combinational gate.
+#[derive(Debug, Clone, Copy)]
+enum GateOp {
+    Not(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Xor(usize, usize),
+    Mux(usize, usize, usize),
+}
+
+fn gate_strategy(pool: usize) -> impl Strategy<Value = GateOp> {
+    prop_oneof![
+        (0..pool).prop_map(GateOp::Not),
+        (0..pool, 0..pool).prop_map(|(a, b)| GateOp::And(a, b)),
+        (0..pool, 0..pool).prop_map(|(a, b)| GateOp::Or(a, b)),
+        (0..pool, 0..pool).prop_map(|(a, b)| GateOp::Xor(a, b)),
+        (0..pool, 0..pool, 0..pool).prop_map(|(s, a, b)| GateOp::Mux(s, a, b)),
+    ]
+}
+
+/// Builds a random registered circuit: 4 inputs, a cloud of random gates,
+/// one registered output per final net.
+fn build_random(ops: &[GateOp], lib: &Library) -> scpg_netlist::Netlist {
+    let mut b = LogicBuilder::new("rand", lib);
+    let clk = b.input("clk");
+    let rn = b.input("rst_n");
+    let mut pool: Vec<NetId> = (0..4).map(|i| b.input(&format!("in{i}"))).collect();
+    for op in ops {
+        let n = pool.len();
+        let g = |i: usize| pool[i % n];
+        let out = match *op {
+            GateOp::Not(a) => b.not(g(a)),
+            GateOp::And(a, c) => b.and(g(a), g(c)),
+            GateOp::Or(a, c) => b.or(g(a), g(c)),
+            GateOp::Xor(a, c) => b.xor(g(a), g(c)),
+            GateOp::Mux(s, a, c) => b.mux(g(s), g(a), g(c)),
+        };
+        pool.push(out);
+    }
+    let last = *pool.last().expect("non-empty pool");
+    let q = b.dff_r(last, clk, rn);
+    b.output("q", q);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any random circuit the builder produces validates, has acyclic
+    /// timing, and survives the SCPG transform with its invariants.
+    #[test]
+    fn random_circuits_survive_the_whole_flow(
+        ops in proptest::collection::vec(gate_strategy(16), 3..40)
+    ) {
+        let lib = Library::ninety_nm();
+        let nl = build_random(&ops, &lib);
+        prop_assert!(nl.validate(&lib).is_ok());
+
+        // Timing is well-defined and positive.
+        let t = scpg_sta::analyze(&nl, &lib, Voltage::from_mv(600.0)).unwrap();
+        prop_assert!(t.t_eval.value() > 0.0);
+
+        // SCPG transform keeps the netlist valid, gates only logic, and
+        // never grows the sequential count.
+        if let Ok(design) = ScpgTransform::new(&lib).apply(&nl, "clk", &ScpgOptions::default()) {
+            prop_assert!(design.netlist.validate(&lib).is_ok());
+            let s0 = nl.stats(&lib);
+            let s1 = design.netlist.stats(&lib);
+            prop_assert_eq!(s0.sequential, s1.sequential);
+            prop_assert!(s1.gated.sequential == 0);
+            prop_assert!(s1.area.value() >= s0.area.value());
+        }
+    }
+
+    /// Pruning is idempotent and never breaks validation.
+    #[test]
+    fn prune_is_idempotent(
+        ops in proptest::collection::vec(gate_strategy(12), 3..30)
+    ) {
+        let lib = Library::ninety_nm();
+        let mut nl = build_random(&ops, &lib);
+        let _removed = prune_unused(&mut nl, &lib).unwrap();
+        prop_assert!(nl.validate(&lib).is_ok());
+        let second = prune_unused(&mut nl, &lib).unwrap();
+        prop_assert_eq!(second, 0, "second prune must remove nothing");
+    }
+
+    /// Structural Verilog emission followed by parsing preserves every
+    /// structural property (cells, ports, connectivity-derived stats and
+    /// the STA result) of arbitrary circuits.
+    #[test]
+    fn verilog_round_trip_preserves_structure(
+        ops in proptest::collection::vec(gate_strategy(10), 3..30)
+    ) {
+        let lib = Library::ninety_nm();
+        let nl = build_random(&ops, &lib);
+        let text = scpg_netlist::emit_verilog(&nl, &lib).unwrap();
+        let back = scpg_netlist::parse_verilog(&text, &lib).unwrap();
+        prop_assert!(back.validate(&lib).is_ok());
+        prop_assert_eq!(back.instances().len(), nl.instances().len());
+        prop_assert_eq!(back.ports().len(), nl.ports().len());
+        let s0 = nl.stats(&lib);
+        let s1 = back.stats(&lib);
+        prop_assert_eq!(&s0.by_cell, &s1.by_cell);
+        let v = Voltage::from_mv(600.0);
+        let t0 = scpg_sta::analyze(&nl, &lib, v).unwrap().t_eval;
+        let t1 = scpg_sta::analyze(&back, &lib, v).unwrap().t_eval;
+        prop_assert!((t0.value() - t1.value()).abs() < 1e-18);
+    }
+}
+
+/// A strategy for short, halting tm16 programs: straight-line arithmetic
+/// with bounded forward branches, capped by a HALT.
+fn program_strategy() -> impl Strategy<Value = Vec<Instruction>> {
+    let inst = prop_oneof![
+        (0u8..8, 0u16..512).prop_map(|(rd, imm)| Instruction::Movi { rd: Reg::new(rd), imm }),
+        (0u8..8, -256i16..256).prop_map(|(rd, imm)| Instruction::Addi { rd: Reg::new(rd), imm }),
+        (0u8..8, 0u8..8, 0u16..8).prop_map(|(rd, rs, f)| Instruction::Alu {
+            op: scpg_isa::AluOp::from_code(f),
+            rd: Reg::new(rd),
+            rs: Reg::new(rs),
+        }),
+        (0u8..8, 0u8..8).prop_map(|(rd, rs)| Instruction::Mul {
+            rd: Reg::new(rd),
+            rs: Reg::new(rs)
+        }),
+        (0u8..8, 0u8..8, 0u16..32).prop_map(|(rd, rs, off)| Instruction::Ld {
+            rd: Reg::new(rd),
+            rs: Reg::new(rs),
+            off,
+        }),
+        (0u8..8, 0u8..8, 0u16..32).prop_map(|(rd, rs, off)| Instruction::St {
+            rd: Reg::new(rd),
+            rs: Reg::new(rs),
+            off,
+        }),
+        // Forward-only branches keep every program terminating.
+        (0u8..8, 0u8..8, 1i16..4).prop_map(|(rd, rs, off)| Instruction::Beq {
+            rd: Reg::new(rd),
+            rs: Reg::new(rs),
+            off,
+        }),
+        (0u8..8, 0u8..8, 1i16..4).prop_map(|(rd, rs, off)| Instruction::Bne {
+            rd: Reg::new(rd),
+            rs: Reg::new(rs),
+            off,
+        }),
+    ];
+    proptest::collection::vec(inst, 1..18).prop_map(|mut v| {
+        // Pad the tail so forward branches always land inside the program.
+        v.extend([Instruction::Nop; 4]);
+        v.push(Instruction::Halt);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// The gate-level pipeline and the ISS agree on every architectural
+    /// register and all touched memory for arbitrary short programs.
+    #[test]
+    fn gate_level_cpu_matches_iss(program in program_strategy()) {
+        let words: Vec<u16> = program.iter().map(|i| i.encode()).collect();
+
+        // Golden: the ISS.
+        let mut iss = Iss::with_memory(&words, vec![0xA5A5_5A5A; 64]);
+        iss.run(10_000);
+        prop_assert!(iss.halted());
+
+        // Gate level.
+        let lib = Library::ninety_nm();
+        let (nl, ports) = generate_cpu(&lib);
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        let mut harness = CpuHarness::new(words, vec![0xA5A5_5A5A; 64]);
+        harness.reset(&mut sim, &ports, 1_000_000, 3);
+        let halted = harness.run_to_halt(&mut sim, &ports, 1_000_000, 400);
+        prop_assert!(halted, "gate-level core must halt");
+        prop_assert_eq!(sim.value(ports.halted), Logic::One);
+
+        for k in 0..8 {
+            prop_assert_eq!(
+                harness.reg(&sim, &ports, k),
+                iss.reg(k),
+                "r{} mismatch", k
+            );
+        }
+        for addr in 0..64 {
+            prop_assert_eq!(harness.mem(addr), iss.mem(addr), "mem[{}]", addr);
+        }
+    }
+}
