@@ -50,7 +50,10 @@ pub struct GatingCycle<'m> {
 impl<'m> GatingCycle<'m> {
     /// Binds the analysis to a rail model at nominal temperature.
     pub fn new(model: &'m RailModel) -> Self {
-        Self { model, temperature: Temperature::NOMINAL }
+        Self {
+            model,
+            temperature: Temperature::NOMINAL,
+        }
     }
 
     /// Overrides the junction temperature.
@@ -76,8 +79,7 @@ impl<'m> GatingCycle<'m> {
         let residual = vdd * header.off_leakage(vdd, self.temperature) * t_off;
 
         // The header gate swings rail-to-rail twice per cycle: E = C·V².
-        let header_gate =
-            Energy::new(header.gate_cap().value() * vdd.as_v() * vdd.as_v());
+        let header_gate = Energy::new(header.gate_cap().value() * vdd.as_v() * vdd.as_v());
 
         GatingEnergies {
             saved_leak,
@@ -141,7 +143,11 @@ mod tests {
         let g = GatingCycle::new(&m).analyze(Time::from_us(50.0));
         assert!(g.net_saving().as_pj() > 0.0);
         // Saved ≈ 23.4 µW × 50 µs = 1 170 pJ, overhead ≲ 1 pJ.
-        assert!((g.saved_leak.as_nj() - 1.17).abs() < 0.05, "{}", g.saved_leak);
+        assert!(
+            (g.saved_leak.as_nj() - 1.17).abs() < 0.05,
+            "{}",
+            g.saved_leak
+        );
         assert!(g.overhead().as_pj() < 2.0, "overhead {}", g.overhead());
         let ratio = g.net_saving() / g.overhead();
         assert!(ratio > 100.0, "long windows: saving/overhead {ratio:.0}×");

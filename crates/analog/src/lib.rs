@@ -28,5 +28,5 @@ mod transient;
 
 pub use gating::{GatingCycle, GatingEnergies};
 pub use rail::{DomainProfile, RailModel, RailWaveform};
-pub use sizing::{recommend_header, HeaderReport, SizingConstraints};
+pub use sizing::{evaluate_header, recommend_header, HeaderReport, SizingConstraints};
 pub use transient::rk4;

@@ -88,9 +88,7 @@ impl RailModel {
     /// to the rail voltage) discharging `C_VDDV`, so
     /// `τ = C·V / I_leak(V)`.
     pub fn decay_tau(&self) -> Time {
-        Time::new(
-            self.profile.c_vddv.value() * self.vdd.as_v() / self.profile.i_leak_full.value(),
-        )
+        Time::new(self.profile.c_vddv.value() * self.vdd.as_v() / self.profile.i_leak_full.value())
     }
 
     /// Restore time constant `R_on · C_VDDV`.
@@ -127,7 +125,13 @@ impl RailModel {
     pub fn restore_waveform(&self, v0: Voltage, duration: Time, steps: usize) -> RailWaveform {
         let tau = self.restore_tau().value();
         let vdd = self.vdd.as_v();
-        let samples = rk4(|_, v| (vdd - v) / tau, 0.0, v0.as_v(), duration.value(), steps);
+        let samples = rk4(
+            |_, v| (vdd - v) / tau,
+            0.0,
+            v0.as_v(),
+            duration.value(),
+            steps,
+        );
         RailWaveform { samples }
     }
 
@@ -257,7 +261,9 @@ mod tests {
     fn crossing_detection_works() {
         let m = model();
         let w = m.restore_waveform(Voltage::ZERO, Time::from_ns(2.0), 400);
-        let t_half = w.time_crossing(Voltage::from_mv(300.0)).expect("crosses VDD/2");
+        let t_half = w
+            .time_crossing(Voltage::from_mv(300.0))
+            .expect("crosses VDD/2");
         let tau = m.restore_tau().value();
         let exact = tau * 2.0_f64.ln();
         assert!((t_half.value() - exact).abs() / exact < 0.02);

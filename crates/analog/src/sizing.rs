@@ -47,7 +47,34 @@ pub struct HeaderReport {
     pub acceptable: bool,
 }
 
-/// Evaluates every kit header size against a domain and recommends the
+/// Evaluates one header size against a domain: the per-size body of the
+/// sizing sweep, exposed so callers can probe a single candidate.
+pub fn evaluate_header(
+    profile: &DomainProfile,
+    vdd: Voltage,
+    constraints: &SizingConstraints,
+    size: HeaderSize,
+) -> HeaderReport {
+    let header = HeaderCell::ninety_nm(size);
+    let model = RailModel::new(*profile, header.clone(), vdd);
+    let ir_drop = model.ir_drop_peak();
+    let inrush_peak = model.inrush_peak(Voltage::ZERO);
+    let restore_time = model.restore_time(Voltage::ZERO);
+    let acceptable = ir_drop.as_v() <= constraints.max_ir_drop_frac * vdd.as_v()
+        && inrush_peak.value() <= constraints.max_inrush.value()
+        && restore_time.value() <= constraints.max_restore.value();
+    HeaderReport {
+        size,
+        ir_drop,
+        inrush_peak,
+        restore_time,
+        gate_energy: Energy::new(header.gate_cap().value() * vdd.as_v() * vdd.as_v()),
+        acceptable,
+    }
+}
+
+/// Evaluates every kit header size against a domain (sizes in parallel —
+/// each candidate's rail solve is independent) and recommends the
 /// smallest acceptable one (smallest = least gate-switching overhead and
 /// least in-rush, the paper's stated trade-off).
 ///
@@ -58,25 +85,9 @@ pub fn recommend_header(
     vdd: Voltage,
     constraints: &SizingConstraints,
 ) -> (Vec<HeaderReport>, Option<usize>) {
-    let mut reports = Vec::with_capacity(HeaderSize::ALL.len());
-    for size in HeaderSize::ALL {
-        let header = HeaderCell::ninety_nm(size);
-        let model = RailModel::new(*profile, header.clone(), vdd);
-        let ir_drop = model.ir_drop_peak();
-        let inrush_peak = model.inrush_peak(Voltage::ZERO);
-        let restore_time = model.restore_time(Voltage::ZERO);
-        let acceptable = ir_drop.as_v() <= constraints.max_ir_drop_frac * vdd.as_v()
-            && inrush_peak.value() <= constraints.max_inrush.value()
-            && restore_time.value() <= constraints.max_restore.value();
-        reports.push(HeaderReport {
-            size,
-            ir_drop,
-            inrush_peak,
-            restore_time,
-            gate_energy: Energy::new(header.gate_cap().value() * vdd.as_v() * vdd.as_v()),
-            acceptable,
-        });
-    }
+    let reports = scpg_exec::par_sweep(&HeaderSize::ALL, |&size| {
+        evaluate_header(profile, vdd, constraints, size)
+    });
     let pick = reports.iter().position(|r| r.acceptable);
     (reports, pick)
 }
@@ -111,7 +122,11 @@ mod tests {
         let (reports, pick) =
             recommend_header(&multiplier(), Voltage::from_mv(600.0), &Default::default());
         let pick = pick.expect("some size fits");
-        assert_eq!(reports[pick].size, HeaderSize::X2, "paper §III: X2 for the multiplier");
+        assert_eq!(
+            reports[pick].size,
+            HeaderSize::X2,
+            "paper §III: X2 for the multiplier"
+        );
         assert!(!reports[0].acceptable, "X1 drops too much voltage");
     }
 
@@ -123,10 +138,13 @@ mod tests {
             max_restore: scpg_units::Time::from_ns(2.5),
             ..Default::default()
         };
-        let (reports, pick) =
-            recommend_header(&cortex_m0(), Voltage::from_mv(600.0), &constraints);
+        let (reports, pick) = recommend_header(&cortex_m0(), Voltage::from_mv(600.0), &constraints);
         let pick = pick.expect("some size fits");
-        assert_eq!(reports[pick].size, HeaderSize::X4, "paper §III: X4 for the M0");
+        assert_eq!(
+            reports[pick].size,
+            HeaderSize::X4,
+            "paper §III: X4 for the M0"
+        );
     }
 
     #[test]
@@ -163,6 +181,10 @@ mod tests {
         };
         let (reports, _) = recommend_header(&cortex_m0(), Voltage::from_mv(600.0), &constraints);
         let x8 = reports.iter().find(|r| r.size == HeaderSize::X8).unwrap();
-        assert!(!x8.acceptable, "X8 in-rush {} exceeds 10 mA", x8.inrush_peak);
+        assert!(
+            !x8.acceptable,
+            "X8 in-rush {} exceeds 10 mA",
+            x8.inrush_peak
+        );
     }
 }

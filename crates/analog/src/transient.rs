@@ -42,7 +42,7 @@ mod tests {
         let tau = 2.0;
         let traj = rk4(|_, v| -v / tau, 0.0, 1.0, 6.0, 600);
         let (_, v_end) = *traj.last().unwrap();
-        let exact = (-6.0 / tau as f64).exp();
+        let exact = (-6.0 / tau).exp();
         assert!((v_end - exact).abs() < 1e-9, "{v_end} vs {exact}");
     }
 
@@ -52,7 +52,7 @@ mod tests {
         let rc = 0.5;
         let traj = rk4(|_, v| (0.6 - v) / rc, 0.0, 0.0, 2.0, 400);
         let (_, v_end) = *traj.last().unwrap();
-        let exact = 0.6 * (1.0 - (-2.0 / rc as f64).exp());
+        let exact = 0.6 * (1.0 - (-2.0 / rc).exp());
         assert!((v_end - exact).abs() < 1e-9);
     }
 

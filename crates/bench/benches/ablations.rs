@@ -1,8 +1,8 @@
 //! Ablation benches for the design choices called out in `DESIGN.md` §5.
 //!
-//! These are Criterion benches whose *reported values* are the point: the
-//! measured per-iteration time is secondary, but each iteration computes
-//! and prints (once) the quality delta of the ablated design choice:
+//! These are plain `harness = false` timing loops whose *reported values*
+//! are the point: the measured per-iteration time is secondary, but each
+//! case first prints the quality delta of the ablated design choice:
 //!
 //! * `ablation/duty` — fixed 50 % duty vs optimised duty across frequency
 //!   (how much saving SCPG-Max adds);
@@ -13,57 +13,64 @@
 //!   by comparing measured dynamic energy against the zero-glitch lower
 //!   bound (one toggle per changed net per cycle).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::sync::Once;
+use std::time::Instant;
 
 use scpg::Mode;
 use scpg_bench::CaseStudy;
 use scpg_units::{Frequency, Time};
 
-static PRINT_ONCE: Once = Once::new();
-
-fn bench_duty_ablation(c: &mut Criterion) {
-    let study = CaseStudy::multiplier();
-    PRINT_ONCE.call_once(|| {
-        println!("\n[ablation/duty] multiplier, SCPG (50 %) vs SCPG-Max saving:");
-        for mhz in [0.01, 0.1, 1.0, 5.0] {
-            let f = Frequency::from_mhz(mhz);
-            let base = study.analysis.operating_point(f, Mode::NoPg);
-            let s50 = study.analysis.operating_point(f, Mode::Scpg);
-            let smax = study.analysis.operating_point(f, Mode::ScpgMax);
-            println!(
-                "  {mhz:>6} MHz: 50 % duty saves {:>5.1} %, optimised duty saves {:>5.1} %",
-                s50.saving_vs(&base) * 100.0,
-                smax.saving_vs(&base) * 100.0
-            );
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
         }
-    });
-    c.bench_function("ablation/duty_plan_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for mhz in [0.01, 0.1, 1.0, 5.0, 10.0] {
-                let f = Frequency::from_mhz(mhz);
-                acc += study.analysis.operating_point(f, Mode::ScpgMax).power.value();
-            }
-            black_box(acc)
-        })
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    println!("{name:<40} {:>12.2} µs/iter", best * 1e6);
+}
+
+fn bench_duty_ablation(study: &CaseStudy) {
+    println!("\n[ablation/duty] multiplier, SCPG (50 %) vs SCPG-Max saving:");
+    for mhz in [0.01, 0.1, 1.0, 5.0] {
+        let f = Frequency::from_mhz(mhz);
+        let base = study.analysis.operating_point(f, Mode::NoPg);
+        let s50 = study.analysis.operating_point(f, Mode::Scpg);
+        let smax = study.analysis.operating_point(f, Mode::ScpgMax);
+        println!(
+            "  {mhz:>6} MHz: 50 % duty saves {:>5.1} %, optimised duty saves {:>5.1} %",
+            s50.saving_vs(&base) * 100.0,
+            smax.saving_vs(&base) * 100.0
+        );
+    }
+    bench("ablation/duty_plan_sweep", 200, || {
+        let mut acc = 0.0;
+        for mhz in [0.01, 0.1, 1.0, 5.0, 10.0] {
+            let f = Frequency::from_mhz(mhz);
+            acc += study
+                .analysis
+                .operating_point(f, Mode::ScpgMax)
+                .power
+                .value();
+        }
+        black_box(acc);
     });
 }
 
-fn bench_isolation_ablation(c: &mut Criterion) {
+fn bench_isolation_ablation(study: &CaseStudy) {
     // Adaptive control releases isolation as soon as the rail reads 1
     // (t_restore from v_min); a fixed timer must budget for the deepest
     // possible collapse (restore from 0 V). The difference is gating time
     // recovered per cycle.
-    let study = CaseStudy::multiplier();
     let rail = study.analysis.rail();
     let f = Frequency::from_mhz(5.0);
     let t_off = f.period() * 0.5;
     let v_min = rail.v_after_off(t_off);
     let adaptive = rail.restore_time(v_min);
     let fixed = rail.restore_time(scpg_units::Voltage::ZERO);
-    PRINT_ONCE.call_once(|| {});
     println!(
         "\n[ablation/isolation] at 5 MHz/50 %: adaptive hold {} vs fixed timer {} \
          — {} of evaluation window recovered per cycle",
@@ -71,16 +78,13 @@ fn bench_isolation_ablation(c: &mut Criterion) {
         fixed,
         Time::new(fixed.value() - adaptive.value())
     );
-    c.bench_function("ablation/isolation_hold_model", |b| {
-        b.iter(|| {
-            let v = rail.v_after_off(black_box(t_off));
-            black_box(rail.restore_time(v))
-        })
+    bench("ablation/isolation_hold_model", 1_000, || {
+        let v = rail.v_after_off(black_box(t_off));
+        black_box(rail.restore_time(v));
     });
 }
 
-fn bench_glitch_energy(c: &mut Criterion) {
-    let study = CaseStudy::multiplier();
+fn bench_glitch_energy(study: &CaseStudy) {
     // Zero-glitch lower bound: every net toggles at most once per input
     // change; measured activity includes real arrival-skew glitches.
     let total = study.activity.total_toggles();
@@ -92,12 +96,12 @@ fn bench_glitch_energy(c: &mut Criterion) {
         total as f64 / (nets * cycles) as f64,
         total as f64 / (nets * cycles) as f64
     );
-    c.bench_function("ablation/activity_rollup", |b| {
-        b.iter(|| black_box(study.activity.total_toggles()))
+    bench("ablation/activity_rollup", 1_000, || {
+        black_box(study.activity.total_toggles());
     });
 }
 
-fn bench_architecture_ablation(c: &mut Criterion) {
+fn bench_architecture_ablation() {
     // Array vs Wallace-tree multiplier: a shorter T_eval widens the
     // feasible gating window at high frequency — architecture choice is
     // an SCPG knob, not just a speed knob.
@@ -124,23 +128,20 @@ fn bench_architecture_ablation(c: &mut Criterion) {
         t_wallace.t_eval,
         (t_array.t_eval.as_ns() - t_wallace.t_eval.as_ns())
     );
-    c.bench_function("ablation/sta_array_vs_wallace", |b| {
-        b.iter(|| {
-            let a = scpg_sta::analyze(&array, &lib, v).unwrap().t_eval;
-            let w = scpg_sta::analyze(&wallace, &lib, v).unwrap().t_eval;
-            black_box((a, w))
-        })
+    bench("ablation/sta_array_vs_wallace", 20, || {
+        let a = scpg_sta::analyze(&array, &lib, v).unwrap().t_eval;
+        let w = scpg_sta::analyze(&wallace, &lib, v).unwrap().t_eval;
+        black_box((a, w));
     });
 }
 
-fn bench_temperature(c: &mut Criterion) {
+fn bench_temperature(study: &CaseStudy) {
     // Leakage grows steeply with temperature, so SCPG's absolute saving
     // grows with it too — a hot die benefits more from sub-clock gating.
     use scpg::ScpgAnalysis;
     use scpg_liberty::PvtCorner;
     use scpg_units::{Temperature, Voltage};
 
-    let study = CaseStudy::multiplier();
     let f = Frequency::from_khz(100.0);
     println!("\n[ablation/temperature] multiplier at 100 kHz:");
     for celsius in [0.0, 25.0, 85.0] {
@@ -165,32 +166,29 @@ fn bench_temperature(c: &mut Criterion) {
             scpg_units::Power::new(base.power.value() - max.power.value())
         );
     }
-    c.bench_function("ablation/analysis_rebuild_hot_corner", |b| {
-        let corner = PvtCorner {
-            voltage: Voltage::from_mv(600.0),
-            temperature: Temperature::from_celsius(85.0),
-        };
-        b.iter(|| {
-            black_box(
-                ScpgAnalysis::new(
-                    &study.lib,
-                    &study.baseline,
-                    &study.design,
-                    study.e_dyn,
-                    corner,
-                )
-                .unwrap(),
+    let corner = PvtCorner {
+        voltage: Voltage::from_mv(600.0),
+        temperature: Temperature::from_celsius(85.0),
+    };
+    bench("ablation/analysis_rebuild_hot_corner", 50, || {
+        black_box(
+            ScpgAnalysis::new(
+                &study.lib,
+                &study.baseline,
+                &study.design,
+                study.e_dyn,
+                corner,
             )
-        })
+            .unwrap(),
+        );
     });
 }
 
-criterion_group!(
-    benches,
-    bench_duty_ablation,
-    bench_isolation_ablation,
-    bench_glitch_energy,
-    bench_architecture_ablation,
-    bench_temperature
-);
-criterion_main!(benches);
+fn main() {
+    let study = CaseStudy::multiplier();
+    bench_duty_ablation(&study);
+    bench_isolation_ablation(&study);
+    bench_glitch_energy(&study);
+    bench_architecture_ablation();
+    bench_temperature(&study);
+}

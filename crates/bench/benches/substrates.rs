@@ -1,9 +1,14 @@
-//! Criterion benches of the substrate engines themselves: event-driven
-//! simulation throughput, STA, the SCPG transform, power rollups and the
-//! analog transient solver.
+//! Benches of the substrate engines themselves: event-driven simulation
+//! throughput, STA, the SCPG transform, power rollups and the analog
+//! transient solver.
+//!
+//! These are plain `harness = false` timing loops (the container carries
+//! no external bench harness): each case is warmed up once, then run for
+//! a fixed number of iterations with the median-of-runs wall clock
+//! reported in microseconds per iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use scpg::transform::{ScpgOptions, ScpgTransform};
 use scpg_analog::{DomainProfile, GatingCycle, RailModel};
@@ -13,67 +18,71 @@ use scpg_power::PowerAnalyzer;
 use scpg_sim::{ClockedTestbench, SimConfig, Simulator};
 use scpg_units::{Capacitance, Current, Time, Voltage};
 
-fn bench_simulator(c: &mut Criterion) {
+/// Runs `f` for `iters` iterations, three times, and reports the best
+/// (least-interfered) per-iteration time.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    println!("{name:<40} {:>12.2} µs/iter", best * 1e6);
+}
+
+fn bench_simulator() {
     let lib = Library::ninety_nm();
     let (nl, ports) = generate_multiplier(&lib, 16);
-    c.bench_function("sim/multiplier_16x16_cycle", |b| {
-        b.iter_batched(
-            || {
-                let sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
-                ClockedTestbench::new(sim, ports.clk, 1_000_000, 0.5)
-            },
-            |mut tb| {
-                tb.sim_mut().set_input(ports.rst_n, Logic::One);
-                for i in 0..4 {
-                    let stim: Vec<_> = ports
-                        .a
-                        .bits()
-                        .iter()
-                        .map(|&n| (n, Logic::from_bool(i % 2 == 0)))
-                        .collect();
-                    tb.cycle(&stim);
-                }
-                black_box(tb.cycles())
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    bench("sim/multiplier_16x16_cycle", 20, || {
+        let sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        let mut tb = ClockedTestbench::new(sim, ports.clk, 1_000_000, 0.5);
+        tb.sim_mut().set_input(ports.rst_n, Logic::One);
+        for i in 0..4 {
+            let stim: Vec<_> = ports
+                .a
+                .bits()
+                .iter()
+                .map(|&n| (n, Logic::from_bool(i % 2 == 0)))
+                .collect();
+            tb.cycle(&stim);
+        }
+        black_box(tb.cycles());
     });
 }
 
-fn bench_sta(c: &mut Criterion) {
+fn bench_sta() {
     let lib = Library::ninety_nm();
     let (nl, _) = generate_multiplier(&lib, 16);
-    c.bench_function("sta/multiplier_16x16", |b| {
-        b.iter(|| {
-            black_box(scpg_sta::analyze(&nl, &lib, Voltage::from_mv(600.0)).unwrap())
-        })
+    bench("sta/multiplier_16x16", 20, || {
+        black_box(scpg_sta::analyze(&nl, &lib, Voltage::from_mv(600.0)).unwrap());
     });
 }
 
-fn bench_transform(c: &mut Criterion) {
+fn bench_transform() {
     let lib = Library::ninety_nm();
     let (nl, _) = generate_multiplier(&lib, 16);
-    c.bench_function("scpg/transform_multiplier", |b| {
-        b.iter(|| {
-            black_box(
-                ScpgTransform::new(&lib)
-                    .apply(&nl, "clk", &ScpgOptions::default())
-                    .unwrap(),
-            )
-        })
+    bench("scpg/transform_multiplier", 20, || {
+        black_box(
+            ScpgTransform::new(&lib)
+                .apply(&nl, "clk", &ScpgOptions::default())
+                .unwrap(),
+        );
     });
 }
 
-fn bench_power(c: &mut Criterion) {
+fn bench_power() {
     let lib = Library::ninety_nm();
     let (nl, _) = generate_multiplier(&lib, 16);
     let analyzer = PowerAnalyzer::new(&nl, &lib, PvtCorner::default()).unwrap();
-    c.bench_function("power/leakage_rollup_multiplier", |b| {
-        b.iter(|| black_box(analyzer.leakage(None)))
+    bench("power/leakage_rollup_multiplier", 200, || {
+        black_box(analyzer.leakage(None));
     });
 }
 
-fn bench_analog(c: &mut Criterion) {
+fn bench_analog() {
     let profile = DomainProfile {
         n_gates: 6_747,
         c_vddv: Capacitance::from_pf(13.5),
@@ -86,20 +95,18 @@ fn bench_analog(c: &mut Criterion) {
         HeaderCell::ninety_nm(HeaderSize::X4),
         Voltage::from_mv(600.0),
     );
-    c.bench_function("analog/gating_cycle_ledger", |b| {
-        b.iter(|| black_box(GatingCycle::new(&model).analyze(Time::from_ns(100.0))))
+    bench("analog/gating_cycle_ledger", 200, || {
+        black_box(GatingCycle::new(&model).analyze(Time::from_ns(100.0)));
     });
-    c.bench_function("analog/rail_waveform_rk4_1000", |b| {
-        b.iter(|| black_box(model.collapse_waveform(Time::from_us(1.0), 1_000)))
+    bench("analog/rail_waveform_rk4_1000", 200, || {
+        black_box(model.collapse_waveform(Time::from_us(1.0), 1_000));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_simulator,
-    bench_sta,
-    bench_transform,
-    bench_power,
-    bench_analog
-);
-criterion_main!(benches);
+fn main() {
+    bench_simulator();
+    bench_sta();
+    bench_transform();
+    bench_power();
+    bench_analog();
+}

@@ -1,0 +1,319 @@
+//! Performance harness for the simulation substrate: emits
+//! `BENCH_sim.json` with engine throughput (events/s, new CSR+time-wheel
+//! engine vs the reference heap engine), netlist-compile amortisation,
+//! analysis sweep wall-clock, and serial-vs-parallel speedups for the
+//! Monte-Carlo variation study and the vector-group workload replay.
+//!
+//! All numbers are measured on this machine as-is; on a single-core
+//! container the parallel speedups honestly report ≈1×, while the
+//! engine-vs-reference speedup is core-count independent.
+
+use std::time::Instant;
+
+use scpg_circuits::{generate_cpu, generate_multiplier, CpuHarness};
+use scpg_isa::dhrystone;
+use scpg_liberty::{Library, Logic};
+use scpg_netlist::{NetId, Netlist};
+use scpg_power::{VariationConfig, VariationStudy};
+use scpg_sim::{CompiledNetlist, ReferenceSimulator, SimConfig, Simulator};
+use scpg_synth::Word;
+use scpg_units::Frequency;
+use scpg_waveform::Activity;
+
+const PERIOD_PS: u64 = 1_000_000;
+const WORKLOAD_CYCLES: usize = 200;
+
+fn drive_word(stim: &mut Vec<(NetId, Logic)>, w: &Word, value: u64) {
+    for (i, &bit) in w.bits().iter().enumerate() {
+        stim.push((bit, Logic::from_bool((value >> i) & 1 == 1)));
+    }
+}
+
+/// The multiplier workload as a per-cycle stimulus list (cycle 0..2 are
+/// reset; operands are the same pseudo-random stream both engines see).
+fn workload(ports: &scpg_circuits::MultiplierPorts) -> Vec<Vec<(NetId, Logic)>> {
+    let mut rng = scpg_rng::StdRng::seed_from_u64(0xBEEF);
+    let mut cycles = Vec::with_capacity(WORKLOAD_CYCLES);
+    for i in 0..WORKLOAD_CYCLES {
+        let mut stim = Vec::new();
+        if i == 0 {
+            stim.push((ports.rst_n, Logic::Zero));
+        }
+        if i == 2 {
+            stim.push((ports.rst_n, Logic::One));
+        }
+        if i >= 2 {
+            drive_word(&mut stim, &ports.a, rng.below(65_536));
+            drive_word(&mut stim, &ports.b, rng.below(65_536));
+        }
+        cycles.push(stim);
+    }
+    cycles
+}
+
+/// Drives one full clock cycle on the new engine, mirroring
+/// `ClockedTestbench::cycle` exactly so both engines see identical input
+/// waveforms.
+macro_rules! drive_cycles {
+    ($sim:expr, $clk:expr, $cycles:expr) => {{
+        let mut events: u64 = 0;
+        $sim.set_input($clk, Logic::Zero);
+        for (i, stim) in $cycles.iter().enumerate() {
+            let t0 = i as u64 * PERIOD_PS;
+            $sim.run_until(t0);
+            $sim.set_input($clk, Logic::One);
+            events += $sim.run_until(t0 + PERIOD_PS / 100);
+            for &(net, v) in stim.iter() {
+                $sim.set_input(net, v);
+            }
+            events += $sim.run_until(t0 + PERIOD_PS / 2);
+            $sim.set_input($clk, Logic::Zero);
+            events += $sim.run_until(t0 + PERIOD_PS);
+        }
+        events
+    }};
+}
+
+struct EngineNumbers {
+    events: u64,
+    new_secs: f64,
+    ref_secs: f64,
+}
+
+fn bench_engine(
+    nl: &Netlist,
+    lib: &Library,
+    ports: &scpg_circuits::MultiplierPorts,
+) -> EngineNumbers {
+    let cycles = workload(ports);
+
+    // Warm-up + correctness guard: both engines must process the same
+    // event count (they implement the same inertial-delay semantics).
+    let mut sim = Simulator::new(nl, lib, SimConfig::default()).unwrap();
+    let events_new = drive_cycles!(sim, ports.clk, cycles);
+    let mut rsim = ReferenceSimulator::new(nl, lib, SimConfig::default()).unwrap();
+    let events_ref = drive_cycles!(rsim, ports.clk, cycles);
+    assert_eq!(
+        events_new, events_ref,
+        "new and reference engines must process identical event streams"
+    );
+
+    let mut new_secs = f64::INFINITY;
+    let mut ref_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut sim = Simulator::new(nl, lib, SimConfig::default()).unwrap();
+        let _ = drive_cycles!(sim, ports.clk, cycles);
+        new_secs = new_secs.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        let mut rsim = ReferenceSimulator::new(nl, lib, SimConfig::default()).unwrap();
+        let _ = drive_cycles!(rsim, ports.clk, cycles);
+        ref_secs = ref_secs.min(t0.elapsed().as_secs_f64());
+    }
+    EngineNumbers {
+        events: events_new,
+        new_secs,
+        ref_secs,
+    }
+}
+
+struct CompileNumbers {
+    builds: usize,
+    fresh_secs: f64,
+    shared_secs: f64,
+}
+
+fn bench_compile(nl: &Netlist, lib: &Library) -> CompileNumbers {
+    const BUILDS: usize = 40;
+    let cfg = SimConfig::default();
+
+    let t0 = Instant::now();
+    for _ in 0..BUILDS {
+        let _ = Simulator::new(nl, lib, cfg.clone()).unwrap();
+    }
+    let fresh_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let compiled = CompiledNetlist::compile(nl, lib, cfg.corner).unwrap();
+    for _ in 0..BUILDS {
+        let _ = Simulator::with_compiled(&compiled, cfg.clone());
+    }
+    let shared_secs = t0.elapsed().as_secs_f64();
+
+    CompileNumbers {
+        builds: BUILDS,
+        fresh_secs,
+        shared_secs,
+    }
+}
+
+fn bench_sweep(study: &scpg_bench::CaseStudy) -> (usize, f64) {
+    const POINTS: usize = 64;
+    let freqs: Vec<Frequency> = scpg_units::linspace(0.01, 14.3, POINTS)
+        .into_iter()
+        .map(Frequency::from_mhz)
+        .collect();
+    let t0 = Instant::now();
+    let rows = study.analysis.table(&freqs);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(rows.len(), POINTS);
+    (POINTS, secs)
+}
+
+struct SpeedupNumbers {
+    serial_secs: f64,
+    parallel_secs: f64,
+    bit_identical: bool,
+}
+
+fn bench_variation(
+    nl: &Netlist,
+    lib: &Library,
+    e_dyn: scpg_units::Energy,
+) -> (usize, SpeedupNumbers) {
+    let cfg = VariationConfig {
+        samples: 12,
+        ..VariationConfig::default()
+    };
+
+    let t0 = Instant::now();
+    let serial = VariationStudy::run_serial(nl, lib, e_dyn, &cfg).unwrap();
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let parallel = VariationStudy::run(nl, lib, e_dyn, &cfg).unwrap();
+    let parallel_secs = t0.elapsed().as_secs_f64();
+
+    (
+        cfg.samples,
+        SpeedupNumbers {
+            serial_secs,
+            parallel_secs,
+            bit_identical: serial == parallel,
+        },
+    )
+}
+
+fn bench_groups() -> (usize, SpeedupNumbers) {
+    let lib = Library::ninety_nm();
+    let (nl, ports) = generate_cpu(&lib);
+    let cfg = SimConfig::default();
+    let mut sim = Simulator::new(&nl, &lib, cfg.clone()).unwrap();
+    let words = dhrystone::assemble(1).unwrap();
+    let mut h = CpuHarness::new(words, dhrystone::memory_image());
+    h.reset(&mut sim, &ports, PERIOD_PS, 3);
+    assert!(h.run_to_halt(&mut sim, &ports, PERIOD_PS, 50_000));
+
+    let compiled = CompiledNetlist::compile(&nl, &lib, cfg.corner).unwrap();
+    let trace = h.trace();
+    const GROUP: usize = 10;
+
+    let t0 = Instant::now();
+    let serial =
+        CpuHarness::replay_groups_serial(&compiled, &cfg, trace, &ports, PERIOD_PS, 0.5, GROUP);
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let parallel = CpuHarness::replay_groups(&compiled, &cfg, trace, &ports, PERIOD_PS, 0.5, GROUP);
+    let parallel_secs = t0.elapsed().as_secs_f64();
+
+    let identical = serial == parallel
+        && Activity::merge_all(&serial).map(|a| a.duration_ps())
+            == Activity::merge_all(&parallel).map(|a| a.duration_ps());
+
+    (
+        trace.len().div_ceil(GROUP),
+        SpeedupNumbers {
+            serial_secs,
+            parallel_secs,
+            bit_identical: identical,
+        },
+    )
+}
+
+fn main() {
+    let threads = scpg_exec::num_threads();
+    println!("[bench] worker threads: {threads}");
+
+    let lib = Library::ninety_nm();
+    let (nl, ports) = generate_multiplier(&lib, 16);
+
+    println!("[bench] engine throughput (16x16 multiplier, {WORKLOAD_CYCLES} cycles)...");
+    let eng = bench_engine(&nl, &lib, &ports);
+    let eps_new = eng.events as f64 / eng.new_secs;
+    let eps_ref = eng.events as f64 / eng.ref_secs;
+    println!(
+        "  new engine {:.0} events/s, reference {:.0} events/s ({:.2}x)",
+        eps_new,
+        eps_ref,
+        eps_new / eps_ref
+    );
+
+    println!("[bench] netlist-compile amortisation...");
+    let comp = bench_compile(&nl, &lib);
+    println!(
+        "  {} fresh builds {:.1} ms vs shared-compile builds {:.1} ms ({:.1}x)",
+        comp.builds,
+        comp.fresh_secs * 1e3,
+        comp.shared_secs * 1e3,
+        comp.fresh_secs / comp.shared_secs.max(1e-12)
+    );
+
+    println!("[bench] analysis sweep...");
+    let study = scpg_bench::CaseStudy::multiplier();
+    let (sweep_points, sweep_secs) = bench_sweep(&study);
+    println!("  {sweep_points}-point table in {:.1} ms", sweep_secs * 1e3);
+
+    println!("[bench] Monte-Carlo variation, serial vs parallel...");
+    let (mc_samples, mc) = bench_variation(&study.baseline, &study.lib, study.e_dyn);
+    println!(
+        "  {} dies: serial {:.2} s, parallel {:.2} s ({:.2}x), bit-identical: {}",
+        mc_samples,
+        mc.serial_secs,
+        mc.parallel_secs,
+        mc.serial_secs / mc.parallel_secs.max(1e-12),
+        mc.bit_identical
+    );
+    assert!(
+        mc.bit_identical,
+        "parallel variation study must be bit-identical"
+    );
+
+    println!("[bench] Dhrystone vector-group replay, serial vs parallel...");
+    let (n_groups, grp) = bench_groups();
+    println!(
+        "  {} groups: serial {:.2} s, parallel {:.2} s ({:.2}x), bit-identical: {}",
+        n_groups,
+        grp.serial_secs,
+        grp.parallel_secs,
+        grp.serial_secs / grp.parallel_secs.max(1e-12),
+        grp.bit_identical
+    );
+    assert!(
+        grp.bit_identical,
+        "parallel group replay must be bit-identical"
+    );
+
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"engine\": {{\n    \"workload_cycles\": {cycles},\n    \"events\": {events},\n    \"events_per_sec_new\": {eps_new:.0},\n    \"events_per_sec_reference\": {eps_ref:.0},\n    \"speedup_vs_reference\": {eng_speedup:.3}\n  }},\n  \"compile_reuse\": {{\n    \"builds\": {builds},\n    \"fresh_ms\": {fresh:.3},\n    \"shared_ms\": {shared:.3},\n    \"speedup\": {comp_speedup:.3}\n  }},\n  \"sweep\": {{\n    \"points\": {sweep_points},\n    \"wall_ms\": {sweep_ms:.3}\n  }},\n  \"variation\": {{\n    \"samples\": {mc_samples},\n    \"serial_s\": {mc_serial:.4},\n    \"parallel_s\": {mc_parallel:.4},\n    \"speedup\": {mc_speedup:.3},\n    \"bit_identical\": {mc_ident}\n  }},\n  \"group_replay\": {{\n    \"groups\": {n_groups},\n    \"serial_s\": {g_serial:.4},\n    \"parallel_s\": {g_parallel:.4},\n    \"speedup\": {g_speedup:.3},\n    \"bit_identical\": {g_ident}\n  }}\n}}\n",
+        cycles = WORKLOAD_CYCLES,
+        events = eng.events,
+        eng_speedup = eps_new / eps_ref,
+        builds = comp.builds,
+        fresh = comp.fresh_secs * 1e3,
+        shared = comp.shared_secs * 1e3,
+        comp_speedup = comp.fresh_secs / comp.shared_secs.max(1e-12),
+        sweep_ms = sweep_secs * 1e3,
+        mc_serial = mc.serial_secs,
+        mc_parallel = mc.parallel_secs,
+        mc_speedup = mc.serial_secs / mc.parallel_secs.max(1e-12),
+        mc_ident = mc.bit_identical,
+        g_serial = grp.serial_secs,
+        g_parallel = grp.parallel_secs,
+        g_speedup = grp.serial_secs / grp.parallel_secs.max(1e-12),
+        g_ident = grp.bit_identical,
+    );
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("[bench] wrote BENCH_sim.json");
+}

@@ -7,7 +7,10 @@ use scpg_units::{linspace, Voltage};
 
 fn main() {
     let study = CaseStudy::cpu();
-    let volts: Vec<Voltage> = linspace(0.15, 0.7, 56).into_iter().map(Voltage::from_v).collect();
+    let volts: Vec<Voltage> = linspace(0.15, 0.7, 56)
+        .into_iter()
+        .map(Voltage::from_v)
+        .collect();
     let curve = SubthresholdCurve::sweep(&study.baseline, &study.lib, study.e_dyn, &volts)
         .expect("sweep succeeds");
 

@@ -24,7 +24,10 @@ fn main() {
 
     let e_base: Vec<f64> = pts.iter().map(|p| p.no_pg.energy_per_op.as_pj()).collect();
     let e_scpg: Vec<f64> = pts.iter().map(|p| p.scpg.energy_per_op.as_pj()).collect();
-    let e_max: Vec<f64> = pts.iter().map(|p| p.scpg_max.energy_per_op.as_pj()).collect();
+    let e_max: Vec<f64> = pts
+        .iter()
+        .map(|p| p.scpg_max.energy_per_op.as_pj())
+        .collect();
     println!(
         "{}",
         ascii_plot(

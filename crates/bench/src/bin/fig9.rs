@@ -7,7 +7,10 @@ use scpg_units::{linspace, Voltage};
 
 fn main() {
     let study = CaseStudy::multiplier();
-    let volts: Vec<Voltage> = linspace(0.15, 0.9, 76).into_iter().map(Voltage::from_v).collect();
+    let volts: Vec<Voltage> = linspace(0.15, 0.9, 76)
+        .into_iter()
+        .map(Voltage::from_v)
+        .collect();
     let curve = SubthresholdCurve::sweep(&study.baseline, &study.lib, study.e_dyn, &volts)
         .expect("sweep succeeds");
 
@@ -28,9 +31,7 @@ fn main() {
         "minimum-energy point: {} at {} (f_max {}, power {})",
         min.energy, min.voltage, min.frequency, min.power
     );
-    println!(
-        "paper: ≈1.7 pJ at 310 mV, ≈10 MHz, ≈17 µW average power"
-    );
+    println!("paper: ≈1.7 pJ at 310 mV, ≈10 MHz, ≈17 µW average power");
     println!("\nCSV:\nmv,e_op_pj,e_dyn_pj,e_leak_pj,fmax_mhz");
     for p in curve.points() {
         println!(

@@ -10,17 +10,23 @@ use scpg_liberty::PvtCorner;
 
 fn report(study: &CaseStudy) {
     let corner = PvtCorner::default();
-    let timing = scpg_sta::analyze(&study.design.netlist, &study.lib, corner.voltage)
-        .expect("timing");
-    let profile = profile_domain(&study.design, &study.lib, corner, study.e_dyn, timing.t_eval)
-        .expect("profile");
+    let timing =
+        scpg_sta::analyze(&study.design.netlist, &study.lib, corner.voltage).expect("timing");
+    let profile = profile_domain(
+        &study.design,
+        &study.lib,
+        corner,
+        study.e_dyn,
+        timing.t_eval,
+    )
+    .expect("profile");
     println!("\n=== {} ===", study.name);
     println!(
         "gated domain: {} cells, C_VDDV = {}, I_leak = {}, I_eval,peak = {}",
         profile.n_gates, profile.c_vddv, profile.i_leak_full, profile.i_eval_peak
     );
-    let (pick, reports) = choose_header(&profile, corner, &SizingConstraints::default())
-        .expect("some header fits");
+    let (pick, reports) =
+        choose_header(&profile, corner, &SizingConstraints::default()).expect("some header fits");
     println!("size | IR drop      | in-rush      | restore     | gate energy | ok");
     for r in &reports {
         println!(

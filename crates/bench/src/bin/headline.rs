@@ -28,13 +28,10 @@ fn table_row_pick(
             let best = mhz
                 .iter()
                 .map(|&m| {
-                    let p = study
-                        .analysis
-                        .operating_point(Frequency::from_mhz(m), mode);
+                    let p = study.analysis.operating_point(Frequency::from_mhz(m), mode);
                     (m, p)
                 })
-                .filter(|(_, p)| p.power.value() <= limit)
-                .last()
+                .rfind(|(_, p)| p.power.value() <= limit)
                 .map(|(m, p)| (m, p.energy_per_op.as_pj()));
             (mode, best)
         })

@@ -11,9 +11,7 @@ fn main() {
     let study = CaseStudy::multiplier();
     let lc = LifecyclePower::new(&study.analysis);
 
-    println!(
-        "\nactive burst: 1 000 cycles at 1 MHz (1 ms); sweeping the idle gap\n"
-    );
+    println!("\nactive burst: 1 000 cycles at 1 MHz (1 ms); sweeping the idle gap\n");
     println!(
         "{:<12} {:>9} | {:>14} {:>14} {:>14} {:>14}",
         "idle gap", "active %", "no PG", "traditional", "SCPG", "SCPG+park"

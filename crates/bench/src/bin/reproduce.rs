@@ -103,9 +103,10 @@ fn main() {
     // Headlines.
     // CPU budget: the paper's 250 µW scaled by the leakage ratio of our
     // leaner tm16 core vs the licensed M0 (see EXPERIMENTS.md H2).
-    for (study, mhz, budget_uw) in
-        [(&mult, &TABLE1_MHZ[..], 30.0), (&cpu, &TABLE2_MHZ[..], 135.0)]
-    {
+    for (study, mhz, budget_uw) in [
+        (&mult, &TABLE1_MHZ[..], 30.0),
+        (&cpu, &TABLE2_MHZ[..], 135.0),
+    ] {
         let budget = Power::from_uw(budget_uw);
         // Strict budget for the baseline; 10 % "approximately" headroom
         // for SCPG rows, mirroring the paper's own 32.78 µW @ 30 µW pick.
@@ -116,8 +117,7 @@ fn main() {
             };
             mhz.iter()
                 .map(|&m| study.analysis.operating_point(Frequency::from_mhz(m), mode))
-                .filter(|p| p.power.value() <= limit)
-                .last()
+                .rfind(|p| p.power.value() <= limit)
         };
         let (b, s, x) = (pick(Mode::NoPg), pick(Mode::Scpg), pick(Mode::ScpgMax));
         if let (Some(b), Some(s), Some(x)) = (b, s, x) {
@@ -141,13 +141,18 @@ fn main() {
     // Header sizing + area.
     let corner = PvtCorner::default();
     for study in [&mult, &cpu] {
-        let timing = scpg_sta::analyze(&study.design.netlist, &study.lib, corner.voltage)
-            .expect("timing");
-        let profile =
-            profile_domain(&study.design, &study.lib, corner, study.e_dyn, timing.t_eval)
-                .expect("profile");
-        let (picked, _) = choose_header(&profile, corner, &SizingConstraints::default())
-            .expect("viable header");
+        let timing =
+            scpg_sta::analyze(&study.design.netlist, &study.lib, corner.voltage).expect("timing");
+        let profile = profile_domain(
+            &study.design,
+            &study.lib,
+            corner,
+            study.e_dyn,
+            timing.t_eval,
+        )
+        .expect("profile");
+        let (picked, _) =
+            choose_header(&profile, corner, &SizingConstraints::default()).expect("viable header");
         let ov = study.design.area_overhead(&study.baseline, &study.lib);
         let _ = writeln!(
             md,

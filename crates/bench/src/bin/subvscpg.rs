@@ -11,9 +11,12 @@ use scpg_power::SubthresholdCurve;
 use scpg_units::{linspace, Frequency, Power, Voltage};
 
 fn compare(study: &CaseStudy, mhz_rows: &[f64], extra_budget_uw: Option<f64>) {
-    let volts: Vec<Voltage> = linspace(0.15, 0.9, 76).into_iter().map(Voltage::from_v).collect();
-    let curve = SubthresholdCurve::sweep(&study.baseline, &study.lib, study.e_dyn, &volts)
-        .expect("sweep");
+    let volts: Vec<Voltage> = linspace(0.15, 0.9, 76)
+        .into_iter()
+        .map(Voltage::from_v)
+        .collect();
+    let curve =
+        SubthresholdCurve::sweep(&study.baseline, &study.lib, study.e_dyn, &volts).expect("sweep");
     let min = curve.minimum().expect("minimum exists");
     println!("\n=== {} ===", study.name);
     println!(
@@ -33,8 +36,7 @@ fn compare(study: &CaseStudy, mhz_rows: &[f64], extra_budget_uw: Option<f64>) {
                     .analysis
                     .operating_point(Frequency::from_mhz(m), Mode::ScpgMax)
             })
-            .filter(|p| p.power.value() <= budget.value())
-            .last();
+            .rfind(|p| p.power.value() <= budget.value());
         match best {
             Some(p) => {
                 println!(

@@ -30,8 +30,8 @@ fn main() {
         "minimum-energy supply skew across dies: {}",
         mc.v_min_skew()
     );
-    let f_nom = scpg_sta::f_max(&study.baseline, &study.lib, mc.v_min_nominal)
-        .expect("nominal timing");
+    let f_nom =
+        scpg_sta::f_max(&study.baseline, &study.lib, mc.v_min_nominal).expect("nominal timing");
     println!(
         "timing yield at the nominal die's frequency ({f_nom}): {:.0} %",
         mc.subthreshold_timing_yield(f_nom) * 100.0

@@ -8,15 +8,13 @@
 
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
 use scpg::{Mode, ScpgAnalysis, ScpgDesign, ScpgFlow};
 use scpg_circuits::{generate_cpu, generate_multiplier, CpuHarness};
 use scpg_isa::dhrystone;
 use scpg_liberty::{Library, Logic, PvtCorner};
 use scpg_netlist::Netlist;
 use scpg_power::PowerAnalyzer;
+use scpg_rng::StdRng;
 use scpg_sim::{SimConfig, Simulator};
 use scpg_synth::Word;
 use scpg_units::{Energy, Frequency, Time};
@@ -68,20 +66,14 @@ impl CaseStudy {
         tb.sim_mut().set_input(ports.rst_n, Logic::One);
         for _ in 0..64 {
             let mut stim = Vec::new();
-            drive_word(&mut stim, &ports.a, rng.random_range(0..65_536));
-            drive_word(&mut stim, &ports.b, rng.random_range(0..65_536));
+            drive_word(&mut stim, &ports.a, rng.below(65_536));
+            drive_word(&mut stim, &ports.b, rng.below(65_536));
             tb.cycle(&stim);
         }
         let cycles = tb.cycles();
         let res = tb.into_sim().finish();
 
-        Self::build(
-            "16-bit multiplier",
-            lib,
-            baseline,
-            res.activity,
-            cycles,
-        )
+        Self::build("16-bit multiplier", lib, baseline, res.activity, cycles)
     }
 
     /// Builds the tm16 CPU study (paper §III-B): the gate-level core runs
@@ -115,7 +107,13 @@ impl CaseStudy {
         let cycles = h.cycles();
         let res = sim.finish();
 
-        Self::build("tm16 CPU (Cortex-M0 class)", lib, baseline, res.activity, cycles)
+        Self::build(
+            "tm16 CPU (Cortex-M0 class)",
+            lib,
+            baseline,
+            res.activity,
+            cycles,
+        )
     }
 
     fn build(
@@ -126,8 +124,7 @@ impl CaseStudy {
         cycles: u64,
     ) -> Self {
         let corner = PvtCorner::default();
-        let analyzer =
-            PowerAnalyzer::new(&baseline, &lib, corner).expect("baseline resolves");
+        let analyzer = PowerAnalyzer::new(&baseline, &lib, corner).expect("baseline resolves");
         let e_dyn = analyzer
             .dynamic(&activity)
             .energy_per_cycle(Time::from_ps(MEASURE_PERIOD_PS as f64));
@@ -137,8 +134,8 @@ impl CaseStudy {
             .run(&baseline, "clk")
             .expect("flow succeeds");
         let design = report.design.clone();
-        let analysis = ScpgAnalysis::new(&lib, &baseline, &design, e_dyn, corner)
-            .expect("analysis builds");
+        let analysis =
+            ScpgAnalysis::new(&lib, &baseline, &design, e_dyn, corner).expect("analysis builds");
         Self {
             name,
             lib,
@@ -198,7 +195,12 @@ impl CaseStudy {
                 let no_pg = self.analysis.operating_point(f, Mode::NoPg);
                 let scpg = self.analysis.operating_point(f, Mode::Scpg);
                 let scpg_max = self.analysis.operating_point(f, Mode::ScpgMax);
-                CurvePoint { mhz, no_pg, scpg, scpg_max }
+                CurvePoint {
+                    mhz,
+                    no_pg,
+                    scpg,
+                    scpg_max,
+                }
             })
             .collect()
     }

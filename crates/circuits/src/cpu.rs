@@ -129,8 +129,8 @@ pub fn generate_cpu(lib: &Library) -> (Netlist, CpuPorts) {
 
     let wb_dec = decode3(&mut b, &wb_reg_ex);
     let mut regs: Vec<Word> = Vec::with_capacity(8);
-    for k in 0..8 {
-        let we_k = b.and(wb_en_gated, wb_dec[k]);
+    for (k, &dec_k) in wb_dec.iter().enumerate() {
+        let we_k = b.and(wb_en_gated, dec_k);
         // q = dffr(mux(we, q, wb_val)) — build with explicit feedback nets.
         let q: Word = (0..XLEN).map(|_| b.netlist_mut().add_fresh_net()).collect();
         for bit in 0..XLEN {
@@ -154,8 +154,12 @@ pub fn generate_cpu(lib: &Library) -> (Netlist, CpuPorts) {
     // ---- IF stage ------------------------------------------------------
     // PC register with feedback through the next-PC mux (nets allocated
     // now, driven at the end).
-    let pc_q: Word = (0..PC_BITS).map(|_| b.netlist_mut().add_fresh_net()).collect();
-    let pc_d: Word = (0..PC_BITS).map(|_| b.netlist_mut().add_fresh_net()).collect();
+    let pc_q: Word = (0..PC_BITS)
+        .map(|_| b.netlist_mut().add_fresh_net())
+        .collect();
+    let pc_d: Word = (0..PC_BITS)
+        .map(|_| b.netlist_mut().add_fresh_net())
+        .collect();
     for bit in 0..PC_BITS {
         let q = b.dff_r(pc_d.bit(bit), clk, rst_n);
         let cell_name = lib
@@ -316,7 +320,9 @@ pub fn generate_cpu(lib: &Library) -> (Netlist, CpuPorts) {
     let sel_arith = b.or(fn_dec[0], fn_dec[1]);
     let sel_shift = b.or(fn_dec[6], fn_dec[7]);
     let alu_mux = b.onehot_mux(
-        &[sel_arith, fn_dec[2], fn_dec[3], fn_dec[4], fn_dec[5], sel_shift],
+        &[
+            sel_arith, fn_dec[2], fn_dec[3], fn_dec[4], fn_dec[5], sel_shift,
+        ],
         &[&arith, &and_r, &or_r, &xor_r, &b_ex, &shift_r],
     );
 
@@ -328,9 +334,7 @@ pub fn generate_cpu(lib: &Library) -> (Netlist, CpuPorts) {
         let b_lo = b_ex.slice(0, 16);
         let mut acc = Word::new(vec![zero; XLEN]);
         for i in 0..16 {
-            let row: Word = (0..16)
-                .map(|j| b.and(a_lo.bit(j), b_lo.bit(i)))
-                .collect();
+            let row: Word = (0..16).map(|j| b.and(a_lo.bit(j), b_lo.bit(i))).collect();
             let mut bits = vec![zero; i];
             bits.extend_from_slice(row.bits());
             let shifted = Word::new(bits).resize(XLEN, zero);
@@ -512,8 +516,7 @@ mod tests {
     fn no_combinational_loops() {
         let lib = Library::ninety_nm();
         let (nl, _) = generate_cpu(&lib);
-        let report =
-            scpg_sta::analyze(&nl, &lib, scpg_units::Voltage::from_mv(600.0)).unwrap();
+        let report = scpg_sta::analyze(&nl, &lib, scpg_units::Voltage::from_mv(600.0)).unwrap();
         assert!(report.t_eval.as_ns() > 1.0, "t_eval = {}", report.t_eval);
     }
 }

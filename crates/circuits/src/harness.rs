@@ -19,8 +19,9 @@
 //! once and reusing it).
 
 use scpg_liberty::Logic;
-use scpg_sim::Simulator;
+use scpg_sim::{SimConfig, Simulator};
 use scpg_synth::Word;
+use scpg_waveform::Activity;
 
 use crate::cpu::CpuPorts;
 
@@ -106,13 +107,7 @@ impl CpuHarness {
     /// Runs one clock cycle with memory servicing. `duty` is the clock's
     /// high fraction; memory responses are placed relative to the period
     /// as described in the module docs.
-    pub fn cycle(
-        &mut self,
-        sim: &mut Simulator<'_>,
-        ports: &CpuPorts,
-        period_ps: u64,
-        duty: f64,
-    ) {
+    pub fn cycle(&mut self, sim: &mut Simulator<'_>, ports: &CpuPorts, period_ps: u64, duty: f64) {
         // Commit the previous cycle's store at this clock edge.
         if let Some((addr, data)) = self.pending_store.take() {
             if let Some(slot) = self.mem.get_mut(addr) {
@@ -148,7 +143,10 @@ impl CpuHarness {
         }
 
         sim.run_until(t0 + period_ps);
-        self.trace.push(CycleTrace { imem_data: inst, dmem_rdata: rdata });
+        self.trace.push(CycleTrace {
+            imem_data: inst,
+            dmem_rdata: rdata,
+        });
         self.cycles += 1;
     }
 
@@ -173,6 +171,96 @@ impl CpuHarness {
     /// Reads an architectural register from the gate-level core.
     pub fn reg(&self, sim: &Simulator<'_>, ports: &CpuPorts, k: usize) -> u32 {
         Self::read_word(sim, &ports.regs[k]) as u32
+    }
+
+    /// Replays a recorded trace on a fresh simulator bound to a shared
+    /// pre-compiled netlist. See [`CpuHarness::replay`]; returns the
+    /// finished run's per-net activity.
+    pub fn replay_compiled(
+        compiled: &scpg_sim::CompiledNetlist,
+        config: &SimConfig,
+        trace: &[CycleTrace],
+        ports: &CpuPorts,
+        period_ps: u64,
+        duty: f64,
+        reset_cycles: u64,
+    ) -> Activity {
+        let mut sim = Simulator::with_compiled(compiled, config.clone());
+        Self::replay(trace, &mut sim, ports, period_ps, duty, reset_cycles);
+        sim.finish().activity
+    }
+
+    /// Splits a recorded trace into `group_size`-cycle **vector groups**
+    /// (the paper's Fig. 7 groups of 10 vectors) and replays each group
+    /// on its own simulator, fanned out across the [`scpg_exec`] pool.
+    /// All groups share one [`scpg_sim::CompiledNetlist`], so the netlist
+    /// is compiled once instead of once per group.
+    ///
+    /// Each group starts from an all-`X` state — activity within a group
+    /// reflects only that group's vectors, which is exactly the per-group
+    /// switching-probability measurement the paper makes. The returned
+    /// activities are in group order; fold them with
+    /// [`Activity::merge_all`] for whole-workload counters. Results are
+    /// bit-identical to [`CpuHarness::replay_groups_serial`] for any
+    /// worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero.
+    pub fn replay_groups(
+        compiled: &scpg_sim::CompiledNetlist,
+        config: &SimConfig,
+        trace: &[CycleTrace],
+        ports: &CpuPorts,
+        period_ps: u64,
+        duty: f64,
+        group_size: usize,
+    ) -> Vec<Activity> {
+        Self::replay_groups_with_threads(
+            compiled,
+            config,
+            trace,
+            ports,
+            period_ps,
+            duty,
+            group_size,
+            scpg_exec::num_threads(),
+        )
+    }
+
+    /// [`CpuHarness::replay_groups`] pinned to one worker — the baseline
+    /// for determinism and speedup comparisons.
+    pub fn replay_groups_serial(
+        compiled: &scpg_sim::CompiledNetlist,
+        config: &SimConfig,
+        trace: &[CycleTrace],
+        ports: &CpuPorts,
+        period_ps: u64,
+        duty: f64,
+        group_size: usize,
+    ) -> Vec<Activity> {
+        Self::replay_groups_with_threads(
+            compiled, config, trace, ports, period_ps, duty, group_size, 1,
+        )
+    }
+
+    /// [`CpuHarness::replay_groups`] at an explicit worker count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn replay_groups_with_threads(
+        compiled: &scpg_sim::CompiledNetlist,
+        config: &SimConfig,
+        trace: &[CycleTrace],
+        ports: &CpuPorts,
+        period_ps: u64,
+        duty: f64,
+        group_size: usize,
+        threads: usize,
+    ) -> Vec<Activity> {
+        assert!(group_size > 0, "vector groups must be non-empty");
+        let groups: Vec<&[CycleTrace]> = trace.chunks(group_size).collect();
+        scpg_exec::par_map_indices_with_threads(groups.len(), threads, |g| {
+            Self::replay_compiled(compiled, config, groups[g], ports, period_ps, duty, 0)
+        })
     }
 
     /// Replays a recorded trace through another simulator of the same
@@ -311,8 +399,8 @@ mod tests {
         let words = Assembler::assemble(src).unwrap();
         let mut iss = Iss::new(&words);
         iss.run(10_000);
-        for k in 0..8 {
-            assert_eq!(regs[k], iss.reg(k), "r{k} mismatch vs ISS");
+        for (k, &r) in regs.iter().enumerate().take(8) {
+            assert_eq!(r, iss.reg(k), "r{k} mismatch vs ISS");
         }
     }
 
@@ -383,6 +471,46 @@ mod tests {
         );
         assert_eq!(regs[2], 42);
         assert_eq!(h.mem(9), 42);
+    }
+
+    #[test]
+    fn parallel_group_replay_is_bit_identical_to_serial() {
+        let lib = Library::ninety_nm();
+        let (nl, ports) = generate_cpu(&lib);
+        let src = "        MOVI r0, 6
+                          MOVI r1, 0
+                  loop:   ADD  r1, r0
+                          ADDI r0, -1
+                          BNE  r0, r7, loop
+                          HALT";
+        let words = Assembler::assemble(src).unwrap();
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        let mut h = CpuHarness::new(words, vec![0; 64]);
+        h.reset(&mut sim, &ports, PERIOD, 3);
+        assert!(h.run_to_halt(&mut sim, &ports, PERIOD, 200));
+
+        let cfg = SimConfig::default();
+        let compiled = scpg_sim::CompiledNetlist::compile(&nl, &lib, cfg.corner).unwrap();
+        let serial =
+            CpuHarness::replay_groups_serial(&compiled, &cfg, h.trace(), &ports, PERIOD, 0.5, 10);
+        assert_eq!(serial.len(), h.trace().len().div_ceil(10));
+        for threads in [2, 5] {
+            let par = CpuHarness::replay_groups_with_threads(
+                &compiled,
+                &cfg,
+                h.trace(),
+                &ports,
+                PERIOD,
+                0.5,
+                10,
+                threads,
+            );
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+        // The merged record covers the whole replayed workload.
+        let merged = Activity::merge_all(&serial).unwrap();
+        assert_eq!(merged.duration_ps(), h.trace().len() as u64 * PERIOD);
+        assert!(merged.total_toggles() > 0);
     }
 
     #[test]

@@ -67,7 +67,13 @@ pub fn generate_multiplier(lib: &Library, n: usize) -> (Netlist, MultiplierPorts
     let nl = b.finish();
     (
         nl,
-        MultiplierPorts { clk, rst_n, a: a_in, b: b_in, product },
+        MultiplierPorts {
+            clk,
+            rst_n,
+            a: a_in,
+            b: b_in,
+            product,
+        },
     )
 }
 
@@ -153,7 +159,13 @@ pub fn generate_wallace_multiplier(lib: &Library, n: usize) -> (Netlist, Multipl
     let nl = b.finish();
     (
         nl,
-        MultiplierPorts { clk, rst_n, a: a_in, b: b_in, product },
+        MultiplierPorts {
+            clk,
+            rst_n,
+            a: a_in,
+            b: b_in,
+            product,
+        },
     )
 }
 

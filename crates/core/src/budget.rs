@@ -35,9 +35,7 @@ impl PowerBudget {
         lo: Frequency,
         hi: Frequency,
     ) -> Option<BudgetSolution> {
-        let fits = |f: Frequency| {
-            analysis.operating_point(f, mode).power.value() <= self.0.value()
-        };
+        let fits = |f: Frequency| analysis.operating_point(f, mode).power.value() <= self.0.value();
         if !fits(lo) {
             return None;
         }
@@ -63,17 +61,21 @@ impl PowerBudget {
     }
 
     /// The paper's headline comparison: solve the same budget for all
-    /// three modes and report frequency / energy-efficiency gains of the
-    /// SCPG configurations over the baseline.
+    /// three modes (in parallel — the bisections are independent) and
+    /// report frequency / energy-efficiency gains of the SCPG
+    /// configurations over the baseline.
     pub fn headline(
         &self,
         analysis: &ScpgAnalysis,
         lo: Frequency,
         hi: Frequency,
     ) -> Option<Headline> {
-        let base = self.solve(analysis, Mode::NoPg, lo, hi)?;
-        let scpg = self.solve(analysis, Mode::Scpg, lo, hi)?;
-        let max = self.solve(analysis, Mode::ScpgMax, lo, hi)?;
+        let modes = [Mode::NoPg, Mode::Scpg, Mode::ScpgMax];
+        let mut solutions =
+            scpg_exec::par_sweep(&modes, |&mode| self.solve(analysis, mode, lo, hi)).into_iter();
+        let base = solutions.next().flatten()?;
+        let scpg = solutions.next().flatten()?;
+        let max = solutions.next().flatten()?;
         Some(Headline {
             speedup_scpg: scpg.point.frequency / base.point.frequency,
             speedup_max: max.point.frequency / base.point.frequency,
@@ -119,8 +121,14 @@ mod tests {
         let design = ScpgTransform::new(&lib)
             .apply(&nl, "clk", &ScpgOptions::default())
             .unwrap();
-        ScpgAnalysis::new(&lib, &nl, &design, Energy::from_pj(2.3), PvtCorner::default())
-            .unwrap()
+        ScpgAnalysis::new(
+            &lib,
+            &nl,
+            &design,
+            Energy::from_pj(2.3),
+            PvtCorner::default(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -128,7 +136,12 @@ mod tests {
         let a = analysis();
         let budget = PowerBudget(Power::from_uw(30.0));
         let s = budget
-            .solve(&a, Mode::NoPg, Frequency::from_hz(100.0), Frequency::from_mhz(50.0))
+            .solve(
+                &a,
+                Mode::NoPg,
+                Frequency::from_hz(100.0),
+                Frequency::from_mhz(50.0),
+            )
             .expect("30 µW is solvable");
         assert!(s.point.power.value() <= 30.1e-6);
         // And nearly saturated: 1 % more frequency would bust it.
@@ -147,7 +160,11 @@ mod tests {
         let h = PowerBudget(Power::from_uw(30.0))
             .headline(&a, Frequency::from_hz(100.0), Frequency::from_mhz(50.0))
             .expect("solvable");
-        assert!(h.speedup_max > 8.0, "SCPG-Max speedup {:.1}×", h.speedup_max);
+        assert!(
+            h.speedup_max > 8.0,
+            "SCPG-Max speedup {:.1}×",
+            h.speedup_max
+        );
         assert!(
             h.energy_gain_max > 8.0,
             "SCPG-Max energy gain {:.1}×",
@@ -162,7 +179,12 @@ mod tests {
         let a = analysis();
         let budget = PowerBudget(Power::from_nw(1.0));
         assert!(budget
-            .solve(&a, Mode::NoPg, Frequency::from_hz(100.0), Frequency::from_mhz(10.0))
+            .solve(
+                &a,
+                Mode::NoPg,
+                Frequency::from_hz(100.0),
+                Frequency::from_mhz(10.0)
+            )
             .is_none());
     }
 
@@ -171,7 +193,12 @@ mod tests {
         let a = analysis();
         let budget = PowerBudget(Power::from_mw(100.0));
         let s = budget
-            .solve(&a, Mode::NoPg, Frequency::from_hz(100.0), Frequency::from_mhz(10.0))
+            .solve(
+                &a,
+                Mode::NoPg,
+                Frequency::from_hz(100.0),
+                Frequency::from_mhz(10.0),
+            )
             .unwrap();
         assert!((s.point.frequency.as_mhz() - 10.0).abs() < 1e-9);
     }

@@ -108,7 +108,12 @@ impl DutyPlanner {
     fn plan_at(&self, f: Frequency, duty: f64) -> DutyPlan {
         let period = f.period();
         let t_off = period * duty;
-        DutyPlan { frequency: f, duty, t_off, t_on: period - t_off }
+        DutyPlan {
+            frequency: f,
+            duty,
+            t_off,
+            t_on: period - t_off,
+        }
     }
 }
 

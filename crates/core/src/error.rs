@@ -79,9 +79,13 @@ mod tests {
 
     #[test]
     fn displays_are_lowercase_and_specific() {
-        let e = ScpgError::NoSuchClock { name: "clkX".into() };
+        let e = ScpgError::NoSuchClock {
+            name: "clkX".into(),
+        };
         assert!(e.to_string().contains("clkX"));
-        let e = ScpgError::InfeasibleTiming { detail: "T_eval 20 ns > low phase 10 ns".into() };
+        let e = ScpgError::InfeasibleTiming {
+            detail: "T_eval 20 ns > low phase 10 ns".into(),
+        };
         assert!(e.to_string().contains("20 ns"));
     }
 

@@ -106,7 +106,10 @@ impl<'lib> ScpgFlow<'lib> {
     ) -> Result<FlowReport, ScpgError> {
         let mut stages = Vec::new();
         let log = |stages: &mut Vec<StageLog>, stage: &str, detail: String| {
-            stages.push(StageLog { stage: stage.to_string(), detail });
+            stages.push(StageLog {
+                stage: stage.to_string(),
+                detail,
+            });
         };
 
         let base_stats = netlist.stats(self.lib);
@@ -125,10 +128,9 @@ impl<'lib> ScpgFlow<'lib> {
         // Step 1+2 with a provisional header, then re-run with the sized
         // one (sizing needs the gated-domain profile, which needs the
         // split design).
-        let provisional = ScpgTransform::new(self.lib)
-            .apply(netlist, clock_name, &ScpgOptions::default())?;
-        let timing0 =
-            scpg_sta::analyze(&provisional.netlist, self.lib, self.corner.voltage)?;
+        let provisional =
+            ScpgTransform::new(self.lib).apply(netlist, clock_name, &ScpgOptions::default())?;
+        let timing0 = scpg_sta::analyze(&provisional.netlist, self.lib, self.corner.voltage)?;
         let profile = profile_domain(
             &provisional,
             self.lib,
@@ -136,8 +138,7 @@ impl<'lib> ScpgFlow<'lib> {
             self.e_dyn_per_cycle,
             timing0.t_eval,
         )?;
-        let (size, header_reports) =
-            choose_header(&profile, self.corner, &self.constraints)?;
+        let (size, header_reports) = choose_header(&profile, self.corner, &self.constraints)?;
         log(
             &mut stages,
             "Header sizing",
@@ -327,8 +328,7 @@ mod tests {
         let (nl, _) = generate_multiplier(&lib, 16);
         let report = ScpgFlow::new(&lib).run(&nl, "clk").unwrap();
         let cfg =
-            sim_config_for(&report, &lib, PvtCorner::default(), Energy::from_pj(2.3))
-                .unwrap();
+            sim_config_for(&report, &lib, PvtCorner::default(), Energy::from_pj(2.3)).unwrap();
         // Decay τ ≈ 17 ns ⇒ collapse (to 70 %) ≈ 6 ns; restore ≲ 1 ns.
         assert!(
             (1_000..30_000).contains(&cfg.collapse_delay_ps),

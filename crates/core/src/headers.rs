@@ -32,9 +32,7 @@ pub fn profile_domain(
     let analyzer = PowerAnalyzer::new(&design.netlist, lib, corner)?;
     let leak = analyzer.leakage(None);
 
-    let c_vddv = Capacitance::new(
-        lib.rail_cap_density().value() * stats.gated.area.as_um2(),
-    );
+    let c_vddv = Capacitance::new(lib.rail_cap_density().value() * stats.gated.area.as_um2());
     let i_eval_avg = if t_eval.value() > 0.0 {
         Current::new(e_dyn_per_cycle.value() / (corner.voltage.as_v() * t_eval.value()))
     } else {
@@ -81,16 +79,9 @@ mod tests {
             .apply(&nl, "clk", &ScpgOptions::default())
             .unwrap();
         let corner = PvtCorner::default();
-        let timing =
-            scpg_sta::analyze(&design.netlist, &lib, corner.voltage).unwrap();
-        let profile = profile_domain(
-            &design,
-            &lib,
-            corner,
-            Energy::from_pj(2.3),
-            timing.t_eval,
-        )
-        .unwrap();
+        let timing = scpg_sta::analyze(&design.netlist, &lib, corner.voltage).unwrap();
+        let profile =
+            profile_domain(&design, &lib, corner, Energy::from_pj(2.3), timing.t_eval).unwrap();
         (profile, corner)
     }
 
@@ -117,8 +108,7 @@ mod tests {
     #[test]
     fn header_choice_is_x2_class_for_multiplier() {
         let (p, corner) = multiplier_profile();
-        let (size, reports) =
-            choose_header(&p, corner, &SizingConstraints::default()).unwrap();
+        let (size, reports) = choose_header(&p, corner, &SizingConstraints::default()).unwrap();
         assert!(
             matches!(size, HeaderSize::X1 | HeaderSize::X2),
             "small header for the small domain, got {size:?}"

@@ -62,6 +62,6 @@ pub use budget::{BudgetSolution, PowerBudget};
 pub use duty::DutyPlan;
 pub use error::ScpgError;
 pub use flow::{FlowReport, ScpgFlow};
-pub use lifecycle::{DutyPattern, LifecyclePoint, LifecyclePower, Strategy};
 pub use headers::profile_domain;
+pub use lifecycle::{DutyPattern, LifecyclePoint, LifecyclePower, Strategy};
 pub use transform::{ScpgDesign, ScpgOptions, ScpgTransform};

@@ -132,7 +132,10 @@ pub struct LifecyclePower<'a> {
 impl<'a> LifecyclePower<'a> {
     /// Wraps an [`ScpgAnalysis`] with default traditional-PG costs.
     pub fn new(analysis: &'a ScpgAnalysis) -> Self {
-        Self { analysis, costs: TraditionalCosts::default() }
+        Self {
+            analysis,
+            costs: TraditionalCosts::default(),
+        }
     }
 
     /// Overrides the traditional-PG cost model.
@@ -162,8 +165,8 @@ impl<'a> LifecyclePower<'a> {
                 let p_active = self.analysis.operating_point(f, Mode::NoPg).power + extra;
                 // Idle: residual leakage + controller, plus one sleep/wake
                 // transition per period.
-                let p_idle = leak_base.total * self.costs.sleep_residual_frac
-                    + self.costs.controller;
+                let p_idle =
+                    leak_base.total * self.costs.sleep_residual_frac + self.costs.controller;
                 (
                     p_active * t_active,
                     p_idle * t_idle + self.costs.transition_energy,
@@ -228,8 +231,14 @@ mod tests {
     #[test]
     fn mostly_idle_systems_want_traditional_pg_or_park_high() {
         let (lib, nl, design) = analysis();
-        let a = ScpgAnalysis::new(&lib, &nl, &design, Energy::from_pj(3.0), PvtCorner::default())
-            .unwrap();
+        let a = ScpgAnalysis::new(
+            &lib,
+            &nl,
+            &design,
+            Energy::from_pj(3.0),
+            PvtCorner::default(),
+        )
+        .unwrap();
         let lc = LifecyclePower::new(&a);
         // 1 ms of work every 100 ms: 99 % idle.
         let points = lc.compare(&pattern(1_000, 100.0));
@@ -250,8 +259,14 @@ mod tests {
     #[test]
     fn mostly_active_systems_want_scpg() {
         let (lib, nl, design) = analysis();
-        let a = ScpgAnalysis::new(&lib, &nl, &design, Energy::from_pj(3.0), PvtCorner::default())
-            .unwrap();
+        let a = ScpgAnalysis::new(
+            &lib,
+            &nl,
+            &design,
+            Energy::from_pj(3.0),
+            PvtCorner::default(),
+        )
+        .unwrap();
         let lc = LifecyclePower::new(&a);
         // Continuous operation with a 1 % breather.
         let p = pattern(1_000_000, 10.0);
@@ -269,7 +284,11 @@ mod tests {
         // And traditional PG's retention/controller overhead makes it
         // WORSE than doing nothing when there is no idle to harvest.
         let by = |s: Strategy| {
-            points.iter().find(|q| q.strategy == s).unwrap().average_power
+            points
+                .iter()
+                .find(|q| q.strategy == s)
+                .unwrap()
+                .average_power
         };
         assert!(by(Strategy::TraditionalIdle).value() > by(Strategy::ScpgParkHigh).value());
     }
@@ -277,12 +296,21 @@ mod tests {
     #[test]
     fn park_high_dominates_plain_scpg_everywhere() {
         let (lib, nl, design) = analysis();
-        let a = ScpgAnalysis::new(&lib, &nl, &design, Energy::from_pj(3.0), PvtCorner::default())
-            .unwrap();
+        let a = ScpgAnalysis::new(
+            &lib,
+            &nl,
+            &design,
+            Energy::from_pj(3.0),
+            PvtCorner::default(),
+        )
+        .unwrap();
         let lc = LifecyclePower::new(&a);
         for idle_ms in [0.001, 0.1, 10.0, 1_000.0] {
             let points = lc.compare(&pattern(1_000, idle_ms));
-            let scpg = points.iter().find(|p| p.strategy == Strategy::Scpg).unwrap();
+            let scpg = points
+                .iter()
+                .find(|p| p.strategy == Strategy::Scpg)
+                .unwrap();
             let park = points
                 .iter()
                 .find(|p| p.strategy == Strategy::ScpgParkHigh)
@@ -300,8 +328,14 @@ mod tests {
         // 1 000 cycles at 1 MHz = 1 ms active, 1 ms idle.
         assert!((p.active_fraction() - 0.5).abs() < 1e-9);
         let (lib, nl, design) = analysis();
-        let a = ScpgAnalysis::new(&lib, &nl, &design, Energy::from_pj(3.0), PvtCorner::default())
-            .unwrap();
+        let a = ScpgAnalysis::new(
+            &lib,
+            &nl,
+            &design,
+            Energy::from_pj(3.0),
+            PvtCorner::default(),
+        )
+        .unwrap();
         let lc = LifecyclePower::new(&a);
         let pt = lc.evaluate(&p, Strategy::None);
         let expect = pt.energy_per_period / (p.active_time() + p.idle);

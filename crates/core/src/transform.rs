@@ -36,7 +36,9 @@ pub struct ScpgOptions {
 
 impl Default for ScpgOptions {
     fn default() -> Self {
-        Self { header_size: HeaderSize::X2 }
+        Self {
+            header_size: HeaderSize::X2,
+        }
     }
 }
 
@@ -106,7 +108,9 @@ impl<'lib> ScpgTransform<'lib> {
         let mut out = nl.clone();
         let clk = out
             .net_by_name(clock_name)
-            .ok_or_else(|| ScpgError::NoSuchClock { name: clock_name.to_string() })?;
+            .ok_or_else(|| ScpgError::NoSuchClock {
+                name: clock_name.to_string(),
+            })?;
 
         // Step 1: domain separation.
         let gated: Vec<_> = out
@@ -151,7 +155,9 @@ impl<'lib> ScpgTransform<'lib> {
         let mut planned: Vec<(NetId, bool, Vec<scpg_netlist::PinRef>)> = Vec::new();
         for (idx, _net) in out.nets().iter().enumerate() {
             let net = NetId::from_index(idx);
-            let Some(driver) = conn.driver(net) else { continue };
+            let Some(driver) = conn.driver(net) else {
+                continue;
+            };
             if out.instance(driver.inst).domain() != Domain::Gated {
                 continue;
             }
@@ -266,7 +272,11 @@ mod tests {
             .unwrap();
         let ov = scpg.area_overhead(&nl, &lib);
         // Paper: +3.9 % for the multiplier. Same class here.
-        assert!((0.02..0.08).contains(&ov), "area overhead {:.1} %", ov * 100.0);
+        assert!(
+            (0.02..0.08).contains(&ov),
+            "area overhead {:.1} %",
+            ov * 100.0
+        );
     }
 
     #[test]
@@ -375,8 +385,7 @@ mod tests {
 
         // Functional check: while gated, both the port and the flop input
         // read the clamp, never an X.
-        let mut sim =
-            Simulator::new(&design.netlist, &lib, SimConfig::default()).unwrap();
+        let mut sim = Simulator::new(&design.netlist, &lib, SimConfig::default()).unwrap();
         sim.set_input(design.override_n, Logic::One);
         sim.set_input(a, Logic::Zero);
         sim.set_input(clk, Logic::Zero);
@@ -404,7 +413,9 @@ mod tests {
         let conn = out.connectivity(&lib).unwrap();
         for (idx, _) in out.nets().iter().enumerate() {
             let net = scpg_netlist::NetId::from_index(idx);
-            let Some(driver) = conn.driver(net) else { continue };
+            let Some(driver) = conn.driver(net) else {
+                continue;
+            };
             if out.instance(driver.inst).domain() != Domain::Gated {
                 continue;
             }
@@ -481,12 +492,20 @@ mod tests {
 
         sim.set_input(scpg.clk, Logic::One);
         sim.run_until(11_000_000);
-        assert_eq!(sim.value(scpg.vddv), Logic::X, "rail collapsed while clk high");
+        assert_eq!(
+            sim.value(scpg.vddv),
+            Logic::X,
+            "rail collapsed while clk high"
+        );
         assert_eq!(sim.value(scpg.iso), Logic::One, "isolation asserted");
 
         sim.set_input(scpg.clk, Logic::Zero);
         sim.run_until(12_000_000);
-        assert_eq!(sim.value(scpg.vddv), Logic::One, "rail restored while clk low");
+        assert_eq!(
+            sim.value(scpg.vddv),
+            Logic::One,
+            "rail restored while clk low"
+        );
         assert_eq!(sim.value(scpg.iso), Logic::Zero, "isolation released");
     }
 }

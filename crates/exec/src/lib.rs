@@ -1,0 +1,256 @@
+//! Deterministic parallel execution for embarrassingly-parallel sweeps.
+//!
+//! Every experiment in this reproduction — frequency sweeps, Monte-Carlo
+//! variation studies, header sizing, VDD sweeps, Dhrystone vector-group
+//! simulation — evaluates many independent points. This crate runs those
+//! points across a scoped thread pool built purely on [`std::thread::scope`]
+//! (the environment is offline, so no `crossbeam`): workers self-schedule
+//! items from a shared atomic counter (work stealing in its simplest form —
+//! an idle worker takes the next undone item, so load imbalance never
+//! leaves a core idle), and results are written back by item index, making
+//! the output order — and therefore every downstream reduction —
+//! **bit-identical to the serial path** regardless of worker count or
+//! scheduling.
+//!
+//! Thread count comes from the `SCPG_THREADS` environment variable when
+//! set, else from [`std::thread::available_parallelism`]. Nested calls
+//! (a parallel sweep whose items themselves call [`par_map`]) degrade to
+//! inline serial execution instead of oversubscribing the machine.
+//!
+//! ```
+//! let squares = scpg_exec::par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Set while executing inside a pool worker so nested parallel calls
+    /// run inline instead of spawning a second tier of threads.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The worker count used by [`par_map`] and friends: `SCPG_THREADS` when
+/// set to a positive integer, else the machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("SCPG_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `true` when called from inside a pool worker (nested parallelism).
+pub fn in_worker() -> bool {
+    IN_POOL.with(|f| f.get())
+}
+
+/// Maps `f` over `0..n` on `threads` workers, returning results in index
+/// order. The core primitive behind [`par_map`] / [`par_sweep`].
+///
+/// `f` runs exactly once per index; which worker runs it is unspecified,
+/// but the returned `Vec` is always `[f(0), f(1), …, f(n-1)]`.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f`.
+pub fn par_map_indices_with_threads<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 || in_worker() {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                IN_POOL.with(|flag| flag.set(true));
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            let local = match handle.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (i, v) in local {
+                slots[i] = Some(v);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced exactly once"))
+        .collect()
+}
+
+/// [`par_map_indices_with_threads`] at the default worker count.
+pub fn par_map_indices<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_indices_with_threads(n, num_threads(), f)
+}
+
+/// Maps `f(index, item)` over a slice in parallel, preserving order.
+pub fn par_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    par_map_indices(items.len(), |i| f(i, &items[i]))
+}
+
+/// Parallel sweep over parameter points: like [`par_map`] but the closure
+/// only sees the point — the common shape of frequency/voltage sweeps.
+pub fn par_sweep<I, T, F>(points: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    par_map(points, |_, p| f(p))
+}
+
+/// Fallible parallel map: evaluates every item, then returns the first
+/// error in **index order** (not completion order), so failures are as
+/// deterministic as successes.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing item.
+pub fn par_try_map<I, T, E, F>(items: &[I], f: F) -> Result<Vec<T>, E>
+where
+    I: Sync,
+    T: Send,
+    E: Send,
+    F: Fn(usize, &I) -> Result<T, E> + Sync,
+{
+    let results = par_map(items, |i, item| f(i, item));
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Fallible indexed map, mirroring [`par_map_indices`].
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing item.
+pub fn par_try_map_indices<T, E, F>(n: usize, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let results = par_map_indices(n, f);
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = par_map_indices_with_threads(100, threads, |i| i * i);
+            let expect: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = par_map_indices_with_threads(257, 4, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = par_map_indices_with_threads(0, 4, |i| i as u32);
+        assert!(empty.is_empty());
+        let one = par_map_indices_with_threads(1, 4, |i| i + 10);
+        assert_eq!(one, vec![10]);
+    }
+
+    #[test]
+    fn slice_and_sweep_wrappers_agree_with_serial() {
+        let items: Vec<u64> = (0..64).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(par_map(&items, |_, &x| x * 3 + 1), serial);
+        assert_eq!(par_sweep(&items, |&x| x * 3 + 1), serial);
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let items: Vec<u32> = (0..32).collect();
+        let r: Result<Vec<u32>, u32> =
+            par_try_map(&items, |_, &x| if x % 10 == 7 { Err(x) } else { Ok(x) });
+        assert_eq!(r, Err(7), "index order, not completion order");
+    }
+
+    #[test]
+    fn nested_calls_degrade_to_serial() {
+        let out = par_map_indices_with_threads(8, 4, |i| {
+            assert!(in_worker());
+            // Inner call must not deadlock or nest threads.
+            let inner = par_map_indices(4, |j| j + i);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out.len(), 8);
+        assert!(!in_worker());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _ = par_map_indices_with_threads(16, 4, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

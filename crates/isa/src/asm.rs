@@ -78,10 +78,12 @@ impl Assembler {
         // Pass 2: parse instructions, resolving labels.
         let mut out = Vec::with_capacity(lines.len());
         for (pc, (lineno, text)) in lines.iter().enumerate() {
-            out.push(Self::parse_line(text, pc, &labels).map_err(|message| AsmError {
-                line: *lineno,
-                message,
-            })?);
+            out.push(
+                Self::parse_line(text, pc, &labels).map_err(|message| AsmError {
+                    line: *lineno,
+                    message,
+                })?,
+            );
         }
         Ok(out)
     }
@@ -136,7 +138,10 @@ impl Assembler {
             if args.len() == n {
                 Ok(())
             } else {
-                Err(format!("{mnemonic} expects {n} operands, got {}", args.len()))
+                Err(format!(
+                    "{mnemonic} expects {n} operands, got {}",
+                    args.len()
+                ))
             }
         };
         // `[rs + off]` or `[rs]` memory operand.
@@ -156,17 +161,27 @@ impl Assembler {
 
         let alu = |op: AluOp| -> Result<Instruction, String> {
             need(2)?;
-            Ok(Instruction::Alu { op, rd: reg(&args[0])?, rs: reg(&args[1])? })
+            Ok(Instruction::Alu {
+                op,
+                rd: reg(&args[0])?,
+                rs: reg(&args[1])?,
+            })
         };
 
         match mnemonic.as_str() {
             "MOVI" => {
                 need(2)?;
-                Ok(Instruction::Movi { rd: reg(&args[0])?, imm: imm(&args[1])? as u16 })
+                Ok(Instruction::Movi {
+                    rd: reg(&args[0])?,
+                    imm: imm(&args[1])? as u16,
+                })
             }
             "ADDI" => {
                 need(2)?;
-                Ok(Instruction::Addi { rd: reg(&args[0])?, imm: imm(&args[1])? as i16 })
+                Ok(Instruction::Addi {
+                    rd: reg(&args[0])?,
+                    imm: imm(&args[1])? as i16,
+                })
             }
             "ADD" => alu(AluOp::Add),
             "SUB" => alu(AluOp::Sub),
@@ -178,17 +193,28 @@ impl Assembler {
             "SHR" => alu(AluOp::Shr),
             "MUL" => {
                 need(2)?;
-                Ok(Instruction::Mul { rd: reg(&args[0])?, rs: reg(&args[1])? })
+                Ok(Instruction::Mul {
+                    rd: reg(&args[0])?,
+                    rs: reg(&args[1])?,
+                })
             }
             "LD" => {
                 need(2)?;
                 let (rs, off) = mem(&args[1])?;
-                Ok(Instruction::Ld { rd: reg(&args[0])?, rs, off })
+                Ok(Instruction::Ld {
+                    rd: reg(&args[0])?,
+                    rs,
+                    off,
+                })
             }
             "ST" => {
                 need(2)?;
                 let (rs, off) = mem(&args[1])?;
-                Ok(Instruction::St { rd: reg(&args[0])?, rs, off })
+                Ok(Instruction::St {
+                    rd: reg(&args[0])?,
+                    rs,
+                    off,
+                })
             }
             "BEQ" => {
                 need(3)?;
@@ -208,7 +234,9 @@ impl Assembler {
             }
             "JMP" => {
                 need(1)?;
-                Ok(Instruction::Jmp { off: target(&args[0])? })
+                Ok(Instruction::Jmp {
+                    off: target(&args[0])?,
+                })
             }
             "HALT" => {
                 need(0)?;
@@ -239,7 +267,11 @@ mod tests {
         assert_eq!(prog.len(), 4);
         assert_eq!(
             prog[2],
-            Instruction::Bne { rd: Reg::new(0), rs: Reg::new(7), off: -2 }
+            Instruction::Bne {
+                rd: Reg::new(0),
+                rs: Reg::new(7),
+                off: -2
+            }
         );
     }
 
@@ -253,21 +285,45 @@ mod tests {
         .unwrap();
         assert_eq!(
             prog[0],
-            Instruction::Beq { rd: Reg::new(0), rs: Reg::new(0), off: 1 }
+            Instruction::Beq {
+                rd: Reg::new(0),
+                rs: Reg::new(0),
+                off: 1
+            }
         );
     }
 
     #[test]
     fn memory_operands_parse() {
         let prog = Assembler::parse("LD r1, [r2 + 5]\nST r3, [r4]").unwrap();
-        assert_eq!(prog[0], Instruction::Ld { rd: Reg::new(1), rs: Reg::new(2), off: 5 });
-        assert_eq!(prog[1], Instruction::St { rd: Reg::new(3), rs: Reg::new(4), off: 0 });
+        assert_eq!(
+            prog[0],
+            Instruction::Ld {
+                rd: Reg::new(1),
+                rs: Reg::new(2),
+                off: 5
+            }
+        );
+        assert_eq!(
+            prog[1],
+            Instruction::St {
+                rd: Reg::new(3),
+                rs: Reg::new(4),
+                off: 0
+            }
+        );
     }
 
     #[test]
     fn comments_and_hex_immediates() {
         let prog = Assembler::parse("MOVI r0, 0xff ; top\n; whole-line comment\nHALT").unwrap();
-        assert_eq!(prog[0], Instruction::Movi { rd: Reg::new(0), imm: 255 });
+        assert_eq!(
+            prog[0],
+            Instruction::Movi {
+                rd: Reg::new(0),
+                imm: 255
+            }
+        );
         assert_eq!(prog.len(), 2);
     }
 

@@ -179,7 +179,11 @@ mod tests {
     #[test]
     fn assembles_cleanly() {
         let words = assemble(DEFAULT_ITERATIONS).unwrap();
-        assert!(words.len() > 30, "non-trivial program: {} words", words.len());
+        assert!(
+            words.len() > 30,
+            "non-trivial program: {} words",
+            words.len()
+        );
     }
 
     #[test]

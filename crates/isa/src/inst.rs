@@ -212,15 +212,9 @@ impl Instruction {
         let rd = |r: Reg| (r.num() as u16) << 9;
         let rs = |r: Reg| (r.num() as u16) << 6;
         match self {
-            Instruction::Movi { rd: d, imm } => {
-                (0 << 12) | rd(d) | imm_u(imm, 9, "movi immediate")
-            }
-            Instruction::Addi { rd: d, imm } => {
-                (1 << 12) | rd(d) | imm_s(imm, 9, "addi immediate")
-            }
-            Instruction::Alu { op, rd: d, rs: s } => {
-                (2 << 12) | rd(d) | rs(s) | (op.code() << 3)
-            }
+            Instruction::Movi { rd: d, imm } => rd(d) | imm_u(imm, 9, "movi immediate"),
+            Instruction::Addi { rd: d, imm } => (1 << 12) | rd(d) | imm_s(imm, 9, "addi immediate"),
+            Instruction::Alu { op, rd: d, rs: s } => (2 << 12) | rd(d) | rs(s) | (op.code() << 3),
             Instruction::Ld { rd: d, rs: s, off } => {
                 (3 << 12) | rd(d) | rs(s) | imm_u(off, 6, "load offset")
             }
@@ -247,14 +241,42 @@ impl Instruction {
         let rd = Reg::new(((word >> 9) & 7) as u8);
         let rs = Reg::new(((word >> 6) & 7) as u8);
         match op {
-            0 => Instruction::Movi { rd, imm: word & 0x1ff },
-            1 => Instruction::Addi { rd, imm: sign_extend(word & 0x1ff, 9) },
-            2 => Instruction::Alu { op: AluOp::from_code((word >> 3) & 7), rd, rs },
-            3 => Instruction::Ld { rd, rs, off: word & 0x3f },
-            4 => Instruction::St { rd, rs, off: word & 0x3f },
-            5 => Instruction::Beq { rd, rs, off: sign_extend(word & 0x3f, 6) },
-            6 => Instruction::Bne { rd, rs, off: sign_extend(word & 0x3f, 6) },
-            7 => Instruction::Jmp { off: sign_extend(word & 0xfff, 12) },
+            0 => Instruction::Movi {
+                rd,
+                imm: word & 0x1ff,
+            },
+            1 => Instruction::Addi {
+                rd,
+                imm: sign_extend(word & 0x1ff, 9),
+            },
+            2 => Instruction::Alu {
+                op: AluOp::from_code((word >> 3) & 7),
+                rd,
+                rs,
+            },
+            3 => Instruction::Ld {
+                rd,
+                rs,
+                off: word & 0x3f,
+            },
+            4 => Instruction::St {
+                rd,
+                rs,
+                off: word & 0x3f,
+            },
+            5 => Instruction::Beq {
+                rd,
+                rs,
+                off: sign_extend(word & 0x3f, 6),
+            },
+            6 => Instruction::Bne {
+                rd,
+                rs,
+                off: sign_extend(word & 0x3f, 6),
+            },
+            7 => Instruction::Jmp {
+                off: sign_extend(word & 0xfff, 12),
+            },
             8 => Instruction::Halt,
             10 => Instruction::Mul { rd, rs },
             _ => Instruction::Nop,
@@ -289,14 +311,41 @@ mod tests {
         vec![
             Instruction::Movi { rd: r(3), imm: 511 },
             Instruction::Movi { rd: r(0), imm: 0 },
-            Instruction::Addi { rd: r(7), imm: -256 },
+            Instruction::Addi {
+                rd: r(7),
+                imm: -256,
+            },
             Instruction::Addi { rd: r(1), imm: 255 },
-            Instruction::Alu { op: AluOp::Add, rd: r(2), rs: r(5) },
-            Instruction::Alu { op: AluOp::Shr, rd: r(6), rs: r(1) },
-            Instruction::Ld { rd: r(4), rs: r(2), off: 63 },
-            Instruction::St { rd: r(5), rs: r(3), off: 0 },
-            Instruction::Beq { rd: r(0), rs: r(1), off: -32 },
-            Instruction::Bne { rd: r(2), rs: r(3), off: 31 },
+            Instruction::Alu {
+                op: AluOp::Add,
+                rd: r(2),
+                rs: r(5),
+            },
+            Instruction::Alu {
+                op: AluOp::Shr,
+                rd: r(6),
+                rs: r(1),
+            },
+            Instruction::Ld {
+                rd: r(4),
+                rs: r(2),
+                off: 63,
+            },
+            Instruction::St {
+                rd: r(5),
+                rs: r(3),
+                off: 0,
+            },
+            Instruction::Beq {
+                rd: r(0),
+                rs: r(1),
+                off: -32,
+            },
+            Instruction::Bne {
+                rd: r(2),
+                rs: r(3),
+                off: 31,
+            },
             Instruction::Jmp { off: -2048 },
             Instruction::Jmp { off: 2047 },
             Instruction::Halt,
@@ -316,18 +365,18 @@ mod tests {
     #[test]
     fn unknown_opcodes_decode_to_nop() {
         for op in [9u16, 11, 12, 13, 14, 15] {
-            assert_eq!(
-                Instruction::decode(op << 12),
-                Instruction::Nop,
-                "op {op}"
-            );
+            assert_eq!(Instruction::decode(op << 12), Instruction::Nop, "op {op}");
         }
     }
 
     #[test]
     #[should_panic(expected = "does not fit")]
     fn oversized_immediate_rejected() {
-        let _ = Instruction::Movi { rd: Reg::new(0), imm: 512 }.encode();
+        let _ = Instruction::Movi {
+            rd: Reg::new(0),
+            imm: 512,
+        }
+        .encode();
     }
 
     #[test]

@@ -176,14 +176,12 @@ mod tests {
 
     #[test]
     fn arithmetic_loop_sums() {
-        let iss = run(
-            "        MOVI r0, 10
+        let iss = run("        MOVI r0, 10
                     MOVI r1, 0
             loop:   ADD  r1, r0
                     ADDI r0, -1
                     BNE  r0, r7, loop
-                    HALT",
-        );
+                    HALT");
         assert_eq!(iss.reg(1), 55);
         assert_eq!(iss.reg(0), 0);
     }
@@ -204,8 +202,8 @@ mod tests {
         )
         .unwrap();
         let mut mem = vec![0u32; 64];
-        for i in 0..8 {
-            mem[i] = (i as u32 + 1) * 11;
+        for (i, m) in mem.iter_mut().enumerate().take(8) {
+            *m = (i as u32 + 1) * 11;
         }
         let mut iss = Iss::with_memory(&words, mem);
         iss.run(10_000);
@@ -217,8 +215,7 @@ mod tests {
 
     #[test]
     fn shift_and_logic() {
-        let iss = run(
-            "MOVI r0, 1
+        let iss = run("MOVI r0, 1
              MOVI r1, 5
              SHL  r0, r1        ; r0 = 32
              MOVI r2, 0xf0
@@ -226,8 +223,7 @@ mod tests {
              MOVI r3, 0x0f
              OR   r3, r0        ; 0x0f | 0x20 = 0x2f
              XOR  r3, r2        ; 0x2f ^ 0x20 = 0x0f
-             HALT",
-        );
+             HALT");
         assert_eq!(iss.reg(0), 32);
         assert_eq!(iss.reg(2), 0x20);
         assert_eq!(iss.reg(3), 0x0f);
@@ -235,16 +231,14 @@ mod tests {
 
     #[test]
     fn beq_taken_and_not_taken() {
-        let iss = run(
-            "        MOVI r0, 1
+        let iss = run("        MOVI r0, 1
                     MOVI r1, 1
                     BEQ  r0, r1, eq
                     MOVI r2, 99     ; skipped
             eq:     MOVI r3, 42
                     BEQ  r0, r7, never
                     MOVI r4, 7
-            never:  HALT",
-        );
+            never:  HALT");
         assert_eq!(iss.reg(2), 0);
         assert_eq!(iss.reg(3), 42);
         assert_eq!(iss.reg(4), 7);
@@ -260,13 +254,11 @@ mod tests {
 
     #[test]
     fn out_of_range_memory_is_benign() {
-        let iss = run(
-            "MOVI r0, 0x1ff
+        let iss = run("MOVI r0, 0x1ff
              SHL  r0, r0        ; huge address
              LD   r1, [r0]
              ST   r0, [r0]
-             HALT",
-        );
+             HALT");
         assert_eq!(iss.reg(1), 0, "OOB reads return 0");
     }
 }

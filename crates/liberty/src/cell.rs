@@ -93,7 +93,10 @@ pub struct Outputs {
 impl Outputs {
     /// Single-output result.
     pub fn one(a: Logic) -> Self {
-        Self { vals: [a, Logic::X], n: 1 }
+        Self {
+            vals: [a, Logic::X],
+            n: 1,
+        }
     }
 
     /// Two-output result.
@@ -241,9 +244,7 @@ impl CellKind {
                     }
                 }
             },
-            HalfAdder => {
-                return Outputs::two(inputs[0].xor(inputs[1]), inputs[0].and(inputs[1]))
-            }
+            HalfAdder => return Outputs::two(inputs[0].xor(inputs[1]), inputs[0].and(inputs[1])),
             FullAdder => {
                 let (a, b, ci) = (inputs[0], inputs[1], inputs[2]);
                 let s = a.xor(b).xor(ci);
@@ -427,9 +428,7 @@ impl Cell {
         t: Temperature,
         inputs: &[Logic],
     ) -> Current {
-        Current::new(
-            self.leakage_current(v, t).value() * self.kind.state_leak_factor(inputs),
-        )
+        Current::new(self.leakage_current(v, t).value() * self.kind.state_leak_factor(inputs))
     }
 
     /// Leakage power at `(v, t)`: `V · I_leak`.
@@ -483,7 +482,7 @@ mod tests {
 
     #[test]
     fn mux_selects_and_handles_unknown_select() {
-        use Logic::{One as I, X, Zero as O};
+        use Logic::{One as I, Zero as O, X};
         assert_eq!(probe(CellKind::Mux2, &[O, I, O]), [O]);
         assert_eq!(probe(CellKind::Mux2, &[O, I, I]), [I]);
         assert_eq!(probe(CellKind::Mux2, &[I, I, X]), [I], "agreeing data");
@@ -511,7 +510,7 @@ mod tests {
 
     #[test]
     fn isolation_clamps_when_active() {
-        use Logic::{One as I, X, Zero as O};
+        use Logic::{One as I, Zero as O, X};
         assert_eq!(probe(CellKind::IsoAnd, &[I, I]), [O], "clamped low");
         assert_eq!(probe(CellKind::IsoAnd, &[I, O]), [I], "transparent");
         assert_eq!(probe(CellKind::IsoAnd, &[X, I]), [O], "clamps even X data");
@@ -521,7 +520,7 @@ mod tests {
 
     #[test]
     fn iso_ctl_tracks_clock_and_rail() {
-        use Logic::{One as I, X, Zero as O};
+        use Logic::{One as I, Zero as O, X};
         // Clock high => isolate, regardless of rail.
         assert_eq!(probe(CellKind::IsoCtl, &[I, I]), [I]);
         assert_eq!(probe(CellKind::IsoCtl, &[I, X]), [I]);
@@ -535,7 +534,7 @@ mod tests {
 
     #[test]
     fn header_powers_and_collapses_rail() {
-        use Logic::{One as I, X, Zero as O};
+        use Logic::{One as I, Zero as O, X};
         assert_eq!(probe(CellKind::Header, &[O]), [I], "PMOS on while gate low");
         assert_eq!(probe(CellKind::Header, &[I]), [X], "rail released");
     }
@@ -563,7 +562,7 @@ mod tests {
 
     #[test]
     fn x_propagates_through_gates() {
-        use Logic::{One as I, X, Zero as O};
+        use Logic::{One as I, Zero as O, X};
         assert_eq!(probe(CellKind::And2, &[X, I]), [X]);
         assert_eq!(probe(CellKind::And2, &[X, O]), [O], "0 controls AND");
         assert_eq!(probe(CellKind::Or2, &[X, I]), [I], "1 controls OR");

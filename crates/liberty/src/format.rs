@@ -169,7 +169,10 @@ pub fn parse_library(text: &str) -> Result<Library, String> {
                 .strip_prefix('(')
                 .and_then(|r| r.split(')').next())
                 .ok_or_else(|| fail("malformed cell header"))?;
-            current = Some(CellAcc { name: name.trim().to_string(), ..Default::default() });
+            current = Some(CellAcc {
+                name: name.trim().to_string(),
+                ..Default::default()
+            });
         } else if let Some(rest) = line.strip_prefix("header") {
             let size = rest
                 .trim()
@@ -177,7 +180,9 @@ pub fn parse_library(text: &str) -> Result<Library, String> {
                 .and_then(|r| r.split(')').next())
                 .and_then(|s| parse_header_size(s.trim()))
                 .ok_or_else(|| fail("unknown header size"))?;
-            let b = builder.take().ok_or_else(|| fail("header outside library"))?;
+            let b = builder
+                .take()
+                .ok_or_else(|| fail("header outside library"))?;
             let h = HeaderCell::ninety_nm(size);
             builder = Some(b.header_with_cell(h, size));
         } else if line.starts_with('}') {
@@ -204,17 +209,16 @@ pub fn parse_library(text: &str) -> Result<Library, String> {
             let value = value.trim().trim_end_matches(';').trim();
             match (&mut current, key) {
                 (Some(acc), "kind") => {
-                    acc.kind =
-                        Some(parse_kind(value).ok_or_else(|| fail("unknown cell kind"))?)
+                    acc.kind = Some(parse_kind(value).ok_or_else(|| fail("unknown cell kind"))?)
                 }
                 (Some(acc), k) => {
-                    let v: f64 =
-                        value.parse().map_err(|_| fail(&format!("bad number for {k}")))?;
+                    let v: f64 = value
+                        .parse()
+                        .map_err(|_| fail(&format!("bad number for {k}")))?;
                     acc.fields.insert(k.to_string(), v);
                 }
                 (None, "wire_cap_ff") => {
-                    wire_cap =
-                        Some(value.parse::<f64>().map_err(|_| fail("bad wire_cap_ff"))?)
+                    wire_cap = Some(value.parse::<f64>().map_err(|_| fail("bad wire_cap_ff"))?)
                 }
                 (None, "rail_cap_density_ff_um2") => {
                     rail_density = Some(
@@ -257,13 +261,17 @@ mod tests {
             if cell.kind() == CellKind::Header {
                 continue;
             }
-            let b = back.cell(cell.name()).unwrap_or_else(|| panic!("{}", cell.name()));
+            let b = back
+                .cell(cell.name())
+                .unwrap_or_else(|| panic!("{}", cell.name()));
             assert_eq!(b.kind(), cell.kind());
             assert!((b.area().value() - cell.area().value()).abs() < 1e-12);
             let rel = |x: f64, y: f64| (x - y).abs() / y.abs().max(1e-30);
             assert!(
-                rel(b.leakage_current(v, t).value(), cell.leakage_current(v, t).value())
-                    < 1e-6,
+                rel(
+                    b.leakage_current(v, t).value(),
+                    cell.leakage_current(v, t).value()
+                ) < 1e-6,
                 "leakage of {}",
                 cell.name()
             );

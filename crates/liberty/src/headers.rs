@@ -137,9 +137,7 @@ mod tests {
         let v = Voltage::from_mv(600.0);
         let x1 = HeaderCell::ninety_nm(HeaderSize::X1);
         let x4 = HeaderCell::ninety_nm(HeaderSize::X4);
-        assert!(
-            (x1.on_resistance(v).value() / x4.on_resistance(v).value() - 4.0).abs() < 1e-9
-        );
+        assert!((x1.on_resistance(v).value() / x4.on_resistance(v).value() - 4.0).abs() < 1e-9);
         assert!((x4.gate_cap().as_ff() / x1.gate_cap().as_ff() - 4.0).abs() < 1e-9);
         assert!(x4.area().as_um2() > x1.area().as_um2());
     }

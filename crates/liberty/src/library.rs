@@ -54,7 +54,10 @@ impl Default for PvtCorner {
 impl PvtCorner {
     /// A corner at the given supply, nominal temperature.
     pub fn at_voltage(v: Voltage) -> Self {
-        Self { voltage: v, ..Self::default() }
+        Self {
+            voltage: v,
+            ..Self::default()
+        }
     }
 }
 
@@ -82,6 +85,7 @@ impl Library {
         // name, kind, area_um2, in_cap_ff, out_cap_ff, delay_ps,
         // drive_kohm, energy_fj, leak_weight, setup_ps, hold_ps
         #[rustfmt::skip]
+        #[allow(clippy::type_complexity)]
         let rows: &[(&str, CellKind, f64, f64, f64, f64, f64, f64, f64, f64, f64)] = &[
             ("INV_X1",   CellKind::Inv,       3.0, 1.6, 1.0,  60.0, 18.0,  0.40,  15.0, 0.0, 0.0),
             ("INV_X2",   CellKind::Inv,       4.5, 3.0, 1.6,  50.0,  9.0,  0.65,  28.0, 0.0, 0.0),
@@ -290,8 +294,13 @@ impl LibraryBuilder {
             setup_ps: 0.0,
             hold_ps: 0.0,
         };
-        self.cell(size.cell_name(), CellKind::Header, data, TransistorModel::high_vt())
-            .header(header)
+        self.cell(
+            size.cell_name(),
+            CellKind::Header,
+            data,
+            TransistorModel::high_vt(),
+        )
+        .header(header)
     }
 
     /// Sets the per-net wire-capacitance estimate.

@@ -97,11 +97,7 @@ impl TransistorModel {
         let vt_therm = Temperature::NOMINAL.thermal_voltage().as_v();
         let x = (v.as_v() - vt.as_v()) / (2.0 * self.n * vt_therm);
         // ln(1+e^x) computed stably for large |x|.
-        let soft = if x > 30.0 {
-            x
-        } else {
-            x.exp().ln_1p()
-        };
+        let soft = if x > 30.0 { x } else { x.exp().ln_1p() };
         Current::new(self.i_spec.value() * soft * soft)
     }
 
@@ -256,7 +252,10 @@ mod tests {
         let v = Voltage::from_mv(600.0);
         let t = Temperature::NOMINAL;
         let leak_ratio = sv.leakage_current(v, t).value() / hv.leakage_current(v, t).value();
-        assert!(leak_ratio > 10.0, "high-Vt leakage advantage {leak_ratio:.1}×");
+        assert!(
+            leak_ratio > 10.0,
+            "high-Vt leakage advantage {leak_ratio:.1}×"
+        );
         let r_ratio = hv.on_resistance(v).value() / sv.on_resistance(v).value();
         assert!(r_ratio > 2.0, "high-Vt resistance penalty {r_ratio:.1}×");
     }

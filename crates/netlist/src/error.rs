@@ -54,7 +54,12 @@ impl fmt::Display for NetlistError {
             NetlistError::UnknownCell { instance, cell } => {
                 write!(f, "instance `{instance}` references unknown cell `{cell}`")
             }
-            NetlistError::PinCountMismatch { instance, cell, expected, found } => write!(
+            NetlistError::PinCountMismatch {
+                instance,
+                cell,
+                expected,
+                found,
+            } => write!(
                 f,
                 "instance `{instance}` of `{cell}` connects {found} pins, cell has {expected}"
             ),

@@ -34,10 +34,12 @@ impl Connectivity {
         let mut num_inputs = Vec::with_capacity(nl.instances().len());
 
         for (id, inst) in nl.iter_instances() {
-            let cell = lib.cell(inst.cell()).ok_or_else(|| NetlistError::UnknownCell {
-                instance: inst.name().to_string(),
-                cell: inst.cell().to_string(),
-            })?;
+            let cell = lib
+                .cell(inst.cell())
+                .ok_or_else(|| NetlistError::UnknownCell {
+                    instance: inst.name().to_string(),
+                    cell: inst.cell().to_string(),
+                })?;
             let kind = cell.kind();
             let expected = kind.num_inputs() + kind.num_outputs();
             if inst.connections().len() != expected {
@@ -64,7 +66,11 @@ impl Connectivity {
                 }
             }
         }
-        Ok(Self { drivers, loads, num_inputs })
+        Ok(Self {
+            drivers,
+            loads,
+            num_inputs,
+        })
     }
 
     /// The pin driving `net`, or `None` for primary inputs / floating nets.

@@ -185,7 +185,11 @@ impl Netlist {
     pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
         let name = name.into();
         let net = self.add_net(name.clone());
-        self.ports.push(Port { name, direction: PortDirection::Input, net });
+        self.ports.push(Port {
+            name,
+            direction: PortDirection::Input,
+            net,
+        });
         net
     }
 
@@ -193,7 +197,11 @@ impl Netlist {
     pub fn add_output(&mut self, name: impl Into<String>) -> NetId {
         let name = name.into();
         let net = self.add_net(name.clone());
-        self.ports.push(Port { name, direction: PortDirection::Output, net });
+        self.ports.push(Port {
+            name,
+            direction: PortDirection::Output,
+            net,
+        });
         net
     }
 
@@ -361,7 +369,9 @@ impl Netlist {
                     .iter()
                     .any(|p| p.net == id && p.direction == PortDirection::Output);
             if is_read && !has_driver {
-                return Err(NetlistError::UndrivenNet { net: net.name().to_string() });
+                return Err(NetlistError::UndrivenNet {
+                    net: net.name().to_string(),
+                });
             }
         }
         Ok(())
@@ -446,7 +456,11 @@ mod tests {
         nl.add_instance("u1", "NAND2_X1", &[a, y]).unwrap();
         assert!(matches!(
             nl.validate(&lib()),
-            Err(NetlistError::PinCountMismatch { expected: 3, found: 2, .. })
+            Err(NetlistError::PinCountMismatch {
+                expected: 3,
+                found: 2,
+                ..
+            })
         ));
     }
 

@@ -130,7 +130,8 @@ mod tests {
         let y = nl.add_output("y");
         nl.add_instance("ff", "DFF_X1", &[d, clk, q]).unwrap();
         let inv = nl.add_instance("inv", "INV_X1", &[q, n1]).unwrap();
-        nl.add_instance("isol", "ISO_AND_X1", &[n1, iso, y]).unwrap();
+        nl.add_instance("isol", "ISO_AND_X1", &[n1, iso, y])
+            .unwrap();
         nl.set_domain(inv, Domain::Gated);
 
         let s = nl.stats(&lib);
@@ -146,10 +147,14 @@ mod tests {
 
     #[test]
     fn area_overhead_matches_definition() {
-        let mut a = DesignStats::default();
-        a.area = Area::from_um2(1039.0);
-        let mut b = DesignStats::default();
-        b.area = Area::from_um2(1000.0);
+        let a = DesignStats {
+            area: Area::from_um2(1039.0),
+            ..Default::default()
+        };
+        let b = DesignStats {
+            area: Area::from_um2(1000.0),
+            ..Default::default()
+        };
         let ov = a.area_overhead_vs(&b);
         assert!((ov - 0.039).abs() < 1e-12);
         assert_eq!(a.area_overhead_vs(&DesignStats::default()), 0.0);

@@ -114,7 +114,13 @@ fn emit_module(
             .zip(inst.connections())
             .map(|(pin, net)| format!(".{pin}({})", nl.net(*net).name()))
             .collect();
-        let _ = writeln!(out, "  {} {} ({});", inst.cell(), inst.name(), conns.join(", "));
+        let _ = writeln!(
+            out,
+            "  {} {} ({});",
+            inst.cell(),
+            inst.name(),
+            conns.join(", ")
+        );
     }
     let _ = writeln!(out, "endmodule");
     Ok(out)
@@ -185,9 +191,7 @@ pub fn parse_verilog(text: &str, lib: &Library) -> Result<Netlist, NetlistError>
                     .ok_or_else(|| err("expected named connection `.PIN(net)`"))?;
                 let p_open = item.find('(').ok_or_else(|| err("expected `(` in pin"))?;
                 let pin_name = item[..p_open].trim();
-                let net_name = item[p_open + 1..]
-                    .trim_end_matches(')')
-                    .trim();
+                let net_name = item[p_open + 1..].trim_end_matches(')').trim();
                 let pos = pins
                     .iter()
                     .position(|p| *p == pin_name)
@@ -199,7 +203,10 @@ pub fn parse_verilog(text: &str, lib: &Library) -> Result<Netlist, NetlistError>
             nl_ref.add_instance(inst_name, cell, &conns)?;
         }
     }
-    nl.ok_or(NetlistError::Parse { line: 0, message: "no module found".to_string() })
+    nl.ok_or(NetlistError::Parse {
+        line: 0,
+        message: "no module found".to_string(),
+    })
 }
 
 #[cfg(test)]

@@ -62,13 +62,14 @@ impl<'a> PowerAnalyzer<'a> {
     ///
     /// Returns a [`NetlistError`] if the netlist does not resolve against
     /// the library.
-    pub fn new(
-        nl: &'a Netlist,
-        lib: &'a Library,
-        corner: PvtCorner,
-    ) -> Result<Self, NetlistError> {
+    pub fn new(nl: &'a Netlist, lib: &'a Library, corner: PvtCorner) -> Result<Self, NetlistError> {
         let conn = nl.connectivity(lib)?;
-        Ok(Self { nl, lib, corner, conn })
+        Ok(Self {
+            nl,
+            lib,
+            corner,
+            conn,
+        })
     }
 
     /// The operating corner in use.
@@ -105,7 +106,11 @@ impl<'a> PowerAnalyzer<'a> {
         } else {
             Power::ZERO
         };
-        DynamicReport { energy, duration, power }
+        DynamicReport {
+            energy,
+            duration,
+            power,
+        }
     }
 
     fn net_load(&self, net: NetId) -> scpg_units::Capacitance {
@@ -204,7 +209,8 @@ mod tests {
             } else {
                 nl.add_fresh_net()
             };
-            nl.add_instance(format!("u{i}"), "INV_X1", &[cur, next]).unwrap();
+            nl.add_instance(format!("u{i}"), "INV_X1", &[cur, next])
+                .unwrap();
             cur = next;
         }
         nl
@@ -216,8 +222,12 @@ mod tests {
         let corner = PvtCorner::default();
         let small = inv_chain(10);
         let big = inv_chain(100);
-        let l_small = PowerAnalyzer::new(&small, &lib, corner).unwrap().leakage(None);
-        let l_big = PowerAnalyzer::new(&big, &lib, corner).unwrap().leakage(None);
+        let l_small = PowerAnalyzer::new(&small, &lib, corner)
+            .unwrap()
+            .leakage(None);
+        let l_big = PowerAnalyzer::new(&big, &lib, corner)
+            .unwrap()
+            .leakage(None);
         let ratio = l_big.total / l_small.total;
         assert!((ratio - 10.0).abs() < 0.01, "ratio {ratio}");
     }
@@ -254,7 +264,9 @@ mod tests {
             sim.run_until_quiet(1_000_000 * (i + 2));
         }
         let res = sim.finish();
-        let rep = PowerAnalyzer::new(&nl, &lib, corner).unwrap().dynamic(&res.activity);
+        let rep = PowerAnalyzer::new(&nl, &lib, corner)
+            .unwrap()
+            .dynamic(&res.activity);
         assert!(rep.energy.as_fj() > 0.0);
         // 10 toggles × 9 nets × ~10 fJ ≈ 1 pJ, within a factor of a few.
         assert!(

@@ -70,9 +70,15 @@ impl SubthresholdCurve {
     /// characterisation voltage (obtain it by simulating a workload at
     /// 0.6 V and asking [`crate::DynamicReport::energy_per_cycle`]).
     ///
+    /// Supply points are independent, so the sweep fans out across the
+    /// [`scpg_exec`] pool (voltage order in the result is preserved);
+    /// inside an outer parallel region — e.g. a Monte-Carlo die — it
+    /// degrades to a serial loop.
+    ///
     /// # Errors
     ///
-    /// Returns an [`StaError`] if timing analysis fails at any supply.
+    /// Returns an [`StaError`] if timing analysis fails at any supply
+    /// (lowest-voltage failure wins).
     pub fn sweep(
         nl: &Netlist,
         lib: &Library,
@@ -80,23 +86,22 @@ impl SubthresholdCurve {
         voltages: &[Voltage],
     ) -> Result<Self, StaError> {
         let v_char = lib.char_voltage();
-        let mut points = Vec::with_capacity(voltages.len());
-        for &v in voltages {
+        let points = scpg_exec::par_try_map(voltages, |_, &v| {
             let report = scpg_sta::analyze(nl, lib, v)?;
-            let analyzer = PowerAnalyzer::new(nl, lib, PvtCorner::at_voltage(v))
-                .map_err(StaError::from)?;
+            let analyzer =
+                PowerAnalyzer::new(nl, lib, PvtCorner::at_voltage(v)).map_err(StaError::from)?;
             let p_leak = analyzer.leakage(None).total;
             let vr = v.as_v() / v_char.as_v();
             let e_dynamic = Energy::new(e_dyn_char.value() * vr * vr);
             let f_max = report.f_max();
-            points.push(SubthresholdPoint {
+            Ok::<_, StaError>(SubthresholdPoint {
                 voltage: v,
                 f_max,
                 p_leak,
                 e_dynamic,
                 e_leak: p_leak / f_max,
-            });
-        }
+            })
+        })?;
         Ok(Self { points })
     }
 
@@ -144,7 +149,8 @@ mod tests {
             } else {
                 nl.add_fresh_net()
             };
-            nl.add_instance(format!("u{i}"), "INV_X1", &[cur, next]).unwrap();
+            nl.add_instance(format!("u{i}"), "INV_X1", &[cur, next])
+                .unwrap();
             cur = next;
         }
         nl
@@ -169,8 +175,14 @@ mod tests {
         let min = curve.minimum().unwrap();
         let first = curve.points().first().unwrap();
         let last = curve.points().last().unwrap();
-        assert!(first.e_op().value() > min.energy.value() * 1.15, "left arm rises");
-        assert!(last.e_op().value() > min.energy.value() * 1.1, "right arm rises");
+        assert!(
+            first.e_op().value() > min.energy.value() * 1.15,
+            "left arm rises"
+        );
+        assert!(
+            last.e_op().value() > min.energy.value() * 1.1,
+            "right arm rises"
+        );
         // Minimum is interior.
         assert!(min.voltage.as_mv() > 160.0 && min.voltage.as_mv() < 880.0);
     }
@@ -193,8 +205,14 @@ mod tests {
         let curve = sweep_for(32, 0.012);
         let pts = curve.points();
         for w in pts.windows(2) {
-            assert!(w[1].e_dynamic.value() > w[0].e_dynamic.value(), "dynamic rises with V");
-            assert!(w[1].f_max.value() > w[0].f_max.value(), "speed rises with V");
+            assert!(
+                w[1].e_dynamic.value() > w[0].e_dynamic.value(),
+                "dynamic rises with V"
+            );
+            assert!(
+                w[1].f_max.value() > w[0].f_max.value(),
+                "speed rises with V"
+            );
         }
         // Leakage energy per op falls with V (delay shrinks faster than
         // leakage rises) through the sub/near-threshold region.

@@ -22,9 +22,6 @@
 //! complaint is about performance and design-point uncertainty, not
 //! energy.)
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
 use scpg_liberty::{Library, PvtCorner};
 use scpg_netlist::Netlist;
 use scpg_sta::StaError;
@@ -82,13 +79,6 @@ pub struct VariationStudy {
     pub samples: Vec<VariationSample>,
 }
 
-fn gaussian(rng: &mut StdRng) -> f64 {
-    // Box–Muller from two uniforms.
-    let u1 = rng.random::<f64>().max(1e-12);
-    let u2 = rng.random::<f64>();
-    (-2.0_f64 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
-
 fn cv(values: impl Iterator<Item = f64> + Clone) -> f64 {
     let n = values.clone().count().max(1) as f64;
     let mean = values.clone().sum::<f64>() / n;
@@ -97,16 +87,54 @@ fn cv(values: impl Iterator<Item = f64> + Clone) -> f64 {
 }
 
 impl VariationStudy {
-    /// Runs the Monte-Carlo comparison for a design.
+    /// Runs the Monte-Carlo comparison for a design, evaluating dies in
+    /// parallel.
+    ///
+    /// Each die draws its threshold shift from its own counter-based RNG
+    /// stream ([`scpg_rng::StdRng::stream`] of `config.seed` and the die
+    /// index), so the result is **bit-identical** for any worker count —
+    /// including [`Self::run_serial`] — and per-die work can be scheduled
+    /// freely.
     ///
     /// # Errors
     ///
-    /// Propagates timing/netlist errors from the per-die sweeps.
+    /// Propagates timing/netlist errors from the per-die sweeps (lowest
+    /// die index wins when several fail).
     pub fn run(
         nl: &Netlist,
         lib: &Library,
         e_dyn_char: Energy,
         config: &VariationConfig,
+    ) -> Result<Self, StaError> {
+        Self::run_with_threads(nl, lib, e_dyn_char, config, scpg_exec::num_threads())
+    }
+
+    /// [`Self::run`] pinned to one worker — the baseline the speedup and
+    /// determinism harnesses compare against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing/netlist errors from the per-die sweeps.
+    pub fn run_serial(
+        nl: &Netlist,
+        lib: &Library,
+        e_dyn_char: Energy,
+        config: &VariationConfig,
+    ) -> Result<Self, StaError> {
+        Self::run_with_threads(nl, lib, e_dyn_char, config, 1)
+    }
+
+    /// [`Self::run`] at an explicit worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing/netlist errors from the per-die sweeps.
+    pub fn run_with_threads(
+        nl: &Netlist,
+        lib: &Library,
+        e_dyn_char: Energy,
+        config: &VariationConfig,
+        threads: usize,
     ) -> Result<Self, StaError> {
         let volts: Vec<Voltage> = scpg_units::linspace(0.18, 0.9, 97)
             .into_iter()
@@ -116,34 +144,53 @@ impl VariationStudy {
         let v_min = nominal.minimum().expect("non-empty sweep").voltage;
         let v_char = lib.char_voltage();
 
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let results = scpg_exec::par_map_indices_with_threads(config.samples, threads, |die| {
+            let mut rng = scpg_rng::StdRng::stream(config.seed, die as u64);
+            let dvt = Voltage::new(config.sigma_vt.value() * rng.gaussian());
+            Self::simulate_die(nl, lib, e_dyn_char, &volts, v_min, v_char, dvt)
+        });
         let mut samples = Vec::with_capacity(config.samples);
-        for _ in 0..config.samples {
-            let dvt = Voltage::new(config.sigma_vt.value() * gaussian(&mut rng));
-            let die = lib.vt_shifted(dvt);
-
-            let f_sub = scpg_sta::f_max(nl, &die, v_min)?;
-            let f_at = scpg_sta::f_max(nl, &die, v_char)?;
-
-            let p_leak_sub = PowerAnalyzer::new(nl, &die, PvtCorner::at_voltage(v_min))?
-                .leakage(None)
-                .total;
-            let vr = v_min.as_v() / v_char.as_v();
-            let e_dyn_sub = Energy::new(e_dyn_char.value() * vr * vr);
-            let e_sub = e_dyn_sub + p_leak_sub / f_sub;
-
-            let die_curve = SubthresholdCurve::sweep(nl, &die, e_dyn_char, &volts)?;
-            let v_min_die = die_curve.minimum().expect("non-empty").voltage;
-
-            samples.push(VariationSample {
-                dvt,
-                f_subthreshold: f_sub,
-                f_above_threshold: f_at,
-                e_subthreshold: e_sub,
-                v_min_of_die: v_min_die,
-            });
+        for r in results {
+            samples.push(r?);
         }
-        Ok(Self { v_min_nominal: v_min, samples })
+        Ok(Self {
+            v_min_nominal: v_min,
+            samples,
+        })
+    }
+
+    /// One die's full evaluation at threshold shift `dvt`.
+    fn simulate_die(
+        nl: &Netlist,
+        lib: &Library,
+        e_dyn_char: Energy,
+        volts: &[Voltage],
+        v_min: Voltage,
+        v_char: Voltage,
+        dvt: Voltage,
+    ) -> Result<VariationSample, StaError> {
+        let die = lib.vt_shifted(dvt);
+
+        let f_sub = scpg_sta::f_max(nl, &die, v_min)?;
+        let f_at = scpg_sta::f_max(nl, &die, v_char)?;
+
+        let p_leak_sub = PowerAnalyzer::new(nl, &die, PvtCorner::at_voltage(v_min))?
+            .leakage(None)
+            .total;
+        let vr = v_min.as_v() / v_char.as_v();
+        let e_dyn_sub = Energy::new(e_dyn_char.value() * vr * vr);
+        let e_sub = e_dyn_sub + p_leak_sub / f_sub;
+
+        let die_curve = SubthresholdCurve::sweep(nl, &die, e_dyn_char, volts)?;
+        let v_min_die = die_curve.minimum().expect("non-empty").voltage;
+
+        Ok(VariationSample {
+            dvt,
+            f_subthreshold: f_sub,
+            f_above_threshold: f_at,
+            e_subthreshold: e_sub,
+            v_min_of_die: v_min_die,
+        })
     }
 
     /// Coefficient of variation of the die frequency at the sub-threshold
@@ -210,8 +257,13 @@ mod tests {
         let mut nl = Netlist::new("chain");
         let mut cur = nl.add_input("a");
         for i in 0..n {
-            let next = if i + 1 == n { nl.add_output("y") } else { nl.add_fresh_net() };
-            nl.add_instance(format!("u{i}"), "INV_X1", &[cur, next]).unwrap();
+            let next = if i + 1 == n {
+                nl.add_output("y")
+            } else {
+                nl.add_fresh_net()
+            };
+            nl.add_instance(format!("u{i}"), "INV_X1", &[cur, next])
+                .unwrap();
             cur = next;
         }
         nl
@@ -224,8 +276,12 @@ mod tests {
         let slow = lib.vt_shifted(Voltage::from_mv(40.0));
         let nl = chain(16);
         let corner = PvtCorner::default();
-        let leak_fast = PowerAnalyzer::new(&nl, &fast, corner).unwrap().leakage(None);
-        let leak_slow = PowerAnalyzer::new(&nl, &slow, corner).unwrap().leakage(None);
+        let leak_fast = PowerAnalyzer::new(&nl, &fast, corner)
+            .unwrap()
+            .leakage(None);
+        let leak_slow = PowerAnalyzer::new(&nl, &slow, corner)
+            .unwrap()
+            .leakage(None);
         assert!(
             leak_fast.total.value() > 1.5 * leak_slow.total.value(),
             "{} vs {}",
@@ -241,9 +297,11 @@ mod tests {
     fn subthreshold_performance_is_far_more_variation_sensitive() {
         let lib = Library::ninety_nm();
         let nl = chain(32);
-        let cfg = VariationConfig { samples: 24, ..Default::default() };
-        let study =
-            VariationStudy::run(&nl, &lib, Energy::from_fj(12.0), &cfg).unwrap();
+        let cfg = VariationConfig {
+            samples: 24,
+            ..Default::default()
+        };
+        let study = VariationStudy::run(&nl, &lib, Energy::from_fj(12.0), &cfg).unwrap();
         let cv_sub = study.cv_f_subthreshold();
         let cv_at = study.cv_f_above_threshold();
         assert!(
@@ -270,9 +328,31 @@ mod tests {
     fn study_is_reproducible() {
         let lib = Library::ninety_nm();
         let nl = chain(8);
-        let cfg = VariationConfig { samples: 6, ..Default::default() };
+        let cfg = VariationConfig {
+            samples: 6,
+            ..Default::default()
+        };
         let a = VariationStudy::run(&nl, &lib, Energy::from_fj(4.0), &cfg).unwrap();
         let b = VariationStudy::run(&nl, &lib, Energy::from_fj(4.0), &cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_study_is_bit_identical_to_serial() {
+        let lib = Library::ninety_nm();
+        let nl = chain(8);
+        let cfg = VariationConfig {
+            samples: 9,
+            ..Default::default()
+        };
+        let serial = VariationStudy::run_serial(&nl, &lib, Energy::from_fj(4.0), &cfg).unwrap();
+        // More workers than dies, odd counts, oversubscribed counts: the
+        // per-die RNG streams make scheduling irrelevant.
+        for threads in [2, 3, 16] {
+            let par =
+                VariationStudy::run_with_threads(&nl, &lib, Energy::from_fj(4.0), &cfg, threads)
+                    .unwrap();
+            assert_eq!(serial, par, "threads = {threads}");
+        }
     }
 }

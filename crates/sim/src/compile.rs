@@ -1,0 +1,224 @@
+//! Netlist compilation: the simulator's cache-friendly data layout.
+//!
+//! [`CompiledNetlist`] flattens everything the event loop touches into
+//! CSR-style contiguous arrays indexed by offset tables — cell input and
+//! output pins, per-output delays and per-net fanout (reader) lists — so
+//! the hot path walks plain `u32`/`u64` slices instead of chasing
+//! `Vec<Vec<_>>` pointers. Compilation (connectivity resolution, load
+//! extraction, delay evaluation) runs once per `(netlist, library,
+//! corner)` and the result is immutable and `Sync`: frequency sweeps,
+//! Monte-Carlo dies at a shared corner and parallel vector-group replays
+//! all share one compiled image instead of recompiling per run.
+
+use std::collections::HashMap;
+
+use scpg_liberty::{CellKind, Library, PvtCorner};
+use scpg_netlist::{Domain, NetId, Netlist, NetlistError};
+
+/// An immutable, simulation-ready compilation of one netlist against one
+/// library at one PVT corner.
+#[derive(Debug, Clone)]
+pub struct CompiledNetlist {
+    pub(crate) design_name: String,
+    pub(crate) net_names: Vec<String>,
+    pub(crate) net_by_name: HashMap<String, u32>,
+    pub(crate) corner: PvtCorner,
+
+    /// Per-cell kind, parallel to the offset tables below.
+    pub(crate) kinds: Vec<CellKind>,
+    /// Per-cell: does the cell sit in the gated power domain?
+    pub(crate) gated: Vec<bool>,
+
+    /// CSR offsets into `in_nets`; length `num_cells + 1`.
+    pub(crate) in_off: Vec<u32>,
+    pub(crate) in_nets: Vec<u32>,
+    /// CSR offsets into `out_nets` / `out_delays`; length `num_cells + 1`.
+    pub(crate) out_off: Vec<u32>,
+    pub(crate) out_nets: Vec<u32>,
+    /// Per-output propagation delay in ps, parallel to `out_nets`.
+    pub(crate) out_delays: Vec<u64>,
+
+    /// CSR offsets into `reader_cells`; length `num_nets + 1`.
+    pub(crate) reader_off: Vec<u32>,
+    pub(crate) reader_cells: Vec<u32>,
+
+    /// Per-net: is the net a header-driven virtual rail?
+    pub(crate) rail_nets: Vec<bool>,
+    /// Indices of all cells in the gated domain (corrupt/re-evaluate set).
+    pub(crate) gated_cells: Vec<u32>,
+    /// Zero-input combinational cells (ties) evaluated once at t = 0.
+    pub(crate) tie_cells: Vec<u32>,
+}
+
+impl CompiledNetlist {
+    /// Compiles `nl` against `lib`, evaluating every propagation delay at
+    /// `corner`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] if the netlist does not resolve against
+    /// the library.
+    pub fn compile(nl: &Netlist, lib: &Library, corner: PvtCorner) -> Result<Self, NetlistError> {
+        let conn = nl.connectivity(lib)?;
+        let num_cells = nl.instances().len();
+        let num_nets = nl.nets().len();
+
+        let mut kinds = Vec::with_capacity(num_cells);
+        let mut gated = Vec::with_capacity(num_cells);
+        let mut in_off = Vec::with_capacity(num_cells + 1);
+        let mut in_nets = Vec::new();
+        let mut out_off = Vec::with_capacity(num_cells + 1);
+        let mut out_nets = Vec::new();
+        let mut out_delays = Vec::new();
+        let mut reader_counts = vec![0u32; num_nets];
+        let mut gated_cells = Vec::new();
+        let mut tie_cells = Vec::new();
+
+        in_off.push(0);
+        out_off.push(0);
+        for (idx, (_, inst)) in nl.iter_instances().enumerate() {
+            let cell = lib.expect_cell(inst.cell());
+            let kind = cell.kind();
+            let n_in = kind.num_inputs();
+            debug_assert!(n_in <= MAX_INPUTS, "{kind:?} has {n_in} inputs");
+            let conns = inst.connections();
+            for &i in &conns[..n_in] {
+                in_nets.push(i.index() as u32);
+                reader_counts[i.index()] += 1;
+            }
+            in_off.push(in_nets.len() as u32);
+            for &out in &conns[n_in..] {
+                // Per-output load = wire + fan-in caps of reading pins.
+                let mut load = lib.wire_cap();
+                for pin in conn.loads(out) {
+                    let reader = nl.instance(pin.inst);
+                    load += lib.expect_cell(reader.cell()).input_cap();
+                }
+                let d = cell.delay(corner.voltage, load);
+                out_nets.push(out.index() as u32);
+                out_delays.push((d.as_ps().round() as u64).max(1));
+            }
+            out_off.push(out_nets.len() as u32);
+
+            let is_gated = inst.domain() == Domain::Gated;
+            if is_gated {
+                gated_cells.push(idx as u32);
+            }
+            if n_in == 0 && kind.is_combinational() {
+                tie_cells.push(idx as u32);
+            }
+            kinds.push(kind);
+            gated.push(is_gated);
+        }
+
+        // Reader CSR: prefix-sum the counts, then scatter.
+        let mut reader_off = Vec::with_capacity(num_nets + 1);
+        reader_off.push(0u32);
+        for &c in &reader_counts {
+            reader_off.push(reader_off.last().unwrap() + c);
+        }
+        let mut cursor: Vec<u32> = reader_off[..num_nets].to_vec();
+        let mut reader_cells = vec![0u32; *reader_off.last().unwrap() as usize];
+        for cell in 0..num_cells {
+            let (s, e) = (in_off[cell] as usize, in_off[cell + 1] as usize);
+            for &net in &in_nets[s..e] {
+                let slot = cursor[net as usize];
+                reader_cells[slot as usize] = cell as u32;
+                cursor[net as usize] += 1;
+            }
+        }
+
+        let mut rail_nets = vec![false; num_nets];
+        for cell in 0..num_cells {
+            if kinds[cell] == CellKind::Header {
+                rail_nets[out_nets[out_off[cell] as usize] as usize] = true;
+            }
+        }
+
+        let net_names: Vec<String> = nl.nets().iter().map(|n| n.name().to_string()).collect();
+        let net_by_name = net_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+
+        Ok(Self {
+            design_name: nl.name().to_string(),
+            net_names,
+            net_by_name,
+            corner,
+            kinds,
+            gated,
+            in_off,
+            in_nets,
+            out_off,
+            out_nets,
+            out_delays,
+            reader_off,
+            reader_cells,
+            rail_nets,
+            gated_cells,
+            tie_cells,
+        })
+    }
+
+    /// Number of nets in the compiled design.
+    pub fn num_nets(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of cell instances in the compiled design.
+    pub fn num_cells(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The corner whose voltage the delays were evaluated at.
+    pub fn corner(&self) -> PvtCorner {
+        self.corner
+    }
+
+    /// The compiled design's name.
+    pub fn design_name(&self) -> &str {
+        &self.design_name
+    }
+
+    /// Looks a net up by name.
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.net_by_name
+            .get(name)
+            .map(|&i| NetId::from_index(i as usize))
+    }
+
+    /// Input nets of a cell.
+    #[inline]
+    pub(crate) fn inputs(&self, cell: usize) -> &[u32] {
+        &self.in_nets[self.in_off[cell] as usize..self.in_off[cell + 1] as usize]
+    }
+
+    /// Output nets of a cell.
+    #[inline]
+    pub(crate) fn outputs(&self, cell: usize) -> &[u32] {
+        &self.out_nets[self.out_off[cell] as usize..self.out_off[cell + 1] as usize]
+    }
+
+    /// Per-output delays of a cell (parallel to [`Self::outputs`]).
+    #[inline]
+    pub(crate) fn delays(&self, cell: usize) -> &[u64] {
+        &self.out_delays[self.out_off[cell] as usize..self.out_off[cell + 1] as usize]
+    }
+
+    /// Cells reading a net.
+    #[inline]
+    pub(crate) fn readers(&self, net: usize) -> (usize, usize) {
+        (
+            self.reader_off[net] as usize,
+            self.reader_off[net + 1] as usize,
+        )
+    }
+}
+
+/// The kit's widest cell (NAND4) has four inputs; stack buffers in the
+/// engine are sized accordingly.
+pub(crate) const MAX_INPUTS: usize = 4;
+/// Cells drive at most two outputs (adders: sum + carry).
+pub(crate) const MAX_OUTPUTS: usize = 2;

@@ -1,11 +1,18 @@
 //! The event queue and evaluation engine.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! The hot path works exclusively on the flat arrays of a
+//! [`CompiledNetlist`] (see [`crate::compile`]) and an indexed
+//! [`TimeWheel`](crate::wheel) event queue. Compilation is separable from
+//! simulation: [`Simulator::new`] compiles and owns, while
+//! [`Simulator::with_compiled`] borrows a shared, pre-compiled image so
+//! frequency sweeps and parallel vector-group replays skip recompilation.
 
 use scpg_liberty::{CellKind, Library, Logic, PvtCorner, SequentialKind};
-use scpg_netlist::{Domain, NetId, Netlist, NetlistError};
+use scpg_netlist::{NetId, Netlist, NetlistError};
 use scpg_waveform::{Activity, ActivityBuilder, VcdWriter};
+
+use crate::compile::{CompiledNetlist, MAX_INPUTS, MAX_OUTPUTS};
+use crate::wheel::{Event, TimeWheel};
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -50,25 +57,7 @@ pub struct SimResult {
     pub end_ps: u64,
 }
 
-#[derive(Debug, Clone)]
-struct CompiledCell {
-    kind: CellKind,
-    domain: Domain,
-    inputs: Vec<NetId>,
-    outputs: Vec<NetId>,
-    /// Per-output propagation delay in ps.
-    delays: Vec<u64>,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Event {
-    time: u64,
-    seq: u64,
-    net: u32,
-    value_tag: u8,
-}
-
-fn tag_of(v: Logic) -> u8 {
+pub(crate) fn tag_of(v: Logic) -> u8 {
     match v {
         Logic::Zero => 0,
         Logic::One => 1,
@@ -77,7 +66,7 @@ fn tag_of(v: Logic) -> u8 {
     }
 }
 
-fn untag(t: u8) -> Logic {
+pub(crate) fn untag(t: u8) -> Logic {
     match t {
         0 => Logic::Zero,
         1 => Logic::One,
@@ -86,25 +75,29 @@ fn untag(t: u8) -> Logic {
     }
 }
 
-/// An event-driven simulator bound to one netlist and library.
+/// Owned-or-borrowed compiled netlist, so `Simulator::new` keeps its old
+/// self-contained signature while sweeps share one compilation.
+#[derive(Debug)]
+enum Compiled<'a> {
+    Owned(Box<CompiledNetlist>),
+    Shared(&'a CompiledNetlist),
+}
+
+/// An event-driven simulator bound to one compiled netlist.
 #[derive(Debug)]
 pub struct Simulator<'a> {
-    nl: &'a Netlist,
-    cells: Vec<CompiledCell>,
-    /// For each net: indices of cells reading it.
-    readers: Vec<Vec<u32>>,
+    compiled: Compiled<'a>,
     values: Vec<Logic>,
     flop_state: Vec<Logic>,
     /// Inertial-delay bookkeeping: only the most recently scheduled event
     /// per net is allowed to fire, so pulses shorter than the driving
     /// cell's delay are filtered exactly as a real gate filters them.
     latest_event: Vec<u64>,
-    queue: BinaryHeap<Reverse<Event>>,
+    wheel: TimeWheel,
     seq: u64,
     time: u64,
     rail_up: bool,
-    /// Nets driven by header cells (virtual rails).
-    rail_nets: Vec<bool>,
+    events_processed: u64,
     activity: ActivityBuilder,
     vcd: Option<VcdWriter>,
     config: SimConfig,
@@ -113,73 +106,70 @@ pub struct Simulator<'a> {
 impl<'a> Simulator<'a> {
     /// Compiles `nl` against `lib` and prepares an all-`X` initial state.
     ///
+    /// Delays are evaluated at `config.corner`. When running many
+    /// simulations of the same netlist at one corner, compile once with
+    /// [`CompiledNetlist::compile`] and use [`Simulator::with_compiled`]
+    /// instead.
+    ///
     /// # Errors
     ///
     /// Returns a [`NetlistError`] if the netlist does not resolve against
     /// the library.
     pub fn new(nl: &'a Netlist, lib: &Library, config: SimConfig) -> Result<Self, NetlistError> {
-        let conn = nl.connectivity(lib)?;
-        let mut cells = Vec::with_capacity(nl.instances().len());
-        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); nl.nets().len()];
+        let compiled = CompiledNetlist::compile(nl, lib, config.corner)?;
+        Ok(Self::build(Compiled::Owned(Box::new(compiled)), config))
+    }
 
-        for (idx, (_, inst)) in nl.iter_instances().enumerate() {
-            let cell = lib.expect_cell(inst.cell());
-            let kind = cell.kind();
-            let n_in = kind.num_inputs();
-            let inputs = inst.connections()[..n_in].to_vec();
-            let outputs = inst.connections()[n_in..].to_vec();
-            // Per-output load = wire + fan-in caps of reading pins.
-            let delays = outputs
-                .iter()
-                .map(|&out| {
-                    let mut load = lib.wire_cap();
-                    for pin in conn.loads(out) {
-                        let reader = nl.instance(pin.inst);
-                        load += lib.expect_cell(reader.cell()).input_cap();
-                    }
-                    let d = cell.delay(config.corner.voltage, load);
-                    (d.as_ps().round() as u64).max(1)
-                })
-                .collect();
-            for &i in &inputs {
-                readers[i.index()].push(idx as u32);
-            }
-            cells.push(CompiledCell { kind, domain: inst.domain(), inputs, outputs, delays });
-        }
+    /// Binds a fresh all-`X` simulation state to a shared pre-compiled
+    /// netlist, skipping connectivity resolution and delay evaluation.
+    ///
+    /// `config.corner` is ignored for delays — they were baked in at
+    /// compile time from [`CompiledNetlist::corner`].
+    pub fn with_compiled(compiled: &'a CompiledNetlist, config: SimConfig) -> Self {
+        Self::build(Compiled::Shared(compiled), config)
+    }
 
-        let names: Vec<&str> = nl.nets().iter().map(|n| n.name()).collect();
-        let vcd = config.vcd.then(|| VcdWriter::new(nl.name(), &names));
-
-        let mut rail_nets = vec![false; nl.nets().len()];
-        for c in &cells {
-            if c.kind == CellKind::Header {
-                rail_nets[c.outputs[0].index()] = true;
-            }
-        }
-
+    fn build(compiled: Compiled<'a>, config: SimConfig) -> Self {
+        let c = match &compiled {
+            Compiled::Owned(b) => &**b,
+            Compiled::Shared(r) => *r,
+        };
+        let num_nets = c.num_nets();
+        let num_cells = c.num_cells();
+        let vcd = config.vcd.then(|| {
+            let names: Vec<&str> = c.net_names.iter().map(String::as_str).collect();
+            VcdWriter::new(&c.design_name, &names)
+        });
+        let activity = ActivityBuilder::new(num_nets, config.window_ps);
         let mut sim = Self {
-            nl,
-            cells,
-            readers,
-            values: vec![Logic::X; nl.nets().len()],
-            flop_state: vec![Logic::X; nl.instances().len()],
-            latest_event: vec![0; nl.nets().len()],
-            queue: BinaryHeap::new(),
+            compiled,
+            values: vec![Logic::X; num_nets],
+            flop_state: vec![Logic::X; num_cells],
+            latest_event: vec![0; num_nets],
+            wheel: TimeWheel::new(),
             seq: 0,
             time: 0,
             rail_up: true,
-            rail_nets,
-            activity: ActivityBuilder::new(nl.nets().len(), config.window_ps),
+            events_processed: 0,
+            activity,
             vcd,
             config,
         };
         // Ties and other zero-input cells drive their constants at t=0.
-        for idx in 0..sim.cells.len() {
-            if sim.cells[idx].inputs.is_empty() && sim.cells[idx].kind.is_combinational() {
-                sim.evaluate_cell(idx);
-            }
+        for k in 0..sim.c().tie_cells.len() {
+            let idx = sim.c().tie_cells[k] as usize;
+            sim.evaluate_cell(idx);
         }
-        Ok(sim)
+        sim
+    }
+
+    /// The compiled netlist driving this simulation.
+    #[inline]
+    fn c(&self) -> &CompiledNetlist {
+        match &self.compiled {
+            Compiled::Owned(b) => b,
+            Compiled::Shared(r) => r,
+        }
     }
 
     /// Current simulation time in picoseconds.
@@ -192,6 +182,11 @@ impl<'a> Simulator<'a> {
         self.rail_up
     }
 
+    /// Total events applied so far (the engine-throughput denominator).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// The current value of a net.
     pub fn value(&self, net: NetId) -> Logic {
         self.values[net.index()]
@@ -199,7 +194,7 @@ impl<'a> Simulator<'a> {
 
     /// Drives a primary input at the current time.
     pub fn set_input(&mut self, net: NetId, value: Logic) {
-        self.schedule(self.time, net, value);
+        self.schedule(self.time, net.index() as u32, value);
     }
 
     /// Drives a primary input looked up by name.
@@ -209,42 +204,39 @@ impl<'a> Simulator<'a> {
     /// Panics if no net has this name.
     pub fn set_input_by_name(&mut self, name: &str, value: Logic) {
         let net = self
-            .nl
+            .c()
             .net_by_name(name)
             .unwrap_or_else(|| panic!("no net named `{name}`"));
         self.set_input(net, value);
     }
 
-    fn schedule(&mut self, time: u64, net: NetId, value: Logic) {
+    fn schedule(&mut self, time: u64, net: u32, value: Logic) {
         self.seq += 1;
-        self.latest_event[net.index()] = self.seq;
-        self.queue.push(Reverse(Event {
+        self.latest_event[net as usize] = self.seq;
+        self.wheel.push(Event {
             time,
             seq: self.seq,
-            net: net.index() as u32,
+            net,
             value_tag: tag_of(value),
-        }));
+        });
     }
 
     /// Runs until the queue is empty or `deadline_ps` is reached, whichever
     /// comes first. Returns the number of processed events.
     pub fn run_until(&mut self, deadline_ps: u64) -> u64 {
         let mut processed = 0;
-        while let Some(Reverse(ev)) = self.queue.peek().copied() {
-            if ev.time > deadline_ps {
-                break;
-            }
-            self.queue.pop();
+        while let Some(ev) = self.wheel.pop_le(deadline_ps) {
             // Inertial filtering: a newer scheduled value for this net
             // supersedes (and swallows) this one.
             if self.latest_event[ev.net as usize] != ev.seq {
                 continue;
             }
             self.time = ev.time;
-            self.apply(NetId::from_index(ev.net as usize), untag(ev.value_tag));
+            self.apply(ev.net, untag(ev.value_tag));
             processed += 1;
         }
         self.time = self.time.max(deadline_ps);
+        self.events_processed += processed;
         processed
     }
 
@@ -252,11 +244,11 @@ impl<'a> Simulator<'a> {
     /// the design settled (queue drained) before the horizon.
     pub fn run_until_quiet(&mut self, max_ps: u64) -> bool {
         self.run_until(max_ps);
-        self.queue.is_empty()
+        self.wheel.is_empty()
     }
 
-    fn apply(&mut self, net: NetId, value: Logic) {
-        let idx = net.index();
+    fn apply(&mut self, net: u32, value: Logic) {
+        let idx = net as usize;
         let old = self.values[idx];
         if old == value {
             return;
@@ -267,7 +259,7 @@ impl<'a> Simulator<'a> {
             v.change(self.time, idx, value);
         }
         // A virtual-rail transition switches the whole gated domain.
-        if self.rail_nets[idx] {
+        if self.c().rail_nets[idx] {
             if value == Logic::One {
                 self.rail_up = true;
                 self.reevaluate_gated_domain();
@@ -276,51 +268,51 @@ impl<'a> Simulator<'a> {
                 self.corrupt_gated_domain();
             }
         }
-        // Notify readers.
-        let readers = self.readers[idx].clone();
-        for cell_idx in readers {
-            self.on_input_change(cell_idx as usize, net, old, value);
+        // Notify readers straight out of the CSR arrays — no fanout-list
+        // clone on the hot path.
+        let (start, end) = self.c().readers(idx);
+        for r in start..end {
+            let cell = self.c().reader_cells[r] as usize;
+            self.on_input_change(cell, net, old, value);
         }
     }
 
-    fn input_values(&self, idx: usize) -> Vec<Logic> {
-        self.cells[idx]
-            .inputs
-            .iter()
-            .map(|n| self.values[n.index()])
-            .collect()
-    }
-
-    fn on_input_change(&mut self, idx: usize, net: NetId, old: Logic, new: Logic) {
-        let kind = self.cells[idx].kind;
+    fn on_input_change(&mut self, idx: usize, net: u32, old: Logic, new: Logic) {
+        let kind = self.c().kinds[idx];
         match kind.sequential() {
             Some(SequentialKind::DffRising) => {
                 // Pins: D, CK.
-                if self.cells[idx].inputs[1] == net && old != Logic::One && new == Logic::One {
-                    let d = self.values[self.cells[idx].inputs[0].index()];
+                let ins = self.c().inputs(idx);
+                let (d_net, ck_net) = (ins[0], ins[1]);
+                if ck_net == net && old != Logic::One && new == Logic::One {
+                    let d = self.values[d_net as usize];
                     self.update_flop(idx, d);
                 }
             }
             Some(SequentialKind::DffRisingResetN) => {
                 // Pins: D, CK, RN.
-                let rn = self.values[self.cells[idx].inputs[2].index()];
-                if self.cells[idx].inputs[2] == net && new == Logic::Zero {
+                let ins = self.c().inputs(idx);
+                let (d_net, ck_net, rn_net) = (ins[0], ins[1], ins[2]);
+                let rn = self.values[rn_net as usize];
+                if rn_net == net && new == Logic::Zero {
                     self.update_flop(idx, Logic::Zero);
                 } else if rn != Logic::Zero
-                    && self.cells[idx].inputs[1] == net
+                    && ck_net == net
                     && old != Logic::One
                     && new == Logic::One
                 {
-                    let d = self.values[self.cells[idx].inputs[0].index()];
+                    let d = self.values[d_net as usize];
                     let d = if rn == Logic::One { d } else { Logic::X };
                     self.update_flop(idx, d);
                 }
             }
             Some(SequentialKind::LatchHigh) => {
                 // Pins: D, EN. Transparent while EN is high.
-                let en = self.values[self.cells[idx].inputs[1].index()];
+                let ins = self.c().inputs(idx);
+                let (d_net, en_net) = (ins[0], ins[1]);
+                let en = self.values[en_net as usize];
                 if en == Logic::One {
-                    let d = self.values[self.cells[idx].inputs[0].index()];
+                    let d = self.values[d_net as usize];
                     self.update_flop(idx, d);
                 } else if en == Logic::X {
                     self.update_flop(idx, Logic::X);
@@ -341,20 +333,34 @@ impl<'a> Simulator<'a> {
             return;
         }
         self.flop_state[idx] = q;
-        let out = self.cells[idx].outputs[0];
-        let delay = self.cells[idx].delays[0];
+        let out = self.c().outputs(idx)[0];
+        let delay = self.c().delays(idx)[0];
         self.schedule(self.time + delay, out, q);
     }
 
     fn evaluate_cell(&mut self, idx: usize) {
-        let gated_down = self.cells[idx].domain == Domain::Gated && !self.rail_up;
-        let ins = self.input_values(idx);
-        let outs = self.cells[idx].kind.eval(&ins);
+        let c = self.c();
+        let kind = c.kinds[idx];
+        let gated_down = c.gated[idx] && !self.rail_up;
+        // Snapshot pins into stack buffers (NAND4 is the widest cell) so
+        // the compiled borrow ends before scheduling mutates `self`.
+        let in_nets = c.inputs(idx);
+        let n_in = in_nets.len();
+        let mut ins = [Logic::X; MAX_INPUTS];
+        for (slot, &n) in ins.iter_mut().zip(in_nets) {
+            *slot = self.values[n as usize];
+        }
+        let out_nets = c.outputs(idx);
+        let n_out = out_nets.len();
+        let mut onet = [0u32; MAX_OUTPUTS];
+        let mut odel = [0u64; MAX_OUTPUTS];
+        onet[..n_out].copy_from_slice(out_nets);
+        odel[..n_out].copy_from_slice(c.delays(idx));
+
+        let outs = kind.eval(&ins[..n_in]);
         for (pos, &v) in outs.as_slice().iter().enumerate() {
             let v = if gated_down { Logic::X } else { v };
-            let out = self.cells[idx].outputs[pos];
-            let delay = self.cells[idx].delays[pos];
-            self.schedule(self.time + delay, out, v);
+            self.schedule(self.time + odel[pos], onet[pos], v);
         }
     }
 
@@ -362,46 +368,47 @@ impl<'a> Simulator<'a> {
         // The rail *net* transition (scheduled here) is what actually
         // corrupts or revives the gated domain, so in-flight events and
         // the rail state can never disagree.
-        let rail_net = self.cells[idx].outputs[0];
+        let rail_net = self.c().outputs(idx)[0];
         match sleep {
             // Released: the domain's leakage discharges C_VDDV; the rail
             // reads as collapsed after the decay delay.
-            Logic::One => {
-                self.schedule(self.time + self.config.collapse_delay_ps, rail_net, Logic::X)
-            }
+            Logic::One => self.schedule(
+                self.time + self.config.collapse_delay_ps,
+                rail_net,
+                Logic::X,
+            ),
             // Re-driven: reads as a solid 1 after T_PGStart (Fig. 4).
-            Logic::Zero => {
-                self.schedule(self.time + self.config.restore_delay_ps, rail_net, Logic::One)
-            }
+            Logic::Zero => self.schedule(
+                self.time + self.config.restore_delay_ps,
+                rail_net,
+                Logic::One,
+            ),
             _ => self.schedule(self.time + 1, rail_net, Logic::X),
         }
     }
 
     fn corrupt_gated_domain(&mut self) {
-        for idx in 0..self.cells.len() {
-            if self.cells[idx].domain != Domain::Gated {
-                continue;
-            }
-            for pos in 0..self.cells[idx].outputs.len() {
-                let out = self.cells[idx].outputs[pos];
-                let delay = self.cells[idx].delays[pos];
-                self.schedule(self.time + delay, out, Logic::X);
+        for k in 0..self.c().gated_cells.len() {
+            let idx = self.c().gated_cells[k] as usize;
+            let c = self.c();
+            let out_nets = c.outputs(idx);
+            let n_out = out_nets.len();
+            let mut onet = [0u32; MAX_OUTPUTS];
+            let mut odel = [0u64; MAX_OUTPUTS];
+            onet[..n_out].copy_from_slice(out_nets);
+            odel[..n_out].copy_from_slice(c.delays(idx));
+            for pos in 0..n_out {
+                self.schedule(self.time + odel[pos], onet[pos], Logic::X);
             }
         }
     }
 
     fn reevaluate_gated_domain(&mut self) {
-        for idx in 0..self.cells.len() {
-            if self.cells[idx].domain != Domain::Gated {
-                continue;
-            }
-            let ins = self.input_values(idx);
-            let outs = self.cells[idx].kind.eval(&ins);
-            for (pos, &v) in outs.as_slice().iter().enumerate() {
-                let out = self.cells[idx].outputs[pos];
-                let delay = self.cells[idx].delays[pos];
-                self.schedule(self.time + delay, out, v);
-            }
+        // The rail is up again, so a plain evaluation schedules each
+        // gated cell's true outputs.
+        for k in 0..self.c().gated_cells.len() {
+            let idx = self.c().gated_cells[k] as usize;
+            self.evaluate_cell(idx);
         }
     }
 
@@ -420,6 +427,7 @@ impl<'a> Simulator<'a> {
 mod tests {
     use super::*;
     use scpg_liberty::Library;
+    use scpg_netlist::{Domain, Netlist};
 
     fn lib() -> Library {
         Library::ninety_nm()
@@ -588,8 +596,10 @@ mod tests {
         let g = nl.add_instance("g", "INV_X1", &[a, n1]).unwrap();
         nl.set_domain(g, Domain::Gated);
         // Fig. 3 control: ISO = SLEEP-clock OR rail-not-up.
-        nl.add_instance("ctl", "ISOCTL_X1", &[sleep, vddv, iso]).unwrap();
-        nl.add_instance("clamp", "ISO_AND_X1", &[n1, iso, y]).unwrap();
+        nl.add_instance("ctl", "ISOCTL_X1", &[sleep, vddv, iso])
+            .unwrap();
+        nl.add_instance("clamp", "ISO_AND_X1", &[n1, iso, y])
+            .unwrap();
 
         let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
         sim.set_input(sleep, Logic::Zero);
@@ -633,7 +643,10 @@ mod tests {
         let a = nl.add_input("a");
         let y = nl.add_output("y");
         nl.add_instance("u", "INV_X1", &[a, y]).unwrap();
-        let cfg = SimConfig { vcd: true, ..SimConfig::default() };
+        let cfg = SimConfig {
+            vcd: true,
+            ..SimConfig::default()
+        };
         let mut sim = Simulator::new(&nl, &lib, cfg).unwrap();
         sim.set_input(a, Logic::One);
         sim.run_until_quiet(10_000);
@@ -641,5 +654,47 @@ mod tests {
         let dump = scpg_waveform::parse_vcd(res.vcd.as_deref().unwrap()).unwrap();
         assert!(dump.names.contains(&"a".to_string()));
         assert!(!dump.changes.is_empty());
+    }
+
+    #[test]
+    fn shared_compiled_netlist_matches_owned_compilation() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let n1 = nl.add_fresh_net();
+        let y = nl.add_output("y");
+        nl.add_instance("u1", "NAND2_X1", &[a, n1, y]).unwrap();
+        nl.add_instance("u2", "INV_X1", &[a, n1]).unwrap();
+
+        let compiled = CompiledNetlist::compile(&nl, &lib, SimConfig::default().corner).unwrap();
+
+        let run = |mut sim: Simulator<'_>| {
+            sim.set_input(a, Logic::Zero);
+            sim.run_until_quiet(50_000);
+            sim.set_input(a, Logic::One);
+            sim.run_until_quiet(100_000);
+            sim.finish()
+        };
+        let owned = run(Simulator::new(&nl, &lib, SimConfig::default()).unwrap());
+        let shared = run(Simulator::with_compiled(&compiled, SimConfig::default()));
+        assert_eq!(owned.end_ps, shared.end_ps);
+        for n in 0..nl.nets().len() {
+            assert_eq!(owned.activity.net(n), shared.activity.net(n), "net {n}");
+        }
+    }
+
+    #[test]
+    fn events_processed_counts_applied_events() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_output("y");
+        nl.add_instance("u", "INV_X1", &[a, y]).unwrap();
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        assert_eq!(sim.events_processed(), 0);
+        sim.set_input(a, Logic::One);
+        sim.run_until_quiet(10_000);
+        // At least the input edge and the inverter response.
+        assert!(sim.events_processed() >= 2);
     }
 }

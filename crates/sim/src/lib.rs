@@ -42,8 +42,13 @@
 
 #![warn(missing_docs)]
 
+mod compile;
 mod engine;
+mod reference;
 mod testbench;
+mod wheel;
 
+pub use compile::CompiledNetlist;
 pub use engine::{SimConfig, SimResult, Simulator};
+pub use reference::ReferenceSimulator;
 pub use testbench::ClockedTestbench;

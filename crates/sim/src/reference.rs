@@ -1,0 +1,371 @@
+//! The original heap-based engine, kept as a differential-testing oracle
+//! and a speedup baseline.
+//!
+//! [`ReferenceSimulator`] is the pre-optimisation implementation:
+//! per-cell `Vec` pin lists, `Vec<Vec<u32>>` fanout, a
+//! `BinaryHeap<Reverse<Event>>` queue, and full recompilation on every
+//! construction. It is deliberately untouched by the CSR/time-wheel work
+//! so that property tests can assert the optimised [`crate::Simulator`]
+//! is observably identical, and so the bench harness can report an honest
+//! before/after throughput ratio.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use scpg_liberty::{CellKind, Library, Logic, SequentialKind};
+use scpg_netlist::{Domain, NetId, Netlist, NetlistError};
+use scpg_waveform::ActivityBuilder;
+
+use crate::engine::{tag_of, untag, SimConfig, SimResult};
+
+#[derive(Debug, Clone)]
+struct CompiledCell {
+    kind: CellKind,
+    domain: Domain,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    /// Per-output propagation delay in ps.
+    delays: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: u64,
+    seq: u64,
+    net: u32,
+    value_tag: u8,
+}
+
+/// The original event-driven simulator (heap queue, nested-`Vec` layout).
+#[derive(Debug)]
+pub struct ReferenceSimulator<'a> {
+    nl: &'a Netlist,
+    cells: Vec<CompiledCell>,
+    /// For each net: indices of cells reading it.
+    readers: Vec<Vec<u32>>,
+    values: Vec<Logic>,
+    flop_state: Vec<Logic>,
+    /// Inertial-delay bookkeeping: only the most recently scheduled event
+    /// per net is allowed to fire.
+    latest_event: Vec<u64>,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    time: u64,
+    rail_up: bool,
+    /// Nets driven by header cells (virtual rails).
+    rail_nets: Vec<bool>,
+    activity: ActivityBuilder,
+    vcd: Option<scpg_waveform::VcdWriter>,
+    config: SimConfig,
+}
+
+impl<'a> ReferenceSimulator<'a> {
+    /// Compiles `nl` against `lib` and prepares an all-`X` initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] if the netlist does not resolve against
+    /// the library.
+    pub fn new(nl: &'a Netlist, lib: &Library, config: SimConfig) -> Result<Self, NetlistError> {
+        let conn = nl.connectivity(lib)?;
+        let mut cells = Vec::with_capacity(nl.instances().len());
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); nl.nets().len()];
+
+        for (idx, (_, inst)) in nl.iter_instances().enumerate() {
+            let cell = lib.expect_cell(inst.cell());
+            let kind = cell.kind();
+            let n_in = kind.num_inputs();
+            let inputs = inst.connections()[..n_in].to_vec();
+            let outputs = inst.connections()[n_in..].to_vec();
+            // Per-output load = wire + fan-in caps of reading pins.
+            let delays = outputs
+                .iter()
+                .map(|&out| {
+                    let mut load = lib.wire_cap();
+                    for pin in conn.loads(out) {
+                        let reader = nl.instance(pin.inst);
+                        load += lib.expect_cell(reader.cell()).input_cap();
+                    }
+                    let d = cell.delay(config.corner.voltage, load);
+                    (d.as_ps().round() as u64).max(1)
+                })
+                .collect();
+            for &i in &inputs {
+                readers[i.index()].push(idx as u32);
+            }
+            cells.push(CompiledCell {
+                kind,
+                domain: inst.domain(),
+                inputs,
+                outputs,
+                delays,
+            });
+        }
+
+        let names: Vec<&str> = nl.nets().iter().map(|n| n.name()).collect();
+        let vcd = config
+            .vcd
+            .then(|| scpg_waveform::VcdWriter::new(nl.name(), &names));
+
+        let mut rail_nets = vec![false; nl.nets().len()];
+        for c in &cells {
+            if c.kind == CellKind::Header {
+                rail_nets[c.outputs[0].index()] = true;
+            }
+        }
+
+        let mut sim = Self {
+            nl,
+            cells,
+            readers,
+            values: vec![Logic::X; nl.nets().len()],
+            flop_state: vec![Logic::X; nl.instances().len()],
+            latest_event: vec![0; nl.nets().len()],
+            queue: BinaryHeap::new(),
+            seq: 0,
+            time: 0,
+            rail_up: true,
+            rail_nets,
+            activity: ActivityBuilder::new(nl.nets().len(), config.window_ps),
+            vcd,
+            config,
+        };
+        // Ties and other zero-input cells drive their constants at t=0.
+        for idx in 0..sim.cells.len() {
+            if sim.cells[idx].inputs.is_empty() && sim.cells[idx].kind.is_combinational() {
+                sim.evaluate_cell(idx);
+            }
+        }
+        Ok(sim)
+    }
+
+    /// Current simulation time in picoseconds.
+    pub fn time_ps(&self) -> u64 {
+        self.time
+    }
+
+    /// `true` while the virtual rail is powered.
+    pub fn rail_up(&self) -> bool {
+        self.rail_up
+    }
+
+    /// The current value of a net.
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// Drives a primary input at the current time.
+    pub fn set_input(&mut self, net: NetId, value: Logic) {
+        self.schedule(self.time, net, value);
+    }
+
+    /// Drives a primary input looked up by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no net has this name.
+    pub fn set_input_by_name(&mut self, name: &str, value: Logic) {
+        let net = self
+            .nl
+            .net_by_name(name)
+            .unwrap_or_else(|| panic!("no net named `{name}`"));
+        self.set_input(net, value);
+    }
+
+    fn schedule(&mut self, time: u64, net: NetId, value: Logic) {
+        self.seq += 1;
+        self.latest_event[net.index()] = self.seq;
+        self.queue.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            net: net.index() as u32,
+            value_tag: tag_of(value),
+        }));
+    }
+
+    /// Runs until the queue is empty or `deadline_ps` is reached, whichever
+    /// comes first. Returns the number of processed events.
+    pub fn run_until(&mut self, deadline_ps: u64) -> u64 {
+        let mut processed = 0;
+        while let Some(Reverse(ev)) = self.queue.peek().copied() {
+            if ev.time > deadline_ps {
+                break;
+            }
+            self.queue.pop();
+            // Inertial filtering: a newer scheduled value supersedes.
+            if self.latest_event[ev.net as usize] != ev.seq {
+                continue;
+            }
+            self.time = ev.time;
+            self.apply(NetId::from_index(ev.net as usize), untag(ev.value_tag));
+            processed += 1;
+        }
+        self.time = self.time.max(deadline_ps);
+        processed
+    }
+
+    /// Runs until no events remain, up to `max_ps`. Returns `true` when
+    /// the design settled (queue drained) before the horizon.
+    pub fn run_until_quiet(&mut self, max_ps: u64) -> bool {
+        self.run_until(max_ps);
+        self.queue.is_empty()
+    }
+
+    fn apply(&mut self, net: NetId, value: Logic) {
+        let idx = net.index();
+        let old = self.values[idx];
+        if old == value {
+            return;
+        }
+        self.values[idx] = value;
+        self.activity.record(self.time, idx, value);
+        if let Some(v) = &mut self.vcd {
+            v.change(self.time, idx, value);
+        }
+        // A virtual-rail transition switches the whole gated domain.
+        if self.rail_nets[idx] {
+            if value == Logic::One {
+                self.rail_up = true;
+                self.reevaluate_gated_domain();
+            } else {
+                self.rail_up = false;
+                self.corrupt_gated_domain();
+            }
+        }
+        // Notify readers.
+        let readers = self.readers[idx].clone();
+        for cell_idx in readers {
+            self.on_input_change(cell_idx as usize, net, old, value);
+        }
+    }
+
+    fn input_values(&self, idx: usize) -> Vec<Logic> {
+        self.cells[idx]
+            .inputs
+            .iter()
+            .map(|n| self.values[n.index()])
+            .collect()
+    }
+
+    fn on_input_change(&mut self, idx: usize, net: NetId, old: Logic, new: Logic) {
+        let kind = self.cells[idx].kind;
+        match kind.sequential() {
+            Some(SequentialKind::DffRising) => {
+                // Pins: D, CK.
+                if self.cells[idx].inputs[1] == net && old != Logic::One && new == Logic::One {
+                    let d = self.values[self.cells[idx].inputs[0].index()];
+                    self.update_flop(idx, d);
+                }
+            }
+            Some(SequentialKind::DffRisingResetN) => {
+                // Pins: D, CK, RN.
+                let rn = self.values[self.cells[idx].inputs[2].index()];
+                if self.cells[idx].inputs[2] == net && new == Logic::Zero {
+                    self.update_flop(idx, Logic::Zero);
+                } else if rn != Logic::Zero
+                    && self.cells[idx].inputs[1] == net
+                    && old != Logic::One
+                    && new == Logic::One
+                {
+                    let d = self.values[self.cells[idx].inputs[0].index()];
+                    let d = if rn == Logic::One { d } else { Logic::X };
+                    self.update_flop(idx, d);
+                }
+            }
+            Some(SequentialKind::LatchHigh) => {
+                // Pins: D, EN. Transparent while EN is high.
+                let en = self.values[self.cells[idx].inputs[1].index()];
+                if en == Logic::One {
+                    let d = self.values[self.cells[idx].inputs[0].index()];
+                    self.update_flop(idx, d);
+                } else if en == Logic::X {
+                    self.update_flop(idx, Logic::X);
+                }
+            }
+            None => {
+                if kind == CellKind::Header {
+                    self.on_header_change(idx, new);
+                } else {
+                    self.evaluate_cell(idx);
+                }
+            }
+        }
+    }
+
+    fn update_flop(&mut self, idx: usize, q: Logic) {
+        if self.flop_state[idx] == q {
+            return;
+        }
+        self.flop_state[idx] = q;
+        let out = self.cells[idx].outputs[0];
+        let delay = self.cells[idx].delays[0];
+        self.schedule(self.time + delay, out, q);
+    }
+
+    fn evaluate_cell(&mut self, idx: usize) {
+        let gated_down = self.cells[idx].domain == Domain::Gated && !self.rail_up;
+        let ins = self.input_values(idx);
+        let outs = self.cells[idx].kind.eval(&ins);
+        for (pos, &v) in outs.as_slice().iter().enumerate() {
+            let v = if gated_down { Logic::X } else { v };
+            let out = self.cells[idx].outputs[pos];
+            let delay = self.cells[idx].delays[pos];
+            self.schedule(self.time + delay, out, v);
+        }
+    }
+
+    fn on_header_change(&mut self, idx: usize, sleep: Logic) {
+        let rail_net = self.cells[idx].outputs[0];
+        match sleep {
+            Logic::One => self.schedule(
+                self.time + self.config.collapse_delay_ps,
+                rail_net,
+                Logic::X,
+            ),
+            Logic::Zero => self.schedule(
+                self.time + self.config.restore_delay_ps,
+                rail_net,
+                Logic::One,
+            ),
+            _ => self.schedule(self.time + 1, rail_net, Logic::X),
+        }
+    }
+
+    fn corrupt_gated_domain(&mut self) {
+        for idx in 0..self.cells.len() {
+            if self.cells[idx].domain != Domain::Gated {
+                continue;
+            }
+            for pos in 0..self.cells[idx].outputs.len() {
+                let out = self.cells[idx].outputs[pos];
+                let delay = self.cells[idx].delays[pos];
+                self.schedule(self.time + delay, out, Logic::X);
+            }
+        }
+    }
+
+    fn reevaluate_gated_domain(&mut self) {
+        for idx in 0..self.cells.len() {
+            if self.cells[idx].domain != Domain::Gated {
+                continue;
+            }
+            let ins = self.input_values(idx);
+            let outs = self.cells[idx].kind.eval(&ins);
+            for (pos, &v) in outs.as_slice().iter().enumerate() {
+                let out = self.cells[idx].outputs[pos];
+                let delay = self.cells[idx].delays[pos];
+                self.schedule(self.time + delay, out, v);
+            }
+        }
+    }
+
+    /// Finishes the run and returns the recorded activity/VCD.
+    pub fn finish(self) -> SimResult {
+        let end = self.time;
+        SimResult {
+            activity: self.activity.finish(end),
+            vcd: self.vcd.map(|v| v.finish(end)),
+            end_ps: end,
+        }
+    }
+}

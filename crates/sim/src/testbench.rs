@@ -37,7 +37,13 @@ impl<'a> ClockedTestbench<'a> {
         assert!(period_ps > 0, "period must be positive");
         assert!(duty > 0.0 && duty < 1.0, "duty cycle must be in (0, 1)");
         sim.set_input(clk, Logic::Zero);
-        Self { sim, clk, period_ps, duty, cycles: 0 }
+        Self {
+            sim,
+            clk,
+            period_ps,
+            duty,
+            cycles: 0,
+        }
     }
 
     /// Immutable access to the wrapped simulator.

@@ -159,11 +159,11 @@ pub fn analyze(nl: &Netlist, lib: &Library, v: Voltage) -> Result<TimingReport, 
             }
         }
     }
-    for i in 0..n_nets {
-        if conn.driver(NetId::from_index(i)).is_none() && arrival[i] == f64::NEG_INFINITY {
+    for (i, a) in arrival.iter_mut().enumerate().take(n_nets) {
+        if conn.driver(NetId::from_index(i)).is_none() && *a == f64::NEG_INFINITY {
             // Undriven-but-read nets would fail validation; treat as t=0
             // so analysis is robust on partial designs.
-            arrival[i] = 0.0;
+            *a = 0.0;
         }
     }
 
@@ -277,9 +277,7 @@ pub fn analyze(nl: &Netlist, lib: &Library, v: Voltage) -> Result<TimingReport, 
                     .iter()
                     .copied()
                     .filter(|n| arrival[n.index()].is_finite())
-                    .max_by(|a, b| {
-                        arrival[a.index()].total_cmp(&arrival[b.index()])
-                    });
+                    .max_by(|a, b| arrival[a.index()].total_cmp(&arrival[b.index()]));
                 // Stop at sequential launch points.
                 if kind.is_sequential() {
                     cursor = None;
@@ -337,8 +335,13 @@ mod tests {
         let mut nl = Netlist::new("chain");
         let mut cur = nl.add_input("a");
         for i in 0..n {
-            let next = if i + 1 == n { nl.add_output("y") } else { nl.add_fresh_net() };
-            nl.add_instance(format!("u{i}"), "INV_X1", &[cur, next]).unwrap();
+            let next = if i + 1 == n {
+                nl.add_output("y")
+            } else {
+                nl.add_fresh_net()
+            };
+            nl.add_instance(format!("u{i}"), "INV_X1", &[cur, next])
+                .unwrap();
             cur = next;
         }
         nl

@@ -162,7 +162,11 @@ impl<'lib> LogicBuilder<'lib> {
 
     /// Declares an `n`-bit input word `name[0] .. name[n-1]` (LSB first).
     pub fn input_word(&mut self, name: &str, n: usize) -> Word {
-        Word::new((0..n).map(|i| self.input(&format!("{name}[{i}]"))).collect())
+        Word::new(
+            (0..n)
+                .map(|i| self.input(&format!("{name}[{i}]")))
+                .collect(),
+        )
     }
 
     /// Declares an output word, one port per bit (LSB first).
@@ -306,7 +310,8 @@ impl<'lib> LogicBuilder<'lib> {
             return (*s, *co);
         }
         let (s, co) = self.emit2(CellKind::FullAdder, &[a, b, ci]);
-        self.cse.insert(Op::FullAdd(a, b, ci), NetOrPair::Two(s, co));
+        self.cse
+            .insert(Op::FullAdd(a, b, ci), NetOrPair::Two(s, co));
         (s, co)
     }
 

@@ -57,7 +57,10 @@ pub fn insert_clock_tree(
     clock: &str,
     max_fanout: usize,
 ) -> Result<CtsReport, NetlistError> {
-    assert!(max_fanout >= 2, "a clock buffer must drive at least two sinks");
+    assert!(
+        max_fanout >= 2,
+        "a clock buffer must drive at least two sinks"
+    );
     let clk = nl
         .net_by_name(clock)
         .unwrap_or_else(|| panic!("no net named `{clock}`"));
@@ -98,7 +101,8 @@ pub fn insert_clock_tree(
     // Build levels bottom-up: group sinks under leaf buffers, then group
     // buffers under higher buffers until the root fanout fits.
     let mut buffers_per_level = Vec::new();
-    let mut level_inputs: Vec<Vec<PinRef>> = sinks.chunks(max_fanout).map(<[PinRef]>::to_vec).collect();
+    let mut level_inputs: Vec<Vec<PinRef>> =
+        sinks.chunks(max_fanout).map(<[PinRef]>::to_vec).collect();
     let mut seq = 0usize;
     let mut levels = 0usize;
     loop {

@@ -29,7 +29,9 @@ pub fn prune_unused(nl: &mut Netlist, lib: &Library) -> Result<usize, NetlistErr
 
     // Sequential cells are always live: their state is the design's state.
     for (id, inst) in nl.iter_instances() {
-        let Some(cell) = lib.cell(inst.cell()) else { continue };
+        let Some(cell) = lib.cell(inst.cell()) else {
+            continue;
+        };
         if cell.kind().is_sequential() {
             live_insts.insert(id.index());
             let n_in = cell.kind().num_inputs();
@@ -43,7 +45,9 @@ pub fn prune_unused(nl: &mut Netlist, lib: &Library) -> Result<usize, NetlistErr
         if !seen.insert(net) {
             continue;
         }
-        let Some(drv) = conn.driver(net) else { continue };
+        let Some(drv) = conn.driver(net) else {
+            continue;
+        };
         if live_insts.insert(drv.inst.index()) {
             let inst = nl.instance(drv.inst);
             let n_in = conn.num_inputs(drv.inst);

@@ -63,11 +63,7 @@ impl fmt::Display for EngNotation {
         } else {
             3
         };
-        write!(
-            f,
-            "{:.*} {}{}",
-            decimals, mantissa, prefix, self.symbol
-        )
+        write!(f, "{:.*} {}{}", decimals, mantissa, prefix, self.symbol)
     }
 }
 

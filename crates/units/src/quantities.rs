@@ -596,15 +596,9 @@ mod tests {
 
     #[test]
     fn sum_and_ordering_helpers() {
-        let total: Power = [1.0, 2.0, 3.5]
-            .iter()
-            .map(|&w| Power::from_uw(w))
-            .sum();
+        let total: Power = [1.0, 2.0, 3.5].iter().map(|&w| Power::from_uw(w)).sum();
         assert!((total.as_uw() - 6.5).abs() < 1e-12);
-        assert_eq!(
-            Power::from_uw(2.0).max(Power::from_uw(5.0)).as_uw(),
-            5.0
-        );
+        assert_eq!(Power::from_uw(2.0).max(Power::from_uw(5.0)).as_uw(), 5.0);
         let lo = Time::from_ns(1.0);
         let hi = Time::from_ns(9.0);
         assert_eq!(Time::from_ns(12.0).clamp(lo, hi).as_ns(), 9.0);

@@ -33,7 +33,10 @@ pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
 ///
 /// Panics if `start <= 0` or `stop <= 0`.
 pub fn logspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
-    assert!(start > 0.0 && stop > 0.0, "logspace endpoints must be positive");
+    assert!(
+        start > 0.0 && stop > 0.0,
+        "logspace endpoints must be positive"
+    );
     linspace(start.log10(), stop.log10(), n)
         .into_iter()
         .map(|e| 10f64.powf(e))
@@ -62,7 +65,11 @@ impl<Y> Sweep<Y> {
         F: FnMut(&f64) -> Y,
     {
         let samples = axis.iter().map(f).collect();
-        Self { label, axis, samples }
+        Self {
+            label,
+            axis,
+            samples,
+        }
     }
 
     /// Builds a sweep from pre-computed samples.
@@ -72,7 +79,11 @@ impl<Y> Sweep<Y> {
     /// Panics if `axis` and `samples` have different lengths.
     pub fn from_parts(label: &'static str, axis: Vec<f64>, samples: Vec<Y>) -> Self {
         assert_eq!(axis.len(), samples.len(), "axis/sample length mismatch");
-        Self { label, axis, samples }
+        Self {
+            label,
+            axis,
+            samples,
+        }
     }
 
     /// The axis label (e.g. `"f/MHz"`).
@@ -117,17 +128,16 @@ impl<Y> Sweep<Y> {
     /// The `(x, &sample)` pair minimising `key(sample)`, or `None` when empty.
     ///
     /// Used to locate minimum-energy points on the Fig. 9 / Fig. 10 curves.
-    pub fn min_by_key<K: PartialOrd, F: FnMut(&Y) -> K>(
-        &self,
-        mut key: F,
-    ) -> Option<(f64, &Y)> {
-        self.iter().reduce(|best, cur| {
-            if key(cur.1) < key(best.1) {
-                cur
-            } else {
-                best
-            }
-        })
+    pub fn min_by_key<K: PartialOrd, F: FnMut(&Y) -> K>(&self, mut key: F) -> Option<(f64, &Y)> {
+        self.iter().reduce(
+            |best, cur| {
+                if key(cur.1) < key(best.1) {
+                    cur
+                } else {
+                    best
+                }
+            },
+        )
     }
 }
 

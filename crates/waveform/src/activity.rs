@@ -96,6 +96,67 @@ impl Activity {
 }
 
 impl Activity {
+    /// Combines two activity records of the **same design** measured over
+    /// consecutive (or independent) stimulus segments: per-net counters
+    /// and residencies add, durations add, and toggle windows concatenate
+    /// in order.
+    ///
+    /// The operation is associative, and folding partial activities in
+    /// segment order reproduces the counters a single serial run over the
+    /// concatenated stimulus would produce (each segment restarts from an
+    /// all-`X` state, so segment-boundary transitions may differ by the
+    /// initialisation transients — counts, not orderings). This is the
+    /// reduction behind parallel vector-group simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two records disagree on net count or window width.
+    #[must_use]
+    pub fn merge(&self, other: &Activity) -> Activity {
+        assert_eq!(
+            self.nets.len(),
+            other.nets.len(),
+            "merging activities of different designs"
+        );
+        assert_eq!(
+            self.window_ps, other.window_ps,
+            "merging activities with different window widths"
+        );
+        let nets = self
+            .nets
+            .iter()
+            .zip(&other.nets)
+            .map(|(a, b)| NetActivity {
+                toggles: a.toggles + b.toggles,
+                unknown_transitions: a.unknown_transitions + b.unknown_transitions,
+                time_high_ps: a.time_high_ps + b.time_high_ps,
+                time_low_ps: a.time_low_ps + b.time_low_ps,
+                time_unknown_ps: a.time_unknown_ps + b.time_unknown_ps,
+            })
+            .collect();
+        let mut window_toggles =
+            Vec::with_capacity(self.window_toggles.len() + other.window_toggles.len());
+        window_toggles.extend_from_slice(&self.window_toggles);
+        window_toggles.extend_from_slice(&other.window_toggles);
+        Activity {
+            duration_ps: self.duration_ps + other.duration_ps,
+            nets,
+            window_ps: self.window_ps,
+            window_toggles,
+        }
+    }
+
+    /// Folds a sequence of partial activities with [`Activity::merge`] in
+    /// order; `None` when the iterator is empty.
+    pub fn merge_all<'a, I>(parts: I) -> Option<Activity>
+    where
+        I: IntoIterator<Item = &'a Activity>,
+    {
+        let mut it = parts.into_iter();
+        let first = it.next()?.clone();
+        Some(it.fold(first, |acc, p| acc.merge(p)))
+    }
+
     /// Rebuilds an activity record from a parsed VCD — the paper's
     /// Modelsim → Primetime-PX hand-off, in which the power tool never
     /// sees the simulator, only its dump.
@@ -251,12 +312,19 @@ mod tests {
         b.record(0, 1, Logic::Zero);
         // Net 0 toggles every cycle (10 cycles of 1 000 ps), net 1 never.
         for cyc in 0..10u64 {
-            let v = if cyc % 2 == 0 { Logic::One } else { Logic::Zero };
+            let v = if cyc % 2 == 0 {
+                Logic::One
+            } else {
+                Logic::Zero
+            };
             b.record(cyc * 1_000 + 500, 0, v);
         }
         let act = b.finish(10_000);
         let p = act.switching_probability(1_000);
-        assert!((p - 0.5).abs() < 1e-12, "10 toggles / 2 nets / 10 cycles, got {p}");
+        assert!(
+            (p - 0.5).abs() < 1e-12,
+            "10 toggles / 2 nets / 10 cycles, got {p}"
+        );
     }
 
     #[test]
@@ -270,7 +338,10 @@ mod tests {
         assert_eq!(act.window_toggles(), &[2, 1, 0]);
         let probs = act.window_switching_probabilities(500);
         assert_eq!(probs.len(), 3);
-        assert!((probs[0] - 1.0).abs() < 1e-12, "2 toggles / 1 net / 2 cycles");
+        assert!(
+            (probs[0] - 1.0).abs() < 1e-12,
+            "2 toggles / 1 net / 2 cycles"
+        );
     }
 
     #[test]
@@ -278,6 +349,52 @@ mod tests {
         let act = ActivityBuilder::new(0, None).finish(0);
         assert_eq!(act.total_toggles(), 0);
         assert_eq!(act.switching_probability(1_000), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_concatenates_windows() {
+        let seg = |toggle_at: u64| {
+            let mut b = ActivityBuilder::new(2, Some(1_000));
+            b.record(0, 0, Logic::Zero);
+            b.record(toggle_at, 0, Logic::One);
+            b.record(0, 1, Logic::One);
+            b.finish(2_000)
+        };
+        let a = seg(100);
+        let b = seg(1_500);
+        let m = a.merge(&b);
+        assert_eq!(m.duration_ps(), 4_000);
+        assert_eq!(m.net(0).toggles, 2);
+        assert_eq!(
+            m.net(0).time_high_ps,
+            a.net(0).time_high_ps + b.net(0).time_high_ps
+        );
+        assert_eq!(m.net(1).unknown_transitions, 2);
+        assert_eq!(m.window_toggles(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let seg = |t: u64| {
+            let mut b = ActivityBuilder::new(1, Some(500));
+            b.record(0, 0, Logic::Zero);
+            b.record(t, 0, Logic::One);
+            b.finish(1_000)
+        };
+        let (a, b, c) = (seg(100), seg(300), seg(700));
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        assert_eq!(left, right);
+        assert_eq!(Activity::merge_all([&a, &b, &c]).unwrap(), left);
+        assert!(Activity::merge_all(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different designs")]
+    fn merge_rejects_mismatched_net_counts() {
+        let a = ActivityBuilder::new(1, None).finish(10);
+        let b = ActivityBuilder::new(2, None).finish(10);
+        let _ = a.merge(&b);
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl VcdWriter {
         }
         let _ = writeln!(out, "$upscope $end");
         let _ = writeln!(out, "$enddefinitions $end");
-        Self { out, ids, time: None }
+        Self {
+            out,
+            ids,
+            time: None,
+        }
     }
 
     /// Records a change of variable `var` to `value` at `time_ps`.
@@ -148,7 +152,11 @@ pub fn parse_vcd(text: &str) -> Result<VcdDump, String> {
                 .iter()
                 .position(|c| *c == code)
                 .ok_or_else(|| fail(&format!("unknown id code `{code}`")))?;
-            changes.push(VcdChange { time_ps: time, var, value: v });
+            changes.push(VcdChange {
+                time_ps: time,
+                var,
+                value: v,
+            });
         }
     }
     Ok(VcdDump { names, changes })
@@ -183,11 +191,19 @@ mod tests {
         assert_eq!(dump.changes.len(), 5);
         assert_eq!(
             dump.changes[2],
-            VcdChange { time_ps: 500, var: 0, value: Logic::One }
+            VcdChange {
+                time_ps: 500,
+                var: 0,
+                value: Logic::One
+            }
         );
         assert_eq!(
             dump.changes[4],
-            VcdChange { time_ps: 1_000, var: 0, value: Logic::Zero }
+            VcdChange {
+                time_ps: 1_000,
+                var: 0,
+                value: Logic::Zero
+            }
         );
     }
 

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.design.isolation_cells,
         report.area_overhead * 100.0
     );
-    println!("UPF excerpt:\n{}", report.upf.lines().take(6).collect::<Vec<_>>().join("\n"));
+    println!(
+        "UPF excerpt:\n{}",
+        report.upf.lines().take(6).collect::<Vec<_>>().join("\n")
+    );
 
     // 3. Simulate the gated design: the clock itself gates the domain
     //    every cycle, and the result must still be correct.

@@ -17,9 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = Library::ninety_nm();
     let (netlist, _ports) = generate_multiplier(&lib, 16);
     let e_dyn = Energy::from_pj(3.0); // measured workload energy/cycle
-    let report = ScpgFlow::new(&lib).with_workload_energy(e_dyn).run(&netlist, "clk")?;
-    let analysis =
-        ScpgAnalysis::new(&lib, &netlist, &report.design, e_dyn, PvtCorner::default())?;
+    let report = ScpgFlow::new(&lib)
+        .with_workload_energy(e_dyn)
+        .run(&netlist, "clk")?;
+    let analysis = ScpgAnalysis::new(&lib, &netlist, &report.design, e_dyn, PvtCorner::default())?;
 
     for budget_uw in [20.0, 30.0, 50.0] {
         let budget = PowerBudget(Power::from_uw(budget_uw));

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (nl, ports) = generate_multiplier(&lib, 8);
     let scpg = ScpgTransform::new(&lib).apply(&nl, "clk", &ScpgOptions::default())?;
 
-    let cfg = SimConfig { vcd: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        vcd: true,
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(&scpg.netlist, &lib, cfg)?;
     sim.set_input(scpg.override_n, Logic::One);
     sim.set_input_by_name("rst_n", Logic::Zero);
@@ -88,15 +91,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (hold margin {} ps)",
         rail_drop - edge
     );
-    assert!(sleep_rise >= edge && rail_drop > sleep_rise, "Fig. 4 ordering");
+    assert!(
+        sleep_rise >= edge && rail_drop > sleep_rise,
+        "Fig. 4 ordering"
+    );
     // Isolation must be active during the collapsed interval.
     let iso_at_drop = changes_of(iso)
         .iter()
-        .filter(|c| c.time_ps <= rail_drop)
-        .next_back()
+        .rfind(|c| c.time_ps <= rail_drop)
         .map(|c| c.value)
         .expect("isolation toggled");
-    assert_eq!(iso_at_drop, Logic::One, "outputs clamped while the rail is down");
+    assert_eq!(
+        iso_at_drop,
+        Logic::One,
+        "outputs clamped while the rail is down"
+    );
     println!("Fig. 4 ordering verified: clk ↑ → SLEEP ↑ → rail ↓ with isolation held");
     Ok(())
 }

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let e_dyn = Energy::from_pj(3.0);
 
     // Sub-threshold: sweep the supply, find the minimum-energy point.
-    let volts: Vec<Voltage> = linspace(0.15, 0.9, 76).into_iter().map(Voltage::from_v).collect();
+    let volts: Vec<Voltage> = linspace(0.15, 0.9, 76)
+        .into_iter()
+        .map(Voltage::from_v)
+        .collect();
     let curve = SubthresholdCurve::sweep(&netlist, &lib, e_dyn, &volts)?;
     let min = curve.minimum().expect("sweep is non-empty");
     println!(
@@ -31,9 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // SCPG at 0.6 V: what does the same design cost across frequencies?
-    let report = ScpgFlow::new(&lib).with_workload_energy(e_dyn).run(&netlist, "clk")?;
-    let analysis =
-        ScpgAnalysis::new(&lib, &netlist, &report.design, e_dyn, PvtCorner::default())?;
+    let report = ScpgFlow::new(&lib)
+        .with_workload_energy(e_dyn)
+        .run(&netlist, "clk")?;
+    let analysis = ScpgAnalysis::new(&lib, &netlist, &report.design, e_dyn, PvtCorner::default())?;
     println!("\nSCPG-Max at 0.6 V:");
     for mhz in [1.0, 5.0, 14.3, 20.0] {
         let p = analysis.operating_point(Frequency::from_mhz(mhz), Mode::ScpgMax);

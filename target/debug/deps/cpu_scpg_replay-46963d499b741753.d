@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpu_scpg_replay-46963d499b741753.d: tests/cpu_scpg_replay.rs
+
+/root/repo/target/debug/deps/cpu_scpg_replay-46963d499b741753: tests/cpu_scpg_replay.rs
+
+tests/cpu_scpg_replay.rs:

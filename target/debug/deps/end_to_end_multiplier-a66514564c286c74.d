@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_multiplier-a66514564c286c74.d: tests/end_to_end_multiplier.rs
+
+/root/repo/target/debug/deps/end_to_end_multiplier-a66514564c286c74: tests/end_to_end_multiplier.rs
+
+tests/end_to_end_multiplier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-df9e4ba232debdf2.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-df9e4ba232debdf2: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_artifacts-283dd3a3bbc70d3e.d: tests/flow_artifacts.rs
+
+/root/repo/target/debug/deps/flow_artifacts-283dd3a3bbc70d3e: tests/flow_artifacts.rs
+
+tests/flow_artifacts.rs:

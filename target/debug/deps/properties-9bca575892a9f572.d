@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9bca575892a9f572.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9bca575892a9f572: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_analog-1dee8ca2c8d393b6.d: crates/analog/src/lib.rs crates/analog/src/gating.rs crates/analog/src/rail.rs crates/analog/src/sizing.rs crates/analog/src/transient.rs
+
+/root/repo/target/debug/deps/scpg_analog-1dee8ca2c8d393b6: crates/analog/src/lib.rs crates/analog/src/gating.rs crates/analog/src/rail.rs crates/analog/src/sizing.rs crates/analog/src/transient.rs
+
+crates/analog/src/lib.rs:
+crates/analog/src/gating.rs:
+crates/analog/src/rail.rs:
+crates/analog/src/sizing.rs:
+crates/analog/src/transient.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/scpg_analog-20e0d16347af6222.d: crates/analog/src/lib.rs crates/analog/src/gating.rs crates/analog/src/rail.rs crates/analog/src/sizing.rs crates/analog/src/transient.rs
+
+/root/repo/target/debug/deps/libscpg_analog-20e0d16347af6222.rlib: crates/analog/src/lib.rs crates/analog/src/gating.rs crates/analog/src/rail.rs crates/analog/src/sizing.rs crates/analog/src/transient.rs
+
+/root/repo/target/debug/deps/libscpg_analog-20e0d16347af6222.rmeta: crates/analog/src/lib.rs crates/analog/src/gating.rs crates/analog/src/rail.rs crates/analog/src/sizing.rs crates/analog/src/transient.rs
+
+crates/analog/src/lib.rs:
+crates/analog/src/gating.rs:
+crates/analog/src/rail.rs:
+crates/analog/src/sizing.rs:
+crates/analog/src/transient.rs:

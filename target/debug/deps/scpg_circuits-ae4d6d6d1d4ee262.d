@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scpg_circuits-ae4d6d6d1d4ee262.d: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs
+
+/root/repo/target/debug/deps/libscpg_circuits-ae4d6d6d1d4ee262.rlib: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs
+
+/root/repo/target/debug/deps/libscpg_circuits-ae4d6d6d1d4ee262.rmeta: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/cpu.rs:
+crates/circuits/src/harness.rs:
+crates/circuits/src/multiplier.rs:

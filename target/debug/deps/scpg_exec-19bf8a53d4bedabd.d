@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scpg_exec-19bf8a53d4bedabd.d: crates/exec/src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_exec-19bf8a53d4bedabd.rlib: crates/exec/src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_exec-19bf8a53d4bedabd.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

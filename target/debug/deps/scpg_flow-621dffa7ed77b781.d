@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scpg_flow-621dffa7ed77b781.d: crates/core/src/bin/scpg_flow.rs
+
+/root/repo/target/debug/deps/scpg_flow-621dffa7ed77b781: crates/core/src/bin/scpg_flow.rs
+
+crates/core/src/bin/scpg_flow.rs:

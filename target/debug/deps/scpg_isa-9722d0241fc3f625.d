@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/scpg_isa-9722d0241fc3f625.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs
+
+/root/repo/target/debug/deps/libscpg_isa-9722d0241fc3f625.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs
+
+/root/repo/target/debug/deps/libscpg_isa-9722d0241fc3f625.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/dhrystone.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/iss.rs:

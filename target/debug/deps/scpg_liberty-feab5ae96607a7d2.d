@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/scpg_liberty-feab5ae96607a7d2.d: crates/liberty/src/lib.rs crates/liberty/src/cell.rs crates/liberty/src/format.rs crates/liberty/src/headers.rs crates/liberty/src/library.rs crates/liberty/src/logic.rs crates/liberty/src/model.rs
+
+/root/repo/target/debug/deps/libscpg_liberty-feab5ae96607a7d2.rlib: crates/liberty/src/lib.rs crates/liberty/src/cell.rs crates/liberty/src/format.rs crates/liberty/src/headers.rs crates/liberty/src/library.rs crates/liberty/src/logic.rs crates/liberty/src/model.rs
+
+/root/repo/target/debug/deps/libscpg_liberty-feab5ae96607a7d2.rmeta: crates/liberty/src/lib.rs crates/liberty/src/cell.rs crates/liberty/src/format.rs crates/liberty/src/headers.rs crates/liberty/src/library.rs crates/liberty/src/logic.rs crates/liberty/src/model.rs
+
+crates/liberty/src/lib.rs:
+crates/liberty/src/cell.rs:
+crates/liberty/src/format.rs:
+crates/liberty/src/headers.rs:
+crates/liberty/src/library.rs:
+crates/liberty/src/logic.rs:
+crates/liberty/src/model.rs:

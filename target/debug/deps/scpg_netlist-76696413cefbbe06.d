@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/scpg_netlist-76696413cefbbe06.d: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/libscpg_netlist-76696413cefbbe06.rlib: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/libscpg_netlist-76696413cefbbe06.rmeta: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/graph.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/verilog.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scpg_power-0ba505c9d78f1e5c.d: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs
+
+/root/repo/target/debug/deps/libscpg_power-0ba505c9d78f1e5c.rlib: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs
+
+/root/repo/target/debug/deps/libscpg_power-0ba505c9d78f1e5c.rmeta: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs
+
+crates/power/src/lib.rs:
+crates/power/src/analyzer.rs:
+crates/power/src/subthreshold.rs:
+crates/power/src/variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scpg_repro-a1c23b84d747b366.d: src/lib.rs
+
+/root/repo/target/debug/deps/scpg_repro-a1c23b84d747b366: src/lib.rs
+
+src/lib.rs:

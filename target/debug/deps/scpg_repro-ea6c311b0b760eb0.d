@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scpg_repro-ea6c311b0b760eb0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_repro-ea6c311b0b760eb0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_repro-ea6c311b0b760eb0.rmeta: src/lib.rs
+
+src/lib.rs:

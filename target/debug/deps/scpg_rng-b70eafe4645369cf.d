@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scpg_rng-b70eafe4645369cf.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_rng-b70eafe4645369cf.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_rng-b70eafe4645369cf.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scpg_sim-79d04df8b12ff7c2.d: crates/sim/src/lib.rs crates/sim/src/compile.rs crates/sim/src/engine.rs crates/sim/src/reference.rs crates/sim/src/testbench.rs crates/sim/src/wheel.rs
+
+/root/repo/target/debug/deps/scpg_sim-79d04df8b12ff7c2: crates/sim/src/lib.rs crates/sim/src/compile.rs crates/sim/src/engine.rs crates/sim/src/reference.rs crates/sim/src/testbench.rs crates/sim/src/wheel.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/compile.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/reference.rs:
+crates/sim/src/testbench.rs:
+crates/sim/src/wheel.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/scpg_sim-b05e51bfc9708d63.d: crates/sim/src/lib.rs crates/sim/src/compile.rs crates/sim/src/engine.rs crates/sim/src/reference.rs crates/sim/src/testbench.rs crates/sim/src/wheel.rs
+
+/root/repo/target/debug/deps/libscpg_sim-b05e51bfc9708d63.rlib: crates/sim/src/lib.rs crates/sim/src/compile.rs crates/sim/src/engine.rs crates/sim/src/reference.rs crates/sim/src/testbench.rs crates/sim/src/wheel.rs
+
+/root/repo/target/debug/deps/libscpg_sim-b05e51bfc9708d63.rmeta: crates/sim/src/lib.rs crates/sim/src/compile.rs crates/sim/src/engine.rs crates/sim/src/reference.rs crates/sim/src/testbench.rs crates/sim/src/wheel.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/compile.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/reference.rs:
+crates/sim/src/testbench.rs:
+crates/sim/src/wheel.rs:

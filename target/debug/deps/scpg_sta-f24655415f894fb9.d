@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scpg_sta-f24655415f894fb9.d: crates/sta/src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_sta-f24655415f894fb9.rlib: crates/sta/src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_sta-f24655415f894fb9.rmeta: crates/sta/src/lib.rs
+
+crates/sta/src/lib.rs:

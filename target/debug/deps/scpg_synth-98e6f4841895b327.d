@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/scpg_synth-98e6f4841895b327.d: crates/synth/src/lib.rs crates/synth/src/builder.rs crates/synth/src/cts.rs crates/synth/src/prune.rs crates/synth/src/word.rs
+
+/root/repo/target/debug/deps/libscpg_synth-98e6f4841895b327.rlib: crates/synth/src/lib.rs crates/synth/src/builder.rs crates/synth/src/cts.rs crates/synth/src/prune.rs crates/synth/src/word.rs
+
+/root/repo/target/debug/deps/libscpg_synth-98e6f4841895b327.rmeta: crates/synth/src/lib.rs crates/synth/src/builder.rs crates/synth/src/cts.rs crates/synth/src/prune.rs crates/synth/src/word.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/builder.rs:
+crates/synth/src/cts.rs:
+crates/synth/src/prune.rs:
+crates/synth/src/word.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scpg_units-af488ce19d0dd8b0.d: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs
+
+/root/repo/target/debug/deps/libscpg_units-af488ce19d0dd8b0.rlib: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs
+
+/root/repo/target/debug/deps/libscpg_units-af488ce19d0dd8b0.rmeta: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs
+
+crates/units/src/lib.rs:
+crates/units/src/display.rs:
+crates/units/src/quantities.rs:
+crates/units/src/sweep.rs:

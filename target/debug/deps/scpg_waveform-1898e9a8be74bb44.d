@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_waveform-1898e9a8be74bb44.d: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs
+
+/root/repo/target/debug/deps/libscpg_waveform-1898e9a8be74bb44.rlib: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs
+
+/root/repo/target/debug/deps/libscpg_waveform-1898e9a8be74bb44.rmeta: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs
+
+crates/waveform/src/lib.rs:
+crates/waveform/src/activity.rs:
+crates/waveform/src/vcd.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scpg_waveform-3522e016b0921edf.d: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs
+
+/root/repo/target/debug/deps/scpg_waveform-3522e016b0921edf: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs
+
+crates/waveform/src/lib.rs:
+crates/waveform/src/activity.rs:
+crates/waveform/src/vcd.rs:

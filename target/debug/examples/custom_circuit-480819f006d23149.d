@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_circuit-480819f006d23149.d: examples/custom_circuit.rs
+
+/root/repo/target/debug/examples/custom_circuit-480819f006d23149: examples/custom_circuit.rs
+
+examples/custom_circuit.rs:

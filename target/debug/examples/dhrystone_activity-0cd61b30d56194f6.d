@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dhrystone_activity-0cd61b30d56194f6.d: examples/dhrystone_activity.rs
+
+/root/repo/target/debug/examples/dhrystone_activity-0cd61b30d56194f6: examples/dhrystone_activity.rs
+
+examples/dhrystone_activity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/duty_cycle_explorer-5e5175aff964e975.d: examples/duty_cycle_explorer.rs
+
+/root/repo/target/debug/examples/duty_cycle_explorer-5e5175aff964e975: examples/duty_cycle_explorer.rs
+
+examples/duty_cycle_explorer.rs:

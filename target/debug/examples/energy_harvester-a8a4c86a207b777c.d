@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/energy_harvester-a8a4c86a207b777c.d: examples/energy_harvester.rs
+
+/root/repo/target/debug/examples/energy_harvester-a8a4c86a207b777c: examples/energy_harvester.rs
+
+examples/energy_harvester.rs:

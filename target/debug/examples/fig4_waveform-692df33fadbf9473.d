@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fig4_waveform-692df33fadbf9473.d: examples/fig4_waveform.rs
+
+/root/repo/target/debug/examples/fig4_waveform-692df33fadbf9473: examples/fig4_waveform.rs
+
+examples/fig4_waveform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-830ab4e25ad96e82.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-830ab4e25ad96e82: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/subthreshold_comparison-56bcdf31d190bfc2.d: examples/subthreshold_comparison.rs
+
+/root/repo/target/debug/examples/subthreshold_comparison-56bcdf31d190bfc2: examples/subthreshold_comparison.rs
+
+examples/subthreshold_comparison.rs:

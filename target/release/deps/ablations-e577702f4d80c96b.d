@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-e577702f4d80c96b.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-e577702f4d80c96b: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

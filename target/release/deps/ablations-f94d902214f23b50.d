@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablations-f94d902214f23b50.d: crates/bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/release/deps/libablations-f94d902214f23b50.rmeta: crates/bench/benches/ablations.rs Cargo.toml
+
+crates/bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/area-bbe0ce92f2a27358.d: crates/bench/src/bin/area.rs
+
+/root/repo/target/release/deps/area-bbe0ce92f2a27358: crates/bench/src/bin/area.rs
+
+crates/bench/src/bin/area.rs:

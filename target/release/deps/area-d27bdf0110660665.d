@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/area-d27bdf0110660665.d: crates/bench/src/bin/area.rs Cargo.toml
+
+/root/repo/target/release/deps/libarea-d27bdf0110660665.rmeta: crates/bench/src/bin/area.rs Cargo.toml
+
+crates/bench/src/bin/area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/area-e6a7a37244516970.d: crates/bench/src/bin/area.rs
+
+/root/repo/target/release/deps/area-e6a7a37244516970: crates/bench/src/bin/area.rs
+
+crates/bench/src/bin/area.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/area-e8bc7ff035f7f2d4.d: crates/bench/src/bin/area.rs Cargo.toml
+
+/root/repo/target/release/deps/libarea-e8bc7ff035f7f2d4.rmeta: crates/bench/src/bin/area.rs Cargo.toml
+
+crates/bench/src/bin/area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

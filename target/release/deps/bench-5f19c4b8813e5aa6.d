@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-5f19c4b8813e5aa6.d: crates/bench/src/bin/bench.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench-5f19c4b8813e5aa6.rmeta: crates/bench/src/bin/bench.rs Cargo.toml
+
+crates/bench/src/bin/bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-7e63291da6af8d7e.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/release/deps/bench-7e63291da6af8d7e: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

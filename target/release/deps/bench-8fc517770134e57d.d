@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-8fc517770134e57d.d: crates/bench/src/bin/bench.rs Cargo.toml
+
+/root/repo/target/release/deps/libbench-8fc517770134e57d.rmeta: crates/bench/src/bin/bench.rs Cargo.toml
+
+crates/bench/src/bin/bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

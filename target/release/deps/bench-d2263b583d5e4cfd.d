@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-d2263b583d5e4cfd.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/release/deps/bench-d2263b583d5e4cfd: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

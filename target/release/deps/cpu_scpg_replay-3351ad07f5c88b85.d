@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cpu_scpg_replay-3351ad07f5c88b85.d: tests/cpu_scpg_replay.rs Cargo.toml
+
+/root/repo/target/release/deps/libcpu_scpg_replay-3351ad07f5c88b85.rmeta: tests/cpu_scpg_replay.rs Cargo.toml
+
+tests/cpu_scpg_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cpu_scpg_replay-58a5a0a20bc9351e.d: tests/cpu_scpg_replay.rs
+
+/root/repo/target/release/deps/cpu_scpg_replay-58a5a0a20bc9351e: tests/cpu_scpg_replay.rs
+
+tests/cpu_scpg_replay.rs:

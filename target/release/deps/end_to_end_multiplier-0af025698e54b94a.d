@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/end_to_end_multiplier-0af025698e54b94a.d: tests/end_to_end_multiplier.rs Cargo.toml
+
+/root/repo/target/release/deps/libend_to_end_multiplier-0af025698e54b94a.rmeta: tests/end_to_end_multiplier.rs Cargo.toml
+
+tests/end_to_end_multiplier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_multiplier-dfaa18bab06a791f.d: tests/end_to_end_multiplier.rs
+
+/root/repo/target/release/deps/end_to_end_multiplier-dfaa18bab06a791f: tests/end_to_end_multiplier.rs
+
+tests/end_to_end_multiplier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_equivalence-3bbbfdfe8c578701.d: tests/engine_equivalence.rs
+
+/root/repo/target/release/deps/engine_equivalence-3bbbfdfe8c578701: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/engine_equivalence-c2282361e0658d85.d: tests/engine_equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libengine_equivalence-c2282361e0658d85.rmeta: tests/engine_equivalence.rs Cargo.toml
+
+tests/engine_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

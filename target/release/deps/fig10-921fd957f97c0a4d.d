@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-921fd957f97c0a4d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-921fd957f97c0a4d: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

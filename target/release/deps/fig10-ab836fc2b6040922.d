@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-ab836fc2b6040922.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-ab836fc2b6040922: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-779e0beb9d8912d8.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-779e0beb9d8912d8: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

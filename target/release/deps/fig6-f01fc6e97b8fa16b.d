@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-f01fc6e97b8fa16b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-f01fc6e97b8fa16b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig6-fbf1aed6ea0f614d.d: crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig6-fbf1aed6ea0f614d.rmeta: crates/bench/src/bin/fig6.rs Cargo.toml
+
+crates/bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

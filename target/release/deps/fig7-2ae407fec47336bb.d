@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-2ae407fec47336bb.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-2ae407fec47336bb: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-aea621638e62dbea.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-aea621638e62dbea: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-2574e3c3d1b8f7fa.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-2574e3c3d1b8f7fa: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

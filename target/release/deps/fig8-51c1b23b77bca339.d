@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig8-51c1b23b77bca339.d: crates/bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig8-51c1b23b77bca339.rmeta: crates/bench/src/bin/fig8.rs Cargo.toml
+
+crates/bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-c4cba4291581956c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-c4cba4291581956c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

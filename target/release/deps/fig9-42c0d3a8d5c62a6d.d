@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-42c0d3a8d5c62a6d.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-42c0d3a8d5c62a6d: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-49bea03e85210140.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-49bea03e85210140: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

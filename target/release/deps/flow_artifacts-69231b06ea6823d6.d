@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flow_artifacts-69231b06ea6823d6.d: tests/flow_artifacts.rs Cargo.toml
+
+/root/repo/target/release/deps/libflow_artifacts-69231b06ea6823d6.rmeta: tests/flow_artifacts.rs Cargo.toml
+
+tests/flow_artifacts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

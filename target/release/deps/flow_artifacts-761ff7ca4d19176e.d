@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flow_artifacts-761ff7ca4d19176e.d: tests/flow_artifacts.rs
+
+/root/repo/target/release/deps/flow_artifacts-761ff7ca4d19176e: tests/flow_artifacts.rs
+
+tests/flow_artifacts.rs:

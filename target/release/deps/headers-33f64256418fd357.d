@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headers-33f64256418fd357.d: crates/bench/src/bin/headers.rs
+
+/root/repo/target/release/deps/headers-33f64256418fd357: crates/bench/src/bin/headers.rs
+
+crates/bench/src/bin/headers.rs:

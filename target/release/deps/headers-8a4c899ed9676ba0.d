@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/headers-8a4c899ed9676ba0.d: crates/bench/src/bin/headers.rs Cargo.toml
+
+/root/repo/target/release/deps/libheaders-8a4c899ed9676ba0.rmeta: crates/bench/src/bin/headers.rs Cargo.toml
+
+crates/bench/src/bin/headers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

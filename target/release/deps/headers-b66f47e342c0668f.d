@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/headers-b66f47e342c0668f.d: crates/bench/src/bin/headers.rs Cargo.toml
+
+/root/repo/target/release/deps/libheaders-b66f47e342c0668f.rmeta: crates/bench/src/bin/headers.rs Cargo.toml
+
+crates/bench/src/bin/headers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headers-cb850f46dc22bd83.d: crates/bench/src/bin/headers.rs
+
+/root/repo/target/release/deps/headers-cb850f46dc22bd83: crates/bench/src/bin/headers.rs
+
+crates/bench/src/bin/headers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headline-5ef7cde8bb7a43f5.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/release/deps/headline-5ef7cde8bb7a43f5: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/headline-7cef1116573b4925.d: crates/bench/src/bin/headline.rs Cargo.toml
+
+/root/repo/target/release/deps/libheadline-7cef1116573b4925.rmeta: crates/bench/src/bin/headline.rs Cargo.toml
+
+crates/bench/src/bin/headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headline-9199fdf8ad93806e.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/release/deps/headline-9199fdf8ad93806e: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/headline-c3e995e403b8e265.d: crates/bench/src/bin/headline.rs Cargo.toml
+
+/root/repo/target/release/deps/libheadline-c3e995e403b8e265.rmeta: crates/bench/src/bin/headline.rs Cargo.toml
+
+crates/bench/src/bin/headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

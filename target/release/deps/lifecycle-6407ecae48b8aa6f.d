@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lifecycle-6407ecae48b8aa6f.d: crates/bench/src/bin/lifecycle.rs Cargo.toml
+
+/root/repo/target/release/deps/liblifecycle-6407ecae48b8aa6f.rmeta: crates/bench/src/bin/lifecycle.rs Cargo.toml
+
+crates/bench/src/bin/lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lifecycle-971d7194884eaf3d.d: crates/bench/src/bin/lifecycle.rs
+
+/root/repo/target/release/deps/lifecycle-971d7194884eaf3d: crates/bench/src/bin/lifecycle.rs
+
+crates/bench/src/bin/lifecycle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lifecycle-a7d2f0f54a7de90a.d: crates/bench/src/bin/lifecycle.rs Cargo.toml
+
+/root/repo/target/release/deps/liblifecycle-a7d2f0f54a7de90a.rmeta: crates/bench/src/bin/lifecycle.rs Cargo.toml
+
+crates/bench/src/bin/lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lifecycle-a7dec9a4a798436c.d: crates/bench/src/bin/lifecycle.rs
+
+/root/repo/target/release/deps/lifecycle-a7dec9a4a798436c: crates/bench/src/bin/lifecycle.rs
+
+crates/bench/src/bin/lifecycle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-9379e406b1564c3e.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-9379e406b1564c3e.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d7830e654f5c95d2.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-d7830e654f5c95d2: tests/properties.rs
+
+tests/properties.rs:

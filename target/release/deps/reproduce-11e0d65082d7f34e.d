@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/reproduce-11e0d65082d7f34e.d: crates/bench/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/release/deps/libreproduce-11e0d65082d7f34e.rmeta: crates/bench/src/bin/reproduce.rs Cargo.toml
+
+crates/bench/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

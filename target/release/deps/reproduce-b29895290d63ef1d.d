@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/reproduce-b29895290d63ef1d.d: crates/bench/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/release/deps/libreproduce-b29895290d63ef1d.rmeta: crates/bench/src/bin/reproduce.rs Cargo.toml
+
+crates/bench/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

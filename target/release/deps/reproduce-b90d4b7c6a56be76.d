@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-b90d4b7c6a56be76.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-b90d4b7c6a56be76: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-bd55974e6e6ef067.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-bd55974e6e6ef067: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

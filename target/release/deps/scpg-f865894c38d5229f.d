@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/scpg-f865894c38d5229f.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/transform.rs crates/core/src/upf.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg-f865894c38d5229f.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/transform.rs crates/core/src/upf.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/budget.rs:
+crates/core/src/duty.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/headers.rs:
+crates/core/src/lifecycle.rs:
+crates/core/src/transform.rs:
+crates/core/src/upf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/scpg_analog-0de56aaa2e06d7e5.d: crates/analog/src/lib.rs crates/analog/src/gating.rs crates/analog/src/rail.rs crates/analog/src/sizing.rs crates/analog/src/transient.rs
+
+/root/repo/target/release/deps/libscpg_analog-0de56aaa2e06d7e5.rlib: crates/analog/src/lib.rs crates/analog/src/gating.rs crates/analog/src/rail.rs crates/analog/src/sizing.rs crates/analog/src/transient.rs
+
+/root/repo/target/release/deps/libscpg_analog-0de56aaa2e06d7e5.rmeta: crates/analog/src/lib.rs crates/analog/src/gating.rs crates/analog/src/rail.rs crates/analog/src/sizing.rs crates/analog/src/transient.rs
+
+crates/analog/src/lib.rs:
+crates/analog/src/gating.rs:
+crates/analog/src/rail.rs:
+crates/analog/src/sizing.rs:
+crates/analog/src/transient.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/scpg_analog-337b06a037997666.d: crates/analog/src/lib.rs crates/analog/src/gating.rs crates/analog/src/rail.rs crates/analog/src/sizing.rs crates/analog/src/transient.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_analog-337b06a037997666.rmeta: crates/analog/src/lib.rs crates/analog/src/gating.rs crates/analog/src/rail.rs crates/analog/src/sizing.rs crates/analog/src/transient.rs Cargo.toml
+
+crates/analog/src/lib.rs:
+crates/analog/src/gating.rs:
+crates/analog/src/rail.rs:
+crates/analog/src/sizing.rs:
+crates/analog/src/transient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scpg_bench-0c5e9fe3b32a3aae.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/scpg_bench-0c5e9fe3b32a3aae: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

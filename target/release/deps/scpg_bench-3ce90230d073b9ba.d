@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scpg_bench-3ce90230d073b9ba.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libscpg_bench-3ce90230d073b9ba.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libscpg_bench-3ce90230d073b9ba.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

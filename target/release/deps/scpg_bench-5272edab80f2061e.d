@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scpg_bench-5272edab80f2061e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_bench-5272edab80f2061e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/scpg_circuits-1f2d13d177465f2d.d: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs
+
+/root/repo/target/release/deps/libscpg_circuits-1f2d13d177465f2d.rlib: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs
+
+/root/repo/target/release/deps/libscpg_circuits-1f2d13d177465f2d.rmeta: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/cpu.rs:
+crates/circuits/src/harness.rs:
+crates/circuits/src/multiplier.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/scpg_circuits-555b4f21c5b09de2.d: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_circuits-555b4f21c5b09de2.rmeta: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs Cargo.toml
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/cpu.rs:
+crates/circuits/src/harness.rs:
+crates/circuits/src/multiplier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

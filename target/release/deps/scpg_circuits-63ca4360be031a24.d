@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/scpg_circuits-63ca4360be031a24.d: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs
+
+/root/repo/target/release/deps/scpg_circuits-63ca4360be031a24: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/cpu.rs:
+crates/circuits/src/harness.rs:
+crates/circuits/src/multiplier.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/scpg_circuits-ccadfb309d78782c.d: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_circuits-ccadfb309d78782c.rmeta: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs Cargo.toml
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/cpu.rs:
+crates/circuits/src/harness.rs:
+crates/circuits/src/multiplier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scpg_exec-25fa8fc80a9e8621.d: crates/exec/src/lib.rs
+
+/root/repo/target/release/deps/scpg_exec-25fa8fc80a9e8621: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scpg_exec-6e6ceab0fbf5910e.d: crates/exec/src/lib.rs
+
+/root/repo/target/release/deps/libscpg_exec-6e6ceab0fbf5910e.rlib: crates/exec/src/lib.rs
+
+/root/repo/target/release/deps/libscpg_exec-6e6ceab0fbf5910e.rmeta: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scpg_exec-a3b8314c1042cb60.d: crates/exec/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_exec-a3b8314c1042cb60.rmeta: crates/exec/src/lib.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

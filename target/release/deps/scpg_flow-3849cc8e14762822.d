@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scpg_flow-3849cc8e14762822.d: crates/core/src/bin/scpg_flow.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_flow-3849cc8e14762822.rmeta: crates/core/src/bin/scpg_flow.rs Cargo.toml
+
+crates/core/src/bin/scpg_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scpg_flow-5f9037573d8bab1f.d: crates/core/src/bin/scpg_flow.rs
+
+/root/repo/target/release/deps/scpg_flow-5f9037573d8bab1f: crates/core/src/bin/scpg_flow.rs
+
+crates/core/src/bin/scpg_flow.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/scpg_isa-25b0e0adce294d49.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs
+
+/root/repo/target/release/deps/libscpg_isa-25b0e0adce294d49.rlib: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs
+
+/root/repo/target/release/deps/libscpg_isa-25b0e0adce294d49.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/dhrystone.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/iss.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/scpg_isa-8b92d14e37f5849f.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_isa-8b92d14e37f5849f.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/dhrystone.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/iss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scpg_isa-df7cd99ed76744cb.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs
+
+/root/repo/target/release/deps/scpg_isa-df7cd99ed76744cb: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/dhrystone.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/iss.rs:

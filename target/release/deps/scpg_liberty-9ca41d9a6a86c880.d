@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/scpg_liberty-9ca41d9a6a86c880.d: crates/liberty/src/lib.rs crates/liberty/src/cell.rs crates/liberty/src/format.rs crates/liberty/src/headers.rs crates/liberty/src/library.rs crates/liberty/src/logic.rs crates/liberty/src/model.rs
+
+/root/repo/target/release/deps/libscpg_liberty-9ca41d9a6a86c880.rlib: crates/liberty/src/lib.rs crates/liberty/src/cell.rs crates/liberty/src/format.rs crates/liberty/src/headers.rs crates/liberty/src/library.rs crates/liberty/src/logic.rs crates/liberty/src/model.rs
+
+/root/repo/target/release/deps/libscpg_liberty-9ca41d9a6a86c880.rmeta: crates/liberty/src/lib.rs crates/liberty/src/cell.rs crates/liberty/src/format.rs crates/liberty/src/headers.rs crates/liberty/src/library.rs crates/liberty/src/logic.rs crates/liberty/src/model.rs
+
+crates/liberty/src/lib.rs:
+crates/liberty/src/cell.rs:
+crates/liberty/src/format.rs:
+crates/liberty/src/headers.rs:
+crates/liberty/src/library.rs:
+crates/liberty/src/logic.rs:
+crates/liberty/src/model.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/scpg_liberty-ece938c6526c5e06.d: crates/liberty/src/lib.rs crates/liberty/src/cell.rs crates/liberty/src/format.rs crates/liberty/src/headers.rs crates/liberty/src/library.rs crates/liberty/src/logic.rs crates/liberty/src/model.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_liberty-ece938c6526c5e06.rmeta: crates/liberty/src/lib.rs crates/liberty/src/cell.rs crates/liberty/src/format.rs crates/liberty/src/headers.rs crates/liberty/src/library.rs crates/liberty/src/logic.rs crates/liberty/src/model.rs Cargo.toml
+
+crates/liberty/src/lib.rs:
+crates/liberty/src/cell.rs:
+crates/liberty/src/format.rs:
+crates/liberty/src/headers.rs:
+crates/liberty/src/library.rs:
+crates/liberty/src/logic.rs:
+crates/liberty/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/scpg_netlist-15d2f270f4990a3a.d: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_netlist-15d2f270f4990a3a.rmeta: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/graph.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/verilog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/scpg_netlist-a6526170a10aad8c.d: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_netlist-a6526170a10aad8c.rmeta: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/graph.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/verilog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/scpg_power-729886c2c971b4bd.d: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_power-729886c2c971b4bd.rmeta: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/analyzer.rs:
+crates/power/src/subthreshold.rs:
+crates/power/src/variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

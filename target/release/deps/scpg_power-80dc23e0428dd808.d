@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/scpg_power-80dc23e0428dd808.d: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs
+
+/root/repo/target/release/deps/libscpg_power-80dc23e0428dd808.rlib: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs
+
+/root/repo/target/release/deps/libscpg_power-80dc23e0428dd808.rmeta: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs
+
+crates/power/src/lib.rs:
+crates/power/src/analyzer.rs:
+crates/power/src/subthreshold.rs:
+crates/power/src/variation.rs:

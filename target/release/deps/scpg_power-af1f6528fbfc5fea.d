@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/scpg_power-af1f6528fbfc5fea.d: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs
+
+/root/repo/target/release/deps/scpg_power-af1f6528fbfc5fea: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs
+
+crates/power/src/lib.rs:
+crates/power/src/analyzer.rs:
+crates/power/src/subthreshold.rs:
+crates/power/src/variation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scpg_repro-6ac6a23e03707365.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_repro-6ac6a23e03707365.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scpg_repro-90407a4c62e1ade3.d: src/lib.rs
+
+/root/repo/target/release/deps/libscpg_repro-90407a4c62e1ade3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libscpg_repro-90407a4c62e1ade3.rmeta: src/lib.rs
+
+src/lib.rs:

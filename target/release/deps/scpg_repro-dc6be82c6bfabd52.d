@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scpg_repro-dc6be82c6bfabd52.d: src/lib.rs
+
+/root/repo/target/release/deps/scpg_repro-dc6be82c6bfabd52: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scpg_repro-e34a857de6b725a3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_repro-e34a857de6b725a3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

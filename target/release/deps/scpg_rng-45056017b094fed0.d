@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scpg_rng-45056017b094fed0.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/scpg_rng-45056017b094fed0: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

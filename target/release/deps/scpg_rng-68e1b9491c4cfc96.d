@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scpg_rng-68e1b9491c4cfc96.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_rng-68e1b9491c4cfc96.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

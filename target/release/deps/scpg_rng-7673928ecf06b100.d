@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scpg_rng-7673928ecf06b100.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libscpg_rng-7673928ecf06b100.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libscpg_rng-7673928ecf06b100.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

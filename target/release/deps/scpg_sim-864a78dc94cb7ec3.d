@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/scpg_sim-864a78dc94cb7ec3.d: crates/sim/src/lib.rs crates/sim/src/compile.rs crates/sim/src/engine.rs crates/sim/src/reference.rs crates/sim/src/testbench.rs crates/sim/src/wheel.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_sim-864a78dc94cb7ec3.rmeta: crates/sim/src/lib.rs crates/sim/src/compile.rs crates/sim/src/engine.rs crates/sim/src/reference.rs crates/sim/src/testbench.rs crates/sim/src/wheel.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/compile.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/reference.rs:
+crates/sim/src/testbench.rs:
+crates/sim/src/wheel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

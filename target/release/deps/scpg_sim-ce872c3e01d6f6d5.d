@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/scpg_sim-ce872c3e01d6f6d5.d: crates/sim/src/lib.rs crates/sim/src/compile.rs crates/sim/src/engine.rs crates/sim/src/reference.rs crates/sim/src/testbench.rs crates/sim/src/wheel.rs
+
+/root/repo/target/release/deps/libscpg_sim-ce872c3e01d6f6d5.rlib: crates/sim/src/lib.rs crates/sim/src/compile.rs crates/sim/src/engine.rs crates/sim/src/reference.rs crates/sim/src/testbench.rs crates/sim/src/wheel.rs
+
+/root/repo/target/release/deps/libscpg_sim-ce872c3e01d6f6d5.rmeta: crates/sim/src/lib.rs crates/sim/src/compile.rs crates/sim/src/engine.rs crates/sim/src/reference.rs crates/sim/src/testbench.rs crates/sim/src/wheel.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/compile.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/reference.rs:
+crates/sim/src/testbench.rs:
+crates/sim/src/wheel.rs:

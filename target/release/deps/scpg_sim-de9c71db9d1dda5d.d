@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/scpg_sim-de9c71db9d1dda5d.d: crates/sim/src/lib.rs crates/sim/src/compile.rs crates/sim/src/engine.rs crates/sim/src/reference.rs crates/sim/src/testbench.rs crates/sim/src/wheel.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_sim-de9c71db9d1dda5d.rmeta: crates/sim/src/lib.rs crates/sim/src/compile.rs crates/sim/src/engine.rs crates/sim/src/reference.rs crates/sim/src/testbench.rs crates/sim/src/wheel.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/compile.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/reference.rs:
+crates/sim/src/testbench.rs:
+crates/sim/src/wheel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

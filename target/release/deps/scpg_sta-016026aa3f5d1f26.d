@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scpg_sta-016026aa3f5d1f26.d: crates/sta/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_sta-016026aa3f5d1f26.rmeta: crates/sta/src/lib.rs Cargo.toml
+
+crates/sta/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

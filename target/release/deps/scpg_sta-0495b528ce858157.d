@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scpg_sta-0495b528ce858157.d: crates/sta/src/lib.rs
+
+/root/repo/target/release/deps/libscpg_sta-0495b528ce858157.rlib: crates/sta/src/lib.rs
+
+/root/repo/target/release/deps/libscpg_sta-0495b528ce858157.rmeta: crates/sta/src/lib.rs
+
+crates/sta/src/lib.rs:

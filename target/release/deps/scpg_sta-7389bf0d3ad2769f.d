@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scpg_sta-7389bf0d3ad2769f.d: crates/sta/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_sta-7389bf0d3ad2769f.rmeta: crates/sta/src/lib.rs Cargo.toml
+
+crates/sta/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scpg_sta-86c050a44cedc63f.d: crates/sta/src/lib.rs
+
+/root/repo/target/release/deps/scpg_sta-86c050a44cedc63f: crates/sta/src/lib.rs
+
+crates/sta/src/lib.rs:

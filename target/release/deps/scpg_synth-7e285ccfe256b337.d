@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scpg_synth-7e285ccfe256b337.d: crates/synth/src/lib.rs crates/synth/src/builder.rs crates/synth/src/cts.rs crates/synth/src/prune.rs crates/synth/src/word.rs
+
+/root/repo/target/release/deps/scpg_synth-7e285ccfe256b337: crates/synth/src/lib.rs crates/synth/src/builder.rs crates/synth/src/cts.rs crates/synth/src/prune.rs crates/synth/src/word.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/builder.rs:
+crates/synth/src/cts.rs:
+crates/synth/src/prune.rs:
+crates/synth/src/word.rs:

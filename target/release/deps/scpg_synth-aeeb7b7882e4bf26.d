@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/scpg_synth-aeeb7b7882e4bf26.d: crates/synth/src/lib.rs crates/synth/src/builder.rs crates/synth/src/cts.rs crates/synth/src/prune.rs crates/synth/src/word.rs
+
+/root/repo/target/release/deps/libscpg_synth-aeeb7b7882e4bf26.rlib: crates/synth/src/lib.rs crates/synth/src/builder.rs crates/synth/src/cts.rs crates/synth/src/prune.rs crates/synth/src/word.rs
+
+/root/repo/target/release/deps/libscpg_synth-aeeb7b7882e4bf26.rmeta: crates/synth/src/lib.rs crates/synth/src/builder.rs crates/synth/src/cts.rs crates/synth/src/prune.rs crates/synth/src/word.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/builder.rs:
+crates/synth/src/cts.rs:
+crates/synth/src/prune.rs:
+crates/synth/src/word.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/scpg_units-7851832a8c7b5c4c.d: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs
+
+/root/repo/target/release/deps/libscpg_units-7851832a8c7b5c4c.rlib: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs
+
+/root/repo/target/release/deps/libscpg_units-7851832a8c7b5c4c.rmeta: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs
+
+crates/units/src/lib.rs:
+crates/units/src/display.rs:
+crates/units/src/quantities.rs:
+crates/units/src/sweep.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/scpg_units-7ec965d4165638ae.d: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_units-7ec965d4165638ae.rmeta: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs Cargo.toml
+
+crates/units/src/lib.rs:
+crates/units/src/display.rs:
+crates/units/src/quantities.rs:
+crates/units/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/scpg_units-ddb93407cd890378.d: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs
+
+/root/repo/target/release/deps/scpg_units-ddb93407cd890378: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs
+
+crates/units/src/lib.rs:
+crates/units/src/display.rs:
+crates/units/src/quantities.rs:
+crates/units/src/sweep.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scpg_waveform-6d4494102d7d5212.d: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs
+
+/root/repo/target/release/deps/scpg_waveform-6d4494102d7d5212: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs
+
+crates/waveform/src/lib.rs:
+crates/waveform/src/activity.rs:
+crates/waveform/src/vcd.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/scpg_waveform-9f92ef942e20718c.d: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_waveform-9f92ef942e20718c.rmeta: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs Cargo.toml
+
+crates/waveform/src/lib.rs:
+crates/waveform/src/activity.rs:
+crates/waveform/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scpg_waveform-bdd418871c8e6518.d: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs
+
+/root/repo/target/release/deps/libscpg_waveform-bdd418871c8e6518.rlib: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs
+
+/root/repo/target/release/deps/libscpg_waveform-bdd418871c8e6518.rmeta: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs
+
+crates/waveform/src/lib.rs:
+crates/waveform/src/activity.rs:
+crates/waveform/src/vcd.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/scpg_waveform-bf31ee8732ea5d09.d: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs Cargo.toml
+
+/root/repo/target/release/deps/libscpg_waveform-bf31ee8732ea5d09.rmeta: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs Cargo.toml
+
+crates/waveform/src/lib.rs:
+crates/waveform/src/activity.rs:
+crates/waveform/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/substrates-3ad57f8ff84ed92b.d: crates/bench/benches/substrates.rs Cargo.toml
+
+/root/repo/target/release/deps/libsubstrates-3ad57f8ff84ed92b.rmeta: crates/bench/benches/substrates.rs Cargo.toml
+
+crates/bench/benches/substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

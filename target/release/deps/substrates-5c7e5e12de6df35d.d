@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrates-5c7e5e12de6df35d.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/release/deps/substrates-5c7e5e12de6df35d: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

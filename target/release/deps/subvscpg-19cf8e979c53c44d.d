@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/subvscpg-19cf8e979c53c44d.d: crates/bench/src/bin/subvscpg.rs Cargo.toml
+
+/root/repo/target/release/deps/libsubvscpg-19cf8e979c53c44d.rmeta: crates/bench/src/bin/subvscpg.rs Cargo.toml
+
+crates/bench/src/bin/subvscpg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/subvscpg-4274ab4b8ddc90d4.d: crates/bench/src/bin/subvscpg.rs
+
+/root/repo/target/release/deps/subvscpg-4274ab4b8ddc90d4: crates/bench/src/bin/subvscpg.rs
+
+crates/bench/src/bin/subvscpg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/subvscpg-86efc4c65f2a5196.d: crates/bench/src/bin/subvscpg.rs
+
+/root/repo/target/release/deps/subvscpg-86efc4c65f2a5196: crates/bench/src/bin/subvscpg.rs
+
+crates/bench/src/bin/subvscpg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/subvscpg-d2337bee80af815e.d: crates/bench/src/bin/subvscpg.rs Cargo.toml
+
+/root/repo/target/release/deps/libsubvscpg-d2337bee80af815e.rmeta: crates/bench/src/bin/subvscpg.rs Cargo.toml
+
+crates/bench/src/bin/subvscpg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

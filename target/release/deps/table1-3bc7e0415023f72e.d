@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-3bc7e0415023f72e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-3bc7e0415023f72e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

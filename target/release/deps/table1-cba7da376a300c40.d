@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-cba7da376a300c40.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-cba7da376a300c40: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-1552f97b2c7c1f57.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-1552f97b2c7c1f57: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

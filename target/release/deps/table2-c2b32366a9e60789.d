@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-c2b32366a9e60789.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-c2b32366a9e60789: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

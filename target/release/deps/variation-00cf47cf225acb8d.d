@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/variation-00cf47cf225acb8d.d: crates/bench/src/bin/variation.rs Cargo.toml
+
+/root/repo/target/release/deps/libvariation-00cf47cf225acb8d.rmeta: crates/bench/src/bin/variation.rs Cargo.toml
+
+crates/bench/src/bin/variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/variation-5cea0bfa18a4506b.d: crates/bench/src/bin/variation.rs
+
+/root/repo/target/release/deps/variation-5cea0bfa18a4506b: crates/bench/src/bin/variation.rs
+
+crates/bench/src/bin/variation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/variation-7b2a496f3701afb8.d: crates/bench/src/bin/variation.rs Cargo.toml
+
+/root/repo/target/release/deps/libvariation-7b2a496f3701afb8.rmeta: crates/bench/src/bin/variation.rs Cargo.toml
+
+crates/bench/src/bin/variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/variation-bc9a42e4a34469d7.d: crates/bench/src/bin/variation.rs
+
+/root/repo/target/release/deps/variation-bc9a42e4a34469d7: crates/bench/src/bin/variation.rs
+
+crates/bench/src/bin/variation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vfs-843274d4f474a6b0.d: crates/bench/src/bin/vfs.rs
+
+/root/repo/target/release/deps/vfs-843274d4f474a6b0: crates/bench/src/bin/vfs.rs
+
+crates/bench/src/bin/vfs.rs:

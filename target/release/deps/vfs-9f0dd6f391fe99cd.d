@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vfs-9f0dd6f391fe99cd.d: crates/bench/src/bin/vfs.rs Cargo.toml
+
+/root/repo/target/release/deps/libvfs-9f0dd6f391fe99cd.rmeta: crates/bench/src/bin/vfs.rs Cargo.toml
+
+crates/bench/src/bin/vfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

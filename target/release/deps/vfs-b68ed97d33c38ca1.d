@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vfs-b68ed97d33c38ca1.d: crates/bench/src/bin/vfs.rs
+
+/root/repo/target/release/deps/vfs-b68ed97d33c38ca1: crates/bench/src/bin/vfs.rs
+
+crates/bench/src/bin/vfs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vfs-bb6f843193f06582.d: crates/bench/src/bin/vfs.rs Cargo.toml
+
+/root/repo/target/release/deps/libvfs-bb6f843193f06582.rmeta: crates/bench/src/bin/vfs.rs Cargo.toml
+
+crates/bench/src/bin/vfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

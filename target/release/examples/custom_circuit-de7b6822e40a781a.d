@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_circuit-de7b6822e40a781a.d: examples/custom_circuit.rs
+
+/root/repo/target/release/examples/custom_circuit-de7b6822e40a781a: examples/custom_circuit.rs
+
+examples/custom_circuit.rs:

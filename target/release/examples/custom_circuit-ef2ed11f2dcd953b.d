@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/custom_circuit-ef2ed11f2dcd953b.d: examples/custom_circuit.rs Cargo.toml
+
+/root/repo/target/release/examples/libcustom_circuit-ef2ed11f2dcd953b.rmeta: examples/custom_circuit.rs Cargo.toml
+
+examples/custom_circuit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

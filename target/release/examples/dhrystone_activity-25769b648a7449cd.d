@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/dhrystone_activity-25769b648a7449cd.d: examples/dhrystone_activity.rs Cargo.toml
+
+/root/repo/target/release/examples/libdhrystone_activity-25769b648a7449cd.rmeta: examples/dhrystone_activity.rs Cargo.toml
+
+examples/dhrystone_activity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

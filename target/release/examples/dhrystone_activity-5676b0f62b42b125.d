@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dhrystone_activity-5676b0f62b42b125.d: examples/dhrystone_activity.rs
+
+/root/repo/target/release/examples/dhrystone_activity-5676b0f62b42b125: examples/dhrystone_activity.rs
+
+examples/dhrystone_activity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/duty_cycle_explorer-35906462f9de56f2.d: examples/duty_cycle_explorer.rs
+
+/root/repo/target/release/examples/duty_cycle_explorer-35906462f9de56f2: examples/duty_cycle_explorer.rs
+
+examples/duty_cycle_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/duty_cycle_explorer-92cfa1fe929e82d4.d: examples/duty_cycle_explorer.rs Cargo.toml
+
+/root/repo/target/release/examples/libduty_cycle_explorer-92cfa1fe929e82d4.rmeta: examples/duty_cycle_explorer.rs Cargo.toml
+
+examples/duty_cycle_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/energy_harvester-4501cb9f0353c0fb.d: examples/energy_harvester.rs
+
+/root/repo/target/release/examples/energy_harvester-4501cb9f0353c0fb: examples/energy_harvester.rs
+
+examples/energy_harvester.rs:

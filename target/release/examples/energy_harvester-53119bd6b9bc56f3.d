@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/energy_harvester-53119bd6b9bc56f3.d: examples/energy_harvester.rs Cargo.toml
+
+/root/repo/target/release/examples/libenergy_harvester-53119bd6b9bc56f3.rmeta: examples/energy_harvester.rs Cargo.toml
+
+examples/energy_harvester.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fig4_waveform-a2d33b7b72a4a554.d: examples/fig4_waveform.rs
+
+/root/repo/target/release/examples/fig4_waveform-a2d33b7b72a4a554: examples/fig4_waveform.rs
+
+examples/fig4_waveform.rs:

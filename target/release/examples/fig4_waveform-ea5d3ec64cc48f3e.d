@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fig4_waveform-ea5d3ec64cc48f3e.d: examples/fig4_waveform.rs Cargo.toml
+
+/root/repo/target/release/examples/libfig4_waveform-ea5d3ec64cc48f3e.rmeta: examples/fig4_waveform.rs Cargo.toml
+
+examples/fig4_waveform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

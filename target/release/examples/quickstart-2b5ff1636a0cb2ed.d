@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2b5ff1636a0cb2ed.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2b5ff1636a0cb2ed: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-b93538d49741e4d6.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-b93538d49741e4d6.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

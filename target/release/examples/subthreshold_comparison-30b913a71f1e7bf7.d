@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/subthreshold_comparison-30b913a71f1e7bf7.d: examples/subthreshold_comparison.rs
+
+/root/repo/target/release/examples/subthreshold_comparison-30b913a71f1e7bf7: examples/subthreshold_comparison.rs
+
+examples/subthreshold_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/subthreshold_comparison-d1dbd81f96481494.d: examples/subthreshold_comparison.rs Cargo.toml
+
+/root/repo/target/release/examples/libsubthreshold_comparison-d1dbd81f96481494.rmeta: examples/subthreshold_comparison.rs Cargo.toml
+
+examples/subthreshold_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -46,7 +46,7 @@ fn replay_at_duty(duty: f64) {
         Logic::One,
         "gated core must reach HALT like the baseline (duty {duty})"
     );
-    for k in 0..8 {
+    for (k, golden) in golden_regs.iter().enumerate().take(8) {
         let mut v = 0u32;
         for (i, &bit) in ports.regs[k].bits().iter().enumerate() {
             match gated_sim.value(bit).to_bool() {
@@ -55,7 +55,7 @@ fn replay_at_duty(duty: f64) {
                 None => panic!("r{k} bit {i} is X after the run (duty {duty})"),
             }
         }
-        assert_eq!(v, golden_regs[k], "r{k} differs under sub-clock gating");
+        assert_eq!(v, *golden, "r{k} differs under sub-clock gating");
     }
 }
 

@@ -2,13 +2,11 @@
 //! exercised by every clock cycle, produces bit-identical results to the
 //! ungated baseline across random operands.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
 use scpg::transform::{ScpgOptions, ScpgTransform};
 use scpg_circuits::generate_multiplier;
 use scpg_liberty::{Library, Logic};
 use scpg_netlist::Netlist;
+use scpg_rng::StdRng;
 use scpg_sim::{SimConfig, Simulator};
 use scpg_synth::Word;
 
@@ -83,9 +81,7 @@ fn scpg_multiplier_matches_baseline_on_random_operands() {
         .unwrap();
 
     let mut rng = StdRng::seed_from_u64(7);
-    let ops: Vec<(u64, u64)> = (0..12)
-        .map(|_| (rng.random_range(0..256), rng.random_range(0..256)))
-        .collect();
+    let ops: Vec<(u64, u64)> = (0..12).map(|_| (rng.below(256), rng.below(256))).collect();
 
     let base_out = run_workload(&baseline, &lib, false, &ops);
     let scpg_out = run_workload(&scpg.netlist, &lib, true, &ops);
@@ -108,7 +104,7 @@ fn override_pin_gives_identical_results_too() {
     let ops = [(3u64, 5u64), (255, 255), (17, 0), (128, 2)];
     let mut sim_ungated = run_with_override(&scpg.netlist, &lib, &ops);
     let gated = run_workload(&scpg.netlist, &lib, true, &ops);
-    assert_eq!(gated, sim_ungated.drain(..).collect::<Vec<_>>());
+    assert_eq!(gated, std::mem::take(&mut sim_ungated));
 }
 
 fn run_with_override(nl: &Netlist, lib: &Library, ops: &[(u64, u64)]) -> Vec<u64> {

@@ -25,7 +25,10 @@ fn scpg_netlist_round_trips_through_verilog() {
     let text = emit_verilog(&report.design.netlist, &lib).unwrap();
     let back = parse_verilog(&text, &lib).unwrap();
     back.validate(&lib).unwrap();
-    assert_eq!(back.instances().len(), report.design.netlist.instances().len());
+    assert_eq!(
+        back.instances().len(),
+        report.design.netlist.instances().len()
+    );
     assert_eq!(back.ports().len(), report.design.netlist.ports().len());
     // Domains are a power-intent attribute (carried by UPF, not Verilog);
     // structure must survive regardless.
@@ -70,7 +73,11 @@ fn upf_references_real_netlist_objects() {
         report.design.header_size.cell_name()
     )));
     // Every named membership element exists as an instance.
-    for line in report.upf.lines().filter(|l| l.starts_with("add_power_domain_elements")) {
+    for line in report
+        .upf
+        .lines()
+        .filter(|l| l.starts_with("add_power_domain_elements"))
+    {
         let inner = line.split('{').nth(1).unwrap().split('}').next().unwrap();
         for name in inner.split_whitespace() {
             assert!(
@@ -89,8 +96,7 @@ fn analysis_power_decomposes_into_engine_numbers() {
     let (baseline, report) = flow_report(&lib);
     let e_dyn = Energy::from_pj(3.0);
     let analysis =
-        ScpgAnalysis::new(&lib, &baseline, &report.design, e_dyn, PvtCorner::default())
-            .unwrap();
+        ScpgAnalysis::new(&lib, &baseline, &report.design, e_dyn, PvtCorner::default()).unwrap();
     let leak = PowerAnalyzer::new(&baseline, &lib, PvtCorner::default())
         .unwrap()
         .leakage(None)
@@ -111,7 +117,10 @@ fn flow_handles_every_case_study_design() {
     let lib = Library::ninety_nm();
     let designs: Vec<(&str, scpg_netlist::Netlist)> = vec![
         ("array", generate_multiplier(&lib, 16).0),
-        ("wallace", scpg_circuits::generate_wallace_multiplier(&lib, 16).0),
+        (
+            "wallace",
+            scpg_circuits::generate_wallace_multiplier(&lib, 16).0,
+        ),
         ("cpu", scpg_circuits::generate_cpu(&lib).0),
     ];
     for (name, nl) in designs {
@@ -188,7 +197,10 @@ fn vcd_activity_matches_simulator_activity() {
 
     let lib = Library::ninety_nm();
     let (nl, ports) = generate_multiplier(&lib, 8);
-    let cfg = SimConfig { vcd: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        vcd: true,
+        ..SimConfig::default()
+    };
     let mut sim = Simulator::new(&nl, &lib, cfg).unwrap();
     sim.set_input_by_name("rst_n", Logic::One);
     sim.set_input_by_name("clk", Logic::Zero);
@@ -215,8 +227,8 @@ fn vcd_activity_matches_simulator_activity() {
     let direct = analyzer.dynamic(&res.activity);
     let via_vcd = analyzer.dynamic(&from_vcd);
     assert_eq!(res.activity.total_toggles(), from_vcd.total_toggles());
-    let rel = (direct.energy.value() - via_vcd.energy.value()).abs()
-        / direct.energy.value().max(1e-30);
+    let rel =
+        (direct.energy.value() - via_vcd.energy.value()).abs() / direct.energy.value().max(1e-30);
     assert!(rel < 1e-12, "VCD-derived power must match: {rel}");
 }
 

@@ -2,14 +2,18 @@
 //! keep their invariants through synthesis, timing, transformation and
 //! simulation — and random programs execute identically on the ISS and
 //! the gate-level pipeline.
-
-use proptest::prelude::*;
+//!
+//! The random-case driver is a seeded [`scpg_rng::StdRng`] loop (the
+//! container carries no external property-testing harness): every case is
+//! reproducible from the printed seed, and each property keeps the same
+//! case counts and invariants the original harness checked.
 
 use scpg::transform::{ScpgOptions, ScpgTransform};
 use scpg_circuits::{generate_cpu, CpuHarness};
 use scpg_isa::{Instruction, Iss, Reg};
 use scpg_liberty::{Library, Logic};
 use scpg_netlist::NetId;
+use scpg_rng::StdRng;
 use scpg_sim::{SimConfig, Simulator};
 use scpg_synth::{prune_unused, LogicBuilder};
 use scpg_units::Voltage;
@@ -24,14 +28,21 @@ enum GateOp {
     Mux(usize, usize, usize),
 }
 
-fn gate_strategy(pool: usize) -> impl Strategy<Value = GateOp> {
-    prop_oneof![
-        (0..pool).prop_map(GateOp::Not),
-        (0..pool, 0..pool).prop_map(|(a, b)| GateOp::And(a, b)),
-        (0..pool, 0..pool).prop_map(|(a, b)| GateOp::Or(a, b)),
-        (0..pool, 0..pool).prop_map(|(a, b)| GateOp::Xor(a, b)),
-        (0..pool, 0..pool, 0..pool).prop_map(|(s, a, b)| GateOp::Mux(s, a, b)),
-    ]
+/// Draws one random gate whose operand indices are below `pool`.
+fn random_gate(rng: &mut StdRng, pool: usize) -> GateOp {
+    match rng.index(5) {
+        0 => GateOp::Not(rng.index(pool)),
+        1 => GateOp::And(rng.index(pool), rng.index(pool)),
+        2 => GateOp::Or(rng.index(pool), rng.index(pool)),
+        3 => GateOp::Xor(rng.index(pool), rng.index(pool)),
+        _ => GateOp::Mux(rng.index(pool), rng.index(pool), rng.index(pool)),
+    }
+}
+
+/// Draws a random gate list of length in `[lo, hi)`.
+fn random_ops(rng: &mut StdRng, pool: usize, lo: usize, hi: usize) -> Vec<GateOp> {
+    let n = lo + rng.index(hi - lo);
+    (0..n).map(|_| random_gate(rng, pool)).collect()
 }
 
 /// Builds a random registered circuit: 4 inputs, a cloud of random gates,
@@ -59,150 +70,160 @@ fn build_random(ops: &[GateOp], lib: &Library) -> scpg_netlist::Netlist {
     b.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Any random circuit the builder produces validates, has acyclic
-    /// timing, and survives the SCPG transform with its invariants.
-    #[test]
-    fn random_circuits_survive_the_whole_flow(
-        ops in proptest::collection::vec(gate_strategy(16), 3..40)
-    ) {
-        let lib = Library::ninety_nm();
+/// Any random circuit the builder produces validates, has acyclic
+/// timing, and survives the SCPG transform with its invariants.
+#[test]
+fn random_circuits_survive_the_whole_flow() {
+    let lib = Library::ninety_nm();
+    let mut rng = StdRng::seed_from_u64(0x1A70);
+    for case in 0..24 {
+        let ops = random_ops(&mut rng, 16, 3, 40);
         let nl = build_random(&ops, &lib);
-        prop_assert!(nl.validate(&lib).is_ok());
+        assert!(nl.validate(&lib).is_ok(), "case {case}");
 
         // Timing is well-defined and positive.
         let t = scpg_sta::analyze(&nl, &lib, Voltage::from_mv(600.0)).unwrap();
-        prop_assert!(t.t_eval.value() > 0.0);
+        assert!(t.t_eval.value() > 0.0, "case {case}");
 
         // SCPG transform keeps the netlist valid, gates only logic, and
         // never grows the sequential count.
         if let Ok(design) = ScpgTransform::new(&lib).apply(&nl, "clk", &ScpgOptions::default()) {
-            prop_assert!(design.netlist.validate(&lib).is_ok());
+            assert!(design.netlist.validate(&lib).is_ok(), "case {case}");
             let s0 = nl.stats(&lib);
             let s1 = design.netlist.stats(&lib);
-            prop_assert_eq!(s0.sequential, s1.sequential);
-            prop_assert!(s1.gated.sequential == 0);
-            prop_assert!(s1.area.value() >= s0.area.value());
+            assert_eq!(s0.sequential, s1.sequential, "case {case}");
+            assert!(s1.gated.sequential == 0, "case {case}");
+            assert!(s1.area.value() >= s0.area.value(), "case {case}");
         }
     }
+}
 
-    /// Pruning is idempotent and never breaks validation.
-    #[test]
-    fn prune_is_idempotent(
-        ops in proptest::collection::vec(gate_strategy(12), 3..30)
-    ) {
-        let lib = Library::ninety_nm();
+/// Pruning is idempotent and never breaks validation.
+#[test]
+fn prune_is_idempotent() {
+    let lib = Library::ninety_nm();
+    let mut rng = StdRng::seed_from_u64(0x9121);
+    for case in 0..24 {
+        let ops = random_ops(&mut rng, 12, 3, 30);
         let mut nl = build_random(&ops, &lib);
         let _removed = prune_unused(&mut nl, &lib).unwrap();
-        prop_assert!(nl.validate(&lib).is_ok());
+        assert!(nl.validate(&lib).is_ok(), "case {case}");
         let second = prune_unused(&mut nl, &lib).unwrap();
-        prop_assert_eq!(second, 0, "second prune must remove nothing");
+        assert_eq!(second, 0, "case {case}: second prune must remove nothing");
     }
+}
 
-    /// Structural Verilog emission followed by parsing preserves every
-    /// structural property (cells, ports, connectivity-derived stats and
-    /// the STA result) of arbitrary circuits.
-    #[test]
-    fn verilog_round_trip_preserves_structure(
-        ops in proptest::collection::vec(gate_strategy(10), 3..30)
-    ) {
-        let lib = Library::ninety_nm();
+/// Structural Verilog emission followed by parsing preserves every
+/// structural property (cells, ports, connectivity-derived stats and
+/// the STA result) of arbitrary circuits.
+#[test]
+fn verilog_round_trip_preserves_structure() {
+    let lib = Library::ninety_nm();
+    let mut rng = StdRng::seed_from_u64(0x0DDC);
+    for case in 0..24 {
+        let ops = random_ops(&mut rng, 10, 3, 30);
         let nl = build_random(&ops, &lib);
         let text = scpg_netlist::emit_verilog(&nl, &lib).unwrap();
         let back = scpg_netlist::parse_verilog(&text, &lib).unwrap();
-        prop_assert!(back.validate(&lib).is_ok());
-        prop_assert_eq!(back.instances().len(), nl.instances().len());
-        prop_assert_eq!(back.ports().len(), nl.ports().len());
+        assert!(back.validate(&lib).is_ok(), "case {case}");
+        assert_eq!(back.instances().len(), nl.instances().len(), "case {case}");
+        assert_eq!(back.ports().len(), nl.ports().len(), "case {case}");
         let s0 = nl.stats(&lib);
         let s1 = back.stats(&lib);
-        prop_assert_eq!(&s0.by_cell, &s1.by_cell);
+        assert_eq!(&s0.by_cell, &s1.by_cell, "case {case}");
         let v = Voltage::from_mv(600.0);
         let t0 = scpg_sta::analyze(&nl, &lib, v).unwrap().t_eval;
         let t1 = scpg_sta::analyze(&back, &lib, v).unwrap().t_eval;
-        prop_assert!((t0.value() - t1.value()).abs() < 1e-18);
+        assert!((t0.value() - t1.value()).abs() < 1e-18, "case {case}");
     }
 }
 
-/// A strategy for short, halting tm16 programs: straight-line arithmetic
-/// with bounded forward branches, capped by a HALT.
-fn program_strategy() -> impl Strategy<Value = Vec<Instruction>> {
-    let inst = prop_oneof![
-        (0u8..8, 0u16..512).prop_map(|(rd, imm)| Instruction::Movi { rd: Reg::new(rd), imm }),
-        (0u8..8, -256i16..256).prop_map(|(rd, imm)| Instruction::Addi { rd: Reg::new(rd), imm }),
-        (0u8..8, 0u8..8, 0u16..8).prop_map(|(rd, rs, f)| Instruction::Alu {
-            op: scpg_isa::AluOp::from_code(f),
-            rd: Reg::new(rd),
-            rs: Reg::new(rs),
-        }),
-        (0u8..8, 0u8..8).prop_map(|(rd, rs)| Instruction::Mul {
-            rd: Reg::new(rd),
-            rs: Reg::new(rs)
-        }),
-        (0u8..8, 0u8..8, 0u16..32).prop_map(|(rd, rs, off)| Instruction::Ld {
-            rd: Reg::new(rd),
-            rs: Reg::new(rs),
-            off,
-        }),
-        (0u8..8, 0u8..8, 0u16..32).prop_map(|(rd, rs, off)| Instruction::St {
-            rd: Reg::new(rd),
-            rs: Reg::new(rs),
-            off,
-        }),
+/// Draws one random instruction for a short, halting tm16 program:
+/// straight-line arithmetic with bounded forward branches.
+fn random_instruction(rng: &mut StdRng) -> Instruction {
+    let rd = Reg::new(rng.below(8) as u8);
+    let rs = Reg::new(rng.below(8) as u8);
+    match rng.index(8) {
+        0 => Instruction::Movi {
+            rd,
+            imm: rng.below(512) as u16,
+        },
+        1 => Instruction::Addi {
+            rd,
+            imm: rng.range(0, 512) as i16 - 256,
+        },
+        2 => Instruction::Alu {
+            op: scpg_isa::AluOp::from_code(rng.below(8) as u16),
+            rd,
+            rs,
+        },
+        3 => Instruction::Mul { rd, rs },
+        4 => Instruction::Ld {
+            rd,
+            rs,
+            off: rng.below(32) as u16,
+        },
+        5 => Instruction::St {
+            rd,
+            rs,
+            off: rng.below(32) as u16,
+        },
         // Forward-only branches keep every program terminating.
-        (0u8..8, 0u8..8, 1i16..4).prop_map(|(rd, rs, off)| Instruction::Beq {
-            rd: Reg::new(rd),
-            rs: Reg::new(rs),
-            off,
-        }),
-        (0u8..8, 0u8..8, 1i16..4).prop_map(|(rd, rs, off)| Instruction::Bne {
-            rd: Reg::new(rd),
-            rs: Reg::new(rs),
-            off,
-        }),
-    ];
-    proptest::collection::vec(inst, 1..18).prop_map(|mut v| {
-        // Pad the tail so forward branches always land inside the program.
-        v.extend([Instruction::Nop; 4]);
-        v.push(Instruction::Halt);
-        v
-    })
+        6 => Instruction::Beq {
+            rd,
+            rs,
+            off: rng.range(1, 4) as i16,
+        },
+        _ => Instruction::Bne {
+            rd,
+            rs,
+            off: rng.range(1, 4) as i16,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+fn random_program(rng: &mut StdRng) -> Vec<Instruction> {
+    let n = 1 + rng.index(17);
+    let mut v: Vec<Instruction> = (0..n).map(|_| random_instruction(rng)).collect();
+    // Pad the tail so forward branches always land inside the program.
+    v.extend([Instruction::Nop; 4]);
+    v.push(Instruction::Halt);
+    v
+}
 
-    /// The gate-level pipeline and the ISS agree on every architectural
-    /// register and all touched memory for arbitrary short programs.
-    #[test]
-    fn gate_level_cpu_matches_iss(program in program_strategy()) {
+/// The gate-level pipeline and the ISS agree on every architectural
+/// register and all touched memory for arbitrary short programs.
+#[test]
+fn gate_level_cpu_matches_iss() {
+    let lib = Library::ninety_nm();
+    let (nl, ports) = generate_cpu(&lib);
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    for case in 0..6 {
+        let program = random_program(&mut rng);
         let words: Vec<u16> = program.iter().map(|i| i.encode()).collect();
 
         // Golden: the ISS.
         let mut iss = Iss::with_memory(&words, vec![0xA5A5_5A5A; 64]);
         iss.run(10_000);
-        prop_assert!(iss.halted());
+        assert!(iss.halted(), "case {case}");
 
         // Gate level.
-        let lib = Library::ninety_nm();
-        let (nl, ports) = generate_cpu(&lib);
         let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
         let mut harness = CpuHarness::new(words, vec![0xA5A5_5A5A; 64]);
         harness.reset(&mut sim, &ports, 1_000_000, 3);
         let halted = harness.run_to_halt(&mut sim, &ports, 1_000_000, 400);
-        prop_assert!(halted, "gate-level core must halt");
-        prop_assert_eq!(sim.value(ports.halted), Logic::One);
+        assert!(halted, "case {case}: gate-level core must halt");
+        assert_eq!(sim.value(ports.halted), Logic::One, "case {case}");
 
         for k in 0..8 {
-            prop_assert_eq!(
+            assert_eq!(
                 harness.reg(&sim, &ports, k),
                 iss.reg(k),
-                "r{} mismatch", k
+                "case {case}: r{k} mismatch"
             );
         }
         for addr in 0..64 {
-            prop_assert_eq!(harness.mem(addr), iss.mem(addr), "mem[{}]", addr);
+            assert_eq!(harness.mem(addr), iss.mem(addr), "case {case}: mem[{addr}]");
         }
     }
 }
