@@ -1,14 +1,17 @@
 //! Performance harness for the simulation substrate: emits
 //! `BENCH_sim.json` with engine throughput (events/s, new CSR+time-wheel
 //! engine vs the reference heap engine), netlist-compile amortisation,
-//! analysis sweep wall-clock, and serial-vs-parallel speedups for the
-//! Monte-Carlo variation study and the vector-group workload replay.
+//! analysis sweep wall-clock, serial-vs-parallel speedups for the
+//! Monte-Carlo variation study and the vector-group workload replay, and
+//! the serve path (cold request vs compiled-artifact reuse vs cache hit).
 //!
 //! All numbers are measured on this machine as-is; on a single-core
 //! container the parallel speedups honestly report ≈1×, while the
 //! engine-vs-reference speedup is core-count independent.
 
 use std::time::Instant;
+
+use scpg_json::Json;
 
 use scpg_circuits::{generate_cpu, generate_multiplier, CpuHarness};
 use scpg_isa::dhrystone;
@@ -232,6 +235,74 @@ fn bench_groups() -> (usize, SpeedupNumbers) {
     )
 }
 
+struct ServeNumbers {
+    cold_ms: f64,
+    compiled_ms: f64,
+    warm_ms: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    byte_identical: bool,
+}
+
+/// Measures the HTTP serving path against the same multiplier design:
+/// the cold request pays the design build + analysis, the second request
+/// for the same design reuses the compiled artifact, and the repeated
+/// request is answered from the result cache without touching the
+/// engine.
+fn bench_serve() -> ServeNumbers {
+    let handle = scpg_serve::Server::bind(scpg_serve::ServeConfig::default())
+        .expect("bind loopback server")
+        .spawn();
+    let addr = handle.addr();
+    let sweep = r#"{"frequencies_hz": [1e6, 2e6, 5e6, 1e7, 1.43e7], "mode": "scpg"}"#;
+
+    let t0 = Instant::now();
+    let cold = scpg_serve::client::post(addr, "/v1/sweep", sweep).expect("cold request");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold.status, 200, "{}", cold.text());
+
+    // Different query, same design: the compiled artifact is shared, only
+    // the sweep itself is recomputed.
+    let other = r#"{"frequencies_hz": [3e6, 4e6, 6e6, 8e6, 1.2e7], "mode": "scpg"}"#;
+    let t0 = Instant::now();
+    let compiled = scpg_serve::client::post(addr, "/v1/sweep", other).expect("compiled request");
+    let compiled_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(compiled.status, 200, "{}", compiled.text());
+
+    // Identical query: served from the result cache, byte-identically.
+    // Best-of-5 so per-connection thread-spawn jitter on a loaded box
+    // does not swamp the (microsecond) cache-hit path.
+    let mut warm_ms = f64::INFINITY;
+    let mut warm = cold.clone();
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        warm = scpg_serve::client::post(addr, "/v1/sweep", sweep).expect("warm request");
+        warm_ms = warm_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(warm.status, 200, "{}", warm.text());
+    }
+
+    let m = handle.metrics();
+    handle.shutdown();
+    ServeNumbers {
+        cold_ms,
+        compiled_ms,
+        warm_ms,
+        cache_hits: m.cache_hits,
+        cache_misses: m.cache_misses,
+        byte_identical: warm.body == cold.body,
+    }
+}
+
+/// Keeps the emitted JSON readable: fixed decimals instead of the full
+/// shortest-round-trip expansion of a timing measurement.
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+fn round4(x: f64) -> f64 {
+    (x * 1e4).round() / 1e4
+}
+
 fn main() {
     let threads = scpg_exec::num_threads();
     println!("[bench] worker threads: {threads}");
@@ -295,25 +366,99 @@ fn main() {
         "parallel group replay must be bit-identical"
     );
 
-    let json = format!(
-        "{{\n  \"threads\": {threads},\n  \"engine\": {{\n    \"workload_cycles\": {cycles},\n    \"events\": {events},\n    \"events_per_sec_new\": {eps_new:.0},\n    \"events_per_sec_reference\": {eps_ref:.0},\n    \"speedup_vs_reference\": {eng_speedup:.3}\n  }},\n  \"compile_reuse\": {{\n    \"builds\": {builds},\n    \"fresh_ms\": {fresh:.3},\n    \"shared_ms\": {shared:.3},\n    \"speedup\": {comp_speedup:.3}\n  }},\n  \"sweep\": {{\n    \"points\": {sweep_points},\n    \"wall_ms\": {sweep_ms:.3}\n  }},\n  \"variation\": {{\n    \"samples\": {mc_samples},\n    \"serial_s\": {mc_serial:.4},\n    \"parallel_s\": {mc_parallel:.4},\n    \"speedup\": {mc_speedup:.3},\n    \"bit_identical\": {mc_ident}\n  }},\n  \"group_replay\": {{\n    \"groups\": {n_groups},\n    \"serial_s\": {g_serial:.4},\n    \"parallel_s\": {g_parallel:.4},\n    \"speedup\": {g_speedup:.3},\n    \"bit_identical\": {g_ident}\n  }}\n}}\n",
-        cycles = WORKLOAD_CYCLES,
-        events = eng.events,
-        eng_speedup = eps_new / eps_ref,
-        builds = comp.builds,
-        fresh = comp.fresh_secs * 1e3,
-        shared = comp.shared_secs * 1e3,
-        comp_speedup = comp.fresh_secs / comp.shared_secs.max(1e-12),
-        sweep_ms = sweep_secs * 1e3,
-        mc_serial = mc.serial_secs,
-        mc_parallel = mc.parallel_secs,
-        mc_speedup = mc.serial_secs / mc.parallel_secs.max(1e-12),
-        mc_ident = mc.bit_identical,
-        g_serial = grp.serial_secs,
-        g_parallel = grp.parallel_secs,
-        g_speedup = grp.serial_secs / grp.parallel_secs.max(1e-12),
-        g_ident = grp.bit_identical,
+    println!("[bench] serve path: cold vs compiled-artifact vs cache hit...");
+    let srv = bench_serve();
+    println!(
+        "  cold {:.1} ms, compiled {:.1} ms, warm {:.2} ms ({:.0}x), {} hit / {} miss, byte-identical: {}",
+        srv.cold_ms,
+        srv.compiled_ms,
+        srv.warm_ms,
+        srv.cold_ms / srv.warm_ms.max(1e-9),
+        srv.cache_hits,
+        srv.cache_misses,
+        srv.byte_identical
     );
-    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    assert!(
+        srv.byte_identical,
+        "cache hit must replay the original body byte-identically"
+    );
+
+    let doc = Json::object([
+        ("threads", Json::from(threads)),
+        (
+            "engine",
+            Json::object([
+                ("workload_cycles", Json::from(WORKLOAD_CYCLES)),
+                ("events", Json::from(eng.events)),
+                ("events_per_sec_new", Json::from(eps_new.round())),
+                ("events_per_sec_reference", Json::from(eps_ref.round())),
+                (
+                    "speedup_vs_reference",
+                    Json::from(round3(eps_new / eps_ref)),
+                ),
+            ]),
+        ),
+        (
+            "compile_reuse",
+            Json::object([
+                ("builds", Json::from(comp.builds)),
+                ("fresh_ms", Json::from(round3(comp.fresh_secs * 1e3))),
+                ("shared_ms", Json::from(round3(comp.shared_secs * 1e3))),
+                (
+                    "speedup",
+                    Json::from(round3(comp.fresh_secs / comp.shared_secs.max(1e-12))),
+                ),
+            ]),
+        ),
+        (
+            "sweep",
+            Json::object([
+                ("points", Json::from(sweep_points)),
+                ("wall_ms", Json::from(round3(sweep_secs * 1e3))),
+            ]),
+        ),
+        (
+            "variation",
+            Json::object([
+                ("samples", Json::from(mc_samples)),
+                ("serial_s", Json::from(round4(mc.serial_secs))),
+                ("parallel_s", Json::from(round4(mc.parallel_secs))),
+                (
+                    "speedup",
+                    Json::from(round3(mc.serial_secs / mc.parallel_secs.max(1e-12))),
+                ),
+                ("bit_identical", Json::from(mc.bit_identical)),
+            ]),
+        ),
+        (
+            "group_replay",
+            Json::object([
+                ("groups", Json::from(n_groups)),
+                ("serial_s", Json::from(round4(grp.serial_secs))),
+                ("parallel_s", Json::from(round4(grp.parallel_secs))),
+                (
+                    "speedup",
+                    Json::from(round3(grp.serial_secs / grp.parallel_secs.max(1e-12))),
+                ),
+                ("bit_identical", Json::from(grp.bit_identical)),
+            ]),
+        ),
+        (
+            "serve",
+            Json::object([
+                ("cold_ms", Json::from(round3(srv.cold_ms))),
+                ("compiled_ms", Json::from(round3(srv.compiled_ms))),
+                ("warm_ms", Json::from(round4(srv.warm_ms))),
+                (
+                    "cold_over_warm",
+                    Json::from(round3(srv.cold_ms / srv.warm_ms.max(1e-9))),
+                ),
+                ("cache_hits", Json::from(srv.cache_hits)),
+                ("cache_misses", Json::from(srv.cache_misses)),
+                ("byte_identical", Json::from(srv.byte_identical)),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_sim.json", doc.pretty()).expect("write BENCH_sim.json");
     println!("[bench] wrote BENCH_sim.json");
 }

@@ -48,6 +48,26 @@ impl Mode {
             Mode::ScpgMax => "Proposed SCPG-Max",
         }
     }
+
+    /// The stable machine-readable key used by the service API and cache
+    /// canonicalization (`"no_pg"`, `"scpg"`, `"scpg_max"`).
+    pub fn key(self) -> &'static str {
+        match self {
+            Mode::NoPg => "no_pg",
+            Mode::Scpg => "scpg",
+            Mode::ScpgMax => "scpg_max",
+        }
+    }
+
+    /// Parses a [`Mode::key`] string.
+    pub fn from_key(key: &str) -> Option<Self> {
+        match key {
+            "no_pg" => Some(Mode::NoPg),
+            "scpg" => Some(Mode::Scpg),
+            "scpg_max" => Some(Mode::ScpgMax),
+            _ => None,
+        }
+    }
 }
 
 /// One row of a Table I/II-style characterisation.

@@ -28,6 +28,9 @@
 //! * [`upf`] — Unified Power Format output describing the strategy, as
 //!   the paper's flow would hand to commercial back-end tools.
 //! * [`flow`] — the end-to-end Fig. 5 design flow driver.
+//! * [`service`] — the request → analysis plumbing behind the
+//!   `scpg-serve` HTTP front end: validated [`Query`] objects executed
+//!   against a shared [`ScpgAnalysis`] under [`QueryLimits`] admission.
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@ mod error;
 pub mod flow;
 pub mod headers;
 pub mod lifecycle;
+pub mod service;
 pub mod transform;
 pub mod upf;
 
@@ -64,4 +68,5 @@ pub use error::ScpgError;
 pub use flow::{FlowReport, ScpgFlow};
 pub use headers::profile_domain;
 pub use lifecycle::{DutyPattern, LifecyclePoint, LifecyclePower, Strategy};
+pub use service::{Query, QueryError, QueryLimits, QueryOutcome};
 pub use transform::{ScpgDesign, ScpgOptions, ScpgTransform};

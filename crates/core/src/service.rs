@@ -1,0 +1,330 @@
+//! Request → analysis plumbing for the serving layer.
+//!
+//! The HTTP front end (`scpg-serve`) should only translate wire formats;
+//! everything that decides *what a request means* — which analysis entry
+//! point it maps to, what inputs are admissible, what the answer is —
+//! lives here, against plain domain types, so it is testable without a
+//! socket and reusable by future front ends (CLI batchers, gRPC, …).
+//!
+//! A [`Query`] is validated against a [`Default`]-able [`QueryLimits`]
+//! admission policy and then executed against a shared
+//! [`ScpgAnalysis`]; the result is exactly what the underlying
+//! `analysis::sweep` / `analysis::table` / `budget::headline` calls
+//! return, so serving adds no numeric wobble: a served response is
+//! bit-identical to a direct library call.
+
+use scpg_units::{Frequency, Power};
+
+use crate::analysis::{Mode, OperatingPoint, ScpgAnalysis, TableRow};
+use crate::budget::{Headline, PowerBudget};
+
+/// Admission limits for service queries. The defaults are generous for a
+/// loopback analysis service while still bounding the work one request
+/// can demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryLimits {
+    /// Maximum frequency points per sweep request.
+    pub max_sweep_points: usize,
+    /// Maximum frequency rows per table request (each row costs three
+    /// operating points).
+    pub max_table_points: usize,
+    /// Maximum Monte-Carlo dies per variation request (each die re-runs
+    /// a full voltage sweep).
+    pub max_variation_samples: usize,
+    /// Largest admissible multiplier operand width.
+    pub max_multiplier_bits: usize,
+    /// Longest admissible inverter-chain demo design.
+    pub max_chain_length: usize,
+    /// Admissible frequency band for any request.
+    pub min_frequency: Frequency,
+    /// See [`QueryLimits::min_frequency`].
+    pub max_frequency: Frequency,
+}
+
+impl Default for QueryLimits {
+    fn default() -> Self {
+        Self {
+            max_sweep_points: 4096,
+            max_table_points: 1024,
+            max_variation_samples: 64,
+            max_multiplier_bits: 32,
+            max_chain_length: 4096,
+            min_frequency: Frequency::from_hz(1.0),
+            max_frequency: Frequency::from_mhz(1000.0),
+        }
+    }
+}
+
+/// A validated-shape analysis request, decoupled from any wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// `analysis::sweep`: operating points for a frequency list in one
+    /// mode.
+    Sweep {
+        /// The frequencies to evaluate.
+        frequencies: Vec<Frequency>,
+        /// The configuration to evaluate them in.
+        mode: Mode,
+    },
+    /// `analysis::table`: the three-mode characterisation per frequency.
+    Table {
+        /// The frequencies to evaluate.
+        frequencies: Vec<Frequency>,
+    },
+    /// `budget::headline`: the three-mode power-budget comparison.
+    Headline {
+        /// The power ceiling.
+        budget: Power,
+        /// Lower edge of the frequency search bracket.
+        lo: Frequency,
+        /// Upper edge of the frequency search bracket.
+        hi: Frequency,
+    },
+}
+
+/// What a [`Query`] evaluates to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// Sweep result.
+    Points(Vec<OperatingPoint>),
+    /// Table result.
+    Rows(Vec<TableRow>),
+    /// Headline result (`None` when even the bracket floor busts the
+    /// budget).
+    Headline(Option<Headline>),
+}
+
+/// Why a query was refused admission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The request asks for more points/samples than the limits allow.
+    TooLarge {
+        /// What was oversized ("sweep points", …).
+        what: &'static str,
+        /// The requested count.
+        requested: usize,
+        /// The admission ceiling.
+        limit: usize,
+    },
+    /// A frequency list was empty.
+    Empty,
+    /// A frequency is non-finite, non-positive or outside the admissible
+    /// band.
+    BadFrequency {
+        /// The offending value in Hz.
+        hz: f64,
+    },
+    /// A budget is non-finite or non-positive, or a bracket is inverted.
+    BadBudget {
+        /// Human-readable account.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::TooLarge {
+                what,
+                requested,
+                limit,
+            } => write!(f, "{what}: requested {requested}, limit {limit}"),
+            QueryError::Empty => write!(f, "frequency list must be non-empty"),
+            QueryError::BadFrequency { hz } => {
+                write!(f, "frequency {hz} Hz is outside the admissible band")
+            }
+            QueryError::BadBudget { detail } => write!(f, "bad budget request: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+fn check_frequencies(
+    freqs: &[Frequency],
+    limits: &QueryLimits,
+    what: &'static str,
+    max: usize,
+) -> Result<(), QueryError> {
+    if freqs.is_empty() {
+        return Err(QueryError::Empty);
+    }
+    if freqs.len() > max {
+        return Err(QueryError::TooLarge {
+            what,
+            requested: freqs.len(),
+            limit: max,
+        });
+    }
+    for f in freqs {
+        if !f.value().is_finite()
+            || f.value() < limits.min_frequency.value()
+            || f.value() > limits.max_frequency.value()
+        {
+            return Err(QueryError::BadFrequency { hz: f.value() });
+        }
+    }
+    Ok(())
+}
+
+impl Query {
+    /// Checks the query against the admission limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated limit.
+    pub fn validate(&self, limits: &QueryLimits) -> Result<(), QueryError> {
+        match self {
+            Query::Sweep { frequencies, .. } => {
+                check_frequencies(frequencies, limits, "sweep points", limits.max_sweep_points)
+            }
+            Query::Table { frequencies } => {
+                check_frequencies(frequencies, limits, "table rows", limits.max_table_points)
+            }
+            Query::Headline { budget, lo, hi } => {
+                check_frequencies(&[*lo, *hi], limits, "headline bracket", 2)?;
+                if !budget.value().is_finite() || budget.value() <= 0.0 {
+                    return Err(QueryError::BadBudget {
+                        detail: format!("budget {} W must be finite and positive", budget.value()),
+                    });
+                }
+                if lo.value() >= hi.value() {
+                    return Err(QueryError::BadBudget {
+                        detail: format!("bracket [{}, {}] Hz is inverted", lo.value(), hi.value()),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Executes the (already validated) query against a shared analysis.
+    /// Delegates straight to the library entry points, so the outcome is
+    /// bit-identical to calling them directly.
+    pub fn run(&self, analysis: &ScpgAnalysis) -> QueryOutcome {
+        match self {
+            Query::Sweep { frequencies, mode } => {
+                QueryOutcome::Points(analysis.sweep(frequencies, *mode))
+            }
+            Query::Table { frequencies } => QueryOutcome::Rows(analysis.table(frequencies)),
+            Query::Headline { budget, lo, hi } => {
+                QueryOutcome::Headline(PowerBudget(*budget).headline(analysis, *lo, *hi))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{ScpgOptions, ScpgTransform};
+    use scpg_circuits::generate_multiplier;
+    use scpg_liberty::{Library, PvtCorner};
+    use scpg_units::Energy;
+
+    fn analysis() -> ScpgAnalysis {
+        let lib = Library::ninety_nm();
+        let (nl, _) = generate_multiplier(&lib, 8);
+        let design = ScpgTransform::new(&lib)
+            .apply(&nl, "clk", &ScpgOptions::default())
+            .unwrap();
+        ScpgAnalysis::new(
+            &lib,
+            &nl,
+            &design,
+            Energy::from_pj(1.0),
+            PvtCorner::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mode_keys_round_trip() {
+        for mode in [Mode::NoPg, Mode::Scpg, Mode::ScpgMax] {
+            assert_eq!(Mode::from_key(mode.key()), Some(mode));
+        }
+        assert_eq!(Mode::from_key("nope"), None);
+    }
+
+    #[test]
+    fn sweep_query_matches_direct_call() {
+        let a = analysis();
+        let freqs = vec![Frequency::from_khz(10.0), Frequency::from_mhz(1.0)];
+        let q = Query::Sweep {
+            frequencies: freqs.clone(),
+            mode: Mode::Scpg,
+        };
+        q.validate(&QueryLimits::default()).unwrap();
+        match q.run(&a) {
+            QueryOutcome::Points(points) => assert_eq!(points, a.sweep(&freqs, Mode::Scpg)),
+            other => panic!("wrong outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_and_headline_queries_run() {
+        let a = analysis();
+        let q = Query::Table {
+            frequencies: vec![Frequency::from_khz(100.0)],
+        };
+        q.validate(&QueryLimits::default()).unwrap();
+        assert!(matches!(q.run(&a), QueryOutcome::Rows(rows) if rows.len() == 1));
+
+        let q = Query::Headline {
+            budget: Power::from_uw(30.0),
+            lo: Frequency::from_hz(100.0),
+            hi: Frequency::from_mhz(50.0),
+        };
+        q.validate(&QueryLimits::default()).unwrap();
+        assert!(matches!(q.run(&a), QueryOutcome::Headline(Some(_))));
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let limits = QueryLimits::default();
+        assert_eq!(
+            Query::Table {
+                frequencies: vec![]
+            }
+            .validate(&limits),
+            Err(QueryError::Empty)
+        );
+        let too_many = vec![Frequency::from_khz(10.0); limits.max_sweep_points + 1];
+        assert!(matches!(
+            Query::Sweep {
+                frequencies: too_many,
+                mode: Mode::NoPg
+            }
+            .validate(&limits),
+            Err(QueryError::TooLarge { .. })
+        ));
+        for hz in [f64::NAN, 0.0, -5.0, 1e18] {
+            assert!(matches!(
+                Query::Sweep {
+                    frequencies: vec![Frequency::new(hz)],
+                    mode: Mode::NoPg
+                }
+                .validate(&limits),
+                Err(QueryError::BadFrequency { .. })
+            ));
+        }
+        assert!(matches!(
+            Query::Headline {
+                budget: Power::from_uw(-1.0),
+                lo: Frequency::from_hz(100.0),
+                hi: Frequency::from_mhz(1.0),
+            }
+            .validate(&limits),
+            Err(QueryError::BadBudget { .. })
+        ));
+        assert!(matches!(
+            Query::Headline {
+                budget: Power::from_uw(30.0),
+                lo: Frequency::from_mhz(1.0),
+                hi: Frequency::from_hz(100.0),
+            }
+            .validate(&limits),
+            Err(QueryError::BadBudget { .. })
+        ));
+    }
+}

@@ -25,7 +25,8 @@
 #![warn(missing_docs)]
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Once;
 
 thread_local! {
     /// Set while executing inside a pool worker so nested parallel calls
@@ -33,19 +34,64 @@ thread_local! {
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Items evaluated through the pool entry points since process start
+/// (serial fallback included). See [`tasks_executed`].
+static TASKS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+/// Fan-outs that actually ran on more than one worker. See
+/// [`parallel_jobs`].
+static PARALLEL_JOBS: AtomicU64 = AtomicU64::new(0);
+static THREADS_WARNING: Once = Once::new();
+
+/// Total work items evaluated by [`par_map`] and friends since process
+/// start, including the inline serial fallback. Exposed so the serving
+/// layer's `/metrics` endpoint can report pool throughput.
+pub fn tasks_executed() -> u64 {
+    TASKS_EXECUTED.load(Ordering::Relaxed)
+}
+
+/// Number of fan-outs that actually used more than one worker thread
+/// (single-item, single-thread and nested calls run inline and are not
+/// counted). Exposed for `/metrics`.
+pub fn parallel_jobs() -> u64 {
+    PARALLEL_JOBS.load(Ordering::Relaxed)
+}
+
+/// Resolves a raw `SCPG_THREADS` value against a fallback: the parsed
+/// count when it is a positive integer, else the fallback plus a warning
+/// message naming the rejected value. Pure so the policy is testable
+/// without touching the process environment.
+fn resolve_threads(raw: Option<&str>, fallback: usize) -> (usize, Option<String>) {
+    match raw {
+        None => (fallback, None),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => (n, None),
+            _ => (
+                fallback,
+                Some(format!(
+                    "SCPG_THREADS={v:?} is not a positive integer; \
+                     falling back to {fallback} worker thread(s)"
+                )),
+            ),
+        },
+    }
+}
+
 /// The worker count used by [`par_map`] and friends: `SCPG_THREADS` when
 /// set to a positive integer, else the machine's available parallelism.
+///
+/// An unparsable or zero `SCPG_THREADS` does **not** degrade silently: a
+/// one-time warning naming the rejected value and the fallback count goes
+/// to stderr, then the fallback applies.
 pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("SCPG_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
+    let fallback = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    let raw = std::env::var("SCPG_THREADS").ok();
+    let (n, warning) = resolve_threads(raw.as_deref(), fallback);
+    if let Some(msg) = warning {
+        THREADS_WARNING.call_once(|| eprintln!("[scpg-exec] warning: {msg}"));
+    }
+    n
 }
 
 /// `true` when called from inside a pool worker (nested parallelism).
@@ -68,9 +114,11 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let threads = threads.max(1).min(n.max(1));
+    TASKS_EXECUTED.fetch_add(n as u64, Ordering::Relaxed);
     if threads <= 1 || n <= 1 || in_worker() {
         return (0..n).map(f).collect();
     }
+    PARALLEL_JOBS.fetch_add(1, Ordering::Relaxed);
 
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
@@ -241,6 +289,37 @@ mod tests {
         });
         assert_eq!(out.len(), 8);
         assert!(!in_worker());
+    }
+
+    #[test]
+    fn resolve_threads_accepts_positive_integers() {
+        assert_eq!(resolve_threads(Some("8"), 4), (8, None));
+        assert_eq!(resolve_threads(Some(" 2 "), 4), (2, None));
+        assert_eq!(resolve_threads(None, 4), (4, None));
+    }
+
+    #[test]
+    fn resolve_threads_warns_on_bad_values() {
+        for bad in ["", "abc", "0", "-3", "1.5", "4x"] {
+            let (n, warning) = resolve_threads(Some(bad), 3);
+            assert_eq!(n, 3, "fallback applies for {bad:?}");
+            let msg = warning.expect("bad value must produce a warning");
+            assert!(msg.contains(&format!("{bad:?}")), "names the value: {msg}");
+            assert!(msg.contains("3 worker thread"), "names the fallback: {msg}");
+        }
+    }
+
+    #[test]
+    fn introspection_counters_move() {
+        let tasks0 = tasks_executed();
+        let jobs0 = parallel_jobs();
+        let _ = par_map_indices_with_threads(10, 2, |i| i);
+        assert!(tasks_executed() >= tasks0 + 10);
+        assert!(parallel_jobs() > jobs0);
+        // Serial fallback still counts tasks, not jobs.
+        let tasks1 = tasks_executed();
+        let _ = par_map_indices_with_threads(5, 1, |i| i);
+        assert!(tasks_executed() >= tasks1 + 5);
     }
 
     #[test]

@@ -1,0 +1,444 @@
+//! Wire format of the `/v1` API: JSON → [`Query`]/[`DesignSpec`] parsing
+//! and domain → JSON response building.
+//!
+//! The response builders are `pub` and deterministic on their inputs, so
+//! the integration tests (and the bench harness) can assert that a served
+//! body is **bit-identical** to serializing a direct library call — the
+//! serving layer adds transport, never numerics.
+
+use scpg::analysis::{OperatingPoint, TableRow};
+use scpg::budget::{BudgetSolution, Headline};
+use scpg::service::{Query, QueryLimits};
+use scpg::Mode;
+use scpg_json::Json;
+use scpg_power::{VariationConfig, VariationStudy};
+use scpg_units::{Energy, Frequency, Power, Voltage};
+
+use crate::designs::{DesignKind, DesignSpec};
+
+/// Parses the optional `design` object of a request body. A missing
+/// field means the default served design (the paper's 16×16 multiplier).
+///
+/// # Errors
+///
+/// A human-readable refusal (maps to `422`).
+pub fn parse_design(body: &Json, limits: &QueryLimits) -> Result<DesignSpec, String> {
+    let spec = match body.get("design") {
+        None | Some(Json::Null) => DesignSpec::default_multiplier(),
+        Some(design) => {
+            let kind_key = design
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or("design.kind must be \"multiplier\" or \"chain\"")?;
+            let size_field = |field: &str, default: usize| -> Result<usize, String> {
+                match design.get(field) {
+                    None => Ok(default),
+                    Some(v) => v
+                        .as_u64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| format!("design.{field} must be a non-negative integer")),
+                }
+            };
+            let kind = match kind_key {
+                "multiplier" => DesignKind::Multiplier {
+                    bits: size_field("bits", 16)?,
+                },
+                "chain" => DesignKind::Chain {
+                    length: size_field("length", 16)?,
+                },
+                other => return Err(format!("unknown design.kind {other:?}")),
+            };
+            let defaults = match kind {
+                DesignKind::Multiplier { .. } => DesignSpec {
+                    kind,
+                    ..DesignSpec::default_multiplier()
+                },
+                DesignKind::Chain { length } => DesignSpec::chain(length),
+            };
+            let e_dyn = match design.get("e_dyn_pj") {
+                None => defaults.e_dyn,
+                Some(v) => Energy::from_pj(
+                    v.as_f64()
+                        .ok_or("design.e_dyn_pj must be a number (picojoules)")?,
+                ),
+            };
+            let vdd = match design.get("vdd_mv") {
+                None => defaults.vdd,
+                Some(v) => Voltage::from_mv(
+                    v.as_f64()
+                        .ok_or("design.vdd_mv must be a number (millivolts)")?,
+                ),
+            };
+            DesignSpec { kind, e_dyn, vdd }
+        }
+    };
+    spec.validate(limits)?;
+    Ok(spec)
+}
+
+fn parse_frequencies(body: &Json) -> Result<Vec<Frequency>, String> {
+    let list = body
+        .get("frequencies_hz")
+        .and_then(Json::as_array)
+        .ok_or("frequencies_hz must be an array of numbers (hertz)")?;
+    list.iter()
+        .map(|v| {
+            v.as_f64()
+                .map(Frequency::new)
+                .ok_or_else(|| "frequencies_hz entries must be numbers".to_string())
+        })
+        .collect()
+}
+
+/// Parses a `/v1/sweep` body into its design and validated query.
+///
+/// # Errors
+///
+/// A human-readable refusal (maps to `422`).
+pub fn parse_sweep(body: &Json, limits: &QueryLimits) -> Result<(DesignSpec, Query), String> {
+    let spec = parse_design(body, limits)?;
+    let mode = match body.get("mode") {
+        None => Mode::Scpg,
+        Some(v) => {
+            let key = v.as_str().ok_or("mode must be a string")?;
+            Mode::from_key(key)
+                .ok_or_else(|| format!("unknown mode {key:?} (no_pg | scpg | scpg_max)"))?
+        }
+    };
+    let query = Query::Sweep {
+        frequencies: parse_frequencies(body)?,
+        mode,
+    };
+    query.validate(limits).map_err(|e| e.to_string())?;
+    Ok((spec, query))
+}
+
+/// Parses a `/v1/table` body.
+///
+/// # Errors
+///
+/// A human-readable refusal (maps to `422`).
+pub fn parse_table(body: &Json, limits: &QueryLimits) -> Result<(DesignSpec, Query), String> {
+    let spec = parse_design(body, limits)?;
+    let query = Query::Table {
+        frequencies: parse_frequencies(body)?,
+    };
+    query.validate(limits).map_err(|e| e.to_string())?;
+    Ok((spec, query))
+}
+
+/// Parses a `/v1/headline` body. Bracket defaults mirror the paper's
+/// harvester story: 100 Hz … 50 MHz.
+///
+/// # Errors
+///
+/// A human-readable refusal (maps to `422`).
+pub fn parse_headline(body: &Json, limits: &QueryLimits) -> Result<(DesignSpec, Query), String> {
+    let spec = parse_design(body, limits)?;
+    let budget = body
+        .get("budget_w")
+        .and_then(Json::as_f64)
+        .ok_or("budget_w must be a number (watts)")?;
+    let lo = body
+        .get("lo_hz")
+        .map(|v| v.as_f64().ok_or("lo_hz must be a number"))
+        .transpose()?
+        .unwrap_or(100.0);
+    let hi = body
+        .get("hi_hz")
+        .map(|v| v.as_f64().ok_or("hi_hz must be a number"))
+        .transpose()?
+        .unwrap_or(50.0e6);
+    let query = Query::Headline {
+        budget: Power::new(budget),
+        lo: Frequency::new(lo),
+        hi: Frequency::new(hi),
+    };
+    query.validate(limits).map_err(|e| e.to_string())?;
+    Ok((spec, query))
+}
+
+/// Parses a `/v1/variation` body into its design and Monte-Carlo config.
+///
+/// # Errors
+///
+/// A human-readable refusal (maps to `422`).
+pub fn parse_variation(
+    body: &Json,
+    limits: &QueryLimits,
+) -> Result<(DesignSpec, VariationConfig), String> {
+    let spec = parse_design(body, limits)?;
+    let defaults = VariationConfig::default();
+    let samples = match body.get("samples") {
+        None => 8,
+        Some(v) => v.as_u64().ok_or("samples must be a non-negative integer")? as usize,
+    };
+    if samples == 0 || samples > limits.max_variation_samples {
+        return Err(format!(
+            "samples {samples} outside 1..={}",
+            limits.max_variation_samples
+        ));
+    }
+    let sigma_mv = match body.get("sigma_mv") {
+        None => defaults.sigma_vt.as_mv(),
+        Some(v) => v.as_f64().ok_or("sigma_mv must be a number (millivolts)")?,
+    };
+    if !sigma_mv.is_finite() || !(0.0..=200.0).contains(&sigma_mv) {
+        return Err(format!("sigma_mv {sigma_mv} outside 0..=200"));
+    }
+    let seed = match body.get("seed") {
+        None => defaults.seed,
+        Some(v) => v.as_u64().ok_or("seed must be a non-negative integer")?,
+    };
+    Ok((
+        spec,
+        VariationConfig {
+            sigma_vt: Voltage::from_mv(sigma_mv),
+            samples,
+            seed,
+        },
+    ))
+}
+
+/// One operating point as JSON.
+pub fn point_json(p: &OperatingPoint) -> Json {
+    Json::object([
+        ("frequency_hz", Json::Num(p.frequency.value())),
+        ("mode", Json::from(p.mode.key())),
+        ("duty", Json::Num(p.duty)),
+        ("power_w", Json::Num(p.power.value())),
+        ("energy_per_op_j", Json::Num(p.energy_per_op.value())),
+        ("gated", Json::Bool(p.gated)),
+    ])
+}
+
+/// The `/v1/sweep` response document.
+pub fn sweep_response(spec: &DesignSpec, mode: Mode, points: &[OperatingPoint]) -> Json {
+    Json::object([
+        ("design", Json::from(spec.key())),
+        ("mode", Json::from(mode.key())),
+        ("points", Json::Arr(points.iter().map(point_json).collect())),
+    ])
+}
+
+fn row_json(row: &TableRow) -> Json {
+    Json::object([
+        ("no_pg", point_json(&row.no_pg)),
+        ("scpg", point_json(&row.scpg)),
+        ("scpg_max", point_json(&row.scpg_max)),
+        ("saving_scpg", Json::Num(row.saving_scpg)),
+        ("saving_max", Json::Num(row.saving_max)),
+    ])
+}
+
+/// The `/v1/table` response document.
+pub fn table_response(spec: &DesignSpec, rows: &[TableRow]) -> Json {
+    Json::object([
+        ("design", Json::from(spec.key())),
+        ("rows", Json::Arr(rows.iter().map(row_json).collect())),
+    ])
+}
+
+fn solution_json(s: &BudgetSolution) -> Json {
+    Json::object([
+        ("point", point_json(&s.point)),
+        ("budget_w", Json::Num(s.budget.value())),
+    ])
+}
+
+/// The `/v1/headline` response document. `headline` is `null` when the
+/// budget is unsatisfiable even at the bracket floor.
+pub fn headline_response(spec: &DesignSpec, headline: Option<&Headline>) -> Json {
+    let inner = match headline {
+        None => Json::Null,
+        Some(h) => Json::object([
+            ("no_pg", solution_json(&h.no_pg)),
+            ("scpg", solution_json(&h.scpg)),
+            ("scpg_max", solution_json(&h.scpg_max)),
+            ("speedup_scpg", Json::Num(h.speedup_scpg)),
+            ("speedup_max", Json::Num(h.speedup_max)),
+            ("energy_gain_scpg", Json::Num(h.energy_gain_scpg)),
+            ("energy_gain_max", Json::Num(h.energy_gain_max)),
+        ]),
+    };
+    Json::object([("design", Json::from(spec.key())), ("headline", inner)])
+}
+
+/// The `/v1/variation` response document: the study's headline spread
+/// statistics plus the per-die samples (fully deterministic for a given
+/// seed, hence cacheable).
+pub fn variation_response(spec: &DesignSpec, study: &VariationStudy) -> Json {
+    let samples: Vec<Json> = study
+        .samples
+        .iter()
+        .map(|s| {
+            Json::object([
+                ("dvt_v", Json::Num(s.dvt.value())),
+                ("f_subthreshold_hz", Json::Num(s.f_subthreshold.value())),
+                (
+                    "f_above_threshold_hz",
+                    Json::Num(s.f_above_threshold.value()),
+                ),
+                ("e_subthreshold_j", Json::Num(s.e_subthreshold.value())),
+                ("v_min_of_die_v", Json::Num(s.v_min_of_die.value())),
+            ])
+        })
+        .collect();
+    Json::object([
+        ("design", Json::from(spec.key())),
+        ("v_min_nominal_v", Json::Num(study.v_min_nominal.value())),
+        ("cv_f_subthreshold", Json::Num(study.cv_f_subthreshold())),
+        (
+            "cv_f_above_threshold",
+            Json::Num(study.cv_f_above_threshold()),
+        ),
+        (
+            "f_spread_subthreshold",
+            Json::Num(study.f_spread_subthreshold()),
+        ),
+        ("v_min_skew_v", Json::Num(study.v_min_skew().value())),
+        ("samples", Json::Arr(samples)),
+    ])
+}
+
+/// A JSON error body: `{"error": "..."}`.
+pub fn error_body(message: &str) -> Vec<u8> {
+    Json::object([("error", Json::from(message))])
+        .write()
+        .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> QueryLimits {
+        QueryLimits::default()
+    }
+
+    #[test]
+    fn missing_design_means_the_default_multiplier() {
+        let body = Json::parse(r#"{"frequencies_hz": [10000]}"#).unwrap();
+        let (spec, query) = parse_sweep(&body, &limits()).unwrap();
+        assert_eq!(spec, DesignSpec::default_multiplier());
+        assert_eq!(
+            query,
+            Query::Sweep {
+                frequencies: vec![Frequency::new(10000.0)],
+                mode: Mode::Scpg
+            }
+        );
+    }
+
+    #[test]
+    fn design_fields_override_defaults() {
+        let body = Json::parse(
+            r#"{"design": {"kind": "multiplier", "bits": 8, "e_dyn_pj": 1.5, "vdd_mv": 500},
+                "mode": "scpg_max", "frequencies_hz": [1e6]}"#,
+        )
+        .unwrap();
+        let (spec, query) = parse_sweep(&body, &limits()).unwrap();
+        assert_eq!(spec.kind, DesignKind::Multiplier { bits: 8 });
+        assert_eq!(spec.e_dyn, Energy::from_pj(1.5));
+        assert_eq!(spec.vdd, Voltage::from_mv(500.0));
+        assert!(matches!(
+            query,
+            Query::Sweep {
+                mode: Mode::ScpgMax,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_bodies_are_refused_with_reasons() {
+        for (body, needle) in [
+            (r#"{}"#, "frequencies_hz"),
+            (r#"{"frequencies_hz": "x"}"#, "frequencies_hz"),
+            (
+                r#"{"frequencies_hz": [1e6], "mode": "warp"}"#,
+                "unknown mode",
+            ),
+            (
+                r#"{"frequencies_hz": [1e6], "design": {"kind": "fpga"}}"#,
+                "unknown design.kind",
+            ),
+            (
+                r#"{"frequencies_hz": [1e6], "design": {"kind": "multiplier", "bits": 512}}"#,
+                "bits",
+            ),
+            (r#"{"frequencies_hz": []}"#, "non-empty"),
+            (r#"{"frequencies_hz": [-5]}"#, "admissible band"),
+        ] {
+            let parsed = Json::parse(body).unwrap();
+            let err = parse_sweep(&parsed, &limits()).expect_err(body);
+            assert!(err.contains(needle), "{body} → {err}");
+        }
+    }
+
+    #[test]
+    fn headline_defaults_and_validation() {
+        let body = Json::parse(r#"{"budget_w": 30e-6}"#).unwrap();
+        let (_, query) = parse_headline(&body, &limits()).unwrap();
+        assert_eq!(
+            query,
+            Query::Headline {
+                budget: Power::new(30e-6),
+                lo: Frequency::new(100.0),
+                hi: Frequency::new(50.0e6),
+            }
+        );
+        let bad = Json::parse(r#"{"budget_w": -1}"#).unwrap();
+        assert!(parse_headline(&bad, &limits()).is_err());
+        let missing = Json::parse(r#"{}"#).unwrap();
+        assert!(parse_headline(&missing, &limits()).is_err());
+    }
+
+    #[test]
+    fn variation_parses_and_caps_samples() {
+        let body = Json::parse(
+            r#"{"design": {"kind": "chain", "length": 8}, "samples": 4, "sigma_mv": 25, "seed": 7}"#,
+        )
+        .unwrap();
+        let (spec, cfg) = parse_variation(&body, &limits()).unwrap();
+        assert_eq!(spec.kind, DesignKind::Chain { length: 8 });
+        assert_eq!(cfg.samples, 4);
+        assert_eq!(cfg.sigma_vt, Voltage::from_mv(25.0));
+        assert_eq!(cfg.seed, 7);
+
+        let over = Json::parse(r#"{"samples": 100000}"#).unwrap();
+        assert!(parse_variation(&over, &limits())
+            .expect_err("cap")
+            .contains("samples"));
+    }
+
+    #[test]
+    fn responses_serialize_real_numbers_bit_exactly() {
+        let p = OperatingPoint {
+            frequency: Frequency::from_mhz(1.0),
+            mode: Mode::Scpg,
+            duty: 0.375,
+            power: Power::new(1.0 / 3.0 * 1e-6),
+            energy_per_op: Energy::new(2.3e-12),
+            gated: true,
+        };
+        let spec = DesignSpec::default_multiplier();
+        let doc = sweep_response(&spec, Mode::Scpg, &[p]);
+        let text = doc.write();
+        let back = Json::parse(&text).unwrap();
+        let point = &back.get("points").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            point.get("power_w").unwrap().as_f64().unwrap().to_bits(),
+            p.power.value().to_bits()
+        );
+        assert_eq!(point.get("gated").unwrap().as_bool(), Some(true));
+        assert_eq!(back.get("mode").unwrap().as_str(), Some("scpg"));
+    }
+
+    #[test]
+    fn error_body_is_json() {
+        let body = error_body("it \"broke\"");
+        let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(v.get("error").unwrap().as_str(), Some("it \"broke\""));
+    }
+}

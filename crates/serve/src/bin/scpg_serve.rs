@@ -1,0 +1,103 @@
+//! The `scpg-serve` daemon: binds the HTTP analysis service and runs it
+//! until SIGINT/SIGTERM, then shuts down gracefully (in-flight requests
+//! are answered before the listener closes).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use scpg_serve::{ServeConfig, Server};
+
+/// Set from the signal handler; polled by the main loop.
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: flip the flag.
+    SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    // libc is always linked by std on this target; declare the symbol
+    // directly rather than pulling in a crate for two calls.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+fn install_signal_handlers() {
+    // SAFETY: `on_signal` is an async-signal-safe extern "C" fn and the
+    // handler address stays valid for the life of the process.
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+const USAGE: &str = "usage: scpg-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+
+Serves the SCPG analysis API over HTTP/1.1:
+  POST /v1/sweep /v1/table /v1/headline /v1/variation   JSON queries
+  GET  /healthz /metrics                                health + Prometheus text
+
+Defaults: --addr 127.0.0.1:7878, workers/queue sized for this machine.";
+
+fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value_for("--addr")?,
+            "--workers" => {
+                config.workers = value_for("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs a positive integer".to_string())?;
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = value_for("--queue-capacity")?
+                    .parse()
+                    .map_err(|_| "--queue-capacity needs a positive integer".to_string())?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scpg-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let handle = server.spawn();
+    eprintln!("scpg-serve: listening on http://{}", handle.addr());
+
+    install_signal_handlers();
+    while !SHUTDOWN_REQUESTED.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    eprintln!("scpg-serve: shutting down (draining in-flight requests)");
+    handle.shutdown();
+    eprintln!("scpg-serve: done");
+}

@@ -1,0 +1,77 @@
+//! A minimal loopback HTTP client for the integration tests and the
+//! bench harness — just enough to exercise the server's one-shot,
+//! `Connection: close` protocol without external tooling.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response: status code and body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (panics on invalid — fine for tests).
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+}
+
+fn request(addr: SocketAddr, raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.write_all(raw)?;
+    stream.flush()?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    parse_response(&buf)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response"))
+}
+
+fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+    Some(ClientResponse {
+        status,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+/// Sends `POST {path}` with a JSON body, waits for the full response.
+///
+/// # Errors
+///
+/// Propagates socket failures (including connection refused — the signal
+/// that a server has shut down).
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nhost: scpg\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    request(addr, raw.as_bytes())
+}
+
+/// Sends `GET {path}`, waits for the full response.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
+    let raw = format!("GET {path} HTTP/1.1\r\nhost: scpg\r\n\r\n");
+    request(addr, raw.as_bytes())
+}
+
+/// Sends raw bytes verbatim (malformed-request tests).
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn raw(addr: SocketAddr, bytes: &[u8]) -> std::io::Result<ClientResponse> {
+    request(addr, bytes)
+}

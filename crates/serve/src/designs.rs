@@ -1,0 +1,315 @@
+//! The per-design compiled-artifact registry.
+//!
+//! Building a [`ScpgAnalysis`] is the expensive part of every request:
+//! it runs the SCPG netlist transform, two leakage rollups and an STA
+//! pass. The registry builds each distinct design **once** and shares the
+//! artifact across all subsequent requests and worker threads — the
+//! serving-layer continuation of PR 1's "compile once, simulate many"
+//! split.
+//!
+//! Two design families are served: the paper's parameterised multiplier
+//! (full analysis surface) and a bare inverter chain (cheap target for
+//! the Monte-Carlo variation study; it has no flops, so gating queries
+//! against it fail admission with a clear error rather than a panic).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use scpg::service::QueryLimits;
+use scpg::transform::{ScpgOptions, ScpgTransform};
+use scpg::ScpgAnalysis;
+use scpg_circuits::generate_multiplier;
+use scpg_liberty::{Library, PvtCorner};
+use scpg_netlist::Netlist;
+use scpg_units::{Energy, Voltage};
+
+/// Which circuit a request targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DesignKind {
+    /// The paper's n×n array multiplier.
+    Multiplier {
+        /// Operand width in bits.
+        bits: usize,
+    },
+    /// An inverter chain (variation-study demo target).
+    Chain {
+        /// Number of inverters.
+        length: usize,
+    },
+}
+
+/// A fully specified design request: circuit, workload energy and supply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignSpec {
+    /// The circuit.
+    pub kind: DesignKind,
+    /// Workload dynamic energy per cycle at the characterisation supply.
+    pub e_dyn: Energy,
+    /// Operating supply voltage.
+    pub vdd: Voltage,
+}
+
+impl DesignSpec {
+    /// The default served design: the paper's 16×16 multiplier with its
+    /// calibrated 2.3 pJ/cycle workload at the 0.6 V corner.
+    pub fn default_multiplier() -> Self {
+        Self {
+            kind: DesignKind::Multiplier { bits: 16 },
+            e_dyn: Energy::from_pj(2.3),
+            vdd: PvtCorner::default().voltage,
+        }
+    }
+
+    /// A chain spec with the default demo workload energy (12 fJ, the
+    /// figure the variation unit tests calibrate against).
+    pub fn chain(length: usize) -> Self {
+        Self {
+            kind: DesignKind::Chain { length },
+            e_dyn: Energy::from_fj(12.0),
+            vdd: PvtCorner::default().voltage,
+        }
+    }
+
+    /// The registry/cache key. Uses shortest-round-trip float formatting,
+    /// so specs equal as values collide as keys.
+    pub fn key(&self) -> String {
+        let (name, size) = match self.kind {
+            DesignKind::Multiplier { bits } => ("multiplier", bits),
+            DesignKind::Chain { length } => ("chain", length),
+        };
+        format!(
+            "{name}:{size}:e={}:v={}",
+            self.e_dyn.value(),
+            self.vdd.value()
+        )
+    }
+
+    /// Admission check against the service limits.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable refusal (maps to `422`).
+    pub fn validate(&self, limits: &QueryLimits) -> Result<(), String> {
+        match self.kind {
+            DesignKind::Multiplier { bits } => {
+                if bits == 0 || bits > limits.max_multiplier_bits {
+                    return Err(format!(
+                        "multiplier bits {bits} outside 1..={}",
+                        limits.max_multiplier_bits
+                    ));
+                }
+            }
+            DesignKind::Chain { length } => {
+                if length == 0 || length > limits.max_chain_length {
+                    return Err(format!(
+                        "chain length {length} outside 1..={}",
+                        limits.max_chain_length
+                    ));
+                }
+            }
+        }
+        if !self.e_dyn.value().is_finite() || self.e_dyn.value() <= 0.0 {
+            return Err(format!(
+                "workload energy {} J must be finite and positive",
+                self.e_dyn.value()
+            ));
+        }
+        if !(0.1..=2.0).contains(&self.vdd.as_v()) {
+            return Err(format!(
+                "supply {} V outside the modelled 0.1..=2.0 V band",
+                self.vdd.as_v()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A built design: netlist now, analysis lazily on first gating query.
+pub struct DesignArtifact {
+    /// The spec this artifact was built from.
+    pub spec: DesignSpec,
+    /// The technology library (per-artifact so threshold-shifted studies
+    /// cannot alias).
+    pub lib: Library,
+    /// The baseline (pre-SCPG) netlist.
+    pub baseline: Netlist,
+    analysis: OnceLock<Result<Arc<ScpgAnalysis>, String>>,
+}
+
+impl DesignArtifact {
+    fn build(spec: DesignSpec) -> Self {
+        let lib = Library::ninety_nm();
+        let baseline = match spec.kind {
+            DesignKind::Multiplier { bits } => generate_multiplier(&lib, bits).0,
+            DesignKind::Chain { length } => build_chain(length),
+        };
+        Self {
+            spec,
+            lib,
+            baseline,
+            analysis: OnceLock::new(),
+        }
+    }
+
+    /// The shared analysis engine, built exactly once per artifact.
+    ///
+    /// # Errors
+    ///
+    /// The (cached) build failure — e.g. a chain has nothing to gate.
+    pub fn analysis(&self) -> Result<Arc<ScpgAnalysis>, String> {
+        self.analysis
+            .get_or_init(|| {
+                let design = ScpgTransform::new(&self.lib)
+                    .apply(&self.baseline, "clk", &ScpgOptions::default())
+                    .map_err(|e| format!("SCPG transform failed: {e}"))?;
+                let analysis = ScpgAnalysis::new(
+                    &self.lib,
+                    &self.baseline,
+                    &design,
+                    self.spec.e_dyn,
+                    PvtCorner::at_voltage(self.spec.vdd),
+                )
+                .map_err(|e| format!("analysis build failed: {e}"))?;
+                Ok(Arc::new(analysis))
+            })
+            .clone()
+    }
+}
+
+fn build_chain(length: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("chain{length}"));
+    let mut cur = nl.add_input("a");
+    for i in 0..length {
+        let next = if i + 1 == length {
+            nl.add_output("y")
+        } else {
+            nl.add_fresh_net()
+        };
+        nl.add_instance(format!("u{i}"), "INV_X1", &[cur, next])
+            .expect("inverter chain builds");
+        cur = next;
+    }
+    nl
+}
+
+/// The shared registry: design key → built artifact.
+#[derive(Default)]
+pub struct DesignRegistry {
+    map: Mutex<HashMap<String, Arc<DesignArtifact>>>,
+}
+
+impl DesignRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The artifact for a spec, building it on first use. The build runs
+    /// under the registry lock so concurrent first requests for the same
+    /// design do the work once, not once per request.
+    pub fn get(&self, spec: DesignSpec) -> Arc<DesignArtifact> {
+        let mut map = self.map.lock().expect("registry poisoned");
+        Arc::clone(
+            map.entry(spec.key())
+                .or_insert_with(|| Arc::new(DesignArtifact::build(spec))),
+        )
+    }
+
+    /// Distinct designs built so far.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("registry poisoned").len()
+    }
+
+    /// `true` when nothing has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_shares_one_artifact_per_spec() {
+        let reg = DesignRegistry::new();
+        let spec = DesignSpec {
+            kind: DesignKind::Multiplier { bits: 4 },
+            ..DesignSpec::default_multiplier()
+        };
+        let a = reg.get(spec);
+        let b = reg.get(spec);
+        assert!(Arc::ptr_eq(&a, &b), "same spec, same artifact");
+        assert_eq!(reg.len(), 1);
+        let c = reg.get(DesignSpec::chain(8));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn multiplier_analysis_builds_once_and_is_shared() {
+        let reg = DesignRegistry::new();
+        let art = reg.get(DesignSpec {
+            kind: DesignKind::Multiplier { bits: 4 },
+            ..DesignSpec::default_multiplier()
+        });
+        let a = art.analysis().expect("multiplier gates");
+        let b = art.analysis().expect("cached");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn chain_analysis_fails_gracefully() {
+        let reg = DesignRegistry::new();
+        let art = reg.get(DesignSpec::chain(8));
+        let err = art.analysis().expect_err("no flops to gate");
+        assert!(err.contains("transform failed"), "{err}");
+        // And the failure is cached, not re-attempted forever.
+        assert_eq!(art.analysis().expect_err("still cached"), err);
+    }
+
+    #[test]
+    fn spec_validation_enforces_limits() {
+        let limits = QueryLimits::default();
+        assert!(DesignSpec::default_multiplier().validate(&limits).is_ok());
+        let huge = DesignSpec {
+            kind: DesignKind::Multiplier { bits: 99 },
+            ..DesignSpec::default_multiplier()
+        };
+        assert!(huge.validate(&limits).is_err());
+        let zero = DesignSpec {
+            kind: DesignKind::Chain { length: 0 },
+            ..DesignSpec::chain(1)
+        };
+        assert!(zero.validate(&limits).is_err());
+        let bad_e = DesignSpec {
+            e_dyn: Energy::new(-1.0),
+            ..DesignSpec::default_multiplier()
+        };
+        assert!(bad_e.validate(&limits).is_err());
+        let bad_v = DesignSpec {
+            vdd: Voltage::from_v(5.0),
+            ..DesignSpec::default_multiplier()
+        };
+        assert!(bad_v.validate(&limits).is_err());
+    }
+
+    #[test]
+    fn keys_distinguish_every_spec_dimension() {
+        let base = DesignSpec::default_multiplier();
+        let other_e = DesignSpec {
+            e_dyn: Energy::from_pj(1.0),
+            ..base
+        };
+        let other_v = DesignSpec {
+            vdd: Voltage::from_mv(500.0),
+            ..base
+        };
+        let keys = [base.key(), other_e.key(), other_v.key()];
+        assert_eq!(
+            keys.iter().collect::<std::collections::HashSet<_>>().len(),
+            3,
+            "{keys:?}"
+        );
+    }
+}

@@ -1,0 +1,580 @@
+//! `scpg-serve`: a zero-external-dependency HTTP/1.1 JSON analysis
+//! service over the SCPG engine.
+//!
+//! An energy-harvesting design team's questions — "sweep this design's
+//! power curve", "what does a 30 µW budget buy", "how variation-sensitive
+//! is the sub-threshold alternative" — are exactly the library calls
+//! `scpg::analysis`, `scpg::budget` and `scpg_power::variation` already
+//! answer. This crate puts those behind a shared service:
+//!
+//! * `POST /v1/sweep` / `/v1/table` / `/v1/headline` / `/v1/variation` —
+//!   JSON queries (see [`api`] for the wire format);
+//! * `GET /healthz` — liveness;
+//! * `GET /metrics` — Prometheus text ([`metrics`]).
+//!
+//! The serving model, back to front:
+//!
+//! 1. **Canonicalized result cache** ([`cache`]): the request JSON is
+//!    canonicalized (sorted keys, shortest-round-trip numbers, transport
+//!    fields stripped) into a cache key; a hit returns the original
+//!    response body byte-identically without touching the engine.
+//! 2. **Compiled-artifact sharing** ([`designs`]): misses for the same
+//!    design share one lazily built [`scpg::ScpgAnalysis`] — the
+//!    serving-layer continuation of PR 1's compile-once/simulate-many
+//!    split.
+//! 3. **Bounded queue with backpressure** ([`queue`]): admitted jobs run
+//!    on a worker pool; a full queue answers `429` immediately, an
+//!    expired per-request deadline answers `504`.
+//! 4. **Graceful shutdown**: stop accepting, finish in-flight
+//!    connections, drain the queue, then close — no admitted request is
+//!    dropped.
+//!
+//! ```no_run
+//! let handle = scpg_serve::Server::bind(scpg_serve::ServeConfig::default())
+//!     .expect("bind")
+//!     .spawn();
+//! println!("serving on http://{}", handle.addr());
+//! # handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod designs;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use scpg::service::{Query, QueryLimits, QueryOutcome};
+use scpg_json::Json;
+use scpg_power::VariationStudy;
+
+use crate::cache::ShardedCache;
+use crate::designs::DesignRegistry;
+use crate::http::{HttpError, Request};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::{Job, JobOutput, Slot, WorkQueue};
+
+/// Server configuration. [`Default`] is a loopback service on an
+/// ephemeral port, sized for this machine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads consuming the queue (at least 2 so one slow job
+    /// cannot starve the service even on a single-core host).
+    pub workers: usize,
+    /// Bounded work-queue capacity; pushes beyond it answer `429`.
+    pub queue_capacity: usize,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+    /// Entries per cache shard.
+    pub cache_capacity_per_shard: usize,
+    /// Deadline applied when a request names none.
+    pub default_deadline_ms: u64,
+    /// Hard ceiling on any requested deadline.
+    pub max_deadline_ms: u64,
+    /// Admission limits for queries and design sizes.
+    pub limits: QueryLimits,
+    /// Test/bench hook: artificial floor (sleep) per computed job, so
+    /// backpressure and deadline behaviour can be exercised
+    /// deterministically. Zero (the default) in production.
+    pub debug_job_delay_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: scpg_exec::num_threads().max(2),
+            queue_capacity: 64,
+            cache_shards: 8,
+            cache_capacity_per_shard: 128,
+            default_deadline_ms: 30_000,
+            max_deadline_ms: 120_000,
+            limits: QueryLimits::default(),
+            debug_job_delay_ms: 0,
+        }
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    queue: WorkQueue,
+    cache: ShardedCache,
+    metrics: Metrics,
+    registry: Arc<DesignRegistry>,
+    shutdown: AtomicBool,
+    in_flight_conns: AtomicUsize,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: WorkQueue::new(config.queue_capacity),
+            cache: ShardedCache::new(config.cache_shards, config.cache_capacity_per_shard),
+            metrics: Metrics::default(),
+            registry: Arc::new(DesignRegistry::new()),
+            shutdown: AtomicBool::new(false),
+            in_flight_conns: AtomicUsize::new(0),
+            config,
+        });
+        Ok(Self {
+            listener,
+            addr,
+            shared,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts the worker pool and the accept loop, returning the control
+    /// handle.
+    pub fn spawn(self) -> ServerHandle {
+        let workers = self.shared.config.workers.max(2);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&self.shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("scpg-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker"),
+            );
+        }
+        let shared = Arc::clone(&self.shared);
+        let listener = self.listener;
+        let accept = std::thread::Builder::new()
+            .name("scpg-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, &shared))
+            .expect("spawn accept loop");
+        ServerHandle {
+            addr: self.addr,
+            shared: self.shared,
+            accept: Some(accept),
+            workers: worker_handles,
+        }
+    }
+}
+
+/// Control handle for a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the service counters (bench/test convenience; the
+    /// full set is on `GET /metrics`).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Requests shutdown without waiting (signal-handler safe side).
+    pub fn trigger(&self) -> ShutdownTrigger {
+        ShutdownTrigger {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight connections
+    /// finish (which drains their queued jobs), then release the workers
+    /// and close the listener. Every admitted request is answered.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            // The accept thread owns the listener; joining it is the
+            // "listener closed" point.
+            let _ = accept.join();
+        }
+        // No connections remain, so nothing can enqueue anymore: release
+        // the workers once the queue drains.
+        self.shared.queue.shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A cloneable shutdown request, detached from the handle so a signal
+/// handler (or another thread) can trip it while the main thread blocks
+/// in [`ServerHandle::shutdown`]-style joins.
+pub struct ShutdownTrigger {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownTrigger {
+    /// Flags the server to begin graceful shutdown.
+    pub fn trip(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.in_flight_conns.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("scpg-serve-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_shared);
+                        conn_shared.in_flight_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    shared.in_flight_conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // 1 ms poll: the floor on connection latency, traded
+                // against ~1k idle wakeups/s.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    // Drain phase: the listener stays open (unaccepted connections just
+    // queue in the kernel) until every accepted connection has been
+    // answered, then dropping it refuses new work.
+    while shared.in_flight_conns.load(Ordering::SeqCst) > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(listener);
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        if job.slot.is_abandoned() || Instant::now() >= job.deadline {
+            // The requester is gone (it already answered 504); skip the
+            // stale computation entirely.
+            shared
+                .metrics
+                .results_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let (cache_key, out) = (job.cache_key, (job.work)());
+        shared
+            .metrics
+            .jobs_completed
+            .fetch_add(1, Ordering::Relaxed);
+        if out.status == 200 {
+            // Cache on the worker side so even a result whose client
+            // stopped waiting still warms the cache.
+            shared.cache.insert(cache_key, Arc::new(out.body.clone()));
+        }
+        if !job.slot.fulfill(out) {
+            shared
+                .metrics
+                .results_dropped
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let (status, content_type, body) = match http::read_request(&mut stream) {
+        Ok(req) => respond(shared, &req),
+        Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
+        Err(HttpError::TooLarge) => (
+            413,
+            "application/json",
+            api::error_body("request exceeds the size limits"),
+        ),
+        Err(HttpError::Malformed(why)) => (400, "application/json", api::error_body(why)),
+    };
+    shared.metrics.inc_response(status);
+    let _ = http::write_response(&mut stream, status, content_type, &body);
+}
+
+type Reply = (u16, &'static str, Vec<u8>);
+
+fn respond(shared: &Arc<Shared>, req: &Request) -> Reply {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            shared.metrics.inc_request("healthz");
+            (200, "application/json", br#"{"status":"ok"}"#.to_vec())
+        }
+        ("GET", "/metrics") => {
+            shared.metrics.inc_request("metrics");
+            let text = shared.metrics.render(
+                shared.queue.depth(),
+                shared.queue.capacity(),
+                shared.in_flight_conns.load(Ordering::SeqCst),
+                shared.cache.len(),
+                shared.config.workers.max(2),
+            );
+            (200, "text/plain; version=0.0.4", text.into_bytes())
+        }
+        ("POST", "/v1/sweep") => handle_api(shared, "sweep", &req.body),
+        ("POST", "/v1/table") => handle_api(shared, "table", &req.body),
+        ("POST", "/v1/headline") => handle_api(shared, "headline", &req.body),
+        ("POST", "/v1/variation") => handle_api(shared, "variation", &req.body),
+        (_, "/healthz" | "/metrics") => (
+            405,
+            "application/json",
+            api::error_body("use GET for this endpoint"),
+        ),
+        (_, "/v1/sweep" | "/v1/table" | "/v1/headline" | "/v1/variation") => (
+            405,
+            "application/json",
+            api::error_body("use POST for this endpoint"),
+        ),
+        _ => (404, "application/json", api::error_body("no such endpoint")),
+    }
+}
+
+/// The cache key: endpoint + canonical body with transport-only fields
+/// (the deadline) stripped, so retries with different deadlines still
+/// hit.
+fn cache_key(endpoint: &str, body: &Json) -> String {
+    let mut keyed = body.clone();
+    if let Json::Obj(ref mut pairs) = keyed {
+        pairs.retain(|(k, _)| k != "deadline_ms");
+    }
+    format!("{endpoint} {}", keyed.canonical())
+}
+
+fn handle_api(shared: &Arc<Shared>, endpoint: &'static str, raw_body: &[u8]) -> Reply {
+    shared.metrics.inc_request(endpoint);
+
+    let text = match std::str::from_utf8(raw_body) {
+        Ok(t) => t,
+        Err(_) => {
+            return (
+                400,
+                "application/json",
+                api::error_body("body is not UTF-8"),
+            )
+        }
+    };
+    let body = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return (400, "application/json", api::error_body(&e.to_string())),
+    };
+
+    let key = cache_key(endpoint, &body);
+    if let Some(hit) = shared.cache.get(&key) {
+        shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return (200, "application/json", hit.as_ref().clone());
+    }
+    shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    // Admission-check and fully parse the request *before* it costs a
+    // queue slot; refusals answer 422 without touching the engine.
+    let limits = shared.config.limits;
+    let work: Box<dyn FnOnce() -> JobOutput + Send> = {
+        let registry = Arc::clone(&shared.registry);
+        let delay = shared.config.debug_job_delay_ms;
+        match endpoint {
+            "sweep" | "table" | "headline" => {
+                let parsed = match endpoint {
+                    "sweep" => api::parse_sweep(&body, &limits),
+                    "table" => api::parse_table(&body, &limits),
+                    _ => api::parse_headline(&body, &limits),
+                };
+                let (spec, query) = match parsed {
+                    Ok(p) => p,
+                    Err(e) => return (422, "application/json", api::error_body(&e)),
+                };
+                Box::new(move || run_query(&registry, spec, &query, delay))
+            }
+            "variation" => {
+                let (spec, cfg) = match api::parse_variation(&body, &limits) {
+                    Ok(p) => p,
+                    Err(e) => return (422, "application/json", api::error_body(&e)),
+                };
+                Box::new(move || run_variation(&registry, spec, &cfg, delay))
+            }
+            _ => unreachable!("handle_api is only routed for v1 endpoints"),
+        }
+    };
+
+    let requested_ms = body
+        .get("deadline_ms")
+        .and_then(Json::as_u64)
+        .unwrap_or(shared.config.default_deadline_ms)
+        .clamp(1, shared.config.max_deadline_ms);
+    let deadline = Instant::now() + Duration::from_millis(requested_ms);
+
+    let slot = Slot::new();
+    let job = Job {
+        deadline,
+        slot: Arc::clone(&slot),
+        cache_key: key,
+        work,
+    };
+    if shared.queue.try_push(job).is_err() {
+        shared
+            .metrics
+            .queue_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        return (
+            429,
+            "application/json",
+            api::error_body("work queue is full; retry with backoff"),
+        );
+    }
+
+    match slot.wait_until(deadline) {
+        Some(out) => (out.status, "application/json", out.body),
+        None => {
+            shared
+                .metrics
+                .deadline_expirations
+                .fetch_add(1, Ordering::Relaxed);
+            (
+                504,
+                "application/json",
+                api::error_body("deadline expired before the job completed"),
+            )
+        }
+    }
+}
+
+fn debug_delay(delay_ms: u64) {
+    if delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(delay_ms));
+    }
+}
+
+fn run_query(
+    registry: &DesignRegistry,
+    spec: designs::DesignSpec,
+    query: &Query,
+    delay_ms: u64,
+) -> JobOutput {
+    debug_delay(delay_ms);
+    let artifact = registry.get(spec);
+    let analysis = match artifact.analysis() {
+        Ok(a) => a,
+        Err(e) => {
+            return JobOutput {
+                status: 422,
+                body: api::error_body(&e),
+            }
+        }
+    };
+    let doc = match query.run(&analysis) {
+        QueryOutcome::Points(points) => {
+            let mode = match query {
+                Query::Sweep { mode, .. } => *mode,
+                _ => unreachable!("points only come from sweeps"),
+            };
+            api::sweep_response(&spec, mode, &points)
+        }
+        QueryOutcome::Rows(rows) => api::table_response(&spec, &rows),
+        QueryOutcome::Headline(h) => api::headline_response(&spec, h.as_ref()),
+    };
+    JobOutput {
+        status: 200,
+        body: doc.write().into_bytes(),
+    }
+}
+
+fn run_variation(
+    registry: &DesignRegistry,
+    spec: designs::DesignSpec,
+    cfg: &scpg_power::VariationConfig,
+    delay_ms: u64,
+) -> JobOutput {
+    debug_delay(delay_ms);
+    let artifact = registry.get(spec);
+    match VariationStudy::run(&artifact.baseline, &artifact.lib, artifact.spec.e_dyn, cfg) {
+        Ok(study) => JobOutput {
+            status: 200,
+            body: api::variation_response(&spec, &study).write().into_bytes(),
+        },
+        Err(e) => JobOutput {
+            status: 422,
+            body: api::error_body(&format!("variation study failed: {e}")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let handle = Server::bind(tiny_config()).unwrap().spawn();
+        let addr = handle.addr();
+        let ok = client::get(addr, "/healthz").unwrap();
+        assert_eq!(ok.status, 200);
+        assert!(ok.text().contains("ok"));
+        let missing = client::get(addr, "/nope").unwrap();
+        assert_eq!(missing.status, 404);
+        let wrong_method = client::post(addr, "/healthz", "{}").unwrap();
+        assert_eq!(wrong_method.status, 405);
+        let wrong_method = client::get(addr, "/v1/sweep").unwrap();
+        assert_eq!(wrong_method.status, 405);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn cache_key_ignores_key_order_and_deadline() {
+        let a =
+            Json::parse(r#"{"frequencies_hz": [1e6], "mode": "scpg", "deadline_ms": 5}"#).unwrap();
+        let b = Json::parse(r#"{"mode": "scpg", "deadline_ms": 900, "frequencies_hz": [1000000]}"#)
+            .unwrap();
+        assert_eq!(cache_key("sweep", &a), cache_key("sweep", &b));
+        let c = Json::parse(r#"{"frequencies_hz": [2e6], "mode": "scpg"}"#).unwrap();
+        assert_ne!(cache_key("sweep", &a), cache_key("sweep", &c));
+        assert_ne!(cache_key("sweep", &a), cache_key("table", &a));
+    }
+
+    #[test]
+    fn unprocessable_requests_answer_422_without_queueing() {
+        let handle = Server::bind(tiny_config()).unwrap().spawn();
+        let addr = handle.addr();
+        let resp = client::post(addr, "/v1/sweep", r#"{"frequencies_hz": []}"#).unwrap();
+        assert_eq!(resp.status, 422);
+        assert!(resp.text().contains("non-empty"), "{}", resp.text());
+        let before = handle.metrics();
+        assert_eq!(before.jobs_completed, 0, "nothing reached the workers");
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,266 @@
+//! Service counters and their Prometheus text rendering.
+//!
+//! Everything is a relaxed atomic — the metrics path must never contend
+//! with the serving path. Gauges (queue depth, in-flight connections,
+//! cache entries) are sampled at render time from their owning
+//! structures rather than double-book-kept here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The endpoints with dedicated request counters.
+pub const ENDPOINTS: [&str; 6] = [
+    "sweep",
+    "table",
+    "headline",
+    "variation",
+    "healthz",
+    "metrics",
+];
+
+/// The status codes with dedicated response counters.
+pub const STATUSES: [u16; 10] = [200, 400, 404, 405, 413, 422, 429, 500, 503, 504];
+
+/// All service counters.
+#[derive(Default)]
+pub struct Metrics {
+    requests: [AtomicU64; ENDPOINTS.len()],
+    responses: [AtomicU64; STATUSES.len()],
+    /// Requests answered from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that had to compute.
+    pub cache_misses: AtomicU64,
+    /// Jobs refused because the queue was full (`429`s).
+    pub queue_rejections: AtomicU64,
+    /// Requests whose deadline expired while queued or computing
+    /// (`504`s).
+    pub deadline_expirations: AtomicU64,
+    /// Jobs fully computed by workers.
+    pub jobs_completed: AtomicU64,
+    /// Worker results dropped because the waiter had already gone.
+    pub results_dropped: AtomicU64,
+}
+
+/// A point-in-time copy, for tests and the bench harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`Metrics::cache_misses`].
+    pub cache_misses: u64,
+    /// See [`Metrics::queue_rejections`].
+    pub queue_rejections: u64,
+    /// See [`Metrics::deadline_expirations`].
+    pub deadline_expirations: u64,
+    /// See [`Metrics::jobs_completed`].
+    pub jobs_completed: u64,
+}
+
+impl Metrics {
+    /// Bumps the request counter for an endpoint name (unknown names are
+    /// ignored — they still get a response counter).
+    pub fn inc_request(&self, endpoint: &str) {
+        if let Some(i) = ENDPOINTS.iter().position(|e| *e == endpoint) {
+            self.requests[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Bumps the response counter for a status code.
+    pub fn inc_response(&self, status: u16) {
+        if let Some(i) = STATUSES.iter().position(|s| *s == status) {
+            self.responses[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A coherent-enough copy for assertions and bench reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
+            deadline_expirations: self.deadline_expirations.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Renders the Prometheus text exposition format. The gauges are
+    /// passed in by the server, which owns the structures they sample.
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        in_flight: usize,
+        cache_entries: usize,
+        workers: usize,
+    ) -> String {
+        let mut out = String::with_capacity(2048);
+
+        out.push_str("# HELP scpg_requests_total Requests received, by endpoint.\n");
+        out.push_str("# TYPE scpg_requests_total counter\n");
+        for (i, name) in ENDPOINTS.iter().enumerate() {
+            out.push_str(&format!(
+                "scpg_requests_total{{endpoint=\"{name}\"}} {}\n",
+                self.requests[i].load(Ordering::Relaxed)
+            ));
+        }
+
+        out.push_str("# HELP scpg_responses_total Responses sent, by status code.\n");
+        out.push_str("# TYPE scpg_responses_total counter\n");
+        for (i, code) in STATUSES.iter().enumerate() {
+            out.push_str(&format!(
+                "scpg_responses_total{{code=\"{code}\"}} {}\n",
+                self.responses[i].load(Ordering::Relaxed)
+            ));
+        }
+
+        let counters: [(&str, &str, u64); 6] = [
+            (
+                "scpg_cache_hits_total",
+                "Requests answered from the result cache.",
+                self.cache_hits.load(Ordering::Relaxed),
+            ),
+            (
+                "scpg_cache_misses_total",
+                "Requests that computed a fresh result.",
+                self.cache_misses.load(Ordering::Relaxed),
+            ),
+            (
+                "scpg_queue_rejections_total",
+                "Jobs refused with 429 because the work queue was full.",
+                self.queue_rejections.load(Ordering::Relaxed),
+            ),
+            (
+                "scpg_deadline_expirations_total",
+                "Requests that timed out (504) before their job finished.",
+                self.deadline_expirations.load(Ordering::Relaxed),
+            ),
+            (
+                "scpg_jobs_completed_total",
+                "Jobs fully computed by worker threads.",
+                self.jobs_completed.load(Ordering::Relaxed),
+            ),
+            (
+                "scpg_results_dropped_total",
+                "Worker results dropped because the client had gone.",
+                self.results_dropped.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in counters {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+
+        let gauges: [(&str, &str, u64); 5] = [
+            (
+                "scpg_queue_depth",
+                "Jobs waiting in the bounded work queue.",
+                queue_depth as u64,
+            ),
+            (
+                "scpg_queue_capacity",
+                "Admission capacity of the work queue.",
+                queue_capacity as u64,
+            ),
+            (
+                "scpg_connections_in_flight",
+                "Connections currently being served.",
+                in_flight as u64,
+            ),
+            (
+                "scpg_cache_entries",
+                "Entries across all result-cache shards.",
+                cache_entries as u64,
+            ),
+            (
+                "scpg_worker_threads",
+                "Worker threads consuming the queue.",
+                workers as u64,
+            ),
+        ];
+        for (name, help, value) in gauges {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        }
+
+        // Pool introspection from the execution layer: total items its
+        // fan-outs evaluated and how many fan-outs went parallel.
+        out.push_str(&format!(
+            "# HELP scpg_exec_tasks_total Work items evaluated by the scpg-exec pool.\n\
+             # TYPE scpg_exec_tasks_total counter\n\
+             scpg_exec_tasks_total {}\n",
+            scpg_exec::tasks_executed()
+        ));
+        out.push_str(&format!(
+            "# HELP scpg_exec_parallel_jobs_total Fan-outs that ran on more than one worker.\n\
+             # TYPE scpg_exec_parallel_jobs_total counter\n\
+             scpg_exec_parallel_jobs_total {}\n",
+            scpg_exec::parallel_jobs()
+        ));
+        out
+    }
+}
+
+/// Extracts a counter/gauge value from rendered Prometheus text — the
+/// test-side accessor, kept next to the producer so the formats cannot
+/// drift apart.
+pub fn parse_metric(text: &str, name_and_labels: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| {
+            l.strip_prefix(name_and_labels)
+                .is_some_and(|rest| rest.starts_with(' '))
+        })
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_render_and_parse_back() {
+        let m = Metrics::default();
+        m.inc_request("sweep");
+        m.inc_request("sweep");
+        m.inc_request("metrics");
+        m.inc_response(200);
+        m.inc_response(429);
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        let text = m.render(2, 64, 1, 5, 4);
+        assert_eq!(
+            parse_metric(&text, "scpg_requests_total{endpoint=\"sweep\"}"),
+            Some(2.0)
+        );
+        assert_eq!(
+            parse_metric(&text, "scpg_responses_total{code=\"429\"}"),
+            Some(1.0)
+        );
+        assert_eq!(parse_metric(&text, "scpg_cache_hits_total"), Some(3.0));
+        assert_eq!(parse_metric(&text, "scpg_queue_depth"), Some(2.0));
+        assert_eq!(parse_metric(&text, "scpg_queue_capacity"), Some(64.0));
+        assert_eq!(parse_metric(&text, "scpg_worker_threads"), Some(4.0));
+        assert!(parse_metric(&text, "scpg_exec_tasks_total").is_some());
+        assert_eq!(parse_metric(&text, "scpg_nonexistent"), None);
+    }
+
+    #[test]
+    fn unknown_endpoint_is_ignored_not_panicked() {
+        let m = Metrics::default();
+        m.inc_request("no-such-endpoint");
+        m.inc_response(418);
+        let text = m.render(0, 1, 0, 0, 1);
+        assert!(!text.contains("no-such-endpoint"));
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::default();
+        m.cache_misses.fetch_add(2, Ordering::Relaxed);
+        m.jobs_completed.fetch_add(2, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.cache_misses, 2);
+        assert_eq!(s.jobs_completed, 2);
+        assert_eq!(s.cache_hits, 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Bounded work queue with explicit backpressure, per-job deadlines and
+//! drain-on-shutdown semantics.
+//!
+//! Connection threads [`WorkQueue::try_push`] jobs; when the queue is at
+//! capacity the push fails immediately and the caller answers `429` —
+//! admission control happens at the door, not by letting latencies grow
+//! without bound. Worker threads block on [`WorkQueue::pop`], which only
+//! returns `None` once shutdown has been requested **and** the queue has
+//! drained, so every admitted job is completed before the workers exit.
+//!
+//! Each job carries a [`Slot`] the connection thread waits on with its
+//! deadline; if the deadline passes first the connection answers `504`
+//! and abandons the slot, and a worker that later reaches the job skips
+//! the (now pointless) computation.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// What a worker hands back through a [`Slot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutput {
+    /// HTTP status for the response.
+    pub status: u16,
+    /// Response body (JSON).
+    pub body: Vec<u8>,
+}
+
+enum SlotState {
+    Pending,
+    Done(JobOutput),
+    /// The connection stopped waiting (deadline expired, client gone).
+    Abandoned,
+}
+
+/// One job's rendezvous point between connection and worker.
+pub struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl Slot {
+    /// A fresh, pending slot.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Worker side: publish the result (no-op if the connection already
+    /// abandoned the slot). Returns `false` when the result was dropped
+    /// because nobody is waiting anymore.
+    pub fn fulfill(&self, out: JobOutput) -> bool {
+        let mut state = self.state.lock().expect("slot poisoned");
+        match *state {
+            SlotState::Abandoned => false,
+            _ => {
+                *state = SlotState::Done(out);
+                self.cv.notify_all();
+                true
+            }
+        }
+    }
+
+    /// Connection side: wait until the job completes or `deadline`
+    /// passes. On expiry the slot is marked abandoned so the worker can
+    /// skip stale work, and `None` is returned.
+    pub fn wait_until(&self, deadline: Instant) -> Option<JobOutput> {
+        let mut state = self.state.lock().expect("slot poisoned");
+        loop {
+            if let SlotState::Done(ref out) = *state {
+                return Some(out.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                *state = SlotState::Abandoned;
+                return None;
+            }
+            let (next, timeout) = self
+                .cv
+                .wait_timeout(state, deadline - now)
+                .expect("slot poisoned");
+            state = next;
+            if timeout.timed_out() {
+                if let SlotState::Done(ref out) = *state {
+                    return Some(out.clone());
+                }
+                *state = SlotState::Abandoned;
+                return None;
+            }
+        }
+    }
+
+    /// `true` once the waiter has walked away.
+    pub fn is_abandoned(&self) -> bool {
+        matches!(
+            *self.state.lock().expect("slot poisoned"),
+            SlotState::Abandoned
+        )
+    }
+}
+
+/// A queued unit of work.
+pub struct Job {
+    /// When the requesting connection stops waiting.
+    pub deadline: Instant,
+    /// Rendezvous with the connection thread.
+    pub slot: Arc<Slot>,
+    /// The canonical cache key; successful results are inserted under it
+    /// by the worker (so even abandoned jobs warm the cache).
+    pub cache_key: String,
+    /// The computation (runs on a worker thread).
+    pub work: Box<dyn FnOnce() -> JobOutput + Send + 'static>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The bounded queue.
+pub struct WorkQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl WorkQueue {
+    /// A queue admitting at most `capacity` pending jobs (clamped to 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits a job, or returns it when the queue is full or shutting
+    /// down — the caller turns that into `429`/`503` immediately.
+    ///
+    /// # Errors
+    ///
+    /// The rejected job is handed back untouched.
+    pub fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.shutdown || state.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        state.jobs.push_back(job);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job. Returns `None` only when shutdown has
+    /// been requested and every admitted job has been handed out — the
+    /// drain guarantee.
+    pub fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.cv.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Pending jobs right now (the `/metrics` depth gauge).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Stops admission and wakes every worker so they can drain and
+    /// exit.
+    pub fn shutdown(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn job(tag: u16) -> Job {
+        Job {
+            deadline: Instant::now() + Duration::from_secs(5),
+            slot: Slot::new(),
+            cache_key: format!("test {tag}"),
+            work: Box::new(move || JobOutput {
+                status: tag,
+                body: vec![],
+            }),
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let q = WorkQueue::new(2);
+        assert!(q.try_push(job(1)).is_ok());
+        assert!(q.try_push(job(2)).is_ok());
+        let rejected = q.try_push(job(3));
+        assert!(rejected.is_err(), "third push must bounce");
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn pop_drains_then_observes_shutdown() {
+        let q = WorkQueue::new(4);
+        q.try_push(job(1)).ok();
+        q.try_push(job(2)).ok();
+        q.shutdown();
+        assert!(q.try_push(job(3)).is_err(), "no admission after shutdown");
+        assert!(q.pop().is_some(), "admitted jobs drain first");
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none(), "then workers are released");
+    }
+
+    #[test]
+    fn slot_round_trips_a_result() {
+        let slot = Slot::new();
+        let s2 = Arc::clone(&slot);
+        let t = std::thread::spawn(move || {
+            s2.fulfill(JobOutput {
+                status: 200,
+                body: b"ok".to_vec(),
+            })
+        });
+        let out = slot.wait_until(Instant::now() + Duration::from_secs(5));
+        assert!(t.join().unwrap());
+        assert_eq!(out.unwrap().status, 200);
+    }
+
+    #[test]
+    fn slot_deadline_expiry_abandons() {
+        let slot = Slot::new();
+        let out = slot.wait_until(Instant::now() + Duration::from_millis(20));
+        assert!(out.is_none());
+        assert!(slot.is_abandoned());
+        assert!(
+            !slot.fulfill(JobOutput {
+                status: 200,
+                body: vec![]
+            }),
+            "late results are dropped"
+        );
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push() {
+        let q = Arc::new(WorkQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop().map(|j| (j.work)().status));
+        std::thread::sleep(Duration::from_millis(30));
+        q.try_push(job(7)).ok();
+        assert_eq!(t.join().unwrap(), Some(7));
+    }
+}

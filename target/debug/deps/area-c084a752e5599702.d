@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/area-c084a752e5599702.d: crates/bench/src/bin/area.rs
+
+/root/repo/target/debug/deps/area-c084a752e5599702: crates/bench/src/bin/area.rs
+
+crates/bench/src/bin/area.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/area-c23edf412417ee41.d: crates/bench/src/bin/area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarea-c23edf412417ee41.rmeta: crates/bench/src/bin/area.rs Cargo.toml
+
+crates/bench/src/bin/area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-19c6fa60bb6c0826.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/debug/deps/bench-19c6fa60bb6c0826: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-240f8826349e56a3.d: crates/bench/src/bin/bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-240f8826349e56a3.rmeta: crates/bench/src/bin/bench.rs Cargo.toml
+
+crates/bench/src/bin/bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-61e224b49fc0a27b.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/debug/deps/bench-61e224b49fc0a27b: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

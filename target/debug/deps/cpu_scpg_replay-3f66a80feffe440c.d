@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpu_scpg_replay-3f66a80feffe440c.d: tests/cpu_scpg_replay.rs
+
+/root/repo/target/debug/deps/cpu_scpg_replay-3f66a80feffe440c: tests/cpu_scpg_replay.rs
+
+tests/cpu_scpg_replay.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpu_scpg_replay-772c4b87887776d3.d: tests/cpu_scpg_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpu_scpg_replay-772c4b87887776d3.rmeta: tests/cpu_scpg_replay.rs Cargo.toml
+
+tests/cpu_scpg_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_multiplier-227bc93539a02eb8.d: tests/end_to_end_multiplier.rs
+
+/root/repo/target/debug/deps/end_to_end_multiplier-227bc93539a02eb8: tests/end_to_end_multiplier.rs
+
+tests/end_to_end_multiplier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-2d1727c2df80b3dc.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-2d1727c2df80b3dc: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-c3d6dfa59357a418.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-c3d6dfa59357a418: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

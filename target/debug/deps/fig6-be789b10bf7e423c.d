@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-be789b10bf7e423c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-be789b10bf7e423c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

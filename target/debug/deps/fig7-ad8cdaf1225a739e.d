@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-ad8cdaf1225a739e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-ad8cdaf1225a739e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

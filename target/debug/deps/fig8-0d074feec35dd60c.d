@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-0d074feec35dd60c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-0d074feec35dd60c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

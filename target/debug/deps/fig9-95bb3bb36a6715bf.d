@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-95bb3bb36a6715bf.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-95bb3bb36a6715bf: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

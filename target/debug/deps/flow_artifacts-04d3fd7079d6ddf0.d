@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_artifacts-04d3fd7079d6ddf0.d: tests/flow_artifacts.rs
+
+/root/repo/target/debug/deps/flow_artifacts-04d3fd7079d6ddf0: tests/flow_artifacts.rs
+
+tests/flow_artifacts.rs:

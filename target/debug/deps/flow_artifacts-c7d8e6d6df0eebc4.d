@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flow_artifacts-c7d8e6d6df0eebc4.d: tests/flow_artifacts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflow_artifacts-c7d8e6d6df0eebc4.rmeta: tests/flow_artifacts.rs Cargo.toml
+
+tests/flow_artifacts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/headers-42c715fc6032052b.d: crates/bench/src/bin/headers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaders-42c715fc6032052b.rmeta: crates/bench/src/bin/headers.rs Cargo.toml
+
+crates/bench/src/bin/headers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

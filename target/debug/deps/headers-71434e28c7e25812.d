@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/headers-71434e28c7e25812.d: crates/bench/src/bin/headers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheaders-71434e28c7e25812.rmeta: crates/bench/src/bin/headers.rs Cargo.toml
+
+crates/bench/src/bin/headers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headers-9c5a01e3e472957d.d: crates/bench/src/bin/headers.rs
+
+/root/repo/target/debug/deps/headers-9c5a01e3e472957d: crates/bench/src/bin/headers.rs
+
+crates/bench/src/bin/headers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline-4875edc85cf1e426.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/debug/deps/headline-4875edc85cf1e426: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

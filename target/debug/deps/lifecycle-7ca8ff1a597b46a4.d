@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lifecycle-7ca8ff1a597b46a4.d: crates/bench/src/bin/lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblifecycle-7ca8ff1a597b46a4.rmeta: crates/bench/src/bin/lifecycle.rs Cargo.toml
+
+crates/bench/src/bin/lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lifecycle-8fd72da983f2cc01.d: crates/bench/src/bin/lifecycle.rs
+
+/root/repo/target/debug/deps/lifecycle-8fd72da983f2cc01: crates/bench/src/bin/lifecycle.rs
+
+crates/bench/src/bin/lifecycle.rs:

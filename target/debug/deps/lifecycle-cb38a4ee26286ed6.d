@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lifecycle-cb38a4ee26286ed6.d: crates/bench/src/bin/lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblifecycle-cb38a4ee26286ed6.rmeta: crates/bench/src/bin/lifecycle.rs Cargo.toml
+
+crates/bench/src/bin/lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8cac9cd977093d2f.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8cac9cd977093d2f: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-d37aad4a6272c822.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-d37aad4a6272c822: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

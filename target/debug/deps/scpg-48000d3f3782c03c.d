@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/scpg-48000d3f3782c03c.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/service.rs crates/core/src/transform.rs crates/core/src/upf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg-48000d3f3782c03c.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/service.rs crates/core/src/transform.rs crates/core/src/upf.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/budget.rs:
+crates/core/src/duty.rs:
+crates/core/src/error.rs:
+crates/core/src/flow.rs:
+crates/core/src/headers.rs:
+crates/core/src/lifecycle.rs:
+crates/core/src/service.rs:
+crates/core/src/transform.rs:
+crates/core/src/upf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/scpg-c68cfbc2762dc15f.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/transform.rs crates/core/src/upf.rs
+/root/repo/target/debug/deps/scpg-c68cfbc2762dc15f.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/service.rs crates/core/src/transform.rs crates/core/src/upf.rs
 
-/root/repo/target/debug/deps/scpg-c68cfbc2762dc15f: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/transform.rs crates/core/src/upf.rs
+/root/repo/target/debug/deps/scpg-c68cfbc2762dc15f: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/service.rs crates/core/src/transform.rs crates/core/src/upf.rs
 
 crates/core/src/lib.rs:
 crates/core/src/analysis.rs:
@@ -10,5 +10,6 @@ crates/core/src/error.rs:
 crates/core/src/flow.rs:
 crates/core/src/headers.rs:
 crates/core/src/lifecycle.rs:
+crates/core/src/service.rs:
 crates/core/src/transform.rs:
 crates/core/src/upf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/scpg_analog-05fe87e9af772b64.d: crates/analog/src/lib.rs crates/analog/src/gating.rs crates/analog/src/rail.rs crates/analog/src/sizing.rs crates/analog/src/transient.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_analog-05fe87e9af772b64.rmeta: crates/analog/src/lib.rs crates/analog/src/gating.rs crates/analog/src/rail.rs crates/analog/src/sizing.rs crates/analog/src/transient.rs Cargo.toml
+
+crates/analog/src/lib.rs:
+crates/analog/src/gating.rs:
+crates/analog/src/rail.rs:
+crates/analog/src/sizing.rs:
+crates/analog/src/transient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scpg_bench-b733cf426cebd776.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/scpg_bench-b733cf426cebd776: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

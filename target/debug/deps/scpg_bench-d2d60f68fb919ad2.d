@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scpg_bench-d2d60f68fb919ad2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_bench-d2d60f68fb919ad2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_bench-d2d60f68fb919ad2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

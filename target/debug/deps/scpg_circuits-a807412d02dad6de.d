@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/scpg_circuits-a807412d02dad6de.d: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs
+
+/root/repo/target/debug/deps/scpg_circuits-a807412d02dad6de: crates/circuits/src/lib.rs crates/circuits/src/cpu.rs crates/circuits/src/harness.rs crates/circuits/src/multiplier.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/cpu.rs:
+crates/circuits/src/harness.rs:
+crates/circuits/src/multiplier.rs:

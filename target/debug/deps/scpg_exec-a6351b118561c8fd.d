@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scpg_exec-a6351b118561c8fd.d: crates/exec/src/lib.rs
+
+/root/repo/target/debug/deps/scpg_exec-a6351b118561c8fd: crates/exec/src/lib.rs
+
+crates/exec/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_exec-d56e6870bc61609f.d: crates/exec/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_exec-d56e6870bc61609f.rmeta: crates/exec/src/lib.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

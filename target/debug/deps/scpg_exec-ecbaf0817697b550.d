@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_exec-ecbaf0817697b550.d: crates/exec/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_exec-ecbaf0817697b550.rmeta: crates/exec/src/lib.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_flow-51ce9f900975b9d3.d: crates/core/src/bin/scpg_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_flow-51ce9f900975b9d3.rmeta: crates/core/src/bin/scpg_flow.rs Cargo.toml
+
+crates/core/src/bin/scpg_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

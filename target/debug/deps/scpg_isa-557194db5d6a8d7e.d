@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/scpg_isa-557194db5d6a8d7e.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_isa-557194db5d6a8d7e.rmeta: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/dhrystone.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/iss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

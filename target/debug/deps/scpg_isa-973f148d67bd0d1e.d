@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_isa-973f148d67bd0d1e.d: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs
+
+/root/repo/target/debug/deps/scpg_isa-973f148d67bd0d1e: crates/isa/src/lib.rs crates/isa/src/asm.rs crates/isa/src/dhrystone.rs crates/isa/src/inst.rs crates/isa/src/iss.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/asm.rs:
+crates/isa/src/dhrystone.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/iss.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_json-2a3bb63d30f91a11.d: crates/json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_json-2a3bb63d30f91a11.rmeta: crates/json/src/lib.rs Cargo.toml
+
+crates/json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

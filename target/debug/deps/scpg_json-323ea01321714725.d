@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scpg_json-323ea01321714725.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/scpg_json-323ea01321714725: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_json-861b68074f767c2e.d: crates/json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_json-861b68074f767c2e.rmeta: crates/json/src/lib.rs Cargo.toml
+
+crates/json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scpg_json-944459ba9bb114e8.d: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_json-944459ba9bb114e8.rlib: crates/json/src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_json-944459ba9bb114e8.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

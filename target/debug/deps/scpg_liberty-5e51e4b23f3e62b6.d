@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/scpg_liberty-5e51e4b23f3e62b6.d: crates/liberty/src/lib.rs crates/liberty/src/cell.rs crates/liberty/src/format.rs crates/liberty/src/headers.rs crates/liberty/src/library.rs crates/liberty/src/logic.rs crates/liberty/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_liberty-5e51e4b23f3e62b6.rmeta: crates/liberty/src/lib.rs crates/liberty/src/cell.rs crates/liberty/src/format.rs crates/liberty/src/headers.rs crates/liberty/src/library.rs crates/liberty/src/logic.rs crates/liberty/src/model.rs Cargo.toml
+
+crates/liberty/src/lib.rs:
+crates/liberty/src/cell.rs:
+crates/liberty/src/format.rs:
+crates/liberty/src/headers.rs:
+crates/liberty/src/library.rs:
+crates/liberty/src/logic.rs:
+crates/liberty/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/scpg_liberty-8f76fc868daf7405.d: crates/liberty/src/lib.rs crates/liberty/src/cell.rs crates/liberty/src/format.rs crates/liberty/src/headers.rs crates/liberty/src/library.rs crates/liberty/src/logic.rs crates/liberty/src/model.rs
+
+/root/repo/target/debug/deps/scpg_liberty-8f76fc868daf7405: crates/liberty/src/lib.rs crates/liberty/src/cell.rs crates/liberty/src/format.rs crates/liberty/src/headers.rs crates/liberty/src/library.rs crates/liberty/src/logic.rs crates/liberty/src/model.rs
+
+crates/liberty/src/lib.rs:
+crates/liberty/src/cell.rs:
+crates/liberty/src/format.rs:
+crates/liberty/src/headers.rs:
+crates/liberty/src/library.rs:
+crates/liberty/src/logic.rs:
+crates/liberty/src/model.rs:

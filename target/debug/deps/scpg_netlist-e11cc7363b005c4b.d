@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scpg_netlist-e11cc7363b005c4b.d: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+/root/repo/target/debug/deps/scpg_netlist-e11cc7363b005c4b: crates/netlist/src/lib.rs crates/netlist/src/error.rs crates/netlist/src/graph.rs crates/netlist/src/netlist.rs crates/netlist/src/stats.rs crates/netlist/src/verilog.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/graph.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/verilog.rs:

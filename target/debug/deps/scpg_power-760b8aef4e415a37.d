@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/scpg_power-760b8aef4e415a37.d: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs
+
+/root/repo/target/debug/deps/scpg_power-760b8aef4e415a37: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs
+
+crates/power/src/lib.rs:
+crates/power/src/analyzer.rs:
+crates/power/src/subthreshold.rs:
+crates/power/src/variation.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/scpg_power-8d6214b4c125ccae.d: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_power-8d6214b4c125ccae.rmeta: crates/power/src/lib.rs crates/power/src/analyzer.rs crates/power/src/subthreshold.rs crates/power/src/variation.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/analyzer.rs:
+crates/power/src/subthreshold.rs:
+crates/power/src/variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

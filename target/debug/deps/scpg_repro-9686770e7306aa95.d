@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_repro-9686770e7306aa95.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_repro-9686770e7306aa95.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

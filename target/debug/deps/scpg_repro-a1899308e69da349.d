@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scpg_repro-a1899308e69da349.d: src/lib.rs
+
+/root/repo/target/debug/deps/scpg_repro-a1899308e69da349: src/lib.rs
+
+src/lib.rs:

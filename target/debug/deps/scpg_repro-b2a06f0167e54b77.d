@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_repro-b2a06f0167e54b77.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_repro-b2a06f0167e54b77.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

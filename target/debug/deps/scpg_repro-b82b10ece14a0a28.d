@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/scpg_repro-b82b10ece14a0a28.d: src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_repro-b82b10ece14a0a28.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libscpg_repro-b82b10ece14a0a28.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scpg_rng-092655ab6020dd93.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/scpg_rng-092655ab6020dd93: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

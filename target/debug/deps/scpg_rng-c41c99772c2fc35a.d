@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_rng-c41c99772c2fc35a.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_rng-c41c99772c2fc35a.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

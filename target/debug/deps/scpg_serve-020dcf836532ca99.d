@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/scpg_serve-020dcf836532ca99.d: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/designs.rs crates/serve/src/http.rs crates/serve/src/metrics.rs crates/serve/src/queue.rs
+
+/root/repo/target/debug/deps/libscpg_serve-020dcf836532ca99.rlib: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/designs.rs crates/serve/src/http.rs crates/serve/src/metrics.rs crates/serve/src/queue.rs
+
+/root/repo/target/debug/deps/libscpg_serve-020dcf836532ca99.rmeta: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/designs.rs crates/serve/src/http.rs crates/serve/src/metrics.rs crates/serve/src/queue.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/api.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/client.rs:
+crates/serve/src/designs.rs:
+crates/serve/src/http.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/queue.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/scpg_serve-2850ddcd29bc7ec8.d: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/designs.rs crates/serve/src/http.rs crates/serve/src/metrics.rs crates/serve/src/queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_serve-2850ddcd29bc7ec8.rmeta: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/designs.rs crates/serve/src/http.rs crates/serve/src/metrics.rs crates/serve/src/queue.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/api.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/client.rs:
+crates/serve/src/designs.rs:
+crates/serve/src/http.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scpg_serve-57143871f6a55039.d: crates/serve/src/bin/scpg_serve.rs
+
+/root/repo/target/debug/deps/scpg_serve-57143871f6a55039: crates/serve/src/bin/scpg_serve.rs
+
+crates/serve/src/bin/scpg_serve.rs:

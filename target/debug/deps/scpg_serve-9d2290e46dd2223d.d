@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/scpg_serve-9d2290e46dd2223d.d: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/designs.rs crates/serve/src/http.rs crates/serve/src/metrics.rs crates/serve/src/queue.rs
+
+/root/repo/target/debug/deps/scpg_serve-9d2290e46dd2223d: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/designs.rs crates/serve/src/http.rs crates/serve/src/metrics.rs crates/serve/src/queue.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/api.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/client.rs:
+crates/serve/src/designs.rs:
+crates/serve/src/http.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/queue.rs:

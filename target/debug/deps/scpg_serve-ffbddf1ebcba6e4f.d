@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_serve-ffbddf1ebcba6e4f.d: crates/serve/src/bin/scpg_serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_serve-ffbddf1ebcba6e4f.rmeta: crates/serve/src/bin/scpg_serve.rs Cargo.toml
+
+crates/serve/src/bin/scpg_serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_sta-b02121671b7b095b.d: crates/sta/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_sta-b02121671b7b095b.rmeta: crates/sta/src/lib.rs Cargo.toml
+
+crates/sta/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

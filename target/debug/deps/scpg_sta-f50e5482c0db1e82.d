@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scpg_sta-f50e5482c0db1e82.d: crates/sta/src/lib.rs
+
+/root/repo/target/debug/deps/scpg_sta-f50e5482c0db1e82: crates/sta/src/lib.rs
+
+crates/sta/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/scpg_synth-572e769c24761cbf.d: crates/synth/src/lib.rs crates/synth/src/builder.rs crates/synth/src/cts.rs crates/synth/src/prune.rs crates/synth/src/word.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_synth-572e769c24761cbf.rmeta: crates/synth/src/lib.rs crates/synth/src/builder.rs crates/synth/src/cts.rs crates/synth/src/prune.rs crates/synth/src/word.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/builder.rs:
+crates/synth/src/cts.rs:
+crates/synth/src/prune.rs:
+crates/synth/src/word.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

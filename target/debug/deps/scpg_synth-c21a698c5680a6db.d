@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scpg_synth-c21a698c5680a6db.d: crates/synth/src/lib.rs crates/synth/src/builder.rs crates/synth/src/cts.rs crates/synth/src/prune.rs crates/synth/src/word.rs
+
+/root/repo/target/debug/deps/scpg_synth-c21a698c5680a6db: crates/synth/src/lib.rs crates/synth/src/builder.rs crates/synth/src/cts.rs crates/synth/src/prune.rs crates/synth/src/word.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/builder.rs:
+crates/synth/src/cts.rs:
+crates/synth/src/prune.rs:
+crates/synth/src/word.rs:

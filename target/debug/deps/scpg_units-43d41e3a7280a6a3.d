@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/scpg_units-43d41e3a7280a6a3.d: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_units-43d41e3a7280a6a3.rmeta: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs Cargo.toml
+
+crates/units/src/lib.rs:
+crates/units/src/display.rs:
+crates/units/src/quantities.rs:
+crates/units/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

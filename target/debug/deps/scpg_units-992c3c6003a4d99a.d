@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/scpg_units-992c3c6003a4d99a.d: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_units-992c3c6003a4d99a.rmeta: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs Cargo.toml
+
+crates/units/src/lib.rs:
+crates/units/src/display.rs:
+crates/units/src/quantities.rs:
+crates/units/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

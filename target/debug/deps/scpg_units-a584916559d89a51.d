@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/scpg_units-a584916559d89a51.d: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs
+
+/root/repo/target/debug/deps/scpg_units-a584916559d89a51: crates/units/src/lib.rs crates/units/src/display.rs crates/units/src/quantities.rs crates/units/src/sweep.rs
+
+crates/units/src/lib.rs:
+crates/units/src/display.rs:
+crates/units/src/quantities.rs:
+crates/units/src/sweep.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/scpg_waveform-47a88b1b86d406dd.d: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscpg_waveform-47a88b1b86d406dd.rmeta: crates/waveform/src/lib.rs crates/waveform/src/activity.rs crates/waveform/src/vcd.rs Cargo.toml
+
+crates/waveform/src/lib.rs:
+crates/waveform/src/activity.rs:
+crates/waveform/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_api-58e39cd12df04461.d: tests/serve_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_api-58e39cd12df04461.rmeta: tests/serve_api.rs Cargo.toml
+
+tests/serve_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_api-b03954521a0d25fd.d: tests/serve_api.rs
+
+/root/repo/target/debug/deps/serve_api-b03954521a0d25fd: tests/serve_api.rs
+
+tests/serve_api.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrates-cce54c0206f8a3d3.d: crates/bench/benches/substrates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrates-cce54c0206f8a3d3.rmeta: crates/bench/benches/substrates.rs Cargo.toml
+
+crates/bench/benches/substrates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

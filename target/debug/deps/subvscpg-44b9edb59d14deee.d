@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/subvscpg-44b9edb59d14deee.d: crates/bench/src/bin/subvscpg.rs
+
+/root/repo/target/debug/deps/subvscpg-44b9edb59d14deee: crates/bench/src/bin/subvscpg.rs
+
+crates/bench/src/bin/subvscpg.rs:

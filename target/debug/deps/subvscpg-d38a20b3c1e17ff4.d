@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/subvscpg-d38a20b3c1e17ff4.d: crates/bench/src/bin/subvscpg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubvscpg-d38a20b3c1e17ff4.rmeta: crates/bench/src/bin/subvscpg.rs Cargo.toml
+
+crates/bench/src/bin/subvscpg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

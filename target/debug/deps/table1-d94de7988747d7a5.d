@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d94de7988747d7a5.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d94de7988747d7a5: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

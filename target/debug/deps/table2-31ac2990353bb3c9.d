@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-31ac2990353bb3c9.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-31ac2990353bb3c9: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/variation-3ca8331ff7ef36cc.d: crates/bench/src/bin/variation.rs
+
+/root/repo/target/debug/deps/variation-3ca8331ff7ef36cc: crates/bench/src/bin/variation.rs
+
+crates/bench/src/bin/variation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/variation-d1836cdd38a7185b.d: crates/bench/src/bin/variation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvariation-d1836cdd38a7185b.rmeta: crates/bench/src/bin/variation.rs Cargo.toml
+
+crates/bench/src/bin/variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/variation-fd374702e12c7dd3.d: crates/bench/src/bin/variation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvariation-fd374702e12c7dd3.rmeta: crates/bench/src/bin/variation.rs Cargo.toml
+
+crates/bench/src/bin/variation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

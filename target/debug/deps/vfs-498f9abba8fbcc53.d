@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vfs-498f9abba8fbcc53.d: crates/bench/src/bin/vfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvfs-498f9abba8fbcc53.rmeta: crates/bench/src/bin/vfs.rs Cargo.toml
+
+crates/bench/src/bin/vfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

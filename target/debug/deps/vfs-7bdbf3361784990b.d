@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vfs-7bdbf3361784990b.d: crates/bench/src/bin/vfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvfs-7bdbf3361784990b.rmeta: crates/bench/src/bin/vfs.rs Cargo.toml
+
+crates/bench/src/bin/vfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

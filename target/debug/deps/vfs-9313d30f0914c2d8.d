@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vfs-9313d30f0914c2d8.d: crates/bench/src/bin/vfs.rs
+
+/root/repo/target/debug/deps/vfs-9313d30f0914c2d8: crates/bench/src/bin/vfs.rs
+
+crates/bench/src/bin/vfs.rs:

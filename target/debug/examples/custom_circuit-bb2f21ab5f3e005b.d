@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_circuit-bb2f21ab5f3e005b.d: examples/custom_circuit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_circuit-bb2f21ab5f3e005b.rmeta: examples/custom_circuit.rs Cargo.toml
+
+examples/custom_circuit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_circuit-c8cd09b14af011a4.d: examples/custom_circuit.rs
+
+/root/repo/target/debug/examples/custom_circuit-c8cd09b14af011a4: examples/custom_circuit.rs
+
+examples/custom_circuit.rs:

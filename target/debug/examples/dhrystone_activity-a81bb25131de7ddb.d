@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dhrystone_activity-a81bb25131de7ddb.d: examples/dhrystone_activity.rs
+
+/root/repo/target/debug/examples/dhrystone_activity-a81bb25131de7ddb: examples/dhrystone_activity.rs
+
+examples/dhrystone_activity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dhrystone_activity-b3b9d3ea6040c665.d: examples/dhrystone_activity.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdhrystone_activity-b3b9d3ea6040c665.rmeta: examples/dhrystone_activity.rs Cargo.toml
+
+examples/dhrystone_activity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/duty_cycle_explorer-1ba3392382c49809.d: examples/duty_cycle_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libduty_cycle_explorer-1ba3392382c49809.rmeta: examples/duty_cycle_explorer.rs Cargo.toml
+
+examples/duty_cycle_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

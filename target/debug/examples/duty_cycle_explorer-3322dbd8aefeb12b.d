@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/duty_cycle_explorer-3322dbd8aefeb12b.d: examples/duty_cycle_explorer.rs
+
+/root/repo/target/debug/examples/duty_cycle_explorer-3322dbd8aefeb12b: examples/duty_cycle_explorer.rs
+
+examples/duty_cycle_explorer.rs:

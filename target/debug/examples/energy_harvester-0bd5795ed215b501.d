@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/energy_harvester-0bd5795ed215b501.d: examples/energy_harvester.rs Cargo.toml
+
+/root/repo/target/debug/examples/libenergy_harvester-0bd5795ed215b501.rmeta: examples/energy_harvester.rs Cargo.toml
+
+examples/energy_harvester.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

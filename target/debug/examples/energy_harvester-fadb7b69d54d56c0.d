@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/energy_harvester-fadb7b69d54d56c0.d: examples/energy_harvester.rs
+
+/root/repo/target/debug/examples/energy_harvester-fadb7b69d54d56c0: examples/energy_harvester.rs
+
+examples/energy_harvester.rs:

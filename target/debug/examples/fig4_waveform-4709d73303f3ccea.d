@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fig4_waveform-4709d73303f3ccea.d: examples/fig4_waveform.rs
+
+/root/repo/target/debug/examples/fig4_waveform-4709d73303f3ccea: examples/fig4_waveform.rs
+
+examples/fig4_waveform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fig4_waveform-8721b4beac018be7.d: examples/fig4_waveform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfig4_waveform-8721b4beac018be7.rmeta: examples/fig4_waveform.rs Cargo.toml
+
+examples/fig4_waveform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

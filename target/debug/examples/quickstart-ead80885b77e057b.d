@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ead80885b77e057b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ead80885b77e057b: examples/quickstart.rs
+
+examples/quickstart.rs:

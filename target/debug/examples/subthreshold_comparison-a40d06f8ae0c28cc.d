@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/subthreshold_comparison-a40d06f8ae0c28cc.d: examples/subthreshold_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsubthreshold_comparison-a40d06f8ae0c28cc.rmeta: examples/subthreshold_comparison.rs Cargo.toml
+
+examples/subthreshold_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

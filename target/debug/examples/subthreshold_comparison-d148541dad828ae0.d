@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/subthreshold_comparison-d148541dad828ae0.d: examples/subthreshold_comparison.rs
+
+/root/repo/target/debug/examples/subthreshold_comparison-d148541dad828ae0: examples/subthreshold_comparison.rs
+
+examples/subthreshold_comparison.rs:

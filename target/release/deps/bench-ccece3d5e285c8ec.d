@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-ccece3d5e285c8ec.d: crates/bench/src/bin/bench.rs
+
+/root/repo/target/release/deps/bench-ccece3d5e285c8ec: crates/bench/src/bin/bench.rs
+
+crates/bench/src/bin/bench.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/scpg-b8a840e956497e00.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/transform.rs crates/core/src/upf.rs
+/root/repo/target/release/deps/scpg-b8a840e956497e00.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/service.rs crates/core/src/transform.rs crates/core/src/upf.rs
 
-/root/repo/target/release/deps/libscpg-b8a840e956497e00.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/transform.rs crates/core/src/upf.rs
+/root/repo/target/release/deps/libscpg-b8a840e956497e00.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/service.rs crates/core/src/transform.rs crates/core/src/upf.rs
 
-/root/repo/target/release/deps/libscpg-b8a840e956497e00.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/transform.rs crates/core/src/upf.rs
+/root/repo/target/release/deps/libscpg-b8a840e956497e00.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/budget.rs crates/core/src/duty.rs crates/core/src/error.rs crates/core/src/flow.rs crates/core/src/headers.rs crates/core/src/lifecycle.rs crates/core/src/service.rs crates/core/src/transform.rs crates/core/src/upf.rs
 
 crates/core/src/lib.rs:
 crates/core/src/analysis.rs:
@@ -12,5 +12,6 @@ crates/core/src/error.rs:
 crates/core/src/flow.rs:
 crates/core/src/headers.rs:
 crates/core/src/lifecycle.rs:
+crates/core/src/service.rs:
 crates/core/src/transform.rs:
 crates/core/src/upf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scpg_bench-edcb99f38da0818a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libscpg_bench-edcb99f38da0818a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libscpg_bench-edcb99f38da0818a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

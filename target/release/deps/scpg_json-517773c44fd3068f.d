@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scpg_json-517773c44fd3068f.d: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/libscpg_json-517773c44fd3068f.rlib: crates/json/src/lib.rs
+
+/root/repo/target/release/deps/libscpg_json-517773c44fd3068f.rmeta: crates/json/src/lib.rs
+
+crates/json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/scpg_repro-e14eaa2f080dfc03.d: src/lib.rs
+
+/root/repo/target/release/deps/libscpg_repro-e14eaa2f080dfc03.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libscpg_repro-e14eaa2f080dfc03.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scpg_serve-3ec14dc40cd5c086.d: crates/serve/src/bin/scpg_serve.rs
+
+/root/repo/target/release/deps/scpg_serve-3ec14dc40cd5c086: crates/serve/src/bin/scpg_serve.rs
+
+crates/serve/src/bin/scpg_serve.rs:

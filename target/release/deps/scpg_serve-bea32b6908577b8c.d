@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/scpg_serve-bea32b6908577b8c.d: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/designs.rs crates/serve/src/http.rs crates/serve/src/metrics.rs crates/serve/src/queue.rs
+
+/root/repo/target/release/deps/libscpg_serve-bea32b6908577b8c.rlib: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/designs.rs crates/serve/src/http.rs crates/serve/src/metrics.rs crates/serve/src/queue.rs
+
+/root/repo/target/release/deps/libscpg_serve-bea32b6908577b8c.rmeta: crates/serve/src/lib.rs crates/serve/src/api.rs crates/serve/src/cache.rs crates/serve/src/client.rs crates/serve/src/designs.rs crates/serve/src/http.rs crates/serve/src/metrics.rs crates/serve/src/queue.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/api.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/client.rs:
+crates/serve/src/designs.rs:
+crates/serve/src/http.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/queue.rs:

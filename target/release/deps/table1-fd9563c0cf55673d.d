@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-fd9563c0cf55673d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-fd9563c0cf55673d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

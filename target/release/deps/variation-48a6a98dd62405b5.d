@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/variation-48a6a98dd62405b5.d: crates/bench/src/bin/variation.rs
+
+/root/repo/target/release/deps/variation-48a6a98dd62405b5: crates/bench/src/bin/variation.rs
+
+crates/bench/src/bin/variation.rs:

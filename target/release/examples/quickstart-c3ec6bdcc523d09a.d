@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c3ec6bdcc523d09a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c3ec6bdcc523d09a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,269 @@
+//! End-to-end tests of the `scpg-serve` HTTP API over real loopback
+//! sockets: every endpoint, cache-hit byte-identity, bit-identity of
+//! served numbers versus direct library calls, malformed-input handling,
+//! deterministic backpressure (429), deadline expiry (504) and graceful
+//! shutdown draining in-flight requests.
+
+use scpg::service::Query;
+use scpg::transform::{ScpgOptions, ScpgTransform};
+use scpg::{Mode, ScpgAnalysis};
+use scpg_circuits::generate_multiplier;
+use scpg_liberty::{Library, PvtCorner};
+use scpg_serve::designs::{DesignKind, DesignSpec};
+use scpg_serve::metrics::parse_metric;
+use scpg_serve::{api, client, ServeConfig, Server};
+use scpg_units::{Frequency, Power};
+
+/// The design every test queries: a 4×4 multiplier (cheap to analyse in
+/// debug builds) with the default workload/supply.
+const DESIGN: &str = r#"{"kind": "multiplier", "bits": 4}"#;
+
+fn spec() -> DesignSpec {
+    DesignSpec {
+        kind: DesignKind::Multiplier { bits: 4 },
+        ..DesignSpec::default_multiplier()
+    }
+}
+
+/// The served design, built directly from the library — no serve-crate
+/// machinery — for bit-identity assertions.
+fn direct_analysis() -> ScpgAnalysis {
+    let lib = Library::ninety_nm();
+    let (baseline, _) = generate_multiplier(&lib, 4);
+    let design = ScpgTransform::new(&lib)
+        .apply(&baseline, "clk", &ScpgOptions::default())
+        .expect("transform");
+    ScpgAnalysis::new(
+        &lib,
+        &baseline,
+        &design,
+        spec().e_dyn,
+        PvtCorner::at_voltage(spec().vdd),
+    )
+    .expect("analysis")
+}
+
+fn body(rest: &str) -> String {
+    format!(r#"{{"design": {DESIGN}, {rest}}}"#)
+}
+
+#[test]
+fn api_surface_cache_and_bit_identity() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    // Liveness.
+    let health = client::get(addr, "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.text(), r#"{"status":"ok"}"#);
+
+    // Sweep: the served body must be bit-identical to serializing the
+    // direct library call — the serving layer adds transport, never
+    // numerics.
+    let analysis = direct_analysis();
+    let freqs = [Frequency::new(1e6), Frequency::new(5e6)];
+    let sweep_body = body(r#""frequencies_hz": [1e6, 5e6], "mode": "scpg""#);
+    let served = client::post(addr, "/v1/sweep", &sweep_body).expect("sweep");
+    assert_eq!(served.status, 200, "{}", served.text());
+    let expected = api::sweep_response(&spec(), Mode::Scpg, &analysis.sweep(&freqs, Mode::Scpg))
+        .write()
+        .into_bytes();
+    assert_eq!(served.body, expected, "served sweep != direct library call");
+
+    // Cache hit: the repeat is byte-identical and bumps the hit counter
+    // (visible both on the handle and through /metrics).
+    let hits_before = handle.metrics().cache_hits;
+    let repeat = client::post(addr, "/v1/sweep", &sweep_body).expect("repeat sweep");
+    assert_eq!(repeat.status, 200);
+    assert_eq!(
+        repeat.body, served.body,
+        "cache replay must be byte-identical"
+    );
+    assert_eq!(handle.metrics().cache_hits, hits_before + 1);
+
+    // Key canonicalization: reordered keys and a different deadline are
+    // the same cached result.
+    let reordered = format!(
+        r#"{{"mode": "scpg", "deadline_ms": 9999, "frequencies_hz": [1000000, 5e6], "design": {DESIGN}}}"#
+    );
+    let canon = client::post(addr, "/v1/sweep", &reordered).expect("reordered sweep");
+    assert_eq!(canon.status, 200);
+    assert_eq!(canon.body, served.body, "canonicalization missed a hit");
+
+    // Table: also bit-identical to the direct call.
+    let table =
+        client::post(addr, "/v1/table", &body(r#""frequencies_hz": [2e6]"#)).expect("table");
+    assert_eq!(table.status, 200, "{}", table.text());
+    let expected = api::table_response(&spec(), &analysis.table(&[Frequency::new(2e6)]))
+        .write()
+        .into_bytes();
+    assert_eq!(table.body, expected, "served table != direct library call");
+
+    // Headline: same query the library answers, same bytes.
+    let headline =
+        client::post(addr, "/v1/headline", &body(r#""budget_w": 30e-6"#)).expect("headline");
+    assert_eq!(headline.status, 200, "{}", headline.text());
+    let query = Query::Headline {
+        budget: Power::new(30e-6),
+        lo: Frequency::new(100.0),
+        hi: Frequency::new(50.0e6),
+    };
+    let expected = match query.run(&analysis) {
+        scpg::service::QueryOutcome::Headline(h) => api::headline_response(&spec(), h.as_ref())
+            .write()
+            .into_bytes(),
+        _ => unreachable!(),
+    };
+    assert_eq!(
+        headline.body, expected,
+        "served headline != direct library call"
+    );
+
+    // Variation: deterministic for a seed, and the sample count obeys
+    // the request.
+    let variation = client::post(
+        addr,
+        "/v1/variation",
+        r#"{"design": {"kind": "chain", "length": 8}, "samples": 3, "seed": 7}"#,
+    )
+    .expect("variation");
+    assert_eq!(variation.status, 200, "{}", variation.text());
+    let doc = scpg_json::Json::parse(variation.text()).expect("variation JSON");
+    assert_eq!(
+        doc.get("samples")
+            .and_then(|s| s.as_array())
+            .map(<[_]>::len),
+        Some(3)
+    );
+
+    // Refusals: malformed JSON is 400 before any engine work; an empty
+    // sweep is a 422 admission refusal; unknown routes 404; wrong
+    // methods 405.
+    let bad = client::post(addr, "/v1/sweep", "{not json").expect("malformed");
+    assert_eq!(bad.status, 400);
+    assert!(bad.text().contains("error"));
+    let empty =
+        client::post(addr, "/v1/sweep", &body(r#""frequencies_hz": []"#)).expect("empty sweep");
+    assert_eq!(empty.status, 422);
+    assert_eq!(client::get(addr, "/v1/nope").expect("404").status, 404);
+    assert_eq!(
+        client::post(addr, "/metrics", "{}").expect("405").status,
+        405
+    );
+
+    // /metrics reflects everything above.
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    assert!(
+        parse_metric(text, "scpg_requests_total{endpoint=\"sweep\"}").unwrap_or(0.0) >= 4.0,
+        "sweep request counter"
+    );
+    assert!(
+        parse_metric(text, "scpg_cache_hits_total").unwrap_or(0.0) >= 2.0,
+        "cache hit counter"
+    );
+    assert!(
+        parse_metric(text, "scpg_responses_total{code=\"400\"}").unwrap_or(0.0) >= 1.0,
+        "400 response counter"
+    );
+    assert_eq!(parse_metric(text, "scpg_worker_threads"), Some(2.0));
+
+    handle.shutdown();
+}
+
+#[test]
+fn saturated_queue_answers_429_not_hangs() {
+    // Two workers, one queue slot, 400 ms per job: six simultaneous
+    // distinct requests can admit at most three; the rest must bounce
+    // with 429 immediately rather than block or crash.
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        queue_capacity: 1,
+        debug_job_delay_ms: 400,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    let clients: Vec<_> = (0..6)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let req = body(&format!(r#""frequencies_hz": [{}e6]"#, i + 1));
+                client::post(addr, "/v1/sweep", &req)
+                    .expect("request")
+                    .status
+            })
+        })
+        .collect();
+    let statuses: Vec<u16> = clients.into_iter().map(|t| t.join().unwrap()).collect();
+
+    let ok = statuses.iter().filter(|&&s| s == 200).count();
+    let busy = statuses.iter().filter(|&&s| s == 429).count();
+    assert_eq!(ok + busy, 6, "only 200/429 expected, got {statuses:?}");
+    assert!(busy >= 1, "queue never saturated: {statuses:?}");
+    assert!(ok >= 1, "nothing was admitted: {statuses:?}");
+    assert_eq!(handle.metrics().queue_rejections, busy as u64);
+
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(
+        parse_metric(metrics.text(), "scpg_responses_total{code=\"429\"}"),
+        Some(busy as f64)
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn expired_deadline_answers_504() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        debug_job_delay_ms: 300,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    let req = body(r#""frequencies_hz": [7e6], "deadline_ms": 50"#);
+    let resp = client::post(addr, "/v1/sweep", &req).expect("request");
+    assert_eq!(resp.status, 504, "{}", resp.text());
+    assert!(resp.text().contains("deadline"));
+    assert_eq!(handle.metrics().deadline_expirations, 1);
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        debug_job_delay_ms: 300,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    // A slow request is in flight when shutdown begins; it must still be
+    // answered (200), not dropped.
+    let in_flight = std::thread::spawn(move || {
+        let req = body(r#""frequencies_hz": [9e6]"#);
+        client::post(addr, "/v1/sweep", &req).expect("in-flight request")
+    });
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    handle.shutdown();
+
+    let resp = in_flight.join().expect("client thread");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    // After shutdown the listener is gone: new connections are refused.
+    assert!(
+        client::get(addr, "/healthz").is_err(),
+        "listener still accepting after shutdown"
+    );
+}
