@@ -459,8 +459,18 @@ impl<'a> Parser<'a> {
         if end > self.bytes.len() {
             return Err(self.err("truncated \\u escape"));
         }
-        let s = &self.input[self.pos..end];
-        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        // Decode from raw bytes: slicing `self.input` here could land inside a
+        // multi-byte UTF-8 character and panic on untrusted input.
+        let mut v: u32 = 0;
+        for &b in &self.bytes[self.pos..end] {
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = (v << 4) | d;
+        }
         self.pos = end;
         Ok(v)
     }
@@ -627,6 +637,23 @@ mod tests {
         // Explicit escape forms parse too, including surrogate pairs.
         let v = Json::parse(r#""Aé😀\/\b\f""#).unwrap();
         assert_eq!(v.as_str(), Some("Aé😀/\u{08}\u{0C}"));
+    }
+
+    #[test]
+    fn unicode_escape_split_by_multibyte_char_errors_not_panics() {
+        // The 4 "hex digits" land mid-way through a multi-byte character;
+        // byte-offset slicing of the &str here used to panic on a UTF-8
+        // boundary. Untrusted server input must get an Err instead.
+        for bad in [
+            "\"\\u00€\"",
+            "\"\\u€000\"",
+            "\"\\ud800\\u00€\"",
+            "\"\\u😀\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not panic");
+        }
+        assert_eq!(Json::parse("\"\\u00e9\"").unwrap().as_str(), Some("é"));
+        assert_eq!(Json::parse("\"\\u00E9\"").unwrap().as_str(), Some("é"));
     }
 
     #[test]

@@ -192,32 +192,99 @@ fn build_chain(length: usize) -> Netlist {
     nl
 }
 
-/// The shared registry: design key → built artifact.
-#[derive(Default)]
+/// One registry slot: the lazily built artifact plus its LRU stamp.
+struct RegistryEntry {
+    cell: Arc<OnceLock<Arc<DesignArtifact>>>,
+    last_used: u64,
+}
+
+struct RegistryState {
+    map: HashMap<String, RegistryEntry>,
+    tick: u64,
+}
+
+/// The shared registry: design key → built artifact, LRU-bounded.
+///
+/// Every `e_dyn`/`vdd` float that passes validation is a distinct key, so
+/// an unbounded map would let a client iterating arbitrary values grow
+/// memory without limit. At capacity the least-recently-used design is
+/// evicted; in-flight requests keep their `Arc` and an evicted design
+/// simply rebuilds on next use.
 pub struct DesignRegistry {
-    map: Mutex<HashMap<String, Arc<DesignArtifact>>>,
+    state: Mutex<RegistryState>,
+    max_designs: usize,
+}
+
+impl Default for DesignRegistry {
+    fn default() -> Self {
+        Self::with_capacity(Self::MAX_DESIGNS)
+    }
 }
 
 impl DesignRegistry {
-    /// A fresh, empty registry.
+    /// Default cap on distinct resident designs. Sized so a full registry
+    /// of the largest admissible multipliers stays tens of megabytes.
+    pub const MAX_DESIGNS: usize = 32;
+
+    /// A fresh, empty registry with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The artifact for a spec, building it on first use. The build runs
-    /// under the registry lock so concurrent first requests for the same
-    /// design do the work once, not once per request.
-    pub fn get(&self, spec: DesignSpec) -> Arc<DesignArtifact> {
-        let mut map = self.map.lock().expect("registry poisoned");
-        Arc::clone(
-            map.entry(spec.key())
-                .or_insert_with(|| Arc::new(DesignArtifact::build(spec))),
-        )
+    /// A registry holding at most `max_designs` built designs (clamped
+    /// to 1).
+    pub fn with_capacity(max_designs: usize) -> Self {
+        Self {
+            state: Mutex::new(RegistryState {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            max_designs: max_designs.max(1),
+        }
     }
 
-    /// Distinct designs built so far.
+    /// The artifact for a spec, building it on first use. The registry
+    /// lock is only held to find/insert the slot; the expensive build
+    /// runs outside it behind the slot's own `OnceLock`, so only
+    /// concurrent requests for the *same* design wait on each other.
+    pub fn get(&self, spec: DesignSpec) -> Arc<DesignArtifact> {
+        let cell = {
+            let mut state = self.state.lock().expect("registry poisoned");
+            state.tick += 1;
+            let tick = state.tick;
+            let key = spec.key();
+            if let Some(entry) = state.map.get_mut(&key) {
+                entry.last_used = tick;
+                Arc::clone(&entry.cell)
+            } else {
+                if state.map.len() >= self.max_designs {
+                    // O(n) victim scan is fine at this capacity.
+                    if let Some(victim) = state
+                        .map
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| k.clone())
+                    {
+                        state.map.remove(&victim);
+                    }
+                }
+                let cell = Arc::new(OnceLock::new());
+                state.map.insert(
+                    key,
+                    RegistryEntry {
+                        cell: Arc::clone(&cell),
+                        last_used: tick,
+                    },
+                );
+                cell
+            }
+        };
+        Arc::clone(cell.get_or_init(|| Arc::new(DesignArtifact::build(spec))))
+    }
+
+    /// Distinct designs resident right now.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("registry poisoned").len()
+        self.state.lock().expect("registry poisoned").map.len()
     }
 
     /// `true` when nothing has been built yet.
@@ -266,6 +333,30 @@ mod tests {
         assert!(err.contains("transform failed"), "{err}");
         // And the failure is cached, not re-attempted forever.
         assert_eq!(art.analysis().expect_err("still cached"), err);
+    }
+
+    #[test]
+    fn registry_evicts_least_recently_used_at_capacity() {
+        let reg = DesignRegistry::with_capacity(2);
+        let one = reg.get(DesignSpec::chain(1));
+        let two = reg.get(DesignSpec::chain(2));
+        assert_eq!(reg.len(), 2);
+        // Touch 1 so 2 becomes the LRU victim.
+        let _ = reg.get(DesignSpec::chain(1));
+        let _three = reg.get(DesignSpec::chain(3));
+        assert_eq!(reg.len(), 2, "capacity holds under churn");
+        let one_again = reg.get(DesignSpec::chain(1));
+        assert!(
+            Arc::ptr_eq(&one, &one_again),
+            "recently used design survived"
+        );
+        let two_again = reg.get(DesignSpec::chain(2));
+        assert!(
+            !Arc::ptr_eq(&two, &two_again),
+            "evicted design rebuilds fresh"
+        );
+        // The evicted artifact stayed usable for its in-flight holders.
+        assert_eq!(two.spec.kind, DesignKind::Chain { length: 2 });
     }
 
     #[test]

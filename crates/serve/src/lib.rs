@@ -243,6 +243,17 @@ impl ShutdownTrigger {
     }
 }
 
+/// RAII decrement for the in-flight connection gauge: a plain post-call
+/// `fetch_sub` would be skipped if the handler unwound, permanently
+/// leaking the count and hanging the shutdown drain loop.
+struct ConnGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -252,8 +263,8 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
                 let spawned = std::thread::Builder::new()
                     .name("scpg-serve-conn".to_string())
                     .spawn(move || {
+                        let _guard = ConnGuard(&conn_shared.in_flight_conns);
                         handle_connection(stream, &conn_shared);
-                        conn_shared.in_flight_conns.fetch_sub(1, Ordering::SeqCst);
                     });
                 if spawned.is_err() {
                     shared.in_flight_conns.fetch_sub(1, Ordering::SeqCst);
@@ -287,7 +298,28 @@ fn worker_loop(shared: &Arc<Shared>) {
                 .fetch_add(1, Ordering::Relaxed);
             continue;
         }
-        let (cache_key, out) = (job.cache_key, (job.work)());
+        let Job {
+            slot,
+            cache_key,
+            work,
+            ..
+        } = job;
+        // A panicking job must not kill the worker (silently shrinking
+        // the pool) or leave the connection waiting for the deadline: it
+        // becomes a 500 like any other failed computation.
+        let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)) {
+            Ok(out) => out,
+            Err(_) => {
+                shared
+                    .metrics
+                    .handler_panics
+                    .fetch_add(1, Ordering::Relaxed);
+                JobOutput {
+                    status: 500,
+                    body: api::error_body("internal error while computing this result"),
+                }
+            }
+        };
         shared
             .metrics
             .jobs_completed
@@ -297,7 +329,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             // stopped waiting still warms the cache.
             shared.cache.insert(cache_key, Arc::new(out.body.clone()));
         }
-        if !job.slot.fulfill(out) {
+        if !slot.fulfill(out) {
             shared
                 .metrics
                 .results_dropped
@@ -308,7 +340,20 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let (status, content_type, body) = match http::read_request(&mut stream) {
-        Ok(req) => respond(shared, &req),
+        // Catch unwinds here, while the stream is still in hand: the
+        // client gets a 500 instead of a silently dropped connection.
+        Ok(req) => {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| respond(shared, &req))) {
+                Ok(reply) => reply,
+                Err(_) => {
+                    shared
+                        .metrics
+                        .handler_panics
+                        .fetch_add(1, Ordering::Relaxed);
+                    (500, "application/json", api::error_body("internal error"))
+                }
+            }
+        }
         Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
         Err(HttpError::TooLarge) => (
             413,
@@ -387,6 +432,27 @@ fn handle_api(shared: &Arc<Shared>, endpoint: &'static str, raw_body: &[u8]) -> 
         Err(e) => return (400, "application/json", api::error_body(&e.to_string())),
     };
 
+    // Validate the deadline before the cache lookup: a present but
+    // non-integral value is a 422 like every other bad field, never
+    // silently replaced by the default (or masked by a cache hit, since
+    // the cache key strips `deadline_ms`).
+    let requested_ms = match body.get("deadline_ms") {
+        None => shared.config.default_deadline_ms,
+        Some(v) => match v.as_u64() {
+            Some(ms) => ms,
+            None => {
+                return (
+                    422,
+                    "application/json",
+                    api::error_body(
+                        "deadline_ms must be a non-negative integral number of milliseconds",
+                    ),
+                )
+            }
+        },
+    }
+    .clamp(1, shared.config.max_deadline_ms);
+
     let key = cache_key(endpoint, &body);
     if let Some(hit) = shared.cache.get(&key) {
         shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -424,11 +490,6 @@ fn handle_api(shared: &Arc<Shared>, endpoint: &'static str, raw_body: &[u8]) -> 
         }
     };
 
-    let requested_ms = body
-        .get("deadline_ms")
-        .and_then(Json::as_u64)
-        .unwrap_or(shared.config.default_deadline_ms)
-        .clamp(1, shared.config.max_deadline_ms);
     let deadline = Instant::now() + Duration::from_millis(requested_ms);
 
     let slot = Slot::new();
@@ -564,6 +625,32 @@ mod tests {
         let c = Json::parse(r#"{"frequencies_hz": [2e6], "mode": "scpg"}"#).unwrap();
         assert_ne!(cache_key("sweep", &a), cache_key("sweep", &c));
         assert_ne!(cache_key("sweep", &a), cache_key("table", &a));
+    }
+
+    #[test]
+    fn panicking_job_answers_500_and_keeps_workers_alive() {
+        let server = Server::bind(tiny_config()).unwrap();
+        let shared = Arc::clone(&server.shared);
+        let handle = server.spawn();
+        let slot = Slot::new();
+        assert!(shared
+            .queue
+            .try_push(Job {
+                deadline: Instant::now() + Duration::from_secs(5),
+                slot: Arc::clone(&slot),
+                cache_key: "test panic".to_string(),
+                work: Box::new(|| panic!("deliberate test panic")),
+            })
+            .is_ok());
+        let out = slot
+            .wait_until(Instant::now() + Duration::from_secs(5))
+            .expect("panic must still answer the waiter");
+        assert_eq!(out.status, 500);
+        assert_eq!(handle.metrics().handler_panics, 1);
+        // The worker survived the unwind: the service still answers.
+        let ok = client::get(handle.addr(), "/healthz").unwrap();
+        assert_eq!(ok.status, 200);
+        handle.shutdown();
     }
 
     #[test]

@@ -38,6 +38,8 @@ pub struct Metrics {
     pub jobs_completed: AtomicU64,
     /// Worker results dropped because the waiter had already gone.
     pub results_dropped: AtomicU64,
+    /// Handler or job panics caught and converted to `500`s.
+    pub handler_panics: AtomicU64,
 }
 
 /// A point-in-time copy, for tests and the bench harness.
@@ -53,6 +55,8 @@ pub struct MetricsSnapshot {
     pub deadline_expirations: u64,
     /// See [`Metrics::jobs_completed`].
     pub jobs_completed: u64,
+    /// See [`Metrics::handler_panics`].
+    pub handler_panics: u64,
 }
 
 impl Metrics {
@@ -79,6 +83,7 @@ impl Metrics {
             queue_rejections: self.queue_rejections.load(Ordering::Relaxed),
             deadline_expirations: self.deadline_expirations.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            handler_panics: self.handler_panics.load(Ordering::Relaxed),
         }
     }
 
@@ -112,7 +117,7 @@ impl Metrics {
             ));
         }
 
-        let counters: [(&str, &str, u64); 6] = [
+        let counters: [(&str, &str, u64); 7] = [
             (
                 "scpg_cache_hits_total",
                 "Requests answered from the result cache.",
@@ -142,6 +147,11 @@ impl Metrics {
                 "scpg_results_dropped_total",
                 "Worker results dropped because the client had gone.",
                 self.results_dropped.load(Ordering::Relaxed),
+            ),
+            (
+                "scpg_handler_panics_total",
+                "Handler or job panics caught and answered with 500.",
+                self.handler_panics.load(Ordering::Relaxed),
             ),
         ];
         for (name, help, value) in counters {

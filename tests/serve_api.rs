@@ -239,6 +239,47 @@ fn expired_deadline_answers_504() {
 }
 
 #[test]
+fn hostile_bodies_answer_4xx_and_never_wedge_shutdown() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    // A \u escape whose "hex digits" straddle a multi-byte character used
+    // to panic the JSON parser on the connection thread (leaking the
+    // in-flight gauge and wedging shutdown). It must be a plain 400.
+    let split = client::post(addr, "/v1/sweep", "{\"a\":\"\\u00€\"}").expect("split escape");
+    assert_eq!(split.status, 400, "{}", split.text());
+
+    // deadline_ms must be an unsigned integer: present-but-wrong is a 422
+    // like every other bad field, not a silent fall back to the default.
+    for bad in [
+        r#""deadline_ms": 1.5"#,
+        r#""deadline_ms": "500""#,
+        r#""deadline_ms": true"#,
+        r#""deadline_ms": -1"#,
+    ] {
+        let req = body(&format!(r#""frequencies_hz": [1e6], {bad}"#));
+        let resp = client::post(addr, "/v1/sweep", &req).expect("bad deadline");
+        assert_eq!(resp.status, 422, "{bad}: {}", resp.text());
+        assert!(resp.text().contains("deadline_ms"), "{}", resp.text());
+    }
+
+    // The service is still healthy and the in-flight gauge recovered, so
+    // shutdown drains instead of spinning on a leaked count.
+    assert_eq!(client::get(addr, "/healthz").expect("healthz").status, 200);
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(
+        parse_metric(metrics.text(), "scpg_responses_total{code=\"422\"}"),
+        Some(4.0)
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_requests() {
     let handle = Server::bind(ServeConfig {
         workers: 2,
