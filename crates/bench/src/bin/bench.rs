@@ -239,9 +239,19 @@ struct ServeNumbers {
     cold_ms: f64,
     compiled_ms: f64,
     warm_ms: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
     cache_hits: u64,
     cache_misses: u64,
     byte_identical: bool,
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample set.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Measures the HTTP serving path against the same multiplier design:
@@ -281,12 +291,30 @@ fn bench_serve() -> ServeNumbers {
         assert_eq!(warm.status, 200, "{}", warm.text());
     }
 
+    // Steady-state latency distribution: 40 cache-hit requests, the
+    // shape a dashboard would alert on. (Cold compiles are one-off and
+    // reported separately above.)
+    let mut samples = Vec::with_capacity(40);
+    for _ in 0..40 {
+        let t0 = Instant::now();
+        let resp = scpg_serve::client::post(addr, "/v1/sweep", sweep).expect("sampled request");
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(resp.status, 200, "{}", resp.text());
+    }
+    samples.sort_by(f64::total_cmp);
+    let p50_ms = percentile(&samples, 0.50);
+    let p90_ms = percentile(&samples, 0.90);
+    let p99_ms = percentile(&samples, 0.99);
+
     let m = handle.metrics();
     handle.shutdown();
     ServeNumbers {
         cold_ms,
         compiled_ms,
         warm_ms,
+        p50_ms,
+        p90_ms,
+        p99_ms,
         cache_hits: m.cache_hits,
         cache_misses: m.cache_misses,
         byte_identical: warm.body == cold.body,
@@ -378,6 +406,10 @@ fn main() {
         srv.cache_misses,
         srv.byte_identical
     );
+    println!(
+        "  steady-state latency p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms",
+        srv.p50_ms, srv.p90_ms, srv.p99_ms
+    );
     assert!(
         srv.byte_identical,
         "cache hit must replay the original body byte-identically"
@@ -453,6 +485,9 @@ fn main() {
                     "cold_over_warm",
                     Json::from(round3(srv.cold_ms / srv.warm_ms.max(1e-9))),
                 ),
+                ("p50_ms", Json::from(round4(srv.p50_ms))),
+                ("p90_ms", Json::from(round4(srv.p90_ms))),
+                ("p99_ms", Json::from(round4(srv.p99_ms))),
                 ("cache_hits", Json::from(srv.cache_hits)),
                 ("cache_misses", Json::from(srv.cache_misses)),
                 ("byte_identical", Json::from(srv.byte_identical)),

@@ -125,6 +125,7 @@ impl ScpgAnalysis {
         e_dyn_per_cycle: Energy,
         corner: PvtCorner,
     ) -> Result<Self, ScpgError> {
+        let _span = scpg_trace::Span::start("analysis_build");
         // SCPG "works concurrently with voltage and frequency scaling"
         // (§II): when analysed at a corner below the characterisation
         // supply, the workload's dynamic energy scales quadratically.

@@ -204,10 +204,15 @@ impl Query {
     pub fn run(&self, analysis: &ScpgAnalysis) -> QueryOutcome {
         match self {
             Query::Sweep { frequencies, mode } => {
+                let _span = scpg_trace::Span::start("query_sweep");
                 QueryOutcome::Points(analysis.sweep(frequencies, *mode))
             }
-            Query::Table { frequencies } => QueryOutcome::Rows(analysis.table(frequencies)),
+            Query::Table { frequencies } => {
+                let _span = scpg_trace::Span::start("query_table");
+                QueryOutcome::Rows(analysis.table(frequencies))
+            }
             Query::Headline { budget, lo, hi } => {
+                let _span = scpg_trace::Span::start("query_headline");
                 QueryOutcome::Headline(PowerBudget(*budget).headline(analysis, *lo, *hi))
             }
         }

@@ -26,7 +26,8 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Once;
+use std::sync::{Arc, Once, OnceLock};
+use std::time::Instant;
 
 thread_local! {
     /// Set while executing inside a pool worker so nested parallel calls
@@ -41,6 +42,21 @@ static TASKS_EXECUTED: AtomicU64 = AtomicU64::new(0);
 /// [`parallel_jobs`].
 static PARALLEL_JOBS: AtomicU64 = AtomicU64::new(0);
 static THREADS_WARNING: Once = Once::new();
+
+/// Cached handle to the process-wide `exec_task` latency histogram
+/// (per-item time through the pool). The `OnceLock` keeps the hot loop
+/// free of registry lookups — observing is two relaxed atomic adds.
+fn task_histogram() -> &'static Arc<scpg_trace::Histogram> {
+    static HIST: OnceLock<Arc<scpg_trace::Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| scpg_trace::engine_stage("exec_task"))
+}
+
+/// Cached handle to the process-wide `exec_fanout` latency histogram
+/// (whole fan-out wall-clock, serial fallback included).
+fn fanout_histogram() -> &'static Arc<scpg_trace::Histogram> {
+    static HIST: OnceLock<Arc<scpg_trace::Histogram>> = OnceLock::new();
+    HIST.get_or_init(|| scpg_trace::engine_stage("exec_fanout"))
+}
 
 /// Total work items evaluated by [`par_map`] and friends since process
 /// start, including the inline serial fallback. Exposed so the serving
@@ -115,8 +131,17 @@ where
 {
     let threads = threads.max(1).min(n.max(1));
     TASKS_EXECUTED.fetch_add(n as u64, Ordering::Relaxed);
+    let task_hist = task_histogram();
+    let _fanout_span = scpg_trace::Span::on(Arc::clone(fanout_histogram()));
     if threads <= 1 || n <= 1 || in_worker() {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| {
+                let started = Instant::now();
+                let v = f(i);
+                task_hist.observe(started.elapsed());
+                v
+            })
+            .collect();
     }
     PARALLEL_JOBS.fetch_add(1, Ordering::Relaxed);
 
@@ -137,7 +162,10 @@ where
                     if i >= n {
                         break;
                     }
-                    local.push((i, f(i)));
+                    let started = Instant::now();
+                    let v = f(i);
+                    task_hist.observe(started.elapsed());
+                    local.push((i, v));
                 }
                 local
             }));
@@ -307,6 +335,22 @@ mod tests {
             assert!(msg.contains(&format!("{bad:?}")), "names the value: {msg}");
             assert!(msg.contains("3 worker thread"), "names the fallback: {msg}");
         }
+    }
+
+    #[test]
+    fn per_task_timing_reaches_the_engine_histograms() {
+        let tasks = task_histogram();
+        let fanouts = fanout_histogram();
+        let t0 = tasks.count();
+        let f0 = fanouts.count();
+        let _ = par_map_indices_with_threads(12, 3, |i| i);
+        assert!(tasks.count() >= t0 + 12, "every item is timed");
+        assert!(fanouts.count() > f0, "the fan-out itself is timed");
+        let text = scpg_trace::global().render();
+        assert!(
+            text.contains("scpg_engine_stage_duration_seconds_count{stage=\"exec_task\"}"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 /// Socket read timeout: a stalled client cannot pin a connection thread.
 pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Socket write timeout: a client that sends a request but never reads
+/// the response cannot pin a connection thread either.
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A parsed request.
 #[derive(Debug)]
@@ -66,12 +69,22 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
 
-    // Read until the blank line ending the head.
+    // Read until the blank line ending the head. Each scan resumes just
+    // before the previously searched end (the terminator can straddle a
+    // chunk boundary by at most 3 bytes), so a trickled head costs O(n)
+    // total instead of O(n²); the size bound is enforced both before
+    // reading more and on the found position, so an oversized head is
+    // rejected even when its terminator arrives inside the final chunk.
+    let mut searched = 0usize;
     let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
+        if let Some(pos) = find_head_end(&buf, searched) {
+            if pos + 4 > MAX_HEAD_BYTES {
+                return Err(HttpError::TooLarge);
+            }
             break pos;
         }
-        if buf.len() > MAX_HEAD_BYTES {
+        searched = buf.len().saturating_sub(3);
+        if buf.len() >= MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge);
         }
         let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
@@ -113,13 +126,26 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>())
-        .transpose()
-        .map_err(|_| HttpError::Malformed("unparsable content-length"))?
-        .unwrap_or(0);
+    // `Content-Length` is the request-smuggling hinge of HTTP/1.1, so it
+    // gets the strict treatment: at most one occurrence, and only the
+    // canonical decimal form (`parse::<usize>` alone would accept "+5").
+    let mut content_length = 0usize;
+    let mut saw_content_length = false;
+    for (k, v) in &headers {
+        if k != "content-length" {
+            continue;
+        }
+        if saw_content_length {
+            return Err(HttpError::Malformed("duplicate content-length"));
+        }
+        saw_content_length = true;
+        if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(HttpError::Malformed("non-canonical content-length"));
+        }
+        content_length = v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("unparsable content-length"))?;
+    }
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge);
     }
@@ -142,8 +168,15 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     })
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+/// Finds `\r\n\r\n` in `buf`, scanning only from `from` onward (callers
+/// pass the previously searched length minus the 3 bytes a straddling
+/// terminator could occupy).
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    let from = from.min(buf.len());
+    buf[from..]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + from)
 }
 
 /// The canonical reason phrase for the status codes this service emits.
@@ -172,6 +205,22 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
+    write_response_with_timeout(stream, status, content_type, body, WRITE_TIMEOUT)
+}
+
+/// [`write_response`] with an explicit write timeout (tests use a short
+/// one to exercise the stalled-reader path quickly). A client that never
+/// drains its receive window makes `write_all` fail with
+/// `WouldBlock`/`TimedOut` once the timeout elapses instead of pinning
+/// the thread forever.
+pub fn write_response_with_timeout(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(timeout))?;
     let head = format!(
         "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         status,
@@ -195,7 +244,9 @@ mod tests {
         let raw = raw.to_vec();
         let writer = std::thread::spawn(move || {
             let mut s = TcpStream::connect(addr).unwrap();
-            s.write_all(&raw).unwrap();
+            // The server may reject mid-stream (e.g. an oversized head),
+            // making the tail of this write fail with EPIPE — fine.
+            let _ = s.write_all(&raw);
         });
         let (mut stream, _) = listener.accept().unwrap();
         let req = read_request(&mut stream);
@@ -245,5 +296,132 @@ mod tests {
             round_trip(head.as_bytes()),
             Err(HttpError::TooLarge)
         ));
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length() {
+        // Two conflicting lengths is the classic smuggling shape; even
+        // two *agreeing* lengths is non-canonical and refused.
+        assert!(matches!(
+            round_trip(
+                b"POST / HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 2\r\n\r\n{\"a\":1}"
+            ),
+            Err(HttpError::Malformed("duplicate content-length"))
+        ));
+        assert!(matches!(
+            round_trip(
+                b"POST / HTTP/1.1\r\nContent-Length: 7\r\nContent-Length: 7\r\n\r\n{\"a\":1}"
+            ),
+            Err(HttpError::Malformed("duplicate content-length"))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_canonical_content_length() {
+        // `"+7".parse::<usize>()` succeeds, so an explicit digit check is
+        // what stands between us and sign-prefixed lengths.
+        // (Surrounding whitespace is legal OWS and already trimmed by
+        // the header parser, so it is not in this list.)
+        for bad in ["+7", "-0", "0x7", "7a", ""] {
+            let raw = format!("POST / HTTP/1.1\r\nContent-Length:{bad}\r\n\r\n{{\"a\":1}}");
+            assert!(
+                matches!(round_trip(raw.as_bytes()), Err(HttpError::Malformed(_))),
+                "accepted content-length {bad:?}"
+            );
+        }
+        // Plain zero stays fine.
+        let req = round_trip(b"POST / HTTP/1.1\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_heads_over_the_bound_even_when_terminated() {
+        // The terminator arrives inside the chunk that crosses
+        // MAX_HEAD_BYTES; the old code only checked the bound after a
+        // *failed* scan and so accepted this head.
+        let mut raw =
+            format!("GET / HTTP/1.1\r\nx-pad: {}", "a".repeat(MAX_HEAD_BYTES)).into_bytes();
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(round_trip(&raw), Err(HttpError::TooLarge)));
+    }
+
+    #[test]
+    fn parses_a_trickled_head_byte_at_a_time() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = b"POST /v1/sweep HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}".to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            for b in raw {
+                s.write_all(&[b]).unwrap();
+                s.flush().unwrap();
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream).unwrap();
+        writer.join().unwrap();
+        assert_eq!(req.path, "/v1/sweep");
+        assert_eq!(req.body, b"{}");
+    }
+
+    #[test]
+    fn incremental_head_scan_finds_straddled_terminators() {
+        // Exercise every split of the 4-byte terminator across two
+        // appends, mimicking how read_request resumes its scan.
+        let head = b"GET / HTTP/1.1\r\na: b\r\n\r\n";
+        for split in 0..head.len() {
+            let mut buf = head[..split].to_vec();
+            let mut searched = 0usize;
+            assert_eq!(find_head_end(&buf, searched), None);
+            searched = buf.len().saturating_sub(3);
+            buf.extend_from_slice(&head[split..]);
+            assert_eq!(
+                find_head_end(&buf, searched),
+                Some(head.len() - 4),
+                "split at {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_timeout_unpins_a_never_reading_client() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Keep the client socket alive (but never read from it) until
+        // the assertion is done — dropping it early would yield a quick
+        // EPIPE instead of exercising the timeout.
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let client = std::thread::spawn(move || {
+            let s = TcpStream::connect(addr).unwrap();
+            let _ = done_rx.recv();
+            drop(s);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        // A body far larger than the socket buffers guarantees write_all
+        // blocks on a full send window.
+        let body = vec![b'x'; 64 * 1024 * 1024];
+        let start = std::time::Instant::now();
+        let err = write_response_with_timeout(
+            &mut stream,
+            200,
+            "application/octet-stream",
+            &body,
+            Duration::from_millis(250),
+        )
+        .expect_err("a never-reading client must time the write out");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "unexpected error kind: {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "write took {:?} — timeout did not take effect",
+            start.elapsed()
+        );
+        done_tx.send(()).unwrap();
+        client.join().unwrap();
     }
 }

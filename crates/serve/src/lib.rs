@@ -61,7 +61,7 @@ use crate::cache::ShardedCache;
 use crate::designs::DesignRegistry;
 use crate::http::{HttpError, Request};
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::queue::{Job, JobOutput, Slot, WorkQueue};
+use crate::queue::{Job, JobOutput, JobTiming, Slot, WorkQueue};
 
 /// Server configuration. [`Default`] is a loopback service on an
 /// ephemeral port, sized for this machine.
@@ -108,12 +108,45 @@ impl Default for ServeConfig {
 
 struct Shared {
     config: ServeConfig,
+    addr: SocketAddr,
     queue: WorkQueue,
     cache: ShardedCache,
     metrics: Metrics,
+    /// This server's latency histograms (per-endpoint and per-stage).
+    /// Per-instance rather than process-global so several servers in one
+    /// test process never pollute each other's counts.
+    trace: scpg_trace::Registry,
     registry: Arc<DesignRegistry>,
     shutdown: AtomicBool,
     in_flight_conns: AtomicUsize,
+}
+
+impl Shared {
+    /// Flags shutdown and unblocks the accept thread with a loopback
+    /// self-connect (the listener blocks in `accept`, so a flag alone
+    /// would only be noticed on the *next* connection).
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already shutting down; accept was already woken
+        }
+        let ip = self.addr.ip();
+        let wake_ip: std::net::IpAddr = if ip.is_unspecified() {
+            match ip {
+                std::net::IpAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                std::net::IpAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            }
+        } else {
+            ip
+        };
+        let wake_addr = SocketAddr::new(wake_ip, self.addr.port());
+        // Best effort with a couple of retries: if the wake never lands,
+        // any real incoming connection also unblocks the accept thread.
+        for _ in 0..3 {
+            if TcpStream::connect_timeout(&wake_addr, Duration::from_millis(200)).is_ok() {
+                break;
+            }
+        }
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -131,12 +164,13 @@ impl Server {
     /// Propagates bind failures.
     pub fn bind(config: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
+            addr,
             queue: WorkQueue::new(config.queue_capacity),
             cache: ShardedCache::new(config.cache_shards, config.cache_capacity_per_shard),
             metrics: Metrics::default(),
+            trace: scpg_trace::Registry::new(),
             registry: Arc::new(DesignRegistry::new()),
             shutdown: AtomicBool::new(false),
             in_flight_conns: AtomicUsize::new(0),
@@ -214,7 +248,7 @@ impl ServerHandle {
     /// finish (which drains their queued jobs), then release the workers
     /// and close the listener. Every admitted request is answered.
     pub fn shutdown(mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.begin_shutdown();
         if let Some(accept) = self.accept.take() {
             // The accept thread owns the listener; joining it is the
             // "listener closed" point.
@@ -237,9 +271,10 @@ pub struct ShutdownTrigger {
 }
 
 impl ShutdownTrigger {
-    /// Flags the server to begin graceful shutdown.
+    /// Flags the server to begin graceful shutdown (and wakes the
+    /// blocking accept thread so it notices).
     pub fn trip(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.begin_shutdown();
     }
 }
 
@@ -255,9 +290,18 @@ impl Drop for ConnGuard<'_> {
 }
 
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    // Blocking accept: zero idle CPU and no polling-interval latency
+    // floor. Shutdown unblocks it with a loopback self-connect (see
+    // `Shared::begin_shutdown`), which is dropped unanswered below.
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The shutdown wake itself, or a connection racing
+                    // the flag — either way no longer served.
+                    drop(stream);
+                    break;
+                }
                 shared.in_flight_conns.fetch_add(1, Ordering::SeqCst);
                 let conn_shared = Arc::clone(shared);
                 let spawned = std::thread::Builder::new()
@@ -270,11 +314,8 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
                     shared.in_flight_conns.fetch_sub(1, Ordering::SeqCst);
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                // 1 ms poll: the floor on connection latency, traded
-                // against ~1k idle wakeups/s.
-                std::thread::sleep(Duration::from_millis(1));
-            }
+            // Transient accept errors (e.g. ECONNABORTED): brief pause so
+            // a persistent failure cannot spin the thread.
             Err(_) => std::thread::sleep(Duration::from_millis(1)),
         }
     }
@@ -299,27 +340,30 @@ fn worker_loop(shared: &Arc<Shared>) {
             continue;
         }
         let Job {
+            enqueued_at,
             slot,
             cache_key,
             work,
             ..
         } = job;
+        let queue_wait = enqueued_at.elapsed();
         // A panicking job must not kill the worker (silently shrinking
         // the pool) or leave the connection waiting for the deadline: it
         // becomes a 500 like any other failed computation.
-        let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)) {
+        let mut out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)) {
             Ok(out) => out,
             Err(_) => {
                 shared
                     .metrics
                     .handler_panics
                     .fetch_add(1, Ordering::Relaxed);
-                JobOutput {
-                    status: 500,
-                    body: api::error_body("internal error while computing this result"),
-                }
+                JobOutput::new(
+                    500,
+                    api::error_body("internal error while computing this result"),
+                )
             }
         };
+        out.timing.queue_wait = Some(queue_wait);
         shared
             .metrics
             .jobs_completed
@@ -338,12 +382,50 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Where one request's time went: filled in as the request flows through
+/// parse → cache lookup → queue wait → compile → execute → serialize,
+/// recorded into the server's histograms just before the response is
+/// written (so a client that has seen its response is guaranteed to be
+/// counted). `None` stages did not run (cache hit, early refusal, 504).
+#[derive(Default)]
+struct RequestTrace {
+    endpoint: Option<&'static str>,
+    parse: Option<Duration>,
+    cache_lookup: Option<Duration>,
+    wait: Option<Duration>,
+    job: JobTiming,
+}
+
+impl RequestTrace {
+    /// The stages that ran, in pipeline order, for histograms and the
+    /// slow-request log line.
+    fn stages(&self) -> Vec<(&'static str, Duration)> {
+        [
+            ("parse", self.parse),
+            ("cache_lookup", self.cache_lookup),
+            ("queue_wait", self.job.queue_wait),
+            ("compile", self.job.compile),
+            ("execute", self.job.execute),
+            ("serialize", self.job.serialize),
+            ("wait", self.wait),
+        ]
+        .into_iter()
+        .filter_map(|(name, d)| d.map(|d| (name, d)))
+        .collect()
+    }
+}
+
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let started = Instant::now();
+    let mut trace = RequestTrace::default();
     let (status, content_type, body) = match http::read_request(&mut stream) {
         // Catch unwinds here, while the stream is still in hand: the
         // client gets a 500 instead of a silently dropped connection.
         Ok(req) => {
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| respond(shared, &req))) {
+            trace.parse = Some(started.elapsed());
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                respond(shared, &req, &mut trace)
+            })) {
                 Ok(reply) => reply,
                 Err(_) => {
                     shared
@@ -363,32 +445,49 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         Err(HttpError::Malformed(why)) => (400, "application/json", api::error_body(why)),
     };
     shared.metrics.inc_response(status);
+    // Record latency *before* writing: once the client has the response,
+    // its request is visible in `/metrics` (tests rely on this ordering).
+    let endpoint = trace.endpoint.unwrap_or("other");
+    let total = started.elapsed();
+    metrics::request_histogram(&shared.trace, endpoint).observe(total);
+    let stages = trace.stages();
+    for (stage, d) in &stages {
+        metrics::stage_histogram(&shared.trace, stage).observe(*d);
+    }
+    scpg_trace::log_if_slow(endpoint, status, total, &stages);
     let _ = http::write_response(&mut stream, status, content_type, &body);
 }
 
 type Reply = (u16, &'static str, Vec<u8>);
 
-fn respond(shared: &Arc<Shared>, req: &Request) -> Reply {
+fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             shared.metrics.inc_request("healthz");
+            trace.endpoint = Some("healthz");
             (200, "application/json", br#"{"status":"ok"}"#.to_vec())
         }
         ("GET", "/metrics") => {
             shared.metrics.inc_request("metrics");
-            let text = shared.metrics.render(
+            trace.endpoint = Some("metrics");
+            let mut text = shared.metrics.render(
                 shared.queue.depth(),
                 shared.queue.capacity(),
                 shared.in_flight_conns.load(Ordering::SeqCst),
                 shared.cache.len(),
                 shared.config.workers.max(2),
             );
+            // This server's latency histograms, then the process-wide
+            // engine-stage histograms (distinct family names, so the
+            // concatenation stays valid exposition text).
+            text.push_str(&shared.trace.render());
+            text.push_str(&scpg_trace::global().render());
             (200, "text/plain; version=0.0.4", text.into_bytes())
         }
-        ("POST", "/v1/sweep") => handle_api(shared, "sweep", &req.body),
-        ("POST", "/v1/table") => handle_api(shared, "table", &req.body),
-        ("POST", "/v1/headline") => handle_api(shared, "headline", &req.body),
-        ("POST", "/v1/variation") => handle_api(shared, "variation", &req.body),
+        ("POST", "/v1/sweep") => handle_api(shared, "sweep", &req.body, trace),
+        ("POST", "/v1/table") => handle_api(shared, "table", &req.body, trace),
+        ("POST", "/v1/headline") => handle_api(shared, "headline", &req.body, trace),
+        ("POST", "/v1/variation") => handle_api(shared, "variation", &req.body, trace),
         (_, "/healthz" | "/metrics") => (
             405,
             "application/json",
@@ -414,8 +513,14 @@ fn cache_key(endpoint: &str, body: &Json) -> String {
     format!("{endpoint} {}", keyed.canonical())
 }
 
-fn handle_api(shared: &Arc<Shared>, endpoint: &'static str, raw_body: &[u8]) -> Reply {
+fn handle_api(
+    shared: &Arc<Shared>,
+    endpoint: &'static str,
+    raw_body: &[u8],
+    trace: &mut RequestTrace,
+) -> Reply {
     shared.metrics.inc_request(endpoint);
+    trace.endpoint = Some(endpoint);
 
     let text = match std::str::from_utf8(raw_body) {
         Ok(t) => t,
@@ -454,7 +559,10 @@ fn handle_api(shared: &Arc<Shared>, endpoint: &'static str, raw_body: &[u8]) -> 
     .clamp(1, shared.config.max_deadline_ms);
 
     let key = cache_key(endpoint, &body);
-    if let Some(hit) = shared.cache.get(&key) {
+    let lookup_started = Instant::now();
+    let hit = shared.cache.get(&key);
+    trace.cache_lookup = Some(lookup_started.elapsed());
+    if let Some(hit) = hit {
         shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
         return (200, "application/json", hit.as_ref().clone());
     }
@@ -494,6 +602,7 @@ fn handle_api(shared: &Arc<Shared>, endpoint: &'static str, raw_body: &[u8]) -> 
 
     let slot = Slot::new();
     let job = Job {
+        enqueued_at: Instant::now(),
         deadline,
         slot: Arc::clone(&slot),
         cache_key: key,
@@ -511,8 +620,14 @@ fn handle_api(shared: &Arc<Shared>, endpoint: &'static str, raw_body: &[u8]) -> 
         );
     }
 
-    match slot.wait_until(deadline) {
-        Some(out) => (out.status, "application/json", out.body),
+    let wait_started = Instant::now();
+    let waited = slot.wait_until(deadline);
+    trace.wait = Some(wait_started.elapsed());
+    match waited {
+        Some(out) => {
+            trace.job = out.timing;
+            (out.status, "application/json", out.body)
+        }
         None => {
             shared
                 .metrics
@@ -540,17 +655,27 @@ fn run_query(
     delay_ms: u64,
 ) -> JobOutput {
     debug_delay(delay_ms);
+    let mut timing = JobTiming::default();
+
+    let compile_started = Instant::now();
     let artifact = registry.get(spec);
-    let analysis = match artifact.analysis() {
+    let analysis = artifact.analysis();
+    timing.compile = Some(compile_started.elapsed());
+    let analysis = match analysis {
         Ok(a) => a,
         Err(e) => {
-            return JobOutput {
-                status: 422,
-                body: api::error_body(&e),
-            }
+            let mut out = JobOutput::new(422, api::error_body(&e));
+            out.timing = timing;
+            return out;
         }
     };
-    let doc = match query.run(&analysis) {
+
+    let execute_started = Instant::now();
+    let outcome = query.run(&analysis);
+    timing.execute = Some(execute_started.elapsed());
+
+    let serialize_started = Instant::now();
+    let doc = match outcome {
         QueryOutcome::Points(points) => {
             let mode = match query {
                 Query::Sweep { mode, .. } => *mode,
@@ -561,10 +686,12 @@ fn run_query(
         QueryOutcome::Rows(rows) => api::table_response(&spec, &rows),
         QueryOutcome::Headline(h) => api::headline_response(&spec, h.as_ref()),
     };
-    JobOutput {
-        status: 200,
-        body: doc.write().into_bytes(),
-    }
+    let body = doc.write().into_bytes();
+    timing.serialize = Some(serialize_started.elapsed());
+
+    let mut out = JobOutput::new(200, body);
+    out.timing = timing;
+    out
 }
 
 fn run_variation(
@@ -574,17 +701,30 @@ fn run_variation(
     delay_ms: u64,
 ) -> JobOutput {
     debug_delay(delay_ms);
+    let mut timing = JobTiming::default();
+
+    let compile_started = Instant::now();
     let artifact = registry.get(spec);
-    match VariationStudy::run(&artifact.baseline, &artifact.lib, artifact.spec.e_dyn, cfg) {
-        Ok(study) => JobOutput {
-            status: 200,
-            body: api::variation_response(&spec, &study).write().into_bytes(),
-        },
-        Err(e) => JobOutput {
-            status: 422,
-            body: api::error_body(&format!("variation study failed: {e}")),
-        },
-    }
+    timing.compile = Some(compile_started.elapsed());
+
+    let execute_started = Instant::now();
+    let study = VariationStudy::run(&artifact.baseline, &artifact.lib, artifact.spec.e_dyn, cfg);
+    timing.execute = Some(execute_started.elapsed());
+
+    let mut out = match study {
+        Ok(study) => {
+            let serialize_started = Instant::now();
+            let body = api::variation_response(&spec, &study).write().into_bytes();
+            timing.serialize = Some(serialize_started.elapsed());
+            JobOutput::new(200, body)
+        }
+        Err(e) => JobOutput::new(
+            422,
+            api::error_body(&format!("variation study failed: {e}")),
+        ),
+    };
+    out.timing = timing;
+    out
 }
 
 #[cfg(test)]
@@ -636,6 +776,7 @@ mod tests {
         assert!(shared
             .queue
             .try_push(Job {
+                enqueued_at: Instant::now(),
                 deadline: Instant::now() + Duration::from_secs(5),
                 slot: Arc::clone(&slot),
                 cache_key: "test panic".to_string(),

@@ -6,6 +6,35 @@
 //! structures rather than double-book-kept here.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// End-to-end request latency histogram family (per endpoint): from
+/// head parsed to response about to be written.
+pub const REQUEST_HISTOGRAM: &str = "scpg_request_duration_seconds";
+/// Per-stage request latency histogram family (parse, cache_lookup,
+/// queue_wait, compile, execute, serialize, wait).
+pub const STAGE_HISTOGRAM: &str = "scpg_stage_duration_seconds";
+
+/// The per-endpoint end-to-end latency histogram on a server's own
+/// trace registry.
+pub fn request_histogram(reg: &scpg_trace::Registry, endpoint: &str) -> Arc<scpg_trace::Histogram> {
+    reg.histogram(
+        REQUEST_HISTOGRAM,
+        "End-to-end request latency in seconds, by endpoint.",
+        "endpoint",
+        endpoint,
+    )
+}
+
+/// The per-stage latency histogram on a server's own trace registry.
+pub fn stage_histogram(reg: &scpg_trace::Registry, stage: &str) -> Arc<scpg_trace::Histogram> {
+    reg.histogram(
+        STAGE_HISTOGRAM,
+        "Request time spent per serving stage, in seconds.",
+        "stage",
+        stage,
+    )
+}
 
 /// The endpoints with dedicated request counters.
 pub const ENDPOINTS: [&str; 6] = [

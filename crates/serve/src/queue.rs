@@ -15,7 +15,24 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Per-stage durations measured on the worker side of a job, carried
+/// back through the [`Slot`] so the connection thread (which owns the
+/// request's trace) can record them into the server's histograms.
+/// `None` means the stage did not run for this job (e.g. an admission
+/// failure before compile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobTiming {
+    /// Time between enqueue and a worker picking the job up.
+    pub queue_wait: Option<Duration>,
+    /// Building (or fetching) the compiled design artifact.
+    pub compile: Option<Duration>,
+    /// Running the analysis/study itself.
+    pub execute: Option<Duration>,
+    /// Serializing the result document to JSON bytes.
+    pub serialize: Option<Duration>,
+}
 
 /// What a worker hands back through a [`Slot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +41,19 @@ pub struct JobOutput {
     pub status: u16,
     /// Response body (JSON).
     pub body: Vec<u8>,
+    /// Where the worker-side time went.
+    pub timing: JobTiming,
+}
+
+impl JobOutput {
+    /// An output with empty timing (filled in by the stages that ran).
+    pub fn new(status: u16, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            body,
+            timing: JobTiming::default(),
+        }
+    }
 }
 
 enum SlotState {
@@ -103,6 +133,9 @@ impl Slot {
 
 /// A queued unit of work.
 pub struct Job {
+    /// When the job entered the queue (workers subtract this from their
+    /// pickup time to measure queue wait).
+    pub enqueued_at: Instant,
     /// When the requesting connection stops waiting.
     pub deadline: Instant,
     /// Rendezvous with the connection thread.
@@ -197,13 +230,11 @@ mod tests {
 
     fn job(tag: u16) -> Job {
         Job {
+            enqueued_at: Instant::now(),
             deadline: Instant::now() + Duration::from_secs(5),
             slot: Slot::new(),
             cache_key: format!("test {tag}"),
-            work: Box::new(move || JobOutput {
-                status: tag,
-                body: vec![],
-            }),
+            work: Box::new(move || JobOutput::new(tag, vec![])),
         }
     }
 
@@ -233,12 +264,7 @@ mod tests {
     fn slot_round_trips_a_result() {
         let slot = Slot::new();
         let s2 = Arc::clone(&slot);
-        let t = std::thread::spawn(move || {
-            s2.fulfill(JobOutput {
-                status: 200,
-                body: b"ok".to_vec(),
-            })
-        });
+        let t = std::thread::spawn(move || s2.fulfill(JobOutput::new(200, b"ok".to_vec())));
         let out = slot.wait_until(Instant::now() + Duration::from_secs(5));
         assert!(t.join().unwrap());
         assert_eq!(out.unwrap().status, 200);
@@ -251,10 +277,7 @@ mod tests {
         assert!(out.is_none());
         assert!(slot.is_abandoned());
         assert!(
-            !slot.fulfill(JobOutput {
-                status: 200,
-                body: vec![]
-            }),
+            !slot.fulfill(JobOutput::new(200, vec![])),
             "late results are dropped"
         );
     }

@@ -280,6 +280,149 @@ fn hostile_bodies_answer_4xx_and_never_wedge_shutdown() {
 }
 
 #[test]
+fn metrics_histograms_track_requests_served() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    // Three sweeps (one computed, two cache hits) — all must appear in
+    // the per-endpoint latency histogram by the time their responses are
+    // visible, because the server records before writing.
+    let req = body(r#""frequencies_hz": [3e6], "mode": "scpg""#);
+    for _ in 0..3 {
+        let resp = client::post(addr, "/v1/sweep", &req).expect("sweep");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+    }
+
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    let text = metrics.text();
+
+    // The end-to-end histogram count equals requests served, which
+    // equals the plain request counter.
+    let served = parse_metric(text, "scpg_requests_total{endpoint=\"sweep\"}")
+        .expect("sweep request counter");
+    assert_eq!(served, 3.0);
+    let count = parse_metric(
+        text,
+        "scpg_request_duration_seconds_count{endpoint=\"sweep\"}",
+    )
+    .expect("request histogram count");
+    assert_eq!(count, served, "histogram count != requests served");
+    let inf_bucket = parse_metric(
+        text,
+        "scpg_request_duration_seconds_bucket{endpoint=\"sweep\",le=\"+Inf\"}",
+    )
+    .expect("+Inf bucket");
+    assert_eq!(inf_bucket, count, "+Inf cumulative bucket != count");
+    let sum = parse_metric(
+        text,
+        "scpg_request_duration_seconds_sum{endpoint=\"sweep\"}",
+    )
+    .expect("request histogram sum");
+    assert!(sum > 0.0, "three served requests took zero seconds?");
+
+    // Per-stage series: every request parses and looks up the cache; the
+    // computed one also queued and executed.
+    for stage in ["parse", "cache_lookup", "queue_wait", "execute", "wait"] {
+        let c = parse_metric(
+            text,
+            &format!("scpg_stage_duration_seconds_count{{stage=\"{stage}\"}}"),
+        )
+        .unwrap_or_else(|| panic!("missing stage histogram {stage:?}"));
+        assert!(c >= 1.0, "stage {stage:?} never recorded");
+    }
+
+    // The engine-stage histograms from scpg-trace's global registry ride
+    // along in the same exposition text.
+    assert!(
+        text.contains("scpg_engine_stage_duration_seconds"),
+        "engine stages missing from /metrics"
+    );
+
+    // Monotonic: more requests can only grow count and sum.
+    let resp = client::post(addr, "/v1/sweep", &req).expect("sweep again");
+    assert_eq!(resp.status, 200);
+    let metrics2 = client::get(addr, "/metrics").expect("metrics again");
+    let text2 = metrics2.text();
+    let count2 = parse_metric(
+        text2,
+        "scpg_request_duration_seconds_count{endpoint=\"sweep\"}",
+    )
+    .expect("request histogram count (second fetch)");
+    let sum2 = parse_metric(
+        text2,
+        "scpg_request_duration_seconds_sum{endpoint=\"sweep\"}",
+    )
+    .expect("request histogram sum (second fetch)");
+    assert_eq!(count2, count + 1.0);
+    assert!(sum2 >= sum, "histogram sum went backwards: {sum2} < {sum}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn trickled_header_request_is_served() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    // Send the request one byte per write with explicit flushes — the
+    // worst case for the incremental head scan.
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    for &b in b"GET /healthz HTTP/1.1\r\nhost: scpg\r\n\r\n".iter() {
+        stream.write_all(&[b]).expect("write byte");
+        stream.flush().expect("flush");
+    }
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "trickled request failed: {response}"
+    );
+    assert!(response.ends_with(r#"{"status":"ok"}"#), "{response}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn client_disconnecting_mid_body_leaves_server_healthy() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    // Promise 100 body bytes, deliver 10, vanish. The server sees EOF
+    // inside the body and must just drop the connection — no panic, no
+    // leaked in-flight count.
+    {
+        use std::io::Write;
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /v1/sweep HTTP/1.1\r\nhost: scpg\r\ncontent-length: 100\r\n\r\n{\"partial\":")
+            .expect("partial write");
+        stream.flush().expect("flush");
+    } // dropped here: RST/FIN mid-body
+
+    // The service still answers, and shutdown drains rather than hanging
+    // on a connection count the aborted request might have leaked.
+    let health = client::get(addr, "/healthz").expect("healthz after abort");
+    assert_eq!(health.status, 200);
+    handle.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_requests() {
     let handle = Server::bind(ServeConfig {
         workers: 2,
