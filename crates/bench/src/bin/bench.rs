@@ -321,6 +321,86 @@ fn bench_serve() -> ServeNumbers {
     }
 }
 
+struct JobsNumbers {
+    total_units: usize,
+    chunks: u64,
+    chunks_per_sec: f64,
+    run_ms: f64,
+    reload_ms: f64,
+    byte_identical: bool,
+}
+
+/// Measures the async batch-job path: a 64-frequency sweep executed in
+/// 8-unit chunks with per-chunk disk checkpoints, polled to completion;
+/// then the cost of a restarted server reloading that store (the fixed
+/// overhead a crash-recovery pays before resuming).
+fn bench_jobs() -> JobsNumbers {
+    let dir = std::env::temp_dir().join(format!("scpg-bench-jobs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || scpg_serve::ServeConfig {
+        chunk_units: 8,
+        store_dir: Some(dir.to_string_lossy().into_owned()),
+        ..scpg_serve::ServeConfig::default()
+    };
+    let handle = scpg_serve::Server::bind(config())
+        .expect("bind loopback server")
+        .spawn();
+    let addr = handle.addr();
+
+    const UNITS: usize = 64;
+    let freqs: Vec<String> = scpg_units::linspace(0.1e6, 14.3e6, UNITS)
+        .into_iter()
+        .map(|f| format!("{f}"))
+        .collect();
+    let request = format!(
+        r#"{{"design": {{"kind": "multiplier", "bits": 8}}, "frequencies_hz": [{}], "mode": "scpg"}}"#,
+        freqs.join(", ")
+    );
+    let interactive = scpg_serve::client::post(addr, "/v1/sweep", &request).expect("sweep");
+    assert_eq!(interactive.status, 200, "{}", interactive.text());
+
+    let t0 = Instant::now();
+    let submit = scpg_serve::client::submit_job(
+        addr,
+        &format!(r#"{{"kind": "sweep", "request": {request}}}"#),
+    )
+    .expect("submit");
+    assert_eq!(submit.status, 202, "{}", submit.text());
+    let job_id = Json::parse(submit.text())
+        .expect("submit doc")
+        .get("id")
+        .and_then(|v| v.as_str().map(String::from))
+        .expect("job id");
+    let done = scpg_serve::client::poll_job(addr, &job_id, std::time::Duration::from_secs(300))
+        .expect("poll");
+    let run_secs = t0.elapsed().as_secs_f64();
+    assert!(done.text().contains("\"done\""), "{}", done.text());
+    let result = scpg_serve::client::job_result(addr, &job_id).expect("result");
+    let chunks = handle.metrics().job_chunks_completed;
+    handle.shutdown();
+
+    // Restart on the same store: bind + reload until the finished job's
+    // result is servable again — the recovery path's fixed cost.
+    let t0 = Instant::now();
+    let second = scpg_serve::Server::bind(config())
+        .expect("rebind loopback server")
+        .spawn();
+    let reloaded = scpg_serve::client::job_result(second.addr(), &job_id).expect("reloaded result");
+    let reload_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(reloaded.status, 200, "{}", reloaded.text());
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    JobsNumbers {
+        total_units: UNITS,
+        chunks,
+        chunks_per_sec: chunks as f64 / run_secs.max(1e-9),
+        run_ms: run_secs * 1e3,
+        reload_ms: reload_secs * 1e3,
+        byte_identical: result.body == interactive.body && reloaded.body == interactive.body,
+    }
+}
+
 /// Keeps the emitted JSON readable: fixed decimals instead of the full
 /// shortest-round-trip expansion of a timing measurement.
 fn round3(x: f64) -> f64 {
@@ -415,6 +495,22 @@ fn main() {
         "cache hit must replay the original body byte-identically"
     );
 
+    println!("[bench] async jobs: chunked sweep + restart reload...");
+    let jobs = bench_jobs();
+    println!(
+        "  {} units in {} chunks: {:.1} chunks/s ({:.1} ms), store reload {:.1} ms, byte-identical: {}",
+        jobs.total_units,
+        jobs.chunks,
+        jobs.chunks_per_sec,
+        jobs.run_ms,
+        jobs.reload_ms,
+        jobs.byte_identical
+    );
+    assert!(
+        jobs.byte_identical,
+        "chunked job result must be byte-identical to the interactive sweep"
+    );
+
     let doc = Json::object([
         ("threads", Json::from(threads)),
         (
@@ -491,6 +587,17 @@ fn main() {
                 ("cache_hits", Json::from(srv.cache_hits)),
                 ("cache_misses", Json::from(srv.cache_misses)),
                 ("byte_identical", Json::from(srv.byte_identical)),
+            ]),
+        ),
+        (
+            "jobs",
+            Json::object([
+                ("total_units", Json::from(jobs.total_units)),
+                ("chunks", Json::from(jobs.chunks)),
+                ("chunks_per_sec", Json::from(round3(jobs.chunks_per_sec))),
+                ("run_ms", Json::from(round3(jobs.run_ms))),
+                ("store_reload_ms", Json::from(round3(jobs.reload_ms))),
+                ("byte_identical", Json::from(jobs.byte_identical)),
             ]),
         ),
     ]);

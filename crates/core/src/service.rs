@@ -13,10 +13,13 @@
 //! return, so serving adds no numeric wobble: a served response is
 //! bit-identical to a direct library call.
 
-use scpg_units::{Frequency, Power};
+use scpg_liberty::{Library, PvtCorner};
+use scpg_netlist::Netlist;
+use scpg_units::{Energy, Frequency, Power};
 
 use crate::analysis::{Mode, OperatingPoint, ScpgAnalysis, TableRow};
 use crate::budget::{Headline, PowerBudget};
+use crate::transform::{ScpgOptions, ScpgTransform};
 
 /// Admission limits for service queries. The defaults are generous for a
 /// loopback analysis service while still bounding the work one request
@@ -35,6 +38,10 @@ pub struct QueryLimits {
     pub max_multiplier_bits: usize,
     /// Longest admissible inverter-chain demo design.
     pub max_chain_length: usize,
+    /// Largest admissible uploaded-netlist gate count (instances).
+    pub max_netlist_gates: usize,
+    /// Largest admissible uploaded-netlist source size in bytes.
+    pub max_netlist_bytes: usize,
     /// Admissible frequency band for any request.
     pub min_frequency: Frequency,
     /// See [`QueryLimits::min_frequency`].
@@ -49,6 +56,8 @@ impl Default for QueryLimits {
             max_variation_samples: 64,
             max_multiplier_bits: 32,
             max_chain_length: 4096,
+            max_netlist_gates: 20_000,
+            max_netlist_bytes: 512 * 1024,
             min_frequency: Frequency::from_hz(1.0),
             max_frequency: Frequency::from_mhz(1000.0),
         }
@@ -139,6 +148,31 @@ impl std::fmt::Display for QueryError {
 }
 
 impl std::error::Error for QueryError {}
+
+/// Builds the full SCPG analysis engine for an arbitrary baseline
+/// netlist — the netlist-backed counterpart of the built-in design
+/// kinds. Both the serving layer's design registry and direct library
+/// callers go through this one function, so a served result over an
+/// uploaded netlist is guaranteed to come from the identical engine a
+/// library user would construct.
+///
+/// # Errors
+///
+/// A human-readable account of the failed stage (transform or analysis
+/// build) — e.g. a purely combinational netlist has no flops to gate.
+pub fn netlist_analysis(
+    lib: &Library,
+    baseline: &Netlist,
+    clock: &str,
+    e_dyn: Energy,
+    corner: PvtCorner,
+) -> Result<ScpgAnalysis, String> {
+    let design = ScpgTransform::new(lib)
+        .apply(baseline, clock, &ScpgOptions::default())
+        .map_err(|e| format!("SCPG transform failed: {e}"))?;
+    ScpgAnalysis::new(lib, baseline, &design, e_dyn, corner)
+        .map_err(|e| format!("analysis build failed: {e}"))
+}
 
 fn check_frequencies(
     freqs: &[Frequency],
@@ -241,6 +275,36 @@ mod tests {
             PvtCorner::default(),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn netlist_backed_analysis_matches_direct_construction() {
+        let lib = Library::ninety_nm();
+        let (nl, _) = generate_multiplier(&lib, 8);
+        let via_helper =
+            netlist_analysis(&lib, &nl, "clk", Energy::from_pj(1.0), PvtCorner::default())
+                .expect("multiplier gates");
+        let direct = analysis();
+        let freqs = vec![Frequency::from_khz(50.0), Frequency::from_mhz(2.0)];
+        assert_eq!(
+            via_helper.sweep(&freqs, Mode::Scpg),
+            direct.sweep(&freqs, Mode::Scpg),
+            "helper-built engine must be bit-identical to direct construction"
+        );
+        // A flop-free netlist fails with a clear account, not a panic.
+        let mut flat = Netlist::new("flat");
+        let a = flat.add_input("a");
+        let y = flat.add_output("y");
+        flat.add_instance("u", "INV_X1", &[a, y]).unwrap();
+        let err = netlist_analysis(
+            &lib,
+            &flat,
+            "clk",
+            Energy::from_pj(1.0),
+            PvtCorner::default(),
+        )
+        .expect_err("nothing to gate");
+        assert!(err.contains("transform failed"), "{err}");
     }
 
     #[test]

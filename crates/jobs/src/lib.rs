@@ -1,0 +1,40 @@
+//! Asynchronous batch-job subsystem for the SCPG serving layer.
+//!
+//! Three pieces, layered bottom-up:
+//!
+//! * [`store`] — a zero-dependency persistent artifact store: JSON
+//!   records in a CRC-32-checked envelope, written with the temp-file +
+//!   atomic-rename idiom, namespaced into per-kind directories. Also
+//!   available purely in-memory for store-less deployments and tests.
+//! * [`netlists`] — a content-addressed registry of user-uploaded
+//!   structural-Verilog netlists, validated under explicit resource
+//!   limits (source bytes, gate/net counts, full timing-analysis pass)
+//!   before admission. Ids are truncated SHA-256 over clock + source, so
+//!   uploads are idempotent.
+//! * [`manager`] — checkpointed chunked jobs. The embedding layer
+//!   supplies a [`manager::ChunkExecutor`] (plan → execute → assemble);
+//!   the manager owns the job state machine
+//!   (queued → running → done/failed/cancelled), persists a checkpoint
+//!   after every chunk, and resumes unfinished jobs after a restart from
+//!   their last completed chunk — with results byte-identical to an
+//!   uninterrupted run.
+//!
+//! The crate deliberately knows nothing about HTTP: `scpg-serve` wires
+//! these pieces to endpoints and to its worker pool.
+
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod manager;
+pub mod netlists;
+pub mod store;
+
+pub use hash::{crc32, sha256_hex};
+pub use manager::{
+    CancelOutcome, ChunkExecutor, ChunkRun, JobLimits, JobManager, JobSpec, JobState, SubmitError,
+    NS_JOBS,
+};
+pub use netlists::{
+    netlist_id, NetlistLimits, NetlistRegistry, UploadError, UploadedNetlist, NS_NETLISTS,
+};
+pub use store::{Store, StoreError};

@@ -43,8 +43,23 @@ pub enum NetlistError {
     Parse {
         /// 1-based source line.
         line: usize,
+        /// 1-based column of the offending token (0 when the whole line
+        /// is at fault).
+        column: usize,
+        /// The offending token verbatim (empty when the failure is not
+        /// attributable to one token, e.g. truncated input).
+        token: String,
         /// What went wrong.
         message: String,
+    },
+    /// The design exceeds an explicit parse/admission limit.
+    TooLarge {
+        /// What was oversized ("instances", "nets", "source bytes").
+        what: &'static str,
+        /// The requested count.
+        requested: usize,
+        /// The admission ceiling.
+        limit: usize,
     },
 }
 
@@ -72,9 +87,27 @@ impl fmt::Display for NetlistError {
             NetlistError::DuplicateName { name } => {
                 write!(f, "duplicate name `{name}`")
             }
-            NetlistError::Parse { line, message } => {
-                write!(f, "verilog parse error at line {line}: {message}")
+            NetlistError::Parse {
+                line,
+                column,
+                token,
+                message,
+            } => {
+                write!(f, "verilog parse error at line {line}")?;
+                if *column > 0 {
+                    write!(f, ", column {column}")?;
+                }
+                write!(f, ": {message}")?;
+                if !token.is_empty() {
+                    write!(f, " (near `{token}`)")?;
+                }
+                Ok(())
             }
+            NetlistError::TooLarge {
+                what,
+                requested,
+                limit,
+            } => write!(f, "netlist too large: {requested} {what}, limit {limit}"),
         }
     }
 }

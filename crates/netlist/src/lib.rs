@@ -41,4 +41,6 @@ pub use error::NetlistError;
 pub use graph::{Connectivity, PinRef};
 pub use netlist::{Domain, InstId, Instance, Net, NetId, Netlist, Port, PortDirection};
 pub use stats::{DesignStats, DomainStats};
-pub use verilog::{emit_verilog, emit_verilog_split, parse_verilog};
+pub use verilog::{
+    emit_verilog, emit_verilog_split, parse_verilog, parse_verilog_limited, ParseLimits,
+};

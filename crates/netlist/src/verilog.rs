@@ -126,6 +126,43 @@ fn emit_module(
     Ok(out)
 }
 
+/// Explicit resource ceilings for [`parse_verilog_limited`]: untrusted
+/// (user-uploaded) netlists must not be able to balloon memory or parse
+/// time. [`ParseLimits::unbounded`] keeps the trusted internal paths
+/// limit-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum source bytes accepted.
+    pub max_source_bytes: usize,
+    /// Maximum cell instances (gates).
+    pub max_instances: usize,
+    /// Maximum distinct nets.
+    pub max_nets: usize,
+}
+
+impl ParseLimits {
+    /// No limits — for trusted, internally generated netlists.
+    pub fn unbounded() -> Self {
+        Self {
+            max_source_bytes: usize::MAX,
+            max_instances: usize::MAX,
+            max_nets: usize::MAX,
+        }
+    }
+}
+
+impl Default for ParseLimits {
+    /// Defaults sized for the service upload path: comfortably above the
+    /// paper's 6 747-gate Cortex-M0, far below anything that could hurt.
+    fn default() -> Self {
+        Self {
+            max_source_bytes: 512 * 1024,
+            max_instances: 20_000,
+            max_nets: 40_000,
+        }
+    }
+}
+
 /// Parses the structural subset emitted by [`emit_verilog`].
 ///
 /// # Errors
@@ -134,6 +171,28 @@ fn emit_module(
 /// [`NetlistError::UnknownCell`] for instances of cells missing from
 /// `lib` (pin positions cannot be resolved without the cell).
 pub fn parse_verilog(text: &str, lib: &Library) -> Result<Netlist, NetlistError> {
+    parse_verilog_limited(text, lib, &ParseLimits::unbounded())
+}
+
+/// [`parse_verilog`] under explicit resource limits — the entry point
+/// for untrusted sources (netlist uploads).
+///
+/// # Errors
+///
+/// Additionally returns [`NetlistError::TooLarge`] when the source or
+/// the design it describes exceeds `limits`.
+pub fn parse_verilog_limited(
+    text: &str,
+    lib: &Library,
+    limits: &ParseLimits,
+) -> Result<Netlist, NetlistError> {
+    if text.len() > limits.max_source_bytes {
+        return Err(NetlistError::TooLarge {
+            what: "source bytes",
+            requested: text.len(),
+            limit: limits.max_source_bytes,
+        });
+    }
     let mut nl: Option<Netlist> = None;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -141,8 +200,19 @@ pub fn parse_verilog(text: &str, lib: &Library) -> Result<Netlist, NetlistError>
         if line.is_empty() {
             continue;
         }
+        // Plain line-scoped failure: no single token to blame.
         let err = |message: &str| NetlistError::Parse {
             line: lineno + 1,
+            column: 0,
+            token: String::new(),
+            message: message.to_string(),
+        };
+        // Token-scoped failure: report the offending token and its
+        // 1-based column in the *original* (untrimmed) source line.
+        let err_at = |message: &str, token: &str| NetlistError::Parse {
+            line: lineno + 1,
+            column: raw.find(token).map_or(0, |p| p + 1),
+            token: token.to_string(),
             message: message.to_string(),
         };
         if let Some(rest) = line.strip_prefix("module ") {
@@ -188,23 +258,47 @@ pub fn parse_verilog(text: &str, lib: &Library) -> Result<Netlist, NetlistError>
             for item in body.split(',').map(str::trim).filter(|s| !s.is_empty()) {
                 let item = item
                     .strip_prefix('.')
-                    .ok_or_else(|| err("expected named connection `.PIN(net)`"))?;
-                let p_open = item.find('(').ok_or_else(|| err("expected `(` in pin"))?;
+                    .ok_or_else(|| err_at("expected named connection `.PIN(net)`", item))?;
+                let p_open = item
+                    .find('(')
+                    .ok_or_else(|| err_at("expected `(` in pin connection", item))?;
                 let pin_name = item[..p_open].trim();
                 let net_name = item[p_open + 1..].trim_end_matches(')').trim();
-                let pos = pins
-                    .iter()
-                    .position(|p| *p == pin_name)
-                    .ok_or_else(|| err(&format!("cell `{cell}` has no pin `{pin_name}`")))?;
+                let pos = pins.iter().position(|p| *p == pin_name).ok_or_else(|| {
+                    err_at(&format!("cell `{cell}` has no pin `{pin_name}`"), pin_name)
+                })?;
                 conns[pos] = Some(nl_ref.add_net(net_name));
             }
             let conns: Option<Vec<_>> = conns.into_iter().collect();
-            let conns = conns.ok_or_else(|| err("instance leaves pins unconnected"))?;
+            let conns = conns.ok_or_else(|| {
+                err_at(
+                    &format!("instance of `{cell}` leaves pins unconnected"),
+                    inst_name,
+                )
+            })?;
             nl_ref.add_instance(inst_name, cell, &conns)?;
+            if nl_ref.instances().len() > limits.max_instances {
+                return Err(NetlistError::TooLarge {
+                    what: "instances",
+                    requested: nl_ref.instances().len(),
+                    limit: limits.max_instances,
+                });
+            }
+        }
+        if let Some(nl) = nl.as_ref() {
+            if nl.nets().len() > limits.max_nets {
+                return Err(NetlistError::TooLarge {
+                    what: "nets",
+                    requested: nl.nets().len(),
+                    limit: limits.max_nets,
+                });
+            }
         }
     }
     nl.ok_or(NetlistError::Parse {
         line: 0,
+        column: 0,
+        token: String::new(),
         message: "no module found".to_string(),
     })
 }
@@ -259,6 +353,63 @@ mod tests {
             parse_verilog(text, &lib),
             Err(NetlistError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_column_and_token() {
+        let lib = Library::ninety_nm();
+        // The bogus pin `.QQ` sits on line 3 at a known column of the
+        // raw (untrimmed) line.
+        let text =
+            "module m (a, y);\n input a;\n output y;\n INV_X1 u (.QQ(a), .Y(y));\nendmodule\n";
+        let err = parse_verilog(text, &lib).expect_err("bogus pin");
+        let NetlistError::Parse {
+            line,
+            column,
+            token,
+            message,
+        } = &err
+        else {
+            panic!("wrong error kind: {err:?}");
+        };
+        assert_eq!(*line, 4);
+        assert_eq!(token, "QQ");
+        let raw = " INV_X1 u (.QQ(a), .Y(y));";
+        assert_eq!(*column, raw.find("QQ").unwrap() + 1);
+        assert!(message.contains("no pin"), "{message}");
+        // And the Display form names all of it.
+        let text = err.to_string();
+        assert!(text.contains("line 4") && text.contains("QQ"), "{text}");
+    }
+
+    #[test]
+    fn parse_limits_bound_untrusted_input() {
+        let (nl, lib) = sample();
+        let v = emit_verilog(&nl, &lib).unwrap();
+        let tight = ParseLimits {
+            max_instances: 1,
+            ..ParseLimits::unbounded()
+        };
+        assert!(matches!(
+            parse_verilog_limited(&v, &lib, &tight),
+            Err(NetlistError::TooLarge {
+                what: "instances",
+                ..
+            })
+        ));
+        let tiny_src = ParseLimits {
+            max_source_bytes: 10,
+            ..ParseLimits::unbounded()
+        };
+        assert!(matches!(
+            parse_verilog_limited(&v, &lib, &tiny_src),
+            Err(NetlistError::TooLarge {
+                what: "source bytes",
+                ..
+            })
+        ));
+        // Generous limits parse as before.
+        assert!(parse_verilog_limited(&v, &lib, &ParseLimits::default()).is_ok());
     }
 
     #[test]

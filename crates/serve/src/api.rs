@@ -23,55 +23,58 @@ use crate::designs::{DesignKind, DesignSpec};
 ///
 /// A human-readable refusal (maps to `422`).
 pub fn parse_design(body: &Json, limits: &QueryLimits) -> Result<DesignSpec, String> {
-    let spec = match body.get("design") {
-        None | Some(Json::Null) => DesignSpec::default_multiplier(),
-        Some(design) => {
-            let kind_key = design
-                .get("kind")
-                .and_then(Json::as_str)
-                .ok_or("design.kind must be \"multiplier\" or \"chain\"")?;
-            let size_field = |field: &str, default: usize| -> Result<usize, String> {
-                match design.get(field) {
-                    None => Ok(default),
-                    Some(v) => v
-                        .as_u64()
-                        .map(|n| n as usize)
-                        .ok_or_else(|| format!("design.{field} must be a non-negative integer")),
-                }
-            };
-            let kind = match kind_key {
-                "multiplier" => DesignKind::Multiplier {
-                    bits: size_field("bits", 16)?,
-                },
-                "chain" => DesignKind::Chain {
-                    length: size_field("length", 16)?,
-                },
-                other => return Err(format!("unknown design.kind {other:?}")),
-            };
-            let defaults = match kind {
-                DesignKind::Multiplier { .. } => DesignSpec {
-                    kind,
-                    ..DesignSpec::default_multiplier()
-                },
-                DesignKind::Chain { length } => DesignSpec::chain(length),
-            };
-            let e_dyn = match design.get("e_dyn_pj") {
-                None => defaults.e_dyn,
-                Some(v) => Energy::from_pj(
-                    v.as_f64()
-                        .ok_or("design.e_dyn_pj must be a number (picojoules)")?,
-                ),
-            };
-            let vdd = match design.get("vdd_mv") {
-                None => defaults.vdd,
-                Some(v) => Voltage::from_mv(
-                    v.as_f64()
-                        .ok_or("design.vdd_mv must be a number (millivolts)")?,
-                ),
-            };
-            DesignSpec { kind, e_dyn, vdd }
-        }
-    };
+    let spec =
+        match body.get("design") {
+            None | Some(Json::Null) => DesignSpec::default_multiplier(),
+            Some(design) => {
+                let kind_key = design
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("design.kind must be \"multiplier\", \"chain\" or \"netlist\"")?;
+                let size_field = |field: &str, default: usize| -> Result<usize, String> {
+                    match design.get(field) {
+                        None => Ok(default),
+                        Some(v) => v.as_u64().map(|n| n as usize).ok_or_else(|| {
+                            format!("design.{field} must be a non-negative integer")
+                        }),
+                    }
+                };
+                let kind = match kind_key {
+                    "multiplier" => DesignKind::Multiplier {
+                        bits: size_field("bits", 16)?,
+                    },
+                    "chain" => DesignKind::Chain {
+                        length: size_field("length", 16)?,
+                    },
+                    "netlist" => {
+                        let id = design.get("id").and_then(Json::as_str).ok_or(
+                            "design.id must be a netlist id string (from POST /v1/netlists)",
+                        )?;
+                        DesignKind::Netlist { id: id.to_string() }
+                    }
+                    other => return Err(format!("unknown design.kind {other:?}")),
+                };
+                let defaults = match &kind {
+                    DesignKind::Chain { length } => DesignSpec::chain(*length),
+                    _ => DesignSpec::default_multiplier(),
+                };
+                let e_dyn = match design.get("e_dyn_pj") {
+                    None => defaults.e_dyn,
+                    Some(v) => Energy::from_pj(
+                        v.as_f64()
+                            .ok_or("design.e_dyn_pj must be a number (picojoules)")?,
+                    ),
+                };
+                let vdd = match design.get("vdd_mv") {
+                    None => defaults.vdd,
+                    Some(v) => Voltage::from_mv(
+                        v.as_f64()
+                            .ok_or("design.vdd_mv must be a number (millivolts)")?,
+                    ),
+                };
+                DesignSpec { kind, e_dyn, vdd }
+            }
+        };
     spec.validate(limits)?;
     Ok(spec)
 }
@@ -212,16 +215,25 @@ pub fn point_json(p: &OperatingPoint) -> Json {
     ])
 }
 
-/// The `/v1/sweep` response document.
-pub fn sweep_response(spec: &DesignSpec, mode: Mode, points: &[OperatingPoint]) -> Json {
+/// The `/v1/sweep` response document, assembled from already-serialized
+/// point fragments. Batch jobs checkpoint [`point_json`] fragments chunk
+/// by chunk and assemble them through this exact path, so a chunked job
+/// result is bit-identical to the interactive [`sweep_response`].
+pub fn sweep_response_with_points(spec: &DesignSpec, mode: Mode, points: Vec<Json>) -> Json {
     Json::object([
         ("design", Json::from(spec.key())),
         ("mode", Json::from(mode.key())),
-        ("points", Json::Arr(points.iter().map(point_json).collect())),
+        ("points", Json::Arr(points)),
     ])
 }
 
-fn row_json(row: &TableRow) -> Json {
+/// The `/v1/sweep` response document.
+pub fn sweep_response(spec: &DesignSpec, mode: Mode, points: &[OperatingPoint]) -> Json {
+    sweep_response_with_points(spec, mode, points.iter().map(point_json).collect())
+}
+
+/// One comparison-table row as JSON.
+pub fn row_json(row: &TableRow) -> Json {
     Json::object([
         ("no_pg", point_json(&row.no_pg)),
         ("scpg", point_json(&row.scpg)),
@@ -231,12 +243,18 @@ fn row_json(row: &TableRow) -> Json {
     ])
 }
 
-/// The `/v1/table` response document.
-pub fn table_response(spec: &DesignSpec, rows: &[TableRow]) -> Json {
+/// The `/v1/table` response document from serialized row fragments; see
+/// [`sweep_response_with_points`] for why this split exists.
+pub fn table_response_with_rows(spec: &DesignSpec, rows: Vec<Json>) -> Json {
     Json::object([
         ("design", Json::from(spec.key())),
-        ("rows", Json::Arr(rows.iter().map(row_json).collect())),
+        ("rows", Json::Arr(rows)),
     ])
+}
+
+/// The `/v1/table` response document.
+pub fn table_response(spec: &DesignSpec, rows: &[TableRow]) -> Json {
+    table_response_with_rows(spec, rows.iter().map(row_json).collect())
 }
 
 fn solution_json(s: &BudgetSolution) -> Json {
@@ -301,11 +319,67 @@ pub fn variation_response(spec: &DesignSpec, study: &VariationStudy) -> Json {
     ])
 }
 
+/// The `GET /v1/designs` discovery document: supported design kinds,
+/// the server's resource limits, and summaries of every uploaded netlist
+/// currently registered.
+pub fn designs_response(limits: &QueryLimits, netlists: Vec<Json>) -> Json {
+    Json::object([
+        (
+            "kinds",
+            Json::Arr(vec![
+                Json::from("multiplier"),
+                Json::from("chain"),
+                Json::from("netlist"),
+            ]),
+        ),
+        (
+            "limits",
+            Json::object([
+                ("max_sweep_points", Json::from(limits.max_sweep_points)),
+                ("max_table_points", Json::from(limits.max_table_points)),
+                (
+                    "max_variation_samples",
+                    Json::from(limits.max_variation_samples),
+                ),
+                (
+                    "max_multiplier_bits",
+                    Json::from(limits.max_multiplier_bits),
+                ),
+                ("max_chain_length", Json::from(limits.max_chain_length)),
+                ("max_netlist_gates", Json::from(limits.max_netlist_gates)),
+                ("max_netlist_bytes", Json::from(limits.max_netlist_bytes)),
+                ("min_frequency_hz", Json::Num(limits.min_frequency.value())),
+                ("max_frequency_hz", Json::Num(limits.max_frequency.value())),
+            ]),
+        ),
+        ("netlists", Json::Arr(netlists)),
+    ])
+}
+
 /// A JSON error body: `{"error": "..."}`.
 pub fn error_body(message: &str) -> Vec<u8> {
     Json::object([("error", Json::from(message))])
         .write()
         .into_bytes()
+}
+
+/// The JSON error body for a refused netlist upload. Parse failures
+/// additionally carry machine-readable `line`, `column` and `token`
+/// fields so clients can point at the offending source location.
+pub fn upload_error_body(err: &scpg_jobs::UploadError) -> Vec<u8> {
+    let mut fields = vec![("error".to_string(), Json::from(err.to_string()))];
+    if let scpg_jobs::UploadError::Parse {
+        line,
+        column,
+        token,
+        ..
+    } = err
+    {
+        fields.push(("line".to_string(), Json::from(*line)));
+        fields.push(("column".to_string(), Json::from(*column)));
+        fields.push(("token".to_string(), Json::from(token.as_str())));
+    }
+    Json::Obj(fields).write().into_bytes()
 }
 
 #[cfg(test)]
@@ -433,6 +507,60 @@ mod tests {
         );
         assert_eq!(point.get("gated").unwrap().as_bool(), Some(true));
         assert_eq!(back.get("mode").unwrap().as_str(), Some("scpg"));
+    }
+
+    #[test]
+    fn netlist_designs_parse_and_validate() {
+        let body = Json::parse(
+            r#"{"frequencies_hz": [1e6], "design": {"kind": "netlist", "id": "abc123"}}"#,
+        )
+        .unwrap();
+        let (spec, _) = parse_sweep(&body, &limits()).unwrap();
+        assert_eq!(
+            spec.kind,
+            DesignKind::Netlist {
+                id: "abc123".into()
+            }
+        );
+        let missing =
+            Json::parse(r#"{"frequencies_hz": [1e6], "design": {"kind": "netlist"}}"#).unwrap();
+        assert!(parse_sweep(&missing, &limits())
+            .expect_err("id required")
+            .contains("design.id"));
+        let bad_id = Json::parse(
+            r#"{"frequencies_hz": [1e6], "design": {"kind": "netlist", "id": "../../etc"}}"#,
+        )
+        .unwrap();
+        assert!(parse_sweep(&bad_id, &limits()).is_err());
+    }
+
+    #[test]
+    fn upload_parse_errors_carry_location_fields() {
+        let err = scpg_jobs::UploadError::Parse {
+            line: 7,
+            column: 3,
+            token: "QQ".into(),
+            message: "unexpected token".into(),
+        };
+        let body = upload_error_body(&err);
+        let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert!(v.get("error").unwrap().as_str().is_some());
+        assert_eq!(v.get("line").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("column").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("token").unwrap().as_str(), Some("QQ"));
+    }
+
+    #[test]
+    fn designs_response_lists_kinds_limits_and_netlists() {
+        let doc = designs_response(&limits(), vec![Json::object([("id", Json::from("abc"))])]);
+        assert_eq!(doc.get("kinds").unwrap().as_array().unwrap().len(), 3);
+        let lim = doc.get("limits").unwrap();
+        assert_eq!(lim.get("max_netlist_gates").unwrap().as_u64(), Some(20_000));
+        assert_eq!(
+            lim.get("max_netlist_bytes").unwrap().as_u64(),
+            Some(512 * 1024)
+        );
+        assert_eq!(doc.get("netlists").unwrap().as_array().unwrap().len(), 1);
     }
 
     #[test]

@@ -33,13 +33,19 @@ fn install_signal_handlers() {
     }
 }
 
-const USAGE: &str = "usage: scpg-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+const USAGE: &str =
+    "usage: scpg-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--store-dir DIR]
 
 Serves the SCPG analysis API over HTTP/1.1:
   POST /v1/sweep /v1/table /v1/headline /v1/variation   JSON queries
+  POST /v1/netlists                                     upload a Verilog design
+  POST /v1/jobs, GET/DELETE /v1/jobs/{id}               async batch jobs
+  GET  /v1/designs                                      kinds, limits, uploads
   GET  /healthz /metrics                                health + Prometheus text
 
-Defaults: --addr 127.0.0.1:7878, workers/queue sized for this machine.";
+Defaults: --addr 127.0.0.1:7878, workers/queue sized for this machine.
+With --store-dir, uploaded netlists and job checkpoints persist there and
+unfinished jobs resume after a restart; without it they are in-memory.";
 
 fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
     let mut config = ServeConfig {
@@ -65,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
                     .parse()
                     .map_err(|_| "--queue-capacity needs a positive integer".to_string())?;
             }
+            "--store-dir" => config.store_dir = Some(value_for("--store-dir")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
         }

@@ -75,3 +75,112 @@ pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
 pub fn raw(addr: SocketAddr, bytes: &[u8]) -> std::io::Result<ClientResponse> {
     request(addr, bytes)
 }
+
+/// Sends `DELETE {path}`, waits for the full response.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn delete(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
+    let raw = format!("DELETE {path} HTTP/1.1\r\nhost: scpg\r\n\r\n");
+    request(addr, raw.as_bytes())
+}
+
+/// Uploads a structural-Verilog netlist via `POST /v1/netlists`, naming
+/// its clock net in the `x-scpg-clock` header.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn upload_netlist(
+    addr: SocketAddr,
+    source: &str,
+    clock: &str,
+) -> std::io::Result<ClientResponse> {
+    let raw = format!(
+        "POST /v1/netlists HTTP/1.1\r\nhost: scpg\r\ncontent-type: text/plain\r\nx-scpg-clock: {clock}\r\ncontent-length: {}\r\n\r\n{source}",
+        source.len()
+    );
+    request(addr, raw.as_bytes())
+}
+
+/// Submits an async batch job (`POST /v1/jobs`). `body` is the full
+/// submission document, e.g. `{"kind": "sweep", "request": {...}}`.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn submit_job(addr: SocketAddr, body: &str) -> std::io::Result<ClientResponse> {
+    post(addr, "/v1/jobs", body)
+}
+
+/// Fetches `GET /v1/jobs/{id}`.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn job_status(addr: SocketAddr, id: &str) -> std::io::Result<ClientResponse> {
+    get(addr, &format!("/v1/jobs/{id}"))
+}
+
+/// Fetches `GET /v1/jobs/{id}/result`.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn job_result(addr: SocketAddr, id: &str) -> std::io::Result<ClientResponse> {
+    get(addr, &format!("/v1/jobs/{id}/result"))
+}
+
+/// Requests cooperative cancellation via `DELETE /v1/jobs/{id}`.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn cancel_job(addr: SocketAddr, id: &str) -> std::io::Result<ClientResponse> {
+    delete(addr, &format!("/v1/jobs/{id}"))
+}
+
+/// Polls `GET /v1/jobs/{id}` until the job reaches a terminal state
+/// (`done`, `failed` or `cancelled`), returning that final status
+/// response. Poll intervals back off exponentially from 2 ms to a
+/// jittered ~100 ms cap, so a short job resolves in a few milliseconds
+/// while a long one costs a handful of requests per second, and polling
+/// loops in concurrent tests do not beat in lockstep.
+///
+/// # Errors
+///
+/// Socket failures propagate; exceeding `timeout` yields
+/// [`std::io::ErrorKind::TimedOut`].
+pub fn poll_job(addr: SocketAddr, id: &str, timeout: Duration) -> std::io::Result<ClientResponse> {
+    let started = std::time::Instant::now();
+    let mut delay = Duration::from_millis(2);
+    // Tiny LCG (Numerical Recipes constants) seeded per call; jitter only
+    // needs to decorrelate concurrent pollers, not be high quality.
+    let mut rng: u64 = 0x9e37_79b9 ^ (addr.port() as u64) ^ started.elapsed().as_nanos() as u64;
+    loop {
+        let resp = job_status(addr, id)?;
+        if resp.status != 200 {
+            return Ok(resp); // 404 etc.: nothing further to wait for
+        }
+        let state = scpg_json::Json::parse(resp.text())
+            .ok()
+            .and_then(|doc| doc.get("state").and_then(|s| s.as_str().map(String::from)));
+        if matches!(state.as_deref(), Some("done" | "failed" | "cancelled")) {
+            return Ok(resp);
+        }
+        if started.elapsed() >= timeout {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("job {id} still not terminal after {timeout:?}"),
+            ));
+        }
+        rng = rng
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let jitter_ms = rng >> 60; // 0..=15
+        let capped = delay.min(Duration::from_millis(100));
+        std::thread::sleep(capped + Duration::from_millis(jitter_ms));
+        delay = capped * 2;
+    }
+}

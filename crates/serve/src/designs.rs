@@ -7,24 +7,26 @@
 //! serving-layer continuation of PR 1's "compile once, simulate many"
 //! split.
 //!
-//! Two design families are served: the paper's parameterised multiplier
-//! (full analysis surface) and a bare inverter chain (cheap target for
-//! the Monte-Carlo variation study; it has no flops, so gating queries
-//! against it fail admission with a clear error rather than a panic).
+//! Three design families are served: the paper's parameterised
+//! multiplier (full analysis surface), a bare inverter chain (cheap
+//! target for the Monte-Carlo variation study; it has no flops, so
+//! gating queries against it fail admission with a clear error rather
+//! than a panic), and user-uploaded netlists referenced by the
+//! content-addressed id `POST /v1/netlists` returned.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use scpg::service::QueryLimits;
-use scpg::transform::{ScpgOptions, ScpgTransform};
 use scpg::ScpgAnalysis;
 use scpg_circuits::generate_multiplier;
+use scpg_jobs::{NetlistRegistry, UploadedNetlist};
 use scpg_liberty::{Library, PvtCorner};
 use scpg_netlist::Netlist;
 use scpg_units::{Energy, Voltage};
 
 /// Which circuit a request targets.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DesignKind {
     /// The paper's n×n array multiplier.
     Multiplier {
@@ -36,10 +38,15 @@ pub enum DesignKind {
         /// Number of inverters.
         length: usize,
     },
+    /// A user-uploaded netlist, referenced by its content-addressed id.
+    Netlist {
+        /// The id `POST /v1/netlists` returned.
+        id: String,
+    },
 }
 
 /// A fully specified design request: circuit, workload energy and supply.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpec {
     /// The circuit.
     pub kind: DesignKind,
@@ -70,18 +77,24 @@ impl DesignSpec {
         }
     }
 
+    /// A netlist-backed spec with the default workload energy and supply
+    /// (override via the request's `e_dyn_pj` / `vdd_mv`).
+    pub fn netlist(id: impl Into<String>) -> Self {
+        Self {
+            kind: DesignKind::Netlist { id: id.into() },
+            ..Self::default_multiplier()
+        }
+    }
+
     /// The registry/cache key. Uses shortest-round-trip float formatting,
     /// so specs equal as values collide as keys.
     pub fn key(&self) -> String {
-        let (name, size) = match self.kind {
-            DesignKind::Multiplier { bits } => ("multiplier", bits),
-            DesignKind::Chain { length } => ("chain", length),
+        let ident = match &self.kind {
+            DesignKind::Multiplier { bits } => format!("multiplier:{bits}"),
+            DesignKind::Chain { length } => format!("chain:{length}"),
+            DesignKind::Netlist { id } => format!("netlist:{id}"),
         };
-        format!(
-            "{name}:{size}:e={}:v={}",
-            self.e_dyn.value(),
-            self.vdd.value()
-        )
+        format!("{ident}:e={}:v={}", self.e_dyn.value(), self.vdd.value())
     }
 
     /// Admission check against the service limits.
@@ -90,9 +103,9 @@ impl DesignSpec {
     ///
     /// A human-readable refusal (maps to `422`).
     pub fn validate(&self, limits: &QueryLimits) -> Result<(), String> {
-        match self.kind {
+        match &self.kind {
             DesignKind::Multiplier { bits } => {
-                if bits == 0 || bits > limits.max_multiplier_bits {
+                if *bits == 0 || *bits > limits.max_multiplier_bits {
                     return Err(format!(
                         "multiplier bits {bits} outside 1..={}",
                         limits.max_multiplier_bits
@@ -100,11 +113,19 @@ impl DesignSpec {
                 }
             }
             DesignKind::Chain { length } => {
-                if length == 0 || length > limits.max_chain_length {
+                if *length == 0 || *length > limits.max_chain_length {
                     return Err(format!(
                         "chain length {length} outside 1..={}",
                         limits.max_chain_length
                     ));
+                }
+            }
+            DesignKind::Netlist { id } => {
+                // Ids are 40 hex chars; a ceiling plus a charset check
+                // keeps hostile ids out of registry keys and log lines.
+                if id.is_empty() || id.len() > 64 || !id.bytes().all(|b| b.is_ascii_alphanumeric())
+                {
+                    return Err("design.id must be a netlist id from POST /v1/netlists".to_string());
                 }
             }
         }
@@ -133,20 +154,30 @@ pub struct DesignArtifact {
     pub lib: Library,
     /// The baseline (pre-SCPG) netlist.
     pub baseline: Netlist,
+    /// The clock net the SCPG transform gates on (`"clk"` for the
+    /// built-in designs; whatever the upload declared for netlists).
+    pub clock: String,
     analysis: OnceLock<Result<Arc<ScpgAnalysis>, String>>,
 }
 
 impl DesignArtifact {
-    fn build(spec: DesignSpec) -> Self {
+    fn build(spec: &DesignSpec, uploaded: Option<Arc<UploadedNetlist>>) -> Self {
         let lib = Library::ninety_nm();
-        let baseline = match spec.kind {
-            DesignKind::Multiplier { bits } => generate_multiplier(&lib, bits).0,
-            DesignKind::Chain { length } => build_chain(length),
+        let (baseline, clock) = match &spec.kind {
+            DesignKind::Multiplier { bits } => {
+                (generate_multiplier(&lib, *bits).0, "clk".to_string())
+            }
+            DesignKind::Chain { length } => (build_chain(*length), "clk".to_string()),
+            DesignKind::Netlist { .. } => {
+                let up = uploaded.expect("netlist specs are resolved before build");
+                (up.netlist.clone(), up.clock.clone())
+            }
         };
         Self {
-            spec,
+            spec: spec.clone(),
             lib,
             baseline,
+            clock,
             analysis: OnceLock::new(),
         }
     }
@@ -159,18 +190,14 @@ impl DesignArtifact {
     pub fn analysis(&self) -> Result<Arc<ScpgAnalysis>, String> {
         self.analysis
             .get_or_init(|| {
-                let design = ScpgTransform::new(&self.lib)
-                    .apply(&self.baseline, "clk", &ScpgOptions::default())
-                    .map_err(|e| format!("SCPG transform failed: {e}"))?;
-                let analysis = ScpgAnalysis::new(
+                scpg::service::netlist_analysis(
                     &self.lib,
                     &self.baseline,
-                    &design,
+                    &self.clock,
                     self.spec.e_dyn,
                     PvtCorner::at_voltage(self.spec.vdd),
                 )
-                .map_err(|e| format!("analysis build failed: {e}"))?;
-                Ok(Arc::new(analysis))
+                .map(Arc::new)
             })
             .clone()
     }
@@ -247,7 +274,29 @@ impl DesignRegistry {
     /// lock is only held to find/insert the slot; the expensive build
     /// runs outside it behind the slot's own `OnceLock`, so only
     /// concurrent requests for the *same* design wait on each other.
-    pub fn get(&self, spec: DesignSpec) -> Arc<DesignArtifact> {
+    ///
+    /// Netlist-backed specs resolve their upload through `netlists`
+    /// *before* a slot is created, so an unknown id is a clean error and
+    /// never poisons the registry.
+    ///
+    /// # Errors
+    ///
+    /// Netlist spec with no registry configured or an unknown id (maps
+    /// to `422`).
+    pub fn get(
+        &self,
+        spec: &DesignSpec,
+        netlists: Option<&NetlistRegistry>,
+    ) -> Result<Arc<DesignArtifact>, String> {
+        let uploaded = match &spec.kind {
+            DesignKind::Netlist { id } => {
+                let registry = netlists.ok_or("netlist designs are not enabled on this server")?;
+                Some(registry.get(id).ok_or_else(|| {
+                    format!("unknown netlist id {id:?}; upload it via POST /v1/netlists first")
+                })?)
+            }
+            _ => None,
+        };
         let cell = {
             let mut state = self.state.lock().expect("registry poisoned");
             state.tick += 1;
@@ -279,7 +328,9 @@ impl DesignRegistry {
                 cell
             }
         };
-        Arc::clone(cell.get_or_init(|| Arc::new(DesignArtifact::build(spec))))
+        Ok(Arc::clone(cell.get_or_init(|| {
+            Arc::new(DesignArtifact::build(spec, uploaded))
+        })))
     }
 
     /// Distinct designs resident right now.
@@ -304,11 +355,11 @@ mod tests {
             kind: DesignKind::Multiplier { bits: 4 },
             ..DesignSpec::default_multiplier()
         };
-        let a = reg.get(spec);
-        let b = reg.get(spec);
+        let a = reg.get(&spec, None).unwrap();
+        let b = reg.get(&spec, None).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "same spec, same artifact");
         assert_eq!(reg.len(), 1);
-        let c = reg.get(DesignSpec::chain(8));
+        let c = reg.get(&DesignSpec::chain(8), None).unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(reg.len(), 2);
     }
@@ -316,10 +367,15 @@ mod tests {
     #[test]
     fn multiplier_analysis_builds_once_and_is_shared() {
         let reg = DesignRegistry::new();
-        let art = reg.get(DesignSpec {
-            kind: DesignKind::Multiplier { bits: 4 },
-            ..DesignSpec::default_multiplier()
-        });
+        let art = reg
+            .get(
+                &DesignSpec {
+                    kind: DesignKind::Multiplier { bits: 4 },
+                    ..DesignSpec::default_multiplier()
+                },
+                None,
+            )
+            .unwrap();
         let a = art.analysis().expect("multiplier gates");
         let b = art.analysis().expect("cached");
         assert!(Arc::ptr_eq(&a, &b));
@@ -328,7 +384,7 @@ mod tests {
     #[test]
     fn chain_analysis_fails_gracefully() {
         let reg = DesignRegistry::new();
-        let art = reg.get(DesignSpec::chain(8));
+        let art = reg.get(&DesignSpec::chain(8), None).unwrap();
         let err = art.analysis().expect_err("no flops to gate");
         assert!(err.contains("transform failed"), "{err}");
         // And the failure is cached, not re-attempted forever.
@@ -338,25 +394,61 @@ mod tests {
     #[test]
     fn registry_evicts_least_recently_used_at_capacity() {
         let reg = DesignRegistry::with_capacity(2);
-        let one = reg.get(DesignSpec::chain(1));
-        let two = reg.get(DesignSpec::chain(2));
+        let one = reg.get(&DesignSpec::chain(1), None).unwrap();
+        let two = reg.get(&DesignSpec::chain(2), None).unwrap();
         assert_eq!(reg.len(), 2);
         // Touch 1 so 2 becomes the LRU victim.
-        let _ = reg.get(DesignSpec::chain(1));
-        let _three = reg.get(DesignSpec::chain(3));
+        let _ = reg.get(&DesignSpec::chain(1), None).unwrap();
+        let _three = reg.get(&DesignSpec::chain(3), None).unwrap();
         assert_eq!(reg.len(), 2, "capacity holds under churn");
-        let one_again = reg.get(DesignSpec::chain(1));
+        let one_again = reg.get(&DesignSpec::chain(1), None).unwrap();
         assert!(
             Arc::ptr_eq(&one, &one_again),
             "recently used design survived"
         );
-        let two_again = reg.get(DesignSpec::chain(2));
+        let two_again = reg.get(&DesignSpec::chain(2), None).unwrap();
         assert!(
             !Arc::ptr_eq(&two, &two_again),
             "evicted design rebuilds fresh"
         );
         // The evicted artifact stayed usable for its in-flight holders.
         assert_eq!(two.spec.kind, DesignKind::Chain { length: 2 });
+    }
+
+    #[test]
+    fn netlist_specs_resolve_through_the_upload_registry() {
+        let source = "\
+module toy (clk, a, y);
+  input clk;
+  input a;
+  output y;
+  wire q;
+  DFF_X1 r0 (.D(a), .CK(clk), .Q(q));
+  INV_X1 g0 (.A(q), .Y(y));
+endmodule
+";
+        let uploads = NetlistRegistry::open(
+            Arc::new(scpg_jobs::Store::memory()),
+            Library::ninety_nm(),
+            scpg_jobs::NetlistLimits::default(),
+        );
+        let (entry, _) = uploads.upload(source, "clk").unwrap();
+        let reg = DesignRegistry::new();
+
+        // No registry configured / unknown id: clean errors, no slot.
+        let spec = DesignSpec::netlist(entry.id.clone());
+        assert!(reg.get(&spec, None).is_err());
+        let unknown = DesignSpec::netlist("deadbeef");
+        let err = reg.get(&unknown, Some(&uploads)).map(|_| ()).unwrap_err();
+        assert!(err.contains("unknown netlist id"), "{err}");
+        assert_eq!(reg.len(), 0, "failed resolutions must not be cached");
+
+        let art = reg.get(&spec, Some(&uploads)).unwrap();
+        assert_eq!(art.clock, "clk");
+        assert_eq!(art.baseline.instances().len(), 2);
+        art.analysis().expect("uploaded design gates");
+        let again = reg.get(&spec, Some(&uploads)).unwrap();
+        assert!(Arc::ptr_eq(&art, &again), "artifact is shared");
     }
 
     #[test]
@@ -390,11 +482,11 @@ mod tests {
         let base = DesignSpec::default_multiplier();
         let other_e = DesignSpec {
             e_dyn: Energy::from_pj(1.0),
-            ..base
+            ..base.clone()
         };
         let other_v = DesignSpec {
             vdd: Voltage::from_mv(500.0),
-            ..base
+            ..base.clone()
         };
         let keys = [base.key(), other_e.key(), other_v.key()];
         assert_eq!(

@@ -183,9 +183,12 @@ fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
 pub fn status_text(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",

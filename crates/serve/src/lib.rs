@@ -9,6 +9,12 @@
 //!
 //! * `POST /v1/sweep` / `/v1/table` / `/v1/headline` / `/v1/variation` —
 //!   JSON queries (see [`api`] for the wire format);
+//! * `POST /v1/netlists` — upload a structural-Verilog design; it is
+//!   validated, compiled and stored content-addressed, after which any
+//!   query can name it via `{"design": {"kind": "netlist", "id": ...}}`;
+//! * `POST /v1/jobs` + `GET`/`DELETE /v1/jobs/{id}` — checkpointed
+//!   asynchronous batch jobs over the same queries (see [`scpg_jobs`]);
+//! * `GET /v1/designs` — design kinds, server limits, uploaded netlists;
 //! * `GET /healthz` — liveness;
 //! * `GET /metrics` — Prometheus text ([`metrics`]).
 //!
@@ -28,6 +34,12 @@
 //! 4. **Graceful shutdown**: stop accepting, finish in-flight
 //!    connections, drain the queue, then close — no admitted request is
 //!    dropped.
+//! 5. **Two-lane scheduling**: batch-job chunks run on the same worker
+//!    pool in a second, lower-priority lane; interactive requests always
+//!    pop first and one worker never takes batch work at all, so a pile
+//!    of long jobs cannot starve point queries. Chunk checkpoints go to
+//!    the (optionally on-disk) [`scpg_jobs::Store`], so a restarted
+//!    server resumes unfinished jobs where they left off.
 //!
 //! ```no_run
 //! let handle = scpg_serve::Server::bind(scpg_serve::ServeConfig::default())
@@ -54,14 +66,21 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use scpg::service::{Query, QueryLimits, QueryOutcome};
+use scpg::Mode;
+use scpg_jobs::{
+    CancelOutcome, ChunkExecutor, ChunkRun, JobLimits, JobManager, JobSpec, NetlistLimits,
+    NetlistRegistry, Store, SubmitError, UploadError,
+};
 use scpg_json::Json;
-use scpg_power::VariationStudy;
+use scpg_liberty::Library;
+use scpg_power::{VariationConfig, VariationStudy};
+use scpg_units::Frequency;
 
 use crate::cache::ShardedCache;
-use crate::designs::DesignRegistry;
+use crate::designs::{DesignRegistry, DesignSpec};
 use crate::http::{HttpError, Request};
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::queue::{Job, JobOutput, JobTiming, Slot, WorkQueue};
+use crate::queue::{Job, JobOutput, JobTiming, Slot, Work, WorkQueue};
 
 /// Server configuration. [`Default`] is a loopback service on an
 /// ephemeral port, sized for this machine.
@@ -84,9 +103,20 @@ pub struct ServeConfig {
     pub max_deadline_ms: u64,
     /// Admission limits for queries and design sizes.
     pub limits: QueryLimits,
-    /// Test/bench hook: artificial floor (sleep) per computed job, so
-    /// backpressure and deadline behaviour can be exercised
-    /// deterministically. Zero (the default) in production.
+    /// Where uploaded netlists and job checkpoints persist. `None` (the
+    /// default) keeps them in memory: uploads and jobs work, but do not
+    /// survive a restart.
+    pub store_dir: Option<String>,
+    /// Work units (frequencies; one variation study = one unit) a batch
+    /// job executes per chunk when the request names no `chunk_units`.
+    pub chunk_units: usize,
+    /// Batch jobs allowed in flight at once; submissions beyond it
+    /// answer `429`.
+    pub max_active_jobs: usize,
+    /// Test/bench hook: artificial floor (sleep) per computed job (and
+    /// per batch chunk), so backpressure, deadline and cancellation
+    /// behaviour can be exercised deterministically. Zero (the default)
+    /// in production.
     pub debug_job_delay_ms: u64,
 }
 
@@ -101,6 +131,9 @@ impl Default for ServeConfig {
             default_deadline_ms: 30_000,
             max_deadline_ms: 120_000,
             limits: QueryLimits::default(),
+            store_dir: None,
+            chunk_units: 4,
+            max_active_jobs: 8,
             debug_job_delay_ms: 0,
         }
     }
@@ -117,6 +150,10 @@ struct Shared {
     /// test process never pollute each other's counts.
     trace: scpg_trace::Registry,
     registry: Arc<DesignRegistry>,
+    /// Uploaded-netlist registry (content-addressed, possibly on disk).
+    netlists: Arc<NetlistRegistry>,
+    /// Batch-job manager; chunks run on the worker pool's batch lane.
+    jobs: Arc<JobManager>,
     shutdown: AtomicBool,
     in_flight_conns: AtomicUsize,
 }
@@ -165,13 +202,45 @@ impl Server {
     pub fn bind(config: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let store = Arc::new(match &config.store_dir {
+            None => Store::memory(),
+            Some(dir) => Store::open(std::path::Path::new(dir))
+                .map_err(|e| std::io::Error::other(format!("store {dir:?}: {e}")))?,
+        });
+        let netlists = Arc::new(NetlistRegistry::open(
+            Arc::clone(&store),
+            Library::ninety_nm(),
+            NetlistLimits {
+                max_source_bytes: config.limits.max_netlist_bytes,
+                max_gates: config.limits.max_netlist_gates,
+                ..NetlistLimits::default()
+            },
+        ));
+        let registry = Arc::new(DesignRegistry::new());
+        let executor = Arc::new(ServeExecutor {
+            registry: Arc::clone(&registry),
+            netlists: Arc::clone(&netlists),
+            limits: config.limits,
+            debug_job_delay_ms: config.debug_job_delay_ms,
+        });
+        let jobs = Arc::new(JobManager::open(
+            store,
+            JobLimits {
+                max_active_jobs: config.max_active_jobs.max(1),
+                default_chunk_units: config.chunk_units.max(1),
+                ..JobLimits::default()
+            },
+            executor,
+        ));
         let shared = Arc::new(Shared {
             addr,
             queue: WorkQueue::new(config.queue_capacity),
             cache: ShardedCache::new(config.cache_shards, config.cache_capacity_per_shard),
             metrics: Metrics::default(),
             trace: scpg_trace::Registry::new(),
-            registry: Arc::new(DesignRegistry::new()),
+            registry,
+            netlists,
+            jobs,
             shutdown: AtomicBool::new(false),
             in_flight_conns: AtomicUsize::new(0),
             config,
@@ -195,12 +264,24 @@ impl Server {
         let mut worker_handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let shared = Arc::clone(&self.shared);
+            // Worker 0 is interactive-only: whatever the batch lane holds,
+            // at least one worker is always free for point queries.
+            let allow_batch = i != 0;
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("scpg-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, allow_batch))
                     .expect("spawn worker"),
             );
+        }
+        // Re-dispatch jobs the store says are unfinished: a restarted
+        // server picks each one up at its last checkpoint.
+        for id in self.shared.jobs.resumable() {
+            if let Err(id) = self.shared.queue.push_batch(id) {
+                // Lane full at startup (capacity < unfinished jobs): the
+                // job stays checkpointed on disk for the next restart.
+                eprintln!("scpg-serve: warning: no batch slot to resume job {id}");
+            }
         }
         let shared = Arc::clone(&self.shared);
         let listener = self.listener;
@@ -328,56 +409,99 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     drop(listener);
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
-        if job.slot.is_abandoned() || Instant::now() >= job.deadline {
-            // The requester is gone (it already answered 504); skip the
-            // stale computation entirely.
-            shared
-                .metrics
-                .results_dropped
-                .fetch_add(1, Ordering::Relaxed);
-            continue;
+fn worker_loop(shared: &Arc<Shared>, allow_batch: bool) {
+    while let Some(work) = shared.queue.pop(allow_batch) {
+        match work {
+            Work::Interactive(job) => run_interactive(shared, job),
+            Work::Batch(id) => run_batch_chunk(shared, id),
         }
-        let Job {
-            enqueued_at,
-            slot,
-            cache_key,
-            work,
-            ..
-        } = job;
-        let queue_wait = enqueued_at.elapsed();
-        // A panicking job must not kill the worker (silently shrinking
-        // the pool) or leave the connection waiting for the deadline: it
-        // becomes a 500 like any other failed computation.
-        let mut out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)) {
-            Ok(out) => out,
-            Err(_) => {
-                shared
-                    .metrics
-                    .handler_panics
-                    .fetch_add(1, Ordering::Relaxed);
-                JobOutput::new(
-                    500,
-                    api::error_body("internal error while computing this result"),
-                )
-            }
-        };
-        out.timing.queue_wait = Some(queue_wait);
+    }
+}
+
+fn run_interactive(shared: &Arc<Shared>, job: Job) {
+    if job.slot.is_abandoned() || Instant::now() >= job.deadline {
+        // The requester is gone (it already answered 504); skip the
+        // stale computation entirely.
         shared
             .metrics
-            .jobs_completed
+            .results_dropped
             .fetch_add(1, Ordering::Relaxed);
-        if out.status == 200 {
-            // Cache on the worker side so even a result whose client
-            // stopped waiting still warms the cache.
-            shared.cache.insert(cache_key, Arc::new(out.body.clone()));
-        }
-        if !slot.fulfill(out) {
+        return;
+    }
+    let Job {
+        enqueued_at,
+        slot,
+        cache_key,
+        work,
+        ..
+    } = job;
+    let queue_wait = enqueued_at.elapsed();
+    // A panicking job must not kill the worker (silently shrinking
+    // the pool) or leave the connection waiting for the deadline: it
+    // becomes a 500 like any other failed computation.
+    let mut out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(work)) {
+        Ok(out) => out,
+        Err(_) => {
             shared
                 .metrics
-                .results_dropped
+                .handler_panics
                 .fetch_add(1, Ordering::Relaxed);
+            JobOutput::new(
+                500,
+                api::error_body("internal error while computing this result"),
+            )
+        }
+    };
+    out.timing.queue_wait = Some(queue_wait);
+    shared
+        .metrics
+        .jobs_completed
+        .fetch_add(1, Ordering::Relaxed);
+    if out.status == 200 {
+        // Cache on the worker side so even a result whose client
+        // stopped waiting still warms the cache.
+        shared.cache.insert(cache_key, Arc::new(out.body.clone()));
+    }
+    if !slot.fulfill(out) {
+        shared
+            .metrics
+            .results_dropped
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn run_batch_chunk(shared: &Arc<Shared>, id: String) {
+    let jobs = Arc::clone(&shared.jobs);
+    // A panicking executor must not kill the worker; the job itself is
+    // marked failed so pollers see a terminal state instead of a stall.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| jobs.run_chunk(&id)));
+    match outcome {
+        Ok(ChunkRun::More) => {
+            shared
+                .metrics
+                .job_chunks_completed
+                .fetch_add(1, Ordering::Relaxed);
+            // Back of the batch lane: chunks of concurrent jobs
+            // round-robin instead of one job hogging the lane. If the
+            // push loses a race with shutdown the token is dropped, but
+            // the chunk just checkpointed — a restart resumes from it.
+            let _ = shared.queue.push_batch(id);
+        }
+        Ok(ChunkRun::Finished) => {
+            shared
+                .metrics
+                .job_chunks_completed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(ChunkRun::Gone) => {}
+        Err(_) => {
+            shared
+                .metrics
+                .handler_panics
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .jobs
+                .fail(&id, "internal error: chunk execution panicked");
         }
     }
 }
@@ -476,6 +600,7 @@ fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Rep
                 shared.in_flight_conns.load(Ordering::SeqCst),
                 shared.cache.len(),
                 shared.config.workers.max(2),
+                shared.queue.batch_depth(),
             );
             // This server's latency histograms, then the process-wide
             // engine-stage histograms (distinct family names, so the
@@ -488,17 +613,208 @@ fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Rep
         ("POST", "/v1/table") => handle_api(shared, "table", &req.body, trace),
         ("POST", "/v1/headline") => handle_api(shared, "headline", &req.body, trace),
         ("POST", "/v1/variation") => handle_api(shared, "variation", &req.body, trace),
-        (_, "/healthz" | "/metrics") => (
+        ("POST", "/v1/netlists") => handle_netlist_upload(shared, req, trace),
+        ("GET", "/v1/designs") => {
+            shared.metrics.inc_request("designs");
+            trace.endpoint = Some("designs");
+            let doc = api::designs_response(&shared.config.limits, shared.netlists.summaries());
+            (200, "application/json", doc.write().into_bytes())
+        }
+        (method, path) if path == "/v1/jobs" || path.starts_with("/v1/jobs/") => {
+            handle_jobs(shared, method, path, &req.body, trace)
+        }
+        (_, "/healthz" | "/metrics" | "/v1/designs") => (
             405,
             "application/json",
             api::error_body("use GET for this endpoint"),
         ),
-        (_, "/v1/sweep" | "/v1/table" | "/v1/headline" | "/v1/variation") => (
+        (_, "/v1/sweep" | "/v1/table" | "/v1/headline" | "/v1/variation" | "/v1/netlists") => (
             405,
             "application/json",
             api::error_body("use POST for this endpoint"),
         ),
         _ => (404, "application/json", api::error_body("no such endpoint")),
+    }
+}
+
+fn handle_netlist_upload(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Reply {
+    shared.metrics.inc_request("netlists");
+    trace.endpoint = Some("netlists");
+    let source = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => {
+            return (
+                400,
+                "application/json",
+                api::error_body("netlist source must be UTF-8 Verilog text"),
+            )
+        }
+    };
+    let clock = req.header("x-scpg-clock").unwrap_or("clk");
+    match shared.netlists.upload(source, clock) {
+        Ok((entry, created)) => {
+            if created {
+                shared
+                    .metrics
+                    .netlists_uploaded
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let status = if created { 201 } else { 200 };
+            (
+                status,
+                "application/json",
+                entry.summary().write().into_bytes(),
+            )
+        }
+        Err(err) => {
+            let status = match &err {
+                UploadError::TooLarge { .. } => 413,
+                UploadError::Parse { .. } | UploadError::Invalid(_) => 422,
+                UploadError::Full { .. } => 429,
+                UploadError::Store(_) => 500,
+            };
+            (status, "application/json", api::upload_error_body(&err))
+        }
+    }
+}
+
+fn handle_jobs(
+    shared: &Arc<Shared>,
+    method: &str,
+    path: &str,
+    raw_body: &[u8],
+    trace: &mut RequestTrace,
+) -> Reply {
+    shared.metrics.inc_request("jobs");
+    trace.endpoint = Some("jobs");
+    match (method, path) {
+        ("POST", "/v1/jobs") => handle_job_submit(shared, raw_body),
+        ("GET", "/v1/jobs") => {
+            let doc = Json::object([("jobs", Json::Arr(shared.jobs.summaries()))]);
+            (200, "application/json", doc.write().into_bytes())
+        }
+        (_, "/v1/jobs") => (
+            405,
+            "application/json",
+            api::error_body("use POST (submit) or GET (list) on /v1/jobs"),
+        ),
+        _ => {
+            let rest = &path["/v1/jobs/".len()..];
+            let (id, tail) = match rest.split_once('/') {
+                None => (rest, None),
+                Some((id, tail)) => (id, Some(tail)),
+            };
+            match (method, tail) {
+                ("GET", None) => match shared.jobs.status(id) {
+                    Some(doc) => (200, "application/json", doc.write().into_bytes()),
+                    None => (404, "application/json", api::error_body("no such job")),
+                },
+                ("GET", Some("result")) => match shared.jobs.result(id) {
+                    None => (404, "application/json", api::error_body("no such job")),
+                    Some((_, Some(body))) => (200, "application/json", body.as_ref().clone()),
+                    Some((state, None)) => (
+                        409,
+                        "application/json",
+                        api::error_body(&format!("job is {}; no result to fetch", state.key())),
+                    ),
+                },
+                ("DELETE", None) => match shared.jobs.cancel(id) {
+                    CancelOutcome::Cancelled => (
+                        200,
+                        "application/json",
+                        Json::object([("id", Json::from(id)), ("state", Json::from("cancelled"))])
+                            .write()
+                            .into_bytes(),
+                    ),
+                    CancelOutcome::AlreadyTerminal(state) => (
+                        409,
+                        "application/json",
+                        api::error_body(&format!("job already {}", state.key())),
+                    ),
+                    CancelOutcome::Gone => {
+                        (404, "application/json", api::error_body("no such job"))
+                    }
+                },
+                _ => (
+                    405,
+                    "application/json",
+                    api::error_body("use GET /v1/jobs/{id}[/result] or DELETE /v1/jobs/{id}"),
+                ),
+            }
+        }
+    }
+}
+
+fn handle_job_submit(shared: &Arc<Shared>, raw_body: &[u8]) -> Reply {
+    let text = match std::str::from_utf8(raw_body) {
+        Ok(t) => t,
+        Err(_) => {
+            return (
+                400,
+                "application/json",
+                api::error_body("body is not UTF-8"),
+            )
+        }
+    };
+    let body = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return (400, "application/json", api::error_body(&e.to_string())),
+    };
+    let Some(kind) = body.get("kind").and_then(Json::as_str) else {
+        return (
+            422,
+            "application/json",
+            api::error_body("kind must be \"sweep\", \"table\" or \"variation\""),
+        );
+    };
+    let request = body
+        .get("request")
+        .cloned()
+        .unwrap_or_else(|| Json::Obj(Vec::new()));
+    let chunk_units = match body.get("chunk_units") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(n) if n >= 1 => Some(n as usize),
+            _ => {
+                return (
+                    422,
+                    "application/json",
+                    api::error_body("chunk_units must be a positive integer"),
+                )
+            }
+        },
+    };
+    match shared.jobs.submit(kind, request, chunk_units) {
+        Ok((id, total_units)) => {
+            shared
+                .metrics
+                .jobs_submitted
+                .fetch_add(1, Ordering::Relaxed);
+            if let Err(id) = shared.queue.push_batch(id.clone()) {
+                // No batch slot (lane full or shutting down): never leave
+                // an accepted job stalled with no token to drive it.
+                shared.jobs.fail(&id, "no batch capacity to run this job");
+                return (
+                    429,
+                    "application/json",
+                    api::error_body("batch lane is full; retry with backoff"),
+                );
+            }
+            (
+                202,
+                "application/json",
+                Json::object([
+                    ("id", Json::from(id)),
+                    ("total_units", Json::from(total_units)),
+                ])
+                .write()
+                .into_bytes(),
+            )
+        }
+        Err(SubmitError::Refused(e)) => (422, "application/json", api::error_body(&e)),
+        Err(err @ SubmitError::Busy { .. }) => {
+            (429, "application/json", api::error_body(&err.to_string()))
+        }
     }
 }
 
@@ -573,6 +889,7 @@ fn handle_api(
     let limits = shared.config.limits;
     let work: Box<dyn FnOnce() -> JobOutput + Send> = {
         let registry = Arc::clone(&shared.registry);
+        let netlists = Arc::clone(&shared.netlists);
         let delay = shared.config.debug_job_delay_ms;
         match endpoint {
             "sweep" | "table" | "headline" => {
@@ -585,14 +902,14 @@ fn handle_api(
                     Ok(p) => p,
                     Err(e) => return (422, "application/json", api::error_body(&e)),
                 };
-                Box::new(move || run_query(&registry, spec, &query, delay))
+                Box::new(move || run_query(&registry, &netlists, spec, &query, delay))
             }
             "variation" => {
                 let (spec, cfg) = match api::parse_variation(&body, &limits) {
                     Ok(p) => p,
                     Err(e) => return (422, "application/json", api::error_body(&e)),
                 };
-                Box::new(move || run_variation(&registry, spec, &cfg, delay))
+                Box::new(move || run_variation(&registry, &netlists, spec, &cfg, delay))
             }
             _ => unreachable!("handle_api is only routed for v1 endpoints"),
         }
@@ -650,6 +967,7 @@ fn debug_delay(delay_ms: u64) {
 
 fn run_query(
     registry: &DesignRegistry,
+    netlists: &NetlistRegistry,
     spec: designs::DesignSpec,
     query: &Query,
     delay_ms: u64,
@@ -658,8 +976,9 @@ fn run_query(
     let mut timing = JobTiming::default();
 
     let compile_started = Instant::now();
-    let artifact = registry.get(spec);
-    let analysis = artifact.analysis();
+    let analysis = registry
+        .get(&spec, Some(netlists))
+        .and_then(|artifact| artifact.analysis());
     timing.compile = Some(compile_started.elapsed());
     let analysis = match analysis {
         Ok(a) => a,
@@ -696,6 +1015,7 @@ fn run_query(
 
 fn run_variation(
     registry: &DesignRegistry,
+    netlists: &NetlistRegistry,
     spec: designs::DesignSpec,
     cfg: &scpg_power::VariationConfig,
     delay_ms: u64,
@@ -704,8 +1024,16 @@ fn run_variation(
     let mut timing = JobTiming::default();
 
     let compile_started = Instant::now();
-    let artifact = registry.get(spec);
+    let artifact = registry.get(&spec, Some(netlists));
     timing.compile = Some(compile_started.elapsed());
+    let artifact = match artifact {
+        Ok(a) => a,
+        Err(e) => {
+            let mut out = JobOutput::new(422, api::error_body(&e));
+            out.timing = timing;
+            return out;
+        }
+    };
 
     let execute_started = Instant::now();
     let study = VariationStudy::run(&artifact.baseline, &artifact.lib, artifact.spec.e_dyn, cfg);
@@ -725,6 +1053,152 @@ fn run_variation(
     };
     out.timing = timing;
     out
+}
+
+/// A batch job's request, parsed back into the serving layer's own
+/// domain types. Batch jobs reuse the interactive path's parsers and
+/// response builders end to end, which is what makes an assembled job
+/// result byte-identical to the interactive response for the same body.
+enum PlannedJob {
+    Sweep {
+        spec: DesignSpec,
+        frequencies: Vec<Frequency>,
+        mode: Mode,
+    },
+    Table {
+        spec: DesignSpec,
+        frequencies: Vec<Frequency>,
+    },
+    Variation {
+        spec: DesignSpec,
+        cfg: VariationConfig,
+    },
+}
+
+/// [`ChunkExecutor`] over the serving layer: one work unit is one
+/// frequency (sweeps/tables) or one whole study (variation).
+struct ServeExecutor {
+    registry: Arc<DesignRegistry>,
+    netlists: Arc<NetlistRegistry>,
+    limits: QueryLimits,
+    debug_job_delay_ms: u64,
+}
+
+impl ServeExecutor {
+    fn parse(&self, spec: &JobSpec) -> Result<PlannedJob, String> {
+        match spec.kind.as_str() {
+            "sweep" => {
+                let (dspec, query) = api::parse_sweep(&spec.request, &self.limits)?;
+                match query {
+                    Query::Sweep { frequencies, mode } => Ok(PlannedJob::Sweep {
+                        spec: dspec,
+                        frequencies,
+                        mode,
+                    }),
+                    _ => unreachable!("parse_sweep yields sweeps"),
+                }
+            }
+            "table" => {
+                let (dspec, query) = api::parse_table(&spec.request, &self.limits)?;
+                match query {
+                    Query::Table { frequencies } => Ok(PlannedJob::Table {
+                        spec: dspec,
+                        frequencies,
+                    }),
+                    _ => unreachable!("parse_table yields tables"),
+                }
+            }
+            "variation" => {
+                let (dspec, cfg) = api::parse_variation(&spec.request, &self.limits)?;
+                Ok(PlannedJob::Variation { spec: dspec, cfg })
+            }
+            other => Err(format!(
+                "unknown job kind {other:?} (sweep | table | variation)"
+            )),
+        }
+    }
+}
+
+impl ChunkExecutor for ServeExecutor {
+    fn plan(&self, spec: &JobSpec) -> Result<usize, String> {
+        let planned = self.parse(spec)?;
+        let (dspec, units) = match &planned {
+            PlannedJob::Sweep {
+                spec, frequencies, ..
+            } => (spec, frequencies.len()),
+            PlannedJob::Table { spec, frequencies } => (spec, frequencies.len()),
+            PlannedJob::Variation { spec, .. } => (spec, 1),
+        };
+        // Resolve the design now so an unknown netlist id refuses the
+        // submission outright instead of failing the job's first chunk.
+        self.registry.get(dspec, Some(&self.netlists))?;
+        Ok(units)
+    }
+
+    fn execute(&self, spec: &JobSpec, start: usize, count: usize) -> Result<Vec<Json>, String> {
+        debug_delay(self.debug_job_delay_ms);
+        match self.parse(spec)? {
+            PlannedJob::Sweep {
+                spec: dspec,
+                frequencies,
+                mode,
+            } => {
+                let artifact = self.registry.get(&dspec, Some(&self.netlists))?;
+                let analysis = artifact.analysis()?;
+                // Operating points are per-frequency independent, so a
+                // sub-slice sweep equals the same slice of a full sweep.
+                let slice = &frequencies[start..start + count];
+                Ok(analysis
+                    .sweep(slice, mode)
+                    .iter()
+                    .map(api::point_json)
+                    .collect())
+            }
+            PlannedJob::Table {
+                spec: dspec,
+                frequencies,
+            } => {
+                let artifact = self.registry.get(&dspec, Some(&self.netlists))?;
+                let analysis = artifact.analysis()?;
+                let slice = &frequencies[start..start + count];
+                Ok(analysis.table(slice).iter().map(api::row_json).collect())
+            }
+            PlannedJob::Variation { spec: dspec, cfg } => {
+                let artifact = self.registry.get(&dspec, Some(&self.netlists))?;
+                let study = VariationStudy::run(
+                    &artifact.baseline,
+                    &artifact.lib,
+                    artifact.spec.e_dyn,
+                    &cfg,
+                )
+                .map_err(|e| format!("variation study failed: {e}"))?;
+                Ok(vec![api::variation_response(&dspec, &study)])
+            }
+        }
+    }
+
+    fn assemble(&self, spec: &JobSpec, fragments: &[Json]) -> Result<Vec<u8>, String> {
+        match self.parse(spec)? {
+            PlannedJob::Sweep {
+                spec: dspec, mode, ..
+            } => Ok(
+                api::sweep_response_with_points(&dspec, mode, fragments.to_vec())
+                    .write()
+                    .into_bytes(),
+            ),
+            PlannedJob::Table { spec: dspec, .. } => {
+                Ok(api::table_response_with_rows(&dspec, fragments.to_vec())
+                    .write()
+                    .into_bytes())
+            }
+            PlannedJob::Variation { .. } => {
+                let doc = fragments
+                    .first()
+                    .ok_or("variation job produced no fragment")?;
+                Ok(doc.write().into_bytes())
+            }
+        }
+    }
 }
 
 #[cfg(test)]

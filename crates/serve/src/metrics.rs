@@ -37,17 +37,22 @@ pub fn stage_histogram(reg: &scpg_trace::Registry, stage: &str) -> Arc<scpg_trac
 }
 
 /// The endpoints with dedicated request counters.
-pub const ENDPOINTS: [&str; 6] = [
+pub const ENDPOINTS: [&str; 9] = [
     "sweep",
     "table",
     "headline",
     "variation",
+    "netlists",
+    "jobs",
+    "designs",
     "healthz",
     "metrics",
 ];
 
 /// The status codes with dedicated response counters.
-pub const STATUSES: [u16; 10] = [200, 400, 404, 405, 413, 422, 429, 500, 503, 504];
+pub const STATUSES: [u16; 13] = [
+    200, 201, 202, 400, 404, 405, 409, 413, 422, 429, 500, 503, 504,
+];
 
 /// All service counters.
 #[derive(Default)]
@@ -69,6 +74,14 @@ pub struct Metrics {
     pub results_dropped: AtomicU64,
     /// Handler or job panics caught and converted to `500`s.
     pub handler_panics: AtomicU64,
+    /// Netlists accepted by `POST /v1/netlists` (fresh uploads only;
+    /// idempotent re-uploads do not count).
+    pub netlists_uploaded: AtomicU64,
+    /// Batch jobs accepted by `POST /v1/jobs`.
+    pub jobs_submitted: AtomicU64,
+    /// Batch-job chunks completed by workers (the throughput unit of the
+    /// async-job subsystem).
+    pub job_chunks_completed: AtomicU64,
 }
 
 /// A point-in-time copy, for tests and the bench harness.
@@ -86,6 +99,12 @@ pub struct MetricsSnapshot {
     pub jobs_completed: u64,
     /// See [`Metrics::handler_panics`].
     pub handler_panics: u64,
+    /// See [`Metrics::netlists_uploaded`].
+    pub netlists_uploaded: u64,
+    /// See [`Metrics::jobs_submitted`].
+    pub jobs_submitted: u64,
+    /// See [`Metrics::job_chunks_completed`].
+    pub job_chunks_completed: u64,
 }
 
 impl Metrics {
@@ -113,6 +132,9 @@ impl Metrics {
             deadline_expirations: self.deadline_expirations.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             handler_panics: self.handler_panics.load(Ordering::Relaxed),
+            netlists_uploaded: self.netlists_uploaded.load(Ordering::Relaxed),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            job_chunks_completed: self.job_chunks_completed.load(Ordering::Relaxed),
         }
     }
 
@@ -125,6 +147,7 @@ impl Metrics {
         in_flight: usize,
         cache_entries: usize,
         workers: usize,
+        batch_depth: usize,
     ) -> String {
         let mut out = String::with_capacity(2048);
 
@@ -146,7 +169,7 @@ impl Metrics {
             ));
         }
 
-        let counters: [(&str, &str, u64); 7] = [
+        let counters: [(&str, &str, u64); 10] = [
             (
                 "scpg_cache_hits_total",
                 "Requests answered from the result cache.",
@@ -182,6 +205,21 @@ impl Metrics {
                 "Handler or job panics caught and answered with 500.",
                 self.handler_panics.load(Ordering::Relaxed),
             ),
+            (
+                "scpg_netlists_uploaded_total",
+                "Netlists accepted by POST /v1/netlists (fresh uploads).",
+                self.netlists_uploaded.load(Ordering::Relaxed),
+            ),
+            (
+                "scpg_batch_jobs_submitted_total",
+                "Batch jobs accepted by POST /v1/jobs.",
+                self.jobs_submitted.load(Ordering::Relaxed),
+            ),
+            (
+                "scpg_batch_chunks_completed_total",
+                "Batch-job chunks completed by worker threads.",
+                self.job_chunks_completed.load(Ordering::Relaxed),
+            ),
         ];
         for (name, help, value) in counters {
             out.push_str(&format!(
@@ -189,7 +227,7 @@ impl Metrics {
             ));
         }
 
-        let gauges: [(&str, &str, u64); 5] = [
+        let gauges: [(&str, &str, u64); 6] = [
             (
                 "scpg_queue_depth",
                 "Jobs waiting in the bounded work queue.",
@@ -214,6 +252,11 @@ impl Metrics {
                 "scpg_worker_threads",
                 "Worker threads consuming the queue.",
                 workers as u64,
+            ),
+            (
+                "scpg_batch_queue_depth",
+                "Batch-job tokens waiting in the batch lane.",
+                batch_depth as u64,
             ),
         ];
         for (name, help, value) in gauges {
@@ -266,7 +309,8 @@ mod tests {
         m.inc_response(200);
         m.inc_response(429);
         m.cache_hits.fetch_add(3, Ordering::Relaxed);
-        let text = m.render(2, 64, 1, 5, 4);
+        m.job_chunks_completed.fetch_add(7, Ordering::Relaxed);
+        let text = m.render(2, 64, 1, 5, 4, 3);
         assert_eq!(
             parse_metric(&text, "scpg_requests_total{endpoint=\"sweep\"}"),
             Some(2.0)
@@ -279,6 +323,11 @@ mod tests {
         assert_eq!(parse_metric(&text, "scpg_queue_depth"), Some(2.0));
         assert_eq!(parse_metric(&text, "scpg_queue_capacity"), Some(64.0));
         assert_eq!(parse_metric(&text, "scpg_worker_threads"), Some(4.0));
+        assert_eq!(parse_metric(&text, "scpg_batch_queue_depth"), Some(3.0));
+        assert_eq!(
+            parse_metric(&text, "scpg_batch_chunks_completed_total"),
+            Some(7.0)
+        );
         assert!(parse_metric(&text, "scpg_exec_tasks_total").is_some());
         assert_eq!(parse_metric(&text, "scpg_nonexistent"), None);
     }
@@ -288,7 +337,7 @@ mod tests {
         let m = Metrics::default();
         m.inc_request("no-such-endpoint");
         m.inc_response(418);
-        let text = m.render(0, 1, 0, 0, 1);
+        let text = m.render(0, 1, 0, 0, 1, 0);
         assert!(!text.contains("no-such-endpoint"));
     }
 

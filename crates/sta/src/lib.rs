@@ -55,6 +55,14 @@ pub enum StaError {
         /// Name of a net on the cycle.
         net: String,
     },
+    /// The design exceeds the analysis admission limits
+    /// ([`analyze_limited`]).
+    TooLarge {
+        /// Instances in the design.
+        instances: usize,
+        /// The admission ceiling.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for StaError {
@@ -64,6 +72,12 @@ impl fmt::Display for StaError {
             StaError::CombinationalLoop { net } => {
                 write!(f, "combinational loop through net `{net}`")
             }
+            StaError::TooLarge { instances, limit } => {
+                write!(
+                    f,
+                    "design too large for timing analysis: {instances} instances, limit {limit}"
+                )
+            }
         }
     }
 }
@@ -72,7 +86,7 @@ impl Error for StaError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             StaError::Netlist(e) => Some(e),
-            StaError::CombinationalLoop { .. } => None,
+            StaError::CombinationalLoop { .. } | StaError::TooLarge { .. } => None,
         }
     }
 }
@@ -114,6 +128,46 @@ impl TimingReport {
         let slack = f.period() - self.min_period;
         slack.max(Time::ZERO)
     }
+}
+
+/// Admission limits for [`analyze_limited`] — the hook the serving layer
+/// uses so an uploaded netlist cannot demand unbounded timing work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaLimits {
+    /// Maximum instances admitted to analysis.
+    pub max_instances: usize,
+}
+
+impl Default for StaLimits {
+    fn default() -> Self {
+        // Matches the netlist-parse ceiling: comfortably above the
+        // paper's 6 747-gate M0.
+        Self {
+            max_instances: 20_000,
+        }
+    }
+}
+
+/// [`analyze`] behind an explicit size admission check, for untrusted
+/// (uploaded) designs.
+///
+/// # Errors
+///
+/// [`StaError::TooLarge`] when the design busts `limits`, otherwise as
+/// [`analyze`].
+pub fn analyze_limited(
+    nl: &Netlist,
+    lib: &Library,
+    v: Voltage,
+    limits: &StaLimits,
+) -> Result<TimingReport, StaError> {
+    if nl.instances().len() > limits.max_instances {
+        return Err(StaError::TooLarge {
+            instances: nl.instances().len(),
+            limit: limits.max_instances,
+        });
+    }
+    analyze(nl, lib, v)
 }
 
 /// Runs longest-path timing analysis at supply `v` (nominal temperature).
@@ -345,6 +399,25 @@ mod tests {
             cur = next;
         }
         nl
+    }
+
+    #[test]
+    fn analyze_limited_refuses_oversized_designs() {
+        let lib = lib();
+        let v = Voltage::from_mv(600.0);
+        let nl = chain(8);
+        let err = analyze_limited(&nl, &lib, v, &StaLimits { max_instances: 4 })
+            .expect_err("8 > 4 must refuse");
+        assert_eq!(
+            err,
+            StaError::TooLarge {
+                instances: 8,
+                limit: 4
+            }
+        );
+        // Within limits the result is the plain analysis, bit-identical.
+        let limited = analyze_limited(&nl, &lib, v, &StaLimits::default()).unwrap();
+        assert_eq!(limited, analyze(&nl, &lib, v).unwrap());
     }
 
     #[test]

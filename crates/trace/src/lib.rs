@@ -52,6 +52,13 @@ pub const ENGINE_STAGE_HISTOGRAM: &str = "scpg_engine_stage_duration_seconds";
 
 const ENGINE_STAGE_HELP: &str = "Wall-clock seconds spent in engine-level stages (process-wide).";
 
+/// The metric family asynchronous batch-job stages record into on the
+/// [`global`] registry: chunk execution, checkpoint persistence, final
+/// assembly, restart recovery.
+pub const JOB_STAGE_HISTOGRAM: &str = "scpg_job_stage_duration_seconds";
+
+const JOB_STAGE_HELP: &str = "Wall-clock seconds spent in async batch-job stages (process-wide).";
+
 /// A fixed-bucket latency histogram. Observation is two relaxed atomic
 /// adds; rendering and statistics walk the buckets.
 #[derive(Debug)]
@@ -215,6 +222,13 @@ pub fn global() -> &'static Registry {
 /// this once and cache the `Arc` — observation is then lock-free.
 pub fn engine_stage(stage: &str) -> Arc<Histogram> {
     global().histogram(ENGINE_STAGE_HISTOGRAM, ENGINE_STAGE_HELP, "stage", stage)
+}
+
+/// The [`global`] histogram for an async batch-job stage (family
+/// [`JOB_STAGE_HISTOGRAM`], label `stage`). Pair with [`Span::on`]:
+/// `let _span = Span::on(job_stage("chunk"));`.
+pub fn job_stage(stage: &str) -> Arc<Histogram> {
+    global().histogram(JOB_STAGE_HISTOGRAM, JOB_STAGE_HELP, "stage", stage)
 }
 
 /// A duration timer that records into a histogram when dropped (or
