@@ -26,6 +26,11 @@ use scpg_waveform::Activity;
 const PERIOD_PS: u64 = 1_000_000;
 const WORKLOAD_CYCLES: usize = 200;
 
+/// The pre-tracing serve-path p50 this box recorded (PR 3 baseline),
+/// kept so the emitted report shows what per-request span recording
+/// costs relative to the untraced server.
+const SERVE_P50_BASELINE_MS: f64 = 0.0856;
+
 fn drive_word(stim: &mut Vec<(NetId, Logic)>, w: &Word, value: u64) {
     for (i, &bit) in w.bits().iter().enumerate() {
         stim.push((bit, Logic::from_bool((value >> i) & 1 == 1)));
@@ -198,7 +203,7 @@ fn bench_variation(
     )
 }
 
-fn bench_groups() -> (usize, SpeedupNumbers) {
+fn bench_groups() -> (usize, SpeedupNumbers, (u64, u64)) {
     let lib = Library::ninety_nm();
     let (nl, ports) = generate_cpu(&lib);
     let cfg = SimConfig::default();
@@ -212,14 +217,21 @@ fn bench_groups() -> (usize, SpeedupNumbers) {
     let trace = h.trace();
     const GROUP: usize = 10;
 
+    // The process-wide work counters must attribute the same event count
+    // to the serial replay and the parallel one — the per-thread tallies
+    // merge associatively, so scheduling cannot change the total.
+    let ev0 = scpg_sim::totals().events;
     let t0 = Instant::now();
     let serial =
         CpuHarness::replay_groups_serial(&compiled, &cfg, trace, &ports, PERIOD_PS, 0.5, GROUP);
     let serial_secs = t0.elapsed().as_secs_f64();
+    let events_serial = scpg_sim::totals().events - ev0;
 
+    let ev1 = scpg_sim::totals().events;
     let t0 = Instant::now();
     let parallel = CpuHarness::replay_groups(&compiled, &cfg, trace, &ports, PERIOD_PS, 0.5, GROUP);
     let parallel_secs = t0.elapsed().as_secs_f64();
+    let events_parallel = scpg_sim::totals().events - ev1;
 
     let identical = serial == parallel
         && Activity::merge_all(&serial).map(|a| a.duration_ps())
@@ -232,7 +244,48 @@ fn bench_groups() -> (usize, SpeedupNumbers) {
             parallel_secs,
             bit_identical: identical,
         },
+        (events_serial, events_parallel),
     )
+}
+
+struct TracingNumbers {
+    record_ns: f64,
+    summaries_us: f64,
+    detail_us: f64,
+}
+
+/// Measures the trace-store hot path in isolation: the per-span cost a
+/// request pays to record its stage timings, and the cost of the two
+/// introspection reads (`/v1/traces` summaries, single-trace detail) at
+/// a full store — the price of polling a dashboard against a busy
+/// server.
+fn bench_tracing() -> TracingNumbers {
+    const OPS: usize = 100_000;
+    const TRACES: usize = 64;
+    let store = scpg_trace::TraceStore::new(256);
+    let ids: Vec<String> = (0..TRACES).map(|i| format!("bench-trace-{i}")).collect();
+
+    let t0 = Instant::now();
+    for i in 0..OPS {
+        store.record_at(&ids[i % TRACES], "bench", "span", i as u64, 17, Vec::new());
+    }
+    let record_ns = t0.elapsed().as_secs_f64() * 1e9 / OPS as f64;
+
+    let t0 = Instant::now();
+    let summaries = store.summaries();
+    let summaries_us = t0.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(summaries.len(), TRACES, "all benchmark traces retained");
+
+    let t0 = Instant::now();
+    let detail = store.detail(&ids[0]).expect("benchmark trace present");
+    let detail_us = t0.elapsed().as_secs_f64() * 1e6;
+    assert!(!detail.spans.is_empty());
+
+    TracingNumbers {
+        record_ns,
+        summaries_us,
+        detail_us,
+    }
 }
 
 struct ServeNumbers {
@@ -460,7 +513,7 @@ fn main() {
     );
 
     println!("[bench] Dhrystone vector-group replay, serial vs parallel...");
-    let (n_groups, grp) = bench_groups();
+    let (n_groups, grp, (events_serial, events_parallel)) = bench_groups();
     println!(
         "  {} groups: serial {:.2} s, parallel {:.2} s ({:.2}x), bit-identical: {}",
         n_groups,
@@ -472,6 +525,11 @@ fn main() {
     assert!(
         grp.bit_identical,
         "parallel group replay must be bit-identical"
+    );
+    println!("  sim events: serial {events_serial}, parallel {events_parallel}");
+    assert_eq!(
+        events_serial, events_parallel,
+        "engine work counters must be schedule-independent"
     );
 
     println!("[bench] serve path: cold vs compiled-artifact vs cache hit...");
@@ -493,6 +551,17 @@ fn main() {
     assert!(
         srv.byte_identical,
         "cache hit must replay the original body byte-identically"
+    );
+
+    println!("[bench] trace store: record hot path + introspection reads...");
+    let trc = bench_tracing();
+    println!(
+        "  record {:.0} ns/span, summaries {:.1} us, detail {:.1} us, serve p50 {:.4} ms vs {SERVE_P50_BASELINE_MS} ms baseline ({:+.1}%)",
+        trc.record_ns,
+        trc.summaries_us,
+        trc.detail_us,
+        srv.p50_ms,
+        (srv.p50_ms / SERVE_P50_BASELINE_MS - 1.0) * 1e2
     );
 
     println!("[bench] async jobs: chunked sweep + restart reload...");
@@ -587,6 +656,26 @@ fn main() {
                 ("cache_hits", Json::from(srv.cache_hits)),
                 ("cache_misses", Json::from(srv.cache_misses)),
                 ("byte_identical", Json::from(srv.byte_identical)),
+            ]),
+        ),
+        (
+            "tracing",
+            Json::object([
+                ("record_ns", Json::from(round3(trc.record_ns))),
+                ("summaries_us", Json::from(round3(trc.summaries_us))),
+                ("detail_us", Json::from(round3(trc.detail_us))),
+                ("serve_p50_baseline_ms", Json::from(SERVE_P50_BASELINE_MS)),
+                ("serve_p50_ms", Json::from(round4(srv.p50_ms))),
+                (
+                    "serve_p50_vs_baseline",
+                    Json::from(round3(srv.p50_ms / SERVE_P50_BASELINE_MS)),
+                ),
+                ("sim_events_serial", Json::from(events_serial)),
+                ("sim_events_parallel", Json::from(events_parallel)),
+                (
+                    "sim_events_consistent",
+                    Json::from(events_serial == events_parallel),
+                ),
             ]),
         ),
         (

@@ -149,6 +149,44 @@ impl std::fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+/// A point-in-time snapshot of the process-wide engine work counters:
+/// simulator events/gate evaluations/time-wheel traffic plus execution
+/// pool task counts. Front ends take one before and one after a unit of
+/// work and report the [`delta`](EngineWork::delta_since) — e.g. as
+/// per-trace `sim_events=…`/`exec_tasks=…` annotations.
+///
+/// The counters are process-wide, so under concurrent requests a delta
+/// attributes *all* engine work in the window, not just the caller's;
+/// for a serial measurement (the bench harness, a quiet server) it is
+/// exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineWork {
+    /// Simulator counters (events, gate evals, wheel traffic).
+    pub sim: scpg_sim::SimCounters,
+    /// Tasks run by the execution pool.
+    pub exec_tasks: u64,
+}
+
+impl EngineWork {
+    /// The current process-wide totals.
+    pub fn snapshot() -> Self {
+        EngineWork {
+            sim: scpg_sim::totals(),
+            exec_tasks: scpg_exec::tasks_executed(),
+        }
+    }
+
+    /// Work done between `earlier` and `self` (component-wise
+    /// saturating difference).
+    #[must_use]
+    pub fn delta_since(self, earlier: EngineWork) -> EngineWork {
+        EngineWork {
+            sim: self.sim.delta_since(earlier.sim),
+            exec_tasks: self.exec_tasks.saturating_sub(earlier.exec_tasks),
+        }
+    }
+}
+
 /// Builds the full SCPG analysis engine for an arbitrary baseline
 /// netlist — the netlist-backed counterpart of the built-in design
 /// kinds. Both the serving layer's design registry and direct library

@@ -21,9 +21,11 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use scpg_json::Json;
+use scpg_trace::TraceStore;
 
 use crate::store::Store;
 
@@ -178,6 +180,46 @@ pub enum CancelOutcome {
     Gone,
 }
 
+/// Timing record of one completed chunk, persisted with the job so a
+/// restarted server can replay the prior incarnation's spans into its
+/// trace store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkMark {
+    /// Zero-based chunk index (`done-units-before / chunk_units`).
+    pub index: u64,
+    /// Work units the chunk evaluated.
+    pub units: u64,
+    /// Microseconds from this job's (incarnation-local) start to the
+    /// chunk's start.
+    pub offset_us: u64,
+    /// Chunk execution time in microseconds.
+    pub duration_us: u64,
+    /// Boot id of the server incarnation that ran the chunk.
+    pub boot: String,
+}
+
+impl ChunkMark {
+    fn record(&self) -> Json {
+        Json::object([
+            ("index", Json::from(self.index)),
+            ("units", Json::from(self.units)),
+            ("offset_us", Json::from(self.offset_us)),
+            ("duration_us", Json::from(self.duration_us)),
+            ("boot", Json::from(self.boot.as_str())),
+        ])
+    }
+
+    fn from_record(record: &Json) -> Option<ChunkMark> {
+        Some(ChunkMark {
+            index: record.get("index")?.as_u64()?,
+            units: record.get("units")?.as_u64()?,
+            offset_us: record.get("offset_us")?.as_u64()?,
+            duration_us: record.get("duration_us")?.as_u64()?,
+            boot: record.get("boot")?.as_str()?.to_string(),
+        })
+    }
+}
+
 struct JobEntry {
     spec: JobSpec,
     chunk_units: usize,
@@ -189,6 +231,13 @@ struct JobEntry {
     result: Option<Arc<Vec<u8>>>,
     /// Monotone admission order, used for oldest-first eviction.
     admitted: u64,
+    /// The request's trace id; survives checkpoints and restarts.
+    trace_id: String,
+    /// Per-chunk timing, in completion order.
+    chunks: Vec<ChunkMark>,
+    /// When this incarnation first saw the job (admission or reload);
+    /// anchors chunk offsets. Not persisted.
+    started: Instant,
 }
 
 impl JobEntry {
@@ -211,6 +260,11 @@ impl JobEntry {
                 }),
             ),
             ("fragments".to_string(), Json::Arr(self.fragments.clone())),
+            ("trace_id".to_string(), Json::from(self.trace_id.as_str())),
+            (
+                "chunks".to_string(),
+                Json::Arr(self.chunks.iter().map(ChunkMark::record).collect()),
+            ),
         ];
         if let Some(err) = &self.error {
             fields.push(("error".to_string(), Json::from(err.as_str())));
@@ -248,6 +302,18 @@ impl JobEntry {
         if state == JobState::Done && result.is_none() {
             return None;
         }
+        // Records written before tracing existed lack these fields; a
+        // fresh id keeps the job addressable without invalidating it.
+        let trace_id = record
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(scpg_trace::generate_trace_id);
+        let chunks = record
+            .get("chunks")
+            .and_then(Json::as_array)
+            .map(|arr| arr.iter().filter_map(ChunkMark::from_record).collect())
+            .unwrap_or_default();
         Some(JobEntry {
             spec: JobSpec { kind, request },
             chunk_units: chunk_units.max(1),
@@ -258,8 +324,29 @@ impl JobEntry {
             error,
             result,
             admitted,
+            trace_id,
+            chunks,
+            started: Instant::now(),
         })
     }
+
+    /// Total chunk count for this job's chunk size.
+    fn chunks_total(&self) -> u64 {
+        (self.total_units as u64).div_ceil(self.chunk_units as u64)
+    }
+}
+
+/// The `key=value` annotations attached to a chunk's trace span.
+fn chunk_annotations(job_id: &str, mark: &ChunkMark, chunks_total: u64) -> Vec<(String, String)> {
+    vec![
+        ("job".to_string(), job_id.to_string()),
+        (
+            "chunk".to_string(),
+            format!("{}/{chunks_total}", mark.index),
+        ),
+        ("units".to_string(), mark.units.to_string()),
+        ("boot".to_string(), mark.boot.clone()),
+    ]
 }
 
 /// Owns job state, scheduling bookkeeping and checkpoint persistence.
@@ -270,6 +357,9 @@ pub struct JobManager {
     jobs: Mutex<HashMap<String, JobEntry>>,
     seq: AtomicU64,
     admissions: AtomicU64,
+    /// Optional trace sink: `(store, boot id)`. Set once by the
+    /// embedding layer; chunk completions then emit trace spans.
+    tracing: OnceLock<(Arc<TraceStore>, String)>,
 }
 
 impl JobManager {
@@ -305,6 +395,54 @@ impl JobManager {
             jobs: Mutex::new(jobs),
             seq: AtomicU64::new(max_seq + 1),
             admissions: AtomicU64::new(admitted),
+            tracing: OnceLock::new(),
+        }
+    }
+
+    /// Attaches a trace store and this server incarnation's boot id.
+    /// Chunk completions from now on emit `chunk` spans under the job's
+    /// trace id, and every already-loaded job's persisted chunk marks
+    /// are replayed into the store — so after a restart,
+    /// `GET /v1/traces/{id}` shows the prior incarnation's chunks (their
+    /// original `boot` annotation intact) alongside the new ones.
+    /// Subsequent calls are ignored.
+    pub fn attach_tracing(&self, traces: Arc<TraceStore>, boot_id: &str) {
+        if self
+            .tracing
+            .set((Arc::clone(&traces), boot_id.to_string()))
+            .is_err()
+        {
+            return;
+        }
+        let jobs = self.jobs.lock().unwrap();
+        let mut ids: Vec<_> = jobs.keys().collect();
+        ids.sort();
+        for id in ids {
+            let entry = &jobs[id];
+            for mark in &entry.chunks {
+                traces.record_at(
+                    &entry.trace_id,
+                    "job",
+                    "chunk",
+                    mark.offset_us,
+                    mark.duration_us,
+                    chunk_annotations(id, mark, entry.chunks_total()),
+                );
+            }
+        }
+    }
+
+    /// Emits one chunk span if a trace sink is attached.
+    fn trace_chunk(&self, id: &str, trace_id: &str, mark: &ChunkMark, chunks_total: u64) {
+        if let Some((traces, _)) = self.tracing.get() {
+            traces.record_at(
+                trace_id,
+                "job",
+                "chunk",
+                mark.offset_us,
+                mark.duration_us,
+                chunk_annotations(id, mark, chunks_total),
+            );
         }
     }
 
@@ -322,11 +460,15 @@ impl JobManager {
     }
 
     /// Validates and admits a job. Returns `(job id, total units)`.
+    /// `trace_id` is the submitting request's trace context (persisted
+    /// with the job, so chunk spans land under it across restarts); pass
+    /// `None` to generate a fresh id.
     pub fn submit(
         &self,
         kind: &str,
         request: Json,
         chunk_units: Option<usize>,
+        trace_id: Option<&str>,
     ) -> Result<(String, usize), SubmitError> {
         let spec = JobSpec {
             kind: kind.to_string(),
@@ -377,6 +519,11 @@ impl JobManager {
             error: None,
             result: None,
             admitted: self.admissions.fetch_add(1, Ordering::Relaxed),
+            trace_id: trace_id
+                .map(str::to_string)
+                .unwrap_or_else(scpg_trace::generate_trace_id),
+            chunks: Vec::new(),
+            started: Instant::now(),
         };
         self.persist(&id, &entry);
         jobs.insert(id.clone(), entry);
@@ -404,10 +551,9 @@ impl JobManager {
 
         // Execute outside the lock: chunks are CPU-heavy and status
         // queries must never block behind them.
-        let outcome = {
-            let _span = scpg_trace::Span::on(scpg_trace::job_stage("chunk"));
-            self.executor.execute(&spec, start, count)
-        };
+        let span = scpg_trace::Span::on(scpg_trace::job_stage("chunk"));
+        let outcome = self.executor.execute(&spec, start, count);
+        let chunk_duration = span.finish();
 
         let mut jobs = self.jobs.lock().unwrap();
         let Some(entry) = jobs.get_mut(id) else {
@@ -429,6 +575,21 @@ impl JobManager {
             Ok(fragments) => {
                 entry.fragments.extend(fragments);
                 entry.done_units = (start + count).min(entry.total_units);
+                let dur_us = scpg_trace::duration_us(chunk_duration);
+                let mark = ChunkMark {
+                    index: (start / entry.chunk_units) as u64,
+                    units: count as u64,
+                    offset_us: scpg_trace::duration_us(entry.started.elapsed())
+                        .saturating_sub(dur_us),
+                    duration_us: dur_us,
+                    boot: self
+                        .tracing
+                        .get()
+                        .map(|(_, boot)| boot.clone())
+                        .unwrap_or_default(),
+                };
+                self.trace_chunk(id, &entry.trace_id, &mark, entry.chunks_total());
+                entry.chunks.push(mark);
                 if entry.done_units < entry.total_units {
                     entry.state = JobState::Queued;
                     let _span = scpg_trace::Span::on(scpg_trace::job_stage("checkpoint"));
@@ -486,8 +647,9 @@ impl JobManager {
         self.persist(id, entry);
     }
 
-    /// Status document for `GET /v1/jobs/{id}`: state, progress and (for
-    /// unfinished jobs) the partial fragments computed so far.
+    /// Status document for `GET /v1/jobs/{id}`: state, progress, trace
+    /// id, per-chunk timing, a rate-based ETA and (for unfinished jobs)
+    /// the partial fragments computed so far.
     pub fn status(&self, id: &str) -> Option<Json> {
         let jobs = self.jobs.lock().unwrap();
         let entry = jobs.get(id)?;
@@ -496,6 +658,7 @@ impl JobManager {
         } else {
             (entry.done_units as f64 / entry.total_units as f64) * 100.0
         };
+        let chunks_total = entry.chunks_total();
         let mut fields = vec![
             ("id".to_string(), Json::from(id)),
             ("kind".to_string(), Json::from(entry.spec.kind.as_str())),
@@ -507,7 +670,40 @@ impl JobManager {
                 "result_ready".to_string(),
                 Json::from(entry.state == JobState::Done),
             ),
+            ("trace_id".to_string(), Json::from(entry.trace_id.as_str())),
+            ("chunks_total".to_string(), Json::from(chunks_total)),
+            (
+                "chunks_completed".to_string(),
+                Json::from(entry.chunks.len()),
+            ),
+            (
+                "chunks".to_string(),
+                Json::Arr(
+                    entry
+                        .chunks
+                        .iter()
+                        .map(|m| {
+                            Json::object([
+                                ("index", Json::from(m.index)),
+                                ("units", Json::from(m.units)),
+                                ("duration_us", Json::from(m.duration_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ];
+        // Rate-based ETA: mean observed chunk time × chunks remaining.
+        // Only meaningful while the job is live and has a rate sample.
+        if !entry.state.is_terminal() && !entry.chunks.is_empty() {
+            let mean_us =
+                entry.chunks.iter().map(|m| m.duration_us).sum::<u64>() / entry.chunks.len() as u64;
+            let remaining = chunks_total.saturating_sub(entry.chunks.len() as u64);
+            fields.push((
+                "eta_ms".to_string(),
+                Json::from((mean_us * remaining) as f64 / 1e3),
+            ));
+        }
         if let Some(err) = &entry.error {
             fields.push(("error".to_string(), Json::from(err.as_str())));
         }
@@ -616,7 +812,7 @@ mod tests {
     #[test]
     fn job_runs_in_chunks_to_completion() {
         let mgr = manager_with(Arc::new(Store::memory()), JobLimits::default());
-        let (id, total) = mgr.submit("sweep", request(10), Some(4)).unwrap();
+        let (id, total) = mgr.submit("sweep", request(10), Some(4), None).unwrap();
         assert_eq!(total, 10);
         // 10 units at 4/chunk: More, More, Finished.
         assert_eq!(mgr.run_chunk(&id), ChunkRun::More);
@@ -648,12 +844,12 @@ mod tests {
             },
         );
         assert!(matches!(
-            mgr.submit("sweep", request(0), None),
+            mgr.submit("sweep", request(0), None, None),
             Err(SubmitError::Refused(_))
         ));
-        mgr.submit("sweep", request(5), None).unwrap();
+        mgr.submit("sweep", request(5), None, None).unwrap();
         assert!(matches!(
-            mgr.submit("sweep", request(5), None),
+            mgr.submit("sweep", request(5), None, None),
             Err(SubmitError::Busy {
                 active: 1,
                 limit: 1
@@ -664,7 +860,7 @@ mod tests {
     #[test]
     fn cancellation_sticks_even_when_racing_a_chunk() {
         let mgr = manager_with(Arc::new(Store::memory()), JobLimits::default());
-        let (id, _) = mgr.submit("sweep", request(10), Some(2)).unwrap();
+        let (id, _) = mgr.submit("sweep", request(10), Some(2), None).unwrap();
         assert_eq!(mgr.run_chunk(&id), ChunkRun::More);
         assert_eq!(mgr.cancel(&id), CancelOutcome::Cancelled);
         // The in-flight/next chunk lands on a cancelled job: Finished,
@@ -689,7 +885,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = Arc::new(Store::open(&dir).unwrap());
         let mgr = manager_with(Arc::clone(&store), JobLimits::default());
-        let (id, _) = mgr.submit("sweep", request(9), Some(4)).unwrap();
+        let (id, _) = mgr.submit("sweep", request(9), Some(4), None).unwrap();
         assert_eq!(mgr.run_chunk(&id), ChunkRun::More); // 4/9 done, checkpointed
         drop(mgr);
 
@@ -707,8 +903,82 @@ mod tests {
         // Byte-identical to an uninterrupted run.
         assert_eq!(body, "[0,10,20,30,40,50,60,70,80]");
         // New submissions continue the id sequence rather than reusing it.
-        let (next_id, _) = mgr.submit("sweep", request(2), None).unwrap();
+        let (next_id, _) = mgr.submit("sweep", request(2), None, None).unwrap();
         assert!(next_id > id);
+    }
+
+    #[test]
+    fn trace_id_and_chunk_marks_persist_and_replay_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("scpg-jobmgr-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let mgr = manager_with(Arc::clone(&store), JobLimits::default());
+        let traces1 = Arc::new(TraceStore::new(16));
+        mgr.attach_tracing(Arc::clone(&traces1), "boot-1");
+        let (id, _) = mgr
+            .submit("sweep", request(6), Some(2), Some("t-client"))
+            .unwrap();
+        assert_eq!(mgr.run_chunk(&id), ChunkRun::More);
+        // The live chunk span landed under the client's trace id.
+        let detail = traces1.detail("t-client").expect("trace recorded");
+        assert_eq!(detail.spans.len(), 1);
+        let ann = &detail.spans[0].annotations;
+        assert!(
+            ann.contains(&("chunk".to_string(), "0/3".to_string())),
+            "{ann:?}"
+        );
+        assert!(
+            ann.contains(&("boot".to_string(), "boot-1".to_string())),
+            "{ann:?}"
+        );
+        let status = mgr.status(&id).unwrap();
+        assert_eq!(
+            status.get("trace_id").and_then(Json::as_str),
+            Some("t-client")
+        );
+        assert_eq!(
+            status.get("chunks_completed").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(status.get("chunks_total").and_then(Json::as_u64), Some(3));
+        assert!(status.get("eta_ms").and_then(Json::as_f64).is_some());
+        drop(mgr);
+
+        // "Restart": a fresh manager + a fresh (empty) trace store. The
+        // persisted chunk mark replays with its original boot id.
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let mgr = manager_with(store, JobLimits::default());
+        let traces2 = Arc::new(TraceStore::new(16));
+        mgr.attach_tracing(Arc::clone(&traces2), "boot-2");
+        let replayed = traces2.detail("t-client").expect("replayed on attach");
+        assert_eq!(replayed.spans.len(), 1);
+        assert!(replayed.spans[0]
+            .annotations
+            .contains(&("boot".to_string(), "boot-1".to_string())));
+
+        assert_eq!(mgr.run_chunk(&id), ChunkRun::More);
+        assert_eq!(mgr.run_chunk(&id), ChunkRun::Finished);
+        let spans = traces2.detail("t-client").unwrap().spans;
+        let chunk_tags: Vec<String> = spans
+            .iter()
+            .flat_map(|s| s.annotations.iter())
+            .filter(|(k, _)| k == "chunk")
+            .map(|(_, v)| v.clone())
+            .collect();
+        assert_eq!(chunk_tags, vec!["0/3", "1/3", "2/3"], "no gaps, no dups");
+        let boots: Vec<String> = spans
+            .iter()
+            .flat_map(|s| s.annotations.iter())
+            .filter(|(k, _)| k == "boot")
+            .map(|(_, v)| v.clone())
+            .collect();
+        assert_eq!(boots, vec!["boot-1", "boot-2", "boot-2"]);
+        let status = mgr.status(&id).unwrap();
+        assert_eq!(
+            status.get("chunks_completed").and_then(Json::as_u64),
+            Some(3)
+        );
+        assert!(status.get("eta_ms").is_none(), "terminal jobs have no ETA");
     }
 
     #[test]
@@ -717,7 +987,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = Arc::new(Store::open(&dir).unwrap());
         let mgr = manager_with(Arc::clone(&store), JobLimits::default());
-        let (id, _) = mgr.submit("sweep", request(3), Some(8)).unwrap();
+        let (id, _) = mgr.submit("sweep", request(3), Some(8), None).unwrap();
         assert_eq!(mgr.run_chunk(&id), ChunkRun::Finished);
         drop(mgr);
         let store = Arc::new(Store::open(&dir).unwrap());
@@ -733,7 +1003,7 @@ mod tests {
         assert_eq!(body.unwrap().as_slice(), b"[0,10,20]");
         assert!(mgr.resumable().is_empty());
         // Submitting past max_stored_jobs evicts the old Done record.
-        let (id2, _) = mgr.submit("sweep", request(2), None).unwrap();
+        let (id2, _) = mgr.submit("sweep", request(2), None, None).unwrap();
         assert!(mgr.result(&id).is_none());
         assert!(mgr.result(&id2).is_some());
     }
@@ -765,7 +1035,9 @@ mod tests {
             JobLimits::default(),
             Arc::new(FailSecond),
         );
-        let (id, _) = mgr.submit("sweep", Json::Obj(Vec::new()), Some(2)).unwrap();
+        let (id, _) = mgr
+            .submit("sweep", Json::Obj(Vec::new()), Some(2), None)
+            .unwrap();
         assert_eq!(mgr.run_chunk(&id), ChunkRun::More);
         assert_eq!(mgr.run_chunk(&id), ChunkRun::Finished);
         let status = mgr.status(&id).unwrap();

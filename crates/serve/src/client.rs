@@ -6,11 +6,13 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// A parsed response: status code and body bytes.
+/// A parsed response: status code, headers and body bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientResponse {
     /// HTTP status code.
     pub status: u16,
+    /// Response header pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
     /// The response body.
     pub body: Vec<u8>,
 }
@@ -19,6 +21,15 @@ impl ClientResponse {
     /// The body as UTF-8 (panics on invalid — fine for tests).
     pub fn text(&self) -> &str {
         std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+
+    /// First header value by (lowercase) name — e.g.
+    /// `resp.header("x-scpg-trace-id")`.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -36,9 +47,15 @@ fn request(addr: SocketAddr, raw: &[u8]) -> std::io::Result<ClientResponse> {
 fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
     let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
     let head = std::str::from_utf8(&raw[..head_end]).ok()?;
-    let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
     Some(ClientResponse {
         status,
+        headers,
         body: raw[head_end + 4..].to_vec(),
     })
 }
@@ -64,6 +81,25 @@ pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<ClientR
 /// Propagates socket failures.
 pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
     let raw = format!("GET {path} HTTP/1.1\r\nhost: scpg\r\n\r\n");
+    request(addr, raw.as_bytes())
+}
+
+/// [`post`] with a client-supplied `x-scpg-trace-id` header, so the
+/// caller controls the trace id the server files spans under.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn post_traced(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    trace_id: &str,
+) -> std::io::Result<ClientResponse> {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nhost: scpg\r\ncontent-type: application/json\r\nx-scpg-trace-id: {trace_id}\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
     request(addr, raw.as_bytes())
 }
 

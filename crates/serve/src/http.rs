@@ -208,7 +208,29 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    write_response_with_timeout(stream, status, content_type, body, WRITE_TIMEOUT)
+    write_response_full(stream, status, content_type, &[], body, WRITE_TIMEOUT)
+}
+
+/// [`write_response`] plus extra response headers — the serving layer
+/// uses it to echo `x-scpg-trace-id` on every reply. Names and values
+/// must already be clean header text (the caller validates trace ids
+/// against [`scpg_trace::valid_trace_id`], whose alphabet cannot break
+/// the head).
+pub fn write_response_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    write_response_full(
+        stream,
+        status,
+        content_type,
+        extra_headers,
+        body,
+        WRITE_TIMEOUT,
+    )
 }
 
 /// [`write_response`] with an explicit write timeout (tests use a short
@@ -223,14 +245,32 @@ pub fn write_response_with_timeout(
     body: &[u8],
     timeout: Duration,
 ) -> std::io::Result<()> {
+    write_response_full(stream, status, content_type, &[], body, timeout)
+}
+
+fn write_response_full(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<()> {
     stream.set_write_timeout(Some(timeout))?;
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
         status,
         status_text(status),
         content_type,
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()

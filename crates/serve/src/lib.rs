@@ -15,6 +15,10 @@
 //! * `POST /v1/jobs` + `GET`/`DELETE /v1/jobs/{id}` — checkpointed
 //!   asynchronous batch jobs over the same queries (see [`scpg_jobs`]);
 //! * `GET /v1/designs` — design kinds, server limits, uploaded netlists;
+//! * `GET /v1/traces` + `GET /v1/traces/{id}` — recent request/job
+//!   traces from the bounded in-memory trace store: every request gets a
+//!   trace id (client-supplied via `x-scpg-trace-id` or generated,
+//!   echoed on the response) under which its per-stage spans are filed;
 //! * `GET /healthz` — liveness;
 //! * `GET /metrics` — Prometheus text ([`metrics`]).
 //!
@@ -118,6 +122,10 @@ pub struct ServeConfig {
     /// behaviour can be exercised deterministically. Zero (the default)
     /// in production.
     pub debug_job_delay_ms: u64,
+    /// Traces retained by the in-memory trace store (`GET /v1/traces`);
+    /// the oldest are evicted beyond it. Fixed at bind time — the store
+    /// never grows.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -135,6 +143,7 @@ impl Default for ServeConfig {
             chunk_units: 4,
             max_active_jobs: 8,
             debug_job_delay_ms: 0,
+            trace_capacity: 256,
         }
     }
 }
@@ -154,6 +163,12 @@ struct Shared {
     netlists: Arc<NetlistRegistry>,
     /// Batch-job manager; chunks run on the worker pool's batch lane.
     jobs: Arc<JobManager>,
+    /// Per-request span store behind `GET /v1/traces`; bounded, shared
+    /// with the job manager so batch-chunk spans land in the same traces.
+    traces: Arc<scpg_trace::TraceStore>,
+    /// This server incarnation's id, annotated onto batch-chunk spans so
+    /// a trace read after a restart shows which boot ran which chunk.
+    boot_id: String,
     shutdown: AtomicBool,
     in_flight_conns: AtomicUsize,
 }
@@ -232,6 +247,12 @@ impl Server {
             },
             executor,
         ));
+        let traces = Arc::new(scpg_trace::TraceStore::new(config.trace_capacity.max(1)));
+        let boot_id = format!("boot-{}", &scpg_trace::generate_trace_id()[1..]);
+        // Replays checkpointed chunk marks of resumable jobs into the
+        // fresh store, so `GET /v1/traces/{id}` after a restart still
+        // shows the pre-restart chunks (tagged with their original boot).
+        jobs.attach_tracing(Arc::clone(&traces), &boot_id);
         let shared = Arc::new(Shared {
             addr,
             queue: WorkQueue::new(config.queue_capacity),
@@ -241,6 +262,8 @@ impl Server {
             registry,
             netlists,
             jobs,
+            traces,
+            boot_id,
             shutdown: AtomicBool::new(false),
             in_flight_conns: AtomicUsize::new(0),
             config,
@@ -432,6 +455,7 @@ fn run_interactive(shared: &Arc<Shared>, job: Job) {
         enqueued_at,
         slot,
         cache_key,
+        trace_id,
         work,
         ..
     } = job;
@@ -462,11 +486,25 @@ fn run_interactive(shared: &Arc<Shared>, job: Job) {
         // stopped waiting still warms the cache.
         shared.cache.insert(cache_key, Arc::new(out.body.clone()));
     }
+    let executed = out.timing.execute.unwrap_or_default();
+    let annotations = out.annotations.clone();
     if !slot.fulfill(out) {
         shared
             .metrics
             .results_dropped
             .fetch_add(1, Ordering::Relaxed);
+        // The client stopped waiting (its side of the trace ends at the
+        // 504), but the computation still happened — file it under the
+        // same trace id so the trace explains where the worker time went.
+        let mut annotations = annotations;
+        annotations.push(("orphaned".to_string(), "true".to_string()));
+        shared.traces.record_now(
+            &trace_id,
+            "request",
+            "execute_orphaned",
+            executed,
+            annotations,
+        );
     }
 }
 
@@ -514,10 +552,17 @@ fn run_batch_chunk(shared: &Arc<Shared>, id: String) {
 #[derive(Default)]
 struct RequestTrace {
     endpoint: Option<&'static str>,
+    /// The request's trace id: the validated `x-scpg-trace-id` header
+    /// value, or a generated one. Echoed on the response and used as the
+    /// key for the spans this request files into the trace store.
+    trace_id: String,
     parse: Option<Duration>,
     cache_lookup: Option<Duration>,
     wait: Option<Duration>,
     job: JobTiming,
+    /// `key=value` annotations for the trace's request span (cache
+    /// disposition, design key, engine work deltas).
+    annotations: Vec<(String, String)>,
 }
 
 impl RequestTrace {
@@ -547,6 +592,13 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         // client gets a 500 instead of a silently dropped connection.
         Ok(req) => {
             trace.parse = Some(started.elapsed());
+            // A client-supplied id joins this request to the caller's
+            // trace; an absent or invalid header gets a fresh id. Either
+            // way the id is echoed on the response below.
+            trace.trace_id = match req.header("x-scpg-trace-id") {
+                Some(id) if scpg_trace::valid_trace_id(id) => id.to_string(),
+                _ => scpg_trace::generate_trace_id(),
+            };
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 respond(shared, &req, &mut trace)
             })) {
@@ -568,6 +620,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         ),
         Err(HttpError::Malformed(why)) => (400, "application/json", api::error_body(why)),
     };
+    if trace.trace_id.is_empty() {
+        // The request never parsed (4xx above); give the reply a fresh
+        // id anyway so the client can quote it when reporting the error.
+        trace.trace_id = scpg_trace::generate_trace_id();
+    }
     shared.metrics.inc_response(status);
     // Record latency *before* writing: once the client has the response,
     // its request is visible in `/metrics` (tests rely on this ordering).
@@ -579,7 +636,63 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         metrics::stage_histogram(&shared.trace, stage).observe(*d);
     }
     scpg_trace::log_if_slow(endpoint, status, total, &stages);
-    let _ = http::write_response(&mut stream, status, content_type, &body);
+    record_request_spans(shared, &trace, endpoint, status, total, &stages);
+    let _ = http::write_response_with_headers(
+        &mut stream,
+        status,
+        content_type,
+        &[("x-scpg-trace-id", trace.trace_id.as_str())],
+        &body,
+    );
+}
+
+/// Files one request's spans into the trace store: each stage that ran,
+/// laid out back-to-back from the request start, then a `request`
+/// umbrella span covering the whole wall time with the endpoint, status
+/// and worker-side annotations attached.
+///
+/// Trace-introspection endpoints do not record themselves — reading
+/// `/v1/traces` in a polling loop would otherwise evict the very traces
+/// being read.
+fn record_request_spans(
+    shared: &Arc<Shared>,
+    trace: &RequestTrace,
+    endpoint: &str,
+    status: u16,
+    total: Duration,
+    stages: &[(&'static str, Duration)],
+) {
+    if endpoint == "traces" || endpoint == "metrics" || endpoint == "healthz" {
+        return;
+    }
+    // Stage offsets are cumulative in pipeline order — an approximation
+    // (the `wait` stage overlaps the worker-side stages), but one that
+    // reads correctly as "where the time went".
+    let mut offset = Duration::ZERO;
+    for (stage, d) in stages {
+        shared.traces.record_at(
+            &trace.trace_id,
+            "request",
+            stage,
+            scpg_trace::duration_us(offset),
+            scpg_trace::duration_us(*d),
+            Vec::new(),
+        );
+        offset += *d;
+    }
+    let mut annotations = vec![
+        ("endpoint".to_string(), endpoint.to_string()),
+        ("status".to_string(), status.to_string()),
+    ];
+    annotations.extend(trace.annotations.iter().cloned());
+    shared.traces.record_at(
+        &trace.trace_id,
+        "request",
+        "request",
+        0,
+        scpg_trace::duration_us(total),
+        annotations,
+    );
 }
 
 type Reply = (u16, &'static str, Vec<u8>);
@@ -602,6 +715,20 @@ fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Rep
                 shared.config.workers.max(2),
                 shared.queue.batch_depth(),
             );
+            // Trace-store occupancy, owned by this module (the store
+            // lives here, not in `metrics`).
+            text.push_str(&format!(
+                "# HELP scpg_trace_store_entries Traces currently held by the trace store.\n\
+                 # TYPE scpg_trace_store_entries gauge\n\
+                 scpg_trace_store_entries {}\n",
+                shared.traces.len()
+            ));
+            text.push_str(&format!(
+                "# HELP scpg_trace_store_evicted_total Traces evicted to stay within capacity.\n\
+                 # TYPE scpg_trace_store_evicted_total counter\n\
+                 scpg_trace_store_evicted_total {}\n",
+                shared.traces.evicted()
+            ));
             // This server's latency histograms, then the process-wide
             // engine-stage histograms (distinct family names, so the
             // concatenation stays valid exposition text).
@@ -622,6 +749,9 @@ fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Rep
         }
         (method, path) if path == "/v1/jobs" || path.starts_with("/v1/jobs/") => {
             handle_jobs(shared, method, path, &req.body, trace)
+        }
+        (method, path) if path == "/v1/traces" || path.starts_with("/v1/traces/") => {
+            handle_traces(shared, method, path, trace)
         }
         (_, "/healthz" | "/metrics" | "/v1/designs") => (
             405,
@@ -688,7 +818,7 @@ fn handle_jobs(
     shared.metrics.inc_request("jobs");
     trace.endpoint = Some("jobs");
     match (method, path) {
-        ("POST", "/v1/jobs") => handle_job_submit(shared, raw_body),
+        ("POST", "/v1/jobs") => handle_job_submit(shared, raw_body, &trace.trace_id),
         ("GET", "/v1/jobs") => {
             let doc = Json::object([("jobs", Json::Arr(shared.jobs.summaries()))]);
             (200, "application/json", doc.write().into_bytes())
@@ -745,7 +875,87 @@ fn handle_jobs(
     }
 }
 
-fn handle_job_submit(shared: &Arc<Shared>, raw_body: &[u8]) -> Reply {
+/// `GET /v1/traces` (recent-first summaries) and `GET /v1/traces/{id}`
+/// (the full span list in canonical JSON).
+fn handle_traces(
+    shared: &Arc<Shared>,
+    method: &str,
+    path: &str,
+    trace: &mut RequestTrace,
+) -> Reply {
+    shared.metrics.inc_request("traces");
+    trace.endpoint = Some("traces");
+    if method != "GET" {
+        return (
+            405,
+            "application/json",
+            api::error_body("use GET on /v1/traces[/{id}]"),
+        );
+    }
+    if path == "/v1/traces" {
+        let traces: Vec<Json> = shared
+            .traces
+            .summaries()
+            .into_iter()
+            .map(|s| {
+                Json::object([
+                    ("id", Json::from(s.id)),
+                    ("kind", Json::from(s.kind)),
+                    ("started_unix_ms", Json::from(s.started_unix_ms)),
+                    ("spans", Json::from(s.spans)),
+                    ("total_us", Json::from(s.total_us)),
+                ])
+            })
+            .collect();
+        let doc = Json::object([
+            ("boot", Json::from(shared.boot_id.as_str())),
+            ("capacity", Json::from(shared.traces.capacity())),
+            ("evicted", Json::from(shared.traces.evicted())),
+            ("traces", Json::Arr(traces)),
+        ]);
+        return (200, "application/json", doc.write().into_bytes());
+    }
+    let id = &path["/v1/traces/".len()..];
+    match shared.traces.detail(id) {
+        None => (
+            404,
+            "application/json",
+            api::error_body("no such trace (it may have been evicted)"),
+        ),
+        Some(d) => {
+            let spans: Vec<Json> = d
+                .spans
+                .iter()
+                .map(|s| {
+                    Json::object([
+                        ("stage", Json::from(s.stage.as_str())),
+                        ("start_us", Json::from(s.start_us)),
+                        ("duration_us", Json::from(s.duration_us)),
+                        (
+                            "annotations",
+                            Json::Obj(
+                                s.annotations
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
+            let doc = Json::object([
+                ("id", Json::from(d.id)),
+                ("kind", Json::from(d.kind)),
+                ("started_unix_ms", Json::from(d.started_unix_ms)),
+                ("dropped_spans", Json::from(d.dropped_spans)),
+                ("spans", Json::Arr(spans)),
+            ]);
+            (200, "application/json", doc.write().into_bytes())
+        }
+    }
+}
+
+fn handle_job_submit(shared: &Arc<Shared>, raw_body: &[u8], trace_id: &str) -> Reply {
     let text = match std::str::from_utf8(raw_body) {
         Ok(t) => t,
         Err(_) => {
@@ -784,7 +994,13 @@ fn handle_job_submit(shared: &Arc<Shared>, raw_body: &[u8]) -> Reply {
             }
         },
     };
-    match shared.jobs.submit(kind, request, chunk_units) {
+    // The request's trace id becomes the job's: chunk spans executed
+    // minutes later (or after a restart) file under the id the submitter
+    // already holds.
+    match shared
+        .jobs
+        .submit(kind, request, chunk_units, Some(trace_id))
+    {
         Ok((id, total_units)) => {
             shared
                 .metrics
@@ -806,6 +1022,7 @@ fn handle_job_submit(shared: &Arc<Shared>, raw_body: &[u8]) -> Reply {
                 Json::object([
                     ("id", Json::from(id)),
                     ("total_units", Json::from(total_units)),
+                    ("trace_id", Json::from(trace_id)),
                 ])
                 .write()
                 .into_bytes(),
@@ -880,9 +1097,15 @@ fn handle_api(
     trace.cache_lookup = Some(lookup_started.elapsed());
     if let Some(hit) = hit {
         shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        trace
+            .annotations
+            .push(("cache".to_string(), "hit".to_string()));
         return (200, "application/json", hit.as_ref().clone());
     }
     shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    trace
+        .annotations
+        .push(("cache".to_string(), "miss".to_string()));
 
     // Admission-check and fully parse the request *before* it costs a
     // queue slot; refusals answer 422 without touching the engine.
@@ -923,6 +1146,7 @@ fn handle_api(
         deadline,
         slot: Arc::clone(&slot),
         cache_key: key,
+        trace_id: trace.trace_id.clone(),
         work,
     };
     if shared.queue.try_push(job).is_err() {
@@ -943,6 +1167,7 @@ fn handle_api(
     match waited {
         Some(out) => {
             trace.job = out.timing;
+            trace.annotations.extend(out.annotations);
             (out.status, "application/json", out.body)
         }
         None => {
@@ -965,6 +1190,27 @@ fn debug_delay(delay_ms: u64) {
     }
 }
 
+/// The worker-side trace annotations: which design ran and how much
+/// engine work the window saw. The counters are process-wide, so under
+/// concurrent load a delta attributes all engine work in the window —
+/// exact on a quiet server, an upper bound otherwise (see
+/// [`scpg::service::EngineWork`]).
+fn work_annotations(
+    spec: &designs::DesignSpec,
+    before: scpg::service::EngineWork,
+) -> Vec<(String, String)> {
+    let delta = scpg::service::EngineWork::snapshot().delta_since(before);
+    vec![
+        ("design".to_string(), spec.key()),
+        ("sim_events".to_string(), delta.sim.events.to_string()),
+        (
+            "sim_gate_evals".to_string(),
+            delta.sim.gate_evals.to_string(),
+        ),
+        ("exec_tasks".to_string(), delta.exec_tasks.to_string()),
+    ]
+}
+
 fn run_query(
     registry: &DesignRegistry,
     netlists: &NetlistRegistry,
@@ -974,6 +1220,7 @@ fn run_query(
 ) -> JobOutput {
     debug_delay(delay_ms);
     let mut timing = JobTiming::default();
+    let work_before = scpg::service::EngineWork::snapshot();
 
     let compile_started = Instant::now();
     let analysis = registry
@@ -1010,6 +1257,7 @@ fn run_query(
 
     let mut out = JobOutput::new(200, body);
     out.timing = timing;
+    out.annotations = work_annotations(&spec, work_before);
     out
 }
 
@@ -1022,6 +1270,7 @@ fn run_variation(
 ) -> JobOutput {
     debug_delay(delay_ms);
     let mut timing = JobTiming::default();
+    let work_before = scpg::service::EngineWork::snapshot();
 
     let compile_started = Instant::now();
     let artifact = registry.get(&spec, Some(netlists));
@@ -1052,6 +1301,7 @@ fn run_variation(
         ),
     };
     out.timing = timing;
+    out.annotations = work_annotations(&spec, work_before);
     out
 }
 
@@ -1254,6 +1504,7 @@ mod tests {
                 deadline: Instant::now() + Duration::from_secs(5),
                 slot: Arc::clone(&slot),
                 cache_key: "test panic".to_string(),
+                trace_id: "t-test-panic".to_string(),
                 work: Box::new(|| panic!("deliberate test panic")),
             })
             .is_ok());

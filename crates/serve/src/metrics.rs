@@ -37,13 +37,14 @@ pub fn stage_histogram(reg: &scpg_trace::Registry, stage: &str) -> Arc<scpg_trac
 }
 
 /// The endpoints with dedicated request counters.
-pub const ENDPOINTS: [&str; 9] = [
+pub const ENDPOINTS: [&str; 10] = [
     "sweep",
     "table",
     "headline",
     "variation",
     "netlists",
     "jobs",
+    "traces",
     "designs",
     "healthz",
     "metrics",
@@ -227,6 +228,11 @@ impl Metrics {
             ));
         }
 
+        // The gauges section: point-in-time values sampled at render
+        // time from the structures that own them (never book-kept here),
+        // so a scrape can never observe a drifted double count. The
+        // inventory is: queue depth/capacity, in-flight connections,
+        // cache entries, worker threads, batch-lane depth.
         let gauges: [(&str, &str, u64); 6] = [
             (
                 "scpg_queue_depth",
@@ -279,6 +285,38 @@ impl Metrics {
              scpg_exec_parallel_jobs_total {}\n",
             scpg_exec::parallel_jobs()
         ));
+
+        // Engine work counters from the simulation kernel, routed through
+        // `scpg::service::EngineWork` (this crate does not link scpg-sim
+        // directly). Process-wide like the exec counters above.
+        let work = scpg::service::EngineWork::snapshot();
+        let engine: [(&str, &str, u64); 4] = [
+            (
+                "scpg_sim_events_total",
+                "Events processed by the gate-level simulation kernel.",
+                work.sim.events,
+            ),
+            (
+                "scpg_sim_gate_evals_total",
+                "Gate (cell) evaluations performed by the simulation kernel.",
+                work.sim.gate_evals,
+            ),
+            (
+                "scpg_sim_wheel_advance_total",
+                "Time-wheel base advances (slot claims) in the event queue.",
+                work.sim.wheel_advances,
+            ),
+            (
+                "scpg_sim_wheel_overflow_total",
+                "Events promoted to the far-future overflow heap.",
+                work.sim.wheel_overflows,
+            ),
+        ];
+        for (name, help, value) in engine {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
         out
     }
 }
@@ -330,6 +368,30 @@ mod tests {
         );
         assert!(parse_metric(&text, "scpg_exec_tasks_total").is_some());
         assert_eq!(parse_metric(&text, "scpg_nonexistent"), None);
+    }
+
+    #[test]
+    fn gauges_and_engine_counters_render_and_parse_back() {
+        let m = Metrics::default();
+        m.handler_panics.fetch_add(2, Ordering::Relaxed);
+        let text = m.render(0, 16, 5, 0, 2, 0);
+        // The sampled gauges round-trip...
+        assert_eq!(parse_metric(&text, "scpg_connections_in_flight"), Some(5.0));
+        assert_eq!(parse_metric(&text, "scpg_cache_entries"), Some(0.0));
+        // ...as do the panic counter and the engine work families (their
+        // values are process-wide, so only presence is asserted).
+        assert_eq!(parse_metric(&text, "scpg_handler_panics_total"), Some(2.0));
+        for family in [
+            "scpg_sim_events_total",
+            "scpg_sim_gate_evals_total",
+            "scpg_sim_wheel_advance_total",
+            "scpg_sim_wheel_overflow_total",
+        ] {
+            assert!(
+                parse_metric(&text, family).is_some(),
+                "missing engine family {family}"
+            );
+        }
     }
 
     #[test]

@@ -58,6 +58,10 @@ pub struct JobOutput {
     pub body: Vec<u8>,
     /// Where the worker-side time went.
     pub timing: JobTiming,
+    /// `key=value` trace annotations from the worker side (engine work
+    /// deltas, the design key), merged into the request's trace span by
+    /// the connection thread.
+    pub annotations: Vec<(String, String)>,
 }
 
 impl JobOutput {
@@ -67,6 +71,7 @@ impl JobOutput {
             status,
             body,
             timing: JobTiming::default(),
+            annotations: Vec::new(),
         }
     }
 }
@@ -158,6 +163,9 @@ pub struct Job {
     /// The canonical cache key; successful results are inserted under it
     /// by the worker (so even abandoned jobs warm the cache).
     pub cache_key: String,
+    /// The request's trace id (client-supplied or generated), carried
+    /// through the queue so worker-side spans join the same trace.
+    pub trace_id: String,
     /// The computation (runs on a worker thread).
     pub work: Box<dyn FnOnce() -> JobOutput + Send + 'static>,
 }
@@ -296,6 +304,7 @@ mod tests {
             deadline: Instant::now() + Duration::from_secs(5),
             slot: Slot::new(),
             cache_key: format!("test {tag}"),
+            trace_id: format!("t-test-{tag}"),
             work: Box::new(move || JobOutput::new(tag, vec![])),
         }
     }

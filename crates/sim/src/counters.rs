@@ -1,0 +1,147 @@
+//! Simulator work counters.
+//!
+//! The paper justifies sub-clock gating by *accounting*: how much of a
+//! cycle does evaluation actually use? These counters give the serving
+//! stack the same visibility into the engine itself — how many events a
+//! run applied, how many gate evaluations it triggered, how often the
+//! time-wheel advanced its base and how many far-future events spilled
+//! into the overflow heap.
+//!
+//! Each [`Simulator`](crate::Simulator) keeps plain per-run tallies (the
+//! engine is single-threaded per instance, so counting is free) exposed
+//! as a [`SimCounters`] snapshot. At the end of every
+//! [`run_until`](crate::Simulator::run_until) call the delta since the
+//! last flush is added to process-wide relaxed atomics, so parallel
+//! sweep fan-outs aggregate exactly like a serial run — the per-thread
+//! tallies [`merge`](SimCounters::merge) associatively into the same
+//! totals regardless of scheduling. The process totals feed the
+//! `/metrics` families `scpg_sim_events_total`,
+//! `scpg_sim_gate_evals_total`, `scpg_sim_wheel_advance_total` and
+//! `scpg_sim_wheel_overflow_total`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A snapshot of one simulation run's work (or a merge of several).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Events applied (post inertial filtering).
+    pub events: u64,
+    /// Combinational gate evaluations.
+    pub gate_evals: u64,
+    /// Time-wheel base advances (slot claims).
+    pub wheel_advances: u64,
+    /// Events promoted to the far-future overflow heap.
+    pub wheel_overflows: u64,
+}
+
+impl SimCounters {
+    /// Component-wise sum. Associative and commutative, so per-thread
+    /// counters from a parallel fan-out merge to the same total in any
+    /// order — the same contract `Activity::merge` gives waveforms.
+    #[must_use]
+    pub fn merge(self, other: SimCounters) -> SimCounters {
+        SimCounters {
+            events: self.events + other.events,
+            gate_evals: self.gate_evals + other.gate_evals,
+            wheel_advances: self.wheel_advances + other.wheel_advances,
+            wheel_overflows: self.wheel_overflows + other.wheel_overflows,
+        }
+    }
+
+    /// Component-wise saturating difference (`self` later, `other`
+    /// earlier): the work done between two snapshots.
+    #[must_use]
+    pub fn delta_since(self, other: SimCounters) -> SimCounters {
+        SimCounters {
+            events: self.events.saturating_sub(other.events),
+            gate_evals: self.gate_evals.saturating_sub(other.gate_evals),
+            wheel_advances: self.wheel_advances.saturating_sub(other.wheel_advances),
+            wheel_overflows: self.wheel_overflows.saturating_sub(other.wheel_overflows),
+        }
+    }
+}
+
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+static GATE_EVALS: AtomicU64 = AtomicU64::new(0);
+static WHEEL_ADVANCES: AtomicU64 = AtomicU64::new(0);
+static WHEEL_OVERFLOWS: AtomicU64 = AtomicU64::new(0);
+
+/// Adds a per-run delta to the process-wide totals. One batched add per
+/// `run_until` call, not per event — the hot loop never touches shared
+/// cache lines.
+pub(crate) fn flush(delta: SimCounters) {
+    if delta.events != 0 {
+        EVENTS.fetch_add(delta.events, Ordering::Relaxed);
+    }
+    if delta.gate_evals != 0 {
+        GATE_EVALS.fetch_add(delta.gate_evals, Ordering::Relaxed);
+    }
+    if delta.wheel_advances != 0 {
+        WHEEL_ADVANCES.fetch_add(delta.wheel_advances, Ordering::Relaxed);
+    }
+    if delta.wheel_overflows != 0 {
+        WHEEL_OVERFLOWS.fetch_add(delta.wheel_overflows, Ordering::Relaxed);
+    }
+}
+
+/// Process-wide total of events applied across every simulator run.
+pub fn events_total() -> u64 {
+    EVENTS.load(Ordering::Relaxed)
+}
+
+/// Process-wide total of combinational gate evaluations.
+pub fn gate_evals_total() -> u64 {
+    GATE_EVALS.load(Ordering::Relaxed)
+}
+
+/// Process-wide total of time-wheel base advances.
+pub fn wheel_advance_total() -> u64 {
+    WHEEL_ADVANCES.load(Ordering::Relaxed)
+}
+
+/// Process-wide total of events promoted to the overflow heap.
+pub fn wheel_overflow_total() -> u64 {
+    WHEEL_OVERFLOWS.load(Ordering::Relaxed)
+}
+
+/// A snapshot of the process-wide totals, for before/after deltas
+/// around a unit of work.
+pub fn totals() -> SimCounters {
+    SimCounters {
+        events: events_total(),
+        gate_evals: gate_evals_total(),
+        wheel_advances: wheel_advance_total(),
+        wheel_overflows: wheel_overflow_total(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let a = SimCounters {
+            events: 1,
+            gate_evals: 2,
+            wheel_advances: 3,
+            wheel_overflows: 4,
+        };
+        let b = SimCounters {
+            events: 10,
+            gate_evals: 20,
+            wheel_advances: 30,
+            wheel_overflows: 40,
+        };
+        let c = SimCounters {
+            events: 100,
+            gate_evals: 200,
+            wheel_advances: 300,
+            wheel_overflows: 400,
+        };
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
+        assert_eq!(a.merge(SimCounters::default()), a);
+        assert_eq!(a.merge(b).delta_since(a), b);
+    }
+}

@@ -12,6 +12,7 @@ use scpg_netlist::{NetId, Netlist, NetlistError};
 use scpg_waveform::{Activity, ActivityBuilder, VcdWriter};
 
 use crate::compile::{CompiledNetlist, MAX_INPUTS, MAX_OUTPUTS};
+use crate::counters::{self, SimCounters};
 use crate::wheel::{Event, TimeWheel};
 
 /// Simulator configuration.
@@ -98,6 +99,10 @@ pub struct Simulator<'a> {
     time: u64,
     rail_up: bool,
     events_processed: u64,
+    gate_evals: u64,
+    /// Process-global totals already credited for this run, so each
+    /// `run_until` flushes only the delta.
+    flushed: SimCounters,
     activity: ActivityBuilder,
     vcd: Option<VcdWriter>,
     config: SimConfig,
@@ -151,6 +156,8 @@ impl<'a> Simulator<'a> {
             time: 0,
             rail_up: true,
             events_processed: 0,
+            gate_evals: 0,
+            flushed: SimCounters::default(),
             activity,
             vcd,
             config,
@@ -185,6 +192,17 @@ impl<'a> Simulator<'a> {
     /// Total events applied so far (the engine-throughput denominator).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// This run's work so far: events, gate evaluations, time-wheel
+    /// advances and overflow promotions.
+    pub fn counters(&self) -> SimCounters {
+        SimCounters {
+            events: self.events_processed,
+            gate_evals: self.gate_evals,
+            wheel_advances: self.wheel.advances,
+            wheel_overflows: self.wheel.overflows,
+        }
     }
 
     /// The current value of a net.
@@ -237,6 +255,11 @@ impl<'a> Simulator<'a> {
         }
         self.time = self.time.max(deadline_ps);
         self.events_processed += processed;
+        // Credit this run's new work to the process-wide totals in one
+        // batched add per call (never per event).
+        let now = self.counters();
+        counters::flush(now.delta_since(self.flushed));
+        self.flushed = now;
         processed
     }
 
@@ -339,6 +362,7 @@ impl<'a> Simulator<'a> {
     }
 
     fn evaluate_cell(&mut self, idx: usize) {
+        self.gate_evals += 1;
         let c = self.c();
         let kind = c.kinds[idx];
         let gated_down = c.gated[idx] && !self.rail_up;
@@ -696,5 +720,50 @@ mod tests {
         sim.run_until_quiet(10_000);
         // At least the input edge and the inverter response.
         assert!(sim.events_processed() >= 2);
+    }
+
+    #[test]
+    fn work_counters_track_run_and_flush_to_process_totals() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_output("y");
+        nl.add_instance("u", "INV_X1", &[a, y]).unwrap();
+        let before = crate::counters::totals();
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        sim.set_input(a, Logic::One);
+        // Far-future stimulus exercises the overflow-promotion counter
+        // (the wheel span is 8192 ps).
+        sim.set_input(a, Logic::One);
+        sim.run_until_quiet(10_000);
+        sim.set_input(a, Logic::Zero);
+        sim.run_until_quiet(20_000);
+        let run = sim.counters();
+        assert_eq!(run.events, sim.events_processed());
+        assert!(run.gate_evals >= 2, "{run:?}");
+        assert!(run.wheel_advances >= 2, "{run:?}");
+        let after = crate::counters::totals();
+        let delta = after.delta_since(before);
+        // Other tests run concurrently, so the process totals grew by
+        // *at least* this run's work.
+        assert!(delta.events >= run.events, "{delta:?} vs {run:?}");
+        assert!(delta.gate_evals >= run.gate_evals);
+        assert!(delta.wheel_advances >= run.wheel_advances);
+    }
+
+    #[test]
+    fn far_future_events_count_as_overflow_promotions() {
+        let lib = lib();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_output("y");
+        nl.add_instance("u", "INV_X1", &[a, y]).unwrap();
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        sim.set_input(a, Logic::Zero);
+        sim.run_until_quiet(10_000);
+        // Schedule an input edge 1 µs out: beyond the 8192 ps window.
+        sim.schedule(sim.time + 1_000_000, a.index() as u32, Logic::One);
+        sim.run_until_quiet(2_000_000);
+        assert!(sim.counters().wheel_overflows >= 1, "{:?}", sim.counters());
     }
 }

@@ -43,12 +43,16 @@
 #![warn(missing_docs)]
 
 mod compile;
+mod counters;
 mod engine;
 mod reference;
 mod testbench;
 mod wheel;
 
 pub use compile::CompiledNetlist;
+pub use counters::{
+    events_total, gate_evals_total, totals, wheel_advance_total, wheel_overflow_total, SimCounters,
+};
 pub use engine::{SimConfig, SimResult, Simulator};
 pub use reference::ReferenceSimulator;
 pub use testbench::ClockedTestbench;

@@ -48,6 +48,10 @@ pub(crate) struct TimeWheel {
     current: Vec<Event>,
     /// Read cursor into `current` (drained front-to-back).
     cursor: usize,
+    /// Base advances (slot claims) — the wheel-throughput numerator.
+    pub(crate) advances: u64,
+    /// Events that missed the window and went to the overflow heap.
+    pub(crate) overflows: u64,
 }
 
 impl TimeWheel {
@@ -60,6 +64,8 @@ impl TimeWheel {
             in_slots: 0,
             current: Vec::new(),
             cursor: 0,
+            advances: 0,
+            overflows: 0,
         }
     }
 
@@ -78,6 +84,7 @@ impl TimeWheel {
             self.in_slots += 1;
         } else {
             self.overflow.push(Reverse(ev));
+            self.overflows += 1;
         }
     }
 
@@ -133,6 +140,7 @@ impl TimeWheel {
             self.words[s / 64] &= !(1 << (s % 64));
             self.in_slots -= self.current.len();
             self.base = t;
+            self.advances += 1;
             return Some(self.current[0]);
         }
     }

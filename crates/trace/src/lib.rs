@@ -27,6 +27,13 @@
 
 #![warn(missing_docs)]
 
+mod store;
+
+pub use store::{
+    duration_us, generate_trace_id, valid_trace_id, SpanEvent, TraceDetail, TraceStore,
+    TraceSummary, MAX_SPANS_PER_TRACE, TRACE_ID_MAX_LEN,
+};
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -376,6 +383,26 @@ mod tests {
         assert!(out.contains("t_bucket{stage=\"x\",le=\"10\"} 2"), "{out}");
         assert!(out.contains("t_bucket{stage=\"x\",le=\"+Inf\"} 3"), "{out}");
         assert!(out.contains("t_count{stage=\"x\"} 3"), "{out}");
+    }
+
+    #[test]
+    fn exact_bucket_boundary_is_inclusive() {
+        // Prometheus `le` is *inclusive*: an observation exactly equal
+        // to a bound belongs in that bound's bucket. Every bound here
+        // is an exact multiple of 1 ns, so `Duration::from_secs_f64`
+        // round-trips it bit-exactly through `as_secs_f64`.
+        for bound in BUCKET_BOUNDS_SECS {
+            let h = Histogram::new();
+            let d = Duration::from_secs_f64(bound);
+            assert_eq!(d.as_secs_f64(), bound, "bound {bound} round-trips");
+            h.observe(d);
+            let mut out = String::new();
+            h.render_series(&mut out, "edge", "stage", "x");
+            assert!(
+                out.contains(&format!("edge_bucket{{stage=\"x\",le=\"{bound}\"}} 1")),
+                "exactly-{bound}s lands in the le={bound} bucket:\n{out}"
+            );
+        }
     }
 
     #[test]

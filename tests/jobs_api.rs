@@ -174,6 +174,27 @@ fn upload_async_job_and_interactive_results_are_bit_identical() {
     );
     assert_eq!(status_field_u64(&done, "done_units"), Some(5));
 
+    // The status document carries the job's trace id and a non-empty
+    // per-chunk timing array (5 units / 2 per chunk = 3 chunks).
+    let sdoc = Json::parse(done.text()).unwrap();
+    assert!(
+        sdoc.get("trace_id").and_then(|t| t.as_str()).is_some(),
+        "{}",
+        done.text()
+    );
+    assert_eq!(status_field_u64(&done, "chunks_total"), Some(3));
+    assert_eq!(status_field_u64(&done, "chunks_completed"), Some(3));
+    let chunks = sdoc
+        .get("chunks")
+        .and_then(|c| c.as_array())
+        .expect("chunks array");
+    assert_eq!(chunks.len(), 3, "{}", done.text());
+    for chunk in chunks {
+        assert!(chunk.get("index").and_then(Json::as_u64).is_some());
+        assert!(chunk.get("units").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(chunk.get("duration_us").and_then(Json::as_u64).is_some());
+    }
+
     let result = client::job_result(addr, &job_id).expect("result");
     assert_eq!(result.status, 200);
     assert_eq!(result.body, expected, "chunked job result != direct bytes");
@@ -256,25 +277,28 @@ fn restart_resumes_jobs_from_disk_checkpoints_bit_identically() {
         ..ServeConfig::default()
     };
 
+    // The client names the trace id at submission; it must survive the
+    // restart below because it is persisted in the checkpoint record.
+    let trace_id = "restart-trace.e2e";
+
     let first = Server::bind(config()).expect("bind").spawn();
     let addr = first.addr();
     let created = client::upload_netlist(addr, PIPELINE, "clk").expect("upload");
     assert_eq!(created.status, 201, "{}", created.text());
     let id = upload_id(&created);
     let request = sweep_request(&id);
-    let submit = client::submit_job(
+    let submit = client::post_traced(
         addr,
+        "/v1/jobs",
         &format!(r#"{{"kind": "sweep", "request": {request}}}"#),
+        trace_id,
     )
     .expect("submit");
     assert_eq!(submit.status, 202, "{}", submit.text());
-    let job_id = Json::parse(submit.text())
-        .unwrap()
-        .get("id")
-        .unwrap()
-        .as_str()
-        .unwrap()
-        .to_string();
+    assert_eq!(submit.header("x-scpg-trace-id"), Some(trace_id));
+    let sdoc = Json::parse(submit.text()).unwrap();
+    assert_eq!(sdoc.get("trace_id").unwrap().as_str(), Some(trace_id));
+    let job_id = sdoc.get("id").unwrap().as_str().unwrap().to_string();
 
     // Kill the server mid-job, with at least one chunk checkpointed.
     let done_at_shutdown = wait_mid_job(addr, &job_id);
@@ -305,6 +329,66 @@ fn restart_resumes_jobs_from_disk_checkpoints_bit_identically() {
     let result = client::job_result(addr, &job_id).expect("result");
     assert_eq!(result.status, 200);
     assert_eq!(result.body, direct_sweep_bytes(&id), "resume changed bytes");
+
+    // The resumed job kept the client-supplied trace id, and the status
+    // document's per-chunk timing covers every chunk from both runs.
+    let status = client::job_status(addr, &job_id).expect("status");
+    let stdoc = Json::parse(status.text()).unwrap();
+    assert_eq!(stdoc.get("trace_id").unwrap().as_str(), Some(trace_id));
+    assert_eq!(
+        status_field_u64(&status, "chunks_completed"),
+        Some(FREQS_HZ.len() as u64)
+    );
+    assert!(
+        stdoc.get("eta_ms").is_none(),
+        "terminal jobs must not advertise an ETA: {}",
+        status.text()
+    );
+
+    // The trace read from the *second* server shows spans from both
+    // incarnations: pre-kill chunks were replayed from the checkpoint
+    // (keeping their original boot tag), post-restart chunks were
+    // recorded live under the new boot — with gap-free, duplicate-free
+    // chunk numbering across the kill.
+    let detail = client::get(addr, &format!("/v1/traces/{trace_id}")).expect("trace");
+    assert_eq!(detail.status, 200, "{}", detail.text());
+    let tdoc = Json::parse(detail.text()).unwrap();
+    let spans = tdoc.get("spans").and_then(|s| s.as_array()).unwrap();
+    let mut chunk_tags: Vec<String> = Vec::new();
+    let mut boots: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for span in spans {
+        if span.get("stage").and_then(|v| v.as_str()) != Some("chunk") {
+            continue;
+        }
+        let ann = span.get("annotations").expect("chunk annotations");
+        chunk_tags.push(
+            ann.get("chunk")
+                .and_then(|v| v.as_str())
+                .expect("chunk tag")
+                .to_string(),
+        );
+        boots.insert(
+            ann.get("boot")
+                .and_then(|v| v.as_str())
+                .expect("boot tag")
+                .to_string(),
+        );
+        assert!(span.get("duration_us").and_then(Json::as_u64).is_some());
+    }
+    let expected_tags: Vec<String> = (0..FREQS_HZ.len())
+        .map(|i| format!("{i}/{}", FREQS_HZ.len()))
+        .collect();
+    let mut sorted = chunk_tags.clone();
+    sorted.sort();
+    assert_eq!(
+        sorted, expected_tags,
+        "chunk numbering has gaps or duplicates: {chunk_tags:?}"
+    );
+    assert_eq!(
+        boots.len(),
+        2,
+        "expected spans from two server incarnations, got boots {boots:?}"
+    );
 
     second.shutdown();
     let _ = std::fs::remove_dir_all(&dir);

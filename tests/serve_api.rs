@@ -365,6 +365,239 @@ fn metrics_histograms_track_requests_served() {
 }
 
 #[test]
+fn trace_ids_echo_and_traces_endpoints_introspect() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    // No header: the server generates an id and echoes it.
+    let req = body(r#""frequencies_hz": [1e6], "mode": "scpg""#);
+    let resp = client::post(addr, "/v1/sweep", &req).expect("sweep");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let generated = resp
+        .header("x-scpg-trace-id")
+        .expect("trace id echoed")
+        .to_string();
+    assert!(
+        scpg_trace::valid_trace_id(&generated),
+        "generated id {generated:?} fails its own validator"
+    );
+
+    // A client-supplied id is used verbatim...
+    let resp2 = client::post_traced(addr, "/v1/sweep", &req, "trace-test.1").expect("sweep");
+    assert_eq!(resp2.status, 200);
+    assert_eq!(resp2.header("x-scpg-trace-id"), Some("trace-test.1"));
+
+    // ...but an invalid one is replaced with a generated id, never
+    // echoed back into the response head.
+    let resp3 = client::post_traced(addr, "/v1/sweep", &req, "bad id with spaces").expect("sweep");
+    let echoed = resp3.header("x-scpg-trace-id").expect("echo");
+    assert_ne!(echoed, "bad id with spaces");
+    assert!(scpg_trace::valid_trace_id(echoed));
+
+    // The store lists the supplied id (recent-first summaries)...
+    let list = client::get(addr, "/v1/traces").expect("traces");
+    assert_eq!(list.status, 200, "{}", list.text());
+    let ldoc = scpg_json::Json::parse(list.text()).unwrap();
+    let ids: Vec<String> = ldoc
+        .get("traces")
+        .and_then(|t| t.as_array())
+        .expect("traces array")
+        .iter()
+        .filter_map(|t| t.get("id").and_then(|i| i.as_str().map(String::from)))
+        .collect();
+    assert!(ids.contains(&"trace-test.1".to_string()), "{ids:?}");
+    assert!(ids.contains(&generated), "{ids:?}");
+
+    // ...and the detail shows the stage spans plus the `request`
+    // umbrella span with its endpoint/status/cache/engine annotations.
+    let detail = client::get(addr, "/v1/traces/trace-test.1").expect("detail");
+    assert_eq!(detail.status, 200, "{}", detail.text());
+    let ddoc = scpg_json::Json::parse(detail.text()).unwrap();
+    let spans = ddoc.get("spans").and_then(|s| s.as_array()).unwrap();
+    assert!(!spans.is_empty());
+    let stage_names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("stage").and_then(|v| v.as_str()))
+        .collect();
+    assert!(stage_names.contains(&"parse"), "{stage_names:?}");
+    assert!(stage_names.contains(&"request"), "{stage_names:?}");
+    let request_span = spans
+        .iter()
+        .find(|s| s.get("stage").and_then(|v| v.as_str()) == Some("request"))
+        .unwrap();
+    let ann = request_span.get("annotations").unwrap();
+    assert_eq!(ann.get("endpoint").and_then(|v| v.as_str()), Some("sweep"));
+    assert_eq!(ann.get("status").and_then(|v| v.as_str()), Some("200"));
+    // This body was already computed under the generated id, so the
+    // supplied-id repeat was a cache hit and no engine work is claimed.
+    assert_eq!(ann.get("cache").and_then(|v| v.as_str()), Some("hit"));
+
+    // The first (computed) request's trace carries the worker-side
+    // engine-work annotations.
+    let first = client::get(addr, &format!("/v1/traces/{generated}")).expect("detail");
+    let fdoc = scpg_json::Json::parse(first.text()).unwrap();
+    let fspans = fdoc.get("spans").and_then(|s| s.as_array()).unwrap();
+    let frequest = fspans
+        .iter()
+        .find(|s| s.get("stage").and_then(|v| v.as_str()) == Some("request"))
+        .unwrap();
+    let fann = frequest.get("annotations").unwrap();
+    assert_eq!(fann.get("cache").and_then(|v| v.as_str()), Some("miss"));
+    assert!(fann.get("design").is_some(), "{}", first.text());
+    assert!(fann.get("sim_events").is_some(), "{}", first.text());
+    assert!(fann.get("exec_tasks").is_some(), "{}", first.text());
+
+    // Unknown trace: 404. Wrong method: 405.
+    assert_eq!(client::get(addr, "/v1/traces/absent").unwrap().status, 404);
+    assert_eq!(client::post(addr, "/v1/traces", "{}").unwrap().status, 405);
+
+    handle.shutdown();
+}
+
+/// Satellite lint: the full `/metrics` exposition over loopback obeys
+/// the Prometheus text format — exactly one `# HELP` and `# TYPE` per
+/// family, no duplicate series, and cumulative histogram buckets that
+/// are monotone with `+Inf` equal to the count.
+#[test]
+fn metrics_exposition_passes_prometheus_text_lint() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    // Exercise enough endpoints that histograms and counters are live.
+    let req = body(r#""frequencies_hz": [1e6, 4e6], "mode": "scpg""#);
+    assert_eq!(client::post(addr, "/v1/sweep", &req).unwrap().status, 200);
+    assert_eq!(client::post(addr, "/v1/sweep", &req).unwrap().status, 200);
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+
+    let mut help_count: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    let mut type_count: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+    let mut family_type: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+    let mut series_seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP names a family");
+            *help_count.entry(name).or_insert(0) += 1;
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE names a family");
+            let ty = parts.next().expect("TYPE carries a type");
+            *type_count.entry(name).or_insert(0) += 1;
+            family_type.insert(name, ty);
+        } else if !line.is_empty() {
+            let series = line.rsplit_once(' ').expect("sample has a value").0;
+            assert!(
+                series_seen.insert(series),
+                "duplicate series in /metrics: {series}"
+            );
+        }
+    }
+    assert!(!family_type.is_empty(), "no TYPE lines at all?");
+    for (name, n) in &help_count {
+        assert_eq!(*n, 1, "family {name} has {n} HELP lines");
+    }
+    for (name, n) in &type_count {
+        assert_eq!(*n, 1, "family {name} has {n} TYPE lines");
+        assert!(
+            help_count.contains_key(name),
+            "family {name} has TYPE but no HELP"
+        );
+    }
+
+    // Every sample belongs to a declared family (histograms declare the
+    // base name and emit _bucket/_sum/_count series).
+    for series in &series_seen {
+        let name = series.split('{').next().unwrap();
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| family_type.get(b) == Some(&"histogram"))
+            .unwrap_or(name);
+        assert!(
+            family_type.contains_key(base),
+            "series {series} has no HELP/TYPE declaration"
+        );
+    }
+
+    // Histogram buckets: grouped by label set, cumulative and monotone,
+    // with the +Inf bucket equal to the series count.
+    for (family, ty) in &family_type {
+        if *ty != "histogram" {
+            continue;
+        }
+        // label set (minus `le`) -> ordered (le, cumulative count).
+        let mut groups: std::collections::HashMap<String, Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix(&format!("{family}_bucket{{")) else {
+                continue;
+            };
+            let (labels, value) = rest.rsplit_once(' ').expect("bucket value");
+            let labels = labels.strip_suffix('}').expect("closing brace");
+            let mut le = None;
+            let mut others: Vec<&str> = Vec::new();
+            for part in labels.split(',') {
+                match part.strip_prefix("le=\"") {
+                    Some(v) => le = Some(v.trim_end_matches('"').to_string()),
+                    None => others.push(part),
+                }
+            }
+            let le = le.expect("bucket without le");
+            let le_value = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>().expect("le is a number")
+            };
+            groups
+                .entry(others.join(","))
+                .or_default()
+                .push((le_value, value.parse::<f64>().expect("count")));
+        }
+        for (labels, buckets) in groups {
+            for pair in buckets.windows(2) {
+                assert!(
+                    pair[0].0 < pair[1].0,
+                    "{family}{{{labels}}} buckets out of order"
+                );
+                assert!(
+                    pair[0].1 <= pair[1].1,
+                    "{family}{{{labels}}} cumulative counts not monotone"
+                );
+            }
+            let (last_le, last_count) = *buckets.last().expect("at least +Inf");
+            assert!(last_le.is_infinite(), "{family}{{{labels}}} missing +Inf");
+            let count_series = if labels.is_empty() {
+                format!("{family}_count")
+            } else {
+                format!("{family}_count{{{labels}}}")
+            };
+            let count = parse_metric(text, &count_series)
+                .unwrap_or_else(|| panic!("missing {count_series}"));
+            assert_eq!(
+                last_count, count,
+                "{family}{{{labels}}}: +Inf bucket != count"
+            );
+        }
+    }
+
+    handle.shutdown();
+}
+
+#[test]
 fn trickled_header_request_is_served() {
     let handle = Server::bind(ServeConfig {
         workers: 2,
