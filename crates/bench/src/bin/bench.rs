@@ -2,8 +2,10 @@
 //! `BENCH_sim.json` with engine throughput (events/s, new CSR+time-wheel
 //! engine vs the reference heap engine), netlist-compile amortisation,
 //! analysis sweep wall-clock, serial-vs-parallel speedups for the
-//! Monte-Carlo variation study and the vector-group workload replay, and
-//! the serve path (cold request vs compiled-artifact reuse vs cache hit).
+//! Monte-Carlo variation study and the vector-group workload replay, the
+//! settled activity-extraction comparison (per-lane event engine vs the
+//! word-wide bit-parallel engine on the same packed stimulus), and the
+//! serve path (cold request vs compiled-artifact reuse vs cache hit).
 //!
 //! All numbers are measured on this machine as-is; on a single-core
 //! container the parallel speedups honestly report ≈1×, while the
@@ -18,7 +20,9 @@ use scpg_isa::dhrystone;
 use scpg_liberty::{Library, Logic};
 use scpg_netlist::{NetId, Netlist};
 use scpg_power::{VariationConfig, VariationStudy};
-use scpg_sim::{CompiledNetlist, ReferenceSimulator, SimConfig, Simulator};
+use scpg_sim::{
+    CompiledNetlist, EngineChoice, ReferenceSimulator, SettledEngine, SimConfig, Simulator,
+};
 use scpg_synth::Word;
 use scpg_units::Frequency;
 use scpg_waveform::Activity;
@@ -203,7 +207,14 @@ fn bench_variation(
     )
 }
 
-fn bench_groups() -> (usize, SpeedupNumbers, (u64, u64)) {
+struct BitparNumbers {
+    lanes: usize,
+    event_secs: f64,
+    bitpar_secs: f64,
+    bit_identical: bool,
+}
+
+fn bench_groups() -> (usize, SpeedupNumbers, (u64, u64), BitparNumbers) {
     let lib = Library::ninety_nm();
     let (nl, ports) = generate_cpu(&lib);
     let cfg = SimConfig::default();
@@ -237,6 +248,8 @@ fn bench_groups() -> (usize, SpeedupNumbers, (u64, u64)) {
         && Activity::merge_all(&serial).map(|a| a.duration_ps())
             == Activity::merge_all(&parallel).map(|a| a.duration_ps());
 
+    let bp = bench_bitparallel(&nl, &lib, &compiled, &ports);
+
     (
         trace.len().div_ceil(GROUP),
         SpeedupNumbers {
@@ -245,7 +258,61 @@ fn bench_groups() -> (usize, SpeedupNumbers, (u64, u64)) {
             bit_identical: identical,
         },
         (events_serial, events_parallel),
+        bp,
     )
+}
+
+/// The settled activity-extraction comparison: the same packed stimulus
+/// replayed through the per-lane event engine and the word-wide
+/// bit-parallel engine, which must agree bit-for-bit. A longer Dhrystone
+/// run (more iterations) than the glitch-replay benchmark gives each
+/// lane enough cycles that the engines' fixed per-run costs (activity
+/// buffers scale with nets × lanes) do not swamp the per-cycle work
+/// being compared; the group size packs the 64-lane word as full as the
+/// trace allows. Levelization is warmed first — it is cached per
+/// compiled artifact, so callers pay it once per design.
+fn bench_bitparallel(
+    nl: &Netlist,
+    lib: &Library,
+    compiled: &CompiledNetlist,
+    ports: &scpg_circuits::CpuPorts,
+) -> BitparNumbers {
+    const ITERATIONS: u32 = 10;
+    let mut sim = Simulator::new(nl, lib, SimConfig::default()).unwrap();
+    let words = dhrystone::assemble(ITERATIONS).unwrap();
+    let mut h = CpuHarness::new(words, dhrystone::memory_image());
+    h.reset(&mut sim, ports, PERIOD_PS, 3);
+    assert!(h.run_to_halt(&mut sim, ports, PERIOD_PS, 50_000));
+    let trace = h.trace();
+
+    compiled.levelized().expect("baseline core must levelize");
+    let group = trace.len().div_ceil(64);
+    let lanes = trace.len().div_ceil(group);
+    let settled = |choice| {
+        CpuHarness::replay_groups_settled(compiled, trace, ports, PERIOD_PS, 0.5, group, choice)
+    };
+    let mut event_secs = f64::INFINITY;
+    let mut bitpar_secs = f64::INFINITY;
+    let mut event = settled(EngineChoice::Event).expect("event-engine settled replay");
+    let mut bitpar = settled(EngineChoice::BitParallel).expect("bit-parallel settled replay");
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        event = settled(EngineChoice::Event).expect("event-engine settled replay");
+        event_secs = event_secs.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        bitpar = settled(EngineChoice::BitParallel).expect("bit-parallel settled replay");
+        bitpar_secs = bitpar_secs.min(t0.elapsed().as_secs_f64());
+    }
+    assert_eq!(event.engine, SettledEngine::Event);
+    assert_eq!(bitpar.engine, SettledEngine::BitParallel);
+
+    BitparNumbers {
+        lanes,
+        event_secs,
+        bitpar_secs,
+        bit_identical: event.activities == bitpar.activities,
+    }
 }
 
 struct TracingNumbers {
@@ -513,7 +580,7 @@ fn main() {
     );
 
     println!("[bench] Dhrystone vector-group replay, serial vs parallel...");
-    let (n_groups, grp, (events_serial, events_parallel)) = bench_groups();
+    let (n_groups, grp, (events_serial, events_parallel), bp) = bench_groups();
     println!(
         "  {} groups: serial {:.2} s, parallel {:.2} s ({:.2}x), bit-identical: {}",
         n_groups,
@@ -530,6 +597,20 @@ fn main() {
     assert_eq!(
         events_serial, events_parallel,
         "engine work counters must be schedule-independent"
+    );
+
+    println!("[bench] settled activity extraction, event vs bit-parallel...");
+    println!(
+        "  {} lanes: event {:.2} s, bit-parallel {:.3} s ({:.1}x), bit-identical: {}",
+        bp.lanes,
+        bp.event_secs,
+        bp.bitpar_secs,
+        bp.event_secs / bp.bitpar_secs.max(1e-12),
+        bp.bit_identical
+    );
+    assert!(
+        bp.bit_identical,
+        "bit-parallel settled replay must be bit-identical to the event engine"
     );
 
     println!("[bench] serve path: cold vs compiled-artifact vs cache hit...");
@@ -625,6 +706,7 @@ fn main() {
                     Json::from(round3(mc.serial_secs / mc.parallel_secs.max(1e-12))),
                 ),
                 ("bit_identical", Json::from(mc.bit_identical)),
+                ("threads", Json::from(threads)),
             ]),
         ),
         (
@@ -638,6 +720,23 @@ fn main() {
                     Json::from(round3(grp.serial_secs / grp.parallel_secs.max(1e-12))),
                 ),
                 ("bit_identical", Json::from(grp.bit_identical)),
+                ("threads", Json::from(threads)),
+            ]),
+        ),
+        (
+            "bitparallel",
+            Json::object([
+                ("lanes", Json::from(bp.lanes)),
+                ("event_s", Json::from(round4(bp.event_secs))),
+                ("bitpar_s", Json::from(round4(bp.bitpar_secs))),
+                (
+                    "speedup",
+                    Json::from(round3(bp.event_secs / bp.bitpar_secs.max(1e-12))),
+                ),
+                ("bit_identical", Json::from(bp.bit_identical)),
+                // Both settled runs are single-threaded: the speedup is
+                // pure word-level parallelism, not thread parallelism.
+                ("threads", Json::from(1usize)),
             ]),
         ),
         (

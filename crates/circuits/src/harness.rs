@@ -19,7 +19,9 @@
 //! once and reusing it).
 
 use scpg_liberty::Logic;
-use scpg_sim::{SimConfig, Simulator};
+use scpg_sim::{
+    run_settled, EngineChoice, NetChange, PackedStimulus, Phase, SettledRun, SimConfig, Simulator,
+};
 use scpg_synth::Word;
 use scpg_waveform::Activity;
 
@@ -261,6 +263,170 @@ impl CpuHarness {
         scpg_exec::par_map_indices_with_threads(groups.len(), threads, |g| {
             Self::replay_compiled(compiled, config, groups[g], ports, period_ps, duty, 0)
         })
+    }
+
+    /// Settled activity extraction over vector groups: the
+    /// repeated-stimulus fast path. Groups become stimulus *lanes* of one
+    /// [`PackedStimulus`] (batches of up to 64), observed at cycle
+    /// boundaries only, and run through [`scpg_sim::run_settled`] — the
+    /// bit-parallel engine when the netlist levelizes (the baseline core
+    /// does), the per-lane event engine otherwise (an SCPG-transformed
+    /// core always falls back: header wake/sleep edges are sub-clock
+    /// timing detail).
+    ///
+    /// Unlike [`CpuHarness::replay_groups`] — which stays on the event
+    /// engine because its glitch-inclusive intra-cycle counts feed the
+    /// dynamic-power calibration — this records cycle-boundary (settled)
+    /// toggles, which is what pure activity extraction needs. Per-lane
+    /// results are bit-identical between the two engines under this
+    /// observation protocol.
+    ///
+    /// # Errors
+    ///
+    /// Only when `choice` forces the bit-parallel engine on a netlist
+    /// that does not levelize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero.
+    pub fn replay_groups_settled(
+        compiled: &scpg_sim::CompiledNetlist,
+        trace: &[CycleTrace],
+        ports: &CpuPorts,
+        period_ps: u64,
+        duty: f64,
+        group_size: usize,
+        choice: EngineChoice,
+    ) -> Result<SettledRun, String> {
+        assert!(group_size > 0, "vector groups must be non-empty");
+        let groups: Vec<&[CycleTrace]> = trace.chunks(group_size).collect();
+        let mut activities = Vec::with_capacity(groups.len());
+        let mut engine = None;
+        for batch in groups.chunks(64) {
+            let program = Self::settled_program(batch, ports, period_ps, duty);
+            let run = run_settled(compiled, &program, None, choice)?;
+            debug_assert!(engine.is_none_or(|e| e == run.engine));
+            engine = Some(run.engine);
+            activities.extend(run.activities);
+        }
+        let engine = match engine {
+            Some(e) => e,
+            // Empty trace: report what Auto would have picked.
+            None => match choice {
+                EngineChoice::Event => scpg_sim::SettledEngine::Event,
+                EngineChoice::BitParallel => {
+                    compiled.levelized()?;
+                    scpg_sim::SettledEngine::BitParallel
+                }
+                EngineChoice::Auto => {
+                    if compiled.levelized().is_ok() {
+                        scpg_sim::SettledEngine::BitParallel
+                    } else {
+                        scpg_sim::SettledEngine::Event
+                    }
+                }
+            },
+        };
+        Ok(SettledRun { activities, engine })
+    }
+
+    /// Builds the packed replay stimulus for up to 64 vector groups: the
+    /// exact phase/change sequence [`CpuHarness::replay`] (with
+    /// `reset_cycles = 0`) applies, with each group on its own lane and
+    /// observation at every cycle boundary.
+    fn settled_program(
+        groups: &[&[CycleTrace]],
+        ports: &CpuPorts,
+        period_ps: u64,
+        duty: f64,
+    ) -> PackedStimulus {
+        assert!(groups.len() <= 64, "at most 64 lanes per program");
+        let all: u64 = if groups.len() == 64 {
+            !0
+        } else {
+            (1u64 << groups.len()) - 1
+        };
+        let alive = |cycle: usize| -> u64 {
+            groups
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| g.len() > cycle)
+                .fold(0u64, |m, (lane, _)| m | (1u64 << lane))
+        };
+        let word_changes = |w: &Word, mask: u64, value_of: &dyn Fn(usize) -> u64| {
+            w.bits()
+                .iter()
+                .enumerate()
+                .map(|(bit, &net)| {
+                    let mut plane = 0u64;
+                    for lane in 0..groups.len() {
+                        if mask & (1 << lane) != 0 && (value_of(lane) >> bit) & 1 == 1 {
+                            plane |= 1 << lane;
+                        }
+                    }
+                    NetChange::word(net, mask, plane)
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let maxlen = groups.iter().map(|g| g.len()).max().unwrap_or(0);
+        let high = (period_ps as f64 * duty).round() as u64;
+        let mut phases = Vec::with_capacity(3 * maxlen + 2);
+
+        // t = 0 merges replay()'s pre-loop batch with cycle 0's edge: no
+        // combinational event can fire between them (all delays ≥ 1 ps),
+        // so same-timestamp list order is all that matters.
+        let mut init = vec![NetChange::level(ports.rst_n, all, false)];
+        init.extend(word_changes(&ports.imem_data, all, &|_| 0));
+        init.extend(word_changes(&ports.dmem_rdata, all, &|_| 0));
+        init.push(NetChange::level(ports.rst_n, all, true));
+        init.push(NetChange::level(ports.clk, all, true));
+        phases.push(Phase {
+            t: 0,
+            observe: false,
+            changes: init,
+        });
+
+        // `i` indexes the *inner* per-lane vectors (`groups[lane][i]`)
+        // from several closures, not `groups` itself.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..maxlen {
+            let t0 = i as u64 * period_ps;
+            let mask = alive(i);
+            if i > 0 {
+                phases.push(Phase {
+                    t: t0,
+                    observe: true,
+                    changes: vec![NetChange::level(ports.clk, mask, true)],
+                });
+            }
+            let mut data = word_changes(&ports.imem_data, mask, &|lane| {
+                groups[lane][i].imem_data as u64
+            });
+            data.extend(word_changes(&ports.dmem_rdata, mask, &|lane| {
+                groups[lane][i].dmem_rdata as u64
+            }));
+            phases.push(Phase {
+                t: t0 + period_ps / 20,
+                observe: false,
+                changes: data,
+            });
+            phases.push(Phase {
+                t: t0 + high,
+                observe: false,
+                changes: vec![NetChange::level(ports.clk, mask, false)],
+            });
+        }
+        phases.push(Phase {
+            t: maxlen as u64 * period_ps,
+            observe: true,
+            changes: Vec::new(),
+        });
+
+        PackedStimulus {
+            phases,
+            lane_ends: groups.iter().map(|g| g.len() as u64 * period_ps).collect(),
+        }
     }
 
     /// Replays a recorded trace through another simulator of the same
@@ -511,6 +677,69 @@ mod tests {
         let merged = Activity::merge_all(&serial).unwrap();
         assert_eq!(merged.duration_ps(), h.trace().len() as u64 * PERIOD);
         assert!(merged.total_toggles() > 0);
+    }
+
+    #[test]
+    fn settled_group_replay_is_bit_identical_across_engines() {
+        let lib = Library::ninety_nm();
+        let (nl, ports) = generate_cpu(&lib);
+        let src = "        MOVI r0, 6
+                          MOVI r1, 0
+                  loop:   ADD  r1, r0
+                          ADDI r0, -1
+                          BNE  r0, r7, loop
+                          HALT";
+        let words = Assembler::assemble(src).unwrap();
+        let mut sim = Simulator::new(&nl, &lib, SimConfig::default()).unwrap();
+        let mut h = CpuHarness::new(words, vec![0; 64]);
+        h.reset(&mut sim, &ports, PERIOD, 3);
+        assert!(h.run_to_halt(&mut sim, &ports, PERIOD, 200));
+
+        let cfg = SimConfig::default();
+        let compiled = scpg_sim::CompiledNetlist::compile(&nl, &lib, cfg.corner).unwrap();
+        let fast = CpuHarness::replay_groups_settled(
+            &compiled,
+            h.trace(),
+            &ports,
+            PERIOD,
+            0.5,
+            10,
+            EngineChoice::Auto,
+        )
+        .unwrap();
+        assert_eq!(
+            fast.engine,
+            scpg_sim::SettledEngine::BitParallel,
+            "the baseline core must take the fast path"
+        );
+        let slow = CpuHarness::replay_groups_settled(
+            &compiled,
+            h.trace(),
+            &ports,
+            PERIOD,
+            0.5,
+            10,
+            EngineChoice::Event,
+        )
+        .unwrap();
+        assert_eq!(slow.engine, scpg_sim::SettledEngine::Event);
+        assert_eq!(fast.activities.len(), h.trace().len().div_ceil(10));
+        assert_eq!(
+            fast.activities, slow.activities,
+            "per-group settled activity must be bit-identical across engines"
+        );
+
+        // Settled (cycle-boundary) toggles are a subset of the
+        // glitch-inclusive event replay's.
+        let raw =
+            CpuHarness::replay_groups_serial(&compiled, &cfg, h.trace(), &ports, PERIOD, 0.5, 10);
+        let settled_total: u64 = fast.activities.iter().map(Activity::total_toggles).sum();
+        let raw_total: u64 = raw.iter().map(Activity::total_toggles).sum();
+        assert!(settled_total > 0);
+        assert!(
+            settled_total <= raw_total,
+            "settled {settled_total} vs glitch-inclusive {raw_total}"
+        );
     }
 
     #[test]

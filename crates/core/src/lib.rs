@@ -68,5 +68,5 @@ pub use error::ScpgError;
 pub use flow::{FlowReport, ScpgFlow};
 pub use headers::profile_domain;
 pub use lifecycle::{DutyPattern, LifecyclePoint, LifecyclePower, Strategy};
-pub use service::{Query, QueryError, QueryLimits, QueryOutcome};
+pub use service::{extract_activity, ActivityReport, Query, QueryError, QueryLimits, QueryOutcome};
 pub use transform::{ScpgDesign, ScpgOptions, ScpgTransform};

@@ -163,6 +163,8 @@ impl std::error::Error for QueryError {}
 pub struct EngineWork {
     /// Simulator counters (events, gate evals, wheel traffic).
     pub sim: scpg_sim::SimCounters,
+    /// Bit-parallel engine counters (word evals, lanes, cone skips).
+    pub bitpar: scpg_sim::BitparCounters,
     /// Tasks run by the execution pool.
     pub exec_tasks: u64,
 }
@@ -172,6 +174,7 @@ impl EngineWork {
     pub fn snapshot() -> Self {
         EngineWork {
             sim: scpg_sim::totals(),
+            bitpar: scpg_sim::bitpar_totals(),
             exec_tasks: scpg_exec::tasks_executed(),
         }
     }
@@ -182,9 +185,161 @@ impl EngineWork {
     pub fn delta_since(self, earlier: EngineWork) -> EngineWork {
         EngineWork {
             sim: self.sim.delta_since(earlier.sim),
+            bitpar: self.bitpar.delta_since(earlier.bitpar),
             exec_tasks: self.exec_tasks.saturating_sub(earlier.exec_tasks),
         }
     }
+}
+
+/// The aggregated result of a bulk activity-extraction run — the
+/// serving-layer face of the settled-state fast path. All fields are
+/// deterministic functions of `(design, clock, cycles, lanes, seed)`;
+/// crucially they do **not** depend on which engine ran, which is what
+/// the `SCPG_FORCE_ENGINE` loopback test pins down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityReport {
+    /// The engine that produced the record (not part of the response
+    /// body; surfaced via counters/metrics only).
+    pub engine: scpg_sim::SettledEngine,
+    /// Stimulus lanes (independent random vector sequences).
+    pub lanes: usize,
+    /// Clock cycles per lane.
+    pub cycles: usize,
+    /// Nets in the design.
+    pub nets: usize,
+    /// 0↔1 toggles summed over all nets and lanes.
+    pub total_toggles: u64,
+    /// Transitions involving `X`, summed over all nets and lanes.
+    pub unknown_transitions: u64,
+    /// Simulated picoseconds summed over lanes.
+    pub duration_ps: u64,
+    /// Toggles per net per cycle over the whole run (Fig. 7's switching
+    /// probability).
+    pub switching_probability: f64,
+}
+
+/// Clock period used by [`extract_activity`] stimulus: 1 µs leaves even
+/// the slowest 0.6 V paths orders of magnitude of settling margin.
+pub const ACTIVITY_PERIOD_PS: u64 = 1_000_000;
+
+/// Bulk activity extraction: drives `lanes` independent seeded random
+/// vector sequences of `cycles` cycles each through the design and
+/// returns aggregate settled switching statistics.
+///
+/// The stimulus protocol: every undriven net except the clock gets a
+/// fresh random level at each cycle boundary; a net named `rst_n` is
+/// instead held low through cycle 0 and released at the first boundary;
+/// the clock (when the named net exists — flop-free designs have none)
+/// rises at each boundary and falls mid-cycle. Settled state is observed
+/// at cycle boundaries only.
+///
+/// Engine selection follows [`scpg_sim::run_settled`]: bit-parallel
+/// when the design levelizes, per-lane event engine otherwise, with
+/// `choice` forcing either for differential testing. The report is
+/// engine-invariant either way.
+///
+/// # Errors
+///
+/// Invalid shape (`cycles`/`lanes` of 0, more than 64 lanes) or a forced
+/// bit-parallel run on a design that does not levelize.
+pub fn extract_activity(
+    compiled: &scpg_sim::CompiledNetlist,
+    clock: &str,
+    cycles: usize,
+    lanes: usize,
+    seed: u64,
+    choice: scpg_sim::EngineChoice,
+) -> Result<ActivityReport, String> {
+    use scpg_sim::{NetChange, PackedStimulus, Phase};
+
+    if cycles == 0 {
+        return Err("cycles must be positive".to_string());
+    }
+    if !(1..=64).contains(&lanes) {
+        return Err(format!("lanes {lanes} outside 1..=64"));
+    }
+    let _span = scpg_trace::Span::start("activity_extraction");
+    let period = ACTIVITY_PERIOD_PS;
+    let all: u64 = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
+    let clk = compiled.net_by_name(clock);
+    let rst_n = compiled.net_by_name("rst_n");
+    let data: Vec<scpg_netlist::NetId> = compiled
+        .undriven_nets()
+        .into_iter()
+        .filter(|&n| Some(n) != clk && Some(n) != rst_n)
+        .collect();
+
+    let mut rng_state = seed;
+    let mut random_word = || {
+        // One splitmix64 draw per (net, boundary); lanes share the word's
+        // bits, so every lane sees an independent sequence.
+        scpg_rng::splitmix64(&mut rng_state) & all
+    };
+    let mut phases = Vec::with_capacity(2 * cycles + 2);
+    let mut init = Vec::new();
+    if let Some(rn) = rst_n {
+        init.push(NetChange::level(rn, all, false));
+    }
+    if let Some(c) = clk {
+        init.push(NetChange::level(c, all, false));
+    }
+    for &n in &data {
+        init.push(NetChange::word(n, all, random_word()));
+    }
+    phases.push(Phase {
+        t: 0,
+        observe: false,
+        changes: init,
+    });
+    // Cycle 0 is the reset cycle; clocked cycles run from boundary 1.
+    for i in 1..=cycles as u64 {
+        let mut changes = Vec::new();
+        if i == 1 {
+            if let Some(rn) = rst_n {
+                changes.push(NetChange::level(rn, all, true));
+            }
+        }
+        if i < cycles as u64 {
+            if let Some(c) = clk {
+                changes.push(NetChange::level(c, all, true));
+            }
+            for &n in &data {
+                changes.push(NetChange::word(n, all, random_word()));
+            }
+        }
+        phases.push(Phase {
+            t: i * period,
+            observe: true,
+            changes,
+        });
+        if i < cycles as u64 {
+            if let Some(c) = clk {
+                phases.push(Phase {
+                    t: i * period + period / 2,
+                    observe: false,
+                    changes: vec![NetChange::level(c, all, false)],
+                });
+            }
+        }
+    }
+    let program = PackedStimulus {
+        phases,
+        lane_ends: vec![cycles as u64 * period; lanes],
+    };
+
+    let run = scpg_sim::run_settled(compiled, &program, None, choice)?;
+    let merged =
+        scpg_waveform::Activity::merge_all(&run.activities).expect("at least one lane ran");
+    Ok(ActivityReport {
+        engine: run.engine,
+        lanes,
+        cycles,
+        nets: compiled.num_nets(),
+        total_toggles: merged.total_toggles(),
+        unknown_transitions: merged.nets().iter().map(|n| n.unknown_transitions).sum(),
+        duration_ps: merged.duration_ps(),
+        switching_probability: merged.switching_probability(period),
+    })
 }
 
 /// Builds the full SCPG analysis engine for an arbitrary baseline
@@ -433,5 +588,43 @@ mod tests {
             .validate(&limits),
             Err(QueryError::BadBudget { .. })
         ));
+    }
+    /// The activity report must not depend on which engine produced it:
+    /// this is the invariant the serving layer's forced-engine loopback
+    /// test builds on.
+    #[test]
+    fn activity_extraction_is_engine_invariant() {
+        let lib = Library::ninety_nm();
+        let (nl, _) = generate_multiplier(&lib, 4);
+        let compiled = scpg_sim::CompiledNetlist::compile(&nl, &lib, PvtCorner::default()).unwrap();
+        let fast = extract_activity(
+            &compiled,
+            "clk",
+            8,
+            16,
+            0xA11CE,
+            scpg_sim::EngineChoice::BitParallel,
+        )
+        .unwrap();
+        assert_eq!(fast.engine, scpg_sim::SettledEngine::BitParallel);
+        let slow = extract_activity(
+            &compiled,
+            "clk",
+            8,
+            16,
+            0xA11CE,
+            scpg_sim::EngineChoice::Event,
+        )
+        .unwrap();
+        assert_eq!(slow.engine, scpg_sim::SettledEngine::Event);
+        assert!(fast.total_toggles > 0, "stimulus must exercise the design");
+        assert_eq!(fast.total_toggles, slow.total_toggles);
+        assert_eq!(fast.unknown_transitions, slow.unknown_transitions);
+        assert_eq!(fast.switching_probability, slow.switching_probability);
+        assert_eq!(fast.duration_ps, 16 * 8 * ACTIVITY_PERIOD_PS);
+        assert!(extract_activity(&compiled, "clk", 0, 1, 0, scpg_sim::EngineChoice::Auto).is_err());
+        assert!(
+            extract_activity(&compiled, "clk", 1, 65, 0, scpg_sim::EngineChoice::Auto).is_err()
+        );
     }
 }

@@ -203,6 +203,84 @@ pub fn parse_variation(
     ))
 }
 
+/// Ceiling on `cycles` for `/v1/activity`: with 64 lanes this bounds one
+/// request at 16k simulated vectors, comfortably interactive even on the
+/// event-engine fallback.
+pub const MAX_ACTIVITY_CYCLES: usize = 256;
+
+/// A parsed `/v1/activity` request: stimulus shape for bulk activity
+/// extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivityRequest {
+    /// Clock cycles per lane.
+    pub cycles: usize,
+    /// Independent stimulus lanes (1..=64, one per machine-word bit).
+    pub lanes: usize,
+    /// Stimulus seed; responses are deterministic in it, hence cacheable.
+    pub seed: u64,
+}
+
+/// Parses a `/v1/activity` body into its design and stimulus shape.
+///
+/// # Errors
+///
+/// A human-readable refusal (maps to `422`).
+pub fn parse_activity(
+    body: &Json,
+    limits: &QueryLimits,
+) -> Result<(DesignSpec, ActivityRequest), String> {
+    let spec = parse_design(body, limits)?;
+    let cycles = match body.get("cycles") {
+        None => 32,
+        Some(v) => v.as_u64().ok_or("cycles must be a non-negative integer")? as usize,
+    };
+    if cycles == 0 || cycles > MAX_ACTIVITY_CYCLES {
+        return Err(format!("cycles {cycles} outside 1..={MAX_ACTIVITY_CYCLES}"));
+    }
+    let lanes = match body.get("lanes") {
+        None => 16,
+        Some(v) => v.as_u64().ok_or("lanes must be a non-negative integer")? as usize,
+    };
+    if !(1..=64).contains(&lanes) {
+        return Err(format!("lanes {lanes} outside 1..=64"));
+    }
+    let seed = match body.get("seed") {
+        None => 0,
+        Some(v) => v.as_u64().ok_or("seed must be a non-negative integer")?,
+    };
+    Ok((
+        spec,
+        ActivityRequest {
+            cycles,
+            lanes,
+            seed,
+        },
+    ))
+}
+
+/// The `/v1/activity` response document. Deliberately engine-free: the
+/// body must be byte-identical whether the bit-parallel fast path or the
+/// event-engine fallback produced it (the engine is visible in traces and
+/// `/metrics` counters instead).
+pub fn activity_response(spec: &DesignSpec, report: &scpg::ActivityReport) -> Json {
+    Json::object([
+        ("design", Json::from(spec.key())),
+        ("lanes", Json::from(report.lanes)),
+        ("cycles", Json::from(report.cycles)),
+        ("nets", Json::from(report.nets)),
+        ("total_toggles", Json::from(report.total_toggles)),
+        (
+            "unknown_transitions",
+            Json::from(report.unknown_transitions),
+        ),
+        ("duration_ps", Json::from(report.duration_ps)),
+        (
+            "switching_probability",
+            Json::Num(report.switching_probability),
+        ),
+    ])
+}
+
 /// One operating point as JSON.
 pub fn point_json(p: &OperatingPoint) -> Json {
     Json::object([

@@ -38,6 +38,7 @@ const USAGE: &str =
 
 Serves the SCPG analysis API over HTTP/1.1:
   POST /v1/sweep /v1/table /v1/headline /v1/variation   JSON queries
+  POST /v1/activity                                     bulk switching activity
   POST /v1/netlists                                     upload a Verilog design
   POST /v1/jobs, GET/DELETE /v1/jobs/{id}               async batch jobs
   GET  /v1/designs                                      kinds, limits, uploads
@@ -45,13 +46,19 @@ Serves the SCPG analysis API over HTTP/1.1:
 
 Defaults: --addr 127.0.0.1:7878, workers/queue sized for this machine.
 With --store-dir, uploaded netlists and job checkpoints persist there and
-unfinished jobs resume after a restart; without it they are in-memory.";
+unfinished jobs resume after a restart; without it they are in-memory.
+SCPG_FORCE_ENGINE=auto|event|bitpar pins the /v1/activity simulation
+engine (debug/differential-testing hook; auto is the default).";
 
 fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
     let mut config = ServeConfig {
         addr: "127.0.0.1:7878".to_string(),
         ..ServeConfig::default()
     };
+    if let Ok(key) = std::env::var("SCPG_FORCE_ENGINE") {
+        config.force_engine = scpg_sim::EngineChoice::from_key(&key)
+            .ok_or_else(|| format!("SCPG_FORCE_ENGINE {key:?} is not auto|event|bitpar"))?;
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_for = |flag: &str| {

@@ -23,6 +23,7 @@ use scpg_circuits::generate_multiplier;
 use scpg_jobs::{NetlistRegistry, UploadedNetlist};
 use scpg_liberty::{Library, PvtCorner};
 use scpg_netlist::Netlist;
+use scpg_sim::CompiledNetlist;
 use scpg_units::{Energy, Voltage};
 
 /// Which circuit a request targets.
@@ -158,6 +159,7 @@ pub struct DesignArtifact {
     /// built-in designs; whatever the upload declared for netlists).
     pub clock: String,
     analysis: OnceLock<Result<Arc<ScpgAnalysis>, String>>,
+    compiled: OnceLock<Result<Arc<CompiledNetlist>, String>>,
 }
 
 impl DesignArtifact {
@@ -179,6 +181,7 @@ impl DesignArtifact {
             baseline,
             clock,
             analysis: OnceLock::new(),
+            compiled: OnceLock::new(),
         }
     }
 
@@ -198,6 +201,29 @@ impl DesignArtifact {
                     PvtCorner::at_voltage(self.spec.vdd),
                 )
                 .map(Arc::new)
+            })
+            .clone()
+    }
+
+    /// The simulation-ready compilation of the **baseline** netlist at the
+    /// spec's supply, built exactly once per artifact and shared by every
+    /// activity-extraction request (which in turn shares the levelization
+    /// the bit-parallel engine caches inside it).
+    ///
+    /// # Errors
+    ///
+    /// The (cached) compile failure, e.g. an upload that no longer
+    /// resolves against the library.
+    pub fn compiled(&self) -> Result<Arc<CompiledNetlist>, String> {
+        self.compiled
+            .get_or_init(|| {
+                CompiledNetlist::compile(
+                    &self.baseline,
+                    &self.lib,
+                    PvtCorner::at_voltage(self.spec.vdd),
+                )
+                .map(Arc::new)
+                .map_err(|e| format!("compile failed: {e}"))
             })
             .clone()
     }

@@ -126,6 +126,14 @@ pub struct ServeConfig {
     /// the oldest are evicted beyond it. Fixed at bind time — the store
     /// never grows.
     pub trace_capacity: usize,
+    /// Settled-simulation engine for `/v1/activity`. [`Auto`] (the
+    /// default) takes the bit-parallel fast path whenever the design
+    /// levelizes; the binary maps `SCPG_FORCE_ENGINE=event|bitpar` onto
+    /// the forced variants so the differential loopback test can pin each
+    /// engine and prove the responses byte-identical.
+    ///
+    /// [`Auto`]: scpg_sim::EngineChoice::Auto
+    pub force_engine: scpg_sim::EngineChoice,
 }
 
 impl Default for ServeConfig {
@@ -144,6 +152,7 @@ impl Default for ServeConfig {
             max_active_jobs: 8,
             debug_job_delay_ms: 0,
             trace_capacity: 256,
+            force_engine: scpg_sim::EngineChoice::Auto,
         }
     }
 }
@@ -740,6 +749,7 @@ fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Rep
         ("POST", "/v1/table") => handle_api(shared, "table", &req.body, trace),
         ("POST", "/v1/headline") => handle_api(shared, "headline", &req.body, trace),
         ("POST", "/v1/variation") => handle_api(shared, "variation", &req.body, trace),
+        ("POST", "/v1/activity") => handle_api(shared, "activity", &req.body, trace),
         ("POST", "/v1/netlists") => handle_netlist_upload(shared, req, trace),
         ("GET", "/v1/designs") => {
             shared.metrics.inc_request("designs");
@@ -758,7 +768,11 @@ fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Rep
             "application/json",
             api::error_body("use GET for this endpoint"),
         ),
-        (_, "/v1/sweep" | "/v1/table" | "/v1/headline" | "/v1/variation" | "/v1/netlists") => (
+        (
+            _,
+            "/v1/sweep" | "/v1/table" | "/v1/headline" | "/v1/variation" | "/v1/activity"
+            | "/v1/netlists",
+        ) => (
             405,
             "application/json",
             api::error_body("use POST for this endpoint"),
@@ -1134,6 +1148,14 @@ fn handle_api(
                 };
                 Box::new(move || run_variation(&registry, &netlists, spec, &cfg, delay))
             }
+            "activity" => {
+                let (spec, req) = match api::parse_activity(&body, &limits) {
+                    Ok(p) => p,
+                    Err(e) => return (422, "application/json", api::error_body(&e)),
+                };
+                let choice = shared.config.force_engine;
+                Box::new(move || run_activity(&registry, &netlists, spec, req, choice, delay))
+            }
             _ => unreachable!("handle_api is only routed for v1 endpoints"),
         }
     };
@@ -1206,6 +1228,14 @@ fn work_annotations(
         (
             "sim_gate_evals".to_string(),
             delta.sim.gate_evals.to_string(),
+        ),
+        (
+            "bitpar_words".to_string(),
+            delta.bitpar.words_evaluated.to_string(),
+        ),
+        (
+            "bitpar_cone_skips".to_string(),
+            delta.bitpar.cone_skips.to_string(),
         ),
         ("exec_tasks".to_string(), delta.exec_tasks.to_string()),
     ]
@@ -1302,6 +1332,58 @@ fn run_variation(
     };
     out.timing = timing;
     out.annotations = work_annotations(&spec, work_before);
+    out
+}
+
+fn run_activity(
+    registry: &DesignRegistry,
+    netlists: &NetlistRegistry,
+    spec: designs::DesignSpec,
+    req: api::ActivityRequest,
+    choice: scpg_sim::EngineChoice,
+    delay_ms: u64,
+) -> JobOutput {
+    debug_delay(delay_ms);
+    let mut timing = JobTiming::default();
+    let work_before = scpg::service::EngineWork::snapshot();
+
+    let compile_started = Instant::now();
+    let compiled = registry
+        .get(&spec, Some(netlists))
+        .and_then(|artifact| artifact.compiled().map(|c| (c, artifact.clock.clone())));
+    timing.compile = Some(compile_started.elapsed());
+    let (compiled, clock) = match compiled {
+        Ok(c) => c,
+        Err(e) => {
+            let mut out = JobOutput::new(422, api::error_body(&e));
+            out.timing = timing;
+            return out;
+        }
+    };
+
+    let execute_started = Instant::now();
+    let report = scpg::extract_activity(&compiled, &clock, req.cycles, req.lanes, req.seed, choice);
+    timing.execute = Some(execute_started.elapsed());
+
+    let mut out = match report {
+        Ok(report) => {
+            let serialize_started = Instant::now();
+            let body = api::activity_response(&spec, &report).write().into_bytes();
+            timing.serialize = Some(serialize_started.elapsed());
+            let mut out = JobOutput::new(200, body);
+            // The engine that ran is trace-only: the response body stays
+            // byte-identical across engines by construction.
+            out.annotations
+                .push(("engine".to_string(), report.engine.key().to_string()));
+            out
+        }
+        Err(e) => JobOutput::new(
+            422,
+            api::error_body(&format!("activity extraction failed: {e}")),
+        ),
+    };
+    out.timing = timing;
+    out.annotations.extend(work_annotations(&spec, work_before));
     out
 }
 

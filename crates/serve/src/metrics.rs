@@ -37,11 +37,12 @@ pub fn stage_histogram(reg: &scpg_trace::Registry, stage: &str) -> Arc<scpg_trac
 }
 
 /// The endpoints with dedicated request counters.
-pub const ENDPOINTS: [&str; 10] = [
+pub const ENDPOINTS: [&str; 11] = [
     "sweep",
     "table",
     "headline",
     "variation",
+    "activity",
     "netlists",
     "jobs",
     "traces",
@@ -287,10 +288,10 @@ impl Metrics {
         ));
 
         // Engine work counters from the simulation kernel, routed through
-        // `scpg::service::EngineWork` (this crate does not link scpg-sim
-        // directly). Process-wide like the exec counters above.
+        // `scpg::service::EngineWork`. Process-wide like the exec
+        // counters above.
         let work = scpg::service::EngineWork::snapshot();
-        let engine: [(&str, &str, u64); 4] = [
+        let engine: [(&str, &str, u64); 7] = [
             (
                 "scpg_sim_events_total",
                 "Events processed by the gate-level simulation kernel.",
@@ -310,6 +311,21 @@ impl Metrics {
                 "scpg_sim_wheel_overflow_total",
                 "Events promoted to the far-future overflow heap.",
                 work.sim.wheel_overflows,
+            ),
+            (
+                "scpg_sim_bitpar_words_evaluated_total",
+                "Word-wide cell evaluations by the bit-parallel engine.",
+                work.bitpar.words_evaluated,
+            ),
+            (
+                "scpg_sim_bitpar_lanes_total",
+                "Stimulus lanes simulated by the bit-parallel engine.",
+                work.bitpar.lanes,
+            ),
+            (
+                "scpg_sim_bitpar_cone_skips_total",
+                "Combinational cones skipped as input-unchanged per settle.",
+                work.bitpar.cone_skips,
             ),
         ];
         for (name, help, value) in engine {
@@ -386,6 +402,9 @@ mod tests {
             "scpg_sim_gate_evals_total",
             "scpg_sim_wheel_advance_total",
             "scpg_sim_wheel_overflow_total",
+            "scpg_sim_bitpar_words_evaluated_total",
+            "scpg_sim_bitpar_lanes_total",
+            "scpg_sim_bitpar_cone_skips_total",
         ] {
             assert!(
                 parse_metric(&text, family).is_some(),

@@ -1,0 +1,676 @@
+//! The bit-parallel oblivious engine: 64 stimulus lanes per `u64` word.
+//!
+//! Net values use a dual-plane encoding — per net a *value* word `v` and
+//! an *unknown* word `u`, one bit per lane, with the invariant
+//! `v & u == 0`: a lane is `1` iff its `v` bit is set, `X` iff its `u`
+//! bit is set, `0` otherwise (`Z` cannot arise in levelized designs).
+//! Every combinational cell evaluates as a handful of word-wide boolean
+//! ops that reproduce the 4-state [`scpg_liberty::Logic`] semantics
+//! lane-wise and exactly.
+//!
+//! Time is handled by the *settled-state* protocol of
+//! [`crate::settled`]: stimulus arrives as a list of [`Phase`]s, each a
+//! timestamped batch of per-lane net changes; after each phase the dirty
+//! combinational cones are re-evaluated to their zero-delay fixpoint.
+//! Activity is observed by snapshot diff at observation phases only
+//! (cycle boundaries), which is where the event engine has provably
+//! settled too — that is what makes per-lane results bit-identical to
+//! per-vector event-engine runs under the same observation protocol.
+//!
+//! Work-skipping: a cone whose input nets did not change in a phase is
+//! quiescent and skipped ([`crate::counters::bitpar_totals`] counts the
+//! skips). Constant (tie-driven) nets are folded once at init.
+
+use scpg_liberty::CellKind;
+use scpg_waveform::{Activity, NetActivity};
+
+use crate::compile::CompiledNetlist;
+use crate::counters;
+use crate::levelize::{LevelizedNetlist, NO_RESET};
+use crate::settled::PackedStimulus;
+
+/// One dual-plane word: `(value, unknown)` with `value & unknown == 0`.
+type W = (u64, u64);
+
+#[inline]
+fn w_not(a: W) -> W {
+    (!(a.0 | a.1), a.1)
+}
+
+#[inline]
+fn w_and(a: W, b: W) -> W {
+    let one = a.0 & b.0;
+    let zero = (!a.0 & !a.1) | (!b.0 & !b.1);
+    (one, !(one | zero))
+}
+
+#[inline]
+fn w_or(a: W, b: W) -> W {
+    let one = a.0 | b.0;
+    let zero = (!a.0 & !a.1) & (!b.0 & !b.1);
+    (one, !(one | zero))
+}
+
+#[inline]
+fn w_xor(a: W, b: W) -> W {
+    let u = a.1 | b.1;
+    ((a.0 ^ b.0) & !u, u)
+}
+
+/// `Y = S ? D1 : D0`, with the library's known-and-equal X-selector rule.
+#[inline]
+fn w_mux(d0: W, d1: W, s: W) -> W {
+    let s0 = !s.0 & !s.1;
+    let s1 = s.0;
+    let su = s.1;
+    let agree = !d0.1 & !d1.1 & !(d0.0 ^ d1.0);
+    let v = (s0 & d0.0) | (s1 & d1.0) | (su & agree & d0.0);
+    let u = (s0 & d0.1) | (s1 & d1.1) | (su & !agree);
+    (v, u)
+}
+
+/// AND-type isolation clamp: 0 while `ISO` is 1, `D` while `ISO` is 0.
+#[inline]
+fn w_iso_and(d: W, iso: W) -> W {
+    let iso0 = !iso.0 & !iso.1;
+    (iso0 & d.0, (iso0 & d.1) | iso.1)
+}
+
+/// OR-type isolation clamp: 1 while `ISO` is 1, `D` while `ISO` is 0.
+#[inline]
+fn w_iso_or(d: W, iso: W) -> W {
+    let iso0 = !iso.0 & !iso.1;
+    (iso.0 | (iso0 & d.0), (iso0 & d.1) | iso.1)
+}
+
+/// The word-wide levelized simulator. Build one per run (its state is
+/// single-use) with [`BitParallelSimulator::new`] and drive it with
+/// [`BitParallelSimulator::run`].
+pub struct BitParallelSimulator<'a> {
+    c: &'a CompiledNetlist,
+    lv: &'a LevelizedNetlist,
+    /// Per-net value plane.
+    val: Vec<u64>,
+    /// Per-net unknown plane.
+    unk: Vec<u64>,
+    /// Per-flop internal state planes.
+    q_val: Vec<u64>,
+    q_unk: Vec<u64>,
+    dirty: Vec<bool>,
+    dirty_list: Vec<u32>,
+    /// Per net: does it drive any flop CK or RN pin? Input changes on
+    /// other nets (the common case — data pins) skip the flop scan.
+    seq_input: Vec<bool>,
+    words_evaluated: u64,
+    cone_skips: u64,
+}
+
+impl<'a> BitParallelSimulator<'a> {
+    /// A fresh all-`X` simulator over `compiled` using its cached
+    /// levelization `lv` (see [`CompiledNetlist::levelized`]).
+    pub fn new(compiled: &'a CompiledNetlist, lv: &'a LevelizedNetlist) -> Self {
+        let num_nets = compiled.num_nets();
+        let mut seq_input = vec![false; num_nets];
+        for flop in &lv.flops {
+            seq_input[flop.ck as usize] = true;
+            if flop.rn != NO_RESET {
+                seq_input[flop.rn as usize] = true;
+            }
+        }
+        Self {
+            c: compiled,
+            lv,
+            val: vec![0; num_nets],
+            unk: vec![!0u64; num_nets],
+            q_val: vec![0; lv.num_flops()],
+            q_unk: vec![!0u64; lv.num_flops()],
+            dirty: vec![false; lv.num_cones()],
+            dirty_list: Vec::new(),
+            seq_input,
+            words_evaluated: 0,
+            cone_skips: 0,
+        }
+    }
+
+    /// Runs the packed stimulus to completion and returns one settled
+    /// [`Activity`] per lane. Phase changes apply in list order (they
+    /// mirror the event engine's same-timestamp scheduling order);
+    /// phases must be sorted by time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has 0 or more than 64 lanes, or if phases
+    /// are not time-sorted.
+    pub fn run(mut self, program: &PackedStimulus, window_ps: Option<u64>) -> Vec<Activity> {
+        let lanes = program.lanes();
+        assert!((1..=64).contains(&lanes), "need 1..=64 lanes, got {lanes}");
+        let live: u64 = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
+        let num_nets = self.c.num_nets();
+        let mut stats = LaneStats::new(num_nets, lanes, window_ps);
+        let mut snap_val = vec![0u64; num_nets];
+        let mut snap_unk = vec![!0u64; num_nets];
+
+        self.fold_ties();
+
+        let mut last_t = 0u64;
+        for phase in &program.phases {
+            assert!(phase.t >= last_t, "phases must be time-sorted");
+            last_t = phase.t;
+            if phase.observe {
+                self.observe(phase.t, live, &mut snap_val, &mut snap_unk, &mut stats);
+            }
+            for ch in &phase.changes {
+                self.apply_change(ch.net as usize, ch.lane_mask, ch.val, ch.unk);
+            }
+            self.flush_flops();
+            self.settle();
+        }
+
+        counters::flush_bitpar(counters::BitparCounters {
+            words_evaluated: self.words_evaluated,
+            lanes: lanes as u64,
+            cone_skips: self.cone_skips,
+        });
+        stats.finish(&snap_val, &snap_unk, &program.lane_ends)
+    }
+
+    /// Constant-folds the tie cells: their outputs become solid constants
+    /// before the first phase (the event engine's tie transitions land
+    /// within the first cycle, before the first observation boundary, so
+    /// the settled views agree).
+    fn fold_ties(&mut self) {
+        for &cell in &self.c.tie_cells {
+            let cell = cell as usize;
+            let word: W = match self.c.kinds[cell] {
+                CellKind::TieHi => (!0u64, 0),
+                CellKind::TieLo => (0, 0),
+                k => unreachable!("tie cell with kind {k:?}"),
+            };
+            for &out in self.c.outputs(cell) {
+                self.write_net(out as usize, word);
+            }
+        }
+    }
+
+    /// Writes a net word and dirties the cones reading it if it changed.
+    #[inline]
+    fn write_net(&mut self, net: usize, w: W) {
+        debug_assert_eq!(w.0 & w.1, 0, "value/unknown planes overlap");
+        if self.val[net] == w.0 && self.unk[net] == w.1 {
+            return;
+        }
+        self.val[net] = w.0;
+        self.unk[net] = w.1;
+        self.mark_net(net);
+    }
+
+    #[inline]
+    fn mark_net(&mut self, net: usize) {
+        for &cone in self.lv.cones_of_net(net) {
+            if !self.dirty[cone as usize] {
+                self.dirty[cone as usize] = true;
+                self.dirty_list.push(cone);
+            }
+        }
+    }
+
+    /// Applies one per-lane input change, mirroring the event engine:
+    /// lanes whose value is unchanged are inert; changed lanes notify the
+    /// sequential cells clocked or reset by this net before any
+    /// combinational settling happens (flop `D` pins therefore sample the
+    /// pre-phase settled state, exactly like same-timestamp event order).
+    fn apply_change(&mut self, net: usize, mask: u64, val: u64, unk: u64) {
+        debug_assert_eq!(val & unk, 0, "value/unknown planes overlap");
+        let (old_v, old_u) = (self.val[net], self.unk[net]);
+        let nv = (old_v & !mask) | (val & mask);
+        let nu = (old_u & !mask) | (unk & mask);
+        let changed = (nv ^ old_v) | (nu ^ old_u);
+        if changed == 0 {
+            return;
+        }
+        self.val[net] = nv;
+        self.unk[net] = nu;
+        self.mark_net(net);
+
+        if !self.seq_input[net] {
+            return;
+        }
+        for fi in 0..self.lv.flops.len() {
+            let flop = self.lv.flops[fi];
+            if flop.rn == net as u32 {
+                // Async active-low reset: lanes where the net just became
+                // a solid 0 clear the flop.
+                let reset = changed & !nv & !nu;
+                self.q_val[fi] &= !reset;
+                self.q_unk[fi] &= !reset;
+            }
+            if flop.ck == net as u32 {
+                // Rising edge per the event engine: old != 1 && new == 1.
+                let rise = !old_v & nv;
+                if rise == 0 {
+                    continue;
+                }
+                let d = (self.val[flop.d as usize], self.unk[flop.d as usize]);
+                if flop.rn == NO_RESET {
+                    self.q_val[fi] = (self.q_val[fi] & !rise) | (d.0 & rise);
+                    self.q_unk[fi] = (self.q_unk[fi] & !rise) | (d.1 & rise);
+                } else {
+                    let (rv, ru) = (self.val[flop.rn as usize], self.unk[flop.rn as usize]);
+                    // Edge acts unless reset is a solid 0; unknown reset
+                    // forces Q to X (the engine's `rn == One` guard).
+                    let act = rise & (rv | ru);
+                    self.q_val[fi] = (self.q_val[fi] & !act) | (act & rv & d.0);
+                    self.q_unk[fi] = (self.q_unk[fi] & !act) | (act & rv & d.1) | (act & ru);
+                }
+            }
+        }
+    }
+
+    /// Publishes flop state to the Q nets. In the event engine every
+    /// `update_flop` in a timestamp schedules the Q net at `t + delay`
+    /// with inertial last-write-wins — equivalent to publishing the final
+    /// state once, which is what settled observation sees.
+    fn flush_flops(&mut self) {
+        for fi in 0..self.lv.flops.len() {
+            let q = self.lv.flops[fi].q as usize;
+            let w = (self.q_val[fi], self.q_unk[fi]);
+            self.write_net(q, w);
+        }
+    }
+
+    /// Re-evaluates every dirty cone to its zero-delay fixpoint. Within a
+    /// cone the cells are in topological order; cones never feed other
+    /// cones combinationally (they are connected components), so one pass
+    /// settles everything.
+    fn settle(&mut self) {
+        self.cone_skips += (self.lv.num_cones() - self.dirty_list.len()) as u64;
+        let mut list = std::mem::take(&mut self.dirty_list);
+        for &cone in &list {
+            self.dirty[cone as usize] = false;
+            for i in 0..self.lv.cone_cells(cone as usize).len() {
+                let cell = self.lv.cone_cells(cone as usize)[i] as usize;
+                self.eval_cell(cell);
+            }
+        }
+        list.clear();
+        self.dirty_list = list;
+    }
+
+    fn eval_cell(&mut self, cell: usize) {
+        let ins = self.c.inputs(cell);
+        let mut w = [(0u64, 0u64); crate::compile::MAX_INPUTS];
+        for (i, &n) in ins.iter().enumerate() {
+            w[i] = (self.val[n as usize], self.unk[n as usize]);
+        }
+        self.words_evaluated += 1;
+        let kind = self.c.kinds[cell];
+        let outs: [(W, bool); 2] = match kind {
+            CellKind::Inv => [(w_not(w[0]), true), ((0, 0), false)],
+            // Z never arises in levelized designs, so BUF is identity.
+            CellKind::Buf => [(w[0], true), ((0, 0), false)],
+            CellKind::Nand2 => [(w_not(w_and(w[0], w[1])), true), ((0, 0), false)],
+            CellKind::Nand3 => [
+                (w_not(w_and(w_and(w[0], w[1]), w[2])), true),
+                ((0, 0), false),
+            ],
+            CellKind::Nand4 => [
+                (w_not(w_and(w_and(w[0], w[1]), w_and(w[2], w[3]))), true),
+                ((0, 0), false),
+            ],
+            CellKind::Nor2 => [(w_not(w_or(w[0], w[1])), true), ((0, 0), false)],
+            CellKind::Nor3 => [(w_not(w_or(w_or(w[0], w[1]), w[2])), true), ((0, 0), false)],
+            CellKind::And2 => [(w_and(w[0], w[1]), true), ((0, 0), false)],
+            CellKind::And3 => [(w_and(w_and(w[0], w[1]), w[2]), true), ((0, 0), false)],
+            CellKind::Or2 => [(w_or(w[0], w[1]), true), ((0, 0), false)],
+            CellKind::Or3 => [(w_or(w_or(w[0], w[1]), w[2]), true), ((0, 0), false)],
+            CellKind::Xor2 => [(w_xor(w[0], w[1]), true), ((0, 0), false)],
+            CellKind::Xnor2 => [(w_not(w_xor(w[0], w[1])), true), ((0, 0), false)],
+            CellKind::Aoi21 => [
+                (w_not(w_or(w_and(w[0], w[1]), w[2])), true),
+                ((0, 0), false),
+            ],
+            CellKind::Oai21 => [
+                (w_not(w_and(w_or(w[0], w[1]), w[2])), true),
+                ((0, 0), false),
+            ],
+            CellKind::Mux2 => [(w_mux(w[0], w[1], w[2]), true), ((0, 0), false)],
+            CellKind::HalfAdder => [(w_xor(w[0], w[1]), true), (w_and(w[0], w[1]), true)],
+            CellKind::FullAdder => {
+                let s = w_xor(w_xor(w[0], w[1]), w[2]);
+                let co = w_or(w_and(w[0], w[1]), w_and(w[2], w_xor(w[0], w[1])));
+                [(s, true), (co, true)]
+            }
+            CellKind::IsoAnd => [(w_iso_and(w[0], w[1]), true), ((0, 0), false)],
+            CellKind::IsoOr => [(w_iso_or(w[0], w[1]), true), ((0, 0), false)],
+            k => unreachable!("{k:?} cannot appear in a levelized cone"),
+        };
+        let out_nets = self.c.outputs(cell);
+        for (i, &net) in out_nets.iter().enumerate() {
+            let (word, valid) = outs[i];
+            debug_assert!(valid, "cell {cell} produced fewer outputs than wired");
+            // Direct write: a comb-driven net's readers are by
+            // construction later cells of this same cone, so no dirty
+            // marking is needed.
+            self.val[net as usize] = word.0;
+            self.unk[net as usize] = word.1;
+        }
+    }
+
+    /// Snapshot-diff observation: for every net, lanes whose dual-plane
+    /// bits changed since the previous boundary get a transition record
+    /// and a residency credit for the interval they just completed.
+    fn observe(
+        &self,
+        t: u64,
+        live: u64,
+        snap_val: &mut [u64],
+        snap_unk: &mut [u64],
+        stats: &mut LaneStats,
+    ) {
+        let lanes = stats.lanes;
+        for net in 0..self.c.num_nets() {
+            let (nv, nu) = (self.val[net], self.unk[net]);
+            let (ov, ou) = (snap_val[net], snap_unk[net]);
+            let mut m = ((nv ^ ov) | (nu ^ ou)) & live;
+            if m == 0 {
+                continue;
+            }
+            snap_val[net] = nv;
+            snap_unk[net] = nu;
+            let row = net * lanes;
+            // Dense rows take a predicated sweep over every lane — the
+            // first boundary alone moves every live lane of every net out
+            // of `X`, and the branchless form beats per-set-bit iteration
+            // once about half the lanes changed. Windowed runs stay on
+            // the sparse path so the bin bookkeeping lives in one place.
+            if stats.window_ps.is_none() && 2 * m.count_ones() as usize >= lanes {
+                for (lane, cell) in stats.cells[row..row + lanes].iter_mut().enumerate() {
+                    let sel = (m >> lane) & 1;
+                    let unk_prev = (ou >> lane) & 1;
+                    let high_prev = (ov >> lane) & 1;
+                    let involved_x = ((ou | nu) >> lane) & 1;
+                    let dt = (t - cell.last_change) * sel;
+                    cell.time_unknown += dt * unk_prev;
+                    cell.time_high += dt * high_prev;
+                    cell.last_change = cell.last_change * (1 - sel) + t * sel;
+                    cell.toggles += (sel & (1 - involved_x)) as u32;
+                    cell.unknown_transitions += (sel & involved_x) as u32;
+                }
+                continue;
+            }
+            while m != 0 {
+                let lane = m.trailing_zeros() as usize;
+                let bit = 1u64 << lane;
+                m &= m - 1;
+                let cell = &mut stats.cells[row + lane];
+                // Residency since this lane's previous change, credited
+                // to the value it held. Low time is implicit — it falls
+                // out as `duration - high - unknown` in `finish`.
+                let dt = t - cell.last_change;
+                cell.last_change = t;
+                if ou & bit != 0 {
+                    cell.time_unknown += dt;
+                } else if ov & bit != 0 {
+                    cell.time_high += dt;
+                }
+                // A diffed lane always changed value, so this is either a
+                // known 0↔1 toggle or a transition involving X.
+                if (ou | nu) & bit == 0 {
+                    cell.toggles += 1;
+                    if let Some(w) = stats.window_ps {
+                        let bins = &mut stats.window_toggles[lane];
+                        let wi = (t / w) as usize;
+                        if bins.len() <= wi {
+                            bins.resize(wi + 1, 0);
+                        }
+                        bins[wi] += 1;
+                    }
+                } else {
+                    cell.unknown_transitions += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Net-major activity accumulation for every lane of a run: the counter
+/// of net `n`, lane `l` lives at index `n * lanes + l`, so a boundary
+/// observation writes within one short contiguous row per changed net.
+/// (The previous per-lane [`scpg_waveform::ActivityBuilder`] layout
+/// scattered the same writes across `lanes` separate megabyte-scale
+/// arrays and was memory-bound on the resulting cache misses; it also
+/// paid a multi-millisecond zeroing cost up front, where these
+/// zero-filled vectors are lazily committed by the allocator.)
+struct LaneStats {
+    lanes: usize,
+    window_ps: Option<u64>,
+    /// One counter cell per `net * lanes + lane`.
+    cells: Vec<LaneCell>,
+    /// Per-lane windowed toggle bins (empty unless windowing is on).
+    window_toggles: Vec<Vec<u64>>,
+}
+
+/// All counters of one (net, lane) pair, fused into 32 bytes so a
+/// transition record touches a single cache line.
+#[derive(Clone, Copy, Default)]
+struct LaneCell {
+    /// Picoseconds at logic 1.
+    time_high: u64,
+    /// Picoseconds at `X`.
+    time_unknown: u64,
+    /// Time of the lane's last recorded change.
+    last_change: u64,
+    /// Known 0↔1 transitions.
+    toggles: u32,
+    /// Transitions involving `X`.
+    unknown_transitions: u32,
+}
+
+impl LaneStats {
+    fn new(num_nets: usize, lanes: usize, window_ps: Option<u64>) -> Self {
+        Self {
+            lanes,
+            window_ps,
+            cells: vec![LaneCell::default(); num_nets * lanes],
+            window_toggles: vec![Vec::new(); lanes],
+        }
+    }
+
+    /// Closes every lane at its end time and assembles one [`Activity`]
+    /// per lane. `snap_val`/`snap_unk` are the dual-plane words as of the
+    /// final observation — each lane's standing value since its last
+    /// recorded change, which earns the closing residency credit.
+    fn finish(&mut self, snap_val: &[u64], snap_unk: &[u64], lane_ends: &[u64]) -> Vec<Activity> {
+        let num_nets = snap_val.len();
+        // One sequential pass over the cell array, net-outer — a
+        // lane-outer gather would re-stream the whole array once per
+        // lane pair and is several times slower than everything else
+        // this engine does.
+        let mut nets: Vec<Vec<NetActivity>> = (0..self.lanes)
+            .map(|_| Vec::with_capacity(num_nets))
+            .collect();
+        for net in 0..num_nets {
+            let row = &self.cells[net * self.lanes..(net + 1) * self.lanes];
+            let (sv, su) = (snap_val[net], snap_unk[net]);
+            for (lane, cell) in row.iter().enumerate() {
+                let end = lane_ends[lane];
+                let dt = end.saturating_sub(cell.last_change);
+                let tu = cell.time_unknown + dt * ((su >> lane) & 1);
+                let th = cell.time_high + dt * ((sv >> lane) & 1);
+                nets[lane].push(NetActivity {
+                    toggles: cell.toggles as u64,
+                    unknown_transitions: cell.unknown_transitions as u64,
+                    time_high_ps: th,
+                    time_low_ps: end.saturating_sub(th + tu),
+                    time_unknown_ps: tu,
+                });
+            }
+        }
+        nets.into_iter()
+            .enumerate()
+            .map(|(lane, n)| {
+                let bins = std::mem::take(&mut self.window_toggles[lane]);
+                Activity::from_parts(lane_ends[lane], n, self.window_ps, bins)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpg_liberty::Logic;
+
+    fn pack(vals: &[Logic]) -> W {
+        let mut v = 0u64;
+        let mut u = 0u64;
+        for (i, &x) in vals.iter().enumerate() {
+            match x {
+                Logic::One => v |= 1 << i,
+                Logic::X | Logic::Z => u |= 1 << i,
+                Logic::Zero => {}
+            }
+        }
+        (v, u)
+    }
+
+    fn unpack(w: W, lanes: usize) -> Vec<Logic> {
+        (0..lanes)
+            .map(|i| {
+                if w.1 >> i & 1 != 0 {
+                    Logic::X
+                } else if w.0 >> i & 1 != 0 {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                }
+            })
+            .collect()
+    }
+
+    /// Every word op must reproduce `CellKind::eval` lane-wise over the
+    /// full 3-state input space (Z is unreachable in levelized designs).
+    #[test]
+    fn word_ops_match_scalar_eval_exhaustively() {
+        const L: [Logic; 3] = [Logic::Zero, Logic::One, Logic::X];
+        let unary = [CellKind::Inv, CellKind::Buf];
+        for kind in unary {
+            let ins: Vec<Logic> = L.to_vec();
+            check_kind(kind, &[&ins]);
+        }
+        let binary = [
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::And2,
+            CellKind::Or2,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+            CellKind::HalfAdder,
+            CellKind::IsoAnd,
+            CellKind::IsoOr,
+        ];
+        for kind in binary {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for &x in &L {
+                for &y in &L {
+                    a.push(x);
+                    b.push(y);
+                }
+            }
+            check_kind(kind, &[&a, &b]);
+        }
+        let ternary = [
+            CellKind::Nand3,
+            CellKind::Nor3,
+            CellKind::And3,
+            CellKind::Or3,
+            CellKind::Aoi21,
+            CellKind::Oai21,
+            CellKind::Mux2,
+            CellKind::FullAdder,
+        ];
+        for kind in ternary {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            let mut c = Vec::new();
+            for &x in &L {
+                for &y in &L {
+                    for &z in &L {
+                        a.push(x);
+                        b.push(y);
+                        c.push(z);
+                    }
+                }
+            }
+            check_kind(kind, &[&a, &b, &c]);
+        }
+        // NAND4 needs 81 lanes: split across two words.
+        for half in 0..2 {
+            let mut cols = vec![Vec::new(); 4];
+            let mut n = 0usize;
+            for i in 0..81usize {
+                if i % 2 != half {
+                    continue;
+                }
+                let (mut q, mut digs) = (i, [0usize; 4]);
+                for d in digs.iter_mut() {
+                    *d = q % 3;
+                    q /= 3;
+                }
+                for (c, &d) in cols.iter_mut().zip(digs.iter()) {
+                    c.push(L[d]);
+                }
+                n += 1;
+            }
+            assert!(n <= 64);
+            let refs: Vec<&[Logic]> = cols.iter().map(|c| c.as_slice()).collect();
+            check_kind(CellKind::Nand4, &refs);
+        }
+    }
+
+    fn check_kind(kind: CellKind, cols: &[&[Logic]]) {
+        let lanes = cols[0].len();
+        let words: Vec<W> = cols.iter().map(|c| pack(c)).collect();
+        let w = |i: usize| words[i];
+        let outs: Vec<W> = match kind {
+            CellKind::Inv => vec![w_not(w(0))],
+            CellKind::Buf => vec![w(0)],
+            CellKind::Nand2 => vec![w_not(w_and(w(0), w(1)))],
+            CellKind::Nand3 => vec![w_not(w_and(w_and(w(0), w(1)), w(2)))],
+            CellKind::Nand4 => vec![w_not(w_and(w_and(w(0), w(1)), w_and(w(2), w(3))))],
+            CellKind::Nor2 => vec![w_not(w_or(w(0), w(1)))],
+            CellKind::Nor3 => vec![w_not(w_or(w_or(w(0), w(1)), w(2)))],
+            CellKind::And2 => vec![w_and(w(0), w(1))],
+            CellKind::And3 => vec![w_and(w_and(w(0), w(1)), w(2))],
+            CellKind::Or2 => vec![w_or(w(0), w(1))],
+            CellKind::Or3 => vec![w_or(w_or(w(0), w(1)), w(2))],
+            CellKind::Xor2 => vec![w_xor(w(0), w(1))],
+            CellKind::Xnor2 => vec![w_not(w_xor(w(0), w(1)))],
+            CellKind::Aoi21 => vec![w_not(w_or(w_and(w(0), w(1)), w(2)))],
+            CellKind::Oai21 => vec![w_not(w_and(w_or(w(0), w(1)), w(2)))],
+            CellKind::Mux2 => vec![w_mux(w(0), w(1), w(2))],
+            CellKind::HalfAdder => vec![w_xor(w(0), w(1)), w_and(w(0), w(1))],
+            CellKind::FullAdder => vec![
+                w_xor(w_xor(w(0), w(1)), w(2)),
+                w_or(w_and(w(0), w(1)), w_and(w(2), w_xor(w(0), w(1)))),
+            ],
+            CellKind::IsoAnd => vec![w_iso_and(w(0), w(1))],
+            CellKind::IsoOr => vec![w_iso_or(w(0), w(1))],
+            k => panic!("untested kind {k:?}"),
+        };
+        for (out_idx, out) in outs.iter().enumerate() {
+            assert_eq!(out.0 & out.1, 0, "{kind:?}: planes overlap");
+            let got = unpack(*out, lanes);
+            for lane in 0..lanes {
+                let ins: Vec<Logic> = cols.iter().map(|c| c[lane]).collect();
+                let expect = kind.eval(&ins);
+                assert_eq!(
+                    got[lane],
+                    expect.as_slice()[out_idx],
+                    "{kind:?} out {out_idx} lane {lane} inputs {ins:?}"
+                );
+            }
+        }
+    }
+}

@@ -11,9 +11,12 @@
 //! all share one compiled image instead of recompiling per run.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use scpg_liberty::{CellKind, Library, PvtCorner};
 use scpg_netlist::{Domain, NetId, Netlist, NetlistError};
+
+use crate::levelize::{self, LevelizedNetlist};
 
 /// An immutable, simulation-ready compilation of one netlist against one
 /// library at one PVT corner.
@@ -48,6 +51,11 @@ pub struct CompiledNetlist {
     pub(crate) gated_cells: Vec<u32>,
     /// Zero-input combinational cells (ties) evaluated once at t = 0.
     pub(crate) tie_cells: Vec<u32>,
+
+    /// Lazily built levelization for the bit-parallel fast path, cached
+    /// alongside the event-engine tables so every sharer of one compiled
+    /// image also shares one levelization (or one cached refusal).
+    levelized: OnceLock<Result<Arc<LevelizedNetlist>, String>>,
 }
 
 impl CompiledNetlist {
@@ -159,7 +167,21 @@ impl CompiledNetlist {
             rail_nets,
             gated_cells,
             tie_cells,
+            levelized: OnceLock::new(),
         })
+    }
+
+    /// The levelization backing the bit-parallel fast path, built on
+    /// first use and cached for the lifetime of this compiled image.
+    ///
+    /// # Errors
+    ///
+    /// The (cached) reason this design needs the event engine — headers,
+    /// latches, logic-driven flop clocks/resets or a combinational cycle.
+    pub fn levelized(&self) -> Result<Arc<LevelizedNetlist>, String> {
+        self.levelized
+            .get_or_init(|| levelize::levelize(self).map(Arc::new))
+            .clone()
     }
 
     /// Number of nets in the compiled design.
@@ -180,6 +202,19 @@ impl CompiledNetlist {
     /// The compiled design's name.
     pub fn design_name(&self) -> &str {
         &self.design_name
+    }
+
+    /// Nets not driven by any cell output — the primary inputs of the
+    /// compiled design. Stimulus generators drive exactly this set.
+    pub fn undriven_nets(&self) -> Vec<NetId> {
+        let mut driven = vec![false; self.num_nets()];
+        for &n in &self.out_nets {
+            driven[n as usize] = true;
+        }
+        (0..self.num_nets())
+            .filter(|&n| !driven[n])
+            .map(NetId::from_index)
+            .collect()
     }
 
     /// Looks a net up by name.

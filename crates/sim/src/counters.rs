@@ -61,6 +61,43 @@ impl SimCounters {
     }
 }
 
+/// A snapshot of bit-parallel engine work (or a merge of several runs).
+/// Feeds the `/metrics` families
+/// `scpg_sim_bitpar_words_evaluated_total`, `scpg_sim_bitpar_lanes_total`
+/// and `scpg_sim_bitpar_cone_skips_total`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitparCounters {
+    /// Word-wide cell evaluations (one covers up to 64 lanes).
+    pub words_evaluated: u64,
+    /// Stimulus lanes simulated across all runs.
+    pub lanes: u64,
+    /// Quiescent cones skipped instead of re-evaluated.
+    pub cone_skips: u64,
+}
+
+impl BitparCounters {
+    /// Component-wise sum; associative and commutative like
+    /// [`SimCounters::merge`].
+    #[must_use]
+    pub fn merge(self, other: BitparCounters) -> BitparCounters {
+        BitparCounters {
+            words_evaluated: self.words_evaluated + other.words_evaluated,
+            lanes: self.lanes + other.lanes,
+            cone_skips: self.cone_skips + other.cone_skips,
+        }
+    }
+
+    /// Component-wise saturating difference between two snapshots.
+    #[must_use]
+    pub fn delta_since(self, other: BitparCounters) -> BitparCounters {
+        BitparCounters {
+            words_evaluated: self.words_evaluated.saturating_sub(other.words_evaluated),
+            lanes: self.lanes.saturating_sub(other.lanes),
+            cone_skips: self.cone_skips.saturating_sub(other.cone_skips),
+        }
+    }
+}
+
 static EVENTS: AtomicU64 = AtomicU64::new(0);
 static GATE_EVALS: AtomicU64 = AtomicU64::new(0);
 static WHEEL_ADVANCES: AtomicU64 = AtomicU64::new(0);
@@ -112,6 +149,49 @@ pub fn totals() -> SimCounters {
         gate_evals: gate_evals_total(),
         wheel_advances: wheel_advance_total(),
         wheel_overflows: wheel_overflow_total(),
+    }
+}
+
+static BITPAR_WORDS: AtomicU64 = AtomicU64::new(0);
+static BITPAR_LANES: AtomicU64 = AtomicU64::new(0);
+static BITPAR_CONE_SKIPS: AtomicU64 = AtomicU64::new(0);
+
+/// Adds a bit-parallel run's tallies to the process-wide totals (one
+/// batched add per run).
+pub(crate) fn flush_bitpar(delta: BitparCounters) {
+    if delta.words_evaluated != 0 {
+        BITPAR_WORDS.fetch_add(delta.words_evaluated, Ordering::Relaxed);
+    }
+    if delta.lanes != 0 {
+        BITPAR_LANES.fetch_add(delta.lanes, Ordering::Relaxed);
+    }
+    if delta.cone_skips != 0 {
+        BITPAR_CONE_SKIPS.fetch_add(delta.cone_skips, Ordering::Relaxed);
+    }
+}
+
+/// Process-wide total of bit-parallel word evaluations.
+pub fn bitpar_words_evaluated_total() -> u64 {
+    BITPAR_WORDS.load(Ordering::Relaxed)
+}
+
+/// Process-wide total of bit-parallel stimulus lanes simulated.
+pub fn bitpar_lanes_total() -> u64 {
+    BITPAR_LANES.load(Ordering::Relaxed)
+}
+
+/// Process-wide total of quiescent cones skipped by the bit-parallel
+/// engine.
+pub fn bitpar_cone_skips_total() -> u64 {
+    BITPAR_CONE_SKIPS.load(Ordering::Relaxed)
+}
+
+/// A snapshot of the process-wide bit-parallel totals.
+pub fn bitpar_totals() -> BitparCounters {
+    BitparCounters {
+        words_evaluated: bitpar_words_evaluated_total(),
+        lanes: bitpar_lanes_total(),
+        cone_skips: bitpar_cone_skips_total(),
     }
 }
 

@@ -1,0 +1,288 @@
+//! Levelization: the structural analysis behind the bit-parallel fast
+//! path.
+//!
+//! [`LevelizedNetlist`] is derived once per [`CompiledNetlist`] (and
+//! cached on it — see [`CompiledNetlist::levelized`]). It proves the
+//! design is *oblivious-simulable* — every flop clock and reset pin is a
+//! primary input, there are no latches, no power-gating headers and no
+//! combinational cycles — and extracts:
+//!
+//! * a global topological order of the combinational cells, and
+//! * a partition of those cells into **cones**: the connected components
+//!   of the combinational graph. A cone is the unit of work-skipping in
+//!   the bit-parallel engine: if none of a cone's input nets changed
+//!   since the last settle, the whole cone is provably quiescent and is
+//!   skipped.
+//!
+//! Designs that fail any check return `Err(reason)`; callers fall back
+//! to the event engine, which handles the full 4-state/sub-clock
+//! semantics (header wake/sleep edges, isolation-control feedback,
+//! latch transparency).
+
+use scpg_liberty::CellKind;
+
+use crate::compile::CompiledNetlist;
+
+/// One sequential cell (DFF or DFFR) with its pin nets resolved.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Flop {
+    /// Data input net.
+    pub d: u32,
+    /// Clock net (proven to be a primary input).
+    pub ck: u32,
+    /// Active-low async reset net, or `NO_RESET` for plain DFFs.
+    pub rn: u32,
+    /// Output net.
+    pub q: u32,
+}
+
+/// Sentinel for [`Flop::rn`] on reset-less flops.
+pub(crate) const NO_RESET: u32 = u32::MAX;
+
+/// The cached levelization of one compiled netlist. See the module docs.
+#[derive(Debug)]
+pub struct LevelizedNetlist {
+    /// CSR offsets into `cone_cells`; length `num_cones + 1`.
+    pub(crate) cone_off: Vec<u32>,
+    /// Combinational cells, topologically ordered within each cone.
+    pub(crate) cone_cells: Vec<u32>,
+    /// CSR offsets into `net_cones`; length `num_nets + 1`.
+    pub(crate) net_cone_off: Vec<u32>,
+    /// Distinct cones with at least one cell reading the net.
+    pub(crate) net_cones: Vec<u32>,
+    /// All flops, with pin nets resolved.
+    pub(crate) flops: Vec<Flop>,
+}
+
+impl LevelizedNetlist {
+    /// Number of combinational cones.
+    pub fn num_cones(&self) -> usize {
+        self.cone_off.len() - 1
+    }
+
+    /// Number of levelized combinational cells (ties excluded).
+    pub fn num_comb_cells(&self) -> usize {
+        self.cone_cells.len()
+    }
+
+    /// Number of sequential cells.
+    pub fn num_flops(&self) -> usize {
+        self.flops.len()
+    }
+
+    /// Cells of cone `c`, in topological order.
+    #[inline]
+    pub(crate) fn cone_cells(&self, c: usize) -> &[u32] {
+        &self.cone_cells[self.cone_off[c] as usize..self.cone_off[c + 1] as usize]
+    }
+
+    /// Cones reading net `n`.
+    #[inline]
+    pub(crate) fn cones_of_net(&self, n: usize) -> &[u32] {
+        &self.net_cones[self.net_cone_off[n] as usize..self.net_cone_off[n + 1] as usize]
+    }
+}
+
+/// Union-find with path halving.
+fn find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        parent[x as usize] = parent[parent[x as usize] as usize];
+        x = parent[x as usize];
+    }
+    x
+}
+
+fn union(parent: &mut [u32], a: u32, b: u32) {
+    let (ra, rb) = (find(parent, a), find(parent, b));
+    if ra != rb {
+        parent[rb as usize] = ra;
+    }
+}
+
+/// Runs the eligibility checks and builds the levelization.
+///
+/// # Errors
+///
+/// A human-readable reason the design needs the event engine.
+pub(crate) fn levelize(c: &CompiledNetlist) -> Result<LevelizedNetlist, String> {
+    let num_cells = c.num_cells();
+    let num_nets = c.num_nets();
+
+    // Single driver per net, and who it is.
+    let mut driver = vec![u32::MAX; num_nets];
+    for cell in 0..num_cells {
+        for &out in c.outputs(cell) {
+            if driver[out as usize] != u32::MAX {
+                return Err(format!(
+                    "net {} has multiple drivers",
+                    c.net_names[out as usize]
+                ));
+            }
+            driver[out as usize] = cell as u32;
+        }
+    }
+
+    // Kind screen + flop extraction.
+    let mut flops = Vec::new();
+    // Comb cells that take part in levelization (ties are constant-folded
+    // by the engine instead).
+    let mut in_graph = vec![false; num_cells];
+    for (cell, in_graph_slot) in in_graph.iter_mut().enumerate() {
+        let kind = c.kinds[cell];
+        match kind {
+            CellKind::Header => {
+                return Err(
+                    "header cell present: sub-clock rail semantics need the event engine"
+                        .to_string(),
+                )
+            }
+            CellKind::Latch => {
+                return Err(
+                    "latch present: level-sensitive timing needs the event engine".to_string(),
+                )
+            }
+            // IsoCtl is not X-stable (all-X inputs evaluate to a known 1),
+            // so cone-granular evaluation could diverge from the event
+            // engine's evaluate-on-change order. It only appears in
+            // SCPG-transformed netlists, which the header check already
+            // rejects; keep the rule explicit anyway.
+            CellKind::IsoCtl => {
+                return Err(
+                    "isolation control present: rail sensing needs the event engine".to_string(),
+                )
+            }
+            CellKind::Dff | CellKind::DffR => {
+                let ins = c.inputs(cell);
+                let (d, ck) = (ins[0], ins[1]);
+                let rn = if kind == CellKind::DffR {
+                    ins[2]
+                } else {
+                    NO_RESET
+                };
+                let q = c.outputs(cell)[0];
+                if driver[ck as usize] != u32::MAX {
+                    return Err(format!(
+                        "flop clock {} is driven by logic (gated clock): event engine required",
+                        c.net_names[ck as usize]
+                    ));
+                }
+                if rn != NO_RESET && driver[rn as usize] != u32::MAX {
+                    return Err(format!(
+                        "flop reset {} is driven by logic: event engine required",
+                        c.net_names[rn as usize]
+                    ));
+                }
+                flops.push(Flop { d, ck, rn, q });
+            }
+            _ => {
+                debug_assert!(kind.is_combinational());
+                if kind.num_inputs() > 0 {
+                    *in_graph_slot = true;
+                }
+            }
+        }
+    }
+
+    // Kahn's algorithm over comb→comb edges: detects cycles and yields a
+    // deterministic topological order (FIFO seeded in cell-index order).
+    let mut indegree = vec![0u32; num_cells];
+    for cell in 0..num_cells {
+        if !in_graph[cell] {
+            continue;
+        }
+        for &net in c.inputs(cell) {
+            let d = driver[net as usize];
+            if d != u32::MAX && in_graph[d as usize] {
+                indegree[cell] += 1;
+            }
+        }
+    }
+    let mut queue: std::collections::VecDeque<u32> = (0..num_cells as u32)
+        .filter(|&cell| in_graph[cell as usize] && indegree[cell as usize] == 0)
+        .collect();
+    let mut topo = Vec::with_capacity(num_cells);
+    while let Some(cell) = queue.pop_front() {
+        topo.push(cell);
+        for &out in c.outputs(cell as usize) {
+            let (s, e) = c.readers(out as usize);
+            for &reader in &c.reader_cells[s..e] {
+                if in_graph[reader as usize] {
+                    indegree[reader as usize] -= 1;
+                    if indegree[reader as usize] == 0 {
+                        queue.push_back(reader);
+                    }
+                }
+            }
+        }
+    }
+    let comb_count = in_graph.iter().filter(|&&g| g).count();
+    if topo.len() != comb_count {
+        return Err("combinational cycle: event engine required".to_string());
+    }
+
+    // Cones: connected components of the comb graph. Union the driver of
+    // every comb-driven net with each of its comb readers.
+    let mut parent: Vec<u32> = (0..num_cells as u32).collect();
+    for &cell in &topo {
+        for &net in c.inputs(cell as usize) {
+            let d = driver[net as usize];
+            if d != u32::MAX && in_graph[d as usize] {
+                union(&mut parent, d, cell);
+            }
+        }
+    }
+    // Densify cone ids in order of first appearance along the topo order,
+    // then bucket cells (stable, so each bucket stays topo-sorted).
+    let mut cone_of_root: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut cone_of_cell = vec![u32::MAX; num_cells];
+    for &cell in &topo {
+        let root = find(&mut parent, cell);
+        let next = cone_of_root.len() as u32;
+        let id = *cone_of_root.entry(root).or_insert(next);
+        cone_of_cell[cell as usize] = id;
+    }
+    let num_cones = cone_of_root.len();
+    let mut cone_counts = vec![0u32; num_cones];
+    for &cell in &topo {
+        cone_counts[cone_of_cell[cell as usize] as usize] += 1;
+    }
+    let mut cone_off = Vec::with_capacity(num_cones + 1);
+    cone_off.push(0u32);
+    for &n in &cone_counts {
+        cone_off.push(cone_off.last().unwrap() + n);
+    }
+    let mut cursor: Vec<u32> = cone_off[..num_cones].to_vec();
+    let mut cone_cells = vec![0u32; topo.len()];
+    for &cell in &topo {
+        let cone = cone_of_cell[cell as usize] as usize;
+        cone_cells[cursor[cone] as usize] = cell;
+        cursor[cone] += 1;
+    }
+
+    // net → distinct reading cones (for dirty marking).
+    let mut net_cone_lists: Vec<Vec<u32>> = vec![Vec::new(); num_nets];
+    for &cell in &topo {
+        let cone = cone_of_cell[cell as usize];
+        for &net in c.inputs(cell as usize) {
+            let list = &mut net_cone_lists[net as usize];
+            if !list.contains(&cone) {
+                list.push(cone);
+            }
+        }
+    }
+    let mut net_cone_off = Vec::with_capacity(num_nets + 1);
+    net_cone_off.push(0u32);
+    let mut net_cones = Vec::new();
+    for list in &net_cone_lists {
+        net_cones.extend_from_slice(list);
+        net_cone_off.push(net_cones.len() as u32);
+    }
+
+    Ok(LevelizedNetlist {
+        cone_off,
+        cone_cells,
+        net_cone_off,
+        net_cones,
+        flops,
+    })
+}

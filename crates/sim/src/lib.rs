@@ -42,17 +42,27 @@
 
 #![warn(missing_docs)]
 
+mod bitparallel;
 mod compile;
 mod counters;
 mod engine;
+mod levelize;
 mod reference;
+mod settled;
 mod testbench;
 mod wheel;
 
+pub use bitparallel::BitParallelSimulator;
 pub use compile::CompiledNetlist;
 pub use counters::{
-    events_total, gate_evals_total, totals, wheel_advance_total, wheel_overflow_total, SimCounters,
+    bitpar_cone_skips_total, bitpar_lanes_total, bitpar_totals, bitpar_words_evaluated_total,
+    events_total, gate_evals_total, totals, wheel_advance_total, wheel_overflow_total,
+    BitparCounters, SimCounters,
 };
 pub use engine::{SimConfig, SimResult, Simulator};
+pub use levelize::LevelizedNetlist;
 pub use reference::ReferenceSimulator;
+pub use settled::{
+    run_settled, EngineChoice, NetChange, PackedStimulus, Phase, SettledEngine, SettledRun,
+};
 pub use testbench::ClockedTestbench;

@@ -1,0 +1,234 @@
+//! The settled-state stimulus protocol shared by the event engine and
+//! the bit-parallel fast path.
+//!
+//! Repeated-stimulus workloads (vector-group replay, bulk activity
+//! extraction) are expressed as a [`PackedStimulus`]: a time-sorted list
+//! of [`Phase`]s, each carrying per-lane [`NetChange`]s, plus a per-lane
+//! end time. Activity is observed only at phases flagged
+//! [`Phase::observe`] — cycle boundaries, where every combinational path
+//! launched by the previous phase has settled (the protocol requires the
+//! gap between an observation and the last preceding change to exceed
+//! the design's critical path; one clock period easily does).
+//!
+//! Under that protocol the two engines are interchangeable:
+//! [`run_settled`] picks the bit-parallel engine when the design
+//! levelizes ([`CompiledNetlist::levelized`]) and falls back to a
+//! per-lane event-engine run otherwise — SCPG-transformed netlists
+//! (header wake/sleep edges, isolation control) always take the event
+//! path, because sub-clock timing detail is exactly what levelization
+//! gives up. [`EngineChoice`] forces either path for differential
+//! testing and the serve layer's `SCPG_FORCE_ENGINE` debug hook.
+
+use scpg_liberty::Logic;
+use scpg_netlist::NetId;
+use scpg_waveform::{Activity, ActivityBuilder};
+
+use crate::bitparallel::BitParallelSimulator;
+use crate::compile::CompiledNetlist;
+use crate::engine::{SimConfig, Simulator};
+
+/// One per-lane input change inside a [`Phase`]. Lane `i`'s new value is
+/// encoded by bit `i` of the dual planes: `X` if `unk` is set, else
+/// `val` as the logic level. Lanes outside `lane_mask` are untouched.
+#[derive(Debug, Clone)]
+pub struct NetChange {
+    /// The driven (primary-input) net.
+    pub net: u32,
+    /// Which lanes this change applies to.
+    pub lane_mask: u64,
+    /// Value plane (bit set = drive 1).
+    pub val: u64,
+    /// Unknown plane (bit set = drive X); disjoint from `val`.
+    pub unk: u64,
+}
+
+impl NetChange {
+    /// Drives `net` to the same known level on every lane in `mask`.
+    pub fn level(net: NetId, mask: u64, value: bool) -> Self {
+        Self {
+            net: net.index() as u32,
+            lane_mask: mask,
+            val: if value { mask } else { 0 },
+            unk: 0,
+        }
+    }
+
+    /// Drives `net` per-lane from a value-plane word (known levels only).
+    pub fn word(net: NetId, mask: u64, val: u64) -> Self {
+        Self {
+            net: net.index() as u32,
+            lane_mask: mask,
+            val: val & mask,
+            unk: 0,
+        }
+    }
+
+    /// The [`Logic`] this change drives on `lane`.
+    pub fn logic(&self, lane: usize) -> Logic {
+        let bit = 1u64 << lane;
+        if self.unk & bit != 0 {
+            Logic::X
+        } else if self.val & bit != 0 {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+}
+
+/// A timestamped batch of input changes. Changes apply in list order,
+/// mirroring same-timestamp event scheduling order in the event engine.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Simulation time in picoseconds.
+    pub t: u64,
+    /// Observe settled state (snapshot diff) *before* applying changes.
+    pub observe: bool,
+    /// The changes, in application order.
+    pub changes: Vec<NetChange>,
+}
+
+/// A full multi-lane stimulus program (at most 64 lanes).
+#[derive(Debug, Clone, Default)]
+pub struct PackedStimulus {
+    /// Time-sorted phases.
+    pub phases: Vec<Phase>,
+    /// Per-lane end time; each lane's final observation phase must land
+    /// exactly there.
+    pub lane_ends: Vec<u64>,
+}
+
+impl PackedStimulus {
+    /// Number of stimulus lanes.
+    pub fn lanes(&self) -> usize {
+        self.lane_ends.len()
+    }
+}
+
+/// Which engine a settled run should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// Bit-parallel when the design levelizes, event engine otherwise.
+    #[default]
+    Auto,
+    /// Force the per-lane event engine (always possible).
+    Event,
+    /// Force the bit-parallel engine (errors when ineligible).
+    BitParallel,
+}
+
+impl EngineChoice {
+    /// Parses the `SCPG_FORCE_ENGINE` / config keys.
+    pub fn from_key(key: &str) -> Option<Self> {
+        match key {
+            "auto" => Some(Self::Auto),
+            "event" => Some(Self::Event),
+            "bitpar" => Some(Self::BitParallel),
+            _ => None,
+        }
+    }
+}
+
+/// Which engine a settled run actually used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettledEngine {
+    /// The per-lane event engine.
+    Event,
+    /// The bit-parallel word engine.
+    BitParallel,
+}
+
+impl SettledEngine {
+    /// Stable string key (`"event"` / `"bitpar"`).
+    pub fn key(self) -> &'static str {
+        match self {
+            Self::Event => "event",
+            Self::BitParallel => "bitpar",
+        }
+    }
+}
+
+/// The result of a settled run: one activity record per lane, plus which
+/// engine produced it.
+#[derive(Debug, Clone)]
+pub struct SettledRun {
+    /// Per-lane settled activity.
+    pub activities: Vec<Activity>,
+    /// The engine that ran.
+    pub engine: SettledEngine,
+}
+
+/// Runs `program` over `compiled` under the settled-state protocol.
+///
+/// # Errors
+///
+/// Only when `choice` forces the bit-parallel engine on a design that
+/// does not levelize; `Auto` never fails.
+pub fn run_settled(
+    compiled: &CompiledNetlist,
+    program: &PackedStimulus,
+    window_ps: Option<u64>,
+    choice: EngineChoice,
+) -> Result<SettledRun, String> {
+    let bitpar = match choice {
+        EngineChoice::Event => None,
+        EngineChoice::BitParallel => Some(compiled.levelized()?),
+        EngineChoice::Auto => compiled.levelized().ok(),
+    };
+    match bitpar {
+        Some(lv) => {
+            let activities = BitParallelSimulator::new(compiled, &lv).run(program, window_ps);
+            Ok(SettledRun {
+                activities,
+                engine: SettledEngine::BitParallel,
+            })
+        }
+        None => Ok(SettledRun {
+            activities: run_settled_event(compiled, program, window_ps),
+            engine: SettledEngine::Event,
+        }),
+    }
+}
+
+/// The event-engine reference: each lane is an independent per-vector
+/// simulation observed with the same snapshot-diff protocol. This is
+/// both the fallback path and the oracle the differential tests compare
+/// the bit-parallel engine against.
+pub(crate) fn run_settled_event(
+    compiled: &CompiledNetlist,
+    program: &PackedStimulus,
+    window_ps: Option<u64>,
+) -> Vec<Activity> {
+    let num_nets = compiled.num_nets();
+    (0..program.lanes())
+        .map(|lane| {
+            let bit = 1u64 << lane;
+            let end = program.lane_ends[lane];
+            let mut sim = Simulator::with_compiled(compiled, SimConfig::default());
+            let mut builder = ActivityBuilder::new(num_nets, window_ps);
+            let mut snap = vec![Logic::X; num_nets];
+            for phase in &program.phases {
+                if phase.t > end {
+                    break;
+                }
+                sim.run_until(phase.t);
+                if phase.observe {
+                    for (net, last) in snap.iter_mut().enumerate() {
+                        let v = sim.value(NetId::from_index(net));
+                        if v != *last {
+                            builder.record(phase.t, net, v);
+                            *last = v;
+                        }
+                    }
+                }
+                for ch in &phase.changes {
+                    if ch.lane_mask & bit != 0 {
+                        sim.set_input(NetId::from_index(ch.net as usize), ch.logic(lane));
+                    }
+                }
+            }
+            sim.run_until(end);
+            builder.finish(end)
+        })
+        .collect()
+}

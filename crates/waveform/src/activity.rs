@@ -157,6 +157,36 @@ impl Activity {
         Some(it.fold(first, |acc, p| acc.merge(p)))
     }
 
+    /// Assembles a record from externally accumulated per-net counters —
+    /// the bulk path for engines that keep their own net-major statistics
+    /// (e.g. the bit-parallel simulator) instead of streaming changes
+    /// through an [`ActivityBuilder`].
+    ///
+    /// The caller guarantees the counters describe one run of
+    /// `duration_ps` picoseconds per net (residencies sum to the
+    /// duration). `window_toggles` is padded to the bin count the
+    /// equivalent builder stream would have produced; pass an empty
+    /// vector when `window_ps` is `None`.
+    pub fn from_parts(
+        duration_ps: u64,
+        nets: Vec<NetActivity>,
+        window_ps: Option<u64>,
+        mut window_toggles: Vec<u64>,
+    ) -> Self {
+        if let Some(w) = window_ps {
+            let want = (duration_ps as f64 / w as f64).ceil() as usize;
+            if window_toggles.len() < want {
+                window_toggles.resize(want, 0);
+            }
+        }
+        Activity {
+            duration_ps,
+            nets,
+            window_ps,
+            window_toggles,
+        }
+    }
+
     /// Rebuilds an activity record from a parsed VCD — the paper's
     /// Modelsim → Primetime-PX hand-off, in which the power tool never
     /// sees the simulator, only its dump.

@@ -6,10 +6,13 @@
 //! the final activity record. This is the integration-level guarantee
 //! that the hot-path rewrite changed performance only, never semantics.
 
-use scpg_liberty::{Library, Logic};
+use scpg_liberty::{Library, Logic, PvtCorner};
 use scpg_netlist::{NetId, Netlist};
 use scpg_rng::StdRng;
-use scpg_sim::{ReferenceSimulator, SimConfig, Simulator};
+use scpg_sim::{
+    run_settled, CompiledNetlist, EngineChoice, NetChange, PackedStimulus, Phase,
+    ReferenceSimulator, SettledEngine, SimConfig, Simulator,
+};
 use scpg_synth::LogicBuilder;
 
 const PERIOD: u64 = 1_000_000;
@@ -119,4 +122,142 @@ fn production_engine_matches_reference_on_random_circuits() {
             "case {case}: activity records diverged"
         );
     }
+}
+
+/// Packs `lanes` independent random stimulus sequences into one settled
+/// program mirroring the drive protocol above: at each cycle boundary
+/// the clock rises and fresh data applies (in that order, matching
+/// event scheduling order); the clock falls mid-cycle; settled state is
+/// observed at every boundary.
+fn packed_random_program(
+    rng: &mut StdRng,
+    inputs: &[NetId],
+    clk: NetId,
+    rst_n: NetId,
+    lanes: usize,
+    cycles: usize,
+) -> PackedStimulus {
+    let all: u64 = (1u64 << lanes) - 1;
+    let data = |rng: &mut StdRng| -> Vec<NetChange> {
+        inputs
+            .iter()
+            .map(|&n| {
+                let mut plane = 0u64;
+                for lane in 0..lanes {
+                    if rng.below(2) == 1 {
+                        plane |= 1 << lane;
+                    }
+                }
+                NetChange::word(n, all, plane)
+            })
+            .collect()
+    };
+    let mut phases = Vec::new();
+    for i in 0..cycles {
+        let t0 = i as u64 * PERIOD;
+        let mut changes = Vec::new();
+        if i == 0 {
+            changes.push(NetChange::level(rst_n, all, true));
+            changes.push(NetChange::level(clk, all, false));
+        }
+        changes.push(NetChange::level(clk, all, true));
+        changes.extend(data(rng));
+        phases.push(Phase {
+            t: t0,
+            observe: i > 0,
+            changes,
+        });
+        phases.push(Phase {
+            t: t0 + PERIOD / 2,
+            observe: false,
+            changes: vec![NetChange::level(clk, all, false)],
+        });
+    }
+    phases.push(Phase {
+        t: cycles as u64 * PERIOD,
+        observe: true,
+        changes: Vec::new(),
+    });
+    PackedStimulus {
+        phases,
+        lane_ends: vec![cycles as u64 * PERIOD; lanes],
+    }
+}
+
+/// The bit-parallel engine must match per-lane event-engine runs exactly
+/// — per-net toggle counts, unknown transitions and residency — on
+/// seeded random registered circuits under the settled observation
+/// protocol.
+#[test]
+fn bitparallel_matches_event_engine_on_random_circuits() {
+    let lib = Library::ninety_nm();
+    let mut rng = StdRng::seed_from_u64(0xB17);
+    for case in 0..12 {
+        let (nl, inputs, clk) = build_random(&mut rng, &lib);
+        let rst_n = nl.net_by_name("rst_n").expect("reset net exists");
+        let compiled = CompiledNetlist::compile(&nl, &lib, PvtCorner::default()).unwrap();
+        let lanes = 1 + rng.index(33);
+        let program = packed_random_program(&mut rng, &inputs, clk, rst_n, lanes, 30);
+
+        let fast = run_settled(&compiled, &program, None, EngineChoice::BitParallel)
+            .expect("random registered circuits levelize");
+        assert_eq!(fast.engine, SettledEngine::BitParallel);
+        let slow = run_settled(&compiled, &program, None, EngineChoice::Event).unwrap();
+        assert_eq!(slow.engine, SettledEngine::Event);
+        assert_eq!(fast.activities.len(), lanes);
+        for lane in 0..lanes {
+            assert_eq!(
+                fast.activities[lane], slow.activities[lane],
+                "case {case}, lane {lane}: settled activity diverged"
+            );
+        }
+        // Auto picks the fast path for these designs.
+        let auto = run_settled(&compiled, &program, None, EngineChoice::Auto).unwrap();
+        assert_eq!(auto.engine, SettledEngine::BitParallel);
+        assert_eq!(auto.activities, fast.activities);
+    }
+}
+
+/// Designs the oblivious engine cannot represent fall back to the event
+/// engine: a logic-driven (gated) flop clock must fail levelization, and
+/// `Auto` must still serve the request.
+#[test]
+fn gated_clock_falls_back_to_event_engine() {
+    let lib = Library::ninety_nm();
+    let mut nl = Netlist::new("gated");
+    let clk = nl.add_input("clk");
+    let d = nl.add_input("d");
+    let gclk = nl.add_fresh_net();
+    let q = nl.add_output("q");
+    nl.add_instance("g0", "INV_X1", &[clk, gclk]).unwrap();
+    nl.add_instance("r0", "DFF_X1", &[d, gclk, q]).unwrap();
+    let compiled = CompiledNetlist::compile(&nl, &lib, PvtCorner::default()).unwrap();
+
+    let err = compiled.levelized().expect_err("gated clock must refuse");
+    assert!(err.contains("gated clock"), "{err}");
+    // The refusal is cached, not recomputed.
+    assert_eq!(compiled.levelized().expect_err("still cached"), err);
+
+    let program = PackedStimulus {
+        phases: vec![
+            Phase {
+                t: 0,
+                observe: false,
+                changes: vec![
+                    NetChange::level(clk, 1, false),
+                    NetChange::level(d, 1, true),
+                ],
+            },
+            Phase {
+                t: PERIOD,
+                observe: true,
+                changes: Vec::new(),
+            },
+        ],
+        lane_ends: vec![PERIOD],
+    };
+    assert!(run_settled(&compiled, &program, None, EngineChoice::BitParallel).is_err());
+    let auto = run_settled(&compiled, &program, None, EngineChoice::Auto).unwrap();
+    assert_eq!(auto.engine, SettledEngine::Event, "auto must fall back");
+    assert_eq!(auto.activities.len(), 1);
 }

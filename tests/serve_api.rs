@@ -597,6 +597,118 @@ fn metrics_exposition_passes_prometheus_text_lint() {
     handle.shutdown();
 }
 
+/// `/v1/activity` loopback differential: one server forced onto the
+/// event engine, one forced onto the bit-parallel engine, one on auto.
+/// All three must serve byte-identical bodies (each has its own result
+/// cache, so each computes independently); the process-wide bit-parallel
+/// counters prove which engine actually ran — zero motion for the forced
+/// event server, one lane count's worth for the forced bit-parallel
+/// server, and the same again for auto, i.e. auto took the fast path.
+#[test]
+fn activity_endpoint_is_engine_invariant_and_fast_by_default() {
+    use scpg_sim::EngineChoice;
+    let cfg = |force_engine| ServeConfig {
+        workers: 2,
+        force_engine,
+        ..ServeConfig::default()
+    };
+    let event = Server::bind(cfg(EngineChoice::Event))
+        .expect("bind")
+        .spawn();
+    let bitpar = Server::bind(cfg(EngineChoice::BitParallel))
+        .expect("bind")
+        .spawn();
+    let auto = Server::bind(cfg(EngineChoice::Auto)).expect("bind").spawn();
+    let req = body(r#""cycles": 12, "lanes": 24, "seed": 42"#);
+
+    let before = scpg_sim::bitpar_totals();
+    let served_event = client::post(event.addr(), "/v1/activity", &req).expect("activity");
+    assert_eq!(served_event.status, 200, "{}", served_event.text());
+    let after_event = scpg_sim::bitpar_totals();
+    assert_eq!(
+        after_event.lanes, before.lanes,
+        "forced event engine must not touch the bit-parallel counters"
+    );
+
+    let served_bitpar = client::post(bitpar.addr(), "/v1/activity", &req).expect("activity");
+    assert_eq!(served_bitpar.status, 200, "{}", served_bitpar.text());
+    let after_bitpar = scpg_sim::bitpar_totals();
+    assert_eq!(
+        after_bitpar.lanes - after_event.lanes,
+        24,
+        "forced bit-parallel run must account its lanes"
+    );
+    assert!(
+        after_bitpar.words_evaluated > after_event.words_evaluated,
+        "bit-parallel run evaluated no words?"
+    );
+    assert_eq!(
+        served_bitpar.body, served_event.body,
+        "engines must serve byte-identical activity responses"
+    );
+
+    let served_auto = client::post(auto.addr(), "/v1/activity", &req).expect("activity");
+    assert_eq!(served_auto.status, 200, "{}", served_auto.text());
+    assert_eq!(served_auto.body, served_event.body);
+    let after_auto = scpg_sim::bitpar_totals();
+    assert_eq!(
+        after_auto.lanes - after_bitpar.lanes,
+        24,
+        "auto must take the bit-parallel fast path for this design"
+    );
+
+    // The served body is bit-identical to the direct library call.
+    let lib = Library::ninety_nm();
+    let (baseline, _) = generate_multiplier(&lib, 4);
+    let compiled =
+        scpg_sim::CompiledNetlist::compile(&baseline, &lib, PvtCorner::at_voltage(spec().vdd))
+            .expect("compile");
+    let report = scpg::extract_activity(&compiled, "clk", 12, 24, 42, EngineChoice::Auto)
+        .expect("direct extraction");
+    let expected = api::activity_response(&spec(), &report)
+        .write()
+        .into_bytes();
+    assert_eq!(
+        served_event.body, expected,
+        "served activity != direct library call"
+    );
+    let doc = scpg_json::Json::parse(served_event.text()).unwrap();
+    assert!(doc.get("total_toggles").unwrap().as_u64().unwrap() > 0);
+    assert!(
+        doc.get("engine").is_none(),
+        "engine must not leak into the body"
+    );
+
+    // Flop-free designs (no clock net) still extract; bad shapes refuse;
+    // wrong method is 405; the request counter is live.
+    let chain = client::post(
+        auto.addr(),
+        "/v1/activity",
+        r#"{"design": {"kind": "chain", "length": 8}, "cycles": 4, "lanes": 8}"#,
+    )
+    .expect("chain activity");
+    assert_eq!(chain.status, 200, "{}", chain.text());
+    let over = client::post(auto.addr(), "/v1/activity", &body(r#""cycles": 100000"#)).unwrap();
+    assert_eq!(over.status, 422, "{}", over.text());
+    assert_eq!(
+        client::get(auto.addr(), "/v1/activity").unwrap().status,
+        405
+    );
+    let metrics = client::get(auto.addr(), "/metrics").expect("metrics");
+    assert!(
+        parse_metric(metrics.text(), "scpg_requests_total{endpoint=\"activity\"}").unwrap_or(0.0)
+            >= 2.0
+    );
+    assert!(
+        parse_metric(metrics.text(), "scpg_sim_bitpar_lanes_total").unwrap_or(0.0)
+            >= after_auto.lanes as f64
+    );
+
+    event.shutdown();
+    bitpar.shutdown();
+    auto.shutdown();
+}
+
 #[test]
 fn trickled_header_request_is_served() {
     let handle = Server::bind(ServeConfig {
