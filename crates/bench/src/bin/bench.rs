@@ -521,6 +521,115 @@ fn bench_jobs() -> JobsNumbers {
     }
 }
 
+struct CompareNumbers {
+    techniques: usize,
+    frequencies: usize,
+    cold_ms: f64,
+    models_hot_ms: f64,
+    cache_hit_p50_ms: f64,
+    per_technique_ms: Vec<(String, f64)>,
+    scpg_identical: bool,
+}
+
+/// Measures the technique bake-off path: a cold `/v1/compare` that
+/// compiles the design and prepares every registered technique model
+/// (per-technique prepare cost read back from the request's own trace
+/// spans), a second request on fresh frequencies with the model LRU hot,
+/// and the cache-hit p50; plus the bit-identity of the scpg row against
+/// `/v1/sweep`.
+fn bench_compare() -> CompareNumbers {
+    let handle = scpg_serve::Server::bind(scpg_serve::ServeConfig::default())
+        .expect("bind loopback server")
+        .spawn();
+    let addr = handle.addr();
+    const FREQS: &str = "[1e6, 2e6, 5e6, 1e7, 1.43e7]";
+    let request =
+        format!(r#"{{"design": {{"kind": "multiplier", "bits": 8}}, "frequencies_hz": {FREQS}}}"#);
+
+    let t0 = Instant::now();
+    let cold = scpg_serve::client::post_traced(addr, "/v1/compare", &request, "bench-compare")
+        .expect("cold compare");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    let rows = Json::parse(cold.text())
+        .expect("compare doc")
+        .get("techniques")
+        .and_then(|t| t.as_array().map(<[Json]>::to_vec))
+        .expect("technique rows");
+
+    // Per-technique prepare+evaluate cost, from the request's own spans.
+    let trace = scpg_serve::client::get(addr, "/v1/traces/bench-compare").expect("trace");
+    let mut per_technique_ms = Vec::new();
+    if let Some(spans) = Json::parse(trace.text()).ok().and_then(|d| {
+        d.get("spans")
+            .and_then(|s| s.as_array().map(<[Json]>::to_vec))
+    }) {
+        for span in &spans {
+            let stage = span.get("stage").and_then(Json::as_str).unwrap_or_default();
+            if let Some(name) = stage.strip_prefix("technique:") {
+                let us = span
+                    .get("duration_us")
+                    .and_then(Json::as_f64)
+                    .unwrap_or_default();
+                per_technique_ms.push((name.to_string(), us / 1e3));
+            }
+        }
+    }
+
+    // Fresh frequencies, same design + techniques: the artifact and every
+    // technique model come out of their caches; only evaluation runs.
+    let other = r#"{"design": {"kind": "multiplier", "bits": 8}, "frequencies_hz": [3e6, 4e6, 6e6, 8e6, 1.2e7]}"#;
+    let t0 = Instant::now();
+    let hot = scpg_serve::client::post(addr, "/v1/compare", other).expect("hot compare");
+    let models_hot_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(hot.status, 200, "{}", hot.text());
+
+    // Identical request: result-cache hits, the dashboard steady state.
+    let mut samples = Vec::with_capacity(20);
+    for _ in 0..20 {
+        let t0 = Instant::now();
+        let resp = scpg_serve::client::post(addr, "/v1/compare", &request).expect("cached compare");
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert_eq!(resp.body, cold.body, "cache hit must be byte-identical");
+    }
+    samples.sort_by(f64::total_cmp);
+    let cache_hit_p50_ms = percentile(&samples, 0.50);
+
+    // The scpg row is the paper reproduction: bit-identical to /v1/sweep.
+    let sweep = scpg_serve::client::post(
+        addr,
+        "/v1/sweep",
+        &format!(
+            r#"{{"design": {{"kind": "multiplier", "bits": 8}}, "frequencies_hz": {FREQS}, "mode": "scpg"}}"#
+        ),
+    )
+    .expect("sweep");
+    assert_eq!(sweep.status, 200, "{}", sweep.text());
+    let scpg_points = rows
+        .iter()
+        .find(|r| r.get("technique").and_then(Json::as_str) == Some("scpg"))
+        .and_then(|r| r.get("points"))
+        .expect("scpg row")
+        .write();
+    let sweep_points = Json::parse(sweep.text())
+        .expect("sweep doc")
+        .get("points")
+        .expect("sweep points")
+        .write();
+
+    handle.shutdown();
+    CompareNumbers {
+        techniques: rows.len(),
+        frequencies: 5,
+        cold_ms,
+        models_hot_ms,
+        cache_hit_p50_ms,
+        per_technique_ms,
+        scpg_identical: scpg_points == sweep_points,
+    }
+}
+
 /// Keeps the emitted JSON readable: fixed decimals instead of the full
 /// shortest-round-trip expansion of a timing measurement.
 fn round3(x: f64) -> f64 {
@@ -661,6 +770,25 @@ fn main() {
         "chunked job result must be byte-identical to the interactive sweep"
     );
 
+    println!("[bench] technique bake-off: cold vs model-cache-hot vs cache hit...");
+    let cmp = bench_compare();
+    println!(
+        "  {} techniques x {} freqs: cold {:.1} ms, models hot {:.1} ms, cache-hit p50 {:.3} ms, scpg row identical to sweep: {}",
+        cmp.techniques,
+        cmp.frequencies,
+        cmp.cold_ms,
+        cmp.models_hot_ms,
+        cmp.cache_hit_p50_ms,
+        cmp.scpg_identical
+    );
+    for (name, ms) in &cmp.per_technique_ms {
+        println!("    {name}: {ms:.2} ms prepare+evaluate");
+    }
+    assert!(
+        cmp.scpg_identical,
+        "the scpg compare row must be bit-identical to /v1/sweep"
+    );
+
     let doc = Json::object([
         ("threads", Json::from(threads)),
         (
@@ -786,6 +914,26 @@ fn main() {
                 ("run_ms", Json::from(round3(jobs.run_ms))),
                 ("store_reload_ms", Json::from(round3(jobs.reload_ms))),
                 ("byte_identical", Json::from(jobs.byte_identical)),
+            ]),
+        ),
+        (
+            "compare",
+            Json::object([
+                ("techniques", Json::from(cmp.techniques)),
+                ("frequencies", Json::from(cmp.frequencies)),
+                ("cold_ms", Json::from(round3(cmp.cold_ms))),
+                ("models_hot_ms", Json::from(round3(cmp.models_hot_ms))),
+                ("cache_hit_p50_ms", Json::from(round4(cmp.cache_hit_p50_ms))),
+                (
+                    "per_technique_ms",
+                    Json::object(
+                        cmp.per_technique_ms
+                            .iter()
+                            .map(|(name, ms)| (name.as_str(), Json::from(round3(*ms))))
+                            .collect::<Vec<_>>(),
+                    ),
+                ),
+                ("scpg_identical_to_sweep", Json::from(cmp.scpg_identical)),
             ]),
         ),
     ]);

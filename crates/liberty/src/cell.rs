@@ -445,6 +445,20 @@ impl Cell {
         c
     }
 
+    /// A renamed variant of this cell with its threshold shifted by `dv`
+    /// and its area scaled by `area_factor` — the primitive behind
+    /// technique-derived cells (e.g. LECTOR-style leakage-controlled
+    /// gates, which trade area and speed for a raised effective V_t).
+    ///
+    /// The variant keeps the base cell's [`CellKind`], so it stays a
+    /// drop-in replacement in any netlist position the base cell held.
+    pub fn derived(&self, name: impl Into<String>, dv: Voltage, area_factor: f64) -> Cell {
+        let mut c = self.with_vt_shift(dv);
+        c.name = name.into();
+        c.area = Area::from_um2(c.area.as_um2() * area_factor);
+        c
+    }
+
     /// Energy dissipated by one output transition at supply `v` into
     /// `c_load`: internal energy (scaled `∝ V²`) plus
     /// `½·(C_out + C_load)·V²`.

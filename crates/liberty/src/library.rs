@@ -236,6 +236,43 @@ impl Library {
             .collect();
         out
     }
+
+    /// Registers a derived variant of an existing cell under a new name:
+    /// same logic function, threshold shifted by `dv`, area scaled by
+    /// `area_factor` (see [`Cell::derived`]).
+    ///
+    /// This is how techniques add characterised replacement cells (e.g.
+    /// LECTOR-style `__LCT` variants) without re-entering raw
+    /// characterisation data. Fails when `base` is absent, `name` is
+    /// already taken, or `area_factor` is not a positive finite number.
+    pub fn add_derived_cell(
+        &mut self,
+        base: &str,
+        name: &str,
+        dv: Voltage,
+        area_factor: f64,
+    ) -> Result<(), String> {
+        if !(area_factor.is_finite() && area_factor > 0.0) {
+            return Err(format!(
+                "area_factor must be positive and finite, got {area_factor}"
+            ));
+        }
+        if self.cells.contains_key(name) {
+            return Err(format!(
+                "cell `{name}` already exists in library `{}`",
+                self.name
+            ));
+        }
+        let Some(cell) = self.cells.get(base) else {
+            return Err(format!(
+                "base cell `{base}` not found in library `{}`",
+                self.name
+            ));
+        };
+        let derived = cell.derived(name, dv, area_factor);
+        self.cells.insert(name.to_string(), derived);
+        Ok(())
+    }
 }
 
 /// Assembles a [`Library`] cell by cell.

@@ -289,6 +289,21 @@ impl Netlist {
         self.instances[id.index()].domain = domain;
     }
 
+    /// Swaps the library cell an instance is bound to.
+    ///
+    /// The new cell must share the old cell's [`CellKind`] pin interface
+    /// (same pin count and order) — the connection list is kept as-is.
+    /// This is the primitive behind in-place cell substitution (e.g. a
+    /// technique swapping gates for derived leakage-controlled variants);
+    /// callers re-[`validate`](Netlist::validate) afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this netlist.
+    pub fn set_cell(&mut self, id: InstId, cell: impl Into<String>) {
+        self.instances[id.index()].cell = cell.into();
+    }
+
     /// Rewires one pin of an instance to a different net.
     ///
     /// This is the primitive behind isolation insertion: the SCPG flow

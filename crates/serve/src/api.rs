@@ -12,6 +12,9 @@ use scpg::service::{Query, QueryLimits};
 use scpg::Mode;
 use scpg_json::Json;
 use scpg_power::{VariationConfig, VariationStudy};
+use scpg_technique::{
+    AreaReport, DelayReport, ResolvedParams, TechniqueError, TechniquePoint, TechniqueRegistry,
+};
 use scpg_units::{Energy, Frequency, Power, Voltage};
 
 use crate::designs::{DesignKind, DesignSpec};
@@ -201,6 +204,187 @@ pub fn parse_variation(
             seed,
         },
     ))
+}
+
+/// One requested technique of a `/v1/compare` body: a registered name
+/// plus its resolved (defaulted, validated) parameters.
+#[derive(Debug, Clone)]
+pub struct CompareTechnique {
+    /// The technique's registry name.
+    pub name: String,
+    /// Parameters after defaulting and schema validation;
+    /// [`ResolvedParams::canonical`] is the params component of compare
+    /// cache keys.
+    pub params: ResolvedParams,
+}
+
+/// Parses a `/v1/compare` body: design, frequency sweep, and the list of
+/// techniques to bake off. `techniques` entries are either registered
+/// names (`"scpg"`) or `{"name": ..., "params": {...}}` objects; an
+/// omitted field compares **all** registered techniques at their default
+/// parameters. Admission bounds `techniques × frequencies` by the same
+/// `max_sweep_points` limit a sweep obeys.
+///
+/// # Errors
+///
+/// A human-readable refusal (maps to `422`).
+pub fn parse_compare(
+    body: &Json,
+    limits: &QueryLimits,
+    registry: &TechniqueRegistry,
+) -> Result<(DesignSpec, Vec<Frequency>, Vec<CompareTechnique>), String> {
+    let spec = parse_design(body, limits)?;
+    let frequencies = parse_frequencies(body)?;
+    // The frequency list obeys the sweep admission rules (non-empty,
+    // inside the served band, bounded count).
+    Query::Sweep {
+        frequencies: frequencies.clone(),
+        mode: Mode::Scpg,
+    }
+    .validate(limits)
+    .map_err(|e| e.to_string())?;
+    let techniques = match body.get("techniques") {
+        None | Some(Json::Null) => registry
+            .iter()
+            .map(|t| {
+                Ok(CompareTechnique {
+                    name: t.name().to_string(),
+                    params: scpg_technique::resolve_params(t.params(), None)
+                        .map_err(|e| e.to_string())?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        Some(v) => {
+            let list = v
+                .as_array()
+                .ok_or("techniques must be an array of names or {name, params} objects")?;
+            if list.is_empty() {
+                return Err(
+                    "techniques must be non-empty (omit the field to compare all registered \
+                     techniques)"
+                        .to_string(),
+                );
+            }
+            list.iter()
+                .map(|entry| {
+                    let (name, params) = match entry {
+                        Json::Str(s) => (s.as_str(), None),
+                        obj => {
+                            let name = obj.get("name").and_then(Json::as_str).ok_or(
+                                "techniques entries must be a name string or a {name, params} \
+                                 object",
+                            )?;
+                            (name, obj.get("params"))
+                        }
+                    };
+                    let tech = registry.get(name).ok_or_else(|| {
+                        format!("unknown technique {name:?} (known: {:?})", registry.names())
+                    })?;
+                    let params = scpg_technique::resolve_params(tech.params(), params)
+                        .map_err(|e| e.to_string())?;
+                    Ok(CompareTechnique {
+                        name: name.to_string(),
+                        params,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?
+        }
+    };
+    let total = techniques.len() * frequencies.len();
+    if total > limits.max_sweep_points {
+        return Err(format!(
+            "techniques × frequencies = {total} points exceeds max_sweep_points {}",
+            limits.max_sweep_points
+        ));
+    }
+    Ok((spec, frequencies, techniques))
+}
+
+/// One technique operating point as JSON — the same field set and order
+/// as [`point_json`], so the `scpg` technique's compare points serialize
+/// **byte-identically** to the sweep endpoint's for the same design and
+/// frequencies.
+pub fn technique_point_json(p: &TechniquePoint) -> Json {
+    Json::object([
+        ("frequency_hz", Json::Num(p.frequency.value())),
+        ("mode", Json::from(p.mode.as_str())),
+        ("duty", Json::Num(p.duty)),
+        ("power_w", Json::Num(p.power.value())),
+        ("energy_per_op_j", Json::Num(p.energy_per_op.value())),
+        ("gated", Json::Bool(p.gated)),
+    ])
+}
+
+/// One compare row from already-serialized point fragments. Batch
+/// compare jobs checkpoint [`technique_point_json`] fragments chunk by
+/// chunk and assemble through this exact path, so a chunked compare
+/// result is bit-identical to the interactive response.
+pub fn compare_row_with_points(
+    name: &str,
+    params: &ResolvedParams,
+    area: &AreaReport,
+    delay: &DelayReport,
+    points: Vec<Json>,
+) -> Json {
+    Json::object([
+        ("technique", Json::from(name)),
+        ("params", Json::from(params.canonical())),
+        (
+            "area",
+            Json::object([
+                ("cells", Json::from(area.cells)),
+                ("area_um2", Json::Num(area.area.as_um2())),
+                ("overhead_frac", Json::Num(area.overhead_frac)),
+            ]),
+        ),
+        (
+            "delay",
+            Json::object([
+                ("min_period_s", Json::Num(delay.min_period.value())),
+                ("f_max_hz", Json::Num(delay.f_max.value())),
+            ]),
+        ),
+        ("points", Json::Arr(points)),
+    ])
+}
+
+/// The `/v1/compare` response document from assembled rows.
+pub fn compare_response_with_rows(spec: &DesignSpec, rows: Vec<Json>) -> Json {
+    Json::object([
+        ("design", Json::from(spec.key())),
+        ("techniques", Json::Arr(rows)),
+    ])
+}
+
+/// The JSON error body for a refused technique prepare. An
+/// [`TechniqueError::AlreadyTransformed`] refusal additionally carries
+/// machine-readable `already_transformed`, `technique` and `marker`
+/// fields, so clients can tell "you tried to double-gate" apart from
+/// ordinary validation failures.
+pub fn technique_error_body(err: &TechniqueError) -> Vec<u8> {
+    let mut fields = vec![("error".to_string(), Json::from(err.to_string()))];
+    if let TechniqueError::AlreadyTransformed { technique, marker } = err {
+        fields.push(("already_transformed".to_string(), Json::Bool(true)));
+        fields.push(("technique".to_string(), Json::from(technique.as_str())));
+        fields.push(("marker".to_string(), Json::from(marker.as_str())));
+    }
+    Json::Obj(fields).write().into_bytes()
+}
+
+/// The `GET /v1/designs` technique listing: name, one-line summary and
+/// the full parameter schema of every registered technique, in
+/// registration order.
+pub fn technique_summaries(registry: &TechniqueRegistry) -> Vec<Json> {
+    registry
+        .iter()
+        .map(|t| {
+            Json::object([
+                ("name", Json::from(t.name())),
+                ("summary", Json::from(t.summary())),
+                ("params", scpg_technique::params_schema_json(t.params())),
+            ])
+        })
+        .collect()
 }
 
 /// Ceiling on `cycles` for `/v1/activity`: with 64 lanes this bounds one
@@ -398,9 +582,10 @@ pub fn variation_response(spec: &DesignSpec, study: &VariationStudy) -> Json {
 }
 
 /// The `GET /v1/designs` discovery document: supported design kinds,
-/// the server's resource limits, and summaries of every uploaded netlist
-/// currently registered.
-pub fn designs_response(limits: &QueryLimits, netlists: Vec<Json>) -> Json {
+/// the registered low-power techniques (with parameter schemas, see
+/// [`technique_summaries`]), the server's resource limits, and summaries
+/// of every uploaded netlist currently registered.
+pub fn designs_response(limits: &QueryLimits, netlists: Vec<Json>, techniques: Vec<Json>) -> Json {
     Json::object([
         (
             "kinds",
@@ -410,6 +595,7 @@ pub fn designs_response(limits: &QueryLimits, netlists: Vec<Json>) -> Json {
                 Json::from("netlist"),
             ]),
         ),
+        ("techniques", Json::Arr(techniques)),
         (
             "limits",
             Json::object([
@@ -629,8 +815,13 @@ mod tests {
     }
 
     #[test]
-    fn designs_response_lists_kinds_limits_and_netlists() {
-        let doc = designs_response(&limits(), vec![Json::object([("id", Json::from("abc"))])]);
+    fn designs_response_lists_kinds_limits_netlists_and_techniques() {
+        let registry = TechniqueRegistry::standard();
+        let doc = designs_response(
+            &limits(),
+            vec![Json::object([("id", Json::from("abc"))])],
+            technique_summaries(&registry),
+        );
         assert_eq!(doc.get("kinds").unwrap().as_array().unwrap().len(), 3);
         let lim = doc.get("limits").unwrap();
         assert_eq!(lim.get("max_netlist_gates").unwrap().as_u64(), Some(20_000));
@@ -639,6 +830,110 @@ mod tests {
             Some(512 * 1024)
         );
         assert_eq!(doc.get("netlists").unwrap().as_array().unwrap().len(), 1);
+        let techs = doc.get("techniques").unwrap().as_array().unwrap();
+        assert_eq!(techs.len(), 4);
+        assert_eq!(techs[1].get("name").unwrap().as_str(), Some("scpg"));
+        assert!(techs[1].get("summary").unwrap().as_str().is_some());
+        // Every schema is a (possibly empty) parameter array.
+        for t in techs {
+            assert!(t.get("params").unwrap().as_array().is_some());
+        }
+    }
+
+    #[test]
+    fn compare_parses_defaults_names_and_param_objects() {
+        let registry = TechniqueRegistry::standard();
+        // Omitted techniques field: all registered, default params.
+        let body = Json::parse(r#"{"frequencies_hz": [1e6]}"#).unwrap();
+        let (_, freqs, techs) = parse_compare(&body, &limits(), &registry).unwrap();
+        assert_eq!(freqs, vec![Frequency::new(1e6)]);
+        assert_eq!(
+            techs.iter().map(|t| t.name.as_str()).collect::<Vec<_>>(),
+            ["baseline", "scpg", "ctsg", "lector"]
+        );
+        // Mixed name strings and {name, params} objects.
+        let body = Json::parse(
+            r#"{"frequencies_hz": [1e6],
+                "techniques": ["baseline", {"name": "ctsg", "params": {"clusters": 2}}]}"#,
+        )
+        .unwrap();
+        let (_, _, techs) = parse_compare(&body, &limits(), &registry).unwrap();
+        assert_eq!(techs.len(), 2);
+        assert_eq!(techs[1].params.canonical(), "clusters=2,header=auto");
+    }
+
+    #[test]
+    fn compare_refusals_name_the_problem() {
+        let registry = TechniqueRegistry::standard();
+        for (body, needle) in [
+            (r#"{"frequencies_hz": []}"#, "non-empty"),
+            (
+                r#"{"frequencies_hz": [1e6], "techniques": []}"#,
+                "non-empty",
+            ),
+            (
+                r#"{"frequencies_hz": [1e6], "techniques": ["warp"]}"#,
+                "unknown technique",
+            ),
+            (
+                r#"{"frequencies_hz": [1e6], "techniques": [{"params": {}}]}"#,
+                "name string",
+            ),
+            (
+                r#"{"frequencies_hz": [1e6], "techniques": [{"name": "ctsg", "params": {"clusters": 99}}]}"#,
+                "clusters",
+            ),
+        ] {
+            let parsed = Json::parse(body).unwrap();
+            let err = parse_compare(&parsed, &limits(), &registry).expect_err(body);
+            assert!(err.contains(needle), "{body} → {err}");
+        }
+        // techniques × frequencies is bounded by max_sweep_points.
+        let mut lim = limits();
+        lim.max_sweep_points = 5;
+        let body = Json::parse(r#"{"frequencies_hz": [1e6, 2e6]}"#).unwrap();
+        let err = parse_compare(&body, &lim, &registry).expect_err("4×2 > 5");
+        assert!(err.contains("max_sweep_points"), "{err}");
+    }
+
+    #[test]
+    fn technique_point_serializes_like_a_sweep_point() {
+        // The byte-identity anchor: for equal numbers, the two point
+        // serializers must emit identical text.
+        let op = OperatingPoint {
+            frequency: Frequency::from_mhz(1.0),
+            mode: Mode::Scpg,
+            duty: 0.375,
+            power: Power::new(1.0 / 3.0 * 1e-6),
+            energy_per_op: Energy::new(2.3e-12),
+            gated: true,
+        };
+        let tp = TechniquePoint {
+            frequency: op.frequency,
+            mode: op.mode.key().to_string(),
+            duty: op.duty,
+            power: op.power,
+            energy_per_op: op.energy_per_op,
+            gated: op.gated,
+        };
+        assert_eq!(point_json(&op).write(), technique_point_json(&tp).write());
+    }
+
+    #[test]
+    fn technique_error_bodies_are_structured_for_double_gating() {
+        let err = TechniqueError::AlreadyTransformed {
+            technique: "scpg".to_string(),
+            marker: "scpg control instance `scpg_hdr`".to_string(),
+        };
+        let body = technique_error_body(&err);
+        let v = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(v.get("already_transformed").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("technique").unwrap().as_str(), Some("scpg"));
+        assert!(v.get("marker").unwrap().as_str().unwrap().contains("scpg_"));
+        // Ordinary failures stay plain error bodies.
+        let plain = technique_error_body(&TechniqueError::Unsupported("x".into()));
+        let v = Json::parse(std::str::from_utf8(&plain).unwrap()).unwrap();
+        assert!(v.get("already_transformed").is_none());
     }
 
     #[test]

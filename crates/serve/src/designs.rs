@@ -24,6 +24,7 @@ use scpg_jobs::{NetlistRegistry, UploadedNetlist};
 use scpg_liberty::{Library, PvtCorner};
 use scpg_netlist::Netlist;
 use scpg_sim::CompiledNetlist;
+use scpg_technique::{PrepareContext, ResolvedParams, Technique, TechniqueError, TechniqueModel};
 use scpg_units::{Energy, Voltage};
 
 /// Which circuit a request targets.
@@ -160,6 +161,22 @@ pub struct DesignArtifact {
     pub clock: String,
     analysis: OnceLock<Result<Arc<ScpgAnalysis>, String>>,
     compiled: OnceLock<Result<Arc<CompiledNetlist>, String>>,
+    techniques: Mutex<TechniqueCacheState>,
+}
+
+/// One technique-model slot: the lazily prepared model plus its LRU
+/// stamp. The cell is shared out under the artifact lock and prepared
+/// outside it, so only concurrent requests for the *same*
+/// (technique, params) wait on each other.
+struct TechniqueSlot {
+    cell: Arc<OnceLock<Result<Arc<dyn TechniqueModel>, TechniqueError>>>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct TechniqueCacheState {
+    map: HashMap<String, TechniqueSlot>,
+    tick: u64,
 }
 
 impl DesignArtifact {
@@ -182,7 +199,83 @@ impl DesignArtifact {
             clock,
             analysis: OnceLock::new(),
             compiled: OnceLock::new(),
+            techniques: Mutex::new(TechniqueCacheState::default()),
         }
+    }
+
+    /// Cap on prepared technique models resident per artifact. Each model
+    /// owns a transformed netlist plus its analysis rollups, and the
+    /// param space (clusters × headers × stages × shifts) is large enough
+    /// that an unbounded map would let a client iterating params grow
+    /// memory without limit.
+    pub const MAX_TECHNIQUE_MODELS: usize = 8;
+
+    /// The prepared model for `(technique, params)` on this design,
+    /// keyed by the technique name plus the canonical parameter string so
+    /// repeated compares **never re-run the transform/analysis pipeline**.
+    /// At capacity the least-recently-used model is evicted (in-flight
+    /// holders keep their `Arc`; an evicted model re-prepares on next
+    /// use). Prepare failures are cached like successes — retrying an
+    /// `Unsupported` design cannot get cheaper by repetition.
+    ///
+    /// # Errors
+    ///
+    /// The (cached) [`TechniqueError`] from `prepare`.
+    pub fn technique_model(
+        &self,
+        technique: &dyn Technique,
+        params: &ResolvedParams,
+    ) -> Result<Arc<dyn TechniqueModel>, TechniqueError> {
+        let key = format!("{}:{}", technique.name(), params.canonical());
+        let cell = {
+            let mut state = self.techniques.lock().expect("technique cache poisoned");
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(slot) = state.map.get_mut(&key) {
+                slot.last_used = tick;
+                Arc::clone(&slot.cell)
+            } else {
+                if state.map.len() >= Self::MAX_TECHNIQUE_MODELS {
+                    if let Some(victim) = state
+                        .map
+                        .iter()
+                        .min_by_key(|(_, s)| s.last_used)
+                        .map(|(k, _)| k.clone())
+                    {
+                        state.map.remove(&victim);
+                    }
+                }
+                let cell = Arc::new(OnceLock::new());
+                state.map.insert(
+                    key,
+                    TechniqueSlot {
+                        cell: Arc::clone(&cell),
+                        last_used: tick,
+                    },
+                );
+                cell
+            }
+        };
+        cell.get_or_init(|| {
+            let ctx = PrepareContext {
+                lib: &self.lib,
+                baseline: &self.baseline,
+                clock: &self.clock,
+                e_dyn: self.spec.e_dyn,
+                corner: PvtCorner::at_voltage(self.spec.vdd),
+            };
+            technique.prepare(&ctx, params)
+        })
+        .clone()
+    }
+
+    /// Distinct technique models resident on this artifact right now.
+    pub fn technique_models_len(&self) -> usize {
+        self.techniques
+            .lock()
+            .expect("technique cache poisoned")
+            .map
+            .len()
     }
 
     /// The shared analysis engine, built exactly once per artifact.
@@ -439,6 +532,65 @@ mod tests {
         );
         // The evicted artifact stayed usable for its in-flight holders.
         assert_eq!(two.spec.kind, DesignKind::Chain { length: 2 });
+    }
+
+    #[test]
+    fn technique_models_cache_by_params_and_evict_lru() {
+        let reg = DesignRegistry::new();
+        let art = reg
+            .get(
+                &DesignSpec {
+                    kind: DesignKind::Multiplier { bits: 4 },
+                    ..DesignSpec::default_multiplier()
+                },
+                None,
+            )
+            .unwrap();
+        let tech = scpg_technique::LectorTechnique;
+        let params_for = |mv: i64| {
+            let body = scpg_json::Json::parse(&format!(r#"{{"vt_shift_mv": {mv}}}"#)).unwrap();
+            scpg_technique::resolve_params(scpg_technique::Technique::params(&tech), Some(&body))
+                .unwrap()
+        };
+        let first = art.technique_model(&tech, &params_for(10)).unwrap();
+        let again = art.technique_model(&tech, &params_for(10)).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "repeated compares reuse the prepared model, no recompile"
+        );
+        assert_eq!(art.technique_models_len(), 1);
+
+        // Fill to capacity with distinct params (distinct cache keys).
+        let mut filled = Vec::new();
+        for i in 1..DesignArtifact::MAX_TECHNIQUE_MODELS {
+            filled.push(
+                art.technique_model(&tech, &params_for(10 + i as i64))
+                    .unwrap(),
+            );
+        }
+        assert_eq!(
+            art.technique_models_len(),
+            DesignArtifact::MAX_TECHNIQUE_MODELS
+        );
+        // Touch the first entry so the second becomes the LRU victim,
+        // then overflow by one.
+        let _ = art.technique_model(&tech, &params_for(10)).unwrap();
+        let _ = art.technique_model(&tech, &params_for(99)).unwrap();
+        assert_eq!(
+            art.technique_models_len(),
+            DesignArtifact::MAX_TECHNIQUE_MODELS,
+            "capacity holds under churn"
+        );
+        let first_again = art.technique_model(&tech, &params_for(10)).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &first_again),
+            "recently used model survived the eviction"
+        );
+        let victim_again = art.technique_model(&tech, &params_for(11)).unwrap();
+        assert!(
+            !Arc::ptr_eq(&filled[0], &victim_again),
+            "evicted model re-prepares fresh"
+        );
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //!
 //! * `POST /v1/sweep` / `/v1/table` / `/v1/headline` / `/v1/variation` —
 //!   JSON queries (see [`api`] for the wire format);
+//! * `POST /v1/compare` — a bake-off of registered low-power techniques
+//!   (`baseline`, `scpg`, `ctsg`, `lector`, see [`scpg_technique`]):
+//!   per-technique power/area/delay across a frequency sweep, with the
+//!   `scpg` row bit-identical to `/v1/sweep` for the same design;
 //! * `POST /v1/netlists` — upload a structural-Verilog design; it is
 //!   validated, compiled and stored content-addressed, after which any
 //!   query can name it via `{"design": {"kind": "netlist", "id": ...}}`;
@@ -78,6 +82,7 @@ use scpg_jobs::{
 use scpg_json::Json;
 use scpg_liberty::Library;
 use scpg_power::{VariationConfig, VariationStudy};
+use scpg_technique::{TechniqueError, TechniqueRegistry};
 use scpg_units::Frequency;
 
 use crate::cache::ShardedCache;
@@ -168,6 +173,8 @@ struct Shared {
     /// test process never pollute each other's counts.
     trace: scpg_trace::Registry,
     registry: Arc<DesignRegistry>,
+    /// The registered low-power techniques behind `POST /v1/compare`.
+    techniques: Arc<TechniqueRegistry>,
     /// Uploaded-netlist registry (content-addressed, possibly on disk).
     netlists: Arc<NetlistRegistry>,
     /// Batch-job manager; chunks run on the worker pool's batch lane.
@@ -241,8 +248,10 @@ impl Server {
             },
         ));
         let registry = Arc::new(DesignRegistry::new());
+        let techniques = Arc::new(TechniqueRegistry::standard());
         let executor = Arc::new(ServeExecutor {
             registry: Arc::clone(&registry),
+            techniques: Arc::clone(&techniques),
             netlists: Arc::clone(&netlists),
             limits: config.limits,
             debug_job_delay_ms: config.debug_job_delay_ms,
@@ -269,6 +278,7 @@ impl Server {
             metrics: Metrics::default(),
             trace: scpg_trace::Registry::new(),
             registry,
+            techniques,
             netlists,
             jobs,
             traces,
@@ -750,11 +760,16 @@ fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Rep
         ("POST", "/v1/headline") => handle_api(shared, "headline", &req.body, trace),
         ("POST", "/v1/variation") => handle_api(shared, "variation", &req.body, trace),
         ("POST", "/v1/activity") => handle_api(shared, "activity", &req.body, trace),
+        ("POST", "/v1/compare") => handle_api(shared, "compare", &req.body, trace),
         ("POST", "/v1/netlists") => handle_netlist_upload(shared, req, trace),
         ("GET", "/v1/designs") => {
             shared.metrics.inc_request("designs");
             trace.endpoint = Some("designs");
-            let doc = api::designs_response(&shared.config.limits, shared.netlists.summaries());
+            let doc = api::designs_response(
+                &shared.config.limits,
+                shared.netlists.summaries(),
+                api::technique_summaries(&shared.techniques),
+            );
             (200, "application/json", doc.write().into_bytes())
         }
         (method, path) if path == "/v1/jobs" || path.starts_with("/v1/jobs/") => {
@@ -771,7 +786,7 @@ fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Rep
         (
             _,
             "/v1/sweep" | "/v1/table" | "/v1/headline" | "/v1/variation" | "/v1/activity"
-            | "/v1/netlists",
+            | "/v1/compare" | "/v1/netlists",
         ) => (
             405,
             "application/json",
@@ -988,7 +1003,7 @@ fn handle_job_submit(shared: &Arc<Shared>, raw_body: &[u8], trace_id: &str) -> R
         return (
             422,
             "application/json",
-            api::error_body("kind must be \"sweep\", \"table\" or \"variation\""),
+            api::error_body("kind must be \"sweep\", \"table\", \"variation\" or \"compare\""),
         );
     };
     let request = body
@@ -1155,6 +1170,18 @@ fn handle_api(
                 };
                 let choice = shared.config.force_engine;
                 Box::new(move || run_activity(&registry, &netlists, spec, req, choice, delay))
+            }
+            "compare" => {
+                let parsed = api::parse_compare(&body, &limits, &shared.techniques);
+                let (spec, frequencies, techs) = match parsed {
+                    Ok(p) => p,
+                    Err(e) => return (422, "application/json", api::error_body(&e)),
+                };
+                // The worker needs the technique registry, metrics and
+                // trace store, so it captures the whole shared state.
+                let shared = Arc::clone(shared);
+                let trace_id = trace.trace_id.clone();
+                Box::new(move || run_compare(&shared, spec, &frequencies, &techs, &trace_id, delay))
             }
             _ => unreachable!("handle_api is only routed for v1 endpoints"),
         }
@@ -1387,6 +1414,108 @@ fn run_activity(
     out
 }
 
+/// The `/v1/compare` worker: prepares each requested technique's model
+/// against the shared design artifact (cached per (technique, params) in
+/// the artifact's LRU, so repeated compares never recompile), evaluates
+/// the frequency sweep, and assembles the rows through the same builders
+/// the batch-job path uses. Each technique files a span under the
+/// request's trace id.
+fn run_compare(
+    shared: &Arc<Shared>,
+    spec: designs::DesignSpec,
+    frequencies: &[Frequency],
+    techniques: &[api::CompareTechnique],
+    trace_id: &str,
+    delay_ms: u64,
+) -> JobOutput {
+    debug_delay(delay_ms);
+    let mut timing = JobTiming::default();
+    let work_before = scpg::service::EngineWork::snapshot();
+
+    let compile_started = Instant::now();
+    let artifact = shared.registry.get(&spec, Some(&shared.netlists));
+    timing.compile = Some(compile_started.elapsed());
+    let artifact = match artifact {
+        Ok(a) => a,
+        Err(e) => {
+            let mut out = JobOutput::new(422, api::error_body(&e));
+            out.timing = timing;
+            return out;
+        }
+    };
+
+    let execute_started = Instant::now();
+    let mut rows = Vec::with_capacity(techniques.len());
+    for t in techniques {
+        let tech = shared
+            .techniques
+            .get(&t.name)
+            .expect("parse_compare resolved every technique name");
+        let tech_started = Instant::now();
+        let model = match artifact.technique_model(tech, &t.params) {
+            Ok(m) => m,
+            Err(err) => {
+                // AlreadyTransformed / Unsupported / BadParams are the
+                // request's fault (422, structured for double-gating);
+                // engine failures are ours (500).
+                let status = match &err {
+                    TechniqueError::Engine(_) => 500,
+                    _ => 422,
+                };
+                let mut out = JobOutput::new(status, api::technique_error_body(&err));
+                out.timing = timing;
+                return out;
+            }
+        };
+        let points: Vec<Json> = frequencies
+            .iter()
+            .map(|&f| api::technique_point_json(&model.evaluate(f)))
+            .collect();
+        shared.traces.record_now(
+            trace_id,
+            "request",
+            &format!("technique:{}", t.name),
+            tech_started.elapsed(),
+            vec![("params".to_string(), t.params.canonical())],
+        );
+        shared
+            .metrics
+            .compare_techniques
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .compare_points
+            .fetch_add(frequencies.len() as u64, Ordering::Relaxed);
+        rows.push(api::compare_row_with_points(
+            &t.name,
+            &t.params,
+            &model.area(),
+            &model.delay(),
+            points,
+        ));
+    }
+    timing.execute = Some(execute_started.elapsed());
+
+    let serialize_started = Instant::now();
+    let body = api::compare_response_with_rows(&spec, rows)
+        .write()
+        .into_bytes();
+    timing.serialize = Some(serialize_started.elapsed());
+
+    let mut out = JobOutput::new(200, body);
+    out.timing = timing;
+    out.annotations = work_annotations(&spec, work_before);
+    out.annotations.push((
+        "techniques".to_string(),
+        techniques
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect::<Vec<_>>()
+            .join(","),
+    ));
+    out
+}
+
 /// A batch job's request, parsed back into the serving layer's own
 /// domain types. Batch jobs reuse the interactive path's parsers and
 /// response builders end to end, which is what makes an assembled job
@@ -1405,12 +1534,18 @@ enum PlannedJob {
         spec: DesignSpec,
         cfg: VariationConfig,
     },
+    Compare {
+        spec: DesignSpec,
+        frequencies: Vec<Frequency>,
+        techs: Vec<api::CompareTechnique>,
+    },
 }
 
 /// [`ChunkExecutor`] over the serving layer: one work unit is one
 /// frequency (sweeps/tables) or one whole study (variation).
 struct ServeExecutor {
     registry: Arc<DesignRegistry>,
+    techniques: Arc<TechniqueRegistry>,
     netlists: Arc<NetlistRegistry>,
     limits: QueryLimits,
     debug_job_delay_ms: u64,
@@ -1444,8 +1579,17 @@ impl ServeExecutor {
                 let (dspec, cfg) = api::parse_variation(&spec.request, &self.limits)?;
                 Ok(PlannedJob::Variation { spec: dspec, cfg })
             }
+            "compare" => {
+                let (dspec, frequencies, techs) =
+                    api::parse_compare(&spec.request, &self.limits, &self.techniques)?;
+                Ok(PlannedJob::Compare {
+                    spec: dspec,
+                    frequencies,
+                    techs,
+                })
+            }
             other => Err(format!(
-                "unknown job kind {other:?} (sweep | table | variation)"
+                "unknown job kind {other:?} (sweep | table | variation | compare)"
             )),
         }
     }
@@ -1460,6 +1604,11 @@ impl ChunkExecutor for ServeExecutor {
             } => (spec, frequencies.len()),
             PlannedJob::Table { spec, frequencies } => (spec, frequencies.len()),
             PlannedJob::Variation { spec, .. } => (spec, 1),
+            PlannedJob::Compare {
+                spec,
+                frequencies,
+                techs,
+            } => (spec, frequencies.len() * techs.len()),
         };
         // Resolve the design now so an unknown netlist id refuses the
         // submission outright instead of failing the job's first chunk.
@@ -1506,6 +1655,32 @@ impl ChunkExecutor for ServeExecutor {
                 .map_err(|e| format!("variation study failed: {e}"))?;
                 Ok(vec![api::variation_response(&dspec, &study)])
             }
+            PlannedJob::Compare {
+                spec: dspec,
+                frequencies,
+                techs,
+            } => {
+                let artifact = self.registry.get(&dspec, Some(&self.netlists))?;
+                // Units are technique-major: unit u is technique u/nf at
+                // frequency u%nf, so one chunk slices cleanly out of the
+                // full (technique × frequency) grid.
+                let nf = frequencies.len();
+                let mut frags = Vec::with_capacity(count);
+                for unit in start..start + count {
+                    let t = &techs[unit / nf];
+                    let tech = self
+                        .techniques
+                        .get(&t.name)
+                        .ok_or_else(|| format!("unknown technique {:?}", t.name))?;
+                    let model = artifact
+                        .technique_model(tech, &t.params)
+                        .map_err(|e| e.to_string())?;
+                    frags.push(api::technique_point_json(
+                        &model.evaluate(frequencies[unit % nf]),
+                    ));
+                }
+                Ok(frags)
+            }
         }
     }
 
@@ -1528,6 +1703,43 @@ impl ChunkExecutor for ServeExecutor {
                     .first()
                     .ok_or("variation job produced no fragment")?;
                 Ok(doc.write().into_bytes())
+            }
+            PlannedJob::Compare {
+                spec: dspec,
+                frequencies,
+                techs,
+            } => {
+                let nf = frequencies.len();
+                if fragments.len() != nf * techs.len() {
+                    return Err(format!(
+                        "compare job assembled {} fragments, expected {}",
+                        fragments.len(),
+                        nf * techs.len()
+                    ));
+                }
+                // Area/delay rollups come from the prepared models — hot
+                // in the artifact's technique LRU after the chunks ran.
+                let artifact = self.registry.get(&dspec, Some(&self.netlists))?;
+                let mut rows = Vec::with_capacity(techs.len());
+                for (i, t) in techs.iter().enumerate() {
+                    let tech = self
+                        .techniques
+                        .get(&t.name)
+                        .ok_or_else(|| format!("unknown technique {:?}", t.name))?;
+                    let model = artifact
+                        .technique_model(tech, &t.params)
+                        .map_err(|e| e.to_string())?;
+                    rows.push(api::compare_row_with_points(
+                        &t.name,
+                        &t.params,
+                        &model.area(),
+                        &model.delay(),
+                        fragments[i * nf..(i + 1) * nf].to_vec(),
+                    ));
+                }
+                Ok(api::compare_response_with_rows(&dspec, rows)
+                    .write()
+                    .into_bytes())
             }
         }
     }

@@ -37,12 +37,13 @@ pub fn stage_histogram(reg: &scpg_trace::Registry, stage: &str) -> Arc<scpg_trac
 }
 
 /// The endpoints with dedicated request counters.
-pub const ENDPOINTS: [&str; 11] = [
+pub const ENDPOINTS: [&str; 12] = [
     "sweep",
     "table",
     "headline",
     "variation",
     "activity",
+    "compare",
     "netlists",
     "jobs",
     "traces",
@@ -84,6 +85,11 @@ pub struct Metrics {
     /// Batch-job chunks completed by workers (the throughput unit of the
     /// async-job subsystem).
     pub job_chunks_completed: AtomicU64,
+    /// Technique rows computed by `/v1/compare` (interactive requests;
+    /// batch compare jobs count chunks instead).
+    pub compare_techniques: AtomicU64,
+    /// Operating points computed by `/v1/compare` (interactive).
+    pub compare_points: AtomicU64,
 }
 
 /// A point-in-time copy, for tests and the bench harness.
@@ -107,6 +113,10 @@ pub struct MetricsSnapshot {
     pub jobs_submitted: u64,
     /// See [`Metrics::job_chunks_completed`].
     pub job_chunks_completed: u64,
+    /// See [`Metrics::compare_techniques`].
+    pub compare_techniques: u64,
+    /// See [`Metrics::compare_points`].
+    pub compare_points: u64,
 }
 
 impl Metrics {
@@ -137,6 +147,8 @@ impl Metrics {
             netlists_uploaded: self.netlists_uploaded.load(Ordering::Relaxed),
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             job_chunks_completed: self.job_chunks_completed.load(Ordering::Relaxed),
+            compare_techniques: self.compare_techniques.load(Ordering::Relaxed),
+            compare_points: self.compare_points.load(Ordering::Relaxed),
         }
     }
 
@@ -171,7 +183,7 @@ impl Metrics {
             ));
         }
 
-        let counters: [(&str, &str, u64); 10] = [
+        let counters: [(&str, &str, u64); 12] = [
             (
                 "scpg_cache_hits_total",
                 "Requests answered from the result cache.",
@@ -221,6 +233,16 @@ impl Metrics {
                 "scpg_batch_chunks_completed_total",
                 "Batch-job chunks completed by worker threads.",
                 self.job_chunks_completed.load(Ordering::Relaxed),
+            ),
+            (
+                "scpg_compare_techniques_total",
+                "Technique rows computed by POST /v1/compare.",
+                self.compare_techniques.load(Ordering::Relaxed),
+            ),
+            (
+                "scpg_compare_points_total",
+                "Operating points computed by POST /v1/compare.",
+                self.compare_points.load(Ordering::Relaxed),
             ),
         ];
         for (name, help, value) in counters {
@@ -364,6 +386,8 @@ mod tests {
         m.inc_response(429);
         m.cache_hits.fetch_add(3, Ordering::Relaxed);
         m.job_chunks_completed.fetch_add(7, Ordering::Relaxed);
+        m.compare_techniques.fetch_add(4, Ordering::Relaxed);
+        m.compare_points.fetch_add(12, Ordering::Relaxed);
         let text = m.render(2, 64, 1, 5, 4, 3);
         assert_eq!(
             parse_metric(&text, "scpg_requests_total{endpoint=\"sweep\"}"),
@@ -381,6 +405,15 @@ mod tests {
         assert_eq!(
             parse_metric(&text, "scpg_batch_chunks_completed_total"),
             Some(7.0)
+        );
+        assert_eq!(
+            parse_metric(&text, "scpg_compare_techniques_total"),
+            Some(4.0)
+        );
+        assert_eq!(parse_metric(&text, "scpg_compare_points_total"), Some(12.0));
+        assert_eq!(
+            parse_metric(&text, "scpg_requests_total{endpoint=\"compare\"}"),
+            Some(0.0)
         );
         assert!(parse_metric(&text, "scpg_exec_tasks_total").is_some());
         assert_eq!(parse_metric(&text, "scpg_nonexistent"), None);

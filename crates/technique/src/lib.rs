@@ -1,0 +1,677 @@
+//! Pluggable low-power technique framework.
+//!
+//! SCPG's headline result (paper Fig. 8) is a *comparison*: sub-clock
+//! power gating versus a conventional always-on design across frequency.
+//! The related work maps a whole design space around that comparison —
+//! cluster-based tunable sleep-transistor gating, LECTOR-style leakage
+//! control — and the repo already owns all the netlist-surgery machinery
+//! each competitor needs. This crate turns that into a first-class
+//! abstraction:
+//!
+//! * [`Technique`] — a named, parameterised low-power scheme: it rewrites
+//!   a baseline netlist and produces a [`TechniqueModel`] answering
+//!   power/energy at any frequency plus area and delay rollups.
+//! * [`TechniqueRegistry`] — the set of registered techniques; the
+//!   serving layer's `POST /v1/compare` iterates it to run a bake-off.
+//!
+//! Registered implementations:
+//!
+//! | name       | scheme                                               |
+//! |------------|------------------------------------------------------|
+//! | `baseline` | no gating: the design as handed in                   |
+//! | `scpg`     | the paper's sub-clock power gating pipeline          |
+//! | `ctsg`     | cluster-based tunable sleep-transistor gating        |
+//! | `lector`   | LECTOR-style leakage control on flop input stages    |
+//!
+//! # Transform invariants
+//!
+//! Every technique's rewrite leaves recognisable **markers** in its
+//! output: control instances prefixed `scpg_`/`ctsg_`, derived cells
+//! suffixed `__LCT`, instances tagged [`Domain::Gated`]. Every technique
+//! — including `baseline` — refuses an input that carries any marker
+//! ([`TechniqueError::AlreadyTransformed`]), so a transformed netlist can
+//! never be silently double-gated; the serving layer surfaces the
+//! refusal as a structured 422.
+//!
+//! [`Domain::Gated`]: scpg_netlist::Domain::Gated
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use scpg_json::Json;
+use scpg_liberty::{Library, PvtCorner};
+use scpg_netlist::{Domain, Netlist};
+use scpg_units::{Area, Energy, Frequency, Power, Time};
+
+mod baseline;
+mod ctsg;
+mod lector;
+mod scpg_impl;
+
+pub use baseline::BaselineTechnique;
+pub use ctsg::CtsgTechnique;
+pub use lector::LectorTechnique;
+pub use scpg_impl::ScpgTechnique;
+
+/// Why a technique refused or failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TechniqueError {
+    /// The input netlist already carries a technique transform (see the
+    /// crate-level transform invariants). Never applied twice.
+    AlreadyTransformed {
+        /// The technique that refused.
+        technique: String,
+        /// The marker found in the input (instance/cell name or domain
+        /// tag) — machine-readable evidence for the 422 body.
+        marker: String,
+    },
+    /// A request parameter failed validation against the schema.
+    BadParams(String),
+    /// The design shape is outside what the technique can handle (no
+    /// clock, nothing to gate, no flop stages, ...).
+    Unsupported(String),
+    /// An engine stage (power, timing, rail solve) failed.
+    Engine(String),
+}
+
+impl std::fmt::Display for TechniqueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TechniqueError::AlreadyTransformed { technique, marker } => write!(
+                f,
+                "{technique}: input netlist is already technique-transformed ({marker})"
+            ),
+            TechniqueError::BadParams(d) => write!(f, "bad technique params: {d}"),
+            TechniqueError::Unsupported(d) => write!(f, "design unsupported: {d}"),
+            TechniqueError::Engine(d) => write!(f, "technique engine failure: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for TechniqueError {}
+
+/// The type and constraints of one technique parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamKind {
+    /// One of a fixed set of strings.
+    Choice {
+        /// The admissible values.
+        allowed: &'static [&'static str],
+        /// The value used when the parameter is omitted.
+        default: &'static str,
+    },
+    /// An integer in an inclusive range.
+    Int {
+        /// Smallest admissible value.
+        min: i64,
+        /// Largest admissible value.
+        max: i64,
+        /// The value used when the parameter is omitted.
+        default: i64,
+    },
+}
+
+/// One entry of a technique's parameter schema.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamSpec {
+    /// Parameter name as it appears in request bodies.
+    pub name: &'static str,
+    /// One-line description for `GET /v1/designs` discovery.
+    pub doc: &'static str,
+    /// Type and constraints.
+    pub kind: ParamKind,
+}
+
+/// A resolved parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// A [`ParamKind::Choice`] selection.
+    Choice(String),
+    /// A [`ParamKind::Int`] value.
+    Int(i64),
+}
+
+/// A technique's parameters after defaulting and validation.
+///
+/// Values are stored in schema order, so [`ResolvedParams::canonical`] is
+/// a stable cache-key component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedParams {
+    values: Vec<(&'static str, ParamValue)>,
+}
+
+impl ResolvedParams {
+    /// The resolved choice value of `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is not a resolved choice parameter — resolve
+    /// always materialises every schema entry, so this only fires on a
+    /// technique-internal name/kind mismatch.
+    pub fn choice(&self, name: &str) -> &str {
+        match self.values.iter().find(|(n, _)| *n == name) {
+            Some((_, ParamValue::Choice(s))) => s,
+            other => panic!("param `{name}` is not a resolved choice ({other:?})"),
+        }
+    }
+
+    /// The resolved integer value of `name`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ResolvedParams::choice`].
+    pub fn int(&self, name: &str) -> i64 {
+        match self.values.iter().find(|(n, _)| *n == name) {
+            Some((_, ParamValue::Int(i))) => *i,
+            other => panic!("param `{name}` is not a resolved int ({other:?})"),
+        }
+    }
+
+    /// The canonical `name=value,...` form (schema order, defaults
+    /// materialised) — the params component of compare cache keys.
+    pub fn canonical(&self) -> String {
+        let parts: Vec<String> = self
+            .values
+            .iter()
+            .map(|(n, v)| match v {
+                ParamValue::Choice(s) => format!("{n}={s}"),
+                ParamValue::Int(i) => format!("{n}={i}"),
+            })
+            .collect();
+        parts.join(",")
+    }
+}
+
+/// Validates `given` (a JSON object or null) against `specs`, filling in
+/// defaults for omitted parameters.
+///
+/// # Errors
+///
+/// [`TechniqueError::BadParams`] on unknown names, wrong types, values
+/// outside the schema's range, or a non-object `given`.
+pub fn resolve_params(
+    specs: &'static [ParamSpec],
+    given: Option<&Json>,
+) -> Result<ResolvedParams, TechniqueError> {
+    let mut supplied: BTreeMap<&str, &Json> = BTreeMap::new();
+    if let Some(json) = given {
+        if !json.is_null() {
+            let Some(pairs) = json.as_object() else {
+                return Err(TechniqueError::BadParams(
+                    "params must be a JSON object".to_string(),
+                ));
+            };
+            for (k, v) in pairs {
+                supplied.insert(k.as_str(), v);
+            }
+        }
+    }
+    for name in supplied.keys() {
+        if !specs.iter().any(|s| s.name == *name) {
+            let known: Vec<&str> = specs.iter().map(|s| s.name).collect();
+            return Err(TechniqueError::BadParams(format!(
+                "unknown param `{name}` (known: {known:?})"
+            )));
+        }
+    }
+    let mut values = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let value = match (spec.kind, supplied.get(spec.name)) {
+            (ParamKind::Choice { default, .. }, None) => ParamValue::Choice(default.to_string()),
+            (ParamKind::Choice { allowed, .. }, Some(j)) => {
+                let Some(s) = j.as_str() else {
+                    return Err(TechniqueError::BadParams(format!(
+                        "param `{}` must be a string",
+                        spec.name
+                    )));
+                };
+                if !allowed.contains(&s) {
+                    return Err(TechniqueError::BadParams(format!(
+                        "param `{}` must be one of {allowed:?}, got `{s}`",
+                        spec.name
+                    )));
+                }
+                ParamValue::Choice(s.to_string())
+            }
+            (ParamKind::Int { default, .. }, None) => ParamValue::Int(default),
+            (ParamKind::Int { min, max, .. }, Some(j)) => {
+                let ok = j.as_f64().filter(|v| v.fract() == 0.0 && v.is_finite());
+                let Some(v) = ok else {
+                    return Err(TechniqueError::BadParams(format!(
+                        "param `{}` must be an integer",
+                        spec.name
+                    )));
+                };
+                let v = v as i64;
+                if v < min || v > max {
+                    return Err(TechniqueError::BadParams(format!(
+                        "param `{}` must be in {min}..={max}, got {v}",
+                        spec.name
+                    )));
+                }
+                ParamValue::Int(v)
+            }
+        };
+        values.push((spec.name, value));
+    }
+    Ok(ResolvedParams { values })
+}
+
+/// A parameter schema rendered as JSON for `GET /v1/designs` discovery.
+pub fn params_schema_json(specs: &[ParamSpec]) -> Json {
+    Json::array(specs.iter().map(|s| match s.kind {
+        ParamKind::Choice { allowed, default } => Json::object([
+            ("name", Json::from(s.name)),
+            ("doc", Json::from(s.doc)),
+            ("type", Json::from("choice")),
+            (
+                "allowed",
+                Json::array(allowed.iter().map(|&a| Json::from(a))),
+            ),
+            ("default", Json::from(default)),
+        ]),
+        ParamKind::Int { min, max, default } => Json::object([
+            ("name", Json::from(s.name)),
+            ("doc", Json::from(s.doc)),
+            ("type", Json::from("int")),
+            ("min", Json::from(min as f64)),
+            ("max", Json::from(max as f64)),
+            ("default", Json::from(default as f64)),
+        ]),
+    }))
+}
+
+/// Everything a technique needs to rewrite and model one design.
+#[derive(Debug, Clone, Copy)]
+pub struct PrepareContext<'a> {
+    /// The cell library.
+    pub lib: &'a Library,
+    /// The untransformed design.
+    pub baseline: &'a Netlist,
+    /// The clock net's name.
+    pub clock: &'a str,
+    /// Measured workload dynamic energy per cycle (at the library's
+    /// characterisation supply; techniques V²-scale to the corner).
+    pub e_dyn: Energy,
+    /// The operating corner.
+    pub corner: PvtCorner,
+}
+
+/// One operating point of a technique's power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechniquePoint {
+    /// Clock frequency.
+    pub frequency: Frequency,
+    /// The technique's mode key for this point (`"no_pg"`, `"scpg"`,
+    /// `"ctsg"`, ... — falls back to an ungated key when timing forbids
+    /// gating).
+    pub mode: String,
+    /// Clock duty cycle in effect.
+    pub duty: f64,
+    /// Average power.
+    pub power: Power,
+    /// Energy per operation (one per cycle).
+    pub energy_per_op: Energy,
+    /// Whether the technique's gating was actually active here.
+    pub gated: bool,
+}
+
+/// Area rollup of a transformed design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// Instance count after the transform.
+    pub cells: usize,
+    /// Total placed area after the transform.
+    pub area: Area,
+    /// Fractional area overhead versus the baseline (0.039 ⇒ "+3.9 %").
+    pub overhead_frac: f64,
+}
+
+/// Delay rollup of a transformed design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayReport {
+    /// Critical-path minimum clock period.
+    pub min_period: Time,
+    /// Maximum clock frequency.
+    pub f_max: Frequency,
+}
+
+/// The prepared, evaluable form of one (design, technique, params)
+/// triple. Evaluation is deterministic and side-effect free, so models
+/// are safely shared across threads and cached by the serving layer.
+pub trait TechniqueModel: Send + Sync {
+    /// Computes the operating point at `f`.
+    fn evaluate(&self, f: Frequency) -> TechniquePoint;
+    /// Area after the transform.
+    fn area(&self) -> AreaReport;
+    /// Timing after the transform.
+    fn delay(&self) -> DelayReport;
+    /// The transformed netlist (the baseline itself for `baseline`).
+    fn netlist(&self) -> &Netlist;
+}
+
+/// A named, parameterised low-power scheme.
+pub trait Technique: Send + Sync {
+    /// Stable registry name (`"scpg"`, ...).
+    fn name(&self) -> &'static str;
+    /// One-line description for discovery.
+    fn summary(&self) -> &'static str;
+    /// Parameter schema (empty when the technique takes none).
+    fn params(&self) -> &'static [ParamSpec];
+    /// Rewrites the baseline and builds the power/area/delay model.
+    ///
+    /// # Errors
+    ///
+    /// [`TechniqueError::AlreadyTransformed`] on marked inputs (see the
+    /// crate-level invariants), [`TechniqueError::Unsupported`] on
+    /// design shapes the scheme cannot handle, and
+    /// [`TechniqueError::Engine`] on analysis failures.
+    fn prepare(
+        &self,
+        ctx: &PrepareContext<'_>,
+        params: &ResolvedParams,
+    ) -> Result<Arc<dyn TechniqueModel>, TechniqueError>;
+}
+
+/// Scans a netlist for technique-transform markers: `scpg_`/`ctsg_`
+/// instance prefixes, `__LCT` cell suffixes, [`Domain::Gated`] tags.
+/// Returns a human/machine-readable account of the first marker found.
+pub fn detect_transform_marker(nl: &Netlist) -> Option<String> {
+    for inst in nl.instances() {
+        if inst.name().starts_with("scpg_") {
+            return Some(format!("scpg control instance `{}`", inst.name()));
+        }
+        if inst.name().starts_with("ctsg_") {
+            return Some(format!("ctsg control instance `{}`", inst.name()));
+        }
+        if inst.cell().ends_with("__LCT") {
+            return Some(format!(
+                "lector-derived cell `{}` on instance `{}`",
+                inst.cell(),
+                inst.name()
+            ));
+        }
+        if inst.domain() == Domain::Gated {
+            return Some(format!("gated domain tag on instance `{}`", inst.name()));
+        }
+    }
+    None
+}
+
+/// The shared idempotence guard: every technique calls this first.
+///
+/// # Errors
+///
+/// [`TechniqueError::AlreadyTransformed`] naming the marker.
+pub fn ensure_untransformed(technique: &str, nl: &Netlist) -> Result<(), TechniqueError> {
+    match detect_transform_marker(nl) {
+        Some(marker) => Err(TechniqueError::AlreadyTransformed {
+            technique: technique.to_string(),
+            marker,
+        }),
+        None => Ok(()),
+    }
+}
+
+/// The set of registered techniques, iterated in registration order.
+pub struct TechniqueRegistry {
+    list: Vec<Box<dyn Technique>>,
+}
+
+impl TechniqueRegistry {
+    /// The standard kit: `baseline`, `scpg`, `ctsg`, `lector`.
+    pub fn standard() -> Self {
+        Self {
+            list: vec![
+                Box::new(BaselineTechnique),
+                Box::new(ScpgTechnique),
+                Box::new(CtsgTechnique),
+                Box::new(LectorTechnique),
+            ],
+        }
+    }
+
+    /// An empty registry (extend with [`TechniqueRegistry::register`]).
+    pub fn empty() -> Self {
+        Self { list: Vec::new() }
+    }
+
+    /// Adds a technique. Registration order is iteration order; a name
+    /// collision replaces the earlier entry (latest wins).
+    pub fn register(&mut self, t: Box<dyn Technique>) {
+        self.list.retain(|e| e.name() != t.name());
+        self.list.push(t);
+    }
+
+    /// Looks a technique up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Technique> {
+        self.list.iter().find(|t| t.name() == name).map(|t| &**t)
+    }
+
+    /// Iterates techniques in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Technique> {
+        self.list.iter().map(|t| &**t)
+    }
+
+    /// Registered names in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.list.iter().map(|t| t.name()).collect()
+    }
+
+    /// Number of registered techniques.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+}
+
+impl Default for TechniqueRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpg_circuits::generate_multiplier;
+
+    fn ctx<'a>(lib: &'a Library, nl: &'a Netlist) -> PrepareContext<'a> {
+        PrepareContext {
+            lib,
+            baseline: nl,
+            clock: "clk",
+            e_dyn: Energy::from_pj(2.3),
+            corner: PvtCorner::default(),
+        }
+    }
+
+    #[test]
+    fn standard_registry_has_four_techniques() {
+        let reg = TechniqueRegistry::standard();
+        assert_eq!(reg.names(), ["baseline", "scpg", "ctsg", "lector"]);
+        assert!(reg.get("scpg").is_some());
+        assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    fn params_resolve_defaults_and_reject_bad_values() {
+        let reg = TechniqueRegistry::standard();
+        let ctsg = reg.get("ctsg").unwrap();
+        let p = resolve_params(ctsg.params(), None).unwrap();
+        assert_eq!(p.canonical(), "clusters=4,header=auto");
+
+        let body = Json::parse(r#"{"clusters": 2, "header": "x4"}"#).unwrap();
+        let p = resolve_params(ctsg.params(), Some(&body)).unwrap();
+        assert_eq!(p.int("clusters"), 2);
+        assert_eq!(p.choice("header"), "x4");
+        assert_eq!(p.canonical(), "clusters=2,header=x4");
+
+        for bad in [
+            r#"{"clusters": 0}"#,
+            r#"{"clusters": 2.5}"#,
+            r#"{"header": "x3"}"#,
+            r#"{"unknown": 1}"#,
+            r#"[1]"#,
+        ] {
+            let body = Json::parse(bad).unwrap();
+            assert!(
+                matches!(
+                    resolve_params(ctsg.params(), Some(&body)),
+                    Err(TechniqueError::BadParams(_))
+                ),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_json_lists_every_param() {
+        let reg = TechniqueRegistry::standard();
+        let schema = params_schema_json(reg.get("lector").unwrap().params());
+        let arr = schema.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("name").unwrap().as_str(), Some("stages"));
+        assert_eq!(arr[0].get("type").unwrap().as_str(), Some("int"));
+    }
+
+    #[test]
+    fn every_technique_evaluates_the_multiplier() {
+        let lib = Library::ninety_nm();
+        let (nl, _) = generate_multiplier(&lib, 8);
+        let reg = TechniqueRegistry::standard();
+        let f = Frequency::from_khz(100.0);
+        for tech in reg.iter() {
+            let params = resolve_params(tech.params(), None).unwrap();
+            let model = tech.prepare(&ctx(&lib, &nl), &params).unwrap();
+            let point = model.evaluate(f);
+            assert!(
+                point.power.value() > 0.0,
+                "{}: power must be positive",
+                tech.name()
+            );
+            assert!(point.energy_per_op.value() > 0.0);
+            assert_eq!(point.frequency, f);
+            let area = model.area();
+            assert!(area.cells > 0);
+            assert!(area.area.value() > 0.0);
+            let delay = model.delay();
+            assert!(delay.f_max.value() > 0.0);
+            assert!(delay.min_period.value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn gating_techniques_beat_baseline_at_low_frequency() {
+        let lib = Library::ninety_nm();
+        let (nl, _) = generate_multiplier(&lib, 8);
+        let reg = TechniqueRegistry::standard();
+        let f = Frequency::from_khz(10.0);
+        let c = ctx(&lib, &nl);
+        let eval = |name: &str| {
+            let t = reg.get(name).unwrap();
+            let p = resolve_params(t.params(), None).unwrap();
+            t.prepare(&c, &p).unwrap().evaluate(f)
+        };
+        let base = eval("baseline");
+        let scpg = eval("scpg");
+        let ctsg = eval("ctsg");
+        let lector = eval("lector");
+        assert!(scpg.gated, "scpg gates at 10 kHz");
+        assert!(ctsg.gated, "ctsg gates at 10 kHz");
+        assert!(
+            scpg.power.value() < base.power.value(),
+            "scpg {} vs base {}",
+            scpg.power,
+            base.power
+        );
+        assert!(
+            ctsg.power.value() < base.power.value(),
+            "ctsg {} vs base {}",
+            ctsg.power,
+            base.power
+        );
+        assert!(
+            lector.power.value() < base.power.value(),
+            "lector leaks less: {} vs {}",
+            lector.power,
+            base.power
+        );
+    }
+
+    /// Every technique rejects every technique's transformed output —
+    /// the idempotence invariant behind the serving layer's 422.
+    #[test]
+    fn transforms_are_idempotent_safe_pairwise() {
+        let lib = Library::ninety_nm();
+        let (nl, _) = generate_multiplier(&lib, 4);
+        let reg = TechniqueRegistry::standard();
+        let c = ctx(&lib, &nl);
+        for first in reg.iter() {
+            if first.name() == "baseline" {
+                continue; // identity transform: output carries no marker
+            }
+            let params = resolve_params(first.params(), None).unwrap();
+            let model = first.prepare(&c, &params).unwrap();
+            let transformed = model.netlist().clone();
+            assert!(
+                detect_transform_marker(&transformed).is_some(),
+                "{} output must carry a marker",
+                first.name()
+            );
+            for second in reg.iter() {
+                let p2 = resolve_params(second.params(), None).unwrap();
+                let ctx2 = PrepareContext {
+                    baseline: &transformed,
+                    ..c
+                };
+                let err = match second.prepare(&ctx2, &p2) {
+                    Err(e) => e,
+                    Ok(_) => panic!(
+                        "{} accepted {}-transformed input",
+                        second.name(),
+                        first.name()
+                    ),
+                };
+                assert!(
+                    matches!(err, TechniqueError::AlreadyTransformed { .. }),
+                    "{} on {}-transformed input: {err}",
+                    second.name(),
+                    first.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn marker_detection_spots_each_marker_kind() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_output("y");
+        nl.add_instance("u0", "INV_X1", &[a, y]).unwrap();
+        assert_eq!(detect_transform_marker(&nl), None);
+
+        let mut tagged = nl.clone();
+        let id = tagged.instance_by_name("u0").unwrap();
+        tagged.set_domain(id, Domain::Gated);
+        assert!(detect_transform_marker(&tagged).unwrap().contains("gated"));
+
+        let mut lct = nl.clone();
+        let id = lct.instance_by_name("u0").unwrap();
+        lct.set_cell(id, "INV_X1__LCT");
+        assert!(detect_transform_marker(&lct).unwrap().contains("__LCT"));
+
+        for prefix in ["scpg_x", "ctsg_x"] {
+            let mut named = nl.clone();
+            let b = named.add_fresh_net();
+            named.add_instance(prefix, "INV_X1", &[y, b]).unwrap();
+            assert!(detect_transform_marker(&named).is_some(), "{prefix}");
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! End-to-end tests of `POST /v1/compare` over real loopback sockets:
+//! the technique bake-off response shape, bit-identity of the `scpg`
+//! row versus `/v1/sweep`, byte-identity of interactive versus batch-job
+//! compares, the structured 422 on already-transformed uploads, the
+//! technique listing on `GET /v1/designs`, per-technique trace spans and
+//! the `scpg_compare_*` metrics.
+
+use std::time::Duration;
+
+use scpg_json::Json;
+use scpg_serve::metrics::parse_metric;
+use scpg_serve::{client, ServeConfig, Server};
+
+/// The design every test queries: a 4×4 multiplier (cheap to analyse in
+/// debug builds) with the default workload/supply.
+const DESIGN: &str = r#"{"kind": "multiplier", "bits": 4}"#;
+const FREQS: &str = "[1e6, 5e6, 2e7]";
+
+/// An upload that already carries an SCPG transform marker (the
+/// `scpg_`-prefixed instance): valid structural Verilog, but no
+/// technique may transform it again.
+const MARKED: &str = "\
+module marked (clk, d, q);
+  input clk;
+  input d;
+  output q;
+  wire s0;
+  wire n0;
+  DFF_X1 r0 (.D(d), .CK(clk), .Q(s0));
+  INV_X1 scpg_fake (.A(s0), .Y(n0));
+  DFF_X1 r1 (.D(n0), .CK(clk), .Q(q));
+endmodule
+";
+
+fn compare_body(extra: &str) -> String {
+    format!(r#"{{"design": {DESIGN}, "frequencies_hz": {FREQS}{extra}}}"#)
+}
+
+fn rows(resp: &client::ClientResponse) -> Vec<Json> {
+    Json::parse(resp.text())
+        .expect("compare response is JSON")
+        .get("techniques")
+        .and_then(|t| t.as_array().map(<[Json]>::to_vec))
+        .expect("compare response has a techniques array")
+}
+
+fn row_points_text(row: &Json) -> String {
+    row.get("points").expect("row has points").write()
+}
+
+#[test]
+fn compare_runs_all_techniques_with_power_area_delay_and_metrics() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    let resp = client::post(addr, "/v1/compare", &compare_body("")).expect("compare");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let trace_id = resp
+        .header("x-scpg-trace-id")
+        .expect("trace id echoed")
+        .to_string();
+    let rows = rows(&resp);
+    assert!(rows.len() >= 3, "a bake-off needs at least 3 competitors");
+    let names: Vec<&str> = rows
+        .iter()
+        .map(|r| r.get("technique").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names, ["baseline", "scpg", "ctsg", "lector"]);
+    for row in &rows {
+        let name = row.get("technique").unwrap().as_str().unwrap();
+        assert!(row.get("params").unwrap().as_str().is_some(), "{name}");
+        let area = row.get("area").unwrap();
+        assert!(area.get("cells").unwrap().as_u64().unwrap() > 0, "{name}");
+        assert!(area.get("area_um2").unwrap().as_f64().unwrap() > 0.0);
+        let delay = row.get("delay").unwrap();
+        assert!(delay.get("f_max_hz").unwrap().as_f64().unwrap() > 0.0);
+        assert!(delay.get("min_period_s").unwrap().as_f64().unwrap() > 0.0);
+        let points = row.get("points").unwrap().as_array().unwrap();
+        assert_eq!(points.len(), 3, "{name}: one point per frequency");
+        for p in points {
+            assert!(p.get("power_w").unwrap().as_f64().unwrap() > 0.0);
+            assert!(p.get("energy_per_op_j").unwrap().as_f64().unwrap() > 0.0);
+            assert!(p.get("gated").unwrap().as_bool().is_some());
+        }
+    }
+    // Gating wins at the low end: scpg beats baseline at 1 MHz.
+    let power_at = |row: &Json, i: usize| {
+        row.get("points").unwrap().as_array().unwrap()[i]
+            .get("power_w")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+    };
+    assert!(power_at(&rows[1], 0) < power_at(&rows[0], 0));
+
+    // A second identical request is a cache hit: byte-identical body.
+    let again = client::post(addr, "/v1/compare", &compare_body("")).expect("cached compare");
+    assert_eq!(again.status, 200);
+    assert_eq!(again.body, resp.body, "cache hit is byte-identical");
+
+    // Each technique filed a span under the request's trace id.
+    let trace = client::get(addr, &format!("/v1/traces/{trace_id}")).expect("trace");
+    assert_eq!(trace.status, 200, "{}", trace.text());
+    for name in ["baseline", "scpg", "ctsg", "lector"] {
+        assert!(
+            trace.text().contains(&format!("technique:{name}")),
+            "trace lacks a span for {name}: {}",
+            trace.text()
+        );
+    }
+
+    // The compare counters are on /metrics.
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    let text = metrics.text();
+    assert_eq!(
+        parse_metric(text, "scpg_requests_total{endpoint=\"compare\"}"),
+        Some(2.0)
+    );
+    assert_eq!(
+        parse_metric(text, "scpg_compare_techniques_total"),
+        Some(4.0)
+    );
+    assert_eq!(parse_metric(text, "scpg_compare_points_total"), Some(12.0));
+
+    handle.shutdown();
+}
+
+#[test]
+fn compare_scpg_row_is_bit_identical_to_sweep() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    let compare = client::post(
+        addr,
+        "/v1/compare",
+        &compare_body(r#", "techniques": [{"name": "scpg", "params": {"mode": "scpg"}}]"#),
+    )
+    .expect("compare");
+    assert_eq!(compare.status, 200, "{}", compare.text());
+    let sweep = client::post(
+        addr,
+        "/v1/sweep",
+        &format!(r#"{{"design": {DESIGN}, "frequencies_hz": {FREQS}, "mode": "scpg"}}"#),
+    )
+    .expect("sweep");
+    assert_eq!(sweep.status, 200, "{}", sweep.text());
+
+    let compare_points = row_points_text(&rows(&compare)[0]);
+    let sweep_points = Json::parse(sweep.text())
+        .expect("sweep JSON")
+        .get("points")
+        .expect("sweep points")
+        .write();
+    assert_eq!(
+        compare_points, sweep_points,
+        "the scpg compare row must be bit-identical to the sweep endpoint"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn interactive_and_batch_compare_are_byte_identical() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        // 3 units per chunk over a 2-technique × 3-frequency grid: the
+        // chunk boundary cuts across a technique's frequency slice.
+        chunk_units: 3,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    let request = compare_body(r#", "techniques": ["scpg", "ctsg"]"#);
+    let interactive = client::post(addr, "/v1/compare", &request).expect("interactive");
+    assert_eq!(interactive.status, 200, "{}", interactive.text());
+
+    let submit = client::submit_job(
+        addr,
+        &format!(r#"{{"kind": "compare", "request": {request}}}"#),
+    )
+    .expect("submit");
+    assert_eq!(submit.status, 202, "{}", submit.text());
+    let job_id = Json::parse(submit.text())
+        .unwrap()
+        .get("id")
+        .and_then(|v| v.as_str().map(String::from))
+        .expect("job id");
+    let status = client::poll_job(addr, &job_id, Duration::from_secs(60)).expect("poll");
+    assert!(status.text().contains("done"), "{}", status.text());
+    let result = client::job_result(addr, &job_id).expect("result");
+    assert_eq!(result.status, 200, "{}", result.text());
+    assert_eq!(
+        result.body, interactive.body,
+        "chunked batch compare must be byte-identical to the interactive path"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn already_transformed_upload_answers_a_structured_422() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    let upload = client::upload_netlist(addr, MARKED, "clk").expect("upload");
+    assert_eq!(upload.status, 201, "{}", upload.text());
+    let id = Json::parse(upload.text())
+        .unwrap()
+        .get("id")
+        .and_then(|v| v.as_str().map(String::from))
+        .expect("upload id");
+
+    let resp = client::post(
+        addr,
+        "/v1/compare",
+        &format!(r#"{{"design": {{"kind": "netlist", "id": "{id}"}}, "frequencies_hz": [1e6]}}"#),
+    )
+    .expect("compare");
+    assert_eq!(resp.status, 422, "{}", resp.text());
+    let doc = Json::parse(resp.text()).expect("error body is JSON");
+    assert_eq!(
+        doc.get("already_transformed").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        resp.text()
+    );
+    assert!(doc.get("technique").unwrap().as_str().is_some());
+    assert!(
+        doc.get("marker")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("scpg_fake"),
+        "{}",
+        resp.text()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn designs_endpoint_lists_techniques_and_jobs_accept_the_kind() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    let designs = client::get(addr, "/v1/designs").expect("designs");
+    assert_eq!(designs.status, 200);
+    let doc = Json::parse(designs.text()).unwrap();
+    let techs = doc.get("techniques").unwrap().as_array().unwrap();
+    assert_eq!(techs.len(), 4);
+    let ctsg = techs
+        .iter()
+        .find(|t| t.get("name").and_then(Json::as_str) == Some("ctsg"))
+        .expect("ctsg is listed");
+    assert!(ctsg.get("summary").unwrap().as_str().is_some());
+    let params = ctsg.get("params").unwrap().as_array().unwrap();
+    assert!(
+        params
+            .iter()
+            .any(|p| p.get("name").and_then(Json::as_str) == Some("clusters")),
+        "ctsg schema lists its clusters param"
+    );
+
+    // Unknown job kinds now advertise compare...
+    let bad = client::submit_job(addr, r#"{"kind": "warp", "request": {}}"#).expect("submit");
+    assert_eq!(bad.status, 422);
+    assert!(bad.text().contains("compare"), "{}", bad.text());
+    // ...and compare requests are refused with reasons, not crashes.
+    let bad = client::post(
+        addr,
+        "/v1/compare",
+        &compare_body(r#", "techniques": ["warp"]"#),
+    )
+    .expect("compare");
+    assert_eq!(bad.status, 422);
+    assert!(bad.text().contains("unknown technique"), "{}", bad.text());
+    handle.shutdown();
+}
