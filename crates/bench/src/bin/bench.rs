@@ -441,6 +441,137 @@ fn bench_serve() -> ServeNumbers {
     }
 }
 
+struct ServeConcurrencyNumbers {
+    requests: usize,
+    /// One fresh connection per request — the old close-per-request
+    /// protocol, kept as the comparison floor.
+    close_rps: f64,
+    /// One persistent connection, strict request/response alternation.
+    keepalive_rps: f64,
+    /// One persistent connection, every request written before the
+    /// first response is read.
+    pipelined_rps: f64,
+    keepalive_p50_ms: f64,
+    keepalive_p99_ms: f64,
+    idle_conns: usize,
+    idle_window_ms: f64,
+    /// Process CPU consumed across the idle window while `idle_conns`
+    /// parked keep-alive connections were open.
+    idle_cpu_ms: f64,
+}
+
+/// `clock_gettime(CLOCK_PROCESS_CPUTIME_ID)`, for the idle-CPU probe
+/// (`/proc/self/stat` ticks far too coarsely).
+#[cfg(target_os = "linux")]
+fn process_cpu() -> std::time::Duration {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_PROCESS_CPUTIME_ID: i32 = 2;
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    let rc = unsafe { clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &mut ts) };
+    assert_eq!(rc, 0, "clock_gettime(CLOCK_PROCESS_CPUTIME_ID) failed");
+    std::time::Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn process_cpu() -> std::time::Duration {
+    std::time::Duration::ZERO
+}
+
+/// Measures the event-loop connection core: cache-hit throughput under
+/// the three connection disciplines (close-per-request, keep-alive,
+/// pipelined keep-alive) and the CPU cost of a crowd of parked idle
+/// connections.
+fn bench_serve_concurrency() -> ServeConcurrencyNumbers {
+    const REQUESTS: usize = 200;
+    const IDLE_CONNS: usize = 500;
+    let handle = scpg_serve::Server::bind(scpg_serve::ServeConfig::default())
+        .expect("bind loopback server")
+        .spawn();
+    let addr = handle.addr();
+    let sweep = r#"{"frequencies_hz": [1e6, 2e6, 5e6, 1e7, 1.43e7], "mode": "scpg"}"#;
+
+    // Warm the result cache: everything below measures the serving
+    // machinery, not the engine.
+    let warm = scpg_serve::client::post(addr, "/v1/sweep", sweep).expect("warm request");
+    assert_eq!(warm.status, 200, "{}", warm.text());
+
+    // Close-per-request: connect, ask, tear down — per request.
+    let t0 = Instant::now();
+    for _ in 0..REQUESTS {
+        let resp = scpg_serve::client::post(addr, "/v1/sweep", sweep).expect("close request");
+        assert_eq!(resp.status, 200);
+    }
+    let close_rps = REQUESTS as f64 / t0.elapsed().as_secs_f64();
+
+    // Keep-alive: one connection, strict alternation; per-request
+    // latencies give the steady-state percentiles.
+    let mut conn = scpg_serve::client::ClientConn::connect(addr).expect("keep-alive connect");
+    let mut samples = Vec::with_capacity(REQUESTS);
+    let t0 = Instant::now();
+    for _ in 0..REQUESTS {
+        let r0 = Instant::now();
+        let resp = conn.post("/v1/sweep", sweep).expect("keep-alive request");
+        samples.push(r0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(resp.status, 200);
+    }
+    let keepalive_rps = REQUESTS as f64 / t0.elapsed().as_secs_f64();
+    samples.sort_by(f64::total_cmp);
+    let keepalive_p50_ms = percentile(&samples, 0.50);
+    let keepalive_p99_ms = percentile(&samples, 0.99);
+    drop(conn);
+
+    // Pipelined: the whole batch written up front, responses streamed
+    // back in order off one socket.
+    let mut conn = scpg_serve::client::ClientConn::connect(addr).expect("pipeline connect");
+    let t0 = Instant::now();
+    for _ in 0..REQUESTS {
+        conn.send_post("/v1/sweep", sweep).expect("pipeline write");
+    }
+    for _ in 0..REQUESTS {
+        let resp = conn.read_response().expect("pipeline response");
+        assert_eq!(resp.status, 200);
+    }
+    let pipelined_rps = REQUESTS as f64 / t0.elapsed().as_secs_f64();
+    drop(conn);
+
+    // A crowd of parked connections must cost (near) zero CPU: no
+    // per-connection tick, no level-triggered interest leak. The 10k
+    // version lives in tests/serve_idle_cpu.rs; 500 here keeps the
+    // bench inside any fd budget while still exposing a busy loop.
+    let parked: Vec<_> = (0..IDLE_CONNS)
+        .map(|_| scpg_serve::client::ClientConn::connect(addr).expect("idle connect"))
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(300)); // settle
+    let idle_window = std::time::Duration::from_millis(1000);
+    let before = process_cpu();
+    std::thread::sleep(idle_window);
+    let idle_cpu_ms = (process_cpu() - before).as_secs_f64() * 1e3;
+    drop(parked);
+
+    handle.shutdown();
+    ServeConcurrencyNumbers {
+        requests: REQUESTS,
+        close_rps,
+        keepalive_rps,
+        pipelined_rps,
+        keepalive_p50_ms,
+        keepalive_p99_ms,
+        idle_conns: IDLE_CONNS,
+        idle_window_ms: idle_window.as_secs_f64() * 1e3,
+        idle_cpu_ms,
+    }
+}
+
 struct JobsNumbers {
     total_units: usize,
     chunks: u64,
@@ -743,6 +874,29 @@ fn main() {
         "cache hit must replay the original body byte-identically"
     );
 
+    println!("[bench] serve concurrency: close vs keep-alive vs pipelined, idle CPU...");
+    let conc = bench_serve_concurrency();
+    println!(
+        "  {} cache-hit requests: close {:.0} req/s, keep-alive {:.0} req/s, pipelined {:.0} req/s ({:.2}x over close)",
+        conc.requests,
+        conc.close_rps,
+        conc.keepalive_rps,
+        conc.pipelined_rps,
+        conc.pipelined_rps / conc.close_rps.max(1e-9)
+    );
+    println!(
+        "  keep-alive latency p50 {:.3} ms, p99 {:.3} ms (PR-3 close-protocol baseline p50 {SERVE_P50_BASELINE_MS} ms)",
+        conc.keepalive_p50_ms, conc.keepalive_p99_ms
+    );
+    println!(
+        "  {} parked connections: {:.2} ms CPU over a {:.0} ms idle window",
+        conc.idle_conns, conc.idle_cpu_ms, conc.idle_window_ms
+    );
+    assert!(
+        conc.pipelined_rps >= conc.close_rps,
+        "pipelined keep-alive must not be slower than close-per-request"
+    );
+
     println!("[bench] trace store: record hot path + introspection reads...");
     let trc = bench_tracing();
     println!(
@@ -883,6 +1037,35 @@ fn main() {
                 ("cache_hits", Json::from(srv.cache_hits)),
                 ("cache_misses", Json::from(srv.cache_misses)),
                 ("byte_identical", Json::from(srv.byte_identical)),
+            ]),
+        ),
+        (
+            "serve_concurrency",
+            Json::object([
+                ("requests", Json::from(conc.requests)),
+                ("close_rps", Json::from(round3(conc.close_rps))),
+                ("keepalive_rps", Json::from(round3(conc.keepalive_rps))),
+                ("pipelined_rps", Json::from(round3(conc.pipelined_rps))),
+                (
+                    "pipelined_over_close",
+                    Json::from(round3(conc.pipelined_rps / conc.close_rps.max(1e-9))),
+                ),
+                (
+                    "keepalive_p50_ms",
+                    Json::from(round4(conc.keepalive_p50_ms)),
+                ),
+                (
+                    "keepalive_p99_ms",
+                    Json::from(round4(conc.keepalive_p99_ms)),
+                ),
+                ("p50_baseline_pr3_ms", Json::from(SERVE_P50_BASELINE_MS)),
+                (
+                    "keepalive_p50_vs_pr3_baseline",
+                    Json::from(round3(conc.keepalive_p50_ms / SERVE_P50_BASELINE_MS)),
+                ),
+                ("idle_conns", Json::from(conc.idle_conns)),
+                ("idle_window_ms", Json::from(round3(conc.idle_window_ms))),
+                ("idle_cpu_ms", Json::from(round3(conc.idle_cpu_ms))),
             ]),
         ),
         (

@@ -35,6 +35,7 @@ fn install_signal_handlers() {
 
 const USAGE: &str =
     "usage: scpg-serve [--addr HOST:PORT] [--workers N] [--queue-capacity N] [--store-dir DIR]
+                  [--idle-timeout-ms N]
 
 Serves the SCPG analysis API over HTTP/1.1:
   POST /v1/sweep /v1/table /v1/headline /v1/variation   JSON queries
@@ -44,6 +45,8 @@ Serves the SCPG analysis API over HTTP/1.1:
   GET  /v1/designs                                      kinds, limits, uploads
   GET  /healthz /metrics                                health + Prometheus text
 
+Connections are persistent (HTTP/1.1 keep-alive + pipelining); an idle
+keep-alive connection is closed after --idle-timeout-ms (default 10000).
 Defaults: --addr 127.0.0.1:7878, workers/queue sized for this machine.
 With --store-dir, uploaded netlists and job checkpoints persist there and
 unfinished jobs resume after a restart; without it they are in-memory.
@@ -79,6 +82,11 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
                     .map_err(|_| "--queue-capacity needs a positive integer".to_string())?;
             }
             "--store-dir" => config.store_dir = Some(value_for("--store-dir")?),
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms = value_for("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--idle-timeout-ms needs a positive integer".to_string())?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
         }

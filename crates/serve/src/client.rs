@@ -1,8 +1,18 @@
 //! A minimal loopback HTTP client for the integration tests and the
-//! bench harness — just enough to exercise the server's one-shot,
-//! `Connection: close` protocol without external tooling.
+//! bench harness.
+//!
+//! Two layers:
+//!
+//! * The free functions ([`get`], [`post`], …) are one-shot: they send
+//!   `Connection: close` and read a single response, matching the
+//!   original close-per-request protocol.
+//! * [`ClientConn`] holds a persistent HTTP/1.1 connection: requests
+//!   default to keep-alive, responses are framed by `content-length`
+//!   (not EOF), and requests may be pipelined — queue several with the
+//!   `send_*` methods, then collect responses in order with
+//!   [`ClientConn::read_response`].
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -33,31 +43,188 @@ impl ClientResponse {
     }
 }
 
-fn request(addr: SocketAddr, raw: &[u8]) -> std::io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
-    stream.write_all(raw)?;
-    stream.flush()?;
-    let mut buf = Vec::new();
-    stream.read_to_end(&mut buf)?;
-    parse_response(&buf)
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response"))
+/// A persistent keep-alive connection.
+///
+/// Dropping the connection closes it; the server also reaps it after
+/// its idle timeout.
+pub struct ClientConn {
+    stream: TcpStream,
+    /// Bytes read past the end of the previous response (the start of
+    /// the next pipelined response).
+    buf: Vec<u8>,
 }
 
-fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
-    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
-    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+impl ClientConn {
+    /// Connects with a generous read timeout (tests must fail loudly,
+    /// not hang).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_nodelay(true)?;
+        Ok(ClientConn {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Queues `GET {path}` without waiting for the response
+    /// (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn send_get(&mut self, path: &str) -> std::io::Result<()> {
+        let raw = format!("GET {path} HTTP/1.1\r\nhost: scpg\r\n\r\n");
+        self.send_raw(raw.as_bytes())
+    }
+
+    /// Queues `POST {path}` with a JSON body without waiting for the
+    /// response (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn send_post(&mut self, path: &str, body: &str) -> std::io::Result<()> {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nhost: scpg\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.send_raw(raw.as_bytes())
+    }
+
+    /// Writes raw request bytes verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Sends `GET {path}` and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.send_get(path)?;
+        self.read_response()
+    }
+
+    /// Sends `POST {path}` with a JSON body and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.send_post(path, body)?;
+        self.read_response()
+    }
+
+    /// Reads the next response off the connection, framed by its
+    /// `content-length`. Bytes past it (the next pipelined response)
+    /// are retained for the next call.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures propagate; a connection closed mid-response
+    /// yields [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let mut chunk = [0u8; 8 * 1024];
+        loop {
+            if let Some((resp, consumed)) = parse_one_response(&self.buf)? {
+                self.buf.drain(..consumed);
+                return Ok(resp);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "connection closed mid-response",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Whether the server has closed the connection (a zero-byte read
+    /// with nothing buffered). Consumes any stray buffered bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures other than an orderly close.
+    pub fn is_closed(&mut self) -> std::io::Result<bool> {
+        let mut chunk = [0u8; 1024];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Ok(true),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(false)
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The underlying stream, for tests that need socket-level control
+    /// (shutdown, timeouts).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+/// Parses one complete response from the front of `buf`, returning it
+/// and the number of bytes it occupied — or `None` when more bytes are
+/// needed.
+fn parse_one_response(buf: &[u8]) -> std::io::Result<Option<(ClientResponse, usize)>> {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| std::io::Error::new(ErrorKind::InvalidData, "non-UTF-8 response head"))?;
     let mut lines = head.split("\r\n");
-    let status: u16 = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
-    let headers = lines
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "bad status line"))?;
+    let headers: Vec<(String, String)> = lines
         .filter_map(|line| line.split_once(':'))
         .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
         .collect();
-    Some(ClientResponse {
-        status,
-        headers,
-        body: raw[head_end + 4..].to_vec(),
-    })
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "missing content-length"))?;
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        ClientResponse {
+            status,
+            headers,
+            body: buf[head_end + 4..total].to_vec(),
+        },
+        total,
+    )))
+}
+
+/// One-shot request: connect, send (the caller includes
+/// `Connection: close`), read a single framed response.
+fn request(addr: SocketAddr, raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let mut conn = ClientConn::connect(addr)?;
+    conn.send_raw(raw)?;
+    conn.read_response()
 }
 
 /// Sends `POST {path}` with a JSON body, waits for the full response.
@@ -68,7 +235,7 @@ fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
 /// that a server has shut down).
 pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<ClientResponse> {
     let raw = format!(
-        "POST {path} HTTP/1.1\r\nhost: scpg\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        "POST {path} HTTP/1.1\r\nhost: scpg\r\nconnection: close\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
         body.len()
     );
     request(addr, raw.as_bytes())
@@ -80,7 +247,7 @@ pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<ClientR
 ///
 /// Propagates socket failures.
 pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
-    let raw = format!("GET {path} HTTP/1.1\r\nhost: scpg\r\n\r\n");
+    let raw = format!("GET {path} HTTP/1.1\r\nhost: scpg\r\nconnection: close\r\n\r\n");
     request(addr, raw.as_bytes())
 }
 
@@ -97,13 +264,15 @@ pub fn post_traced(
     trace_id: &str,
 ) -> std::io::Result<ClientResponse> {
     let raw = format!(
-        "POST {path} HTTP/1.1\r\nhost: scpg\r\ncontent-type: application/json\r\nx-scpg-trace-id: {trace_id}\r\ncontent-length: {}\r\n\r\n{body}",
+        "POST {path} HTTP/1.1\r\nhost: scpg\r\nconnection: close\r\ncontent-type: application/json\r\nx-scpg-trace-id: {trace_id}\r\ncontent-length: {}\r\n\r\n{body}",
         body.len()
     );
     request(addr, raw.as_bytes())
 }
 
-/// Sends raw bytes verbatim (malformed-request tests).
+/// Sends raw bytes verbatim (malformed-request tests) and reads a
+/// single response. The server closes after any protocol error; for
+/// well-formed requests the caller should include `connection: close`.
 ///
 /// # Errors
 ///
@@ -118,7 +287,7 @@ pub fn raw(addr: SocketAddr, bytes: &[u8]) -> std::io::Result<ClientResponse> {
 ///
 /// Propagates socket failures.
 pub fn delete(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
-    let raw = format!("DELETE {path} HTTP/1.1\r\nhost: scpg\r\n\r\n");
+    let raw = format!("DELETE {path} HTTP/1.1\r\nhost: scpg\r\nconnection: close\r\n\r\n");
     request(addr, raw.as_bytes())
 }
 
@@ -134,7 +303,7 @@ pub fn upload_netlist(
     clock: &str,
 ) -> std::io::Result<ClientResponse> {
     let raw = format!(
-        "POST /v1/netlists HTTP/1.1\r\nhost: scpg\r\ncontent-type: text/plain\r\nx-scpg-clock: {clock}\r\ncontent-length: {}\r\n\r\n{source}",
+        "POST /v1/netlists HTTP/1.1\r\nhost: scpg\r\nconnection: close\r\ncontent-type: text/plain\r\nx-scpg-clock: {clock}\r\ncontent-length: {}\r\n\r\n{source}",
         source.len()
     );
     request(addr, raw.as_bytes())
@@ -194,8 +363,31 @@ pub fn poll_job(addr: SocketAddr, id: &str, timeout: Duration) -> std::io::Resul
     // Tiny LCG (Numerical Recipes constants) seeded per call; jitter only
     // needs to decorrelate concurrent pollers, not be high quality.
     let mut rng: u64 = 0x9e37_79b9 ^ (addr.port() as u64) ^ started.elapsed().as_nanos() as u64;
+    // Polling reuses one keep-alive connection; a server restart between
+    // polls surfaces as an error from `get` below, which is what callers
+    // expect from a vanished job host.
+    let mut conn: Option<ClientConn> = None;
     loop {
-        let resp = job_status(addr, id)?;
+        let resp = {
+            let c = match conn.as_mut() {
+                Some(c) => c,
+                None => {
+                    conn = Some(ClientConn::connect(addr)?);
+                    conn.as_mut().expect("just set")
+                }
+            };
+            match c.get(&format!("/v1/jobs/{id}")) {
+                Ok(resp) => resp,
+                Err(_) => {
+                    // Idle-reaped by the server between polls: retry once
+                    // on a fresh connection.
+                    let mut fresh = ClientConn::connect(addr)?;
+                    let resp = fresh.get(&format!("/v1/jobs/{id}"))?;
+                    conn = Some(fresh);
+                    resp
+                }
+            }
+        };
         if resp.status != 200 {
             return Ok(resp); // 404 etc.: nothing further to wait for
         }

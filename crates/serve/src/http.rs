@@ -1,10 +1,18 @@
 //! A deliberately small HTTP/1.1 subset over [`std::net`].
 //!
-//! The service speaks exactly what its clients need: one request per
-//! connection (`Connection: close` on every response), `Content-Length`
-//! bodies (no chunked transfer), and a bounded header block and body so a
+//! The service speaks exactly what its clients need: `Content-Length`
+//! bodies (no chunked transfer), persistent HTTP/1.1 connections with
+//! request pipelining, and a bounded header block and body so a
 //! misbehaving client cannot balloon memory. Anything outside the subset
-//! maps to a 4xx, never a panic.
+//! maps to a 4xx/5xx, never a panic.
+//!
+//! The core type is [`RequestParser`]: a resumable parser over a
+//! persistent per-connection buffer. The event loop feeds it raw bytes as
+//! they arrive ([`RequestParser::extend`]) and drains complete requests
+//! ([`RequestParser::try_next`]); bytes past the current request's
+//! `Content-Length` stay in the buffer and become the next pipelined
+//! request instead of being truncated away. The blocking
+//! [`read_request`] wrapper remains for one-shot uses and tests.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -32,6 +40,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// True for `HTTP/1.1` requests (false for `HTTP/1.0`), which
+    /// decides the keep-alive default.
+    pub http11: bool,
 }
 
 impl Request {
@@ -41,6 +52,34 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for this connection to close after the
+    /// response. HTTP/1.1 defaults to keep-alive unless the request
+    /// carries a `Connection` header whose comma-separated token list
+    /// contains `close`; HTTP/1.0 defaults to close unless it contains
+    /// `keep-alive`.
+    pub fn wants_close(&self) -> bool {
+        let mut keep_alive_token = false;
+        for (name, value) in &self.headers {
+            if name != "connection" {
+                continue;
+            }
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    return true;
+                }
+                if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive_token = true;
+                }
+            }
+        }
+        if self.http11 {
+            false
+        } else {
+            !keep_alive_token
+        }
     }
 }
 
@@ -53,52 +92,132 @@ pub enum HttpError {
     Malformed(&'static str),
     /// Head or body exceeds the configured bounds.
     TooLarge,
+    /// The request line names an `HTTP/` version other than 1.x — the
+    /// server answers `505 HTTP Version Not Supported` instead of a
+    /// generic 400.
+    UnsupportedVersion,
+    /// The request uses a feature this subset deliberately does not
+    /// implement (chunked transfer coding) — answered with `501`.
+    /// Accepting such a request would let its body bytes be re-parsed
+    /// as a smuggled pipelined request.
+    NotImplemented(&'static str),
     /// Socket error (including read timeout).
     Io(std::io::Error),
 }
 
-/// Reads one request from the stream.
+/// A resumable HTTP/1.1 request parser over a persistent buffer.
 ///
-/// # Errors
-///
-/// See [`HttpError`]; `Closed` is the benign "client went away" case.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
-    stream
-        .set_read_timeout(Some(READ_TIMEOUT))
-        .map_err(HttpError::Io)?;
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
+/// Feed raw socket bytes in with [`extend`](Self::extend); pull complete
+/// requests out with [`try_next`](Self::try_next). Consumed bytes are
+/// drained from the front of the buffer and anything beyond the current
+/// request's `Content-Length` is retained for the next call — that is
+/// what makes pipelining work.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// How far the `\r\n\r\n` scan has already looked (minus the 3 bytes
+    /// a straddling terminator could occupy), so trickled heads cost
+    /// O(n) total instead of O(n²).
+    searched: usize,
+    /// Cached head-terminator position once found, so body trickles do
+    /// not rescan the head.
+    head_end: Option<usize>,
+}
 
-    // Read until the blank line ending the head. Each scan resumes just
-    // before the previously searched end (the terminator can straddle a
-    // chunk boundary by at most 3 bytes), so a trickled head costs O(n)
-    // total instead of O(n²); the size bound is enforced both before
-    // reading more and on the found position, so an oversized head is
-    // rejected even when its terminator arrives inside the final chunk.
-    let mut searched = 0usize;
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf, searched) {
-            if pos + 4 > MAX_HEAD_BYTES {
-                return Err(HttpError::TooLarge);
+impl RequestParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes received from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (partial request and/or pipelined
+    /// follow-ups).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when the buffer holds a partial request — the distinction
+    /// between an idle keep-alive connection (evicted silently) and a
+    /// mid-request stall (answered `408 Request Timeout`).
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Tries to parse the next complete request out of the buffer.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed. On `Ok(Some(_))`
+    /// the request's bytes are drained from the buffer; pipelined bytes
+    /// past its body remain for the next call.
+    ///
+    /// # Errors
+    ///
+    /// See [`HttpError`]; errors are sticky in practice (the caller
+    /// answers with the mapped status and closes the connection, since
+    /// resynchronising a malformed byte stream is not possible).
+    pub fn try_next(&mut self) -> Result<Option<Request>, HttpError> {
+        let head_end = match self.head_end {
+            Some(pos) => pos,
+            None => {
+                match find_head_end(&self.buf, self.searched) {
+                    Some(pos) => {
+                        if pos + 4 > MAX_HEAD_BYTES {
+                            return Err(HttpError::TooLarge);
+                        }
+                        self.head_end = Some(pos);
+                        pos
+                    }
+                    None => {
+                        self.searched = self.buf.len().saturating_sub(3);
+                        // The bound is enforced both on the found
+                        // position above and here on a failed scan, so
+                        // an oversized head is rejected even when its
+                        // terminator arrives inside the final chunk.
+                        if self.buf.len() >= MAX_HEAD_BYTES {
+                            return Err(HttpError::TooLarge);
+                        }
+                        return Ok(None);
+                    }
+                }
             }
-            break pos;
-        }
-        searched = buf.len().saturating_sub(3);
-        if buf.len() >= MAX_HEAD_BYTES {
+        };
+
+        let head = parse_head(&self.buf[..head_end])?;
+        if head.content_length > MAX_BODY_BYTES {
             return Err(HttpError::TooLarge);
         }
-        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
-        if n == 0 {
-            if buf.is_empty() {
-                return Err(HttpError::Closed);
-            }
-            return Err(HttpError::Malformed("EOF inside the request head"));
+        let body_start = head_end + 4;
+        if self.buf.len() < body_start + head.content_length {
+            return Ok(None);
         }
-        buf.extend_from_slice(&chunk[..n]);
-    };
+        let body = self.buf[body_start..body_start + head.content_length].to_vec();
+        self.buf.drain(..body_start + head.content_length);
+        self.head_end = None;
+        self.searched = 0;
+        Ok(Some(Request {
+            method: head.method,
+            path: head.path,
+            headers: head.headers,
+            body,
+            http11: head.http11,
+        }))
+    }
+}
 
-    let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| HttpError::Malformed("head is not UTF-8"))?;
+struct ParsedHead {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    http11: bool,
+    content_length: usize,
+}
+
+fn parse_head(raw: &[u8]) -> Result<ParsedHead, HttpError> {
+    let head = std::str::from_utf8(raw).map_err(|_| HttpError::Malformed("head is not UTF-8"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
@@ -112,8 +231,14 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         .to_string();
     let version = parts.next().unwrap_or("");
     if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed("unsupported HTTP version"));
+        // A recognisable HTTP version outside 1.x (HTTP/2.0, HTTP/0.9…)
+        // earns the specific 505; non-HTTP garbage stays a plain 400.
+        if version.starts_with("HTTP/") {
+            return Err(HttpError::UnsupportedVersion);
+        }
+        return Err(HttpError::Malformed("unsupported protocol in request line"));
     }
+    let http11 = version != "HTTP/1.0";
 
     let mut headers = Vec::new();
     for line in lines {
@@ -123,7 +248,25 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         let (name, value) = line
             .split_once(':')
             .ok_or(HttpError::Malformed("header without a colon"))?;
-        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        // RFC 7230 §3.2.4: no whitespace between the field name and the
+        // colon. `"Content-Length : 5"` must be rejected, not trimmed
+        // into validity — an intermediary that drops such headers would
+        // disagree with us about message length, which is exactly the
+        // request-smuggling setup. Leading whitespace (obs-fold
+        // continuation lines) is rejected by the same check.
+        if name.is_empty() || name.bytes().any(|b| b.is_ascii_whitespace()) {
+            return Err(HttpError::Malformed("whitespace in header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Chunked (or any) transfer coding is not implemented; accepting the
+    // header while ignoring it would leave the chunked body in the
+    // buffer to be parsed as a smuggled pipelined request.
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::NotImplemented(
+            "transfer-encoding is not supported; use content-length",
+        ));
     }
 
     // `Content-Length` is the request-smuggling hinge of HTTP/1.1, so it
@@ -146,26 +289,46 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
             .parse::<usize>()
             .map_err(|_| HttpError::Malformed("unparsable content-length"))?;
     }
-    if content_length > MAX_BODY_BYTES {
-        return Err(HttpError::TooLarge);
-    }
 
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
-        if n == 0 {
-            return Err(HttpError::Malformed("EOF inside the request body"));
-        }
-        body.extend_from_slice(&chunk[..n]);
-    }
-    body.truncate(content_length);
-
-    Ok(Request {
+    Ok(ParsedHead {
         method,
         path,
         headers,
-        body,
+        http11,
+        content_length,
     })
+}
+
+/// Reads one request from the stream, blocking until it is complete.
+///
+/// This is the one-shot wrapper over [`RequestParser`] used by tests and
+/// simple clients; the event loop drives the parser incrementally
+/// instead. Pipelined bytes past the first request are discarded with
+/// the parser, so this is only appropriate when one request per
+/// connection is expected.
+///
+/// # Errors
+///
+/// See [`HttpError`]; `Closed` is the benign "client went away" case.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    stream
+        .set_read_timeout(Some(READ_TIMEOUT))
+        .map_err(HttpError::Io)?;
+    let mut parser = RequestParser::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(req) = parser.try_next()? {
+            return Ok(req);
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            if !parser.has_partial() {
+                return Err(HttpError::Closed);
+            }
+            return Err(HttpError::Malformed("EOF inside the request"));
+        }
+        parser.extend(&chunk[..n]);
+    }
 }
 
 /// Finds `\r\n\r\n` in `buf`, scanning only from `from` onward (callers
@@ -188,20 +351,52 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
 }
 
-/// Writes a complete response and flushes. Every response closes the
-/// connection (`Connection: close`), which keeps the server loop a
-/// strict one-request-per-connection state machine.
+/// Encodes a complete response into bytes. `keep_alive` selects the
+/// `connection:` header value; everything else matches what the
+/// thread-per-connection server wrote byte for byte, so cached bodies
+/// and close-mode responses are identical across the two designs.
+pub fn encode_response(
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        status,
+        status_text(status),
+        content_type,
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Writes a complete close-mode response and flushes.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
@@ -257,22 +452,8 @@ fn write_response_full(
     timeout: Duration,
 ) -> std::io::Result<()> {
     stream.set_write_timeout(Some(timeout))?;
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
-        status,
-        status_text(status),
-        content_type,
-        body.len()
-    );
-    for (name, value) in extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    let bytes = encode_response(status, content_type, extra_headers, body, false);
+    stream.write_all(&bytes)?;
     stream.flush()
 }
 
@@ -306,6 +487,8 @@ mod tests {
         assert_eq!(req.path, "/v1/sweep");
         assert_eq!(req.body, b"{\"a\":1}");
         assert_eq!(req.header("host"), Some("x"));
+        assert!(req.http11);
+        assert!(!req.wants_close());
     }
 
     #[test]
@@ -327,6 +510,47 @@ mod tests {
             Err(HttpError::Malformed(_))
         ));
         assert!(matches!(round_trip(b""), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn non_http1x_versions_are_unsupported_not_malformed() {
+        assert!(matches!(
+            round_trip(b"GET / HTTP/2.0\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion)
+        ));
+        assert!(matches!(
+            round_trip(b"GET / HTTP/0.9\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion)
+        ));
+        // Non-HTTP garbage in the version slot stays a plain 400.
+        assert!(matches!(
+            round_trip(b"GET / SPDY/3\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_whitespace_before_the_header_colon() {
+        // RFC 7230 §3.2.4 — `name.trim()` used to turn this into a valid
+        // content-length, the setup for request smuggling through an
+        // intermediary that drops the malformed header.
+        assert!(matches!(
+            round_trip(b"POST / HTTP/1.1\r\nContent-Length : 5\r\n\r\nAAAAA"),
+            Err(HttpError::Malformed("whitespace in header name"))
+        ));
+        // Obs-fold continuation lines are whitespace-led and equally out.
+        assert!(matches!(
+            round_trip(b"GET / HTTP/1.1\r\nx-a: 1\r\n b: 2\r\n\r\n"),
+            Err(HttpError::Malformed("whitespace in header name"))
+        ));
+    }
+
+    #[test]
+    fn rejects_transfer_encoding() {
+        assert!(matches!(
+            round_trip(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"),
+            Err(HttpError::NotImplemented(_))
+        ));
     }
 
     #[test]
@@ -408,9 +632,55 @@ mod tests {
     }
 
     #[test]
+    fn parser_retains_pipelined_bytes_for_the_next_request() {
+        let mut parser = RequestParser::new();
+        parser.extend(
+            b"POST /v1/sweep HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}GET /healthz HTTP/1.1\r\n\r\n",
+        );
+        let first = parser.try_next().unwrap().expect("first request complete");
+        assert_eq!(first.path, "/v1/sweep");
+        assert_eq!(first.body, b"{}");
+        let second = parser.try_next().unwrap().expect("pipelined request kept");
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert!(!parser.has_partial());
+        assert!(parser.try_next().unwrap().is_none());
+    }
+
+    #[test]
+    fn parser_resumes_across_arbitrary_splits() {
+        let raw = b"POST /v1/table HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}GET /metrics HTTP/1.1\r\n\r\n";
+        for split in 0..raw.len() {
+            let mut parser = RequestParser::new();
+            parser.extend(&raw[..split]);
+            // Drain whatever is complete so far, then feed the rest.
+            let mut got = Vec::new();
+            while let Some(req) = parser.try_next().unwrap() {
+                got.push(req.path.clone());
+            }
+            parser.extend(&raw[split..]);
+            while let Some(req) = parser.try_next().unwrap() {
+                got.push(req.path.clone());
+            }
+            assert_eq!(got, ["/v1/table", "/metrics"], "split at {split}");
+        }
+    }
+
+    #[test]
+    fn connection_close_token_scan() {
+        let req = round_trip(b"GET / HTTP/1.1\r\nConnection: keep-alive, Close\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+        let req = round_trip(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.http11);
+        assert!(req.wants_close());
+        let req = round_trip(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!req.wants_close());
+    }
+
+    #[test]
     fn incremental_head_scan_finds_straddled_terminators() {
         // Exercise every split of the 4-byte terminator across two
-        // appends, mimicking how read_request resumes its scan.
+        // appends, mimicking how the parser resumes its scan.
         let head = b"GET / HTTP/1.1\r\na: b\r\n\r\n";
         for split in 0..head.len() {
             let mut buf = head[..split].to_vec();
@@ -424,6 +694,17 @@ mod tests {
                 "split at {split}"
             );
         }
+    }
+
+    #[test]
+    fn encode_response_keep_alive_flag_selects_connection_header() {
+        let keep = encode_response(200, "application/json", &[], b"{}", true);
+        let close = encode_response(200, "application/json", &[], b"{}", false);
+        let keep = String::from_utf8(keep).unwrap();
+        let close = String::from_utf8(close).unwrap();
+        assert!(keep.contains("connection: keep-alive\r\n"));
+        assert!(close.contains("connection: close\r\n"));
+        assert!(keep.ends_with("\r\n\r\n{}"));
     }
 
     #[test]

@@ -39,10 +39,15 @@
 //! 3. **Bounded queue with backpressure** ([`queue`]): admitted jobs run
 //!    on a worker pool; a full queue answers `429` immediately, an
 //!    expired per-request deadline answers `504`.
-//! 4. **Graceful shutdown**: stop accepting, finish in-flight
-//!    connections, drain the queue, then close — no admitted request is
-//!    dropped.
-//! 5. **Two-lane scheduling**: batch-job chunks run on the same worker
+//! 4. **Event-driven connection handling**: one event-loop thread owns
+//!    every socket (epoll on Linux, `poll` elsewhere — zero idle CPU at
+//!    10k+ connections), speaking persistent HTTP/1.1 with request
+//!    pipelining; I/O never computes and compute never blocks I/O —
+//!    workers hand results back through a wake fd.
+//! 5. **Graceful shutdown**: stop accepting, answer what is in flight
+//!    (late pipelined requests get `503` + `Retry-After`), drain the
+//!    queue, then close — no admitted request is dropped.
+//! 6. **Two-lane scheduling**: batch-job chunks run on the same worker
 //!    pool in a second, lower-priority lane; interactive requests always
 //!    pop first and one worker never takes batch work at all, so a pile
 //!    of long jobs cannot starve point queries. Chunk checkpoints go to
@@ -63,11 +68,13 @@ pub mod api;
 pub mod cache;
 pub mod client;
 pub mod designs;
+mod event_loop;
 pub mod http;
 pub mod metrics;
+mod poller;
 pub mod queue;
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -87,7 +94,7 @@ use scpg_units::Frequency;
 
 use crate::cache::ShardedCache;
 use crate::designs::{DesignRegistry, DesignSpec};
-use crate::http::{HttpError, Request};
+use crate::http::Request;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{Job, JobOutput, JobTiming, Slot, Work, WorkQueue};
 
@@ -139,6 +146,15 @@ pub struct ServeConfig {
     ///
     /// [`Auto`]: scpg_sim::EngineChoice::Auto
     pub force_engine: scpg_sim::EngineChoice,
+    /// How long an idle keep-alive connection (no request in progress,
+    /// nothing buffered) is kept open before eviction. A connection with
+    /// a *partial* request buffered when this expires is answered
+    /// `408 Request Timeout` first.
+    pub idle_timeout_ms: u64,
+    /// Requests served over one connection before the server closes it
+    /// (`connection: close` on the final response) — bounds per-client
+    /// resource pinning under keep-alive.
+    pub max_requests_per_conn: u32,
 }
 
 impl Default for ServeConfig {
@@ -158,13 +174,14 @@ impl Default for ServeConfig {
             debug_job_delay_ms: 0,
             trace_capacity: 256,
             force_engine: scpg_sim::EngineChoice::Auto,
+            idle_timeout_ms: 10_000,
+            max_requests_per_conn: 10_000,
         }
     }
 }
 
 struct Shared {
     config: ServeConfig,
-    addr: SocketAddr,
     queue: WorkQueue,
     cache: ShardedCache,
     metrics: Metrics,
@@ -186,34 +203,40 @@ struct Shared {
     /// a trace read after a restart shows which boot ran which chunk.
     boot_id: String,
     shutdown: AtomicBool,
+    /// Open connections (serving or idle keep-alive); the event loop
+    /// owns the increments/decrements, everything else only reads.
     in_flight_conns: AtomicUsize,
+    /// Wakes the event loop out of its poll wait — worker completions
+    /// and shutdown both signal through it.
+    wake: poller::Waker,
+    /// Connection tokens whose queued job has completed; workers push
+    /// (via the slot's notify hook) and the event loop drains.
+    completions: std::sync::Mutex<Vec<u64>>,
 }
 
 impl Shared {
-    /// Flags shutdown and unblocks the accept thread with a loopback
-    /// self-connect (the listener blocks in `accept`, so a flag alone
-    /// would only be noticed on the *next* connection).
+    /// Flags shutdown and wakes the event loop so it notices immediately
+    /// (it parks in a poll wait, so a flag alone would only be seen on
+    /// the next readiness event).
     fn begin_shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
-            return; // already shutting down; accept was already woken
+            return; // already shutting down; the loop was already woken
         }
-        let ip = self.addr.ip();
-        let wake_ip: std::net::IpAddr = if ip.is_unspecified() {
-            match ip {
-                std::net::IpAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
-                std::net::IpAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
-            }
-        } else {
-            ip
-        };
-        let wake_addr = SocketAddr::new(wake_ip, self.addr.port());
-        // Best effort with a couple of retries: if the wake never lands,
-        // any real incoming connection also unblocks the accept thread.
-        for _ in 0..3 {
-            if TcpStream::connect_timeout(&wake_addr, Duration::from_millis(200)).is_ok() {
-                break;
-            }
-        }
+        self.wake.wake();
+    }
+
+    /// Queues a completed-job notification and wakes the event loop.
+    fn push_completion(&self, token: u64) {
+        self.completions
+            .lock()
+            .expect("completions poisoned")
+            .push(token);
+        self.wake.wake();
+    }
+
+    /// Drains pending completion tokens (event-loop side).
+    fn take_completions(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.completions.lock().expect("completions poisoned"))
     }
 }
 
@@ -222,6 +245,7 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     shared: Arc<Shared>,
+    poller: poller::Poller,
 }
 
 impl Server {
@@ -271,8 +295,9 @@ impl Server {
         // fresh store, so `GET /v1/traces/{id}` after a restart still
         // shows the pre-restart chunks (tagged with their original boot).
         jobs.attach_tracing(Arc::clone(&traces), &boot_id);
+        let poller = poller::Poller::new()?;
+        let wake = poller::Waker::new()?;
         let shared = Arc::new(Shared {
-            addr,
             queue: WorkQueue::new(config.queue_capacity),
             cache: ShardedCache::new(config.cache_shards, config.cache_capacity_per_shard),
             metrics: Metrics::default(),
@@ -285,12 +310,15 @@ impl Server {
             boot_id,
             shutdown: AtomicBool::new(false),
             in_flight_conns: AtomicUsize::new(0),
+            wake,
+            completions: std::sync::Mutex::new(Vec::new()),
             config,
         });
         Ok(Self {
             listener,
             addr,
             shared,
+            poller,
         })
     }
 
@@ -299,7 +327,7 @@ impl Server {
         self.addr
     }
 
-    /// Starts the worker pool and the accept loop, returning the control
+    /// Starts the worker pool and the event loop, returning the control
     /// handle.
     pub fn spawn(self) -> ServerHandle {
         let workers = self.shared.config.workers.max(2);
@@ -327,14 +355,15 @@ impl Server {
         }
         let shared = Arc::clone(&self.shared);
         let listener = self.listener;
-        let accept = std::thread::Builder::new()
-            .name("scpg-serve-accept".to_string())
-            .spawn(move || accept_loop(listener, &shared))
-            .expect("spawn accept loop");
+        let poller = self.poller;
+        let event = std::thread::Builder::new()
+            .name("scpg-serve-event".to_string())
+            .spawn(move || event_loop::run(listener, poller, &shared))
+            .expect("spawn event loop");
         ServerHandle {
             addr: self.addr,
             shared: self.shared,
-            accept: Some(accept),
+            event: Some(event),
             workers: worker_handles,
         }
     }
@@ -344,7 +373,7 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
+    event: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -360,6 +389,13 @@ impl ServerHandle {
         self.shared.metrics.snapshot()
     }
 
+    /// Open connections right now, idle keep-alive included (the
+    /// `scpg_connections_in_flight` gauge; tests use it to observe
+    /// idle-timeout eviction).
+    pub fn open_connections(&self) -> usize {
+        self.shared.in_flight_conns.load(Ordering::SeqCst)
+    }
+
     /// Requests shutdown without waiting (signal-handler safe side).
     pub fn trigger(&self) -> ShutdownTrigger {
         ShutdownTrigger {
@@ -367,15 +403,19 @@ impl ServerHandle {
         }
     }
 
-    /// Graceful shutdown: stop accepting, let in-flight connections
-    /// finish (which drains their queued jobs), then release the workers
-    /// and close the listener. Every admitted request is answered.
+    /// Graceful shutdown: stop accepting, answer every request already
+    /// in flight (their queued jobs complete on the workers; pipelined
+    /// requests arriving after the flag get `503`), close the drained
+    /// connections, then release the workers and close the listener.
+    /// Every admitted request is answered.
     pub fn shutdown(mut self) {
         self.shared.begin_shutdown();
-        if let Some(accept) = self.accept.take() {
-            // The accept thread owns the listener; joining it is the
-            // "listener closed" point.
-            let _ = accept.join();
+        if let Some(event) = self.event.take() {
+            // The event-loop thread owns the listener and every
+            // connection; joining it is the "all sockets closed" point.
+            // Workers are still alive here, completing in-flight jobs
+            // the loop is draining.
+            let _ = event.join();
         }
         // No connections remain, so nothing can enqueue anymore: release
         // the workers once the queue drains.
@@ -395,60 +435,10 @@ pub struct ShutdownTrigger {
 
 impl ShutdownTrigger {
     /// Flags the server to begin graceful shutdown (and wakes the
-    /// blocking accept thread so it notices).
+    /// event loop so it notices immediately).
     pub fn trip(&self) {
         self.shared.begin_shutdown();
     }
-}
-
-/// RAII decrement for the in-flight connection gauge: a plain post-call
-/// `fetch_sub` would be skipped if the handler unwound, permanently
-/// leaking the count and hanging the shutdown drain loop.
-struct ConnGuard<'a>(&'a AtomicUsize);
-
-impl Drop for ConnGuard<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    // Blocking accept: zero idle CPU and no polling-interval latency
-    // floor. Shutdown unblocks it with a loopback self-connect (see
-    // `Shared::begin_shutdown`), which is dropped unanswered below.
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    // The shutdown wake itself, or a connection racing
-                    // the flag — either way no longer served.
-                    drop(stream);
-                    break;
-                }
-                shared.in_flight_conns.fetch_add(1, Ordering::SeqCst);
-                let conn_shared = Arc::clone(shared);
-                let spawned = std::thread::Builder::new()
-                    .name("scpg-serve-conn".to_string())
-                    .spawn(move || {
-                        let _guard = ConnGuard(&conn_shared.in_flight_conns);
-                        handle_connection(stream, &conn_shared);
-                    });
-                if spawned.is_err() {
-                    shared.in_flight_conns.fetch_sub(1, Ordering::SeqCst);
-                }
-            }
-            // Transient accept errors (e.g. ECONNABORTED): brief pause so
-            // a persistent failure cannot spin the thread.
-            Err(_) => std::thread::sleep(Duration::from_millis(1)),
-        }
-    }
-    // Drain phase: the listener stays open (unaccepted connections just
-    // queue in the kernel) until every accepted connection has been
-    // answered, then dropping it refuses new work.
-    while shared.in_flight_conns.load(Ordering::SeqCst) > 0 {
-        std::thread::sleep(Duration::from_millis(5));
-    }
-    drop(listener);
 }
 
 fn worker_loop(shared: &Arc<Shared>, allow_batch: bool) {
@@ -575,6 +565,8 @@ struct RequestTrace {
     /// value, or a generated one. Echoed on the response and used as the
     /// key for the spans this request files into the trace store.
     trace_id: String,
+    /// The `Allow` header value when the reply is a 405.
+    allow: Option<&'static str>,
     parse: Option<Duration>,
     cache_lookup: Option<Duration>,
     wait: Option<Duration>,
@@ -603,66 +595,69 @@ impl RequestTrace {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let started = Instant::now();
-    let mut trace = RequestTrace::default();
-    let (status, content_type, body) = match http::read_request(&mut stream) {
-        // Catch unwinds here, while the stream is still in hand: the
-        // client gets a 500 instead of a silently dropped connection.
-        Ok(req) => {
-            trace.parse = Some(started.elapsed());
-            // A client-supplied id joins this request to the caller's
-            // trace; an absent or invalid header gets a fresh id. Either
-            // way the id is echoed on the response below.
-            trace.trace_id = match req.header("x-scpg-trace-id") {
-                Some(id) if scpg_trace::valid_trace_id(id) => id.to_string(),
-                _ => scpg_trace::generate_trace_id(),
-            };
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                respond(shared, &req, &mut trace)
-            })) {
-                Ok(reply) => reply,
-                Err(_) => {
-                    shared
-                        .metrics
-                        .handler_panics
-                        .fetch_add(1, Ordering::Relaxed);
-                    (500, "application/json", api::error_body("internal error"))
-                }
-            }
-        }
-        Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
-        Err(HttpError::TooLarge) => (
-            413,
-            "application/json",
-            api::error_body("request exceeds the size limits"),
-        ),
-        Err(HttpError::Malformed(why)) => (400, "application/json", api::error_body(why)),
-    };
+/// Finalises one request: counts the response, records latency
+/// histograms, the slow-request log line and the trace-store spans, then
+/// encodes the response bytes (trace id echoed, `Allow` on 405,
+/// `Retry-After` on 429/503, `connection:` per `keep_alive`).
+///
+/// Everything is recorded *before* the bytes are handed to the socket:
+/// once the client has seen its response, the request is visible in
+/// `/metrics` (tests rely on this ordering).
+fn finish_reply(
+    shared: &Arc<Shared>,
+    trace: &mut RequestTrace,
+    total: Duration,
+    reply: &Reply,
+    keep_alive: bool,
+) -> Vec<u8> {
+    let (status, content_type, ref body) = *reply;
     if trace.trace_id.is_empty() {
-        // The request never parsed (4xx above); give the reply a fresh
-        // id anyway so the client can quote it when reporting the error.
+        // The request never parsed (4xx); give the reply a fresh id
+        // anyway so the client can quote it when reporting the error.
         trace.trace_id = scpg_trace::generate_trace_id();
     }
     shared.metrics.inc_response(status);
-    // Record latency *before* writing: once the client has the response,
-    // its request is visible in `/metrics` (tests rely on this ordering).
     let endpoint = trace.endpoint.unwrap_or("other");
-    let total = started.elapsed();
     metrics::request_histogram(&shared.trace, endpoint).observe(total);
     let stages = trace.stages();
     for (stage, d) in &stages {
         metrics::stage_histogram(&shared.trace, stage).observe(*d);
     }
     scpg_trace::log_if_slow(endpoint, status, total, &stages);
-    record_request_spans(shared, &trace, endpoint, status, total, &stages);
-    let _ = http::write_response_with_headers(
-        &mut stream,
-        status,
-        content_type,
-        &[("x-scpg-trace-id", trace.trace_id.as_str())],
-        &body,
-    );
+    record_request_spans(shared, trace, endpoint, status, total, &stages);
+    let mut extra: Vec<(&str, &str)> = vec![("x-scpg-trace-id", trace.trace_id.as_str())];
+    match status {
+        // RFC 7231 §6.5.5: 405 must name the methods that *would* work.
+        405 => {
+            if let Some(allow) = trace.allow {
+                extra.push(("allow", allow));
+            }
+        }
+        // Backpressure statuses carry a retry hint so well-behaved
+        // clients back off instead of hammering.
+        429 | 503 => extra.push(("retry-after", "1")),
+        _ => {}
+    }
+    http::encode_response(status, content_type, &extra, body, keep_alive)
+}
+
+/// The `Allow` header value for a 405 on a known path.
+fn allow_for(path: &str) -> Option<&'static str> {
+    match path {
+        "/healthz" | "/metrics" | "/v1/designs" => Some("GET"),
+        "/v1/sweep" | "/v1/table" | "/v1/headline" | "/v1/variation" | "/v1/activity"
+        | "/v1/compare" | "/v1/netlists" => Some("POST"),
+        "/v1/jobs" => Some("POST, GET"),
+        _ if path.starts_with("/v1/traces") => Some("GET"),
+        _ if path.starts_with("/v1/jobs/") => {
+            if path.ends_with("/result") {
+                Some("GET")
+            } else {
+                Some("GET, DELETE")
+            }
+        }
+        _ => None,
+    }
 }
 
 /// Files one request's spans into the trace store: each stage that ran,
@@ -716,7 +711,35 @@ fn record_request_spans(
 
 type Reply = (u16, &'static str, Vec<u8>);
 
-fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Reply {
+/// What routing a request produced: either a reply computed inline
+/// (cache hits, admission refusals, introspection endpoints) or a job
+/// admitted to the worker queue whose [`Slot`] the event loop must watch
+/// until `deadline` (then answer `504`).
+enum Outcome {
+    Ready(Reply),
+    Queued { slot: Arc<Slot>, deadline: Instant },
+}
+
+impl From<Reply> for Outcome {
+    fn from(reply: Reply) -> Self {
+        Outcome::Ready(reply)
+    }
+}
+
+fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Outcome {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/sweep") => handle_api(shared, "sweep", &req.body, trace),
+        ("POST", "/v1/table") => handle_api(shared, "table", &req.body, trace),
+        ("POST", "/v1/headline") => handle_api(shared, "headline", &req.body, trace),
+        ("POST", "/v1/variation") => handle_api(shared, "variation", &req.body, trace),
+        ("POST", "/v1/activity") => handle_api(shared, "activity", &req.body, trace),
+        ("POST", "/v1/compare") => handle_api(shared, "compare", &req.body, trace),
+        _ => respond_inline(shared, req, trace).into(),
+    }
+}
+
+/// Routes everything that always answers inline (no worker queue).
+fn respond_inline(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             shared.metrics.inc_request("healthz");
@@ -755,12 +778,6 @@ fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Rep
             text.push_str(&scpg_trace::global().render());
             (200, "text/plain; version=0.0.4", text.into_bytes())
         }
-        ("POST", "/v1/sweep") => handle_api(shared, "sweep", &req.body, trace),
-        ("POST", "/v1/table") => handle_api(shared, "table", &req.body, trace),
-        ("POST", "/v1/headline") => handle_api(shared, "headline", &req.body, trace),
-        ("POST", "/v1/variation") => handle_api(shared, "variation", &req.body, trace),
-        ("POST", "/v1/activity") => handle_api(shared, "activity", &req.body, trace),
-        ("POST", "/v1/compare") => handle_api(shared, "compare", &req.body, trace),
         ("POST", "/v1/netlists") => handle_netlist_upload(shared, req, trace),
         ("GET", "/v1/designs") => {
             shared.metrics.inc_request("designs");
@@ -778,20 +795,26 @@ fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Rep
         (method, path) if path == "/v1/traces" || path.starts_with("/v1/traces/") => {
             handle_traces(shared, method, path, trace)
         }
-        (_, "/healthz" | "/metrics" | "/v1/designs") => (
-            405,
-            "application/json",
-            api::error_body("use GET for this endpoint"),
-        ),
+        (_, "/healthz" | "/metrics" | "/v1/designs") => {
+            trace.allow = allow_for(&req.path);
+            (
+                405,
+                "application/json",
+                api::error_body("use GET for this endpoint"),
+            )
+        }
         (
             _,
             "/v1/sweep" | "/v1/table" | "/v1/headline" | "/v1/variation" | "/v1/activity"
             | "/v1/compare" | "/v1/netlists",
-        ) => (
-            405,
-            "application/json",
-            api::error_body("use POST for this endpoint"),
-        ),
+        ) => {
+            trace.allow = allow_for(&req.path);
+            (
+                405,
+                "application/json",
+                api::error_body("use POST for this endpoint"),
+            )
+        }
         _ => (404, "application/json", api::error_body("no such endpoint")),
     }
 }
@@ -852,11 +875,14 @@ fn handle_jobs(
             let doc = Json::object([("jobs", Json::Arr(shared.jobs.summaries()))]);
             (200, "application/json", doc.write().into_bytes())
         }
-        (_, "/v1/jobs") => (
-            405,
-            "application/json",
-            api::error_body("use POST (submit) or GET (list) on /v1/jobs"),
-        ),
+        (_, "/v1/jobs") => {
+            trace.allow = allow_for("/v1/jobs");
+            (
+                405,
+                "application/json",
+                api::error_body("use POST (submit) or GET (list) on /v1/jobs"),
+            )
+        }
         _ => {
             let rest = &path["/v1/jobs/".len()..];
             let (id, tail) = match rest.split_once('/') {
@@ -894,11 +920,14 @@ fn handle_jobs(
                         (404, "application/json", api::error_body("no such job"))
                     }
                 },
-                _ => (
-                    405,
-                    "application/json",
-                    api::error_body("use GET /v1/jobs/{id}[/result] or DELETE /v1/jobs/{id}"),
-                ),
+                _ => {
+                    trace.allow = allow_for(path);
+                    (
+                        405,
+                        "application/json",
+                        api::error_body("use GET /v1/jobs/{id}[/result] or DELETE /v1/jobs/{id}"),
+                    )
+                }
             }
         }
     }
@@ -915,6 +944,7 @@ fn handle_traces(
     shared.metrics.inc_request("traces");
     trace.endpoint = Some("traces");
     if method != "GET" {
+        trace.allow = allow_for(path);
         return (
             405,
             "application/json",
@@ -1080,7 +1110,7 @@ fn handle_api(
     endpoint: &'static str,
     raw_body: &[u8],
     trace: &mut RequestTrace,
-) -> Reply {
+) -> Outcome {
     shared.metrics.inc_request(endpoint);
     trace.endpoint = Some(endpoint);
 
@@ -1092,11 +1122,12 @@ fn handle_api(
                 "application/json",
                 api::error_body("body is not UTF-8"),
             )
+                .into()
         }
     };
     let body = match Json::parse(text) {
         Ok(v) => v,
-        Err(e) => return (400, "application/json", api::error_body(&e.to_string())),
+        Err(e) => return (400, "application/json", api::error_body(&e.to_string())).into(),
     };
 
     // Validate the deadline before the cache lookup: a present but
@@ -1115,6 +1146,7 @@ fn handle_api(
                         "deadline_ms must be a non-negative integral number of milliseconds",
                     ),
                 )
+                    .into()
             }
         },
     }
@@ -1129,7 +1161,7 @@ fn handle_api(
         trace
             .annotations
             .push(("cache".to_string(), "hit".to_string()));
-        return (200, "application/json", hit.as_ref().clone());
+        return (200, "application/json", hit.as_ref().clone()).into();
     }
     shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
     trace
@@ -1152,21 +1184,21 @@ fn handle_api(
                 };
                 let (spec, query) = match parsed {
                     Ok(p) => p,
-                    Err(e) => return (422, "application/json", api::error_body(&e)),
+                    Err(e) => return (422, "application/json", api::error_body(&e)).into(),
                 };
                 Box::new(move || run_query(&registry, &netlists, spec, &query, delay))
             }
             "variation" => {
                 let (spec, cfg) = match api::parse_variation(&body, &limits) {
                     Ok(p) => p,
-                    Err(e) => return (422, "application/json", api::error_body(&e)),
+                    Err(e) => return (422, "application/json", api::error_body(&e)).into(),
                 };
                 Box::new(move || run_variation(&registry, &netlists, spec, &cfg, delay))
             }
             "activity" => {
                 let (spec, req) = match api::parse_activity(&body, &limits) {
                     Ok(p) => p,
-                    Err(e) => return (422, "application/json", api::error_body(&e)),
+                    Err(e) => return (422, "application/json", api::error_body(&e)).into(),
                 };
                 let choice = shared.config.force_engine;
                 Box::new(move || run_activity(&registry, &netlists, spec, req, choice, delay))
@@ -1175,7 +1207,7 @@ fn handle_api(
                 let parsed = api::parse_compare(&body, &limits, &shared.techniques);
                 let (spec, frequencies, techs) = match parsed {
                     Ok(p) => p,
-                    Err(e) => return (422, "application/json", api::error_body(&e)),
+                    Err(e) => return (422, "application/json", api::error_body(&e)).into(),
                 };
                 // The worker needs the technique registry, metrics and
                 // trace store, so it captures the whole shared state.
@@ -1207,30 +1239,15 @@ fn handle_api(
             429,
             "application/json",
             api::error_body("work queue is full; retry with backoff"),
-        );
+        )
+            .into();
     }
 
-    let wait_started = Instant::now();
-    let waited = slot.wait_until(deadline);
-    trace.wait = Some(wait_started.elapsed());
-    match waited {
-        Some(out) => {
-            trace.job = out.timing;
-            trace.annotations.extend(out.annotations);
-            (out.status, "application/json", out.body)
-        }
-        None => {
-            shared
-                .metrics
-                .deadline_expirations
-                .fetch_add(1, Ordering::Relaxed);
-            (
-                504,
-                "application/json",
-                api::error_body("deadline expired before the job completed"),
-            )
-        }
-    }
+    // Admitted: the event loop parks the connection on this slot (its
+    // notify hook wakes the loop when a worker fulfills it) and answers
+    // `504` if `deadline` passes first. The connection's `wait` stage is
+    // measured there.
+    Outcome::Queued { slot, deadline }
 }
 
 fn debug_delay(delay_ms: u64) {

@@ -53,8 +53,8 @@ pub const ENDPOINTS: [&str; 12] = [
 ];
 
 /// The status codes with dedicated response counters.
-pub const STATUSES: [u16; 13] = [
-    200, 201, 202, 400, 404, 405, 409, 413, 422, 429, 500, 503, 504,
+pub const STATUSES: [u16; 16] = [
+    200, 201, 202, 400, 404, 405, 408, 409, 413, 422, 429, 500, 501, 503, 504, 505,
 ];
 
 /// All service counters.
@@ -269,7 +269,7 @@ impl Metrics {
             ),
             (
                 "scpg_connections_in_flight",
-                "Connections currently being served.",
+                "Open connections (serving or idle keep-alive).",
                 in_flight as u64,
             ),
             (

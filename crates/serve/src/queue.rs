@@ -87,6 +87,11 @@ enum SlotState {
 pub struct Slot {
     state: Mutex<SlotState>,
     cv: Condvar,
+    /// Optional completion callback for event-loop waiters. Where a
+    /// blocking waiter parks on the condvar, the event loop instead
+    /// registers a closure (push the connection token, wake the poller)
+    /// and goes back to its `epoll_wait`.
+    notify: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl Slot {
@@ -95,20 +100,64 @@ impl Slot {
         Arc::new(Self {
             state: Mutex::new(SlotState::Pending),
             cv: Condvar::new(),
+            notify: Mutex::new(None),
         })
+    }
+
+    /// Registers the completion callback invoked (once) after a worker
+    /// fulfills the slot. Must be set before the job can complete —
+    /// i.e. before the job is pushed onto the queue.
+    pub fn set_notify(&self, f: impl Fn() + Send + Sync + 'static) {
+        *self.notify.lock().expect("slot poisoned") = Some(Box::new(f));
     }
 
     /// Worker side: publish the result (no-op if the connection already
     /// abandoned the slot). Returns `false` when the result was dropped
     /// because nobody is waiting anymore.
     pub fn fulfill(&self, out: JobOutput) -> bool {
+        let stored = {
+            let mut state = self.state.lock().expect("slot poisoned");
+            match *state {
+                SlotState::Abandoned => false,
+                _ => {
+                    *state = SlotState::Done(out);
+                    self.cv.notify_all();
+                    true
+                }
+            }
+        };
+        if stored {
+            // Outside the state lock: the callback takes the event
+            // loop's completion lock and writes to its wake fd; neither
+            // should nest under the slot state lock.
+            if let Some(f) = self.notify.lock().expect("slot poisoned").as_ref() {
+                f();
+            }
+        }
+        stored
+    }
+
+    /// Non-blocking probe: the result if the job has completed, `None`
+    /// while it is still pending. Does not abandon the slot.
+    pub fn try_take(&self) -> Option<JobOutput> {
+        match *self.state.lock().expect("slot poisoned") {
+            SlotState::Done(ref out) => Some(out.clone()),
+            _ => None,
+        }
+    }
+
+    /// Deadline-expiry resolution for event-loop waiters: takes the
+    /// result if the job finished in time, otherwise marks the slot
+    /// abandoned (so a worker reaching the job later skips it) and
+    /// returns `None`. The check-and-abandon is atomic under the state
+    /// lock, so a result can never be both taken and dropped.
+    pub fn abandon_or_take(&self) -> Option<JobOutput> {
         let mut state = self.state.lock().expect("slot poisoned");
         match *state {
-            SlotState::Abandoned => false,
+            SlotState::Done(ref out) => Some(out.clone()),
             _ => {
-                *state = SlotState::Done(out);
-                self.cv.notify_all();
-                true
+                *state = SlotState::Abandoned;
+                None
             }
         }
     }
@@ -376,6 +425,40 @@ mod tests {
         let out = slot.wait_until(Instant::now() + Duration::from_secs(5));
         assert!(t.join().unwrap());
         assert_eq!(out.unwrap().status, 200);
+    }
+
+    #[test]
+    fn slot_notify_fires_on_fulfill_and_try_take_sees_the_result() {
+        let slot = Slot::new();
+        let fired = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let f2 = Arc::clone(&fired);
+        slot.set_notify(move || {
+            f2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert!(slot.try_take().is_none(), "pending slot has no result");
+        assert!(slot.fulfill(JobOutput::new(200, b"ok".to_vec())));
+        assert_eq!(fired.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(slot.try_take().unwrap().status, 200);
+        // abandon_or_take on a done slot takes rather than abandons.
+        assert_eq!(slot.abandon_or_take().unwrap().status, 200);
+    }
+
+    #[test]
+    fn slot_abandon_or_take_on_pending_abandons_and_mutes_notify() {
+        let slot = Slot::new();
+        let fired = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let f2 = Arc::clone(&fired);
+        slot.set_notify(move || {
+            f2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert!(slot.abandon_or_take().is_none());
+        assert!(slot.is_abandoned());
+        assert!(!slot.fulfill(JobOutput::new(200, vec![])));
+        assert_eq!(
+            fired.load(std::sync::atomic::Ordering::SeqCst),
+            0,
+            "dropped results must not wake the event loop"
+        );
     }
 
     #[test]

@@ -723,7 +723,7 @@ fn trickled_header_request_is_served() {
     // worst case for the incremental head scan.
     use std::io::{Read, Write};
     let mut stream = std::net::TcpStream::connect(addr).expect("connect");
-    for &b in b"GET /healthz HTTP/1.1\r\nhost: scpg\r\n\r\n".iter() {
+    for &b in b"GET /healthz HTTP/1.1\r\nhost: scpg\r\nconnection: close\r\n\r\n".iter() {
         stream.write_all(&[b]).expect("write byte");
         stream.flush().expect("flush");
     }
