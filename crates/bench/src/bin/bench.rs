@@ -11,13 +11,14 @@
 //! container the parallel speedups honestly report ≈1×, while the
 //! engine-vs-reference speedup is core-count independent.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use scpg_json::Json;
 
 use scpg_circuits::{generate_cpu, generate_multiplier, CpuHarness};
 use scpg_isa::dhrystone;
-use scpg_liberty::{Library, Logic};
+use scpg_liberty::{parse_liberty, write_liberty, EvalBackend, Library, Logic};
 use scpg_netlist::{NetId, Netlist};
 use scpg_power::{VariationConfig, VariationStudy};
 use scpg_sim::{
@@ -761,6 +762,154 @@ fn bench_compare() -> CompareNumbers {
     }
 }
 
+struct LibertyNumbers {
+    cells: usize,
+    source_kib: f64,
+    parse_ms: f64,
+    table_eval_ns: f64,
+    analytical_eval_ns: f64,
+    upload_sweep_ms: f64,
+}
+
+/// Inflates the kit's own Liberty serialization to `target` cells by
+/// re-emitting every cell block under bumped drive suffixes ("INV_X1" →
+/// "INV_X101", …): same grammar and same table shapes, but a library of
+/// realistic upload size for the parser measurement.
+fn inflate_liberty(src: &str, target: usize) -> String {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].starts_with("  cell (") {
+            let start = i;
+            let mut depth = 0isize;
+            loop {
+                depth += lines[i].matches('{').count() as isize;
+                depth -= lines[i].matches('}').count() as isize;
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            blocks.push((start, i));
+        } else {
+            i += 1;
+        }
+    }
+    assert!(!blocks.is_empty(), "kit serialization has cell blocks");
+    let close = src.rfind('}').expect("library group closes");
+    let mut out = src[..close].to_string();
+    let mut cells = blocks.len();
+    let mut copy = 1usize;
+    while cells < target {
+        for &(s, e) in &blocks {
+            if cells >= target {
+                break;
+            }
+            for line in &lines[s..e] {
+                if let Some(rest) = line.strip_prefix("  cell (") {
+                    let name = rest.split(')').next().expect("cell name");
+                    let digits_at = name
+                        .rfind(|c: char| !c.is_ascii_digit())
+                        .map_or(0, |p| p + 1);
+                    let (stem, digits) = name.split_at(digits_at);
+                    let n: usize = digits.parse().expect("drive suffix");
+                    let _ = writeln!(out, "  cell ({stem}{}) {{", n + 100 * copy);
+                } else {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+            cells += 1;
+        }
+        copy += 1;
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Measures the Liberty ingestion path: parsing a ~100-cell NLDM library,
+/// the per-arc delay-evaluation cost through the table backend vs the
+/// closed-form analytical backend on the same cell, and the end-to-end
+/// upload→table-backed-sweep wall clock against a fresh server.
+fn bench_liberty() -> LibertyNumbers {
+    let kit_src = write_liberty(&Library::ninety_nm());
+    let big_src = inflate_liberty(&kit_src, 100);
+    let parsed = parse_liberty(&big_src).expect("inflated kit parses");
+    let cells = parsed.library.cells().count();
+    assert!(cells >= 100, "inflated library holds >= 100 cells");
+
+    let mut parse_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let again = parse_liberty(&big_src).expect("reparse");
+        parse_ms = parse_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(again.library.cells().count(), cells);
+    }
+
+    // The same delay arc through both evaluation routes, the load swept
+    // across the table's index range so every call pays a real bilinear
+    // interpolation rather than a clamped corner.
+    const EVALS: usize = 200_000;
+    let v = parsed.library.char_voltage();
+    let loads: Vec<scpg_units::Capacitance> = (0..16)
+        .map(|i| scpg_units::Capacitance::from_ff(1.0 + i as f64))
+        .collect();
+    let measure = |lib: &Library| {
+        let cell = lib.cell("INV_X1").expect("kit INV_X1 present");
+        let t0 = Instant::now();
+        let mut acc_ps = 0.0;
+        for i in 0..EVALS {
+            acc_ps += cell.delay(v, loads[i % loads.len()]).as_ps();
+        }
+        let ns = t0.elapsed().as_secs_f64() * 1e9 / EVALS as f64;
+        assert!(acc_ps.is_finite() && acc_ps > 0.0);
+        (ns, acc_ps)
+    };
+    let (table_eval_ns, table_acc) = measure(&parsed.library.with_backend(EvalBackend::Table));
+    let (analytical_eval_ns, analytical_acc) =
+        measure(&parsed.library.with_backend(EvalBackend::Analytical));
+    // The kit's tables are sampled from its own closed form: in aggregate
+    // the two routes must agree to interpolation error, or the seam is
+    // broken and the timings above compare different physics.
+    let rel = (table_acc - analytical_acc).abs() / analytical_acc.abs().max(1e-30);
+    assert!(
+        rel < 0.05,
+        "table ({table_acc} ps) and analytical ({analytical_acc} ps) delay sums diverged (rel {rel})"
+    );
+
+    // Admission to first table-backed answer: hash + parse + validate +
+    // persist, then a cold sweep resolved through the uploaded library.
+    let handle = scpg_serve::Server::bind(scpg_serve::ServeConfig::default())
+        .expect("bind loopback server")
+        .spawn();
+    let addr = handle.addr();
+    let t0 = Instant::now();
+    let up = scpg_serve::client::upload_library(addr, &kit_src).expect("upload");
+    assert_eq!(up.status, 201, "{}", up.text());
+    let id = Json::parse(up.text())
+        .expect("upload doc")
+        .get("id")
+        .and_then(|v| v.as_str().map(String::from))
+        .expect("library id");
+    let body = format!(
+        r#"{{"design": {{"kind": "multiplier", "bits": 8, "library": {{"kind": "uploaded", "id": "{id}"}}}}, "frequencies_hz": [1e6, 2e6, 5e6, 1e7, 1.43e7]}}"#
+    );
+    let sweep = scpg_serve::client::post(addr, "/v1/sweep", &body).expect("table sweep");
+    let upload_sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(sweep.status, 200, "{}", sweep.text());
+    handle.shutdown();
+
+    LibertyNumbers {
+        cells,
+        source_kib: big_src.len() as f64 / 1024.0,
+        parse_ms,
+        table_eval_ns,
+        analytical_eval_ns,
+        upload_sweep_ms,
+    }
+}
+
 /// Keeps the emitted JSON readable: fixed decimals instead of the full
 /// shortest-round-trip expansion of a timing measurement.
 fn round3(x: f64) -> f64 {
@@ -943,6 +1092,19 @@ fn main() {
         "the scpg compare row must be bit-identical to /v1/sweep"
     );
 
+    println!("[bench] Liberty ingestion: parse, table vs analytical eval, upload->sweep...");
+    let lty = bench_liberty();
+    println!(
+        "  {} cells ({:.0} KiB) parsed in {:.2} ms; eval table {:.1} ns/arc vs analytical {:.1} ns/arc ({:.2}x); upload->sweep {:.1} ms",
+        lty.cells,
+        lty.source_kib,
+        lty.parse_ms,
+        lty.table_eval_ns,
+        lty.analytical_eval_ns,
+        lty.table_eval_ns / lty.analytical_eval_ns.max(1e-9),
+        lty.upload_sweep_ms
+    );
+
     let doc = Json::object([
         ("threads", Json::from(threads)),
         (
@@ -1117,6 +1279,30 @@ fn main() {
                     ),
                 ),
                 ("scpg_identical_to_sweep", Json::from(cmp.scpg_identical)),
+            ]),
+        ),
+        (
+            "liberty",
+            Json::object([
+                ("cells", Json::from(lty.cells)),
+                ("source_kib", Json::from(round3(lty.source_kib))),
+                ("parse_ms", Json::from(round3(lty.parse_ms))),
+                (
+                    "table_eval_ns_per_arc",
+                    Json::from(round3(lty.table_eval_ns)),
+                ),
+                (
+                    "analytical_eval_ns_per_arc",
+                    Json::from(round3(lty.analytical_eval_ns)),
+                ),
+                (
+                    "table_over_analytical",
+                    Json::from(round3(lty.table_eval_ns / lty.analytical_eval_ns.max(1e-9))),
+                ),
+                (
+                    "upload_sweep_e2e_ms",
+                    Json::from(round3(lty.upload_sweep_ms)),
+                ),
             ]),
         ),
     ]);

@@ -25,11 +25,15 @@
 #![warn(missing_docs)]
 
 pub mod hash;
+pub mod libraries;
 pub mod manager;
 pub mod netlists;
 pub mod store;
 
 pub use hash::{crc32, sha256_hex};
+pub use libraries::{
+    library_id, LibraryLimits, LibraryRegistry, LibraryUploadError, UploadedLibrary, NS_LIBRARIES,
+};
 pub use manager::{
     CancelOutcome, ChunkExecutor, ChunkRun, JobLimits, JobManager, JobSpec, JobState, SubmitError,
     NS_JOBS,

@@ -1,9 +1,13 @@
 //! Standard cells: logic function, pins and characterisation data.
 
+use std::sync::Arc;
+
 use scpg_units::{Area, Capacitance, Current, Energy, Temperature, Time, Voltage};
 
+use crate::backend::{AnalyticalBackend, EvalBackend, PowerBackend, TableBackend, TimingBackend};
 use crate::logic::Logic;
 use crate::model::TransistorModel;
+use crate::nldm::CellTables;
 
 /// Direction of a cell pin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -326,6 +330,8 @@ pub struct Cell {
     setup: Time,
     hold: Time,
     model: TransistorModel,
+    tables: Option<Arc<CellTables>>,
+    backend: EvalBackend,
 }
 
 /// Raw characterisation numbers handed to [`Cell::new`].
@@ -362,7 +368,34 @@ impl Cell {
             setup: Time::from_ps(data.setup_ps),
             hold: Time::from_ps(data.hold_ps),
             model,
+            tables: None,
+            backend: EvalBackend::Analytical,
         }
+    }
+
+    /// This cell with NLDM tables attached (the [`TableBackend`] data;
+    /// evaluation still follows the cell's [`Cell::backend`] selection).
+    #[must_use]
+    pub fn with_tables(mut self, tables: Arc<CellTables>) -> Cell {
+        self.tables = Some(tables);
+        self
+    }
+
+    /// This cell evaluating through the given backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: EvalBackend) -> Cell {
+        self.backend = backend;
+        self
+    }
+
+    /// The evaluation backend this cell dispatches through.
+    pub fn backend(&self) -> EvalBackend {
+        self.backend
+    }
+
+    /// The cell's NLDM tables, when it carries any.
+    pub fn tables(&self) -> Option<&CellTables> {
+        self.tables.as_deref()
     }
 
     /// The cell's library name (e.g. `"NAND2_X1"`).
@@ -405,20 +438,41 @@ impl Cell {
         &self.model
     }
 
-    /// Propagation delay at supply `v` driving `c_load`.
-    ///
-    /// First-order model: an intrinsic term plus `R_drive · C_load`, both
-    /// scaled by the supply-dependent [`TransistorModel::delay_scale`].
-    pub fn delay(&self, v: Voltage, c_load: Capacitance) -> Time {
-        let loaded = Time::new(
-            self.intrinsic_delay.value() + self.drive_resistance.value() * c_load.value(),
-        );
-        self.model.scale_delay(loaded, v)
+    pub(crate) fn intrinsic_delay(&self) -> Time {
+        self.intrinsic_delay
     }
 
-    /// Leakage current at `(v, t)` in the average input state.
+    pub(crate) fn drive_resistance(&self) -> scpg_units::Resistance {
+        self.drive_resistance
+    }
+
+    pub(crate) fn internal_energy(&self) -> Energy {
+        self.internal_energy
+    }
+
+    pub(crate) fn leak_weight(&self) -> f64 {
+        self.leak_weight
+    }
+
+    /// Propagation delay at supply `v` driving `c_load`, answered by the
+    /// cell's selected [`TimingBackend`]: an intrinsic-plus-`R·C` closed
+    /// form ([`AnalyticalBackend`]) or NLDM table lookup
+    /// ([`TableBackend`]), both scaled by the supply-dependent
+    /// [`TransistorModel::delay_scale`].
+    pub fn delay(&self, v: Voltage, c_load: Capacitance) -> Time {
+        match self.backend {
+            EvalBackend::Analytical => AnalyticalBackend.delay(self, v, c_load),
+            EvalBackend::Table => TableBackend.delay(self, v, c_load),
+        }
+    }
+
+    /// Leakage current at `(v, t)` in the average input state, answered
+    /// by the cell's selected [`PowerBackend`].
     pub fn leakage_current(&self, v: Voltage, t: Temperature) -> Current {
-        Current::new(self.leak_weight * self.model.leakage_current(v, t).value())
+        match self.backend {
+            EvalBackend::Analytical => AnalyticalBackend.leakage_current(self, v, t),
+            EvalBackend::Table => TableBackend.leakage_current(self, v, t),
+        }
     }
 
     /// Leakage current at `(v, t)` in a specific input state.
@@ -460,13 +514,14 @@ impl Cell {
     }
 
     /// Energy dissipated by one output transition at supply `v` into
-    /// `c_load`: internal energy (scaled `∝ V²`) plus
+    /// `c_load`, answered by the cell's selected [`PowerBackend`]:
+    /// internal energy (closed form or NLDM table, scaled `∝ V²`) plus
     /// `½·(C_out + C_load)·V²`.
     pub fn switching_energy(&self, v: Voltage, c_load: Capacitance) -> Energy {
-        let vr = v.as_v() / self.model.v_char.as_v();
-        let internal = self.internal_energy.value() * vr * vr;
-        let cap = 0.5 * (self.output_cap.value() + c_load.value()) * v.as_v() * v.as_v();
-        Energy::new(internal + cap)
+        match self.backend {
+            EvalBackend::Analytical => AnalyticalBackend.switching_energy(self, v, c_load),
+            EvalBackend::Table => TableBackend.switching_energy(self, v, c_load),
+        }
     }
 }
 

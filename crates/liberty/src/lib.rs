@@ -39,16 +39,22 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod cell;
 pub mod format;
 mod headers;
+pub mod liberty_text;
 mod library;
 mod logic;
 mod model;
+mod nldm;
 
+pub use backend::{AnalyticalBackend, EvalBackend, PowerBackend, TableBackend, TimingBackend};
 pub use cell::{Cell, CellKind, Outputs, PinDirection, SequentialKind};
 pub use format::{parse_library, write_library};
 pub use headers::{HeaderCell, HeaderSize};
+pub use liberty_text::{parse_liberty, write_liberty, LibertyError, LibertySummary, ParsedLiberty};
 pub use library::{Library, LibraryBuilder, ProcessCorner, PvtCorner};
 pub use logic::Logic;
 pub use model::TransistorModel;
+pub use nldm::{table_lookups_total, CellTables, NldmTable};

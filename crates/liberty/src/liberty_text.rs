@@ -1,0 +1,1489 @@
+//! A recursive-descent parser and writer for a real Liberty (`.lib`)
+//! grammar subset — the ingestion path behind user-uploaded cell
+//! libraries.
+//!
+//! # Grammar subset
+//!
+//! * `library (name) { ... }` with unit attributes (`time_unit`,
+//!   `capacitive_load_unit`, `leakage_power_unit`, `voltage_unit`),
+//!   `nom_process` / `nom_voltage` / `nom_temperature`,
+//!   `operating_conditions (name) { process; voltage; temperature; }`
+//!   and `default_operating_conditions`.
+//! * `lu_table_template (name) { variable_1/2 : ...; index_1/2 ("..."); }`
+//! * `cell (name) { area; cell_leakage_power; pin (p) { direction;
+//!   capacitance; timing () { related_pin; timing_type; cell_rise/fall
+//!   (tmpl) { values (...); } rise/fall_constraint ...; }
+//!   internal_power () { rise/fall_power (tmpl) { values (...); } } } }`
+//!
+//! Everything else (`ff` groups, `function` attributes, bus types, ...)
+//! is skipped structurally: unknown groups and attributes parse but do
+//! not contribute, so real-world files with richer content still admit
+//! as long as the subset above is present and well-formed.
+//!
+//! # Errors
+//!
+//! Every refusal — lexical, syntactic or semantic — is a structured
+//! [`LibertyError`] carrying the 1-based `line`, `column` (0 = whole
+//! line) and the offending `token`, the same contract the netlist
+//! admission path established; the serving layer surfaces these as
+//! machine-readable 422 bodies.
+//!
+//! # Semantics
+//!
+//! Parsed cells carry **both** physics representations: NLDM tables
+//! (delay, internal energy) for the [`crate::TableBackend`], and
+//! analytical characterisation data *derived from those tables* (zero-
+//! load intercept + drive slope at the nominal input transition) for the
+//! [`crate::AnalyticalBackend`] — so one uploaded library serves either
+//! backend and the two stay mutually comparable. Logic kinds are
+//! inferred from cell names (`NAND2_X1` → [`CellKind::Nand2`]); sleep
+//! headers (`HDR_X*`) keep the kit's electrical model, as the simplified
+//! exchange format already does.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use scpg_units::{Capacitance, Temperature, Voltage};
+
+use crate::cell::{Cell, CellData, CellKind};
+use crate::headers::{HeaderCell, HeaderSize};
+use crate::library::{Library, LibraryBuilder};
+use crate::model::TransistorModel;
+use crate::nldm::{CellTables, NldmTable};
+
+/// A structured Liberty parse/validation refusal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibertyError {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based column (0 = whole line).
+    pub column: usize,
+    /// The offending token (may be empty).
+    pub token: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl LibertyError {
+    fn new(line: usize, column: usize, token: impl Into<String>, msg: impl Into<String>) -> Self {
+        Self {
+            line,
+            column,
+            token: token.into(),
+            message: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for LibertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "liberty error at line {}", self.line)?;
+        if self.column > 0 {
+            write!(f, ", column {}", self.column)?;
+        }
+        write!(f, ": {}", self.message)?;
+        if !self.token.is_empty() {
+            write!(f, " (near `{}`)", self.token)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LibertyError {}
+
+/// Headline facts about a parsed library, served by `GET /v1/designs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibertySummary {
+    /// The `library (name)` argument.
+    pub name: String,
+    /// Number of cells (headers included).
+    pub cells: usize,
+    /// Number of `lu_table_template` definitions.
+    pub templates: usize,
+    /// Cells carrying at least one NLDM table.
+    pub tabulated_cells: usize,
+    /// Total NLDM grid points across all cells.
+    pub table_points: usize,
+    /// `nom_voltage` (or the default operating conditions' voltage).
+    pub nom_voltage: Voltage,
+    /// `nom_temperature` (or the operating conditions' temperature).
+    pub nom_temperature: Temperature,
+    /// `nom_process`.
+    pub nom_process: f64,
+    /// The operating-conditions set in effect, when one is named.
+    pub operating_conditions: Option<String>,
+}
+
+/// A fully-admitted Liberty library: the evaluable [`Library`] plus its
+/// summary facts.
+#[derive(Debug, Clone)]
+pub struct ParsedLiberty {
+    /// The evaluable library (analytical data + NLDM tables attached).
+    pub library: Library,
+    /// Headline facts for discovery endpoints.
+    pub summary: LibertySummary,
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Colon,
+    Semi,
+    Comma,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Word(w) => w.clone(),
+            Tok::Str(s) => format!("\"{s}\""),
+            Tok::LBrace => "{".into(),
+            Tok::RBrace => "}".into(),
+            Tok::LParen => "(".into(),
+            Tok::RParen => ")".into(),
+            Tok::Colon => ":".into(),
+            Tok::Semi => ";".into(),
+            Tok::Comma => ",".into(),
+        }
+    }
+}
+
+struct Lexed {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-' | '+' | '[' | ']' | '!' | '\'' | '*')
+}
+
+fn lex(text: &str) -> Result<Vec<Lexed>, LibertyError> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let (mut i, mut line, mut col) = (0usize, 1usize, 1usize);
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '\\' => {
+                // Liberty line continuation: swallow the backslash and
+                // the newline it escapes.
+                i += 1;
+                col += 1;
+                if i < chars.len() && chars[i] == '\r' {
+                    i += 1;
+                }
+                if i < chars.len() && chars[i] == '\n' {
+                    i += 1;
+                    line += 1;
+                    col = 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let (sl, sc) = (line, col);
+                i += 2;
+                col += 2;
+                loop {
+                    if i >= chars.len() {
+                        return Err(LibertyError::new(sl, sc, "/*", "unterminated comment"));
+                    }
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                let (sl, sc) = (line, col);
+                i += 1;
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(LibertyError::new(sl, sc, "\"", "unterminated string"));
+                    }
+                    let c = chars[i];
+                    if c == '"' {
+                        i += 1;
+                        col += 1;
+                        break;
+                    }
+                    if c == '\\' && chars.get(i + 1) == Some(&'\n') {
+                        // Continuation inside a quoted value list.
+                        i += 2;
+                        line += 1;
+                        col = 1;
+                        continue;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    s.push(c);
+                    i += 1;
+                }
+                out.push(Lexed {
+                    tok: Tok::Str(s),
+                    line: sl,
+                    col: sc,
+                });
+            }
+            '{' | '}' | '(' | ')' | ':' | ';' | ',' => {
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    ':' => Tok::Colon,
+                    ';' => Tok::Semi,
+                    _ => Tok::Comma,
+                };
+                out.push(Lexed { tok, line, col });
+                i += 1;
+                col += 1;
+            }
+            c if is_word_char(c) => {
+                let (sl, sc) = (line, col);
+                let mut w = String::new();
+                while i < chars.len() && is_word_char(chars[i]) {
+                    w.push(chars[i]);
+                    i += 1;
+                    col += 1;
+                }
+                out.push(Lexed {
+                    tok: Tok::Word(w),
+                    line: sl,
+                    col: sc,
+                });
+            }
+            other => {
+                return Err(LibertyError::new(
+                    line,
+                    col,
+                    other.to_string(),
+                    "unexpected character",
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Generic group parser
+// ---------------------------------------------------------------------
+
+/// One attribute: simple (`name : value ;`) or complex
+/// (`name (v1, v2, ...) ;`).
+struct Attr {
+    name: String,
+    values: Vec<String>,
+    line: usize,
+    col: usize,
+}
+
+struct Group {
+    kind: String,
+    args: Vec<String>,
+    attrs: Vec<Attr>,
+    groups: Vec<Group>,
+    line: usize,
+    col: usize,
+}
+
+impl Group {
+    fn attr(&self, name: &str) -> Option<&Attr> {
+        self.attrs.iter().find(|a| a.name == name)
+    }
+
+    fn simple(&self, name: &str) -> Option<&str> {
+        self.attr(name)
+            .and_then(|a| a.values.first())
+            .map(String::as_str)
+    }
+
+    fn num(&self, name: &str) -> Result<Option<f64>, LibertyError> {
+        match self.attr(name) {
+            None => Ok(None),
+            Some(a) => {
+                let raw = a.values.first().map(String::as_str).unwrap_or("");
+                parse_num(raw, a.line, a.col).map(Some)
+            }
+        }
+    }
+
+    fn groups_of<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Group> + 'a {
+        self.groups.iter().filter(move |g| g.kind == kind)
+    }
+}
+
+fn parse_num(raw: &str, line: usize, col: usize) -> Result<f64, LibertyError> {
+    let v: f64 = raw
+        .trim()
+        .parse()
+        .map_err(|_| LibertyError::new(line, col, raw, "expected a number"))?;
+    if !v.is_finite() {
+        return Err(LibertyError::new(line, col, raw, "number must be finite"));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    toks: Vec<Lexed>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Lexed> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Lexed> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> (usize, usize, String) {
+        match self.toks.get(self.pos) {
+            Some(t) => (t.line, t.col, t.tok.describe()),
+            None => {
+                let last = self.toks.last();
+                (
+                    last.map_or(1, |t| t.line),
+                    0,
+                    last.map(|t| t.tok.describe()).unwrap_or_default(),
+                )
+            }
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(usize, usize), LibertyError> {
+        let (line, col, tok) = self.here();
+        match self.next() {
+            Some(t) if &t.tok == want => Ok((line, col)),
+            _ => Err(LibertyError::new(
+                line,
+                col,
+                tok,
+                format!("expected {what}"),
+            )),
+        }
+    }
+
+    /// Parses `( v1, v2, ... )` — the opening paren already consumed.
+    fn parse_args(&mut self) -> Result<Vec<String>, LibertyError> {
+        let mut args = Vec::new();
+        loop {
+            let (line, col, tok) = self.here();
+            match self.next().map(|t| t.tok.clone()) {
+                Some(Tok::RParen) => return Ok(args),
+                Some(Tok::Word(w)) => args.push(w),
+                Some(Tok::Str(s)) => args.push(s),
+                Some(Tok::Comma) => {}
+                _ => {
+                    return Err(LibertyError::new(
+                        line,
+                        col,
+                        tok,
+                        "expected an argument or `)`",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Parses a group whose `kind` word has already been consumed.
+    fn parse_group_after_name(
+        &mut self,
+        kind: String,
+        line: usize,
+        col: usize,
+    ) -> Result<Group, LibertyError> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let args = self.parse_args()?;
+        self.parse_group_body(kind, args, line, col)
+    }
+
+    /// Parses a group body where the name and `( args )` are consumed and
+    /// the `{` is next.
+    fn parse_group_body(
+        &mut self,
+        kind: String,
+        args: Vec<String>,
+        line: usize,
+        col: usize,
+    ) -> Result<Group, LibertyError> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut group = Group {
+            kind,
+            args,
+            attrs: Vec::new(),
+            groups: Vec::new(),
+            line,
+            col,
+        };
+        loop {
+            let (eline, ecol, etok) = self.here();
+            match self.peek().map(|t| t.tok.clone()) {
+                Some(Tok::RBrace) => {
+                    self.next();
+                    if matches!(self.peek().map(|t| &t.tok), Some(Tok::Semi)) {
+                        self.next();
+                    }
+                    return Ok(group);
+                }
+                Some(Tok::Word(name)) => {
+                    let (nline, ncol) = (eline, ecol);
+                    self.next();
+                    match self.peek().map(|t| t.tok.clone()) {
+                        Some(Tok::Colon) => {
+                            self.next();
+                            let (vline, vcol, vtok) = self.here();
+                            let value = match self.next().map(|t| t.tok.clone()) {
+                                Some(Tok::Word(w)) => w,
+                                Some(Tok::Str(s)) => s,
+                                _ => {
+                                    return Err(LibertyError::new(
+                                        vline,
+                                        vcol,
+                                        vtok,
+                                        "expected an attribute value",
+                                    ))
+                                }
+                            };
+                            self.expect(&Tok::Semi, "`;`")?;
+                            group.attrs.push(Attr {
+                                name,
+                                values: vec![value],
+                                line: nline,
+                                col: ncol,
+                            });
+                        }
+                        Some(Tok::LParen) => {
+                            self.next();
+                            let values = self.parse_args()?;
+                            match self.peek().map(|t| t.tok.clone()) {
+                                Some(Tok::LBrace) => {
+                                    let sub = self.parse_group_body(name, values, nline, ncol)?;
+                                    group.groups.push(sub);
+                                }
+                                Some(Tok::Semi) => {
+                                    self.next();
+                                    group.attrs.push(Attr {
+                                        name,
+                                        values,
+                                        line: nline,
+                                        col: ncol,
+                                    });
+                                }
+                                _ => {
+                                    let (l, c, t) = self.here();
+                                    return Err(LibertyError::new(
+                                        l,
+                                        c,
+                                        t,
+                                        "expected `{` or `;` after `(...)`",
+                                    ));
+                                }
+                            }
+                        }
+                        _ => {
+                            let (l, c, t) = self.here();
+                            return Err(LibertyError::new(l, c, t, "expected `:` or `(`"));
+                        }
+                    }
+                }
+                None => {
+                    return Err(LibertyError::new(
+                        eline,
+                        ecol,
+                        etok,
+                        format!("unterminated group `{}`", group.kind),
+                    ));
+                }
+                _ => {
+                    return Err(LibertyError::new(
+                        eline,
+                        ecol,
+                        etok,
+                        "expected an attribute, a group or `}`",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn parse_document(text: &str) -> Result<Group, LibertyError> {
+    let toks = lex(text)?;
+    let mut p = Parser { toks, pos: 0 };
+    let (line, col, tok) = p.here();
+    match p.next().map(|t| t.tok.clone()) {
+        Some(Tok::Word(w)) if w == "library" => {}
+        _ => {
+            return Err(LibertyError::new(
+                line,
+                col,
+                tok,
+                "expected `library (name) { ... }`",
+            ))
+        }
+    }
+    let lib = p.parse_group_after_name("library".to_string(), line, col)?;
+    if let Some(t) = p.peek() {
+        return Err(LibertyError::new(
+            t.line,
+            t.col,
+            t.tok.describe(),
+            "trailing content after the library group",
+        ));
+    }
+    Ok(lib)
+}
+
+// ---------------------------------------------------------------------
+// Semantic conversion
+// ---------------------------------------------------------------------
+
+/// Scale factors from file units to SI.
+struct Units {
+    time: f64,    // seconds per file time unit
+    cap: f64,     // farads per file cap unit
+    power: f64,   // watts per file leakage-power unit
+    voltage: f64, // volts per file voltage unit
+}
+
+fn unit_factor(
+    raw: &str,
+    suffixes: &[(&str, f64)],
+    line: usize,
+    col: usize,
+) -> Result<f64, LibertyError> {
+    let s = raw.trim();
+    let split = s.find(|c: char| c.is_ascii_alphabetic()).unwrap_or(s.len());
+    let (num, suffix) = s.split_at(split);
+    let mag: f64 = if num.is_empty() {
+        1.0
+    } else {
+        num.parse()
+            .map_err(|_| LibertyError::new(line, col, raw, "bad unit magnitude"))?
+    };
+    let scale = suffixes
+        .iter()
+        .find(|(name, _)| name.eq_ignore_ascii_case(suffix))
+        .map(|(_, f)| *f)
+        .ok_or_else(|| LibertyError::new(line, col, raw, "unknown unit suffix"))?;
+    Ok(mag * scale)
+}
+
+fn parse_units(lib: &Group) -> Result<Units, LibertyError> {
+    let mut units = Units {
+        time: 1e-9,
+        cap: 1e-12,
+        power: 1e-9,
+        voltage: 1.0,
+    };
+    if let Some(a) = lib.attr("time_unit") {
+        let raw = a.values.first().map(String::as_str).unwrap_or("");
+        units.time = unit_factor(
+            raw,
+            &[("ps", 1e-12), ("ns", 1e-9), ("us", 1e-6)],
+            a.line,
+            a.col,
+        )?;
+    }
+    if let Some(a) = lib.attr("capacitive_load_unit") {
+        // Complex form: capacitive_load_unit (1, pf);
+        if a.values.len() != 2 {
+            return Err(LibertyError::new(
+                a.line,
+                a.col,
+                "capacitive_load_unit",
+                "expected capacitive_load_unit (magnitude, unit)",
+            ));
+        }
+        let mag = parse_num(&a.values[0], a.line, a.col)?;
+        let scale = unit_factor(
+            &a.values[1],
+            &[("ff", 1e-15), ("pf", 1e-12), ("nf", 1e-9)],
+            a.line,
+            a.col,
+        )?;
+        units.cap = mag * scale;
+    }
+    if let Some(a) = lib.attr("leakage_power_unit") {
+        let raw = a.values.first().map(String::as_str).unwrap_or("");
+        units.power = unit_factor(
+            raw,
+            &[("pw", 1e-12), ("nw", 1e-9), ("uw", 1e-6), ("mw", 1e-3)],
+            a.line,
+            a.col,
+        )?;
+    }
+    if let Some(a) = lib.attr("voltage_unit") {
+        let raw = a.values.first().map(String::as_str).unwrap_or("");
+        units.voltage = unit_factor(raw, &[("mv", 1e-3), ("v", 1.0)], a.line, a.col)?;
+    }
+    Ok(units)
+}
+
+/// A `lu_table_template` definition in file units.
+struct Template {
+    index1: Vec<f64>,
+    index2: Vec<f64>,
+}
+
+fn parse_num_list(raw: &str, line: usize, col: usize) -> Result<Vec<f64>, LibertyError> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_num(s, line, col))
+        .collect()
+}
+
+fn parse_index(g: &Group, which: &str) -> Result<Option<Vec<f64>>, LibertyError> {
+    match g.attr(which) {
+        None => Ok(None),
+        Some(a) => {
+            let raw = a.values.first().map(String::as_str).unwrap_or("");
+            parse_num_list(raw, a.line, a.col).map(Some)
+        }
+    }
+}
+
+fn parse_templates(lib: &Group) -> Result<BTreeMap<String, Template>, LibertyError> {
+    let mut out = BTreeMap::new();
+    for g in lib.groups_of("lu_table_template") {
+        let name = g.args.first().cloned().unwrap_or_default();
+        if name.is_empty() {
+            return Err(LibertyError::new(
+                g.line,
+                g.col,
+                "lu_table_template",
+                "template needs a name",
+            ));
+        }
+        if out.contains_key(&name) {
+            return Err(LibertyError::new(
+                g.line,
+                g.col,
+                name,
+                "duplicate lu_table_template",
+            ));
+        }
+        let index1 = parse_index(g, "index_1")?.unwrap_or_else(|| vec![1.0]);
+        let index2 = parse_index(g, "index_2")?.unwrap_or_else(|| vec![1.0]);
+        out.insert(name, Template { index1, index2 });
+    }
+    Ok(out)
+}
+
+/// Parses one `cell_rise`-style table group into an [`NldmTable`] in SI
+/// units, resolving its template and honouring group-local index
+/// overrides. `value_scale` converts file values to SI.
+fn parse_table(
+    g: &Group,
+    templates: &BTreeMap<String, Template>,
+    units: &Units,
+    value_scale: f64,
+) -> Result<NldmTable, LibertyError> {
+    let tmpl =
+        match g.args.first().map(String::as_str) {
+            Some("scalar") | None => None,
+            Some(name) => Some(templates.get(name).ok_or_else(|| {
+                LibertyError::new(g.line, g.col, name, "unknown lu_table_template")
+            })?),
+        };
+    let index1 = match parse_index(g, "index_1")? {
+        Some(v) => v,
+        None => tmpl.map(|t| t.index1.clone()).unwrap_or_else(|| vec![1.0]),
+    };
+    let index2 = match parse_index(g, "index_2")? {
+        Some(v) => v,
+        None => tmpl.map(|t| t.index2.clone()).unwrap_or_else(|| vec![1.0]),
+    };
+    let values_attr = g
+        .attr("values")
+        .ok_or_else(|| LibertyError::new(g.line, g.col, g.kind.clone(), "table has no values"))?;
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(values_attr.values.len());
+    for raw in &values_attr.values {
+        rows.push(parse_num_list(raw, values_attr.line, values_attr.col)?);
+    }
+    if rows.len() != index1.len() {
+        return Err(LibertyError::new(
+            values_attr.line,
+            values_attr.col,
+            g.kind.clone(),
+            format!(
+                "values has {} rows but index_1 has {} entries",
+                rows.len(),
+                index1.len()
+            ),
+        ));
+    }
+    for row in &rows {
+        if row.len() != index2.len() {
+            return Err(LibertyError::new(
+                values_attr.line,
+                values_attr.col,
+                g.kind.clone(),
+                format!(
+                    "values row has {} entries but index_2 has {}",
+                    row.len(),
+                    index2.len()
+                ),
+            ));
+        }
+    }
+    let index1: Vec<f64> = index1.iter().map(|v| v * units.time).collect();
+    let index2: Vec<f64> = index2.iter().map(|v| v * units.cap).collect();
+    let values: Vec<f64> = rows
+        .into_iter()
+        .flatten()
+        .map(|v| v * value_scale)
+        .collect();
+    NldmTable::new(index1, index2, values)
+        .map_err(|m| LibertyError::new(values_attr.line, values_attr.col, g.kind.clone(), m))
+}
+
+/// Element-wise average of parallel tables (rise + fall), used so one
+/// table answers for both transition directions.
+fn average_tables(tables: Vec<NldmTable>, line: usize) -> Result<Option<NldmTable>, LibertyError> {
+    let mut iter = tables.into_iter();
+    let Some(first) = iter.next() else {
+        return Ok(None);
+    };
+    let (i1, i2) = (first.index1().to_vec(), first.index2().to_vec());
+    let mut acc: Vec<f64> = first.values().to_vec();
+    let mut n = 1.0;
+    for t in iter {
+        if t.index1() != i1.as_slice() || t.index2() != i2.as_slice() {
+            return Err(LibertyError::new(
+                line,
+                0,
+                "",
+                "rise/fall tables of one cell must share their index grid",
+            ));
+        }
+        for (a, v) in acc.iter_mut().zip(t.values()) {
+            *a += v;
+        }
+        n += 1.0;
+    }
+    for a in acc.iter_mut() {
+        *a /= n;
+    }
+    Ok(Some(
+        NldmTable::new(i1, i2, acc).map_err(|m| LibertyError::new(line, 0, "", m))?,
+    ))
+}
+
+/// Infers the logic kind from a cell name: the part before a trailing
+/// `_X<digits>` drive suffix selects the kind (`NAND2_X1` → `Nand2`).
+fn infer_kind(name: &str) -> Option<CellKind> {
+    let base = match name.rsplit_once("_X") {
+        Some((b, suffix)) if !suffix.is_empty() && suffix.chars().all(|c| c.is_ascii_digit()) => b,
+        _ => name,
+    };
+    use CellKind::*;
+    Some(match base {
+        "INV" => Inv,
+        "BUF" => Buf,
+        "NAND2" => Nand2,
+        "NAND3" => Nand3,
+        "NAND4" => Nand4,
+        "NOR2" => Nor2,
+        "NOR3" => Nor3,
+        "AND2" => And2,
+        "AND3" => And3,
+        "OR2" => Or2,
+        "OR3" => Or3,
+        "XOR2" => Xor2,
+        "XNOR2" => Xnor2,
+        "AOI21" => Aoi21,
+        "OAI21" => Oai21,
+        "MUX2" => Mux2,
+        "HA" => HalfAdder,
+        "FA" => FullAdder,
+        "DFF" => Dff,
+        "DFFR" => DffR,
+        "LATCH" => Latch,
+        "ISO_AND" => IsoAnd,
+        "ISO_OR" => IsoOr,
+        "TIEHI" => TieHi,
+        "TIELO" => TieLo,
+        "ISOCTL" => IsoCtl,
+        "HDR" => Header,
+        _ => return None,
+    })
+}
+
+fn header_size(name: &str) -> Option<HeaderSize> {
+    match name {
+        "HDR_X1" => Some(HeaderSize::X1),
+        "HDR_X2" => Some(HeaderSize::X2),
+        "HDR_X4" => Some(HeaderSize::X4),
+        "HDR_X8" => Some(HeaderSize::X8),
+        _ => None,
+    }
+}
+
+/// Parses real Liberty text into an evaluable [`Library`] plus summary.
+///
+/// # Errors
+///
+/// A structured [`LibertyError`] on any lexical, syntactic or semantic
+/// refusal — including duplicate cells, bad table arity, unknown cell
+/// kinds and unterminated groups.
+pub fn parse_liberty(text: &str) -> Result<ParsedLiberty, LibertyError> {
+    let doc = parse_document(text)?;
+    let name = doc.args.first().cloned().unwrap_or_default();
+    if name.is_empty() {
+        return Err(LibertyError::new(
+            doc.line,
+            doc.col,
+            "library",
+            "library needs a name",
+        ));
+    }
+    let units = parse_units(&doc)?;
+    let templates = parse_templates(&doc)?;
+
+    // Operating point: explicit operating_conditions win over nom_*.
+    let mut nom_process = doc.num("nom_process")?.unwrap_or(1.0);
+    let mut nom_voltage = doc.num("nom_voltage")?.unwrap_or(0.6) * units.voltage;
+    let mut nom_temperature = doc.num("nom_temperature")?.unwrap_or(25.0);
+    let default_oc = doc
+        .simple("default_operating_conditions")
+        .map(str::to_string);
+    let mut oc_name = None;
+    for oc in doc.groups_of("operating_conditions") {
+        let this = oc.args.first().cloned().unwrap_or_default();
+        let selected = match &default_oc {
+            Some(want) => *want == this,
+            None => oc_name.is_none(),
+        };
+        if selected {
+            if let Some(v) = oc.num("voltage")? {
+                nom_voltage = v * units.voltage;
+            }
+            if let Some(t) = oc.num("temperature")? {
+                nom_temperature = t;
+            }
+            if let Some(p) = oc.num("process")? {
+                nom_process = p;
+            }
+            oc_name = Some(this);
+        }
+    }
+    if !(0.05..=5.0).contains(&nom_voltage) {
+        return Err(LibertyError::new(
+            doc.line,
+            0,
+            "nom_voltage",
+            format!("nominal voltage {nom_voltage} V outside the supported 0.05..=5 V"),
+        ));
+    }
+    let v_nom = Voltage::new(nom_voltage);
+    let t_nom = Temperature::from_celsius(nom_temperature);
+
+    let mut builder = LibraryBuilder::new(&name).char_voltage(v_nom);
+    if let Some(w) = doc.num("default_wire_load_capacitance")? {
+        builder = builder.wire_cap(Capacitance::new(w * units.cap));
+    }
+    if let Some(r) = doc.num("rail_capacitance_density")? {
+        builder = builder.rail_cap_density(Capacitance::new(r * units.cap));
+    }
+
+    let mut seen = BTreeMap::new();
+    let mut cells = 0usize;
+    let mut tabulated = 0usize;
+    let mut table_points = 0usize;
+    let energy_scale = units.cap * units.voltage * units.voltage;
+
+    for cg in doc.groups_of("cell") {
+        let cname = cg.args.first().cloned().unwrap_or_default();
+        if cname.is_empty() {
+            return Err(LibertyError::new(
+                cg.line,
+                cg.col,
+                "cell",
+                "cell needs a name",
+            ));
+        }
+        if let Some(prev) = seen.insert(cname.clone(), cg.line) {
+            return Err(LibertyError::new(
+                cg.line,
+                cg.col,
+                cname,
+                format!("duplicate cell (first defined at line {prev})"),
+            ));
+        }
+        let kind = infer_kind(&cname).ok_or_else(|| {
+            LibertyError::new(
+                cg.line,
+                cg.col,
+                cname.clone(),
+                "cell name maps to no known logic kind (see DESIGN.md §15 for the \
+                 recognised NAME_X<drive> bases)",
+            )
+        })?;
+        let area = cg.num("area")?.unwrap_or(0.0);
+        if area < 0.0 || !area.is_finite() {
+            return Err(LibertyError::new(
+                cg.line,
+                cg.col,
+                cname,
+                "area must be non-negative",
+            ));
+        }
+        let leak_w = cg.num("cell_leakage_power")?.unwrap_or(0.0).max(0.0) * units.power;
+
+        // Walk the pins.
+        let mut in_caps: Vec<f64> = Vec::new();
+        let mut out_cap = 0.0f64;
+        let mut n_inputs = 0usize;
+        let mut n_outputs = 0usize;
+        let mut delay_tables: Vec<NldmTable> = Vec::new();
+        let mut energy_tables: Vec<NldmTable> = Vec::new();
+        let mut setup_s = 0.0f64;
+        let mut hold_s = 0.0f64;
+        for pg in cg.groups_of("pin") {
+            let dir = pg.simple("direction").unwrap_or("input");
+            let cap = pg.num("capacitance")?.unwrap_or(0.0) * units.cap;
+            match dir {
+                "input" => {
+                    n_inputs += 1;
+                    in_caps.push(cap);
+                    for tg in pg.groups_of("timing") {
+                        let ttype = tg.simple("timing_type").unwrap_or("");
+                        let constraint = |which: &str| -> Result<Option<f64>, LibertyError> {
+                            match tg.groups_of(which).next() {
+                                Some(sub) => {
+                                    let t = parse_table(sub, &templates, &units, units.time)?;
+                                    Ok(t.values().first().copied())
+                                }
+                                None => Ok(None),
+                            }
+                        };
+                        if ttype.starts_with("setup") || ttype.starts_with("hold") {
+                            let mut v = constraint("rise_constraint")?;
+                            if v.is_none() {
+                                v = constraint("fall_constraint")?;
+                            }
+                            if let Some(v) = v {
+                                if ttype.starts_with("setup") {
+                                    setup_s = setup_s.max(v);
+                                } else {
+                                    hold_s = hold_s.max(v);
+                                }
+                            }
+                        }
+                    }
+                }
+                "output" => {
+                    n_outputs += 1;
+                    out_cap = out_cap.max(cap);
+                    for tg in pg.groups_of("timing") {
+                        for which in ["cell_rise", "cell_fall"] {
+                            for sub in tg.groups_of(which) {
+                                delay_tables
+                                    .push(parse_table(sub, &templates, &units, units.time)?);
+                            }
+                        }
+                    }
+                    for ipg in pg.groups_of("internal_power") {
+                        for which in ["rise_power", "fall_power"] {
+                            for sub in ipg.groups_of(which) {
+                                energy_tables.push(parse_table(
+                                    sub,
+                                    &templates,
+                                    &units,
+                                    energy_scale,
+                                )?);
+                            }
+                        }
+                    }
+                }
+                other => {
+                    return Err(LibertyError::new(
+                        pg.line,
+                        pg.col,
+                        other,
+                        "pin direction must be input or output",
+                    ));
+                }
+            }
+        }
+        if n_inputs != kind.num_inputs() || n_outputs != kind.num_outputs() {
+            return Err(LibertyError::new(
+                cg.line,
+                cg.col,
+                cname,
+                format!(
+                    "{kind:?} cells need {} input / {} output pins, found {n_inputs}/{n_outputs}",
+                    kind.num_inputs(),
+                    kind.num_outputs()
+                ),
+            ));
+        }
+
+        let delay = average_tables(delay_tables, cg.line)?;
+        let energy = average_tables(energy_tables, cg.line)?;
+
+        // Derive the analytical twin from the tables: zero-load intercept
+        // + drive slope at the nominal input transition.
+        let (delay_s, drive_ohm, nominal_slew) = match &delay {
+            Some(t) => {
+                let slew = t.index1()[t.index1().len() / 2];
+                let (c_lo, c_hi) = (t.index2()[0], *t.index2().last().unwrap());
+                let d_lo = t.lookup(slew, c_lo);
+                let d_hi = t.lookup(slew, c_hi);
+                let r = if c_hi > c_lo {
+                    ((d_hi - d_lo) / (c_hi - c_lo)).max(0.0)
+                } else {
+                    0.0
+                };
+                ((d_lo - r * c_lo).max(0.0), r, slew)
+            }
+            None => (0.0, 0.0, 1e-11),
+        };
+        let internal_j = match &energy {
+            Some(t) => t.lookup(nominal_slew, t.index2()[0]).max(0.0),
+            None => 0.0,
+        };
+        let avg_in_cap = if in_caps.is_empty() {
+            0.0
+        } else {
+            in_caps.iter().sum::<f64>() / in_caps.len() as f64
+        };
+
+        let mut model = if kind == CellKind::Header {
+            TransistorModel::high_vt()
+        } else {
+            TransistorModel::standard_vt()
+        };
+        model.v_char = v_nom;
+        let base_leak = model.leakage_current(v_nom, Temperature::NOMINAL).value();
+        let leak_weight = if base_leak > 0.0 && v_nom.as_v() > 0.0 {
+            (leak_w / v_nom.as_v()) / base_leak
+        } else {
+            0.0
+        };
+        let data = CellData {
+            area_um2: area,
+            input_cap_ff: avg_in_cap / 1e-15,
+            output_cap_ff: out_cap / 1e-15,
+            delay_ps: delay_s / 1e-12,
+            drive_kohm: drive_ohm / 1e3,
+            energy_fj: internal_j / 1e-15,
+            leak_weight,
+            setup_ps: setup_s / 1e-12,
+            hold_ps: hold_s / 1e-12,
+        };
+        let mut cell = Cell::new(&cname, kind, data, model);
+        if delay.is_some() || energy.is_some() {
+            tabulated += 1;
+            table_points += delay.as_ref().map_or(0, NldmTable::points)
+                + energy.as_ref().map_or(0, NldmTable::points);
+            cell = cell.with_tables(Arc::new(CellTables {
+                delay,
+                energy,
+                nominal_slew,
+            }));
+        }
+        builder = builder.insert_cell(cell);
+        if let Some(size) = header_size(&cname) {
+            builder = builder.header(HeaderCell::ninety_nm(size));
+        }
+        cells += 1;
+    }
+    if cells == 0 {
+        return Err(LibertyError::new(
+            doc.line,
+            doc.col,
+            name,
+            "library defines no cells",
+        ));
+    }
+
+    let library = builder.build();
+    Ok(ParsedLiberty {
+        library,
+        summary: LibertySummary {
+            name,
+            cells,
+            templates: templates.len(),
+            tabulated_cells: tabulated,
+            table_points,
+            nom_voltage: v_nom,
+            nom_temperature: t_nom,
+            nom_process,
+            operating_conditions: oc_name.or(default_oc),
+        },
+    })
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Characterisation grid used by [`write_liberty`]: input transitions in
+/// ns and output loads in ff.
+const EXPORT_SLEWS_NS: [f64; 3] = [0.01, 0.05, 0.2];
+const EXPORT_LOADS_FF: [f64; 5] = [0.0, 2.0, 8.0, 32.0, 64.0];
+
+fn join_nums(vals: impl IntoIterator<Item = f64>) -> String {
+    vals.into_iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Serialises a library to **real Liberty text**: `lu_table_template`
+/// grids, per-pin capacitance, `timing`/`internal_power` groups with
+/// `values` sampled from the library's evaluation backends, and scalar
+/// setup/hold constraints. The output round-trips through
+/// [`parse_liberty`] — the round-trip property the test suite pins down
+/// — and doubles as the reference input for upload smoke tests.
+pub fn write_liberty(lib: &Library) -> String {
+    let v = lib.char_voltage();
+    let t = Temperature::NOMINAL;
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(w, "library ({}) {{", lib.name());
+    let _ = writeln!(w, "  delay_model : table_lookup;");
+    let _ = writeln!(w, "  time_unit : \"1ns\";");
+    let _ = writeln!(w, "  voltage_unit : \"1V\";");
+    let _ = writeln!(w, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(w, "  leakage_power_unit : \"1nW\";");
+    let _ = writeln!(w, "  nom_process : 1;");
+    let _ = writeln!(w, "  nom_voltage : {};", v.as_v());
+    let _ = writeln!(w, "  nom_temperature : 25;");
+    let _ = writeln!(w, "  operating_conditions (typical) {{");
+    let _ = writeln!(w, "    process : 1;");
+    let _ = writeln!(w, "    voltage : {};", v.as_v());
+    let _ = writeln!(w, "    temperature : 25;");
+    let _ = writeln!(w, "  }}");
+    let _ = writeln!(w, "  default_operating_conditions : typical;");
+    let _ = writeln!(
+        w,
+        "  default_wire_load_capacitance : {};",
+        lib.wire_cap().as_ff()
+    );
+    let _ = writeln!(
+        w,
+        "  rail_capacitance_density : {};",
+        lib.rail_cap_density().as_ff()
+    );
+    let _ = writeln!(w, "  lu_table_template (delay_template) {{");
+    let _ = writeln!(w, "    variable_1 : input_net_transition;");
+    let _ = writeln!(w, "    variable_2 : total_output_net_capacitance;");
+    let _ = writeln!(w, "    index_1 (\"{}\");", join_nums(EXPORT_SLEWS_NS));
+    let _ = writeln!(w, "    index_2 (\"{}\");", join_nums(EXPORT_LOADS_FF));
+    let _ = writeln!(w, "  }}");
+    let _ = writeln!(w, "  lu_table_template (energy_template) {{");
+    let _ = writeln!(w, "    variable_1 : input_net_transition;");
+    let _ = writeln!(w, "    variable_2 : total_output_net_capacitance;");
+    let _ = writeln!(w, "    index_1 (\"{}\");", join_nums(EXPORT_SLEWS_NS));
+    let _ = writeln!(w, "    index_2 (\"{}\");", join_nums(EXPORT_LOADS_FF));
+    let _ = writeln!(w, "  }}");
+    let _ = writeln!(w, "  lu_table_template (constraint_template) {{");
+    let _ = writeln!(w, "    variable_1 : constrained_pin_transition;");
+    let _ = writeln!(w, "    index_1 (\"0.05\");");
+    let _ = writeln!(w, "  }}");
+
+    for cell in lib.cells() {
+        let kind = cell.kind();
+        let _ = writeln!(w, "  cell ({}) {{", cell.name());
+        let _ = writeln!(w, "    area : {};", cell.area().as_um2());
+        let leak_nw = cell.leakage_power(v, t).value() / 1e-9;
+        let _ = writeln!(w, "    cell_leakage_power : {leak_nw};");
+        let inputs = kind.input_names();
+        for pin in inputs {
+            let _ = writeln!(w, "    pin ({pin}) {{");
+            let _ = writeln!(w, "      direction : input;");
+            let _ = writeln!(w, "      capacitance : {};", cell.input_cap().as_ff());
+            if kind.is_sequential() && *pin == "D" {
+                if cell.setup_time().value() > 0.0 {
+                    let _ = writeln!(w, "      timing () {{");
+                    let _ = writeln!(w, "        related_pin : \"CK\";");
+                    let _ = writeln!(w, "        timing_type : setup_rising;");
+                    let _ = writeln!(w, "        rise_constraint (constraint_template) {{");
+                    let _ = writeln!(w, "          values (\"{}\");", cell.setup_time().as_ns());
+                    let _ = writeln!(w, "        }}");
+                    let _ = writeln!(w, "      }}");
+                }
+                if cell.hold_time().value() > 0.0 {
+                    let _ = writeln!(w, "      timing () {{");
+                    let _ = writeln!(w, "        related_pin : \"CK\";");
+                    let _ = writeln!(w, "        timing_type : hold_rising;");
+                    let _ = writeln!(w, "        rise_constraint (constraint_template) {{");
+                    let _ = writeln!(w, "          values (\"{}\");", cell.hold_time().as_ns());
+                    let _ = writeln!(w, "        }}");
+                    let _ = writeln!(w, "      }}");
+                }
+            }
+            let _ = writeln!(w, "    }}");
+        }
+        // Delay/energy rows are identical per slew: the kit's physics has
+        // no slew dependence, so each row is the load sweep.
+        let delay_row = join_nums(
+            EXPORT_LOADS_FF
+                .iter()
+                .map(|&ff| cell.delay(v, Capacitance::from_ff(ff)).as_ns()),
+        );
+        let internal_fj = {
+            let e0 = cell.switching_energy(v, Capacitance::ZERO);
+            (e0.as_fj() - 0.5 * cell.output_cap().as_ff() * v.as_v() * v.as_v()).max(0.0)
+        };
+        let energy_row = join_nums(EXPORT_LOADS_FF.iter().map(|_| internal_fj));
+        let rows = |row: &str| {
+            (0..EXPORT_SLEWS_NS.len())
+                .map(|_| format!("\"{row}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        for pin in kind.output_names() {
+            let _ = writeln!(w, "    pin ({pin}) {{");
+            let _ = writeln!(w, "      direction : output;");
+            let _ = writeln!(w, "      capacitance : {};", cell.output_cap().as_ff());
+            let _ = writeln!(w, "      timing () {{");
+            if let Some(related) = inputs.first() {
+                let _ = writeln!(w, "        related_pin : \"{related}\";");
+            }
+            for which in ["cell_rise", "cell_fall"] {
+                let _ = writeln!(w, "        {which} (delay_template) {{");
+                let _ = writeln!(w, "          values ({});", rows(&delay_row));
+                let _ = writeln!(w, "        }}");
+            }
+            let _ = writeln!(w, "      }}");
+            let _ = writeln!(w, "      internal_power () {{");
+            if let Some(related) = inputs.first() {
+                let _ = writeln!(w, "        related_pin : \"{related}\";");
+            }
+            for which in ["rise_power", "fall_power"] {
+                let _ = writeln!(w, "        {which} (energy_template) {{");
+                let _ = writeln!(w, "          values ({});", rows(&energy_row));
+                let _ = writeln!(w, "        }}");
+            }
+            let _ = writeln!(w, "      }}");
+            let _ = writeln!(w, "    }}");
+        }
+        let _ = writeln!(w, "  }}");
+    }
+    let _ = writeln!(w, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EvalBackend;
+
+    #[test]
+    fn kit_exports_and_parses_back() {
+        let kit = Library::ninety_nm();
+        let text = write_liberty(&kit);
+        let parsed = parse_liberty(&text).expect("kit round-trips");
+        assert_eq!(parsed.summary.name, "synth90");
+        assert_eq!(parsed.summary.cells, kit.cells().count());
+        assert!(parsed.summary.tabulated_cells > 0);
+        assert!((parsed.summary.nom_voltage.as_v() - 0.6).abs() < 1e-12);
+        assert_eq!(
+            parsed.summary.operating_conditions.as_deref(),
+            Some("typical")
+        );
+        let back = parsed.library;
+        let v = kit.char_voltage();
+        let t = Temperature::NOMINAL;
+        let rel = |x: f64, y: f64| (x - y).abs() / y.abs().max(1e-30);
+        for cell in kit.cells() {
+            let b = back
+                .cell(cell.name())
+                .unwrap_or_else(|| panic!("{} missing", cell.name()));
+            assert_eq!(b.kind(), cell.kind(), "{}", cell.name());
+            assert!(rel(b.area().value().max(1e-30), cell.area().value().max(1e-30)) < 1e-9);
+            for ff in [0.5, 5.0, 20.0] {
+                let load = Capacitance::from_ff(ff);
+                assert!(
+                    rel(b.delay(v, load).value(), cell.delay(v, load).value()) < 1e-6,
+                    "delay of {} at {ff} fF",
+                    cell.name()
+                );
+                assert!(
+                    rel(
+                        b.switching_energy(v, load).value(),
+                        cell.switching_energy(v, load).value()
+                    ) < 1e-6,
+                    "energy of {}",
+                    cell.name()
+                );
+            }
+            if cell.leakage_current(v, t).value() > 0.0 {
+                assert!(
+                    rel(
+                        b.leakage_current(v, t).value(),
+                        cell.leakage_current(v, t).value()
+                    ) < 1e-6,
+                    "leakage of {}",
+                    cell.name()
+                );
+            }
+            assert!(
+                rel(
+                    b.setup_time().value().max(1e-30),
+                    cell.setup_time().value().max(1e-30)
+                ) < 1e-6
+            );
+        }
+        for size in HeaderSize::ALL {
+            assert!(back.header(size).is_some(), "{size:?}");
+        }
+        assert!((back.wire_cap().as_ff() - kit.wire_cap().as_ff()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_backend_matches_analytical_inside_the_grid() {
+        // The exported tables sample the analytical model on a grid the
+        // model is linear over, so inside the grid the two backends
+        // agree to interpolation noise — and outside it the table
+        // backend clamps (differs exactly where the tables say so).
+        let kit = Library::ninety_nm();
+        let parsed = parse_liberty(&write_liberty(&kit)).unwrap();
+        let ana = parsed.library.clone();
+        let tab = parsed.library.with_backend(EvalBackend::Table);
+        let v = kit.char_voltage();
+        let inside = Capacitance::from_ff(17.0);
+        let outside = Capacitance::from_ff(500.0);
+        for cell in kit.cells() {
+            let a = ana.expect_cell(cell.name());
+            let b = tab.expect_cell(cell.name());
+            let da = a.delay(v, inside).value();
+            let db = b.delay(v, inside).value();
+            assert!(
+                (da - db).abs() <= 1e-6 * da.abs().max(1e-15),
+                "{}: {da} vs {db}",
+                cell.name()
+            );
+            // Clamped extrapolation: the table answer stops growing.
+            let clamped = b.delay(v, outside).value();
+            let linear = a.delay(v, outside).value();
+            if a.delay(v, inside).value() < linear {
+                assert!(clamped < linear, "{} must clamp", cell.name());
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_inputs_get_positions() {
+        // Unterminated group.
+        let err = parse_liberty("library (x) {\n  cell (A) {\n").unwrap_err();
+        assert!(err.message.contains("unterminated group"), "{err}");
+        assert!(err.line >= 2, "{err}");
+
+        // Bad index arity: 2 rows against a 1-entry index_1.
+        let text = "library (x) {\n  lu_table_template (t) {\n    variable_1 : \
+                    input_net_transition;\n    index_1 (\"0.1\");\n    index_2 (\"1, 2\");\n  }\n\
+                    \x20 cell (INV_X1) {\n    area : 1;\n    pin (A) { direction : input; \
+                    capacitance : 1; }\n    pin (Y) { direction : output;\n      timing () {\n\
+                    \x20       cell_rise (t) { values (\"1, 2\", \"3, 4\"); }\n      }\n    }\n\
+                    \x20 }\n}\n";
+        let err = parse_liberty(text).unwrap_err();
+        assert!(err.message.contains("rows"), "{err}");
+        assert!(err.line > 0);
+
+        // Duplicate cell.
+        let dup = "library (x) {\n  cell (INV_X1) { area : 1;\n    pin (A) { direction : \
+                   input; }\n    pin (Y) { direction : output; }\n  }\n  cell (INV_X1) { \
+                   area : 1;\n    pin (A) { direction : input; }\n    pin (Y) { direction : \
+                   output; }\n  }\n}\n";
+        let err = parse_liberty(dup).unwrap_err();
+        assert!(err.message.contains("duplicate cell"), "{err}");
+        assert_eq!(err.token, "INV_X1");
+        assert_eq!(err.line, 6);
+
+        // Unknown kind.
+        let unk = "library (x) {\n  cell (WIDGET_X1) { area : 1; }\n}\n";
+        let err = parse_liberty(unk).unwrap_err();
+        assert!(err.message.contains("no known logic kind"), "{err}");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_groups_and_attributes_are_skipped() {
+        let text = "library (m) {\n  voltage_map (VDD, 0.6);\n  strange_group (a) { inner : \
+                    1; }\n  cell (INV_X1) {\n    area : 2;\n    ff (IQ, IQN) { next_state : \
+                    \"D\"; }\n    pin (A) { direction : input; capacitance : 1.5; function : \
+                    \"A\"; }\n    pin (Y) { direction : output; }\n  }\n}\n";
+        let parsed = parse_liberty(text).expect("subset-extra content parses");
+        assert_eq!(parsed.summary.cells, 1);
+        let c = parsed.library.expect_cell("INV_X1");
+        assert_eq!(c.kind(), CellKind::Inv);
+        // No capacitive_load_unit given: Liberty's default is picofarads.
+        assert!((c.input_cap().as_pf() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serialize_parse_serialize_is_stable() {
+        let kit = Library::ninety_nm();
+        let text1 = write_liberty(&kit);
+        let lib1 = parse_liberty(&text1).unwrap().library;
+        let text2 = write_liberty(&lib1);
+        let lib2 = parse_liberty(&text2).unwrap().library;
+        let v = kit.char_voltage();
+        let rel = |x: f64, y: f64| (x - y).abs() / y.abs().max(1e-30);
+        for c1 in lib1.cells() {
+            let c2 = lib2.expect_cell(c1.name());
+            for ff in [0.0, 3.0, 40.0] {
+                let load = Capacitance::from_ff(ff);
+                assert!(
+                    rel(
+                        c1.delay(v, load).value().max(1e-30),
+                        c2.delay(v, load).value().max(1e-30)
+                    ) < 1e-9,
+                    "{}",
+                    c1.name()
+                );
+            }
+        }
+    }
+}

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use scpg_units::{Capacitance, Temperature, Voltage};
 
+use crate::backend::EvalBackend;
 use crate::cell::{Cell, CellData, CellKind};
 use crate::headers::{HeaderCell, HeaderSize};
 use crate::model::TransistorModel;
@@ -222,6 +223,23 @@ impl Library {
         self.vt_shifted(corner.vt_shift())
     }
 
+    /// This library with every cell evaluating through `backend` — the
+    /// per-design backend switch behind
+    /// `{"library": {..., "backend": "table"}}` requests. Cells keep
+    /// their NLDM tables either way; the selection only changes which
+    /// seam implementation answers ([`crate::TimingBackend`] /
+    /// [`crate::PowerBackend`]).
+    #[must_use]
+    pub fn with_backend(&self, backend: EvalBackend) -> Library {
+        let mut out = self.clone();
+        out.cells = self
+            .cells
+            .iter()
+            .map(|(k, c)| (k.clone(), c.clone().with_backend(backend)))
+            .collect();
+        out
+    }
+
     /// A process-variation sample of this library: every cell's threshold
     /// voltage shifted by `dv` (global/correlated variation, the dominant
     /// die-to-die component). Lower V_t means faster but leakier; this is
@@ -308,6 +326,20 @@ impl LibraryBuilder {
     ) -> Self {
         self.cells
             .insert(name.to_string(), Cell::new(name, kind, data, model));
+        self
+    }
+
+    /// Inserts a fully-built cell (the Liberty-ingestion path, where
+    /// cells carry NLDM tables on top of their derived analytical data).
+    pub(crate) fn insert_cell(mut self, cell: Cell) -> Self {
+        self.cells.insert(cell.name().to_string(), cell);
+        self
+    }
+
+    /// Sets the supply the library's cells were characterised at (the
+    /// uploaded library's `nom_voltage`; defaults to the kit's 0.6 V).
+    pub fn char_voltage(mut self, v: Voltage) -> Self {
+        self.v_char = v;
         self
     }
 

@@ -1,0 +1,232 @@
+//! NLDM lookup tables: the table-based evaluation data behind the
+//! [`crate::TableBackend`].
+//!
+//! Real characterised libraries (Liberty `.lib` files) tabulate delay and
+//! internal energy over a grid of (input transition × output load)
+//! points; evaluation is bilinear interpolation inside the grid and
+//! **clamped** extrapolation outside it (the query point is clamped onto
+//! the characterised range — the standard NLDM convention, which keeps
+//! out-of-range queries bounded instead of extrapolating a fitted slope
+//! into nonsense).
+//!
+//! Every successful [`NldmTable::lookup`] bumps a process-wide counter
+//! surfaced as `scpg_table_lookups_total` on the serving layer's
+//! `/metrics` endpoint, so operators can see which physics backend is
+//! actually doing the work.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of NLDM table lookups (monotone, relaxed).
+static TABLE_LOOKUPS: AtomicU64 = AtomicU64::new(0);
+
+/// Total NLDM table lookups performed by this process.
+pub fn table_lookups_total() -> u64 {
+    TABLE_LOOKUPS.load(Ordering::Relaxed)
+}
+
+/// A two-dimensional NLDM lookup table in SI units.
+///
+/// `index1` is the input-transition axis (seconds), `index2` the
+/// output-load axis (farads); `values` is row-major (`index1`-major) and
+/// holds `index1.len() * index2.len()` entries whose unit depends on the
+/// table's role (seconds for delay, joules for internal energy).
+///
+/// A one-dimensional table is represented with a single-entry `index1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NldmTable {
+    index1: Vec<f64>,
+    index2: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl NldmTable {
+    /// Builds a table after validating its shape.
+    ///
+    /// # Errors
+    ///
+    /// A message when an axis is empty or not strictly increasing, a
+    /// value is non-finite, or `values` does not hold exactly
+    /// `index1.len() * index2.len()` entries.
+    pub fn new(index1: Vec<f64>, index2: Vec<f64>, values: Vec<f64>) -> Result<Self, String> {
+        for (name, axis) in [("index_1", &index1), ("index_2", &index2)] {
+            if axis.is_empty() {
+                return Err(format!("{name} must not be empty"));
+            }
+            if axis.iter().any(|v| !v.is_finite()) {
+                return Err(format!("{name} holds a non-finite entry"));
+            }
+            for w in axis.windows(2) {
+                if w[1] <= w[0] {
+                    return Err(format!(
+                        "{name} must be strictly increasing ({} then {})",
+                        w[0], w[1]
+                    ));
+                }
+            }
+        }
+        let expect = index1.len() * index2.len();
+        if values.len() != expect {
+            return Err(format!(
+                "values holds {} entries, expected {} ({}x{})",
+                values.len(),
+                expect,
+                index1.len(),
+                index2.len()
+            ));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err("values holds a non-finite entry".to_string());
+        }
+        Ok(Self {
+            index1,
+            index2,
+            values,
+        })
+    }
+
+    /// The input-transition axis (seconds).
+    pub fn index1(&self) -> &[f64] {
+        &self.index1
+    }
+
+    /// The output-load axis (farads).
+    pub fn index2(&self) -> &[f64] {
+        &self.index2
+    }
+
+    /// The row-major value grid.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of grid points.
+    pub fn points(&self) -> usize {
+        self.values.len()
+    }
+
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.index2.len() + j]
+    }
+
+    /// Bilinear interpolation at `(x1, x2)` with clamped extrapolation:
+    /// queries outside the grid are clamped onto its boundary first, so
+    /// the result is always a convex combination of characterised values.
+    pub fn lookup(&self, x1: f64, x2: f64) -> f64 {
+        TABLE_LOOKUPS.fetch_add(1, Ordering::Relaxed);
+        let (i0, i1, t1) = segment(&self.index1, x1);
+        let (j0, j1, t2) = segment(&self.index2, x2);
+        let a = self.at(i0, j0) * (1.0 - t2) + self.at(i0, j1) * t2;
+        let b = self.at(i1, j0) * (1.0 - t2) + self.at(i1, j1) * t2;
+        a * (1.0 - t1) + b * t1
+    }
+}
+
+/// Bracketing segment of `x` on `axis` plus the interpolation weight,
+/// with `x` clamped to the axis range.
+fn segment(axis: &[f64], x: f64) -> (usize, usize, f64) {
+    let n = axis.len();
+    if n == 1 || x <= axis[0] {
+        return (0, 0, 0.0);
+    }
+    if x >= axis[n - 1] {
+        return (n - 1, n - 1, 0.0);
+    }
+    // axis is strictly increasing and x is interior here.
+    let hi = axis.partition_point(|&a| a < x).max(1);
+    let lo = hi - 1;
+    let t = (x - axis[lo]) / (axis[hi] - axis[lo]);
+    (lo, hi, t)
+}
+
+/// The per-cell table set carried by cells of a table-backed library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTables {
+    /// Propagation delay over (transition s × load F), in seconds,
+    /// characterised at the library's nominal voltage.
+    pub delay: Option<NldmTable>,
+    /// Internal (short-circuit + internal-node) energy per output
+    /// transition over the same grid, in joules, at nominal voltage.
+    pub energy: Option<NldmTable>,
+    /// The input transition (seconds) table queries are evaluated at —
+    /// the library's characterisation midpoint. Slew propagation is out
+    /// of scope for this subset; see `DESIGN.md` §15.
+    pub nominal_slew: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> NldmTable {
+        // 2x3 grid: f(x, y) = 10x + y over x in {1, 2}, y in {10, 20, 40}.
+        NldmTable::new(
+            vec![1.0, 2.0],
+            vec![10.0, 20.0, 40.0],
+            vec![20.0, 30.0, 50.0, 30.0, 40.0, 60.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn corners_hit_grid_values_exactly() {
+        let t = table();
+        assert_eq!(t.lookup(1.0, 10.0), 20.0);
+        assert_eq!(t.lookup(1.0, 40.0), 50.0);
+        assert_eq!(t.lookup(2.0, 10.0), 30.0);
+        assert_eq!(t.lookup(2.0, 40.0), 60.0);
+    }
+
+    #[test]
+    fn edges_interpolate_along_one_axis() {
+        let t = table();
+        // Midpoint of the y = 10 edge: between 20 and 30.
+        assert!((t.lookup(1.5, 10.0) - 25.0).abs() < 1e-12);
+        // Between y = 20 and y = 40 on the x = 2 edge.
+        assert!((t.lookup(2.0, 30.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_is_bilinear() {
+        // The grid samples f(x, y) = 10x + y, which bilinear
+        // interpolation reproduces exactly at any interior point.
+        let t = table();
+        let got = t.lookup(1.25, 33.0);
+        assert!((got - (12.5 + 33.0)).abs() < 1e-9, "{got}");
+    }
+
+    #[test]
+    fn extrapolation_clamps_to_the_grid() {
+        let t = table();
+        // Below/left of the grid clamps to the (1, 10) corner...
+        assert_eq!(t.lookup(0.0, -5.0), 20.0);
+        // ...above/right clamps to the (2, 40) corner...
+        assert_eq!(t.lookup(99.0, 999.0), 60.0);
+        // ...and mixed: x clamped high, y interior.
+        assert!((t.lookup(99.0, 15.0) - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_dimensional_tables_work() {
+        let t = NldmTable::new(vec![0.1], vec![1.0, 2.0], vec![5.0, 9.0]).unwrap();
+        assert!((t.lookup(0.1, 1.5) - 7.0).abs() < 1e-12);
+        assert_eq!(t.lookup(5.0, 0.0), 5.0, "clamped on both axes");
+    }
+
+    #[test]
+    fn bad_shapes_are_rejected() {
+        assert!(NldmTable::new(vec![], vec![1.0], vec![]).is_err());
+        assert!(NldmTable::new(vec![1.0, 1.0], vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(NldmTable::new(vec![2.0, 1.0], vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(NldmTable::new(vec![1.0], vec![1.0], vec![1.0, 2.0]).is_err());
+        assert!(NldmTable::new(vec![1.0], vec![1.0], vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn lookups_bump_the_process_counter() {
+        let t = table();
+        let before = table_lookups_total();
+        let _ = t.lookup(1.5, 25.0);
+        let _ = t.lookup(0.0, 0.0);
+        assert!(table_lookups_total() >= before + 2);
+    }
+}

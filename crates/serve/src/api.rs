@@ -10,7 +10,9 @@ use scpg::analysis::{OperatingPoint, TableRow};
 use scpg::budget::{BudgetSolution, Headline};
 use scpg::service::{Query, QueryLimits};
 use scpg::Mode;
+use scpg_jobs::{LibraryLimits, LibraryUploadError};
 use scpg_json::Json;
+use scpg_liberty::EvalBackend;
 use scpg_power::{VariationConfig, VariationStudy};
 use scpg_technique::{
     AreaReport, DelayReport, ResolvedParams, TechniqueError, TechniquePoint, TechniqueRegistry,
@@ -22,11 +24,19 @@ use crate::designs::{DesignKind, DesignSpec};
 /// Parses the optional `design` object of a request body. A missing
 /// field means the default served design (the paper's 16×16 multiplier).
 ///
+/// A `library` selector — `{"kind": "builtin"}` (default) or
+/// `{"kind": "uploaded", "id": "<from POST /v1/libraries>"}` — and a
+/// `backend` string (`"analytical"` | `"table"`) are accepted inside the
+/// `design` object or at the body top level, so every analysis endpoint
+/// can target an uploaded NLDM library without restating the circuit.
+/// An uploaded library defaults to the `table` backend (that is what the
+/// tables are for); the built-in kit defaults to `analytical`.
+///
 /// # Errors
 ///
 /// A human-readable refusal (maps to `422`).
 pub fn parse_design(body: &Json, limits: &QueryLimits) -> Result<DesignSpec, String> {
-    let spec =
+    let mut spec =
         match body.get("design") {
             None | Some(Json::Null) => DesignSpec::default_multiplier(),
             Some(design) => {
@@ -75,9 +85,46 @@ pub fn parse_design(body: &Json, limits: &QueryLimits) -> Result<DesignSpec, Str
                             .ok_or("design.vdd_mv must be a number (millivolts)")?,
                     ),
                 };
-                DesignSpec { kind, e_dyn, vdd }
+                DesignSpec {
+                    kind,
+                    e_dyn,
+                    vdd,
+                    ..DesignSpec::default_multiplier()
+                }
             }
         };
+    let lookup = |field: &str| {
+        body.get("design")
+            .and_then(|d| d.get(field))
+            .or_else(|| body.get(field))
+    };
+    if let Some(library) = lookup("library") {
+        let kind = library
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("library.kind must be \"builtin\" or \"uploaded\"")?;
+        match kind {
+            "builtin" => spec.library = None,
+            "uploaded" => {
+                let id = library
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or("library.id must be a library id string (from POST /v1/libraries)")?;
+                spec.library = Some(id.to_string());
+                // Uploaded libraries default to their tables; an explicit
+                // backend below still overrides.
+                spec.backend = EvalBackend::Table;
+            }
+            other => return Err(format!("unknown library.kind {other:?}")),
+        }
+    }
+    if let Some(backend) = lookup("backend") {
+        let key = backend
+            .as_str()
+            .ok_or("backend must be \"analytical\" or \"table\"")?;
+        spec.backend = EvalBackend::parse(key)
+            .ok_or_else(|| format!("unknown backend {key:?} (analytical | table)"))?;
+    }
     spec.validate(limits)?;
     Ok(spec)
 }
@@ -584,8 +631,14 @@ pub fn variation_response(spec: &DesignSpec, study: &VariationStudy) -> Json {
 /// The `GET /v1/designs` discovery document: supported design kinds,
 /// the registered low-power techniques (with parameter schemas, see
 /// [`technique_summaries`]), the server's resource limits, and summaries
-/// of every uploaded netlist currently registered.
-pub fn designs_response(limits: &QueryLimits, netlists: Vec<Json>, techniques: Vec<Json>) -> Json {
+/// of every uploaded netlist and Liberty library currently registered.
+pub fn designs_response(
+    limits: &QueryLimits,
+    netlists: Vec<Json>,
+    libraries: Vec<Json>,
+    library_limits: LibraryLimits,
+    techniques: Vec<Json>,
+) -> Json {
     Json::object([
         (
             "kinds",
@@ -614,9 +667,24 @@ pub fn designs_response(limits: &QueryLimits, netlists: Vec<Json>, techniques: V
                 ("max_netlist_bytes", Json::from(limits.max_netlist_bytes)),
                 ("min_frequency_hz", Json::Num(limits.min_frequency.value())),
                 ("max_frequency_hz", Json::Num(limits.max_frequency.value())),
+                (
+                    "max_library_bytes",
+                    Json::from(library_limits.max_source_bytes),
+                ),
+                ("max_library_cells", Json::from(library_limits.max_cells)),
+                (
+                    "max_library_table_points",
+                    Json::from(library_limits.max_table_points),
+                ),
+                ("max_libraries", Json::from(library_limits.max_libraries)),
+                (
+                    "max_loaded_libraries",
+                    Json::from(library_limits.max_loaded),
+                ),
             ]),
         ),
         ("netlists", Json::Arr(netlists)),
+        ("libraries", Json::Arr(libraries)),
     ])
 }
 
@@ -633,6 +701,25 @@ pub fn error_body(message: &str) -> Vec<u8> {
 pub fn upload_error_body(err: &scpg_jobs::UploadError) -> Vec<u8> {
     let mut fields = vec![("error".to_string(), Json::from(err.to_string()))];
     if let scpg_jobs::UploadError::Parse {
+        line,
+        column,
+        token,
+        ..
+    } = err
+    {
+        fields.push(("line".to_string(), Json::from(*line)));
+        fields.push(("column".to_string(), Json::from(*column)));
+        fields.push(("token".to_string(), Json::from(token.as_str())));
+    }
+    Json::Obj(fields).write().into_bytes()
+}
+
+/// The JSON error body for a refused Liberty-library upload. Parse
+/// failures carry machine-readable `line`, `column` and `token` fields
+/// pointing at the offending source location.
+pub fn library_error_body(err: &LibraryUploadError) -> Vec<u8> {
+    let mut fields = vec![("error".to_string(), Json::from(err.to_string()))];
+    if let LibraryUploadError::Parse {
         line,
         column,
         token,
@@ -820,6 +907,8 @@ mod tests {
         let doc = designs_response(
             &limits(),
             vec![Json::object([("id", Json::from("abc"))])],
+            vec![Json::object([("id", Json::from("def"))])],
+            LibraryLimits::default(),
             technique_summaries(&registry),
         );
         assert_eq!(doc.get("kinds").unwrap().as_array().unwrap().len(), 3);
@@ -829,9 +918,15 @@ mod tests {
             lim.get("max_netlist_bytes").unwrap().as_u64(),
             Some(512 * 1024)
         );
+        assert_eq!(
+            lim.get("max_library_bytes").unwrap().as_u64(),
+            Some(1024 * 1024)
+        );
+        assert_eq!(lim.get("max_libraries").unwrap().as_u64(), Some(32));
         assert_eq!(doc.get("netlists").unwrap().as_array().unwrap().len(), 1);
+        assert_eq!(doc.get("libraries").unwrap().as_array().unwrap().len(), 1);
         let techs = doc.get("techniques").unwrap().as_array().unwrap();
-        assert_eq!(techs.len(), 4);
+        assert_eq!(techs.len(), 5);
         assert_eq!(techs[1].get("name").unwrap().as_str(), Some("scpg"));
         assert!(techs[1].get("summary").unwrap().as_str().is_some());
         // Every schema is a (possibly empty) parameter array.
@@ -849,7 +944,7 @@ mod tests {
         assert_eq!(freqs, vec![Frequency::new(1e6)]);
         assert_eq!(
             techs.iter().map(|t| t.name.as_str()).collect::<Vec<_>>(),
-            ["baseline", "scpg", "ctsg", "lector"]
+            ["baseline", "scpg", "ctsg", "ddcg", "lector"]
         );
         // Mixed name strings and {name, params} objects.
         let body = Json::parse(

@@ -309,6 +309,20 @@ pub fn upload_netlist(
     request(addr, raw.as_bytes())
 }
 
+/// Uploads a Liberty library (`POST /v1/libraries`): raw source text,
+/// `text/plain`.
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn upload_library(addr: SocketAddr, source: &str) -> std::io::Result<ClientResponse> {
+    let raw = format!(
+        "POST /v1/libraries HTTP/1.1\r\nhost: scpg\r\nconnection: close\r\ncontent-type: text/plain\r\ncontent-length: {}\r\n\r\n{source}",
+        source.len()
+    );
+    request(addr, raw.as_bytes())
+}
+
 /// Submits an async batch job (`POST /v1/jobs`). `body` is the full
 /// submission document, e.g. `{"kind": "sweep", "request": {...}}`.
 ///

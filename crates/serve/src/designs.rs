@@ -20,8 +20,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use scpg::service::QueryLimits;
 use scpg::ScpgAnalysis;
 use scpg_circuits::generate_multiplier;
-use scpg_jobs::{NetlistRegistry, UploadedNetlist};
-use scpg_liberty::{Library, PvtCorner};
+use scpg_jobs::{LibraryRegistry, NetlistRegistry, UploadedLibrary, UploadedNetlist};
+use scpg_liberty::{CellKind, EvalBackend, Library, PvtCorner};
 use scpg_netlist::Netlist;
 use scpg_sim::CompiledNetlist;
 use scpg_technique::{PrepareContext, ResolvedParams, Technique, TechniqueError, TechniqueModel};
@@ -47,7 +47,8 @@ pub enum DesignKind {
     },
 }
 
-/// A fully specified design request: circuit, workload energy and supply.
+/// A fully specified design request: circuit, workload energy, supply,
+/// and the cell library + evaluation backend it is analysed under.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpec {
     /// The circuit.
@@ -56,6 +57,12 @@ pub struct DesignSpec {
     pub e_dyn: Energy,
     /// Operating supply voltage.
     pub vdd: Voltage,
+    /// Uploaded-library id from `POST /v1/libraries`, or `None` for the
+    /// built-in 90 nm kit.
+    pub library: Option<String>,
+    /// Which physics backend cells evaluate through (`analytical` is the
+    /// closed-form kit; `table` is NLDM lookup with analytical fallback).
+    pub backend: EvalBackend,
 }
 
 impl DesignSpec {
@@ -66,6 +73,8 @@ impl DesignSpec {
             kind: DesignKind::Multiplier { bits: 16 },
             e_dyn: Energy::from_pj(2.3),
             vdd: PvtCorner::default().voltage,
+            library: None,
+            backend: EvalBackend::Analytical,
         }
     }
 
@@ -75,7 +84,7 @@ impl DesignSpec {
         Self {
             kind: DesignKind::Chain { length },
             e_dyn: Energy::from_fj(12.0),
-            vdd: PvtCorner::default().voltage,
+            ..Self::default_multiplier()
         }
     }
 
@@ -96,7 +105,16 @@ impl DesignSpec {
             DesignKind::Chain { length } => format!("chain:{length}"),
             DesignKind::Netlist { id } => format!("netlist:{id}"),
         };
-        format!("{ident}:e={}:v={}", self.e_dyn.value(), self.vdd.value())
+        let lib = match &self.library {
+            Some(id) => format!("upl:{id}"),
+            None => "builtin".to_string(),
+        };
+        format!(
+            "{ident}:e={}:v={}:lib={lib}:be={}",
+            self.e_dyn.value(),
+            self.vdd.value(),
+            self.backend.as_str()
+        )
     }
 
     /// Admission check against the service limits.
@@ -129,6 +147,16 @@ impl DesignSpec {
                 {
                     return Err("design.id must be a netlist id from POST /v1/netlists".to_string());
                 }
+            }
+        }
+        if let Some(id) = &self.library {
+            // Same hygiene rule as netlist ids: 40 hex chars in practice,
+            // bounded + charset-checked so hostile ids stay out of
+            // registry keys and log lines.
+            if id.is_empty() || id.len() > 64 || !id.bytes().all(|b| b.is_ascii_alphanumeric()) {
+                return Err(
+                    "design.library.id must be a library id from POST /v1/libraries".to_string(),
+                );
             }
         }
         if !self.e_dyn.value().is_finite() || self.e_dyn.value() <= 0.0 {
@@ -180,8 +208,18 @@ struct TechniqueCacheState {
 }
 
 impl DesignArtifact {
-    fn build(spec: &DesignSpec, uploaded: Option<Arc<UploadedNetlist>>) -> Self {
-        let lib = Library::ninety_nm();
+    fn build(
+        spec: &DesignSpec,
+        uploaded: Option<Arc<UploadedNetlist>>,
+        library: Option<Arc<UploadedLibrary>>,
+    ) -> Self {
+        let mut lib = match &library {
+            Some(up) => up.library.clone(),
+            None => Library::ninety_nm(),
+        };
+        if spec.backend != EvalBackend::Analytical {
+            lib = lib.with_backend(spec.backend);
+        }
         let (baseline, clock) = match &spec.kind {
             DesignKind::Multiplier { bits } => {
                 (generate_multiplier(&lib, *bits).0, "clk".to_string())
@@ -322,6 +360,71 @@ impl DesignArtifact {
     }
 }
 
+/// Refuses an uploaded library that cannot host the requested design.
+///
+/// The multiplier generator picks cells by *kind* and panics on a gap;
+/// the chain and uploaded netlists reference cells by *name*. Checking
+/// here (before a registry slot exists) turns both failure shapes into a
+/// clean 422 instead of a worker panic or a poisoned cache entry.
+fn check_library_coverage(
+    lib: &Library,
+    kind: &DesignKind,
+    uploaded: Option<&UploadedNetlist>,
+) -> Result<(), String> {
+    match kind {
+        DesignKind::Multiplier { .. } => {
+            const NEEDED: [CellKind; 12] = [
+                CellKind::TieHi,
+                CellKind::TieLo,
+                CellKind::Buf,
+                CellKind::Inv,
+                CellKind::And2,
+                CellKind::Or2,
+                CellKind::Xor2,
+                CellKind::Mux2,
+                CellKind::HalfAdder,
+                CellKind::FullAdder,
+                CellKind::Dff,
+                CellKind::DffR,
+            ];
+            for needed in NEEDED {
+                if lib.cell_of_kind(needed).is_none() {
+                    return Err(format!(
+                        "library `{}` lacks a {needed:?} cell; the multiplier generator needs one",
+                        lib.name()
+                    ));
+                }
+            }
+        }
+        DesignKind::Chain { .. } => {
+            if lib.cell("INV_X1").is_none() {
+                return Err(format!(
+                    "library `{}` lacks the `INV_X1` cell the chain design instantiates",
+                    lib.name()
+                ));
+            }
+        }
+        DesignKind::Netlist { .. } => {
+            let up = uploaded.expect("netlist specs are resolved before the library check");
+            if let Some(inst) = up
+                .netlist
+                .instances()
+                .iter()
+                .find(|inst| lib.cell(inst.cell()).is_none())
+            {
+                return Err(format!(
+                    "library `{}` lacks cell `{}` used by instance `{}` of netlist {}",
+                    lib.name(),
+                    inst.cell(),
+                    inst.name(),
+                    up.id
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn build_chain(length: usize) -> Netlist {
     let mut nl = Netlist::new(format!("chain{length}"));
     let mut cur = nl.add_input("a");
@@ -394,18 +497,22 @@ impl DesignRegistry {
     /// runs outside it behind the slot's own `OnceLock`, so only
     /// concurrent requests for the *same* design wait on each other.
     ///
-    /// Netlist-backed specs resolve their upload through `netlists`
-    /// *before* a slot is created, so an unknown id is a clean error and
-    /// never poisons the registry.
+    /// Netlist-backed specs resolve their upload through `netlists`, and
+    /// library-backed specs through `libraries`, *before* a slot is
+    /// created, so an unknown id is a clean error and never poisons the
+    /// registry. An uploaded library is also coverage-checked here — the
+    /// circuit generators panic on a missing cell kind, so a library
+    /// that cannot build the requested design must be refused up front.
     ///
     /// # Errors
     ///
-    /// Netlist spec with no registry configured or an unknown id (maps
-    /// to `422`).
+    /// Netlist/library spec with no registry configured, an unknown id,
+    /// or a library lacking cells the design needs (maps to `422`).
     pub fn get(
         &self,
         spec: &DesignSpec,
         netlists: Option<&NetlistRegistry>,
+        libraries: Option<&LibraryRegistry>,
     ) -> Result<Arc<DesignArtifact>, String> {
         let uploaded = match &spec.kind {
             DesignKind::Netlist { id } => {
@@ -415,6 +522,18 @@ impl DesignRegistry {
                 })?)
             }
             _ => None,
+        };
+        let library = match &spec.library {
+            Some(id) => {
+                let registry =
+                    libraries.ok_or("uploaded libraries are not enabled on this server")?;
+                let up = registry.get(id).ok_or_else(|| {
+                    format!("unknown library id {id:?}; upload it via POST /v1/libraries first")
+                })?;
+                check_library_coverage(&up.library, &spec.kind, uploaded.as_deref())?;
+                Some(up)
+            }
+            None => None,
         };
         let cell = {
             let mut state = self.state.lock().expect("registry poisoned");
@@ -448,7 +567,7 @@ impl DesignRegistry {
             }
         };
         Ok(Arc::clone(cell.get_or_init(|| {
-            Arc::new(DesignArtifact::build(spec, uploaded))
+            Arc::new(DesignArtifact::build(spec, uploaded, library))
         })))
     }
 
@@ -474,11 +593,11 @@ mod tests {
             kind: DesignKind::Multiplier { bits: 4 },
             ..DesignSpec::default_multiplier()
         };
-        let a = reg.get(&spec, None).unwrap();
-        let b = reg.get(&spec, None).unwrap();
+        let a = reg.get(&spec, None, None).unwrap();
+        let b = reg.get(&spec, None, None).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "same spec, same artifact");
         assert_eq!(reg.len(), 1);
-        let c = reg.get(&DesignSpec::chain(8), None).unwrap();
+        let c = reg.get(&DesignSpec::chain(8), None, None).unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(reg.len(), 2);
     }
@@ -493,6 +612,7 @@ mod tests {
                     ..DesignSpec::default_multiplier()
                 },
                 None,
+                None,
             )
             .unwrap();
         let a = art.analysis().expect("multiplier gates");
@@ -503,7 +623,7 @@ mod tests {
     #[test]
     fn chain_analysis_fails_gracefully() {
         let reg = DesignRegistry::new();
-        let art = reg.get(&DesignSpec::chain(8), None).unwrap();
+        let art = reg.get(&DesignSpec::chain(8), None, None).unwrap();
         let err = art.analysis().expect_err("no flops to gate");
         assert!(err.contains("transform failed"), "{err}");
         // And the failure is cached, not re-attempted forever.
@@ -513,19 +633,19 @@ mod tests {
     #[test]
     fn registry_evicts_least_recently_used_at_capacity() {
         let reg = DesignRegistry::with_capacity(2);
-        let one = reg.get(&DesignSpec::chain(1), None).unwrap();
-        let two = reg.get(&DesignSpec::chain(2), None).unwrap();
+        let one = reg.get(&DesignSpec::chain(1), None, None).unwrap();
+        let two = reg.get(&DesignSpec::chain(2), None, None).unwrap();
         assert_eq!(reg.len(), 2);
         // Touch 1 so 2 becomes the LRU victim.
-        let _ = reg.get(&DesignSpec::chain(1), None).unwrap();
-        let _three = reg.get(&DesignSpec::chain(3), None).unwrap();
+        let _ = reg.get(&DesignSpec::chain(1), None, None).unwrap();
+        let _three = reg.get(&DesignSpec::chain(3), None, None).unwrap();
         assert_eq!(reg.len(), 2, "capacity holds under churn");
-        let one_again = reg.get(&DesignSpec::chain(1), None).unwrap();
+        let one_again = reg.get(&DesignSpec::chain(1), None, None).unwrap();
         assert!(
             Arc::ptr_eq(&one, &one_again),
             "recently used design survived"
         );
-        let two_again = reg.get(&DesignSpec::chain(2), None).unwrap();
+        let two_again = reg.get(&DesignSpec::chain(2), None, None).unwrap();
         assert!(
             !Arc::ptr_eq(&two, &two_again),
             "evicted design rebuilds fresh"
@@ -543,6 +663,7 @@ mod tests {
                     kind: DesignKind::Multiplier { bits: 4 },
                     ..DesignSpec::default_multiplier()
                 },
+                None,
                 None,
             )
             .unwrap();
@@ -615,18 +736,109 @@ endmodule
 
         // No registry configured / unknown id: clean errors, no slot.
         let spec = DesignSpec::netlist(entry.id.clone());
-        assert!(reg.get(&spec, None).is_err());
+        assert!(reg.get(&spec, None, None).is_err());
         let unknown = DesignSpec::netlist("deadbeef");
-        let err = reg.get(&unknown, Some(&uploads)).map(|_| ()).unwrap_err();
+        let err = reg
+            .get(&unknown, Some(&uploads), None)
+            .map(|_| ())
+            .unwrap_err();
         assert!(err.contains("unknown netlist id"), "{err}");
         assert_eq!(reg.len(), 0, "failed resolutions must not be cached");
 
-        let art = reg.get(&spec, Some(&uploads)).unwrap();
+        let art = reg.get(&spec, Some(&uploads), None).unwrap();
         assert_eq!(art.clock, "clk");
         assert_eq!(art.baseline.instances().len(), 2);
         art.analysis().expect("uploaded design gates");
-        let again = reg.get(&spec, Some(&uploads)).unwrap();
+        let again = reg.get(&spec, Some(&uploads), None).unwrap();
         assert!(Arc::ptr_eq(&art, &again), "artifact is shared");
+    }
+
+    #[test]
+    fn library_specs_resolve_through_the_upload_registry() {
+        let libraries = LibraryRegistry::open(
+            Arc::new(scpg_jobs::Store::memory()),
+            scpg_jobs::LibraryLimits::default(),
+        );
+        let source = scpg_liberty::write_liberty(&Library::ninety_nm());
+        let (entry, _) = libraries.upload(&source).unwrap();
+        let reg = DesignRegistry::new();
+        let spec = DesignSpec {
+            kind: DesignKind::Multiplier { bits: 4 },
+            library: Some(entry.id.clone()),
+            backend: EvalBackend::Table,
+            ..DesignSpec::default_multiplier()
+        };
+
+        // No registry configured / unknown id: clean errors, no slot.
+        assert!(reg.get(&spec, None, None).is_err());
+        let unknown = DesignSpec {
+            library: Some("deadbeef".to_string()),
+            ..spec.clone()
+        };
+        let err = reg
+            .get(&unknown, None, Some(&libraries))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("unknown library id"), "{err}");
+        assert_eq!(reg.len(), 0, "failed resolutions must not be cached");
+
+        let art = reg.get(&spec, None, Some(&libraries)).unwrap();
+        assert_eq!(art.lib.name(), entry.name);
+        art.analysis().expect("uploaded library hosts the design");
+        // Same circuit under the builtin kit is a distinct artifact.
+        let builtin = reg
+            .get(
+                &DesignSpec {
+                    kind: DesignKind::Multiplier { bits: 4 },
+                    ..DesignSpec::default_multiplier()
+                },
+                None,
+                None,
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&art, &builtin));
+    }
+
+    #[test]
+    fn incomplete_libraries_are_refused_before_the_generator_runs() {
+        let libraries = LibraryRegistry::open(
+            Arc::new(scpg_jobs::Store::memory()),
+            scpg_jobs::LibraryLimits::default(),
+        );
+        // A syntactically fine library with a single inverter: enough for
+        // nothing the multiplier generator needs.
+        let source = "\
+library (tiny) {
+  cell (INV_X9) {
+    area : 1;
+    pin (A) { direction : input; capacitance : 0.001; }
+    pin (Y) { direction : output; }
+  }
+}
+";
+        let (entry, _) = libraries.upload(source).unwrap();
+        let reg = DesignRegistry::new();
+        let spec = DesignSpec {
+            kind: DesignKind::Multiplier { bits: 4 },
+            library: Some(entry.id.clone()),
+            ..DesignSpec::default_multiplier()
+        };
+        let err = reg
+            .get(&spec, None, Some(&libraries))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("lacks a"), "{err}");
+        // The chain wants INV_X1 by name, which this library also lacks.
+        let chain = DesignSpec {
+            library: Some(entry.id.clone()),
+            ..DesignSpec::chain(4)
+        };
+        let err = reg
+            .get(&chain, None, Some(&libraries))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("INV_X1"), "{err}");
+        assert_eq!(reg.len(), 0);
     }
 
     #[test]

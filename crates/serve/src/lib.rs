@@ -83,8 +83,9 @@ use std::time::{Duration, Instant};
 use scpg::service::{Query, QueryLimits, QueryOutcome};
 use scpg::Mode;
 use scpg_jobs::{
-    CancelOutcome, ChunkExecutor, ChunkRun, JobLimits, JobManager, JobSpec, NetlistLimits,
-    NetlistRegistry, Store, SubmitError, UploadError,
+    CancelOutcome, ChunkExecutor, ChunkRun, JobLimits, JobManager, JobSpec, LibraryLimits,
+    LibraryRegistry, LibraryUploadError, NetlistLimits, NetlistRegistry, Store, SubmitError,
+    UploadError,
 };
 use scpg_json::Json;
 use scpg_liberty::Library;
@@ -194,6 +195,9 @@ struct Shared {
     techniques: Arc<TechniqueRegistry>,
     /// Uploaded-netlist registry (content-addressed, possibly on disk).
     netlists: Arc<NetlistRegistry>,
+    /// Uploaded Liberty-library registry (content-addressed, possibly on
+    /// disk; parsed libraries held under an LRU bound).
+    libraries: Arc<LibraryRegistry>,
     /// Batch-job manager; chunks run on the worker pool's batch lane.
     jobs: Arc<JobManager>,
     /// Per-request span store behind `GET /v1/traces`; bounded, shared
@@ -271,12 +275,17 @@ impl Server {
                 ..NetlistLimits::default()
             },
         ));
+        let libraries = Arc::new(LibraryRegistry::open(
+            Arc::clone(&store),
+            LibraryLimits::default(),
+        ));
         let registry = Arc::new(DesignRegistry::new());
         let techniques = Arc::new(TechniqueRegistry::standard());
         let executor = Arc::new(ServeExecutor {
             registry: Arc::clone(&registry),
             techniques: Arc::clone(&techniques),
             netlists: Arc::clone(&netlists),
+            libraries: Arc::clone(&libraries),
             limits: config.limits,
             debug_job_delay_ms: config.debug_job_delay_ms,
         });
@@ -305,6 +314,7 @@ impl Server {
             registry,
             techniques,
             netlists,
+            libraries,
             jobs,
             traces,
             boot_id,
@@ -646,7 +656,7 @@ fn allow_for(path: &str) -> Option<&'static str> {
     match path {
         "/healthz" | "/metrics" | "/v1/designs" => Some("GET"),
         "/v1/sweep" | "/v1/table" | "/v1/headline" | "/v1/variation" | "/v1/activity"
-        | "/v1/compare" | "/v1/netlists" => Some("POST"),
+        | "/v1/compare" | "/v1/netlists" | "/v1/libraries" => Some("POST"),
         "/v1/jobs" => Some("POST, GET"),
         _ if path.starts_with("/v1/traces") => Some("GET"),
         _ if path.starts_with("/v1/jobs/") => {
@@ -779,12 +789,15 @@ fn respond_inline(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace)
             (200, "text/plain; version=0.0.4", text.into_bytes())
         }
         ("POST", "/v1/netlists") => handle_netlist_upload(shared, req, trace),
+        ("POST", "/v1/libraries") => handle_library_upload(shared, req, trace),
         ("GET", "/v1/designs") => {
             shared.metrics.inc_request("designs");
             trace.endpoint = Some("designs");
             let doc = api::designs_response(
                 &shared.config.limits,
                 shared.netlists.summaries(),
+                shared.libraries.summaries(),
+                shared.libraries.limits(),
                 api::technique_summaries(&shared.techniques),
             );
             (200, "application/json", doc.write().into_bytes())
@@ -806,7 +819,7 @@ fn respond_inline(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace)
         (
             _,
             "/v1/sweep" | "/v1/table" | "/v1/headline" | "/v1/variation" | "/v1/activity"
-            | "/v1/compare" | "/v1/netlists",
+            | "/v1/compare" | "/v1/netlists" | "/v1/libraries",
         ) => {
             trace.allow = allow_for(&req.path);
             (
@@ -856,6 +869,46 @@ fn handle_netlist_upload(shared: &Arc<Shared>, req: &Request, trace: &mut Reques
                 UploadError::Store(_) => 500,
             };
             (status, "application/json", api::upload_error_body(&err))
+        }
+    }
+}
+
+fn handle_library_upload(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Reply {
+    shared.metrics.inc_request("libraries");
+    trace.endpoint = Some("libraries");
+    let source = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => {
+            return (
+                400,
+                "application/json",
+                api::error_body("library source must be UTF-8 Liberty text"),
+            )
+        }
+    };
+    match shared.libraries.upload(source) {
+        Ok((entry, created)) => {
+            if created {
+                shared
+                    .metrics
+                    .libraries_uploaded
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let status = if created { 201 } else { 200 };
+            (
+                status,
+                "application/json",
+                entry.summary().write().into_bytes(),
+            )
+        }
+        Err(err) => {
+            let status = match &err {
+                LibraryUploadError::TooLarge { .. } => 413,
+                LibraryUploadError::Parse { .. } | LibraryUploadError::Invalid(_) => 422,
+                LibraryUploadError::Full { .. } => 429,
+                LibraryUploadError::Store(_) => 500,
+            };
+            (status, "application/json", api::library_error_body(&err))
         }
     }
 }
@@ -1174,6 +1227,7 @@ fn handle_api(
     let work: Box<dyn FnOnce() -> JobOutput + Send> = {
         let registry = Arc::clone(&shared.registry);
         let netlists = Arc::clone(&shared.netlists);
+        let libraries = Arc::clone(&shared.libraries);
         let delay = shared.config.debug_job_delay_ms;
         match endpoint {
             "sweep" | "table" | "headline" => {
@@ -1186,14 +1240,14 @@ fn handle_api(
                     Ok(p) => p,
                     Err(e) => return (422, "application/json", api::error_body(&e)).into(),
                 };
-                Box::new(move || run_query(&registry, &netlists, spec, &query, delay))
+                Box::new(move || run_query(&registry, &netlists, &libraries, spec, &query, delay))
             }
             "variation" => {
                 let (spec, cfg) = match api::parse_variation(&body, &limits) {
                     Ok(p) => p,
                     Err(e) => return (422, "application/json", api::error_body(&e)).into(),
                 };
-                Box::new(move || run_variation(&registry, &netlists, spec, &cfg, delay))
+                Box::new(move || run_variation(&registry, &netlists, &libraries, spec, &cfg, delay))
             }
             "activity" => {
                 let (spec, req) = match api::parse_activity(&body, &limits) {
@@ -1201,7 +1255,9 @@ fn handle_api(
                     Err(e) => return (422, "application/json", api::error_body(&e)).into(),
                 };
                 let choice = shared.config.force_engine;
-                Box::new(move || run_activity(&registry, &netlists, spec, req, choice, delay))
+                Box::new(move || {
+                    run_activity(&registry, &netlists, &libraries, spec, req, choice, delay)
+                })
             }
             "compare" => {
                 let parsed = api::parse_compare(&body, &limits, &shared.techniques);
@@ -1288,6 +1344,7 @@ fn work_annotations(
 fn run_query(
     registry: &DesignRegistry,
     netlists: &NetlistRegistry,
+    libraries: &LibraryRegistry,
     spec: designs::DesignSpec,
     query: &Query,
     delay_ms: u64,
@@ -1298,7 +1355,7 @@ fn run_query(
 
     let compile_started = Instant::now();
     let analysis = registry
-        .get(&spec, Some(netlists))
+        .get(&spec, Some(netlists), Some(libraries))
         .and_then(|artifact| artifact.analysis());
     timing.compile = Some(compile_started.elapsed());
     let analysis = match analysis {
@@ -1338,6 +1395,7 @@ fn run_query(
 fn run_variation(
     registry: &DesignRegistry,
     netlists: &NetlistRegistry,
+    libraries: &LibraryRegistry,
     spec: designs::DesignSpec,
     cfg: &scpg_power::VariationConfig,
     delay_ms: u64,
@@ -1347,7 +1405,7 @@ fn run_variation(
     let work_before = scpg::service::EngineWork::snapshot();
 
     let compile_started = Instant::now();
-    let artifact = registry.get(&spec, Some(netlists));
+    let artifact = registry.get(&spec, Some(netlists), Some(libraries));
     timing.compile = Some(compile_started.elapsed());
     let artifact = match artifact {
         Ok(a) => a,
@@ -1382,6 +1440,7 @@ fn run_variation(
 fn run_activity(
     registry: &DesignRegistry,
     netlists: &NetlistRegistry,
+    libraries: &LibraryRegistry,
     spec: designs::DesignSpec,
     req: api::ActivityRequest,
     choice: scpg_sim::EngineChoice,
@@ -1393,7 +1452,7 @@ fn run_activity(
 
     let compile_started = Instant::now();
     let compiled = registry
-        .get(&spec, Some(netlists))
+        .get(&spec, Some(netlists), Some(libraries))
         .and_then(|artifact| artifact.compiled().map(|c| (c, artifact.clock.clone())));
     timing.compile = Some(compile_started.elapsed());
     let (compiled, clock) = match compiled {
@@ -1450,7 +1509,9 @@ fn run_compare(
     let work_before = scpg::service::EngineWork::snapshot();
 
     let compile_started = Instant::now();
-    let artifact = shared.registry.get(&spec, Some(&shared.netlists));
+    let artifact = shared
+        .registry
+        .get(&spec, Some(&shared.netlists), Some(&shared.libraries));
     timing.compile = Some(compile_started.elapsed());
     let artifact = match artifact {
         Ok(a) => a,
@@ -1564,6 +1625,7 @@ struct ServeExecutor {
     registry: Arc<DesignRegistry>,
     techniques: Arc<TechniqueRegistry>,
     netlists: Arc<NetlistRegistry>,
+    libraries: Arc<LibraryRegistry>,
     limits: QueryLimits,
     debug_job_delay_ms: u64,
 }
@@ -1629,7 +1691,8 @@ impl ChunkExecutor for ServeExecutor {
         };
         // Resolve the design now so an unknown netlist id refuses the
         // submission outright instead of failing the job's first chunk.
-        self.registry.get(dspec, Some(&self.netlists))?;
+        self.registry
+            .get(dspec, Some(&self.netlists), Some(&self.libraries))?;
         Ok(units)
     }
 
@@ -1641,7 +1704,9 @@ impl ChunkExecutor for ServeExecutor {
                 frequencies,
                 mode,
             } => {
-                let artifact = self.registry.get(&dspec, Some(&self.netlists))?;
+                let artifact =
+                    self.registry
+                        .get(&dspec, Some(&self.netlists), Some(&self.libraries))?;
                 let analysis = artifact.analysis()?;
                 // Operating points are per-frequency independent, so a
                 // sub-slice sweep equals the same slice of a full sweep.
@@ -1656,13 +1721,17 @@ impl ChunkExecutor for ServeExecutor {
                 spec: dspec,
                 frequencies,
             } => {
-                let artifact = self.registry.get(&dspec, Some(&self.netlists))?;
+                let artifact =
+                    self.registry
+                        .get(&dspec, Some(&self.netlists), Some(&self.libraries))?;
                 let analysis = artifact.analysis()?;
                 let slice = &frequencies[start..start + count];
                 Ok(analysis.table(slice).iter().map(api::row_json).collect())
             }
             PlannedJob::Variation { spec: dspec, cfg } => {
-                let artifact = self.registry.get(&dspec, Some(&self.netlists))?;
+                let artifact =
+                    self.registry
+                        .get(&dspec, Some(&self.netlists), Some(&self.libraries))?;
                 let study = VariationStudy::run(
                     &artifact.baseline,
                     &artifact.lib,
@@ -1677,7 +1746,9 @@ impl ChunkExecutor for ServeExecutor {
                 frequencies,
                 techs,
             } => {
-                let artifact = self.registry.get(&dspec, Some(&self.netlists))?;
+                let artifact =
+                    self.registry
+                        .get(&dspec, Some(&self.netlists), Some(&self.libraries))?;
                 // Units are technique-major: unit u is technique u/nf at
                 // frequency u%nf, so one chunk slices cleanly out of the
                 // full (technique × frequency) grid.
@@ -1736,7 +1807,9 @@ impl ChunkExecutor for ServeExecutor {
                 }
                 // Area/delay rollups come from the prepared models — hot
                 // in the artifact's technique LRU after the chunks ran.
-                let artifact = self.registry.get(&dspec, Some(&self.netlists))?;
+                let artifact =
+                    self.registry
+                        .get(&dspec, Some(&self.netlists), Some(&self.libraries))?;
                 let mut rows = Vec::with_capacity(techs.len());
                 for (i, t) in techs.iter().enumerate() {
                     let tech = self

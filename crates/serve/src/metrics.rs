@@ -37,7 +37,7 @@ pub fn stage_histogram(reg: &scpg_trace::Registry, stage: &str) -> Arc<scpg_trac
 }
 
 /// The endpoints with dedicated request counters.
-pub const ENDPOINTS: [&str; 12] = [
+pub const ENDPOINTS: [&str; 13] = [
     "sweep",
     "table",
     "headline",
@@ -45,6 +45,7 @@ pub const ENDPOINTS: [&str; 12] = [
     "activity",
     "compare",
     "netlists",
+    "libraries",
     "jobs",
     "traces",
     "designs",
@@ -80,6 +81,9 @@ pub struct Metrics {
     /// Netlists accepted by `POST /v1/netlists` (fresh uploads only;
     /// idempotent re-uploads do not count).
     pub netlists_uploaded: AtomicU64,
+    /// Liberty libraries accepted by `POST /v1/libraries` (fresh uploads
+    /// only; idempotent re-uploads do not count).
+    pub libraries_uploaded: AtomicU64,
     /// Batch jobs accepted by `POST /v1/jobs`.
     pub jobs_submitted: AtomicU64,
     /// Batch-job chunks completed by workers (the throughput unit of the
@@ -109,6 +113,8 @@ pub struct MetricsSnapshot {
     pub handler_panics: u64,
     /// See [`Metrics::netlists_uploaded`].
     pub netlists_uploaded: u64,
+    /// See [`Metrics::libraries_uploaded`].
+    pub libraries_uploaded: u64,
     /// See [`Metrics::jobs_submitted`].
     pub jobs_submitted: u64,
     /// See [`Metrics::job_chunks_completed`].
@@ -145,6 +151,7 @@ impl Metrics {
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             handler_panics: self.handler_panics.load(Ordering::Relaxed),
             netlists_uploaded: self.netlists_uploaded.load(Ordering::Relaxed),
+            libraries_uploaded: self.libraries_uploaded.load(Ordering::Relaxed),
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             job_chunks_completed: self.job_chunks_completed.load(Ordering::Relaxed),
             compare_techniques: self.compare_techniques.load(Ordering::Relaxed),
@@ -183,7 +190,7 @@ impl Metrics {
             ));
         }
 
-        let counters: [(&str, &str, u64); 12] = [
+        let counters: [(&str, &str, u64); 13] = [
             (
                 "scpg_cache_hits_total",
                 "Requests answered from the result cache.",
@@ -223,6 +230,11 @@ impl Metrics {
                 "scpg_netlists_uploaded_total",
                 "Netlists accepted by POST /v1/netlists (fresh uploads).",
                 self.netlists_uploaded.load(Ordering::Relaxed),
+            ),
+            (
+                "scpg_libraries_uploaded_total",
+                "Liberty libraries accepted by POST /v1/libraries (fresh uploads).",
+                self.libraries_uploaded.load(Ordering::Relaxed),
             ),
             (
                 "scpg_batch_jobs_submitted_total",
@@ -307,6 +319,16 @@ impl Metrics {
              # TYPE scpg_exec_parallel_jobs_total counter\n\
              scpg_exec_parallel_jobs_total {}\n",
             scpg_exec::parallel_jobs()
+        ));
+
+        // NLDM table-lookup volume from the liberty crate: process-wide,
+        // like the exec counters, because the table backend is evaluated
+        // deep inside the physics layer with no handle on the server.
+        out.push_str(&format!(
+            "# HELP scpg_table_lookups_total NLDM table interpolations served by the liberty crate.\n\
+             # TYPE scpg_table_lookups_total counter\n\
+             scpg_table_lookups_total {}\n",
+            scpg_liberty::table_lookups_total()
         ));
 
         // Engine work counters from the simulation kernel, routed through
@@ -412,6 +434,18 @@ mod tests {
         );
         assert_eq!(parse_metric(&text, "scpg_compare_points_total"), Some(12.0));
         assert_eq!(
+            parse_metric(&text, "scpg_requests_total{endpoint=\"libraries\"}"),
+            Some(0.0)
+        );
+        assert_eq!(
+            parse_metric(&text, "scpg_libraries_uploaded_total"),
+            Some(0.0)
+        );
+        assert!(
+            parse_metric(&text, "scpg_table_lookups_total").is_some(),
+            "table-lookup family must render (value is process-wide)"
+        );
+        assert_eq!(
             parse_metric(&text, "scpg_requests_total{endpoint=\"compare\"}"),
             Some(0.0)
         );
@@ -444,6 +478,58 @@ mod tests {
                 "missing engine family {family}"
             );
         }
+    }
+
+    /// A minimal Prometheus exposition lint: every sample line parses as
+    /// `name{labels} value`, every family is announced by exactly one
+    /// HELP + TYPE pair before its first sample, and no family is
+    /// declared twice (the classic copy-paste bug when a new counter is
+    /// added to the render table).
+    #[test]
+    fn exposition_text_is_lint_clean() {
+        let m = Metrics::default();
+        let text = m.render(1, 8, 2, 3, 4, 5);
+        let mut declared = std::collections::HashSet::new();
+        let mut last_help: Option<String> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap().to_string();
+                assert!(
+                    declared.insert(name.clone()),
+                    "family {name} declared twice"
+                );
+                last_help = Some(name);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap();
+                assert_eq!(
+                    last_help.as_deref(),
+                    Some(name),
+                    "TYPE for {name} must directly follow its HELP"
+                );
+                assert!(
+                    matches!(parts.next(), Some("counter" | "gauge" | "histogram")),
+                    "bad TYPE line: {line}"
+                );
+                continue;
+            }
+            // Sample line: `name{labels} value` or `name value`.
+            let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+            let family = name_part.split(['{', ' ']).next().unwrap();
+            let family = family.trim_end_matches('}');
+            assert!(
+                declared.iter().any(|d| family.starts_with(d.as_str())),
+                "sample {family} has no HELP/TYPE declaration"
+            );
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "sample value must be numeric: {line}"
+            );
+        }
+        assert!(declared.contains("scpg_libraries_uploaded_total"));
+        assert!(declared.contains("scpg_table_lookups_total"));
     }
 
     #[test]

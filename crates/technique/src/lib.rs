@@ -21,12 +21,13 @@
 //! | `baseline` | no gating: the design as handed in                   |
 //! | `scpg`     | the paper's sub-clock power gating pipeline          |
 //! | `ctsg`     | cluster-based tunable sleep-transistor gating        |
+//! | `ddcg`     | data-dependent clock gating on the flop bank         |
 //! | `lector`   | LECTOR-style leakage control on flop input stages    |
 //!
 //! # Transform invariants
 //!
 //! Every technique's rewrite leaves recognisable **markers** in its
-//! output: control instances prefixed `scpg_`/`ctsg_`, derived cells
+//! output: control instances prefixed `scpg_`/`ctsg_`/`ddcg_`, derived cells
 //! suffixed `__LCT`, instances tagged [`Domain::Gated`]. Every technique
 //! — including `baseline` — refuses an input that carries any marker
 //! ([`TechniqueError::AlreadyTransformed`]), so a transformed netlist can
@@ -47,11 +48,13 @@ use scpg_units::{Area, Energy, Frequency, Power, Time};
 
 mod baseline;
 mod ctsg;
+mod ddcg;
 mod lector;
 mod scpg_impl;
 
 pub use baseline::BaselineTechnique;
 pub use ctsg::CtsgTechnique;
+pub use ddcg::DdcgTechnique;
 pub use lector::LectorTechnique;
 pub use scpg_impl::ScpgTechnique;
 
@@ -375,9 +378,10 @@ pub trait Technique: Send + Sync {
     ) -> Result<Arc<dyn TechniqueModel>, TechniqueError>;
 }
 
-/// Scans a netlist for technique-transform markers: `scpg_`/`ctsg_`
-/// instance prefixes, `__LCT` cell suffixes, [`Domain::Gated`] tags.
-/// Returns a human/machine-readable account of the first marker found.
+/// Scans a netlist for technique-transform markers: `scpg_`/`ctsg_`/
+/// `ddcg_` instance prefixes, `__LCT` cell suffixes, [`Domain::Gated`]
+/// tags. Returns a human/machine-readable account of the first marker
+/// found.
 pub fn detect_transform_marker(nl: &Netlist) -> Option<String> {
     for inst in nl.instances() {
         if inst.name().starts_with("scpg_") {
@@ -385,6 +389,9 @@ pub fn detect_transform_marker(nl: &Netlist) -> Option<String> {
         }
         if inst.name().starts_with("ctsg_") {
             return Some(format!("ctsg control instance `{}`", inst.name()));
+        }
+        if inst.name().starts_with("ddcg_") {
+            return Some(format!("ddcg control instance `{}`", inst.name()));
         }
         if inst.cell().ends_with("__LCT") {
             return Some(format!(
@@ -421,13 +428,14 @@ pub struct TechniqueRegistry {
 }
 
 impl TechniqueRegistry {
-    /// The standard kit: `baseline`, `scpg`, `ctsg`, `lector`.
+    /// The standard kit: `baseline`, `scpg`, `ctsg`, `ddcg`, `lector`.
     pub fn standard() -> Self {
         Self {
             list: vec![
                 Box::new(BaselineTechnique),
                 Box::new(ScpgTechnique),
                 Box::new(CtsgTechnique),
+                Box::new(DdcgTechnique),
                 Box::new(LectorTechnique),
             ],
         }
@@ -495,7 +503,7 @@ mod tests {
     #[test]
     fn standard_registry_has_four_techniques() {
         let reg = TechniqueRegistry::standard();
-        assert_eq!(reg.names(), ["baseline", "scpg", "ctsg", "lector"]);
+        assert_eq!(reg.names(), ["baseline", "scpg", "ctsg", "ddcg", "lector"]);
         assert!(reg.get("scpg").is_some());
         assert!(reg.get("nope").is_none());
     }
@@ -667,7 +675,7 @@ mod tests {
         lct.set_cell(id, "INV_X1__LCT");
         assert!(detect_transform_marker(&lct).unwrap().contains("__LCT"));
 
-        for prefix in ["scpg_x", "ctsg_x"] {
+        for prefix in ["scpg_x", "ctsg_x", "ddcg_x"] {
             let mut named = nl.clone();
             let b = named.add_fresh_net();
             named.add_instance(prefix, "INV_X1", &[y, b]).unwrap();

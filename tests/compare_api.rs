@@ -70,7 +70,7 @@ fn compare_runs_all_techniques_with_power_area_delay_and_metrics() {
         .iter()
         .map(|r| r.get("technique").unwrap().as_str().unwrap())
         .collect();
-    assert_eq!(names, ["baseline", "scpg", "ctsg", "lector"]);
+    assert_eq!(names, ["baseline", "scpg", "ctsg", "ddcg", "lector"]);
     for row in &rows {
         let name = row.get("technique").unwrap().as_str().unwrap();
         assert!(row.get("params").unwrap().as_str().is_some(), "{name}");
@@ -106,7 +106,7 @@ fn compare_runs_all_techniques_with_power_area_delay_and_metrics() {
     // Each technique filed a span under the request's trace id.
     let trace = client::get(addr, &format!("/v1/traces/{trace_id}")).expect("trace");
     assert_eq!(trace.status, 200, "{}", trace.text());
-    for name in ["baseline", "scpg", "ctsg", "lector"] {
+    for name in ["baseline", "scpg", "ctsg", "ddcg", "lector"] {
         assert!(
             trace.text().contains(&format!("technique:{name}")),
             "trace lacks a span for {name}: {}",
@@ -123,9 +123,9 @@ fn compare_runs_all_techniques_with_power_area_delay_and_metrics() {
     );
     assert_eq!(
         parse_metric(text, "scpg_compare_techniques_total"),
-        Some(4.0)
+        Some(5.0)
     );
-    assert_eq!(parse_metric(text, "scpg_compare_points_total"), Some(12.0));
+    assert_eq!(parse_metric(text, "scpg_compare_points_total"), Some(15.0));
 
     handle.shutdown();
 }
@@ -266,7 +266,7 @@ fn designs_endpoint_lists_techniques_and_jobs_accept_the_kind() {
     assert_eq!(designs.status, 200);
     let doc = Json::parse(designs.text()).unwrap();
     let techs = doc.get("techniques").unwrap().as_array().unwrap();
-    assert_eq!(techs.len(), 4);
+    assert_eq!(techs.len(), 5);
     let ctsg = techs
         .iter()
         .find(|t| t.get("name").and_then(Json::as_str) == Some("ctsg"))

@@ -1,0 +1,280 @@
+//! End-to-end tests of the Liberty-library ingestion surface over real
+//! loopback sockets: `POST /v1/libraries` admission (content-addressed
+//! idempotency, structured parse refusals with source positions), the
+//! `library`/`backend` design selectors on the analysis endpoints, the
+//! NLDM table backend actually evaluating (via the process-wide
+//! `scpg_table_lookups_total` counter), the uploaded-libraries section
+//! of `GET /v1/designs`, and survival of a kill/restart over the same
+//! store directory.
+
+use scpg_json::Json;
+use scpg_liberty::{write_liberty, Library};
+use scpg_serve::metrics::parse_metric;
+use scpg_serve::{client, ServeConfig, Server};
+
+const FREQS: &str = "[1e6, 5e6, 2e7]";
+
+fn kit_source() -> String {
+    write_liberty(&Library::ninety_nm())
+}
+
+fn sweep_body(design: &str) -> String {
+    format!(r#"{{"design": {design}, "frequencies_hz": {FREQS}}}"#)
+}
+
+fn sweep_powers(resp: &client::ClientResponse) -> Vec<f64> {
+    Json::parse(resp.text())
+        .expect("sweep response is JSON")
+        .get("points")
+        .and_then(|p| p.as_array().map(<[Json]>::to_vec))
+        .expect("sweep response has points")
+        .iter()
+        .map(|p| p.get("power_w").unwrap().as_f64().unwrap())
+        .collect()
+}
+
+fn metric(addr: std::net::SocketAddr, family: &str) -> f64 {
+    let text = client::get(addr, "/metrics")
+        .expect("metrics")
+        .text()
+        .to_string();
+    parse_metric(&text, family).unwrap_or_else(|| panic!("missing metric {family}"))
+}
+
+#[test]
+fn upload_is_idempotent_and_listed_by_designs() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+    let source = kit_source();
+
+    let created = client::upload_library(addr, &source).expect("upload");
+    assert_eq!(created.status, 201, "{}", created.text());
+    let doc = Json::parse(created.text()).unwrap();
+    let id = doc.get("id").unwrap().as_str().unwrap().to_string();
+    assert_eq!(id.len(), 40, "content-addressed 40-hex id");
+    assert!(doc.get("cells").unwrap().as_u64().unwrap() > 10);
+    assert!(doc.get("tabulated_cells").unwrap().as_u64().unwrap() > 0);
+    assert!(doc.get("nom_voltage_v").unwrap().as_f64().unwrap() > 0.0);
+
+    // Same bytes, same id, no second admission.
+    let again = client::upload_library(addr, &source).expect("re-upload");
+    assert_eq!(again.status, 200, "{}", again.text());
+    assert_eq!(
+        Json::parse(again.text())
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_str(),
+        Some(id.as_str())
+    );
+    assert_eq!(metric(addr, "scpg_libraries_uploaded_total"), 1.0);
+    assert_eq!(
+        metric(addr, "scpg_requests_total{endpoint=\"libraries\"}"),
+        2.0
+    );
+
+    // The discovery document lists the upload and the admission limits.
+    let designs = client::get(addr, "/v1/designs").expect("designs");
+    assert_eq!(designs.status, 200);
+    let ddoc = Json::parse(designs.text()).unwrap();
+    let libs = ddoc.get("libraries").unwrap().as_array().unwrap().to_vec();
+    assert_eq!(libs.len(), 1);
+    assert_eq!(libs[0].get("id").unwrap().as_str(), Some(id.as_str()));
+    let lim = ddoc.get("limits").unwrap();
+    assert!(lim.get("max_library_bytes").unwrap().as_u64().unwrap() > 0);
+    assert!(lim.get("max_libraries").unwrap().as_u64().unwrap() > 0);
+
+    // Method hygiene: GET on the upload endpoint names the right verb.
+    let wrong = client::get(addr, "/v1/libraries").expect("get");
+    assert_eq!(wrong.status, 405);
+    assert_eq!(wrong.header("allow"), Some("POST"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn hostile_uploads_are_refused_with_source_positions() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    // A lexical error deep in the file: the refusal carries the machine-
+    // readable position, not just prose.
+    let broken = "library (broken) {\n  cell (INV_X1) {\n    area : @@;\n";
+    let resp = client::upload_library(addr, broken).expect("upload");
+    assert_eq!(resp.status, 422, "{}", resp.text());
+    let doc = Json::parse(resp.text()).unwrap();
+    assert!(doc.get("error").unwrap().as_str().is_some());
+    assert!(doc.get("line").unwrap().as_u64().unwrap() >= 1);
+    assert!(doc.get("column").is_some());
+    assert!(doc.get("token").is_some());
+
+    // Non-UTF-8 bodies are a 400, not a parse 422.
+    let mut raw = b"POST /v1/libraries HTTP/1.1\r\nhost: scpg\r\nconnection: close\r\ncontent-length: 2\r\n\r\n".to_vec();
+    raw.extend_from_slice(&[0xff, 0xfe]);
+    let resp = client::raw(addr, &raw).expect("raw");
+    assert_eq!(resp.status, 400, "{}", resp.text());
+
+    // Referencing a library nobody uploaded refuses cleanly.
+    let body = sweep_body(
+        r#"{"kind": "multiplier", "bits": 4,
+            "library": {"kind": "uploaded", "id": "00000000deadbeef"}}"#,
+    );
+    let resp = client::post(addr, "/v1/sweep", &body).expect("sweep");
+    assert_eq!(resp.status, 422, "{}", resp.text());
+    assert!(
+        resp.text().contains("unknown library id"),
+        "{}",
+        resp.text()
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn table_backend_serves_sweeps_and_compares_through_uploaded_tables() {
+    let handle = Server::bind(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+    let created = client::upload_library(addr, &kit_source()).expect("upload");
+    assert_eq!(created.status, 201, "{}", created.text());
+    let id = Json::parse(created.text())
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    // Baseline: the builtin kit under the analytical backend.
+    let analytical = client::post(
+        addr,
+        "/v1/sweep",
+        &sweep_body(r#"{"kind": "multiplier", "bits": 4}"#),
+    )
+    .expect("sweep");
+    assert_eq!(analytical.status, 200, "{}", analytical.text());
+    let p_analytical = sweep_powers(&analytical);
+
+    // The uploaded library defaults to its tables; the lookup counter
+    // moving proves the NLDM path (not the analytical fallback) ran.
+    let lookups_before = metric(addr, "scpg_table_lookups_total");
+    let design = format!(
+        r#"{{"kind": "multiplier", "bits": 4, "library": {{"kind": "uploaded", "id": "{id}"}}}}"#
+    );
+    let table = client::post(addr, "/v1/sweep", &sweep_body(&design)).expect("sweep");
+    assert_eq!(table.status, 200, "{}", table.text());
+    let p_table = sweep_powers(&table);
+    assert!(
+        metric(addr, "scpg_table_lookups_total") > lookups_before,
+        "table sweep must go through NLDM interpolation"
+    );
+
+    // The kit's tables are sampled from its own analytical model, so the
+    // two backends agree to interpolation error — same physics, different
+    // evaluation route. Differences beyond a few percent would mean the
+    // tables (or the seam) are wrong.
+    assert_eq!(p_table.len(), p_analytical.len());
+    for (t, a) in p_table.iter().zip(&p_analytical) {
+        assert!(t.is_finite() && *t > 0.0);
+        let rel = (t - a).abs() / a.abs().max(1e-30);
+        assert!(rel < 0.05, "table {t} vs analytical {a} (rel {rel})");
+    }
+
+    // An explicit analytical override on the uploaded library falls back
+    // to closed-form evaluation of the parsed cells.
+    let overridden = client::post(
+        addr,
+        "/v1/sweep",
+        &format!(r#"{{"design": {design}, "backend": "analytical", "frequencies_hz": {FREQS}}}"#),
+    )
+    .expect("sweep");
+    assert_eq!(overridden.status, 200, "{}", overridden.text());
+
+    // The bake-off endpoint accepts the same selector: all five
+    // registered techniques evaluate through the uploaded tables.
+    let compare = client::post(
+        addr,
+        "/v1/compare",
+        &format!(r#"{{"design": {design}, "frequencies_hz": {FREQS}}}"#),
+    )
+    .expect("compare");
+    assert_eq!(compare.status, 200, "{}", compare.text());
+    let rows = Json::parse(compare.text())
+        .unwrap()
+        .get("techniques")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .to_vec();
+    let names: Vec<String> = rows
+        .iter()
+        .map(|r| r.get("technique").unwrap().as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(names, ["baseline", "scpg", "ctsg", "ddcg", "lector"]);
+
+    handle.shutdown();
+}
+
+#[test]
+fn uploaded_libraries_survive_a_restart() {
+    let dir = std::env::temp_dir().join(format!("scpg-libraries-api-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServeConfig {
+        workers: 2,
+        store_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    };
+
+    let first = Server::bind(config()).expect("bind").spawn();
+    let created = client::upload_library(first.addr(), &kit_source()).expect("upload");
+    assert_eq!(created.status, 201, "{}", created.text());
+    let id = Json::parse(created.text())
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    first.shutdown();
+
+    // A new server over the same store dir re-indexes the library and
+    // serves table-backed queries against it with no client re-upload.
+    let second = Server::bind(config()).expect("rebind").spawn();
+    let addr = second.addr();
+    let listed = client::get(addr, "/v1/designs").expect("designs");
+    let libs = Json::parse(listed.text())
+        .unwrap()
+        .get("libraries")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .to_vec();
+    assert_eq!(libs.len(), 1, "{}", listed.text());
+    assert_eq!(libs[0].get("id").unwrap().as_str(), Some(id.as_str()));
+
+    let design = format!(
+        r#"{{"kind": "multiplier", "bits": 4, "library": {{"kind": "uploaded", "id": "{id}"}}}}"#
+    );
+    let sweep = client::post(addr, "/v1/sweep", &sweep_body(&design)).expect("sweep");
+    assert_eq!(sweep.status, 200, "{}", sweep.text());
+    for p in sweep_powers(&sweep) {
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
