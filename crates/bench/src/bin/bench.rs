@@ -36,6 +36,12 @@ const WORKLOAD_CYCLES: usize = 200;
 /// costs relative to the untraced server.
 const SERVE_P50_BASELINE_MS: f64 = 0.0856;
 
+/// The pre-observability serve numbers this box recorded (PR 8, Liberty
+/// ingestion), kept so the report shows what wide-event recording and
+/// the watchdog cost per request.
+const SERVE_P50_BASELINE_PR8_MS: f64 = 0.0451;
+const KEEPALIVE_P50_BASELINE_PR8_MS: f64 = 0.0132;
+
 fn drive_word(stim: &mut Vec<(NetId, Logic)>, w: &Word, value: u64) {
     for (i, &bit) in w.bits().iter().enumerate() {
         stim.push((bit, Logic::from_bool((value >> i) & 1 == 1)));
@@ -353,6 +359,129 @@ fn bench_tracing() -> TracingNumbers {
         record_ns,
         summaries_us,
         detail_us,
+    }
+}
+
+struct ObservabilityNumbers {
+    /// Cost of recording one wide event into the lock-sharded ring.
+    event_record_ns: f64,
+    /// `GET /v1/status` round-trip (best of N over keep-alive).
+    status_us: f64,
+    /// `GET /v1/logs` round-trip (best of N over keep-alive).
+    logs_us: f64,
+    /// Event-loop iteration-time p99 with only the watchdog sentinel
+    /// ticking (upper bucket bound, from the exported histogram).
+    lag_p99_idle_ms: f64,
+    /// Event-loop iteration-time p99 while serving cache-hit load.
+    lag_p99_loaded_ms: f64,
+}
+
+/// p99 of the exported `scpg_eventloop_lag_seconds` histogram: the
+/// smallest bucket bound whose cumulative count covers 99% of samples
+/// (an upper bound, as for any histogram-derived percentile).
+fn lag_p99_ms_from_metrics(text: &str) -> f64 {
+    let mut buckets: Vec<(f64, u64)> = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("scpg_eventloop_lag_seconds_bucket{") else {
+            continue;
+        };
+        let le = rest.split("le=\"").nth(1).and_then(|s| s.split('"').next());
+        let count = rest.rsplit(' ').next().and_then(|c| c.parse::<u64>().ok());
+        if let (Some(le), Some(count)) = (le, count) {
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().unwrap_or(f64::INFINITY)
+            };
+            buckets.push((bound, count));
+        }
+    }
+    let Some(&(_, total)) = buckets.last() else {
+        return f64::NAN;
+    };
+    let target = ((total as f64) * 0.99).ceil() as u64;
+    for (bound, cumulative) in buckets {
+        if cumulative >= target {
+            return bound * 1e3;
+        }
+    }
+    f64::NAN
+}
+
+/// Measures the introspection plane itself: the per-request cost of the
+/// wide-event record, the latency of the two read endpoints, and the
+/// event-loop lag distribution idle vs under cache-hit load.
+fn bench_observability() -> ObservabilityNumbers {
+    // Ring hot path, off-server: a representative event with a few
+    // annotation columns, recorded OPS times into a production-sized
+    // ring (so eviction cost is included once the ring fills).
+    const OPS: usize = 100_000;
+    let log = scpg_trace::EventLog::new(1024);
+    let t0 = Instant::now();
+    for i in 0..OPS {
+        let mut ev = scpg_trace::WideEvent::new("request", "sweep", 200);
+        ev.trace_id = "t0123456789abcdef".to_string();
+        ev.total_us = i as u64;
+        ev.worker_cpu_us = i as u64 / 2;
+        ev.fields.push(("cache".to_string(), "miss".to_string()));
+        ev.fields
+            .push(("design".to_string(), "multiplier:16".to_string()));
+        log.record(ev);
+    }
+    let event_record_ns = t0.elapsed().as_secs_f64() * 1e9 / OPS as f64;
+
+    // A short watchdog tick so the idle phase actually samples the loop.
+    let handle = scpg_serve::Server::bind(scpg_serve::ServeConfig {
+        watchdog_tick_ms: 25,
+        ..scpg_serve::ServeConfig::default()
+    })
+    .expect("bind loopback server")
+    .spawn();
+    let addr = handle.addr();
+
+    // Idle: nothing but sentinel ticks for ~400 ms.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let idle_text = scpg_serve::client::get(addr, "/metrics")
+        .expect("metrics")
+        .text()
+        .to_string();
+    let lag_p99_idle_ms = lag_p99_ms_from_metrics(&idle_text);
+
+    // Loaded: cache-hit requests back to back over one keep-alive
+    // connection — every request is a loop iteration.
+    let sweep = r#"{"frequencies_hz": [1e6, 2e6, 5e6], "mode": "scpg"}"#;
+    let warm = scpg_serve::client::post(addr, "/v1/sweep", sweep).expect("warm the cache");
+    assert_eq!(warm.status, 200, "{}", warm.text());
+    let mut conn = scpg_serve::client::ClientConn::connect(addr).expect("connect");
+    for _ in 0..400 {
+        let resp = conn.post("/v1/sweep", sweep).expect("cache hit");
+        assert_eq!(resp.status, 200);
+    }
+    let loaded_text = conn.get("/metrics").expect("metrics").text().to_string();
+    let lag_p99_loaded_ms = lag_p99_ms_from_metrics(&loaded_text);
+
+    // Read-endpoint latency, best of 20 on the same warm connection.
+    let mut status_us = f64::INFINITY;
+    let mut logs_us = f64::INFINITY;
+    for _ in 0..20 {
+        let t0 = Instant::now();
+        let resp = conn.get("/v1/status").expect("status");
+        status_us = status_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(resp.status, 200);
+        let t0 = Instant::now();
+        let resp = conn.get("/v1/logs?limit=50").expect("logs");
+        logs_us = logs_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(resp.status, 200);
+    }
+    drop(conn);
+    handle.shutdown();
+
+    ObservabilityNumbers {
+        event_record_ns,
+        status_us,
+        logs_us,
+        lag_p99_idle_ms,
+        lag_p99_loaded_ms,
     }
 }
 
@@ -1057,6 +1186,20 @@ fn main() {
         (srv.p50_ms / SERVE_P50_BASELINE_MS - 1.0) * 1e2
     );
 
+    println!("[bench] observability plane: wide-event record, status/logs reads, loop lag...");
+    let obs = bench_observability();
+    println!(
+        "  event record {:.0} ns, /v1/status {:.1} us, /v1/logs {:.1} us",
+        obs.event_record_ns, obs.status_us, obs.logs_us
+    );
+    println!(
+        "  loop-lag p99 idle {:.3} ms vs loaded {:.3} ms; serve p50 {:.4} ms vs PR-8 {SERVE_P50_BASELINE_PR8_MS} ms ({:+.1}%)",
+        obs.lag_p99_idle_ms,
+        obs.lag_p99_loaded_ms,
+        srv.p50_ms,
+        (srv.p50_ms / SERVE_P50_BASELINE_PR8_MS - 1.0) * 1e2
+    );
+
     println!("[bench] async jobs: chunked sweep + restart reload...");
     let jobs = bench_jobs();
     println!(
@@ -1247,6 +1390,45 @@ fn main() {
                 (
                     "sim_events_consistent",
                     Json::from(events_serial == events_parallel),
+                ),
+            ]),
+        ),
+        (
+            "observability",
+            Json::object([
+                ("event_record_ns", Json::from(round3(obs.event_record_ns))),
+                ("status_us", Json::from(round3(obs.status_us))),
+                ("logs_us", Json::from(round3(obs.logs_us))),
+                (
+                    "loop_lag_p99_idle_ms",
+                    Json::from(round4(obs.lag_p99_idle_ms)),
+                ),
+                (
+                    "loop_lag_p99_loaded_ms",
+                    Json::from(round4(obs.lag_p99_loaded_ms)),
+                ),
+                (
+                    "serve_p50_baseline_pr8_ms",
+                    Json::from(SERVE_P50_BASELINE_PR8_MS),
+                ),
+                ("serve_p50_ms", Json::from(round4(srv.p50_ms))),
+                (
+                    "serve_p50_vs_pr8",
+                    Json::from(round3(srv.p50_ms / SERVE_P50_BASELINE_PR8_MS)),
+                ),
+                (
+                    "keepalive_p50_baseline_pr8_ms",
+                    Json::from(KEEPALIVE_P50_BASELINE_PR8_MS),
+                ),
+                (
+                    "keepalive_p50_ms",
+                    Json::from(round4(conc.keepalive_p50_ms)),
+                ),
+                (
+                    "keepalive_p50_vs_pr8",
+                    Json::from(round3(
+                        conc.keepalive_p50_ms / KEEPALIVE_P50_BASELINE_PR8_MS,
+                    )),
                 ),
             ]),
         ),

@@ -19,10 +19,12 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 
 use scpg_json::Json;
 use scpg_liberty::{parse_liberty, LibertyError, Library};
+use scpg_trace::{Introspect, StoreCounters};
 
 use crate::hash::sha256_hex;
 use crate::store::{Store, StoreError};
@@ -232,17 +234,22 @@ impl Inner {
         self.lru.push_back(id.to_string());
     }
 
-    fn insert_loaded(&mut self, entry: Arc<UploadedLibrary>, max_loaded: usize) {
+    /// Inserts into the loaded LRU, returning how many residents the
+    /// capacity bound displaced.
+    fn insert_loaded(&mut self, entry: Arc<UploadedLibrary>, max_loaded: usize) -> u64 {
         let id = entry.id.clone();
         self.loaded.insert(id.clone(), entry);
         self.touch(&id);
+        let mut evicted = 0;
         while self.loaded.len() > max_loaded.max(1) {
             if let Some(evict) = self.lru.pop_front() {
                 self.loaded.remove(&evict);
+                evicted += 1;
             } else {
                 break;
             }
         }
+        evicted
     }
 }
 
@@ -251,6 +258,9 @@ pub struct LibraryRegistry {
     store: Arc<Store>,
     limits: LibraryLimits,
     inner: Mutex<Inner>,
+    /// Loaded-LRU accounting: hits are in-memory lookups, misses are
+    /// lazy reloads (or unknown ids), evictions are LRU displacements.
+    counters: StoreCounters,
 }
 
 impl LibraryRegistry {
@@ -282,6 +292,7 @@ impl LibraryRegistry {
                 loaded: HashMap::new(),
                 lru: VecDeque::new(),
             }),
+            counters: StoreCounters::new(),
         }
     }
 
@@ -384,7 +395,10 @@ impl LibraryRegistry {
             });
         }
         inner.registered.insert(id, meta);
-        inner.insert_loaded(Arc::clone(&entry), self.limits.max_loaded);
+        let evicted = inner.insert_loaded(Arc::clone(&entry), self.limits.max_loaded);
+        self.counters
+            .evictions
+            .fetch_add(evicted, Ordering::Relaxed);
         Ok((entry, true))
     }
 
@@ -404,7 +418,10 @@ impl LibraryRegistry {
         if let Some(existing) = inner.loaded.get(id) {
             return Ok(Arc::clone(existing));
         }
-        inner.insert_loaded(Arc::clone(&entry), self.limits.max_loaded);
+        let evicted = inner.insert_loaded(Arc::clone(&entry), self.limits.max_loaded);
+        self.counters
+            .evictions
+            .fetch_add(evicted, Ordering::Relaxed);
         Ok(entry)
     }
 
@@ -415,8 +432,10 @@ impl LibraryRegistry {
             let mut inner = self.inner.lock().unwrap();
             if let Some(entry) = inner.loaded.get(id).cloned() {
                 inner.touch(id);
+                self.counters.hit();
                 return Some(entry);
             }
+            self.counters.miss();
             if !inner.registered.contains_key(id) {
                 return None;
             }
@@ -454,6 +473,42 @@ impl LibraryRegistry {
     /// The admission limits this registry enforces.
     pub fn limits(&self) -> LibraryLimits {
         self.limits
+    }
+}
+
+impl Introspect for LibraryRegistry {
+    fn store_name(&self) -> &'static str {
+        "library_lru"
+    }
+
+    /// Parsed libraries resident in memory (the RAM-bounded side; disk
+    /// registration is bounded separately by `max_libraries`).
+    fn entries(&self) -> usize {
+        self.loaded()
+    }
+
+    fn capacity(&self) -> usize {
+        self.limits.max_loaded.max(1)
+    }
+
+    /// Raw Liberty source bytes of resident libraries — the parsed form
+    /// scales with it and the source is what the store re-reads on a
+    /// miss, so it is the honest reload-cost figure.
+    fn bytes_estimate(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.loaded.values().map(|l| l.source.len()).sum()
+    }
+
+    fn hits(&self) -> u64 {
+        self.counters.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.counters.misses.load(Ordering::Relaxed)
+    }
+
+    fn evictions(&self) -> u64 {
+        self.counters.evictions.load(Ordering::Relaxed)
     }
 }
 

@@ -360,6 +360,9 @@ pub struct JobManager {
     /// Optional trace sink: `(store, boot id)`. Set once by the
     /// embedding layer; chunk completions then emit trace spans.
     tracing: OnceLock<(Arc<TraceStore>, String)>,
+    /// Optional wide-event sink. Set once by the embedding layer; each
+    /// completed chunk then emits one event alongside its trace span.
+    events: OnceLock<Arc<scpg_trace::EventLog>>,
 }
 
 impl JobManager {
@@ -396,6 +399,7 @@ impl JobManager {
             seq: AtomicU64::new(max_seq + 1),
             admissions: AtomicU64::new(admitted),
             tracing: OnceLock::new(),
+            events: OnceLock::new(),
         }
     }
 
@@ -430,6 +434,54 @@ impl JobManager {
                 );
             }
         }
+    }
+
+    /// Attaches a wide-event log. Chunk completions from now on emit
+    /// one [`scpg_trace::WideEvent`] each (kind `"chunk"`, endpoint
+    /// `"job"`) under the job's trace id, so batch work shows up in
+    /// `GET /v1/logs` next to interactive requests. Unlike
+    /// [`JobManager::attach_tracing`], persisted chunks are *not*
+    /// replayed: the event log is an operational stream of work done by
+    /// this process incarnation, not a historical record. Subsequent
+    /// calls are ignored.
+    pub fn attach_event_log(&self, events: Arc<scpg_trace::EventLog>) {
+        let _ = self.events.set(events);
+    }
+
+    /// Emits one chunk wide event if an event log is attached.
+    #[allow(clippy::too_many_arguments)]
+    fn log_chunk_event(
+        &self,
+        id: &str,
+        trace_id: &str,
+        status: u16,
+        index: u64,
+        chunks_total: u64,
+        units: u64,
+        duration_us: u64,
+        worker_cpu_us: u64,
+    ) {
+        let Some(events) = self.events.get() else {
+            return;
+        };
+        let mut event = scpg_trace::WideEvent::new("chunk", "job", status);
+        event.trace_id = trace_id.to_string();
+        event.total_us = duration_us;
+        event.execute_us = duration_us;
+        event.worker_cpu_us = worker_cpu_us;
+        event.fields = vec![
+            ("job".to_string(), id.to_string()),
+            ("chunk".to_string(), format!("{index}/{chunks_total}")),
+            ("units".to_string(), units.to_string()),
+            (
+                "boot".to_string(),
+                self.tracing
+                    .get()
+                    .map(|(_, boot)| boot.clone())
+                    .unwrap_or_default(),
+            ),
+        ];
+        events.record(event);
     }
 
     /// Emits one chunk span if a trace sink is attached.
@@ -552,7 +604,10 @@ impl JobManager {
         // Execute outside the lock: chunks are CPU-heavy and status
         // queries must never block behind them.
         let span = scpg_trace::Span::on(scpg_trace::job_stage("chunk"));
+        let cpu_before = scpg_trace::thread_cpu_time();
         let outcome = self.executor.execute(&spec, start, count);
+        let chunk_cpu_us =
+            scpg_trace::duration_us(scpg_trace::thread_cpu_time().saturating_sub(cpu_before));
         let chunk_duration = span.finish();
 
         let mut jobs = self.jobs.lock().unwrap();
@@ -569,6 +624,16 @@ impl JobManager {
             Err(msg) => {
                 entry.state = JobState::Failed;
                 entry.error = Some(msg);
+                self.log_chunk_event(
+                    id,
+                    &entry.trace_id,
+                    500,
+                    (start / entry.chunk_units) as u64,
+                    entry.chunks_total(),
+                    count as u64,
+                    scpg_trace::duration_us(chunk_duration),
+                    chunk_cpu_us,
+                );
                 self.persist(id, entry);
                 ChunkRun::Finished
             }
@@ -589,6 +654,16 @@ impl JobManager {
                         .unwrap_or_default(),
                 };
                 self.trace_chunk(id, &entry.trace_id, &mark, entry.chunks_total());
+                self.log_chunk_event(
+                    id,
+                    &entry.trace_id,
+                    200,
+                    mark.index,
+                    entry.chunks_total(),
+                    mark.units,
+                    mark.duration_us,
+                    chunk_cpu_us,
+                );
                 entry.chunks.push(mark);
                 if entry.done_units < entry.total_units {
                     entry.state = JobState::Queued;

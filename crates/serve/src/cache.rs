@@ -18,6 +18,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use scpg_trace::{Introspect, StoreCounters};
+
 struct Entry {
     body: Arc<Vec<u8>>,
     last_used: u64,
@@ -32,6 +34,7 @@ pub struct ShardedCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
     clock: AtomicU64,
+    counters: StoreCounters,
 }
 
 impl ShardedCache {
@@ -49,6 +52,7 @@ impl ShardedCache {
                 .collect(),
             capacity_per_shard: capacity_per_shard.max(1),
             clock: AtomicU64::new(0),
+            counters: StoreCounters::new(),
         }
     }
 
@@ -62,8 +66,12 @@ impl ShardedCache {
     pub fn get(&self, key: &str) -> Option<Arc<Vec<u8>>> {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
-        let entry = shard.map.get_mut(key)?;
+        let Some(entry) = shard.map.get_mut(key) else {
+            self.counters.miss();
+            return None;
+        };
         entry.last_used = now;
+        self.counters.hit();
         Some(Arc::clone(&entry.body))
     }
 
@@ -80,6 +88,7 @@ impl ShardedCache {
                 .map(|(k, _)| k.clone())
             {
                 shard.map.remove(&oldest);
+                self.counters.evicted();
             }
         }
         shard.map.insert(
@@ -102,6 +111,48 @@ impl ShardedCache {
     /// `true` when no shard holds an entry.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl Introspect for ShardedCache {
+    fn store_name(&self) -> &'static str {
+        "result_cache"
+    }
+
+    fn entries(&self) -> usize {
+        self.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.shards.len() * self.capacity_per_shard
+    }
+
+    /// Keys plus response bodies actually held (bodies are shared
+    /// `Arc`s, so this is an upper bound while responses are in flight).
+    fn bytes_estimate(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .map
+                    .iter()
+                    .map(|(k, e)| k.len() + e.body.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    fn hits(&self) -> u64 {
+        self.counters.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.counters.misses.load(Ordering::Relaxed)
+    }
+
+    fn evictions(&self) -> u64 {
+        self.counters.evictions.load(Ordering::Relaxed)
     }
 }
 

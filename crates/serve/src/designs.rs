@@ -15,6 +15,7 @@
 //! content-addressed id `POST /v1/netlists` returned.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use scpg::service::QueryLimits;
@@ -25,6 +26,7 @@ use scpg_liberty::{CellKind, EvalBackend, Library, PvtCorner};
 use scpg_netlist::Netlist;
 use scpg_sim::CompiledNetlist;
 use scpg_technique::{PrepareContext, ResolvedParams, Technique, TechniqueError, TechniqueModel};
+use scpg_trace::{Introspect, StoreCounters};
 use scpg_units::{Energy, Voltage};
 
 /// Which circuit a request targets.
@@ -190,6 +192,9 @@ pub struct DesignArtifact {
     analysis: OnceLock<Result<Arc<ScpgAnalysis>, String>>,
     compiled: OnceLock<Result<Arc<CompiledNetlist>, String>>,
     techniques: Mutex<TechniqueCacheState>,
+    /// Registry-wide technique-model accounting, shared across every
+    /// artifact so `/v1/status` reports one aggregated row.
+    technique_counters: Arc<StoreCounters>,
 }
 
 /// One technique-model slot: the lazily prepared model plus its LRU
@@ -212,6 +217,7 @@ impl DesignArtifact {
         spec: &DesignSpec,
         uploaded: Option<Arc<UploadedNetlist>>,
         library: Option<Arc<UploadedLibrary>>,
+        technique_counters: Arc<StoreCounters>,
     ) -> Self {
         let mut lib = match &library {
             Some(up) => up.library.clone(),
@@ -238,6 +244,7 @@ impl DesignArtifact {
             analysis: OnceLock::new(),
             compiled: OnceLock::new(),
             techniques: Mutex::new(TechniqueCacheState::default()),
+            technique_counters,
         }
     }
 
@@ -271,8 +278,10 @@ impl DesignArtifact {
             let tick = state.tick;
             if let Some(slot) = state.map.get_mut(&key) {
                 slot.last_used = tick;
+                self.technique_counters.hit();
                 Arc::clone(&slot.cell)
             } else {
+                self.technique_counters.miss();
                 if state.map.len() >= Self::MAX_TECHNIQUE_MODELS {
                     if let Some(victim) = state
                         .map
@@ -281,6 +290,7 @@ impl DesignArtifact {
                         .map(|(k, _)| k.clone())
                     {
                         state.map.remove(&victim);
+                        self.technique_counters.evicted();
                     }
                 }
                 let cell = Arc::new(OnceLock::new());
@@ -462,6 +472,8 @@ struct RegistryState {
 pub struct DesignRegistry {
     state: Mutex<RegistryState>,
     max_designs: usize,
+    counters: StoreCounters,
+    technique_counters: Arc<StoreCounters>,
 }
 
 impl Default for DesignRegistry {
@@ -489,6 +501,8 @@ impl DesignRegistry {
                 tick: 0,
             }),
             max_designs: max_designs.max(1),
+            counters: StoreCounters::new(),
+            technique_counters: Arc::new(StoreCounters::new()),
         }
     }
 
@@ -542,8 +556,10 @@ impl DesignRegistry {
             let key = spec.key();
             if let Some(entry) = state.map.get_mut(&key) {
                 entry.last_used = tick;
+                self.counters.hit();
                 Arc::clone(&entry.cell)
             } else {
+                self.counters.miss();
                 if state.map.len() >= self.max_designs {
                     // O(n) victim scan is fine at this capacity.
                     if let Some(victim) = state
@@ -553,6 +569,7 @@ impl DesignRegistry {
                         .map(|(k, _)| k.clone())
                     {
                         state.map.remove(&victim);
+                        self.counters.evicted();
                     }
                 }
                 let cell = Arc::new(OnceLock::new());
@@ -567,7 +584,12 @@ impl DesignRegistry {
             }
         };
         Ok(Arc::clone(cell.get_or_init(|| {
-            Arc::new(DesignArtifact::build(spec, uploaded, library))
+            Arc::new(DesignArtifact::build(
+                spec,
+                uploaded,
+                library,
+                Arc::clone(&self.technique_counters),
+            ))
         })))
     }
 
@@ -579,6 +601,110 @@ impl DesignRegistry {
     /// `true` when nothing has been built yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Every built artifact currently resident (slots still building —
+    /// their `OnceLock` unset — are skipped).
+    fn built_artifacts(&self) -> Vec<Arc<DesignArtifact>> {
+        let state = self.state.lock().expect("registry poisoned");
+        state
+            .map
+            .values()
+            .filter_map(|e| e.cell.get().cloned())
+            .collect()
+    }
+}
+
+impl Introspect for DesignRegistry {
+    fn store_name(&self) -> &'static str {
+        "design_registry"
+    }
+
+    fn entries(&self) -> usize {
+        self.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.max_designs
+    }
+
+    /// Gate-count-based estimate: each resident artifact is dominated
+    /// by its baseline netlist (and analysis rollups of the same
+    /// order), so instances × a nominal per-gate footprint plus key
+    /// bytes tracks the real residency closely enough to spot a
+    /// registry full of 64-bit multipliers vs one of inverter chains.
+    fn bytes_estimate(&self) -> usize {
+        const BYTES_PER_INSTANCE: usize = 256;
+        let keys: usize = {
+            let state = self.state.lock().expect("registry poisoned");
+            state.map.keys().map(String::len).sum()
+        };
+        keys + self
+            .built_artifacts()
+            .iter()
+            .map(|a| a.baseline.instances().len() * BYTES_PER_INSTANCE)
+            .sum::<usize>()
+    }
+
+    fn hits(&self) -> u64 {
+        self.counters.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.counters.misses.load(Ordering::Relaxed)
+    }
+
+    fn evictions(&self) -> u64 {
+        self.counters.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// [`Introspect`] view over the per-artifact technique-model LRUs,
+/// aggregated across every resident design — the bake-off's prepared
+/// models (scpg/ddcg/ctsg × params) as one row.
+pub struct TechniqueModelStores(pub Arc<DesignRegistry>);
+
+impl Introspect for TechniqueModelStores {
+    fn store_name(&self) -> &'static str {
+        "technique_models"
+    }
+
+    fn entries(&self) -> usize {
+        self.0
+            .built_artifacts()
+            .iter()
+            .map(|a| a.technique_models_len())
+            .sum()
+    }
+
+    /// Per-artifact cap × the design ceiling: the most models that can
+    /// ever be resident at once.
+    fn capacity(&self) -> usize {
+        self.0.max_designs * DesignArtifact::MAX_TECHNIQUE_MODELS
+    }
+
+    /// Models own a transformed netlist plus analysis rollups of the
+    /// same order as their design, so the design's gate count is the
+    /// honest scale factor.
+    fn bytes_estimate(&self) -> usize {
+        const BYTES_PER_INSTANCE: usize = 256;
+        self.0
+            .built_artifacts()
+            .iter()
+            .map(|a| a.technique_models_len() * a.baseline.instances().len() * BYTES_PER_INSTANCE)
+            .sum()
+    }
+
+    fn hits(&self) -> u64 {
+        self.0.technique_counters.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.0.technique_counters.misses.load(Ordering::Relaxed)
+    }
+
+    fn evictions(&self) -> u64 {
+        self.0.technique_counters.evictions.load(Ordering::Relaxed)
     }
 }
 

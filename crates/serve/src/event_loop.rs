@@ -122,19 +122,51 @@ impl EventLoop {
             .add(self.shared.wake.fd(), WAKE_TOKEN, true, false)
             .expect("register wake fd");
         let mut events = Vec::new();
+        // Watchdog: the poll wait is capped at the sentinel tick, so the
+        // loop self-times its own processing at least that often even
+        // when idle. An iteration spending longer than the stall
+        // threshold *processing* (sleep excluded) means every other
+        // connection waited that long — it counts as a stall and leaves
+        // a wide event behind.
+        let tick = Duration::from_millis(self.shared.config.watchdog_tick_ms.max(1));
+        let stall = Duration::from_millis(self.shared.config.watchdog_stall_ms.max(1));
+        let lag_hist = self.shared.trace.histogram(
+            "scpg_eventloop_lag_seconds",
+            "Event-loop iteration processing time (poll return to next poll entry).",
+            "thread",
+            "event",
+        );
+        // The nearest connection deadline, cached between iterations.
+        // While nothing happens (sentinel ticks on an idle server) the
+        // cached value stays valid, so an idle wakeup never scans the
+        // connection table — the 10k-parked-connections CPU budget
+        // survives the watchdog tick.
+        let mut cached_due: Option<Option<Instant>> = None;
         loop {
             if !self.draining && self.shared.shutdown.load(Ordering::SeqCst) {
                 self.enter_drain();
+                cached_due = None;
             }
             if self.draining && self.conns.is_empty() {
                 break;
             }
-            let timeout = self.next_timeout();
+            let due = *cached_due.get_or_insert_with(|| self.next_due());
+            let timeout = Some(due.map_or(tick, |d| {
+                d.saturating_duration_since(Instant::now()).min(tick)
+            }));
             if self.poller.wait(&mut events, timeout).is_err() {
                 // A fatal poll error has no recovery story; back off so a
                 // persistent failure cannot spin the thread.
                 std::thread::sleep(Duration::from_millis(1));
             }
+            let iter_started = Instant::now();
+            if self.shared.config.debug_loop_stall_ms > 0 {
+                // Test hook: an injected stall, observed like a real one.
+                std::thread::sleep(Duration::from_millis(
+                    self.shared.config.debug_loop_stall_ms,
+                ));
+            }
+            let mut dirty = !events.is_empty();
             for &ev in &events {
                 match ev.token {
                     LISTENER_TOKEN => self.accept_ready(),
@@ -144,12 +176,56 @@ impl EventLoop {
             }
             // Worker completions, drained every iteration (cheap when
             // empty, and it makes the wake event itself stateless).
-            for token in self.shared.take_completions() {
+            let completions = self.shared.take_completions();
+            dirty |= !completions.is_empty();
+            for token in completions {
                 self.finish_completion(token);
             }
-            self.sweep_timeouts();
+            // Connection state only changes through the arms above, so a
+            // quiet sentinel tick before the cached deadline has nothing
+            // to sweep and nothing to recompute.
+            if dirty || due.is_some_and(|d| iter_started >= d) {
+                self.sweep_timeouts();
+                cached_due = None;
+            }
+            self.observe_iteration(iter_started.elapsed(), stall, &lag_hist);
         }
         // Dropping the loop closes the listener and any stragglers.
+    }
+
+    /// Feeds one iteration's processing time to the lag histogram, the
+    /// `/v1/status` gauges and — past the stall threshold — the stall
+    /// counter plus a `watchdog` wide event an operator can find in
+    /// `/v1/logs` next to the requests the stall delayed.
+    fn observe_iteration(
+        &self,
+        lag: Duration,
+        stall: Duration,
+        lag_hist: &Arc<scpg_trace::Histogram>,
+    ) {
+        lag_hist.observe(lag);
+        let lag_us = scpg_trace::duration_us(lag);
+        self.shared
+            .loop_lag_last_us
+            .store(lag_us, Ordering::Relaxed);
+        self.shared
+            .loop_lag_max_us
+            .fetch_max(lag_us, Ordering::Relaxed);
+        if lag >= stall {
+            self.shared
+                .metrics
+                .eventloop_stalls
+                .fetch_add(1, Ordering::Relaxed);
+            let mut ev = scpg_trace::WideEvent::new("watchdog", "(loop)", 0);
+            ev.total_us = lag_us;
+            ev.fields.push((
+                "stall_threshold_ms".to_string(),
+                self.shared.config.watchdog_stall_ms.to_string(),
+            ));
+            ev.fields
+                .push(("connections".to_string(), self.conns.len().to_string()));
+            self.shared.events.record(ev);
+        }
     }
 
     /// Shutdown observed: stop accepting and close every connection that
@@ -169,11 +245,11 @@ impl EventLoop {
         }
     }
 
-    /// The poll-wait timeout: the nearest deadline across every
-    /// connection, or infinite when there are none. This is what makes
-    /// idle CPU zero — no periodic tick, the loop sleeps exactly until
-    /// something must happen.
-    fn next_timeout(&self) -> Option<Duration> {
+    /// The nearest deadline across every connection, or `None` when
+    /// there are none. The poll wait sleeps until this instant (capped
+    /// at the watchdog tick); the caller caches the result across quiet
+    /// iterations so idle sentinel wakeups never pay this scan.
+    fn next_due(&self) -> Option<Instant> {
         let idle = Duration::from_millis(self.shared.config.idle_timeout_ms.max(1));
         let mut next: Option<Instant> = None;
         for conn in self.conns.values() {
@@ -189,7 +265,7 @@ impl EventLoop {
                 Some(cur) => cur.min(due),
             });
         }
-        next.map(|t| t.saturating_duration_since(Instant::now()))
+        next
     }
 
     fn accept_ready(&mut self) {
@@ -336,7 +412,12 @@ impl EventLoop {
                     self.process_request(token, req, parse_started);
                 }
                 Step::Drain503(req) => {
+                    // Event-loop refusals are first-class in the request
+                    // accounting: `endpoint="(refused)"` rather than
+                    // vanishing into "other" with no request count.
+                    self.shared.metrics.inc_request("(refused)");
                     let trace = RequestTrace {
+                        endpoint: Some("(refused)"),
                         trace_id: request_trace_id(&req),
                         ..RequestTrace::default()
                     };
@@ -366,9 +447,13 @@ impl EventLoop {
                             return;
                         }
                     };
+                    self.shared.metrics.inc_request("(refused)");
                     self.finish(
                         token,
-                        RequestTrace::default(),
+                        RequestTrace {
+                            endpoint: Some("(refused)"),
+                            ..RequestTrace::default()
+                        },
                         Instant::now(),
                         (status, "application/json", api::error_body(why)),
                         false,
@@ -393,6 +478,7 @@ impl EventLoop {
         let keep = !(req.wants_close() || at_cap || self.draining);
         // A panicking handler must not kill the event loop (it owns
         // every socket): it becomes a 500 like any other failure.
+        let cpu_before = scpg_trace::thread_cpu_time();
         let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             crate::respond(&self.shared, &req, &mut trace)
         })) {
@@ -405,6 +491,10 @@ impl EventLoop {
                 Outcome::Ready((500, "application/json", api::error_body("internal error")))
             }
         };
+        // The loop-side CPU cost of routing this request (cache lookup,
+        // parse/validate, inline handlers) — the event-loop half of the
+        // wide event's CPU columns.
+        trace.loop_cpu = Some(scpg_trace::thread_cpu_time().saturating_sub(cpu_before));
         match outcome {
             Outcome::Ready(reply) => self.finish(token, trace, parse_started, reply, keep),
             Outcome::Queued { slot, deadline } => {
@@ -543,9 +633,13 @@ impl EventLoop {
         for token in idle_partial {
             // A stalled mid-request client gets told why before the
             // close — the old blocking server dropped it voiceless.
+            self.shared.metrics.inc_request("(refused)");
             self.finish(
                 token,
-                RequestTrace::default(),
+                RequestTrace {
+                    endpoint: Some("(refused)"),
+                    ..RequestTrace::default()
+                },
                 Instant::now(),
                 (
                     408,

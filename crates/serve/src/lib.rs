@@ -75,7 +75,7 @@ mod poller;
 pub mod queue;
 
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -156,6 +156,24 @@ pub struct ServeConfig {
     /// (`connection: close` on the final response) — bounds per-client
     /// resource pinning under keep-alive.
     pub max_requests_per_conn: u32,
+    /// Wide events retained by the in-memory event log
+    /// (`GET /v1/logs`); the oldest are evicted beyond it. Fixed at
+    /// bind time — the log never grows.
+    pub event_log_capacity: usize,
+    /// Event-loop watchdog sentinel period: the poll wait is capped at
+    /// this, so the loop self-times at least this often even when
+    /// otherwise idle. The wake itself is a few microseconds of work,
+    /// so the zero-idle-CPU property effectively survives.
+    pub watchdog_tick_ms: u64,
+    /// Event-loop iterations spending longer than this *processing*
+    /// (poll return to next poll entry — sleep time excluded) count as
+    /// stalls: `scpg_eventloop_stalls_total` increments and a
+    /// `watchdog` wide event is recorded.
+    pub watchdog_stall_ms: u64,
+    /// Test hook: artificial sleep injected into every event-loop
+    /// iteration so the watchdog path can be exercised
+    /// deterministically. Zero (the default) in production.
+    pub debug_loop_stall_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -177,6 +195,10 @@ impl Default for ServeConfig {
             force_engine: scpg_sim::EngineChoice::Auto,
             idle_timeout_ms: 10_000,
             max_requests_per_conn: 10_000,
+            event_log_capacity: 1024,
+            watchdog_tick_ms: 500,
+            watchdog_stall_ms: 250,
+            debug_loop_stall_ms: 0,
         }
     }
 }
@@ -203,6 +225,17 @@ struct Shared {
     /// Per-request span store behind `GET /v1/traces`; bounded, shared
     /// with the job manager so batch-chunk spans land in the same traces.
     traces: Arc<scpg_trace::TraceStore>,
+    /// Bounded wide-event log behind `GET /v1/logs` — one canonical
+    /// record per request/chunk. Shared with the job manager so
+    /// batch-chunk events land in the same ring.
+    events: Arc<scpg_trace::EventLog>,
+    /// When this server was bound (`scpg_uptime_seconds` baseline).
+    started: Instant,
+    /// Last observed event-loop iteration processing time, µs (the
+    /// watchdog writes, `/v1/status` reads).
+    loop_lag_last_us: AtomicU64,
+    /// Maximum observed event-loop iteration processing time, µs.
+    loop_lag_max_us: AtomicU64,
     /// This server incarnation's id, annotated onto batch-chunk spans so
     /// a trace read after a restart shows which boot ran which chunk.
     boot_id: String,
@@ -241,6 +274,22 @@ impl Shared {
     /// Drains pending completion tokens (event-loop side).
     fn take_completions(&self) -> Vec<u64> {
         std::mem::take(&mut *self.completions.lock().expect("completions poisoned"))
+    }
+
+    /// Uniform [`scpg_trace::Introspect`] rows over every bounded
+    /// in-memory structure, in the fixed order `GET /v1/status` and the
+    /// `scpg_store_*` metric families report them.
+    fn store_stats(&self) -> Vec<scpg_trace::StoreStats> {
+        use scpg_trace::Introspect;
+        vec![
+            self.cache.stats(),
+            self.registry.stats(),
+            designs::TechniqueModelStores(Arc::clone(&self.registry)).stats(),
+            self.libraries.stats(),
+            self.traces.stats(),
+            self.queue.stats(),
+            self.events.stats(),
+        ]
     }
 }
 
@@ -304,6 +353,10 @@ impl Server {
         // fresh store, so `GET /v1/traces/{id}` after a restart still
         // shows the pre-restart chunks (tagged with their original boot).
         jobs.attach_tracing(Arc::clone(&traces), &boot_id);
+        let events = Arc::new(scpg_trace::EventLog::new(config.event_log_capacity.max(1)));
+        // Batch-chunk events go through the same ring as request events,
+        // so `/v1/logs` is the one place where all work shows up.
+        jobs.attach_event_log(Arc::clone(&events));
         let poller = poller::Poller::new()?;
         let wake = poller::Waker::new()?;
         let shared = Arc::new(Shared {
@@ -317,6 +370,10 @@ impl Server {
             libraries,
             jobs,
             traces,
+            events,
+            started: Instant::now(),
+            loop_lag_last_us: AtomicU64::new(0),
+            loop_lag_max_us: AtomicU64::new(0),
             boot_id,
             shutdown: AtomicBool::new(false),
             in_flight_conns: AtomicUsize::new(0),
@@ -479,6 +536,7 @@ fn run_interactive(shared: &Arc<Shared>, job: Job) {
         ..
     } = job;
     let queue_wait = enqueued_at.elapsed();
+    let cpu_before = scpg_trace::thread_cpu_time();
     // A panicking job must not kill the worker (silently shrinking
     // the pool) or leave the connection waiting for the deadline: it
     // becomes a 500 like any other failed computation.
@@ -496,6 +554,10 @@ fn run_interactive(shared: &Arc<Shared>, job: Job) {
         }
     };
     out.timing.queue_wait = Some(queue_wait);
+    // CPU actually burned on this thread for this job: distinguishes
+    // "slow because computing" from "slow because preempted" in the
+    // wide event.
+    out.timing.worker_cpu = Some(scpg_trace::thread_cpu_time().saturating_sub(cpu_before));
     shared
         .metrics
         .jobs_completed
@@ -580,6 +642,9 @@ struct RequestTrace {
     parse: Option<Duration>,
     cache_lookup: Option<Duration>,
     wait: Option<Duration>,
+    /// Event-loop thread CPU time spent routing this request (parse
+    /// excluded) — the loop-side half of the wide event's CPU columns.
+    loop_cpu: Option<Duration>,
     job: JobTiming,
     /// `key=value` annotations for the trace's request span (cache
     /// disposition, design key, engine work deltas).
@@ -635,6 +700,7 @@ fn finish_reply(
     }
     scpg_trace::log_if_slow(endpoint, status, total, &stages);
     record_request_spans(shared, trace, endpoint, status, total, &stages);
+    record_wide_event(shared, trace, endpoint, status, total);
     let mut extra: Vec<(&str, &str)> = vec![("x-scpg-trace-id", trace.trace_id.as_str())];
     match status {
         // RFC 7231 §6.5.5: 405 must name the methods that *would* work.
@@ -651,10 +717,38 @@ fn finish_reply(
     http::encode_response(status, content_type, &extra, body, keep_alive)
 }
 
+/// Emits one request's canonical wide event into the event log: the
+/// single row per request carrying everything an operator filters on
+/// (endpoint, status, timing breakdown, CPU columns, worker
+/// annotations). `/v1/logs` and `/v1/status` are exempt — a dashboard
+/// polling the introspection plane must not evict the very events being
+/// read.
+fn record_wide_event(
+    shared: &Arc<Shared>,
+    trace: &RequestTrace,
+    endpoint: &str,
+    status: u16,
+    total: Duration,
+) {
+    if matches!(endpoint, "logs" | "status") {
+        return;
+    }
+    let mut ev = scpg_trace::WideEvent::new("request", endpoint, status);
+    ev.trace_id = trace.trace_id.clone();
+    ev.total_us = scpg_trace::duration_us(total);
+    ev.queue_wait_us = trace.job.queue_wait.map_or(0, scpg_trace::duration_us);
+    ev.compile_us = trace.job.compile.map_or(0, scpg_trace::duration_us);
+    ev.execute_us = trace.job.execute.map_or(0, scpg_trace::duration_us);
+    ev.loop_cpu_us = trace.loop_cpu.map_or(0, scpg_trace::duration_us);
+    ev.worker_cpu_us = trace.job.worker_cpu.map_or(0, scpg_trace::duration_us);
+    ev.fields = trace.annotations.clone();
+    shared.events.record(ev);
+}
+
 /// The `Allow` header value for a 405 on a known path.
 fn allow_for(path: &str) -> Option<&'static str> {
     match path {
-        "/healthz" | "/metrics" | "/v1/designs" => Some("GET"),
+        "/healthz" | "/metrics" | "/v1/designs" | "/v1/logs" | "/v1/status" => Some("GET"),
         "/v1/sweep" | "/v1/table" | "/v1/headline" | "/v1/variation" | "/v1/activity"
         | "/v1/compare" | "/v1/netlists" | "/v1/libraries" => Some("POST"),
         "/v1/jobs" => Some("POST, GET"),
@@ -686,7 +780,10 @@ fn record_request_spans(
     total: Duration,
     stages: &[(&'static str, Duration)],
 ) {
-    if endpoint == "traces" || endpoint == "metrics" || endpoint == "healthz" {
+    if matches!(
+        endpoint,
+        "traces" | "metrics" | "healthz" | "logs" | "status"
+    ) {
         return;
     }
     // Stage offsets are cumulative in pipeline order — an approximation
@@ -736,8 +833,28 @@ impl From<Reply> for Outcome {
     }
 }
 
+/// Splits `path?query` into the routable path and the raw query string
+/// (empty when absent). Exact-match routes ignore the query entirely.
+fn split_query(path: &str) -> (&str, &str) {
+    match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    }
+}
+
+/// The raw value of `key` in an `a=1&b=2` query string. No percent
+/// decoding: every value these endpoints accept is URL-safe already.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
 fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Outcome {
-    match (req.method.as_str(), req.path.as_str()) {
+    let (path, _query) = split_query(&req.path);
+    match (req.method.as_str(), path) {
         ("POST", "/v1/sweep") => handle_api(shared, "sweep", &req.body, trace),
         ("POST", "/v1/table") => handle_api(shared, "table", &req.body, trace),
         ("POST", "/v1/headline") => handle_api(shared, "headline", &req.body, trace),
@@ -750,7 +867,8 @@ fn respond(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Out
 
 /// Routes everything that always answers inline (no worker queue).
 fn respond_inline(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace) -> Reply {
-    match (req.method.as_str(), req.path.as_str()) {
+    let (path, query) = split_query(&req.path);
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
             shared.metrics.inc_request("healthz");
             trace.endpoint = Some("healthz");
@@ -781,6 +899,12 @@ fn respond_inline(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace)
                  scpg_trace_store_evicted_total {}\n",
                 shared.traces.evicted()
             ));
+            // Build identity + uptime, then the uniform per-store gauge
+            // families (one `store=` label per bounded structure).
+            text.push_str(&metrics::render_build_info(
+                shared.started.elapsed().as_secs_f64(),
+            ));
+            text.push_str(&metrics::render_stores(&shared.store_stats()));
             // This server's latency histograms, then the process-wide
             // engine-stage histograms (distinct family names, so the
             // concatenation stays valid exposition text).
@@ -806,10 +930,12 @@ fn respond_inline(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace)
             handle_jobs(shared, method, path, &req.body, trace)
         }
         (method, path) if path == "/v1/traces" || path.starts_with("/v1/traces/") => {
-            handle_traces(shared, method, path, trace)
+            handle_traces(shared, method, path, query, trace)
         }
-        (_, "/healthz" | "/metrics" | "/v1/designs") => {
-            trace.allow = allow_for(&req.path);
+        ("GET", "/v1/logs") => handle_logs(shared, query, trace),
+        ("GET", "/v1/status") => handle_status(shared, trace),
+        (_, "/healthz" | "/metrics" | "/v1/designs" | "/v1/logs" | "/v1/status") => {
+            trace.allow = allow_for(path);
             (
                 405,
                 "application/json",
@@ -821,7 +947,7 @@ fn respond_inline(shared: &Arc<Shared>, req: &Request, trace: &mut RequestTrace)
             "/v1/sweep" | "/v1/table" | "/v1/headline" | "/v1/variation" | "/v1/activity"
             | "/v1/compare" | "/v1/netlists" | "/v1/libraries",
         ) => {
-            trace.allow = allow_for(&req.path);
+            trace.allow = allow_for(path);
             (
                 405,
                 "application/json",
@@ -986,12 +1112,14 @@ fn handle_jobs(
     }
 }
 
-/// `GET /v1/traces` (recent-first summaries) and `GET /v1/traces/{id}`
-/// (the full span list in canonical JSON).
+/// `GET /v1/traces` (recent-first summaries, paginated by `limit=` and
+/// `before=<seq>`) and `GET /v1/traces/{id}` (the full span list in
+/// canonical JSON).
 fn handle_traces(
     shared: &Arc<Shared>,
     method: &str,
     path: &str,
+    query: &str,
     trace: &mut RequestTrace,
 ) -> Reply {
     shared.metrics.inc_request("traces");
@@ -1005,13 +1133,43 @@ fn handle_traces(
         );
     }
     if path == "/v1/traces" {
-        let traces: Vec<Json> = shared
-            .traces
-            .summaries()
+        let limit = match query_param(query, "limit").map(str::parse::<usize>) {
+            None => None,
+            Some(Ok(n)) => Some(n),
+            Some(Err(_)) => {
+                return (
+                    422,
+                    "application/json",
+                    api::error_body("limit must be a non-negative integer"),
+                )
+            }
+        };
+        let before = match query_param(query, "before").map(str::parse::<u64>) {
+            None => None,
+            Some(Ok(n)) => Some(n),
+            Some(Err(_)) => {
+                return (
+                    422,
+                    "application/json",
+                    api::error_body("before must be a trace sequence number"),
+                )
+            }
+        };
+        let mut summaries = shared.traces.summaries();
+        if let Some(before) = before {
+            summaries.retain(|s| s.seq < before);
+        }
+        if let Some(limit) = limit {
+            summaries.truncate(limit);
+        }
+        // `seq` is the pagination cursor: pass the last row's value as
+        // `before=` to fetch the next page.
+        let traces: Vec<Json> = summaries
             .into_iter()
             .map(|s| {
                 Json::object([
                     ("id", Json::from(s.id)),
+                    ("seq", Json::from(s.seq)),
                     ("kind", Json::from(s.kind)),
                     ("started_unix_ms", Json::from(s.started_unix_ms)),
                     ("spans", Json::from(s.spans)),
@@ -1065,6 +1223,150 @@ fn handle_traces(
             (200, "application/json", doc.write().into_bytes())
         }
     }
+}
+
+/// One wide event in wire form (used by `GET /v1/logs`).
+fn event_json(e: scpg_trace::WideEvent) -> Json {
+    Json::object([
+        ("seq", Json::from(e.seq)),
+        ("unix_ms", Json::from(e.unix_ms)),
+        ("trace_id", Json::from(e.trace_id)),
+        ("kind", Json::from(e.kind)),
+        ("endpoint", Json::from(e.endpoint)),
+        ("status", Json::from(u64::from(e.status))),
+        ("total_us", Json::from(e.total_us)),
+        ("queue_wait_us", Json::from(e.queue_wait_us)),
+        ("compile_us", Json::from(e.compile_us)),
+        ("execute_us", Json::from(e.execute_us)),
+        ("loop_cpu_us", Json::from(e.loop_cpu_us)),
+        ("worker_cpu_us", Json::from(e.worker_cpu_us)),
+        (
+            "fields",
+            Json::Obj(
+                e.fields
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::from(v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Events returned by `GET /v1/logs` when the request names no
+/// `limit=`. The ring holds more; an explicit `limit=` raises it.
+const DEFAULT_LOG_LIMIT: usize = 100;
+
+/// `GET /v1/logs`: recent-first wide events, filterable by
+/// `endpoint=`, `status=`, `min_duration_us=`, `since=` (Unix ms) and
+/// `limit=`.
+fn handle_logs(shared: &Arc<Shared>, query: &str, trace: &mut RequestTrace) -> Reply {
+    shared.metrics.inc_request("logs");
+    trace.endpoint = Some("logs");
+    let mut filter = scpg_trace::EventFilter {
+        endpoint: query_param(query, "endpoint").map(str::to_string),
+        ..Default::default()
+    };
+    // Numeric filters 422 on garbage rather than silently matching
+    // everything — a typo in a triage query must not look like "no
+    // slow requests".
+    macro_rules! numeric {
+        ($key:literal, $ty:ty, $slot:expr) => {
+            if let Some(raw) = query_param(query, $key) {
+                match raw.parse::<$ty>() {
+                    Ok(v) => $slot = Some(v),
+                    Err(_) => {
+                        return (
+                            422,
+                            "application/json",
+                            api::error_body(concat!($key, " must be a non-negative integer")),
+                        )
+                    }
+                }
+            }
+        };
+    }
+    numeric!("status", u16, filter.status);
+    numeric!("min_duration_us", u64, filter.min_duration_us);
+    numeric!("since", u64, filter.since_unix_ms);
+    numeric!("limit", usize, filter.limit);
+    if filter.limit.is_none() {
+        filter.limit = Some(DEFAULT_LOG_LIMIT);
+    }
+    let events: Vec<Json> = shared
+        .events
+        .query(&filter)
+        .into_iter()
+        .map(event_json)
+        .collect();
+    let doc = Json::object([
+        ("capacity", Json::from(shared.events.capacity())),
+        ("recorded", Json::from(shared.events.recorded())),
+        ("evicted", Json::from(shared.events.evicted())),
+        ("events", Json::Arr(events)),
+    ]);
+    (200, "application/json", doc.write().into_bytes())
+}
+
+/// `GET /v1/status`: one operational snapshot — build identity, uptime,
+/// queue depths, event-loop lag, and the uniform [`scpg_trace::Introspect`]
+/// row for every bounded structure.
+fn handle_status(shared: &Arc<Shared>, trace: &mut RequestTrace) -> Reply {
+    shared.metrics.inc_request("status");
+    trace.endpoint = Some("status");
+    let stores: Vec<Json> = shared
+        .store_stats()
+        .into_iter()
+        .map(|s| {
+            Json::object([
+                ("name", Json::from(s.name)),
+                ("entries", Json::from(s.entries)),
+                ("capacity", Json::from(s.capacity)),
+                ("bytes_estimate", Json::from(s.bytes_estimate)),
+                ("hits", Json::from(s.hits)),
+                ("misses", Json::from(s.misses)),
+                ("evictions", Json::from(s.evictions)),
+            ])
+        })
+        .collect();
+    let snapshot = shared.metrics.snapshot();
+    let doc = Json::object([
+        ("boot", Json::from(shared.boot_id.as_str())),
+        ("version", Json::from(metrics::BUILD_VERSION)),
+        ("git", Json::from(metrics::BUILD_GIT)),
+        (
+            "uptime_seconds",
+            Json::from(shared.started.elapsed().as_secs_f64()),
+        ),
+        (
+            "connections_in_flight",
+            Json::from(shared.in_flight_conns.load(Ordering::SeqCst)),
+        ),
+        ("workers", Json::from(shared.config.workers.max(2))),
+        (
+            "queue",
+            Json::object([
+                ("depth", Json::from(shared.queue.depth())),
+                ("batch_depth", Json::from(shared.queue.batch_depth())),
+                ("capacity", Json::from(shared.queue.capacity())),
+            ]),
+        ),
+        (
+            "event_loop",
+            Json::object([
+                (
+                    "lag_last_us",
+                    Json::from(shared.loop_lag_last_us.load(Ordering::Relaxed)),
+                ),
+                (
+                    "lag_max_us",
+                    Json::from(shared.loop_lag_max_us.load(Ordering::Relaxed)),
+                ),
+                ("stalls_total", Json::from(snapshot.eventloop_stalls)),
+            ]),
+        ),
+        ("stores", Json::Arr(stores)),
+    ]);
+    (200, "application/json", doc.write().into_bytes())
 }
 
 fn handle_job_submit(shared: &Arc<Shared>, raw_body: &[u8], trace_id: &str) -> Reply {

@@ -36,8 +36,11 @@ pub fn stage_histogram(reg: &scpg_trace::Registry, stage: &str) -> Arc<scpg_trac
     )
 }
 
-/// The endpoints with dedicated request counters.
-pub const ENDPOINTS: [&str; 13] = [
+/// The endpoints with dedicated request counters. `"(refused)"` counts
+/// requests the event loop answered without routing (malformed heads,
+/// idle-timeout 408s, drain-time 503s) — what clients saw but no
+/// handler did.
+pub const ENDPOINTS: [&str; 16] = [
     "sweep",
     "table",
     "headline",
@@ -48,9 +51,12 @@ pub const ENDPOINTS: [&str; 13] = [
     "libraries",
     "jobs",
     "traces",
+    "logs",
+    "status",
     "designs",
     "healthz",
     "metrics",
+    "(refused)",
 ];
 
 /// The status codes with dedicated response counters.
@@ -94,6 +100,9 @@ pub struct Metrics {
     pub compare_techniques: AtomicU64,
     /// Operating points computed by `/v1/compare` (interactive).
     pub compare_points: AtomicU64,
+    /// Event-loop iterations whose processing time exceeded the
+    /// configured stall threshold (the lag watchdog's alarm counter).
+    pub eventloop_stalls: AtomicU64,
 }
 
 /// A point-in-time copy, for tests and the bench harness.
@@ -123,6 +132,8 @@ pub struct MetricsSnapshot {
     pub compare_techniques: u64,
     /// See [`Metrics::compare_points`].
     pub compare_points: u64,
+    /// See [`Metrics::eventloop_stalls`].
+    pub eventloop_stalls: u64,
 }
 
 impl Metrics {
@@ -156,6 +167,7 @@ impl Metrics {
             job_chunks_completed: self.job_chunks_completed.load(Ordering::Relaxed),
             compare_techniques: self.compare_techniques.load(Ordering::Relaxed),
             compare_points: self.compare_points.load(Ordering::Relaxed),
+            eventloop_stalls: self.eventloop_stalls.load(Ordering::Relaxed),
         }
     }
 
@@ -190,7 +202,7 @@ impl Metrics {
             ));
         }
 
-        let counters: [(&str, &str, u64); 13] = [
+        let counters: [(&str, &str, u64); 14] = [
             (
                 "scpg_cache_hits_total",
                 "Requests answered from the result cache.",
@@ -255,6 +267,11 @@ impl Metrics {
                 "scpg_compare_points_total",
                 "Operating points computed by POST /v1/compare.",
                 self.compare_points.load(Ordering::Relaxed),
+            ),
+            (
+                "scpg_eventloop_stalls_total",
+                "Event-loop iterations exceeding the stall threshold.",
+                self.eventloop_stalls.load(Ordering::Relaxed),
             ),
         ];
         for (name, help, value) in counters {
@@ -381,6 +398,87 @@ impl Metrics {
     }
 }
 
+/// The crate version baked into `scpg_build_info` and `GET /v1/status`.
+pub const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// The git revision baked in at compile time (`SCPG_GIT_SHA` in the
+/// build environment), or `"unknown"` for plain `cargo build`s.
+pub const BUILD_GIT: &str = match option_env!("SCPG_GIT_SHA") {
+    Some(sha) => sha,
+    None => "unknown",
+};
+
+/// Renders the build-identity gauge (`scpg_build_info{version,git} 1`,
+/// the Prometheus idiom for exposing labels rather than a value) and
+/// the process uptime gauge.
+pub fn render_build_info(uptime_seconds: f64) -> String {
+    format!(
+        "# HELP scpg_build_info Build identity; the value is always 1.\n\
+         # TYPE scpg_build_info gauge\n\
+         scpg_build_info{{version=\"{BUILD_VERSION}\",git=\"{BUILD_GIT}\"}} 1\n\
+         # HELP scpg_uptime_seconds Seconds since this server was bound.\n\
+         # TYPE scpg_uptime_seconds gauge\n\
+         scpg_uptime_seconds {uptime_seconds}\n"
+    )
+}
+
+/// Renders the uniform `scpg_store_*` families — one sample per bounded
+/// structure per family, labelled `store="…"` — from [`Introspect`]
+/// snapshots. One renderer covers every current and future store.
+///
+/// [`Introspect`]: scpg_trace::Introspect
+pub fn render_stores(stores: &[scpg_trace::StoreStats]) -> String {
+    use std::fmt::Write;
+    type Get = fn(&scpg_trace::StoreStats) -> u64;
+    let families: [(&str, &str, &str, Get); 6] = [
+        (
+            "scpg_store_entries",
+            "gauge",
+            "Entries resident in each bounded in-memory store.",
+            |s| s.entries as u64,
+        ),
+        (
+            "scpg_store_capacity",
+            "gauge",
+            "Configured entry ceiling of each bounded store.",
+            |s| s.capacity as u64,
+        ),
+        (
+            "scpg_store_bytes",
+            "gauge",
+            "Best-effort resident bytes of each bounded store.",
+            |s| s.bytes_estimate as u64,
+        ),
+        (
+            "scpg_store_hits_total",
+            "counter",
+            "Lookups served from each bounded store.",
+            |s| s.hits,
+        ),
+        (
+            "scpg_store_misses_total",
+            "counter",
+            "Lookups that missed each bounded store.",
+            |s| s.misses,
+        ),
+        (
+            "scpg_store_evictions_total",
+            "counter",
+            "Entries displaced by each bounded store's capacity bound.",
+            |s| s.evictions,
+        ),
+    ];
+    let mut out = String::with_capacity(256 * families.len());
+    for (name, typ, help, get) in families {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {typ}");
+        for s in stores {
+            let _ = writeln!(out, "{name}{{store=\"{}\"}} {}", s.name, get(s));
+        }
+    }
+    out
+}
+
 /// Extracts a counter/gauge value from rendered Prometheus text — the
 /// test-side accessor, kept next to the producer so the formats cannot
 /// drift apart.
@@ -488,7 +586,30 @@ mod tests {
     #[test]
     fn exposition_text_is_lint_clean() {
         let m = Metrics::default();
-        let text = m.render(1, 8, 2, 3, 4, 5);
+        // Lint the full exposition surface the server concatenates:
+        // counters/gauges, build identity + uptime, and the uniform
+        // store families.
+        let stores = [
+            scpg_trace::StoreStats {
+                name: "result_cache",
+                entries: 3,
+                capacity: 64,
+                bytes_estimate: 1234,
+                hits: 7,
+                misses: 2,
+                evictions: 1,
+            },
+            scpg_trace::StoreStats {
+                name: "trace_store",
+                entries: 0,
+                capacity: 256,
+                bytes_estimate: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            },
+        ];
+        let text = m.render(1, 8, 2, 3, 4, 5) + &render_build_info(12.5) + &render_stores(&stores);
         let mut declared = std::collections::HashSet::new();
         let mut last_help: Option<String> = None;
         for line in text.lines() {
@@ -530,6 +651,39 @@ mod tests {
         }
         assert!(declared.contains("scpg_libraries_uploaded_total"));
         assert!(declared.contains("scpg_table_lookups_total"));
+        assert!(declared.contains("scpg_eventloop_stalls_total"));
+        assert!(declared.contains("scpg_build_info"));
+        assert!(declared.contains("scpg_uptime_seconds"));
+        for family in [
+            "scpg_store_entries",
+            "scpg_store_capacity",
+            "scpg_store_bytes",
+            "scpg_store_hits_total",
+            "scpg_store_misses_total",
+            "scpg_store_evictions_total",
+        ] {
+            assert!(declared.contains(family), "missing store family {family}");
+        }
+        assert_eq!(
+            parse_metric(&text, "scpg_store_hits_total{store=\"result_cache\"}"),
+            Some(7.0)
+        );
+        assert_eq!(
+            parse_metric(&text, "scpg_store_entries{store=\"trace_store\"}"),
+            Some(0.0)
+        );
+        assert_eq!(parse_metric(&text, "scpg_uptime_seconds"), Some(12.5));
+        assert_eq!(
+            parse_metric(
+                &text,
+                &format!("scpg_build_info{{version=\"{BUILD_VERSION}\",git=\"{BUILD_GIT}\"}}")
+            ),
+            Some(1.0)
+        );
+        assert_eq!(
+            parse_metric(&text, "scpg_requests_total{endpoint=\"(refused)\"}"),
+            Some(0.0)
+        );
     }
 
     #[test]

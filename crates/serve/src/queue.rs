@@ -29,8 +29,11 @@
 //! resumes the job from exactly there.
 
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+use scpg_trace::{Introspect, StoreCounters};
 
 /// Per-stage durations measured on the worker side of a job, carried
 /// back through the [`Slot`] so the connection thread (which owns the
@@ -47,6 +50,11 @@ pub struct JobTiming {
     pub execute: Option<Duration>,
     /// Serializing the result document to JSON bytes.
     pub serialize: Option<Duration>,
+    /// CPU time the worker thread spent on the whole job
+    /// (`clock_gettime(CLOCK_THREAD_CPUTIME_ID)` delta around the work
+    /// closure) — compared against the wall-clock stages it separates
+    /// "slow because computing" from "slow because preempted".
+    pub worker_cpu: Option<Duration>,
 }
 
 /// What a worker hands back through a [`Slot`].
@@ -238,6 +246,9 @@ pub struct WorkQueue {
     state: Mutex<QueueState>,
     cv: Condvar,
     capacity: usize,
+    /// Admission accounting across both lanes: hits are accepted
+    /// pushes, misses are capacity/shutdown rejections.
+    counters: StoreCounters,
 }
 
 impl WorkQueue {
@@ -251,6 +262,7 @@ impl WorkQueue {
             }),
             cv: Condvar::new(),
             capacity: capacity.max(1),
+            counters: StoreCounters::new(),
         }
     }
 
@@ -263,9 +275,11 @@ impl WorkQueue {
     pub fn try_push(&self, job: Job) -> Result<(), Job> {
         let mut state = self.state.lock().expect("queue poisoned");
         if state.shutdown || state.jobs.len() >= self.capacity {
+            self.counters.miss();
             return Err(job);
         }
         state.jobs.push_back(job);
+        self.counters.hit();
         self.cv.notify_one();
         Ok(())
     }
@@ -284,9 +298,11 @@ impl WorkQueue {
     pub fn push_batch(&self, job_id: String) -> Result<(), String> {
         let mut state = self.state.lock().expect("queue poisoned");
         if state.shutdown || state.batch.len() >= self.capacity {
+            self.counters.miss();
             return Err(job_id);
         }
         state.batch.push_back(job_id);
+        self.counters.hit();
         // notify_all, not notify_one: a single wake could land on the
         // interactive-only worker, which would ignore it and leave the
         // token stranded until the next unrelated wake.
@@ -339,6 +355,53 @@ impl WorkQueue {
         let mut state = self.state.lock().expect("queue poisoned");
         state.shutdown = true;
         self.cv.notify_all();
+    }
+}
+
+impl Introspect for WorkQueue {
+    fn store_name(&self) -> &'static str {
+        "work_queue"
+    }
+
+    /// Pending work across both lanes.
+    fn entries(&self) -> usize {
+        let state = self.state.lock().expect("queue poisoned");
+        state.jobs.len() + state.batch.len()
+    }
+
+    /// Both lanes share the admission capacity, so the combined ceiling
+    /// is twice it.
+    fn capacity(&self) -> usize {
+        self.capacity * 2
+    }
+
+    /// Queue entries are closures plus small strings; only the strings
+    /// are measurable, so this counts keys and ids (a floor, not a
+    /// ceiling — honest enough for a structure bounded at tens of
+    /// entries).
+    fn bytes_estimate(&self) -> usize {
+        let state = self.state.lock().expect("queue poisoned");
+        state
+            .jobs
+            .iter()
+            .map(|j| j.cache_key.len() + j.trace_id.len() + std::mem::size_of::<Job>())
+            .sum::<usize>()
+            + state.batch.iter().map(String::len).sum::<usize>()
+    }
+
+    /// Accepted pushes (both lanes).
+    fn hits(&self) -> u64 {
+        self.counters.hits.load(Ordering::Relaxed)
+    }
+
+    /// Rejected pushes: full or shutting down (the 429 path).
+    fn misses(&self) -> u64 {
+        self.counters.misses.load(Ordering::Relaxed)
+    }
+
+    /// A queue never displaces admitted work.
+    fn evictions(&self) -> u64 {
+        0
     }
 }
 

@@ -27,8 +27,13 @@
 
 #![warn(missing_docs)]
 
+mod events;
 mod store;
 
+pub use events::{
+    log_events_enabled, thread_cpu_time, EventFilter, EventLog, Introspect, StoreCounters,
+    StoreStats, WideEvent,
+};
 pub use store::{
     duration_us, generate_trace_id, valid_trace_id, SpanEvent, TraceDetail, TraceStore,
     TraceSummary, MAX_SPANS_PER_TRACE, TRACE_ID_MAX_LEN,

@@ -20,6 +20,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant, SystemTime};
 
+use crate::events::{Introspect, StoreCounters};
+
 /// Longest accepted trace id (client-supplied ids past this are
 /// rejected and replaced with a generated one).
 pub const TRACE_ID_MAX_LEN: usize = 64;
@@ -83,6 +85,9 @@ pub struct TraceSummary {
     pub id: String,
     /// What started the trace (endpoint name or `"job"`).
     pub kind: String,
+    /// Creation order within this store; recent-first listings sort by
+    /// it descending, and `before=` pagination cursors carry it.
+    pub seq: u64,
     /// Wall-clock start, milliseconds since the Unix epoch.
     pub started_unix_ms: u64,
     /// Spans currently stored.
@@ -137,6 +142,7 @@ pub struct TraceStore {
     per_shard: usize,
     seq: AtomicU64,
     evicted: AtomicU64,
+    counters: StoreCounters,
 }
 
 impl TraceStore {
@@ -151,6 +157,7 @@ impl TraceStore {
             per_shard,
             seq: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            counters: StoreCounters::new(),
         }
     }
 
@@ -266,6 +273,7 @@ impl TraceStore {
                     TraceSummary {
                         id: e.id.clone(),
                         kind: e.kind.clone(),
+                        seq: e.seq,
                         started_unix_ms: e.started_unix_ms,
                         spans: e.spans.len(),
                         total_us: e.total_us(),
@@ -280,13 +288,75 @@ impl TraceStore {
     /// The full span list for `id`, or `None` if unknown (or evicted).
     pub fn detail(&self, id: &str) -> Option<TraceDetail> {
         let shard = self.shard(id).lock().expect("trace store poisoned");
-        shard.iter().find(|e| e.id == id).map(|e| TraceDetail {
+        let found = shard.iter().find(|e| e.id == id).map(|e| TraceDetail {
             id: e.id.clone(),
             kind: e.kind.clone(),
             started_unix_ms: e.started_unix_ms,
             dropped_spans: e.dropped,
             spans: e.spans.clone(),
-        })
+        });
+        if found.is_some() {
+            self.counters.hit();
+        } else {
+            self.counters.miss();
+        }
+        found
+    }
+}
+
+impl Introspect for TraceStore {
+    fn store_name(&self) -> &'static str {
+        "trace_store"
+    }
+
+    fn entries(&self) -> usize {
+        self.len()
+    }
+
+    fn capacity(&self) -> usize {
+        TraceStore::capacity(self)
+    }
+
+    fn bytes_estimate(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("trace store poisoned")
+                    .iter()
+                    .map(|e| {
+                        std::mem::size_of::<TraceEntry>()
+                            + e.id.len()
+                            + e.kind.len()
+                            + e.spans
+                                .iter()
+                                .map(|sp| {
+                                    std::mem::size_of::<SpanEvent>()
+                                        + sp.stage.len()
+                                        + sp.annotations
+                                            .iter()
+                                            .map(|(k, v)| k.len() + v.len())
+                                            .sum::<usize>()
+                                })
+                                .sum::<usize>()
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    // Hits/misses count `detail` (`GET /v1/traces/{id}`) lookups: a
+    // miss is an operator chasing an evicted or never-recorded id.
+    fn hits(&self) -> u64 {
+        self.counters.hits.load(Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.counters.misses.load(Ordering::Relaxed)
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evicted()
     }
 }
 
@@ -295,7 +365,7 @@ pub fn duration_us(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
-fn unix_ms_now() -> u64 {
+pub(crate) fn unix_ms_now() -> u64 {
     SystemTime::UNIX_EPOCH
         .elapsed()
         .map(|d| d.as_millis() as u64)
